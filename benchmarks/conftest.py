@@ -1,0 +1,59 @@
+"""Shared fixtures and artifact emission for the bench harness.
+
+Every bench regenerates one of the paper's tables or figures.  The
+rendered artifact is printed (visible with ``pytest -s``) and written to
+``benchmarks/artifacts/<name>.txt`` so EXPERIMENTS.md can point at the
+exact output of the last run.
+"""
+
+import os
+
+import pytest
+
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.mir_model import build_model
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+@pytest.fixture(scope="session")
+def model():
+    return build_model(TINY)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """emit(name, text): persist + print a rendered artifact."""
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+
+    def _emit(name, text):
+        path = os.path.join(ARTIFACT_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return _emit
+
+
+def build_world(monitor_cls=None, secret=0x41, pages=1):
+    """A booted monitor with one app + initialized enclave (bench copy of
+    the test helper, kept separate so benchmarks/ is self-contained)."""
+    from repro.hyperenclave.monitor import RustMonitor
+    cls = monitor_cls or RustMonitor
+    monitor = cls(TINY)
+    primary_os = monitor.primary_os
+    app = primary_os.spawn_app(1)
+    page = TINY.page_size
+    mbuf_pa = TINY.frame_base(primary_os.reserve_data_frame())
+    src_pa = TINY.frame_base(primary_os.reserve_data_frame())
+    primary_os.gpa_write_word(src_pa, secret)
+    eid = monitor.hc_create(16 * page, pages * page, 12 * page, mbuf_pa,
+                            page)
+    for index in range(pages):
+        monitor.hc_add_page(eid, (16 + index) * page, src_pa)
+    primary_os.gpa_write_word(src_pa, 0)
+    monitor.hc_init(eid)
+    primary_os.gpt_map(app.gpt_root_gpa, 12 * page, mbuf_pa)
+    return monitor, app, eid

@@ -1,0 +1,40 @@
+"""Figure 1 — the HyperEnclave architecture, rendered from a live boot.
+
+The benchmark times the full boot + two-enclave lifecycle that the
+figure depicts; the artifact is the live architecture diagram.
+"""
+
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.monitor import RustMonitor
+from repro.reporting import fig1_architecture
+
+PAGE = TINY.page_size
+
+
+def boot_two_enclave_system():
+    monitor = RustMonitor(TINY)
+    primary_os = monitor.primary_os
+    for index in range(2):
+        app = primary_os.spawn_app(index + 1)
+        src = TINY.frame_base(primary_os.reserve_data_frame())
+        mbuf = TINY.frame_base(primary_os.reserve_data_frame())
+        base = (16 + 16 * index) * PAGE
+        eid = monitor.hc_create(base, PAGE, (4 + index) * PAGE, mbuf,
+                                PAGE)
+        monitor.hc_add_page(eid, base, src)
+        monitor.hc_init(eid)
+        primary_os.gpt_map(app.gpt_root_gpa, (4 + index) * PAGE, mbuf)
+    return monitor
+
+
+def test_bench_fig1(benchmark, emit):
+    monitor = benchmark(boot_two_enclave_system)
+    text = fig1_architecture(monitor)
+    emit("fig1_architecture", text)
+
+    # Shape: both guest VMs and both enclaves appear, secure memory is
+    # partitioned, and the EPCM accounts for SECS + REG pages.
+    assert "Prim. OS" in text
+    assert "Enclave 1" in text and "Enclave 2" in text
+    assert "page-table pool" in text and "EPC" in text
+    assert "4/" in text  # 2 enclaves x (SECS + REG) recorded

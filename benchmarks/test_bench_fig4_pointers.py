@@ -1,0 +1,75 @@
+"""Figure 4 — the three pointer disciplines, censused over the corpus.
+
+The paper's figure classifies pointers into (1) arguments to lower
+layers, (2) trusted pointers from the bottom layer, (3) RData handles
+from middle layers.  The bench counts each case statically over the
+corpus and additionally *exercises* the semantics of each kind.  The
+benchmark times the static classification.
+"""
+
+import pytest
+
+from repro.ccal.pointers import (
+    PointerCase, classify_pointer_flows, count_by_case,
+)
+from repro.errors import EncapsulationViolation
+from repro.mir.builder import ProgramBuilder
+from repro.mir.types import U64
+from repro.reporting import fig4_pointer_cases
+
+
+def _augmented_program(model):
+    """The corpus plus one explicit case-1 caller (a &local passed down),
+    so all three flows appear in the census like in the figure."""
+    pb = ProgramBuilder()
+    fb = pb.function("demo_case1", [], U64, layer="PtMap")
+    fb.assign("x", 0)
+    fb.ref("p", "x")
+    fb.call("_1", "read_entry", [0, 0])  # downward call
+    fb.call("_2", "demo_reader", ["p"])
+    fb.ret("_2")
+    fb.finish()
+    fb = pb.function("demo_reader", ["ptr"], U64, layer="PtEntryIo")
+    fb.ret(0)
+    fb.finish()
+    # A case-3 client: a hypercall-layer function receiving an opaque
+    # AddrSpace handle from the middle layer.
+    fb = pb.function("demo_case3", [], U64, layer="Hypercalls")
+    fb.call("h", "as_new", [])
+    fb.call("_0", "as_root", ["h"])
+    fb.ret()
+    fb.finish()
+    program = model.program.merged_with(pb.build())
+    layer_map = dict(model.layer_map)
+    layer_map["demo_case1"] = "PtMap"
+    layer_map["demo_reader"] = "PtEntryIo"
+    layer_map["demo_case3"] = "Hypercalls"
+    return program, layer_map
+
+
+def test_bench_fig4(benchmark, model, emit):
+    program, layer_map = _augmented_program(model)
+
+    flows = benchmark(classify_pointer_flows, program, layer_map,
+                      model.stack)
+    counts = count_by_case(flows)
+    emit("fig4_pointer_classification", fig4_pointer_cases(flows))
+
+    # Shape: all three disciplines are present in a realistic corpus.
+    assert counts[PointerCase.ARG_TO_LOWER] >= 1
+    assert counts[PointerCase.TRUSTED_FROM_BOTTOM] >= 3
+    assert counts[PointerCase.RDATA_FROM_MIDDLE] >= 1
+
+    # Dynamic semantics of case 3: an RData handle dereferenced outside
+    # its owner layer must raise (the encapsulation guarantee).
+    from repro.mir.ast import Copy, Use, place
+    from repro.mir.value import RDataPtr
+    pb = ProgramBuilder()
+    fb = pb.function("intruder", ["h"], U64, layer="Hypercalls")
+    fb.assign("_0", Use(Copy(place("h").deref())))
+    fb.ret()
+    fb.finish()
+    from repro.mir.interp import Interpreter
+    interp = Interpreter(pb.build())
+    with pytest.raises(EncapsulationViolation):
+        interp.call("intruder", [RDataPtr("AddrSpace", "as", (0,))])

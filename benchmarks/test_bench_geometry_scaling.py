@@ -1,0 +1,60 @@
+"""Geometry scaling: the tiny checking geometry vs production x86-64.
+
+Shape claim: the same code paths handle both geometries, and the
+boot-time page-table cost stays near-constant thanks to huge-page
+mapping (1 GiB spans at x86 scale) even though physical memory grows by
+four orders of magnitude.  The benchmark times the x86-64 boot +
+enclave lifecycle + invariant sweep — the expensive end of the scale.
+"""
+
+from repro.hyperenclave.constants import MemoryLayout, TINY, X86_64
+from repro.hyperenclave.monitor import RustMonitor
+from repro.reporting import render_table
+from repro.security import check_all_invariants
+
+
+def lifecycle(config, layout=None):
+    monitor = RustMonitor(config, layout=layout)
+    primary_os = monitor.primary_os
+    page = config.page_size
+    src = config.frame_base(primary_os.reserve_data_frame())
+    mbuf = config.frame_base(primary_os.reserve_data_frame())
+    elrange = 64 * page
+    eid = monitor.hc_create(elrange, 2 * page, 32 * page, mbuf, page)
+    monitor.hc_add_page(eid, elrange, src)
+    monitor.hc_init(eid)
+    monitor.hc_enter(eid)
+    monitor.hc_exit(eid)
+    report = check_all_invariants(monitor)
+    return monitor, report
+
+
+def test_bench_geometry_scaling(benchmark, emit):
+    x86_layout = MemoryLayout.compact_for(X86_64)
+
+    monitor_x86, report_x86 = benchmark(lifecycle, X86_64, x86_layout)
+    assert report_x86.ok
+
+    monitor_tiny, report_tiny = lifecycle(TINY)
+    assert report_tiny.ok
+
+    rows = []
+    for label, config, monitor in (
+            ("tiny", TINY, monitor_tiny),
+            ("x86_64", X86_64, monitor_x86)):
+        rows.append([
+            label,
+            config.levels,
+            config.entries_per_table,
+            f"{config.phys_bytes // 1024} KiB",
+            monitor.pt_allocator.used_count,
+        ])
+    emit("geometry_scaling",
+         render_table(["Geometry", "Levels", "Entries/table",
+                       "Phys mem", "PT frames after lifecycle"],
+                      rows, title="Geometry scaling — tiny vs x86-64"))
+
+    # Shape: boot+lifecycle PT cost grows sub-linearly (huge pages):
+    # four orders of magnitude more memory, same order of table frames.
+    assert monitor_x86.pt_allocator.used_count < \
+        4 * monitor_tiny.pt_allocator.used_count

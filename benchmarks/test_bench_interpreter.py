@@ -1,0 +1,31 @@
+"""Framework microbench: small-step interpreter throughput.
+
+Not a paper artifact; the datum that contextualises every other bench —
+how fast the MIR semantics execute.  Workload: the full multi-level
+``map_page``/``translate_page`` cycle through the corpus, heavy in
+calls, trusted-pointer dispatch, and loops.
+"""
+
+from repro.hyperenclave.constants import TINY
+from repro.mir.value import mk_u64
+
+PAGE = TINY.page_size
+
+
+def test_bench_interpreter_steps(benchmark, model):
+    def map_translate_unmap_cycle():
+        interp = model.make_interpreter()
+        root = interp.call("alloc_frame").value
+        for page_no in (0, 1, 17, 42, 63):
+            interp.call("map_page", [root, mk_u64(page_no * PAGE),
+                                     mk_u64((page_no % 8) * PAGE),
+                                     mk_u64(7)])
+        for page_no in (0, 1, 17, 42, 63):
+            interp.call("translate_page",
+                        [root, mk_u64(page_no * PAGE + 8)])
+        for page_no in (0, 1, 17, 42, 63):
+            interp.call("unmap_page", [root, mk_u64(page_no * PAGE)])
+        return interp.steps
+
+    steps = benchmark(map_translate_unmap_cycle)
+    assert steps > 1000  # a substantial small-step workload

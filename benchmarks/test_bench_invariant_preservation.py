@@ -1,0 +1,101 @@
+"""Sec. 5.2 — "we prove that the hypercalls preserve them", measured.
+
+Drives long random hypercall/guest-action traces and sweeps all five
+invariant families after *every* applied step, tallying preservation per
+hypercall kind.  The benchmark times the whole campaign — the cost of
+checking what the paper proves once and for all.
+"""
+
+import random
+
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.monitor import RustMonitor
+from repro.errors import HypervisorError, TranslationFault
+from repro.reporting import render_table
+from repro.security import check_all_invariants
+
+PAGE = TINY.page_size
+
+
+def run_campaign(seed, rounds=120):
+    rng = random.Random(seed)
+    monitor = RustMonitor(TINY)
+    primary_os = monitor.primary_os
+    src = TINY.frame_base(primary_os.reserve_data_frame())
+    mbufs = [TINY.frame_base(primary_os.reserve_data_frame())
+             for _ in range(3)]
+    live = []
+    stats = {}
+    failures = []
+
+    def record(kind, applied):
+        entry = stats.setdefault(kind, [0, 0])
+        entry[0] += 1
+        if applied:
+            entry[1] += 1
+
+    for _ in range(rounds):
+        kind = rng.choice(["create", "add_page", "aug_page",
+                           "remove_page", "init", "enter_exit",
+                           "destroy", "guest_write"])
+        applied = True
+        try:
+            if kind == "create":
+                slot = rng.randrange(3)
+                eid = monitor.hc_create(
+                    (16 + 16 * slot) * PAGE, 2 * PAGE,
+                    (4 + slot) * PAGE, mbufs[slot], PAGE)
+                live.append((eid, slot))
+            elif kind == "add_page" and live:
+                eid, slot = rng.choice(live)
+                monitor.hc_add_page(
+                    eid, (16 + 16 * slot) * PAGE + rng.choice([0, PAGE]),
+                    src)
+            elif kind == "aug_page" and live:
+                eid, slot = rng.choice(live)
+                monitor.hc_aug_page(
+                    eid, (16 + 16 * slot) * PAGE + rng.choice([0, PAGE]))
+            elif kind == "remove_page" and live:
+                eid, slot = rng.choice(live)
+                monitor.hc_remove_page(
+                    eid, (16 + 16 * slot) * PAGE + rng.choice([0, PAGE]))
+            elif kind == "init" and live:
+                monitor.hc_init(rng.choice(live)[0])
+            elif kind == "enter_exit" and live:
+                eid = rng.choice(live)[0]
+                monitor.hc_enter(eid)
+                monitor.hc_exit(eid)
+            elif kind == "destroy" and live:
+                victim = rng.choice(live)
+                monitor.hc_destroy(victim[0])
+                live.remove(victim)
+            elif kind == "guest_write":
+                primary_os.gpa_write_word(
+                    rng.randrange(0, 0x3000, 8), rng.getrandbits(64))
+            else:
+                applied = False
+        except (HypervisorError, TranslationFault):
+            applied = False
+        record(kind, applied)
+        report = check_all_invariants(monitor)
+        if not report.ok:
+            failures.append((kind, str(report)))
+    return stats, failures
+
+
+def test_bench_invariant_preservation(benchmark, emit):
+    stats, failures = benchmark(run_campaign, 42)
+    assert failures == [], failures[:3]
+
+    rows = [[kind, attempted, applied]
+            for kind, (attempted, applied) in sorted(stats.items())]
+    rows.append(["TOTAL", sum(a for a, _ in stats.values()),
+                 sum(b for _, b in stats.values())])
+    emit("invariant_preservation",
+         render_table(["Action", "Attempted", "Applied (invariants "
+                       "re-checked after each)"], rows,
+                      title="Sec. 5.2 — invariant preservation per "
+                            "hypercall"))
+    # Every hypercall kind must actually have been exercised.
+    assert set(stats) >= {"create", "add_page", "init", "enter_exit",
+                          "destroy"}

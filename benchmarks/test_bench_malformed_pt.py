@@ -1,0 +1,82 @@
+"""Sec. 4.1 bug study — "Malformed Page Tables in the Wild".
+
+The shallow-copy enclave-PT initialisation must be *unprovable*: the
+abstraction function α refuses to produce a tree view (so the refinement
+relation R cannot be established), and the residency invariant flags the
+guest-resident table frames.  The benchmark times the α attempt on both
+the malformed and the well-formed table — the cost of the refinement
+check that would have caught the real bug.
+"""
+
+import pytest
+
+from repro.hyperenclave.buggy import ShallowCopyMonitor
+from repro.hyperenclave.constants import TINY
+from repro.reporting import render_table
+from repro.security import check_pt_residency
+from repro.spec import AbstractionFailure, abstract_table, relation_r, tree_empty
+from repro.spec.relation import flat_state_of_page_table
+
+from benchmarks.conftest import build_world
+
+PAGE = TINY.page_size
+
+
+def build_malformed():
+    monitor = ShallowCopyMonitor(TINY)
+    primary_os = monitor.primary_os
+    app = primary_os.spawn_app(1)
+    primary_os.app_map_data(app, 16 * PAGE)
+    mbuf = TINY.frame_base(primary_os.reserve_data_frame())
+    eid = monitor.hc_create_from_app(app, 16 * PAGE, 2 * PAGE, 4 * PAGE,
+                                     mbuf, PAGE)
+    return monitor, monitor.enclaves[eid]
+
+
+def flat_of(monitor, table):
+    layout = monitor.layout
+    return flat_state_of_page_table(
+        table, layout.pt_pool_base, layout.epc_base - layout.pt_pool_base)
+
+
+def test_bench_malformed_page_tables(benchmark, emit):
+    bad_monitor, bad_enclave = build_malformed()
+    good_monitor, _app, good_eid = build_world()
+    good_enclave = good_monitor.enclaves[good_eid]
+
+    bad_flat = flat_of(bad_monitor, bad_enclave.gpt)
+    good_flat = flat_of(good_monitor, good_enclave.gpt)
+
+    def refinement_attempt():
+        refused = False
+        try:
+            abstract_table(bad_flat, bad_enclave.gpt.root_frame)
+        except AbstractionFailure:
+            refused = True
+        good_tree = abstract_table(good_flat,
+                                   good_enclave.gpt.root_frame)
+        return refused, relation_r(good_tree, good_flat,
+                                   good_enclave.gpt.root_frame)
+
+    refused, good_related = benchmark(refinement_attempt)
+    assert refused, "the malformed table must have no tree abstraction"
+    assert good_related
+
+    residency = check_pt_residency(bad_monitor)
+    rows = [
+        ["shallow-copy init", "α(flat)", "REFUSED (no tree view)"],
+        ["shallow-copy init", "R provable", "NO — as in the paper"],
+        ["shallow-copy init", "pt-residency invariant",
+         f"{len(residency)} violations"],
+        ["from-scratch init", "α(flat)", "succeeds"],
+        ["from-scratch init", "R provable", "YES"],
+        ["from-scratch init", "pt-residency invariant",
+         f"{len(check_pt_residency(good_monitor))} violations"],
+    ]
+    emit("malformed_page_tables",
+         render_table(["Design", "Check", "Outcome"], rows,
+                      title="Sec. 4.1 — malformed page tables in the wild"))
+    assert residency
+    assert not check_pt_residency(good_monitor)
+    assert not relation_r(tree_empty(TINY), bad_flat,
+                          bad_enclave.gpt.root_frame)

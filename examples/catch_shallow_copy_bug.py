@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The Sec. 4.1 bug study: "Malformed Page Tables in the Wild".
+
+During HyperEnclave's development, enclave page tables were once
+initialised by shallow-copying the primary OS's top-level table — leaving
+pointers to intermediate tables that live in *guest-controlled* memory.
+The paper's argument: such a design is unprovable, because the refinement
+relation R requires every table frame to be inside the monitor's frame
+area.
+
+This example reproduces the whole story:
+
+1. build the buggy monitor and create an enclave the insecure way,
+2. show the abstraction function α refusing to produce a tree view
+   (the "no way to prove R" moment),
+3. show the page-table-residency invariant flagging the same design,
+4. show the exploit the bug enables: the OS rewrites a table it owns and
+   redirects the enclave's translation,
+5. show the fixed monitor passing all of the above.
+
+Run:  python examples/catch_shallow_copy_bug.py
+"""
+
+from repro.hyperenclave import RustMonitor, pte
+from repro.hyperenclave.buggy import ShallowCopyMonitor
+from repro.hyperenclave.constants import TINY
+from repro.security import check_pt_residency
+from repro.spec import AbstractionFailure, abstract_table
+from repro.spec.relation import flat_state_of_page_table
+
+PAGE = TINY.page_size
+
+
+def build_buggy():
+    monitor = ShallowCopyMonitor(TINY)
+    primary_os = monitor.primary_os
+    app = primary_os.spawn_app(1)
+    primary_os.app_map_data(app, 16 * PAGE)
+    mbuf_pa = TINY.frame_base(primary_os.reserve_data_frame())
+    eid = monitor.hc_create_from_app(app, 16 * PAGE, 2 * PAGE,
+                                     4 * PAGE, mbuf_pa, PAGE)
+    return monitor, app, eid
+
+
+def flat_view(monitor, table):
+    layout = monitor.layout
+    return flat_state_of_page_table(
+        table, layout.pt_pool_base,
+        layout.epc_base - layout.pt_pool_base)
+
+
+def main():
+    monitor, app, eid = build_buggy()
+    enclave = monitor.enclaves[eid]
+
+    # 1. Where do the enclave's table frames live?
+    guest_frames = [f for f in enclave.gpt.table_frames()
+                    if monitor.layout.is_untrusted(f)]
+    print(f"enclave GPT table frames in GUEST memory: {guest_frames}")
+
+    # 2. The refinement relation is unprovable: α refuses.
+    try:
+        abstract_table(flat_view(monitor, enclave.gpt),
+                       enclave.gpt.root_frame)
+        raise SystemExit("BUG: the malformed table abstracted fine")
+    except AbstractionFailure as failure:
+        print(f"α(flat) refused: {failure}")
+
+    # 3. The residency invariant flags it too.
+    for violation in check_pt_residency(monitor):
+        print(f"invariant violation: {violation}")
+
+    # 4. The exploit: the OS owns those intermediate tables, so it can
+    #    redirect the enclave's address translation with a plain store.
+    victim_frame = guest_frames[0]
+    primary_os = monitor.primary_os
+    hostile_entry = pte.pte_new(TINY.frame_base(1), pte.table_flags(),
+                                TINY)
+    primary_os.gpa_write_word(TINY.frame_base(victim_frame),
+                              hostile_entry)
+    print("primary OS rewrote the enclave's page-table entry "
+          "with one guest store — translation is now OS-controlled")
+
+    # 5. The fixed design: from-scratch tables; everything passes.
+    fixed = RustMonitor(TINY)
+    src = TINY.frame_base(fixed.primary_os.reserve_data_frame())
+    mbuf = TINY.frame_base(fixed.primary_os.reserve_data_frame())
+    good_eid = fixed.hc_create(16 * PAGE, 2 * PAGE, 4 * PAGE, mbuf, PAGE)
+    fixed.hc_add_page(good_eid, 16 * PAGE, src)
+    good = fixed.enclaves[good_eid]
+    tree = abstract_table(flat_view(fixed, good.gpt),
+                          good.gpt.root_frame)
+    print(f"fixed monitor: α(flat) succeeds "
+          f"({len(list(tree.present_indices()))} root entries), "
+          f"residency violations: {check_pt_residency(fixed)}")
+
+
+if __name__ == "__main__":
+    main()

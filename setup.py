@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and lacks the ``wheel`` package,
+so PEP-517 editable installs are unavailable; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``pip install -e .`` on environments with wheel) fall back to
+``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Verifying Rust Implementation of Page Tables in a
+Software Enclave Hypervisor" (ASPLOS 2024).
+
+The package rebuilds both sides of the paper:
+
+* the *system under verification* — an executable model of HyperEnclave's
+  memory subsystem (:mod:`repro.hyperenclave`), and
+* the *verification system* — the MIRVerif framework: a lightweight MIR
+  semantics (:mod:`repro.mir`), a CCAL-style layered framework
+  (:mod:`repro.ccal`), a bounded symbolic executor (:mod:`repro.symbolic`),
+  functional specifications and refinement relations (:mod:`repro.spec`),
+  and security properties (:mod:`repro.security`).
+
+Because faithful Coq proofs cannot be reproduced in Python, every theorem
+of the paper is reproduced as a *checkable property*: exhaustive bounded
+model checking, co-simulation refinement testing, and property-based
+testing.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.errors import (
+    ReproError,
+    MirError,
+    MirTypeError,
+    MirRuntimeError,
+    EncapsulationViolation,
+    OutOfFuel,
+    SpecError,
+    RefinementFailure,
+    InvariantViolation,
+    NoninterferenceViolation,
+    HypervisorError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "MirError",
+    "MirTypeError",
+    "MirRuntimeError",
+    "EncapsulationViolation",
+    "OutOfFuel",
+    "SpecError",
+    "RefinementFailure",
+    "InvariantViolation",
+    "NoninterferenceViolation",
+    "HypervisorError",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Call-graph analysis, layer inference, and effort accounting.
+
+* :mod:`repro.analysis.blob` — the paper's "ad-hoc scripts" (Sec. 3.3),
+  done properly: split the mirlightgen "big blob" into per-function
+  sources and order functions into layers from the call graph,
+* :mod:`repro.analysis.effort` — the Table 1 / Sec. 6 accounting:
+  component line counts, the mirlight expansion factor, and the
+  checker-per-line ratio compared against the paper's 1.25 and SeKVM's
+  2.16.
+"""
+
+from repro.analysis.blob import (
+    call_graph,
+    split_blob,
+    infer_layer_indices,
+    layering_consistency,
+)
+from repro.analysis.effort import (
+    PAPER_TABLE1,
+    PAPER_RATIOS,
+    measure_components,
+    corpus_mirlight_loc,
+    proof_effort_summary,
+)
+
+__all__ = [
+    "call_graph", "split_blob", "infer_layer_indices",
+    "layering_consistency",
+    "PAPER_TABLE1", "PAPER_RATIOS", "measure_components",
+    "corpus_mirlight_loc", "proof_effort_summary",
+]

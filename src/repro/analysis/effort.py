@@ -1,0 +1,125 @@
+"""Proof-effort accounting — the Table 1 / Sec. 6 reproduction.
+
+Holds the paper's published numbers as constants and measures the
+corresponding artifacts of *this* reproduction, so the bench can print
+them side by side.  Person-year columns obviously cannot be re-measured;
+they are reported from the paper only.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.audit.loc import LocCount, count_package, count_text
+from repro.mir.printer import print_program
+
+# Table 1, verbatim from the paper (lines; py = person-years).
+PAPER_TABLE1 = (
+    # (component, lines, effort-py or None)
+    ("HyperEnclave", 5881, None),
+    ("HyperEnclave undergone verification", 2130, None),
+    ("MIRVerif framework", 3778, 0.6),
+    ("Page table refinement proofs", 4394, 0.3),
+    ("Code specifications/models", 2445, 1.2),   # 1.2py spans this row
+    ("Code proofs", 4191, None),                 # ...and this one
+    ("Top-level specifications/models", 2015, 0.9),
+    ("Top-level proofs", 6600, None),
+)
+
+# Sec. 6 ratios and counts.
+PAPER_RATIOS = {
+    "verified_functions": 49,
+    "total_functions": 77,
+    "layers": 15,
+    "verified_rust_loc": 1279,
+    "memory_module_rust_loc": 1279,
+    "mirlight_loc": 3358,
+    "proof_loc": 4191,
+    "proof_per_mir_line": 1.25,
+    "sekvm_proof_loc": 4884,
+    "sekvm_c_loc": 2260,
+    "sekvm_proof_per_line": 2.16,
+    "noninterference_proof_loc": 6600,
+    "effort_split": {"framework": 0.20, "invariants+noninterference": 0.30,
+                     "page-table refinement": 0.10, "code proofs": 0.40},
+    "unsafe_blocks": 105,
+    "unsafe_indirect_calls": 74,
+    "unsafe_raw_derefs": 13,
+}
+
+
+def _src_root():
+    import repro
+    return os.path.dirname(repro.__file__)
+
+
+# Component name -> subpackages of this reproduction that play the role.
+COMPONENT_MAP = {
+    "HyperEnclave (system model)": ("hyperenclave",),
+    "HyperEnclave undergone verification (mirlight corpus)":
+        (os.path.join("hyperenclave", "mir_model"),),
+    "MIRVerif framework (mir+ccal+symbolic)":
+        ("mir", "ccal", "symbolic"),
+    "Page table refinement (spec package)": ("spec",),
+    "Code specifications + proofs (verification)": ("verification",),
+    "Top-level specifications/models (security)": ("security",),
+    "Analysis & audit tooling": ("analysis", "audit", "reporting"),
+}
+
+
+def measure_components(include_harness=True) -> Dict[str, LocCount]:
+    """Line counts of this reproduction's components.
+
+    With ``include_harness`` the test suite and bench harness are
+    reported too (the paper's Coq proof scripts play both roles at
+    once; in this reproduction they are separate artifacts).
+    """
+    root = _src_root()
+    measured = {}
+    for component, subdirs in COMPONENT_MAP.items():
+        total = LocCount()
+        for subdir in subdirs:
+            total = total + count_package(os.path.join(root, subdir))
+        measured[component] = total
+    if include_harness:
+        repo_root = os.path.dirname(os.path.dirname(root))
+        for component, subdir in (("Test suite", "tests"),
+                                  ("Benchmark harness", "benchmarks"),
+                                  ("Examples", "examples")):
+            path = os.path.join(repo_root, subdir)
+            if os.path.isdir(path):
+                measured[component] = count_package(path)
+    return measured
+
+
+def corpus_mirlight_loc(model) -> LocCount:
+    """Lines of the printed mirlight corpus (the coqwc -s analog)."""
+    return count_text(print_program(model.program), language="mirlight")
+
+
+@dataclass
+class EffortSummary:
+    """Our measured analog of the Sec. 6 ratios."""
+
+    corpus_functions: int
+    corpus_layers: int
+    mirlight_code_loc: int
+    checker_code_loc: int
+
+    @property
+    def checker_per_mir_line(self):
+        return self.checker_code_loc / max(self.mirlight_code_loc, 1)
+
+
+def proof_effort_summary(model) -> EffortSummary:
+    """Measure this reproduction's Sec. 6 quantities."""
+    root = _src_root()
+    checker = count_package(os.path.join(root, "verification"))
+    mirlight = corpus_mirlight_loc(model)
+    layers_used = {fn.layer for fn in model.program.functions.values()}
+    return EffortSummary(
+        corpus_functions=len(model.program.functions),
+        corpus_layers=len(model.stack) if model.stack else len(layers_used),
+        mirlight_code_loc=mirlight.code,
+        checker_code_loc=checker.code,
+    )

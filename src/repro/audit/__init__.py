@@ -1,0 +1,32 @@
+"""Evaluation tooling: line counting and the unsafe-block audit (Sec. 6).
+
+* :mod:`repro.audit.loc` — a ``coqwc``-style counter (code / comment /
+  blank / docstring split) over Python sources and mirlight dumps,
+  feeding the Table 1 reproduction,
+* :mod:`repro.audit.unsafe_scan` — the Sec. 6.1 audit: find every
+  ``unsafe`` block in a Rust source tree and classify it (indirect call
+  / raw-pointer dereference / inline assembly / slice construction ...),
+* :mod:`repro.audit.rust_corpus` — a synthesized Rust source mirror of
+  HyperEnclave's unsafe-block distribution (105 blocks: 74 indirect
+  calls, 13 raw-pointer dereferences, 18 others; none touching page
+  tables) for the scanner to audit, since the original tree is not
+  redistributable here.
+"""
+
+from repro.audit.loc import LocCount, count_source, count_package, count_text
+from repro.audit.unsafe_scan import (
+    UnsafeBlock,
+    UnsafeCategory,
+    scan_source,
+    scan_tree,
+    classify_summary,
+    blocks_touching_page_tables,
+)
+from repro.audit.rust_corpus import generate_rust_corpus, CORPUS_DISTRIBUTION
+
+__all__ = [
+    "LocCount", "count_source", "count_package", "count_text",
+    "UnsafeBlock", "UnsafeCategory", "scan_source", "scan_tree",
+    "classify_summary", "blocks_touching_page_tables",
+    "generate_rust_corpus", "CORPUS_DISTRIBUTION",
+]

@@ -1,0 +1,78 @@
+"""A synthesized Rust source mirror for the unsafe audit.
+
+The original HyperEnclave tree (2022 snapshot) is not redistributable
+here, so the Sec. 6.1 audit runs against a *generated* source corpus
+that mirrors the paper's reported distribution exactly:
+
+* 105 unsafe blocks in total,
+* 74 indirect calls to unsafe functions (incl. slice construction,
+  state-save-area manipulation, and assembly *behind* named unsafe fns),
+* 13 raw-pointer dereferences — none involving page-table memory,
+* 18 other blocks (direct inline assembly, slice construction,
+  transmutes, static-mut accesses).
+
+The generator is deterministic; the bench asserts the scanner recovers
+the distribution bit-for-bit, demonstrating that the *audit tooling*
+(the reproducible part of a manual audit) is sound on a tree of the
+paper's shape.
+"""
+
+from repro.audit.unsafe_scan import UnsafeCategory
+
+# category -> count; totals 105, matching Sec. 6.1.
+CORPUS_DISTRIBUTION = {
+    UnsafeCategory.INDIRECT_CALL: 74,
+    UnsafeCategory.RAW_DEREF: 13,
+    UnsafeCategory.ASM: 8,
+    UnsafeCategory.SLICE: 6,
+    UnsafeCategory.TRANSMUTE: 2,
+    UnsafeCategory.STATIC_MUT: 2,
+}
+
+# Block bodies per category.  Raw derefs deliberately target vCPU
+# state-save areas and MSR scratch buffers — never page tables — so
+# ``blocks_touching_page_tables`` comes back empty like the paper's audit.
+_TEMPLATES = {
+    UnsafeCategory.INDIRECT_CALL: (
+        "        unsafe {{ vmcs_write(field_{i}, value) }}\n",
+        "        unsafe {{ self.save_area.restore_gprs_{i}() }}\n",
+        "        unsafe {{ arch::wrmsr(MSR_{i}, low, high) }}\n",
+        "        unsafe {{ percpu::current_{i}().activate() }}\n",
+    ),
+    UnsafeCategory.RAW_DEREF: (
+        "        let v = unsafe {{ *(ssa_ptr.add({i})) }};\n",
+        "        unsafe {{ *scratch_ptr = seed_{i} }}\n",
+    ),
+    UnsafeCategory.ASM: (
+        '        unsafe {{ asm!("vmlaunch", options(noreturn)) }} // site {i}\n',
+    ),
+    UnsafeCategory.SLICE: (
+        "        let bytes = unsafe {{ core::slice::from_raw_parts"
+        "(base_{i}, len) }};\n",
+    ),
+    UnsafeCategory.TRANSMUTE: (
+        "        let header = unsafe {{ core::mem::transmute::<_, "
+        "Header{i}>(word) }};\n",
+    ),
+    UnsafeCategory.STATIC_MUT: (
+        "        unsafe {{ BOOT_INFO_{i} = Some(info) }}\n",
+    ),
+}
+
+_FILES = ("src/arch/vmx.rs", "src/arch/context.rs", "src/enclave/ssa.rs",
+          "src/hypercall.rs", "src/percpu.rs", "src/serial.rs")
+
+
+def generate_rust_corpus():
+    """``{filename: source}`` with exactly the Sec. 6.1 distribution."""
+    per_file = {name: [f"// synthesized audit mirror: {name}\n"]
+                for name in _FILES}
+    site = 0
+    for category, count in CORPUS_DISTRIBUTION.items():
+        templates = _TEMPLATES[category]
+        for index in range(count):
+            body = templates[index % len(templates)].format(i=site)
+            target = _FILES[site % len(_FILES)]
+            per_file[target].append(f"fn site_{site}() {{\n{body}}}\n\n")
+            site += 1
+    return {name: "".join(chunks) for name, chunks in per_file.items()}

@@ -1,0 +1,56 @@
+"""CCAL-style layered verification, extended to Rust/MIR (Sec. 3.4).
+
+The Certified Concurrent Abstraction Layers methodology views function
+executions as relations between *abstract states* and arranges functions
+in a dependency hierarchy of *layers*: a proof in a high layer sees only
+the specifications of the layer below, never its code.  This subpackage
+reproduces that machinery as executable checking:
+
+* :mod:`repro.ccal.absstate` — immutable abstract states and the ZMap
+  persistent map used by the tree-shaped page-table specification,
+* :mod:`repro.ccal.spec` — functional specifications with the paper's
+  ``Args * AbsState -> Ret * AbsState`` shape,
+* :mod:`repro.ccal.layer` — layer objects, interface export, stack
+  assembly with caller-callee order checks,
+* :mod:`repro.ccal.pointers` — factories and classification for the
+  three pointer disciplines (concrete / trusted / RData),
+* :mod:`repro.ccal.refinement` — co-simulation refinement checking: the
+  Python stand-in for the paper's Coq simulation proofs.
+"""
+
+from repro.ccal.absstate import AbsState
+from repro.ccal.zmap import ZMap
+from repro.ccal.spec import Spec, pure_spec, state_spec
+from repro.ccal.layer import Layer, LayerStack
+from repro.ccal.pointers import (
+    trusted_field_ptr,
+    trusted_cell_ptr,
+    rdata_handle,
+    PointerCase,
+    classify_pointer_flows,
+)
+from repro.ccal.refinement import (
+    RefinementRelation,
+    CoSimChecker,
+    CheckReport,
+    mir_impl,
+)
+
+__all__ = [
+    "AbsState",
+    "ZMap",
+    "Spec",
+    "pure_spec",
+    "state_spec",
+    "Layer",
+    "LayerStack",
+    "trusted_field_ptr",
+    "trusted_cell_ptr",
+    "rdata_handle",
+    "PointerCase",
+    "classify_pointer_flows",
+    "RefinementRelation",
+    "CoSimChecker",
+    "CheckReport",
+    "mir_impl",
+]

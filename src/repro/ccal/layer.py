@@ -1,0 +1,164 @@
+"""Layers and layer stacks.
+
+"The system will be divided into layers of functions depending on the
+caller-callee order. ... The design of HyperEnclave ensures that there
+are no functions from higher layers passed as callbacks to lower layers."
+(Sec. 3.4)
+
+A :class:`Layer` owns some abstract-state fields and exports primitives
+(specifications).  A :class:`LayerStack` assembles layers bottom-up and
+enforces the structural rules the paper relies on:
+
+* a layer's interface is its own primitives plus everything below
+  (pass-through),
+* no two layers own the same abstract-state field,
+* MIR code assigned to a layer may only call primitives exported at or
+  below that layer — checked against each function's call list, the
+  executable form of "a correctness proof of a function in a high layer
+  may depend on the correctness of a function in a lower layer".
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import LayerError
+from repro.ccal.spec import Spec
+
+
+@dataclass
+class Layer:
+    """One abstraction layer."""
+
+    name: str
+    index: int
+    primitives: Dict[str, Spec] = field(default_factory=dict)
+    owned_fields: Tuple[str, ...] = ()
+    doc: str = ""
+
+    def add_primitive(self, spec):
+        """Export a specification from this layer."""
+        if spec.name in self.primitives:
+            raise LayerError(
+                f"layer {self.name} already exports {spec.name!r}")
+        spec.layer = self.name
+        self.primitives[spec.name] = spec
+        return spec
+
+    def primitive(self, name):
+        return self.primitives[name]
+
+    def __contains__(self, name):
+        return name in self.primitives
+
+
+class LayerStack:
+    """An ordered collection of layers, bottom (index 0) to top."""
+
+    def __init__(self):
+        self._layers: List[Layer] = []
+        self._by_name: Dict[str, Layer] = {}
+
+    # -- assembly ---------------------------------------------------------------
+
+    def push(self, name, primitives=(), owned_fields=(), doc=""):
+        """Add a layer on top of the current stack."""
+        if name in self._by_name:
+            raise LayerError(f"duplicate layer {name!r}")
+        for owned in owned_fields:
+            owner = self.owner_of_field(owned)
+            if owner is not None:
+                raise LayerError(
+                    f"field {owned!r} claimed by both {owner.name!r} "
+                    f"and {name!r}"
+                )
+        layer = Layer(name=name, index=len(self._layers),
+                      owned_fields=tuple(owned_fields), doc=doc)
+        for spec in primitives:
+            layer.add_primitive(spec)
+        self._layers.append(layer)
+        self._by_name[name] = layer
+        return layer
+
+    # -- queries -----------------------------------------------------------------
+
+    def layer(self, name):
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LayerError(f"no layer named {name!r}")
+
+    def layers(self):
+        return tuple(self._layers)
+
+    def __len__(self):
+        return len(self._layers)
+
+    def owner_of_field(self, field_name) -> Optional[Layer]:
+        """The layer owning an abstract-state field, or None."""
+        for layer in self._layers:
+            if field_name in layer.owned_fields:
+                return layer
+        return None
+
+    def owner_of_primitive(self, primitive_name) -> Optional[Layer]:
+        """The layer exporting a primitive, or None."""
+        for layer in self._layers:
+            if primitive_name in layer.primitives:
+                return layer
+        return None
+
+    def interface_at(self, name):
+        """All primitives visible to code in layer ``name``: its own plus
+        every lower layer's (pass-through)."""
+        top = self.layer(name)
+        visible = {}
+        for layer in self._layers[: top.index + 1]:
+            visible.update(layer.primitives)
+        return visible
+
+    # -- structural checks -----------------------------------------------------------
+
+    def check_call_order(self, program, layer_of_function):
+        """Verify no function calls upward.
+
+        ``layer_of_function`` maps MIR function names to layer names; a
+        function may call (a) other functions mapped at or below its own
+        layer, or (b) primitives exported at or below it.  Violations are
+        returned, empty means the caller-callee order holds.
+        """
+        violations = []
+        for fn_name, layer_name in sorted(layer_of_function.items()):
+            if fn_name not in program.functions:
+                continue
+            caller = self.layer(layer_name)
+            for callee in program.functions[fn_name].called_functions():
+                callee_layer = None
+                if callee in layer_of_function:
+                    callee_layer = self.layer(layer_of_function[callee])
+                else:
+                    callee_layer = self.owner_of_primitive(callee)
+                if callee_layer is None:
+                    violations.append(
+                        f"{fn_name} (layer {layer_name}) calls {callee}, "
+                        f"which no layer exports")
+                elif callee_layer.index > caller.index:
+                    violations.append(
+                        f"{fn_name} (layer {layer_name}, index "
+                        f"{caller.index}) calls upward into {callee} "
+                        f"(layer {callee_layer.name}, index "
+                        f"{callee_layer.index})")
+        return violations
+
+    def initial_state(self, field_values):
+        """Build an AbsState whose fields carry this stack's ownership."""
+        from repro.ccal.absstate import AbsState
+        state = AbsState()
+        for layer in self._layers:
+            for owned in layer.owned_fields:
+                if owned not in field_values:
+                    raise LayerError(
+                        f"no initial value supplied for field {owned!r} "
+                        f"(owned by layer {layer.name!r})")
+                state = state.with_field(owned, field_values[owned],
+                                         owner=layer.name)
+        return state

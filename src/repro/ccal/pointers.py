@@ -1,0 +1,198 @@
+"""The three pointer disciplines and their classification (Sec. 3.4, Fig. 4).
+
+Factories:
+
+* :func:`trusted_field_ptr` / :func:`trusted_cell_ptr` build
+  :class:`~repro.mir.value.TrustedPtr` values whose getter/setter read and
+  write a named abstract-state field (case 2 — pointers forged by the
+  bottom layer, e.g. into physical page-table memory),
+* :func:`rdata_handle` builds :class:`~repro.mir.value.RDataPtr` opaque
+  handles (case 3 — pointers returned by a middle layer).
+
+Concrete pointers (case 1) need no factory — they are ordinary
+:class:`~repro.mir.value.PathPtr` values produced by ``Ref``.
+
+:func:`classify_pointer_flows` statically scans a layered program and
+sorts every pointer-producing site into the three cases, regenerating the
+census behind Figure 4.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.mir import ast
+from repro.mir.value import RDataPtr, TrustedPtr, mk_int
+from repro.mir.types import U64
+
+
+def trusted_field_ptr(field_name, origin=None):
+    """A trusted pointer to a whole abstract-state field.
+
+    The field must hold a :class:`~repro.mir.value.Value`; reads return
+    it, writes replace it.
+    """
+    label = origin or f"state.{field_name}"
+
+    def getter(state):
+        return state.get(field_name)
+
+    def setter(state, value):
+        return state.set(field_name, value)
+
+    return TrustedPtr(origin=label, getter=getter, setter=setter)
+
+
+def trusted_cell_ptr(field_name, index, origin=None, ty=U64):
+    """A trusted pointer to one cell of a tuple-of-ints state field.
+
+    This is the paper's page-table-entry pointer: the abstract state
+    "contains the array representing physical memory", and the few unsafe
+    functions that cast integers to pointers get specifications returning
+    these (Sec. 3.4, case 2).
+    """
+    label = origin or f"state.{field_name}[{index}]"
+
+    def getter(state):
+        words = state.get(field_name)
+        return mk_int(words[index], ty)
+
+    def setter(state, value):
+        words = state.get(field_name)
+        as_int = value.expect_int(f"write through {label}")
+        updated = words[:index] + (as_int.as_unsigned,) + words[index + 1:]
+        return state.set(field_name, updated)
+
+    return TrustedPtr(origin=label, getter=getter, setter=setter)
+
+
+def rdata_handle(owner_layer, ident, *indices):
+    """An opaque handle usable only inside ``owner_layer`` (case 3)."""
+    return RDataPtr(owner_layer=owner_layer, ident=ident,
+                    indices=tuple(indices))
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 classification
+# ---------------------------------------------------------------------------
+
+
+class PointerCase(enum.Enum):
+    """The three flows of Figure 4."""
+
+    ARG_TO_LOWER = "argument-to-lower-layer"      # case 1
+    TRUSTED_FROM_BOTTOM = "trusted-from-bottom"   # case 2
+    RDATA_FROM_MIDDLE = "rdata-from-middle"       # case 3
+
+
+@dataclass(frozen=True)
+class PointerFlow:
+    """One classified pointer-producing site."""
+
+    case: PointerCase
+    function: str
+    layer: str
+    detail: str
+
+    def __str__(self):
+        return f"{self.case.value}: {self.function} ({self.layer}) — {self.detail}"
+
+
+def classify_pointer_flows(program, layer_of_function, stack) -> List[PointerFlow]:
+    """Scan a layered program and classify its pointer flows.
+
+    * **case 1**: a ``Ref``/``AddressOf`` result passed as an argument to
+      a callee in a strictly lower layer;
+    * **case 2**: a call to a primitive whose spec is marked
+      ``ptr_kind="trusted"`` (bottom layer forging trusted pointers);
+    * **case 3**: a call, from a *higher* layer, to a function or
+      primitive marked ``ptr_kind="rdata"`` (opaque handles crossing
+      upward).
+    """
+    flows = []
+    for fn_name in sorted(layer_of_function):
+        if fn_name not in program.functions:
+            continue
+        function = program.functions[fn_name]
+        layer_name = layer_of_function[fn_name]
+        caller_layer = stack.layer(layer_name)
+        pointer_vars = _pointer_producing_vars(function)
+        for label in sorted(function.blocks):
+            term = function.blocks[label].terminator
+            if not isinstance(term, ast.Call):
+                continue
+            callee = _callee_name(term)
+            if callee is None:
+                continue
+            callee_layer = _layer_of_callee(
+                callee, layer_of_function, stack)
+            if callee_layer is None:
+                continue
+            # case 1: locally-forged pointers flowing downward
+            if callee_layer.index < caller_layer.index:
+                for arg in term.args:
+                    if (isinstance(arg, (ast.Copy, ast.Move))
+                            and arg.place.var in pointer_vars):
+                        flows.append(PointerFlow(
+                            PointerCase.ARG_TO_LOWER, fn_name, layer_name,
+                            f"&{pointer_vars[arg.place.var]} passed to "
+                            f"{callee} in {label}"))
+            # cases 2 and 3: pointer-returning callees
+            spec = stack.owner_of_primitive(callee)
+            ptr_kind = _ptr_kind_of(callee, program, stack)
+            if ptr_kind == "trusted":
+                flows.append(PointerFlow(
+                    PointerCase.TRUSTED_FROM_BOTTOM, fn_name, layer_name,
+                    f"trusted pointer from {callee} in {label}"))
+            elif ptr_kind == "rdata" and callee_layer.index < caller_layer.index:
+                flows.append(PointerFlow(
+                    PointerCase.RDATA_FROM_MIDDLE, fn_name, layer_name,
+                    f"opaque handle from {callee} (layer "
+                    f"{callee_layer.name}) in {label}"))
+            del spec
+    return flows
+
+
+def count_by_case(flows) -> Dict[PointerCase, int]:
+    """Tally classified flows per pointer case."""
+    counts = {case: 0 for case in PointerCase}
+    for flow in flows:
+        counts[flow.case] += 1
+    return counts
+
+
+def _callee_name(term):
+    if isinstance(term.func, ast.Constant):
+        return getattr(term.func.value, "name", None)
+    return None
+
+
+def _layer_of_callee(callee, layer_of_function, stack):
+    if callee in layer_of_function:
+        return stack.layer(layer_of_function[callee])
+    return stack.owner_of_primitive(callee)
+
+
+def _ptr_kind_of(callee, program, stack):
+    owner = stack.owner_of_primitive(callee)
+    if owner is not None and callee in owner.primitives:
+        return getattr(owner.primitives[callee], "ptr_kind", None)
+    if callee in program.functions:
+        attrs = program.functions[callee].attrs
+        if "returns_rdata" in attrs:
+            return "rdata"
+        if "returns_trusted" in attrs:
+            return "trusted"
+    return None
+
+
+def _pointer_producing_vars(function):
+    """Vars assigned from Ref/AddressOf, mapped to a readable target."""
+    producing = {}
+    for block in function.blocks.values():
+        for stmt in block.statements:
+            if isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.rvalue, (ast.Ref, ast.AddressOf)):
+                if stmt.place.is_bare:
+                    producing[stmt.place.var] = str(stmt.rvalue.place)
+    return producing

@@ -1,0 +1,183 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the top level.  The sub-hierarchy mirrors
+the package layout: MIR semantics errors, CCAL specification errors,
+refinement-checking failures, and security-property violations.
+"""
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# MIR semantics errors
+# ---------------------------------------------------------------------------
+
+
+class MirError(ReproError):
+    """Base class for errors in the mirlight language and its semantics."""
+
+
+class MirParseError(MirError):
+    """The mirlight textual source could not be parsed."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class MirTypeError(MirError):
+    """A value was used at an incompatible type during evaluation.
+
+    The paper's semantics rely on rustc having already type-checked the
+    program, so hitting this during interpretation means the transcription
+    (our ``mirlightgen`` substitute) produced an ill-typed program.
+    """
+
+
+class MirRuntimeError(MirError):
+    """The operational semantics got stuck (no applicable step rule)."""
+
+
+class MirAssertError(MirRuntimeError):
+    """An ``assert`` terminator failed (models a Rust panic)."""
+
+    def __init__(self, message, function=None, block=None):
+        where = ""
+        if function is not None:
+            where = f" in {function}"
+            if block is not None:
+                where += f" (block {block})"
+        super().__init__(f"assertion failed{where}: {message}")
+        self.function = function
+        self.block = block
+
+
+class EncapsulationViolation(MirError):
+    """A pointer was dereferenced outside the layer that owns its pointee.
+
+    RData pointers (Sec. 3.4 case 3) are opaque handles: the semantics
+    provide no way to read or write through them, so any attempt from a
+    layer other than the forging layer raises this error.  Raising instead
+    of silently reading is exactly the encapsulation guarantee the paper's
+    layered proofs rely on.
+    """
+
+
+class OutOfFuel(MirError):
+    """The small-step machine exceeded its step budget.
+
+    Bounded checking intentionally cuts off runaway executions; for the
+    HyperEnclave corpus every function terminates well within default fuel.
+    """
+
+
+# ---------------------------------------------------------------------------
+# CCAL / specification errors
+# ---------------------------------------------------------------------------
+
+
+class SpecError(ReproError):
+    """A functional specification was violated or misused."""
+
+
+class SpecPreconditionError(SpecError):
+    """A specification was invoked on arguments outside its precondition."""
+
+
+class LayerError(ReproError):
+    """A layer stack was assembled inconsistently.
+
+    Examples: a function calling upward into a higher layer (the paper
+    requires a strict caller-callee order), or two layers claiming
+    ownership of the same abstract-state field.
+    """
+
+
+class RefinementFailure(ReproError):
+    """A co-simulation refinement check found a counterexample.
+
+    Carries the diverging pair so benches and tests can report the exact
+    witness, like a Coq proof failing with the offending goal.
+    """
+
+    def __init__(self, message, counterexample=None):
+        super().__init__(message)
+        self.counterexample = counterexample
+
+
+# ---------------------------------------------------------------------------
+# Security property violations
+# ---------------------------------------------------------------------------
+
+
+class SecurityError(ReproError):
+    """Base class for security property violations."""
+
+
+class InvariantViolation(SecurityError):
+    """One of the Sec. 5.2 page-table invariants does not hold.
+
+    ``invariant`` names the violated family (e.g. ``"elrange-isolation"``)
+    and ``witness`` carries the concrete offending addresses/entries.
+    """
+
+    def __init__(self, invariant, message, witness=None):
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+        self.witness = witness
+
+
+class NoninterferenceViolation(SecurityError):
+    """A step-wise noninterference lemma (5.2-5.4) found distinguishable states."""
+
+    def __init__(self, lemma, message, witness=None):
+        super().__init__(f"[{lemma}] {message}")
+        self.lemma = lemma
+        self.witness = witness
+
+
+# ---------------------------------------------------------------------------
+# HyperEnclave model errors
+# ---------------------------------------------------------------------------
+
+
+class HypervisorError(ReproError):
+    """Base class for errors raised by the HyperEnclave model itself."""
+
+
+class OutOfMemoryError(HypervisorError):
+    """The secure-memory frame allocator is exhausted."""
+
+
+class PagingError(HypervisorError):
+    """A page-table operation failed (already mapped, not mapped, bad VA...)."""
+
+
+class EpcmError(HypervisorError):
+    """EPCM bookkeeping rejected an operation (page busy, wrong owner...)."""
+
+
+class HypercallError(HypervisorError):
+    """A hypercall was rejected by RustMonitor's validation."""
+
+
+class TranslationFault(HypervisorError):
+    """An address translation (GPT or EPT walk) did not resolve.
+
+    Models the hardware page fault / EPT violation a real machine would
+    deliver; the security model treats faulting accesses as no-ops.
+    """
+
+    def __init__(self, message, stage=None, va=None):
+        super().__init__(message)
+        self.stage = stage  # "gpt" or "ept"
+        self.va = va

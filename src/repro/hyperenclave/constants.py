@@ -1,0 +1,245 @@
+"""Machine geometry and memory-layout constants.
+
+The paper hardcodes HyperEnclave's memory-layout constants during
+retrofitting (Sec. 2.3 rule 4, replacing ``lazy_static``); we follow
+suit: a :class:`MemoryLayout` is computed once from a
+:class:`MachineConfig` and then treated as plain constants everywhere.
+
+Two geometries ship:
+
+* :data:`X86_64` — the production shape: 4 paging levels, 9 index bits
+  per level (512-entry tables), 4 KiB pages, 64-bit entries.
+* :data:`TINY` — a checkable shape: 3 levels, 2 index bits (4-entry
+  tables), 32-byte pages, 11-bit virtual addresses.  Small enough that
+  invariant and noninterference checks can sweep the whole space, large
+  enough that every structural behaviour (multi-level walks, intermediate
+  allocation, aliasing) is exercised.
+"""
+
+from dataclasses import dataclass
+
+WORD_BYTES = 8
+
+
+class PteFlagBits:
+    """Bit positions of the page-table-entry flags (x86 EPT-style)."""
+
+    PRESENT = 0
+    WRITE = 1
+    USER = 2
+    ACCESSED = 5
+    DIRTY = 6
+    HUGE = 7
+    NX = 63
+
+    ALL = (PRESENT, WRITE, USER, ACCESSED, DIRTY, HUGE, NX)
+
+    NAMES = {
+        PRESENT: "P", WRITE: "W", USER: "U",
+        ACCESSED: "A", DIRTY: "D", HUGE: "H", NX: "NX",
+    }
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Paging geometry.
+
+    ``page_bits`` — log2 of the page size in bytes;
+    ``index_bits`` — log2 of entries per table (each entry 8 bytes);
+    ``levels`` — number of paging levels (level ``levels`` is the root,
+    level 1 entries are terminal);
+    ``phys_frames`` — total physical memory in frames.
+    """
+
+    name: str
+    page_bits: int
+    index_bits: int
+    levels: int
+    phys_frames: int
+
+    def __post_init__(self):
+        entry_bytes = (1 << self.index_bits) * WORD_BYTES
+        if entry_bytes > self.page_size:
+            raise ValueError(
+                f"{self.name}: a table ({entry_bytes} B) must fit in a "
+                f"page ({self.page_size} B)")
+        if self.page_bits < 8:
+            # The PTE address field starts at page_bits; the x86 flag
+            # layout (HUGE at bit 7) must sit strictly below it.
+            raise ValueError(
+                f"{self.name}: page_bits must be >= 8 so the flag bits "
+                f"(0..7) stay out of the address field")
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def page_size(self):
+        return 1 << self.page_bits
+
+    @property
+    def entries_per_table(self):
+        return 1 << self.index_bits
+
+    @property
+    def va_bits(self):
+        return self.page_bits + self.index_bits * self.levels
+
+    @property
+    def va_space(self):
+        return 1 << self.va_bits
+
+    @property
+    def phys_bytes(self):
+        return self.phys_frames * self.page_size
+
+    @property
+    def words_per_page(self):
+        return self.page_size // WORD_BYTES
+
+    # -- address arithmetic (the pure helpers the MIR corpus mirrors) ------------
+
+    def page_offset(self, addr):
+        return addr & (self.page_size - 1)
+
+    def page_base(self, addr):
+        return addr & ~(self.page_size - 1)
+
+    def frame_of(self, paddr):
+        return paddr >> self.page_bits
+
+    def frame_base(self, frame):
+        return frame << self.page_bits
+
+    def entry_index(self, va, level):
+        """The table index used at paging ``level`` (levels..1) for ``va``."""
+        if not 1 <= level <= self.levels:
+            raise ValueError(f"level {level} out of range")
+        shift = self.page_bits + self.index_bits * (level - 1)
+        return (va >> shift) & (self.entries_per_table - 1)
+
+    def level_span(self, level):
+        """Bytes of VA space one entry covers at ``level``."""
+        return 1 << (self.page_bits + self.index_bits * (level - 1))
+
+    def addr_mask(self):
+        """Mask selecting the physical-frame bits of a PTE (bits
+        page_bits..51, like x86)."""
+        return ((1 << 52) - 1) & ~(self.page_size - 1)
+
+    def canonical_va(self, va):
+        return va & (self.va_space - 1)
+
+
+X86_64 = MachineConfig(name="x86_64", page_bits=12, index_bits=9,
+                       levels=4, phys_frames=1 << 20)
+
+# 4 levels like x86-64, 4-entry tables, 256 B pages, 16-bit VA space.
+# The VA space (64 KiB) strictly contains the physical space (32 KiB),
+# so out-of-range guest-physical addresses fault instead of wrapping.
+TINY = MachineConfig(name="tiny", page_bits=8, index_bits=2,
+                     levels=4, phys_frames=128)
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """The boot-time split of physical memory (Fig. 1's red secure box).
+
+    ``[0, secure_base)``                      — untrusted (primary OS) memory
+    ``[secure_base, pt_pool_base)``           — RustMonitor image & data
+    ``[pt_pool_base, epc_base)``              — page-table frame pool
+    ``[epc_base, phys_end)``                  — EPC (enclave page cache)
+
+    All bounds are frame numbers.  The layout is validated on
+    construction; a HyperEnclave instance treats it as hardcoded
+    constants (Sec. 2.3 rule 4).
+    """
+
+    config: MachineConfig
+    secure_base: int
+    pt_pool_base: int
+    epc_base: int
+
+    def __post_init__(self):
+        if not (0 < self.secure_base <= self.pt_pool_base
+                <= self.epc_base <= self.config.phys_frames):
+            raise ValueError("memory layout bounds out of order")
+
+    @staticmethod
+    def compact_for(config, pt_pool_frames=32, epc_frames=30,
+                    monitor_frames=2):
+        """A layout with a *small* secure region at the top of memory.
+
+        On the x86-64 geometry the default half-memory split would give
+        the page-table pool hundreds of thousands of frames — correct,
+        but needlessly heavy for the checking engines (the allocation
+        bitmap lives in immutable abstract states).  ``compact_for``
+        keeps the full untrusted expanse while bounding the secure
+        bookkeeping, like a HyperEnclave boot parameterised with a small
+        reserved region.
+        """
+        secure = monitor_frames + pt_pool_frames + epc_frames
+        secure_base = config.phys_frames - secure
+        return MemoryLayout(
+            config=config, secure_base=secure_base,
+            pt_pool_base=secure_base + monitor_frames,
+            epc_base=secure_base + monitor_frames + pt_pool_frames)
+
+    @staticmethod
+    def default_for(config, secure_fraction=0.5, monitor_frames=2,
+                    pt_fraction=0.6):
+        """The boot layout: the top ``secure_fraction`` of memory is
+        reserved, the monitor image takes ``monitor_frames``, and the
+        remaining secure frames split between page-table pool and EPC."""
+        secure_base = config.phys_frames - int(
+            config.phys_frames * secure_fraction)
+        pt_pool_base = secure_base + monitor_frames
+        secure_left = config.phys_frames - pt_pool_base
+        epc_base = pt_pool_base + max(int(secure_left * pt_fraction), 1)
+        return MemoryLayout(config=config, secure_base=secure_base,
+                            pt_pool_base=pt_pool_base, epc_base=epc_base)
+
+    # -- regions (frame-number ranges) ---------------------------------------------
+
+    @property
+    def untrusted_frames(self):
+        return range(0, self.secure_base)
+
+    @property
+    def monitor_frames(self):
+        return range(self.secure_base, self.pt_pool_base)
+
+    @property
+    def pt_pool_frames(self):
+        return range(self.pt_pool_base, self.epc_base)
+
+    @property
+    def epc_frames(self):
+        return range(self.epc_base, self.config.phys_frames)
+
+    @property
+    def secure_frames(self):
+        return range(self.secure_base, self.config.phys_frames)
+
+    # -- classification -----------------------------------------------------------
+
+    def is_untrusted(self, frame):
+        return 0 <= frame < self.secure_base
+
+    def is_secure(self, frame):
+        return self.secure_base <= frame < self.config.phys_frames
+
+    def is_pt_pool(self, frame):
+        return self.pt_pool_base <= frame < self.epc_base
+
+    def is_epc(self, frame):
+        return self.epc_base <= frame < self.config.phys_frames
+
+    def epc_index(self, frame):
+        """Index of an EPC frame into the EPCM array."""
+        if not self.is_epc(frame):
+            raise ValueError(f"frame {frame} is not in the EPC")
+        return frame - self.epc_base
+
+    @property
+    def epc_size(self):
+        return self.config.phys_frames - self.epc_base

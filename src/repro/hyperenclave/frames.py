@@ -1,0 +1,81 @@
+"""Bitmap frame allocator — layer 1 of the stack (Sec. 1: "15 layers
+that span from frame allocation to address space isolation").
+
+Allocates page-table frames from the secure pool.  The allocator is the
+lowest non-trusted layer: its MIR transcription is verified against the
+:func:`alloc_spec`-style specifications in
+:mod:`repro.hyperenclave.mir_model`.
+"""
+
+from typing import Iterable, Optional
+
+from repro.errors import OutOfMemoryError, HypervisorError
+
+
+class BitmapFrameAllocator:
+    """First-fit bitmap allocator over a contiguous frame range."""
+
+    def __init__(self, frame_range: Iterable[int]):
+        frames = sorted(frame_range)
+        if not frames:
+            raise HypervisorError("empty frame pool")
+        if frames != list(range(frames[0], frames[0] + len(frames))):
+            raise HypervisorError("frame pool must be contiguous")
+        self.base = frames[0]
+        self.size = len(frames)
+        self._used = [False] * self.size
+
+    # -- queries ------------------------------------------------------------------
+
+    def contains(self, frame):
+        return self.base <= frame < self.base + self.size
+
+    def is_allocated(self, frame):
+        """Is ``frame`` currently handed out?"""
+        if not self.contains(frame):
+            return False
+        return self._used[frame - self.base]
+
+    @property
+    def used_count(self):
+        return sum(self._used)
+
+    @property
+    def free_count(self):
+        return self.size - self.used_count
+
+    def allocated_frames(self):
+        return [self.base + i for i, used in enumerate(self._used) if used]
+
+    # -- operations ------------------------------------------------------------------
+
+    def alloc(self) -> int:
+        """Allocate the lowest free frame."""
+        for index, used in enumerate(self._used):
+            if not used:
+                self._used[index] = True
+                return self.base + index
+        raise OutOfMemoryError("page-table frame pool exhausted")
+
+    def alloc_specific(self, frame) -> int:
+        """Claim a specific free frame."""
+        if not self.contains(frame):
+            raise HypervisorError(f"frame {frame} outside the pool")
+        index = frame - self.base
+        if self._used[index]:
+            raise HypervisorError(f"frame {frame} already allocated")
+        self._used[index] = True
+        return frame
+
+    def dealloc(self, frame):
+        """Return a frame to the pool (double frees rejected)."""
+        if not self.contains(frame):
+            raise HypervisorError(f"frame {frame} outside the pool")
+        index = frame - self.base
+        if not self._used[index]:
+            raise HypervisorError(f"double free of frame {frame}")
+        self._used[index] = False
+
+    def snapshot(self):
+        """Immutable allocation bitmap (for abstract states)."""
+        return tuple(self._used)

@@ -1,0 +1,182 @@
+"""The simulated machine: physical memory, TLB, virtual CPUs.
+
+The paper's testbed is real x86-64 hardware with VT-x nested paging;
+here the machine is simulated (see DESIGN.md substitutions).  Physical
+memory is a flat array of 64-bit words — deliberately the *same
+representation* as the paper's bottom-layer abstract data ("a big flat
+array of integers representing the physical memory of the frame area",
+Sec. 4.1), so the flat-view specification and the machine agree by
+construction and the interesting proofs are about everything above.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import HypervisorError
+from repro.hyperenclave.constants import WORD_BYTES
+
+
+class PhysMemory:
+    """Flat word-addressed physical memory (sparse representation).
+
+    Semantically a dense array of ``phys_bytes / 8`` words initialised to
+    zero; stored sparsely so the full x86-64 geometry (4 GiB) is as cheap
+    as the tiny one.  All views (snapshots, frame words) present the
+    dense semantics.
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self._capacity = config.phys_bytes // WORD_BYTES
+        self._words: Dict[int, int] = {}
+
+    # -- word access -------------------------------------------------------------
+
+    def read_word(self, paddr):
+        """Read the 64-bit word at byte address ``paddr`` (word-aligned)."""
+        return self._words.get(self._word_index(paddr), 0)
+
+    def write_word(self, paddr, value):
+        """Write the 64-bit word at byte address ``paddr``."""
+        index = self._word_index(paddr)
+        masked = value & ((1 << 64) - 1)
+        if masked == 0:
+            self._words.pop(index, None)
+        else:
+            self._words[index] = masked
+
+    def _word_index(self, paddr):
+        if paddr % WORD_BYTES:
+            raise HypervisorError(f"unaligned word access at {paddr:#x}")
+        index = paddr // WORD_BYTES
+        if not 0 <= index < self._capacity:
+            raise HypervisorError(f"physical address {paddr:#x} out of range")
+        return index
+
+    # -- frame helpers --------------------------------------------------------------
+
+    def zero_frame(self, frame):
+        """Clear every word of one frame."""
+        base = self.config.frame_base(frame) // WORD_BYTES
+        for offset in range(self.config.words_per_page):
+            self._words.pop(base + offset, None)
+
+    def copy_frame(self, dst_frame, src_frame):
+        """Copy a whole frame (zeros included)."""
+        dst = self.config.frame_base(dst_frame) // WORD_BYTES
+        src = self.config.frame_base(src_frame) // WORD_BYTES
+        for offset in range(self.config.words_per_page):
+            value = self._words.get(src + offset, 0)
+            if value == 0:
+                self._words.pop(dst + offset, None)
+            else:
+                self._words[dst + offset] = value
+
+    def frame_words(self, frame) -> Tuple[int, ...]:
+        """The frame's contents as an immutable word tuple."""
+        base = self.config.frame_base(frame) // WORD_BYTES
+        return tuple(self._words.get(base + offset, 0)
+                     for offset in range(self.config.words_per_page))
+
+    def fill_frame(self, frame, pattern):
+        """Fill a frame with one repeated word."""
+        base = self.config.frame_base(frame) // WORD_BYTES
+        for offset in range(self.config.words_per_page):
+            self.write_word((base + offset) * WORD_BYTES, pattern)
+
+    # -- bulk views --------------------------------------------------------------------
+
+    def snapshot(self):
+        """The whole memory as an immutable value (sorted nonzero words);
+        equal snapshots mean equal dense contents."""
+        return tuple(sorted(self._words.items()))
+
+    def region_words(self, frame_range) -> Tuple[int, ...]:
+        """Concatenated word tuples over a frame range."""
+        words = []
+        for frame in frame_range:
+            words.extend(self.frame_words(frame))
+        return tuple(words)
+
+    def load_snapshot(self, items):
+        self._words = dict(items)
+
+    def __len__(self):
+        return self._capacity
+
+
+class Tlb:
+    """A simple tagged TLB.
+
+    HyperEnclave flushes the TLB on every enclave transition (Sec. 2.1);
+    the model records flushes so tests can assert that stale translations
+    never survive a world switch.
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple[int, int], int] = {}
+        self.flush_count = 0
+
+    def insert(self, asid, va_page, pa_page):
+        self._entries[(asid, va_page)] = pa_page
+
+    def lookup(self, asid, va_page) -> Optional[int]:
+        return self._entries.get((asid, va_page))
+
+    def flush_asid(self, asid):
+        """Drop every entry tagged with ``asid``."""
+        self._entries = {k: v for k, v in self._entries.items()
+                         if k[0] != asid}
+        self.flush_count += 1
+
+    def flush_all(self):
+        """Drop every entry (the world-switch flush)."""
+        self._entries.clear()
+        self.flush_count += 1
+
+    def __len__(self):
+        return len(self._entries)
+
+
+# General-purpose register names of the vCPU model (a representative
+# x86-64 subset; the noninterference observation function quantifies over
+# whatever is here).
+GPR_NAMES = ("rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rsp", "rbp", "rip")
+
+
+@dataclass
+class VCpu:
+    """Virtual CPU state: general registers plus the two paging roots.
+
+    ``gpt_root`` is the guest page table root (CR3); ``ept_root`` is the
+    extended page table root (EPTP).  RustMonitor switches both on every
+    enclave entry/exit (Sec. 2.1).
+    """
+
+    regs: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in GPR_NAMES})
+    gpt_root: Optional[int] = None
+    ept_root: Optional[int] = None
+
+    def write_reg(self, name, value):
+        """Write a general register (wraps to 64 bits)."""
+        if name not in self.regs:
+            raise HypervisorError(f"unknown register {name!r}")
+        self.regs[name] = value & ((1 << 64) - 1)
+
+    def read_reg(self, name):
+        """Read a general register."""
+        if name not in self.regs:
+            raise HypervisorError(f"unknown register {name!r}")
+        return self.regs[name]
+
+    def context(self) -> Tuple[Tuple[str, int], ...]:
+        """Immutable register snapshot (saved on enclave exit)."""
+        return tuple(sorted(self.regs.items()))
+
+    def restore(self, context):
+        self.regs = dict(context)
+
+    def clone(self):
+        return VCpu(regs=dict(self.regs), gpt_root=self.gpt_root,
+                    ept_root=self.ept_root)

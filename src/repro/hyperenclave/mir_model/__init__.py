@@ -1,0 +1,55 @@
+"""The mirlight transcription of HyperEnclave's paging core.
+
+This package is our stand-in for ``rustc --emit mir`` + ``mirlightgen``
+(Sec. 3.3): the memory-module functions, hand-transcribed into mirlight
+CFGs via the builder, organised into the 15 CCAL layers, with the bottom
+(trusted) layer supplied as specifications over an abstract state — "the
+abstract data contains a big flat array of integers representing the
+physical memory of the frame area" (Sec. 4.1).
+
+Layout:
+
+* :mod:`repro.hyperenclave.mir_model.state` — the abstract state fields
+  and the trusted-layer primitives (layer 0),
+* :mod:`repro.hyperenclave.mir_model.pure` — the pure bit-manipulation
+  functions (PTE ops, index arithmetic, range predicates),
+* :mod:`repro.hyperenclave.mir_model.stateful` — entry IO, frame
+  allocation, walking, mapping, querying, EPCM bookkeeping,
+* :mod:`repro.hyperenclave.mir_model.addrspace` — the object-oriented
+  address-space layer whose handles are RData pointers (Sec. 3.4 case 3),
+* :mod:`repro.hyperenclave.mir_model.layers` — the 15-layer stack, the
+  function→layer map, and the assembled program.
+
+Everything is generated for an explicit
+:class:`~repro.hyperenclave.constants.MachineConfig`; geometry constants
+are inlined into the MIR as literals, mirroring retrofit rule 4
+(Sec. 2.3, hardcoded memory-layout constants).
+"""
+
+from repro.hyperenclave.mir_model.state import (
+    make_initial_absstate,
+    trusted_primitives,
+    absstate_to_flat,
+    flat_to_absstate,
+)
+from repro.hyperenclave.mir_model.layers import (
+    build_program,
+    build_layer_stack,
+    LAYER_NAMES,
+    layer_of_function,
+    MirModel,
+    build_model,
+)
+
+__all__ = [
+    "make_initial_absstate",
+    "trusted_primitives",
+    "absstate_to_flat",
+    "flat_to_absstate",
+    "build_program",
+    "build_layer_stack",
+    "LAYER_NAMES",
+    "layer_of_function",
+    "MirModel",
+    "build_model",
+]

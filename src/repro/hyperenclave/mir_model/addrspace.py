@@ -1,0 +1,71 @@
+"""Layer 9 — AddrSpace: the object-oriented corpus slice.
+
+HyperEnclave is "idiomatic Rust with a lot of object-oriented code ...
+Nearly every trait method comes with a self reference (compiled into a
+self pointer at MIR level)" (Sec. 3.4).  This module transcribes that
+style: an ``AddrSpace`` struct owning a page-table root, constructed by
+``as_new`` (which returns a pointer to a locally-allocated struct —
+legal under the never-free semantics of Sec. 3.2) and manipulated
+through ``&self`` methods.
+
+``as_new`` is tagged ``returns_rdata``: at spec level its result is an
+opaque handle (Sec. 3.4 case 3) that only AddrSpace-layer code may
+dereference — the encapsulation tests drive both the legal path (methods
+of this layer) and the illegal one (a higher layer dereferencing the
+handle, which must raise).
+"""
+
+from repro.mir.ast import place
+from repro.mir.types import U64, UNIT, RefTy, StructTy, TupleTy
+
+ADDR_SPACE_TY = StructTy("AddrSpace", (U64,))
+
+
+def add_addrspace_functions(pb, config):
+    """Register the 6 AddrSpace corpus functions."""
+
+    # as_new() -> &AddrSpace — allocate a root table and wrap it.
+    fb = pb.function("as_new", [], RefTy(ADDR_SPACE_TY, mutable=True),
+                     layer="AddrSpace", attrs=("returns_rdata",))
+    fb.call("root", "alloc_frame", [])
+    fb.struct("s", "root")
+    fb.ref("_0", "s")           # address of a local: the self pointer
+    fb.ret()
+    fb.finish()
+
+    # as_root(&self) -> u64
+    fb = pb.function("as_root", ["self_"], U64, layer="AddrSpace")
+    fb.assign("_0", place("self_").deref().field(0))
+    fb.ret()
+    fb.finish()
+
+    # as_map(&self, va, pa, flags)
+    fb = pb.function("as_map", ["self_", "va", "pa", "flags"], UNIT,
+                     layer="AddrSpace")
+    fb.assign("root", place("self_").deref().field(0))
+    fb.call("_0", "map_page", ["root", "va", "pa", "flags"])
+    fb.ret()
+    fb.finish()
+
+    # as_unmap(&self, va)
+    fb = pb.function("as_unmap", ["self_", "va"], UNIT, layer="AddrSpace")
+    fb.assign("root", place("self_").deref().field(0))
+    fb.call("_0", "unmap_page", ["root", "va"])
+    fb.ret()
+    fb.finish()
+
+    # as_query(&self, va) -> (found, addr, flags)
+    fb = pb.function("as_query", ["self_", "va"], TupleTy((U64, U64, U64)),
+                     layer="AddrSpace")
+    fb.assign("root", place("self_").deref().field(0))
+    fb.call("_0", "query", ["root", "va"])
+    fb.ret()
+    fb.finish()
+
+    # as_translate(&self, va) -> (ok, pa)
+    fb = pb.function("as_translate", ["self_", "va"], TupleTy((U64, U64)),
+                     layer="AddrSpace")
+    fb.assign("root", place("self_").deref().field(0))
+    fb.call("_0", "translate_page", ["root", "va"])
+    fb.ret()
+    fb.finish()

@@ -1,0 +1,160 @@
+"""The 15-layer assembly of the corpus (Sec. 1, Sec. 4).
+
+"We follow SeKVM and formulate the proof of HyperEnclave in a layered
+fashion, by dividing our proof into 15 layers that span from frame
+allocation to address space isolation."
+
+:data:`LAYER_NAMES` fixes the order; :func:`build_program` assembles the
+full mirlight program (49 functions); :func:`build_layer_stack` builds
+the CCAL stack with the trusted primitives at layer 0; and
+:class:`MirModel` bundles everything a verification harness needs,
+including ready-made interpreters with the trusted layer registered.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.ccal.layer import LayerStack
+from repro.errors import LayerError
+from repro.hyperenclave.constants import MemoryLayout, TINY
+from repro.mir.builder import ProgramBuilder
+from repro.mir.interp import Interpreter
+
+from repro.hyperenclave.mir_model.addrspace import add_addrspace_functions
+from repro.hyperenclave.mir_model.pure import add_pure_functions
+from repro.hyperenclave.mir_model.state import (
+    make_initial_absstate,
+    trusted_primitives,
+)
+from repro.hyperenclave.mir_model.stateful import add_stateful_functions
+
+# Bottom to top — 15 layers, frame allocation to address-space isolation.
+LAYER_NAMES = (
+    "TrustedLayer",   # 0: phys mem, allocator bitmap, EPCM primitives
+    "FrameAlloc",     # 1
+    "PteOps",         # 2
+    "PtEntryIo",      # 3
+    "PtLevel",        # 4
+    "PtWalk",         # 5
+    "PtAlloc",        # 6
+    "PtMap",          # 7
+    "PtQuery",        # 8
+    "AddrSpace",      # 9
+    "Epcm",           # 10
+    "EnclaveMem",     # 11
+    "MBuf",           # 12
+    "Hypercalls",     # 13
+    "Isolation",      # 14
+)
+
+
+def build_program(config=TINY, layout=None):
+    """Assemble the full 49-function corpus for a geometry."""
+    layout = layout or MemoryLayout.default_for(config)
+    pb = ProgramBuilder()
+    add_pure_functions(pb, config)
+    add_stateful_functions(pb, config, layout)
+    add_addrspace_functions(pb, config)
+    return pb.build()
+
+
+def layer_of_function(program) -> Dict[str, str]:
+    """function name -> layer name, read off the corpus annotations."""
+    mapping = {}
+    for name, function in program.functions.items():
+        if function.layer is None:
+            raise LayerError(f"corpus function {name} has no layer tag")
+        if function.layer not in LAYER_NAMES:
+            raise LayerError(
+                f"corpus function {name} names unknown layer "
+                f"{function.layer!r}")
+        mapping[name] = function.layer
+    return mapping
+
+
+def build_layer_stack(config=TINY, layout=None) -> LayerStack:
+    """The 15-layer CCAL stack with trusted primitives at layer 0."""
+    layout = layout or MemoryLayout.default_for(config)
+    stack = LayerStack()
+    trusted = trusted_primitives(
+        config, pool_base=layout.pt_pool_base,
+        pool_size=layout.epc_base - layout.pt_pool_base,
+        epc_size=layout.epc_size)
+    stack.push("TrustedLayer", primitives=trusted,
+               owned_fields=("pt_words", "pt_bitmap", "epcm"),
+               doc="unverified primitives over the abstract state")
+    for name in LAYER_NAMES[1:]:
+        stack.push(name, doc=f"corpus layer {name}")
+    return stack
+
+
+@dataclass
+class MirModel:
+    """Everything a verification harness needs about the corpus."""
+
+    config: object
+    layout: MemoryLayout
+    program: object
+    stack: LayerStack
+    layer_map: Dict[str, str]
+    trusted: List[object] = field(default_factory=list)
+
+    @property
+    def pool_base(self):
+        return self.layout.pt_pool_base
+
+    @property
+    def pool_size(self):
+        return self.layout.epc_base - self.layout.pt_pool_base
+
+    def initial_absstate(self):
+        return make_initial_absstate(self.config, self.pool_base,
+                                     self.pool_size, self.layout.epc_size)
+
+    def make_interpreter(self, absstate=None) -> Interpreter:
+        """A fresh interpreter with the trusted layer registered."""
+        interp = Interpreter(
+            self.program,
+            absstate=absstate if absstate is not None
+            else self.initial_absstate())
+        for spec in self.trusted:
+            interp.register_trusted(spec.as_trusted_function())
+        return interp
+
+    def check_call_order(self):
+        """The structural no-upward-calls rule over the whole corpus."""
+        return self.stack.check_call_order(self.program, self.layer_map)
+
+    def functions_in_layer(self, layer_name):
+        return sorted(name for name, layer in self.layer_map.items()
+                      if layer == layer_name)
+
+
+def build_model(config=TINY, layout=None, via_text=False) -> MirModel:
+    """Assemble the full corpus model.
+
+    ``via_text=True`` routes the program through the textual mirlight
+    format (print then re-parse) before use — the closest analog of
+    consuming actual ``mirlightgen`` output, and a fidelity knob for
+    tests: everything downstream must behave identically either way.
+    """
+    layout = layout or MemoryLayout.default_for(config)
+    program = build_program(config, layout)
+    if via_text:
+        from repro.mir.parser import parse_program
+        from repro.mir.printer import print_program
+        program = parse_program(print_program(program))
+    stack = build_layer_stack(config, layout)
+    trusted = trusted_primitives(
+        config, pool_base=layout.pt_pool_base,
+        pool_size=layout.epc_base - layout.pt_pool_base,
+        epc_size=layout.epc_size)
+    return MirModel(config=config, layout=layout, program=program,
+                    stack=stack, layer_map=layer_of_function(program),
+                    trusted=trusted)
+
+
+def corpus_source(config=TINY, layout=None) -> str:
+    """The whole corpus as mirlight text (the 'big blob' of Sec. 3.3)."""
+    from repro.mir.printer import print_program
+    return print_program(build_program(config, layout))

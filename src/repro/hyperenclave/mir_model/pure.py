@@ -1,0 +1,251 @@
+"""The pure fragment of the corpus: bit manipulation and range checks.
+
+These are the functions the paper's Sec. 3.2 lifting makes "functional"
+(no memory effects) and where the symbolic engine gives the strongest
+guarantees: every function here is checked for panic-freedom and
+exhaustive bounded equivalence against its Python reference.
+
+All geometry constants are *inlined as literals* per retrofit rule 4 —
+``add_pure_functions(pb, config)`` is the "compile time" at which the
+hardcoding happens.
+"""
+
+from repro.hyperenclave.constants import PteFlagBits
+from repro.mir.ast import BinOp, place
+from repro.mir.types import BOOL, U64
+
+U64_MAX = (1 << 64) - 1
+
+
+def _consts(config):
+    addr_mask = config.addr_mask()
+    return {
+        "PAGE_BITS": config.page_bits,
+        "PAGE_SIZE": config.page_size,
+        "PAGE_MASK": config.page_size - 1,
+        "IDX_MASK": config.entries_per_table - 1,
+        "INDEX_BITS": config.index_bits,
+        "LEVELS": config.levels,
+        "ADDR_MASK": addr_mask,
+        "NOT_ADDR_MASK": (~addr_mask) & U64_MAX,
+        "PRESENT": 1 << PteFlagBits.PRESENT,
+        "WRITE": 1 << PteFlagBits.WRITE,
+        "USER": 1 << PteFlagBits.USER,
+        "HUGE": 1 << PteFlagBits.HUGE,
+        "TABLE_FLAGS": (1 << PteFlagBits.PRESENT)
+                       | (1 << PteFlagBits.WRITE)
+                       | (1 << PteFlagBits.USER),
+    }
+
+
+def add_pure_functions(pb, config):
+    """Register the 26 pure corpus functions on a ProgramBuilder."""
+    c = _consts(config)
+    _add_pte_ops(pb, c)          # layer PteOps (12 functions)
+    _add_level_ops(pb, c, config)  # layer PtLevel (8 functions)
+    _add_range_ops(pb, c)        # layers EnclaveMem/MBuf pure (4 functions)
+    _add_region_ops(pb, c, config)  # layer Isolation pure (2 functions)
+
+
+# ---------------------------------------------------------------------------
+# Layer 2 — PteOps
+# ---------------------------------------------------------------------------
+
+
+def _add_pte_ops(pb, c):
+    fb = pb.function("pte_new", ["addr", "flags"], U64, layer="PteOps")
+    fb.binop("_1", BinOp.BITAND, "addr", c["ADDR_MASK"])
+    fb.binop("_2", BinOp.BITAND, "flags", c["NOT_ADDR_MASK"])
+    fb.binop("_0", BinOp.BITOR, "_1", "_2")
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("pte_addr", ["e"], U64, layer="PteOps")
+    fb.binop("_0", BinOp.BITAND, "e", c["ADDR_MASK"])
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("pte_flags", ["e"], U64, layer="PteOps")
+    fb.binop("_0", BinOp.BITAND, "e", c["NOT_ADDR_MASK"])
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("pte_frame", ["e"], U64, layer="PteOps")
+    fb.call("_1", "pte_addr", ["e"])
+    fb.binop("_0", BinOp.SHR, "_1", c["PAGE_BITS"])
+    fb.ret()
+    fb.finish()
+
+    for name, mask in (("pte_is_present", c["PRESENT"]),
+                       ("pte_is_writable", c["WRITE"]),
+                       ("pte_is_user", c["USER"]),
+                       ("pte_is_huge", c["HUGE"])):
+        fb = pb.function(name, ["e"], BOOL, layer="PteOps")
+        fb.binop("_1", BinOp.BITAND, "e", mask)
+        fb.binop("_0", BinOp.NE, "_1", 0)
+        fb.ret()
+        fb.finish()
+
+    fb = pb.function("pte_is_unused", ["e"], BOOL, layer="PteOps")
+    fb.binop("_0", BinOp.EQ, "e", 0)
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("pte_table_flags", [], U64, layer="PteOps")
+    fb.ret(c["TABLE_FLAGS"])
+    fb.finish()
+
+    fb = pb.function("pte_set_addr", ["e", "addr"], U64, layer="PteOps")
+    fb.binop("_1", BinOp.BITAND, "e", c["NOT_ADDR_MASK"])
+    fb.binop("_2", BinOp.BITAND, "addr", c["ADDR_MASK"])
+    fb.binop("_0", BinOp.BITOR, "_1", "_2")
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("pte_set_flags", ["e", "flags"], U64, layer="PteOps")
+    fb.binop("_1", BinOp.BITAND, "e", c["ADDR_MASK"])
+    fb.binop("_2", BinOp.BITAND, "flags", c["NOT_ADDR_MASK"])
+    fb.binop("_0", BinOp.BITOR, "_1", "_2")
+    fb.ret()
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layer 4 — PtLevel
+# ---------------------------------------------------------------------------
+
+
+def _add_level_ops(pb, c, config):
+    # entry_index(va, level): switch over the level, shift amounts inlined.
+    fb = pb.function("entry_index", ["va", "level"], U64, layer="PtLevel")
+    arms = []
+    for level in range(1, config.levels + 1):
+        arms.append((level, f"lvl{level}"))
+    fb.switch("level", arms, otherwise="bad")
+    for level in range(1, config.levels + 1):
+        fb.label(f"lvl{level}")
+        shift = config.page_bits + config.index_bits * (level - 1)
+        fb.binop("_1", BinOp.SHR, "va", shift)
+        fb.binop("_0", BinOp.BITAND, "_1", c["IDX_MASK"])
+        fb.ret()
+    fb.label("bad")
+    fb.assert_(False, "entry_index: level out of range", target="unreach")
+    fb.label("unreach")
+    fb.ret(0)
+    fb.finish()
+
+    fb = pb.function("level_span", ["level"], U64, layer="PtLevel")
+    arms = [(level, f"lvl{level}") for level in range(1, config.levels + 1)]
+    fb.switch("level", arms, otherwise="bad")
+    for level in range(1, config.levels + 1):
+        fb.label(f"lvl{level}")
+        fb.ret(config.level_span(level))
+    fb.label("bad")
+    fb.assert_(False, "level_span: level out of range", target="unreach")
+    fb.label("unreach")
+    fb.ret(0)
+    fb.finish()
+
+    fb = pb.function("align_page_down", ["addr"], U64, layer="PtLevel")
+    fb.binop("_1", BinOp.BITAND, "addr", c["PAGE_MASK"])
+    fb.binop("_0", BinOp.SUB, "addr", "_1")
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("align_page_up", ["addr"], U64, layer="PtLevel")
+    fb.binop("_1", BinOp.ADD, "addr", c["PAGE_MASK"])
+    fb.binop("_2", BinOp.BITAND, "_1", c["PAGE_MASK"])
+    fb.binop("_0", BinOp.SUB, "_1", "_2")
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("page_offset_of", ["addr"], U64, layer="PtLevel")
+    fb.binop("_0", BinOp.BITAND, "addr", c["PAGE_MASK"])
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("is_page_aligned", ["addr"], BOOL, layer="PtLevel")
+    fb.binop("_1", BinOp.BITAND, "addr", c["PAGE_MASK"])
+    fb.binop("_0", BinOp.EQ, "_1", 0)
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("frame_base_of", ["frame"], U64, layer="PtLevel")
+    fb.binop("_0", BinOp.SHL, "frame", c["PAGE_BITS"])
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("frame_of_addr", ["addr"], U64, layer="PtLevel")
+    fb.binop("_0", BinOp.SHR, "addr", c["PAGE_BITS"])
+    fb.ret()
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layers 11-12 pure — range predicates
+# ---------------------------------------------------------------------------
+
+
+def _range_contains(pb, name, layer):
+    fb = pb.function(name, ["base", "size", "va"], BOOL, layer=layer)
+    fb.binop("_1", BinOp.GE, "va", "base")
+    fb.branch("_1", "check_hi", "no")
+    fb.label("check_hi")
+    fb.binop("_2", BinOp.ADD, "base", "size")
+    fb.binop("_0", BinOp.LT, "va", "_2")
+    fb.ret()
+    fb.label("no")
+    fb.ret(False)
+    fb.finish()
+
+
+def _add_range_ops(pb, c):
+    _range_contains(pb, "elrange_contains", "EnclaveMem")
+    _range_contains(pb, "mbuf_contains", "MBuf")
+
+    fb = pb.function("elrange_gpa_of", ["gpa_base", "elrange_base", "va"],
+                     U64, layer="EnclaveMem")
+    fb.binop("_1", BinOp.SUB, "va", "elrange_base")
+    fb.binop("_0", BinOp.ADD, "gpa_base", "_1")
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("ranges_overlap",
+                     ["a_base", "a_size", "b_base", "b_size"],
+                     BOOL, layer="MBuf")
+    fb.binop("_1", BinOp.ADD, "b_base", "b_size")
+    fb.binop("_2", BinOp.LT, "a_base", "_1")
+    fb.branch("_2", "check_other", "no")
+    fb.label("check_other")
+    fb.binop("_3", BinOp.ADD, "a_base", "a_size")
+    fb.binop("_0", BinOp.LT, "b_base", "_3")
+    fb.ret()
+    fb.label("no")
+    fb.ret(False)
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layer 14 pure — physical-region classification
+# ---------------------------------------------------------------------------
+
+
+def _add_region_ops(pb, c, config):
+    from repro.hyperenclave.constants import MemoryLayout
+    layout = MemoryLayout.default_for(config)
+    pool_lo = config.frame_base(layout.pt_pool_base)
+    pool_hi = config.frame_base(layout.epc_base)
+    epc_lo = config.frame_base(layout.epc_base)
+    epc_hi = config.frame_base(config.phys_frames)
+
+    for name, lo, hi in (("pa_in_pool", pool_lo, pool_hi),
+                         ("pa_in_epc", epc_lo, epc_hi)):
+        fb = pb.function(name, ["pa"], BOOL, layer="Isolation")
+        fb.binop("_1", BinOp.GE, "pa", lo)
+        fb.branch("_1", "check_hi", "no")
+        fb.label("check_hi")
+        fb.binop("_0", BinOp.LT, "pa", hi)
+        fb.ret()
+        fb.label("no")
+        fb.ret(False)
+        fb.finish()

@@ -1,0 +1,162 @@
+"""Layer 0: the trusted layer (Sec. 4.2) and its abstract state.
+
+"At the very bottom of our layers is the Trusted Layer. It contains the
+specifications of functions that will not be verified ... it also
+includes the primitives for interacting with the HyperEnclave global
+state, such as primitives that update page table entries."
+
+Abstract-state fields:
+
+* ``pt_words``  — ZMap word-index → u64: the flat array representing the
+  physical memory of the frame area,
+* ``pt_bitmap`` — tuple of bools: the frame-allocation bitmap,
+* ``epcm``      — ZMap epc-index → (state, owner, va) int triples.
+
+Trusted primitives exposed to the MIR code:
+
+* ``phys_read_word(addr)`` / ``phys_write_word(addr, value)`` — the
+  paper's "few unsafe Rust functions that cast raw integers into
+  pointers [ascribed] specifications" (Sec. 3.4 case 2),
+* ``alloc_frame_raw()`` — first-fit bitmap claim (zeroing is *verified
+  code*, not trusted: see ``zero_frame`` in the stateful module),
+* ``epcm_get(index)`` / ``epcm_set(index, state, owner, va)``,
+* ``pt_pool_base()`` / ``pt_pool_size()`` — layout constants.
+"""
+
+from repro.ccal.absstate import AbsState
+from repro.ccal.spec import Spec, state_spec, pure_spec
+from repro.ccal.zmap import ZMap
+from repro.errors import SpecError, SpecPreconditionError
+from repro.hyperenclave.constants import WORD_BYTES
+from repro.mir.value import mk_bool, mk_int, mk_tuple, mk_u64, unit
+from repro.mir.types import U64
+
+# EPCM page-state encoding used at the MIR level (retrofit rule 3 turned
+# the Rust enum into plain integer constants).
+EPCM_FREE = 0
+EPCM_SECS = 1
+EPCM_REG = 2
+EPCM_PT = 3
+
+
+def make_initial_absstate(config, pool_base, pool_size, epc_size=0):
+    """The boot abstract state: empty pool, empty EPCM."""
+    state = AbsState()
+    state = state.with_field("pt_words", ZMap(default=0), owner="TrustedLayer")
+    state = state.with_field("pt_bitmap", (False,) * pool_size,
+                             owner="TrustedLayer")
+    state = state.with_field("epcm", ZMap(default=(EPCM_FREE, 0, 0)),
+                             owner="TrustedLayer")
+    return state
+
+
+# ---------------------------------------------------------------------------
+# AbsState <-> FlatPtState bridging (used by the code-proof harness)
+# ---------------------------------------------------------------------------
+
+
+def absstate_to_flat(state, config, pool_base, pool_size):
+    """Project the MIR-side abstract state into a FlatPtState."""
+    from repro.spec.flat import FlatPtState
+    return FlatPtState(config=config, pool_base=pool_base,
+                       pool_size=pool_size, words=state.get("pt_words"),
+                       bitmap=state.get("pt_bitmap"))
+
+
+def flat_to_absstate(flat_state, template):
+    """Write a FlatPtState's fields back into an abstract state."""
+    state = template.set("pt_words", flat_state.words)
+    return state.set("pt_bitmap", flat_state.bitmap)
+
+
+# ---------------------------------------------------------------------------
+# Trusted primitives
+# ---------------------------------------------------------------------------
+
+
+def trusted_primitives(config, pool_base, pool_size, epc_size):
+    """The layer-0 Spec list for a given geometry."""
+
+    pool_lo = config.frame_base(pool_base)
+    pool_hi = config.frame_base(pool_base + pool_size)
+
+    def _addr_in_pool(addr):
+        return pool_lo <= addr < pool_hi and addr % WORD_BYTES == 0
+
+    def phys_read_word(args, state):
+        (addr,) = args
+        raw = addr.expect_int("phys_read_word").as_unsigned
+        if not _addr_in_pool(raw):
+            raise SpecPreconditionError(
+                f"phys_read_word({raw:#x}) outside the frame area")
+        return mk_u64(state.get("pt_words").get(raw // WORD_BYTES)), state
+
+    def phys_write_word(args, state):
+        addr, value = args
+        raw = addr.expect_int("phys_write_word").as_unsigned
+        if not _addr_in_pool(raw):
+            raise SpecPreconditionError(
+                f"phys_write_word({raw:#x}) outside the frame area")
+        words = state.get("pt_words").set(
+            raw // WORD_BYTES, value.expect_int("value").as_unsigned)
+        return unit(), state.set("pt_words", words)
+
+    def alloc_frame_raw(args, state):
+        bitmap = state.get("pt_bitmap")
+        for offset, used in enumerate(bitmap):
+            if not used:
+                new_bitmap = bitmap[:offset] + (True,) + bitmap[offset + 1:]
+                return (mk_u64(pool_base + offset),
+                        state.set("pt_bitmap", new_bitmap))
+        raise SpecPreconditionError("alloc_frame_raw: pool exhausted")
+
+    def dealloc_frame_raw(args, state):
+        (frame,) = args
+        raw = frame.expect_int("frame").as_unsigned
+        offset = raw - pool_base
+        bitmap = state.get("pt_bitmap")
+        if not 0 <= offset < pool_size or not bitmap[offset]:
+            raise SpecPreconditionError(
+                f"dealloc_frame_raw({raw}): not allocated")
+        new_bitmap = bitmap[:offset] + (False,) + bitmap[offset + 1:]
+        return unit(), state.set("pt_bitmap", new_bitmap)
+
+    def epcm_get(args, state):
+        (index,) = args
+        raw = index.expect_int("epcm index").as_unsigned
+        if raw >= epc_size:
+            raise SpecPreconditionError(f"epcm_get({raw}) out of range")
+        page_state, owner, va = state.get("epcm").get(raw)
+        return mk_tuple(mk_u64(page_state), mk_u64(owner), mk_u64(va)), state
+
+    def epcm_set(args, state):
+        index, page_state, owner, va = args
+        raw = index.expect_int("epcm index").as_unsigned
+        if raw >= epc_size:
+            raise SpecPreconditionError(f"epcm_set({raw}) out of range")
+        triple = (page_state.expect_int("state").as_unsigned,
+                  owner.expect_int("owner").as_unsigned,
+                  va.expect_int("va").as_unsigned)
+        return unit(), state.set("epcm", state.get("epcm").set(raw, triple))
+
+    def epcm_size(args, state):
+        return mk_u64(epc_size), state
+
+    return [
+        Spec("phys_read_word", phys_read_word, layer="TrustedLayer",
+             doc="load through a trusted pointer into the frame area",
+             ptr_kind="trusted"),
+        Spec("phys_write_word", phys_write_word, layer="TrustedLayer",
+             doc="store through a trusted pointer into the frame area",
+             ptr_kind="trusted"),
+        Spec("alloc_frame_raw", alloc_frame_raw, layer="TrustedLayer",
+             doc="first-fit bitmap frame claim"),
+        Spec("dealloc_frame_raw", dealloc_frame_raw, layer="TrustedLayer"),
+        Spec("epcm_get", epcm_get, layer="TrustedLayer"),
+        Spec("epcm_set", epcm_set, layer="TrustedLayer"),
+        Spec("epcm_size", epcm_size, layer="TrustedLayer"),
+        pure_spec("pt_pool_base", lambda args: mk_u64(pool_base),
+                  layer="TrustedLayer"),
+        pure_spec("pt_pool_size", lambda args: mk_u64(pool_size),
+                  layer="TrustedLayer"),
+    ]

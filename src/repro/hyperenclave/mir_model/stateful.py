@@ -1,0 +1,392 @@
+"""The stateful corpus: entry IO, allocation, walking, mapping, EPCM.
+
+These functions exercise everything the pure fragment cannot: loops,
+calls through the trusted layer (``phys_read_word``/``phys_write_word``
+— the Sec. 3.4 case-2 pointers), multi-layer composition, and panics
+(``assert`` terminators standing in for Rust panics on "already mapped"
+and friends).
+
+They are verified by co-simulation against the flat specification
+(:mod:`repro.spec.flat`) — the "code proof" half of Sec. 4.3 — and the
+flat spec is separately related to the tree spec by R (the "refinement
+proof" half).
+"""
+
+from repro.hyperenclave.constants import MemoryLayout, PteFlagBits, WORD_BYTES
+from repro.mir.ast import BinOp, place
+from repro.mir.types import BOOL, U64, UNIT, TupleTy
+
+from repro.hyperenclave.mir_model.state import (
+    EPCM_FREE,
+    EPCM_REG,
+)
+
+_LEAF_FLAGS = ((1 << PteFlagBits.PRESENT) | (1 << PteFlagBits.WRITE)
+               | (1 << PteFlagBits.USER))
+
+
+def add_stateful_functions(pb, config, layout=None):
+    """Register the 17 stateful (non-AddrSpace) corpus functions."""
+    layout = layout or MemoryLayout.default_for(config)
+    _add_frame_alloc(pb, config)     # layer FrameAlloc (2)
+    _add_entry_io(pb, config)        # layer PtEntryIo (3)
+    _add_walk(pb, config)            # layer PtWalk (1)
+    _add_pt_alloc(pb, config)        # layer PtAlloc (1)
+    _add_map(pb, config)             # layer PtMap (2)
+    _add_query(pb, config)           # layer PtQuery (2)
+    _add_epcm(pb, config)            # layer Epcm (4)
+    _add_enclave_mem(pb, config, layout)  # layer EnclaveMem (1)
+    _add_hypercall(pb, config)       # layer Hypercalls (1)
+
+
+# ---------------------------------------------------------------------------
+# Layer 1 — FrameAlloc
+# ---------------------------------------------------------------------------
+
+
+def _add_frame_alloc(pb, config):
+    # zero_frame: loop writing zero into every word of the frame.
+    fb = pb.function("zero_frame", ["frame"], UNIT, layer="FrameAlloc")
+    fb.binop("base", BinOp.SHL, "frame", config.page_bits)
+    fb.assign("i", 0)
+    fb.goto("loop")
+    fb.label("loop")
+    fb.binop("c", BinOp.LT, "i", config.words_per_page)
+    fb.branch("c", "body", "done")
+    fb.label("body")
+    fb.binop("off", BinOp.MUL, "i", WORD_BYTES)
+    fb.binop("addr", BinOp.ADD, "base", "off")
+    fb.call("_d", "phys_write_word", ["addr", 0])
+    fb.binop("i", BinOp.ADD, "i", 1)
+    fb.goto("loop")
+    fb.label("done")
+    fb.ret()
+    fb.finish()
+
+    # alloc_frame: claim a frame from the trusted allocator and zero it.
+    fb = pb.function("alloc_frame", [], U64, layer="FrameAlloc")
+    fb.call("f", "alloc_frame_raw", [])
+    fb.call("_d", "zero_frame", ["f"])
+    fb.ret("f")
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layer 3 — PtEntryIo
+# ---------------------------------------------------------------------------
+
+
+def _add_entry_io(pb, config):
+    fb = pb.function("entry_paddr", ["frame", "index"], U64,
+                     layer="PtEntryIo")
+    fb.binop("_1", BinOp.SHL, "frame", config.page_bits)
+    fb.binop("_2", BinOp.MUL, "index", WORD_BYTES)
+    fb.binop("_0", BinOp.ADD, "_1", "_2")
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("read_entry", ["frame", "index"], U64,
+                     layer="PtEntryIo")
+    fb.call("a", "entry_paddr", ["frame", "index"])
+    fb.call("_0", "phys_read_word", ["a"])
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("write_entry", ["frame", "index", "e"], UNIT,
+                     layer="PtEntryIo")
+    fb.call("a", "entry_paddr", ["frame", "index"])
+    fb.call("_0", "phys_write_word", ["a", "e"])
+    fb.ret()
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layer 5 — PtWalk
+# ---------------------------------------------------------------------------
+
+
+def _add_walk(pb, config):
+    # walk_terminal(root, va) -> (found, entry, level)
+    fb = pb.function("walk_terminal", ["root", "va"],
+                     TupleTy((U64, U64, U64)), layer="PtWalk")
+    fb.assign("frame", place("root"))
+    fb.assign("level", config.levels)
+    fb.goto("loop")
+    fb.label("loop")
+    fb.call("idx", "entry_index", ["va", "level"])
+    fb.call("e", "read_entry", ["frame", "idx"])
+    fb.call("p", "pte_is_present", ["e"])
+    fb.branch("p", "present", "absent")
+    fb.label("absent")
+    fb.tuple_("_0", 0, 0, "level")
+    fb.ret()
+    fb.label("present")
+    fb.binop("is1", BinOp.EQ, "level", 1)
+    fb.branch("is1", "terminal1", "check_huge")
+    fb.label("terminal1")
+    fb.tuple_("_0", 1, "e", 1)
+    fb.ret()
+    fb.label("check_huge")
+    fb.call("h", "pte_is_huge", ["e"])
+    fb.branch("h", "terminal_huge", "descend")
+    fb.label("terminal_huge")
+    fb.tuple_("_0", 1, "e", "level")
+    fb.ret()
+    fb.label("descend")
+    fb.call("frame", "pte_frame", ["e"])
+    fb.binop("level", BinOp.SUB, "level", 1)
+    fb.goto("loop")
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layer 6 — PtAlloc
+# ---------------------------------------------------------------------------
+
+
+def _add_pt_alloc(pb, config):
+    fb = pb.function("get_or_create_next", ["frame", "va", "level"], U64,
+                     layer="PtAlloc")
+    fb.call("idx", "entry_index", ["va", "level"])
+    fb.call("e", "read_entry", ["frame", "idx"])
+    fb.call("p", "pte_is_present", ["e"])
+    fb.branch("p", "have", "create")
+    fb.label("have")
+    fb.call("h", "pte_is_huge", ["e"])
+    fb.assert_("h", "huge page blocks mapping", expected=False)
+    fb.call("_0", "pte_frame", ["e"])
+    fb.ret()
+    fb.label("create")
+    fb.call("nf", "alloc_frame", [])
+    fb.binop("nb", BinOp.SHL, "nf", config.page_bits)
+    fb.call("tf", "pte_table_flags", [])
+    fb.call("ne", "pte_new", ["nb", "tf"])
+    fb.call("_d", "write_entry", ["frame", "idx", "ne"])
+    fb.ret("nf")
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layer 7 — PtMap
+# ---------------------------------------------------------------------------
+
+
+def _add_map(pb, config):
+    fb = pb.function("map_page", ["root", "va", "pa", "flags"], UNIT,
+                     layer="PtMap")
+    fb.call("va_ok", "is_page_aligned", ["va"])
+    fb.assert_("va_ok", "map_page: unaligned va")
+    fb.call("pa_ok", "is_page_aligned", ["pa"])
+    fb.assert_("pa_ok", "map_page: unaligned pa")
+    fb.assign("frame", place("root"))
+    fb.assign("level", config.levels)
+    fb.goto("loop")
+    fb.label("loop")
+    fb.binop("c", BinOp.GT, "level", 1)
+    fb.branch("c", "body", "leaf")
+    fb.label("body")
+    fb.call("frame", "get_or_create_next", ["frame", "va", "level"])
+    fb.binop("level", BinOp.SUB, "level", 1)
+    fb.goto("loop")
+    fb.label("leaf")
+    fb.call("idx", "entry_index", ["va", 1])
+    fb.call("e", "read_entry", ["frame", "idx"])
+    fb.call("p", "pte_is_present", ["e"])
+    fb.assert_("p", "map_page: va already mapped", expected=False)
+    fb.call("ne", "pte_new", ["pa", "flags"])
+    fb.call("_d", "write_entry", ["frame", "idx", "ne"])
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("unmap_page", ["root", "va"], UNIT, layer="PtMap")
+    fb.assign("frame", place("root"))
+    fb.assign("level", config.levels)
+    fb.goto("loop")
+    fb.label("loop")
+    fb.call("idx", "entry_index", ["va", "level"])
+    fb.call("e", "read_entry", ["frame", "idx"])
+    fb.call("p", "pte_is_present", ["e"])
+    fb.assert_("p", "unmap_page: va not mapped")
+    fb.binop("is1", BinOp.EQ, "level", 1)
+    fb.branch("is1", "clear", "check_huge")
+    fb.label("check_huge")
+    fb.call("h", "pte_is_huge", ["e"])
+    fb.branch("h", "clear", "descend")
+    fb.label("descend")
+    fb.call("frame", "pte_frame", ["e"])
+    fb.binop("level", BinOp.SUB, "level", 1)
+    fb.goto("loop")
+    fb.label("clear")
+    fb.call("_d", "write_entry", ["frame", "idx", 0])
+    fb.ret()
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layer 8 — PtQuery
+# ---------------------------------------------------------------------------
+
+
+def _add_query(pb, config):
+    fb = pb.function("query", ["root", "va"], TupleTy((U64, U64, U64)),
+                     layer="PtQuery")
+    fb.call("w", "walk_terminal", ["root", "va"])
+    fb.assign("found", place("w").field(0))
+    fb.binop("hit", BinOp.NE, "found", 0)
+    fb.branch("hit", "yes", "no")
+    fb.label("no")
+    fb.tuple_("_0", 0, 0, 0)
+    fb.ret()
+    fb.label("yes")
+    fb.assign("e", place("w").field(1))
+    fb.call("a", "pte_addr", ["e"])
+    fb.call("f", "pte_flags", ["e"])
+    fb.tuple_("_0", 1, "a", "f")
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("translate_page", ["root", "va"], TupleTy((U64, U64)),
+                     layer="PtQuery")
+    fb.call("w", "walk_terminal", ["root", "va"])
+    fb.assign("found", place("w").field(0))
+    fb.binop("hit", BinOp.NE, "found", 0)
+    fb.branch("hit", "yes", "no")
+    fb.label("no")
+    fb.tuple_("_0", 0, 0)
+    fb.ret()
+    fb.label("yes")
+    fb.assign("e", place("w").field(1))
+    fb.assign("lvl", place("w").field(2))
+    fb.call("span", "level_span", ["lvl"])
+    fb.binop("mask", BinOp.SUB, "span", 1)
+    fb.binop("off", BinOp.BITAND, "va", "mask")
+    fb.call("a", "pte_addr", ["e"])
+    fb.binop("pa", BinOp.ADD, "a", "off")
+    fb.tuple_("_0", 1, "pa")
+    fb.ret()
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layer 10 — Epcm
+# ---------------------------------------------------------------------------
+
+
+def _add_epcm(pb, config):
+    fb = pb.function("epcm_find_free", [], TupleTy((U64, U64)),
+                     layer="Epcm")
+    fb.call("n", "epcm_size", [])
+    fb.assign("i", 0)
+    fb.goto("loop")
+    fb.label("loop")
+    fb.binop("c", BinOp.LT, "i", "n")
+    fb.branch("c", "body", "no")
+    fb.label("body")
+    fb.call("t", "epcm_get", ["i"])
+    fb.assign("st", place("t").field(0))
+    fb.binop("isfree", BinOp.EQ, "st", EPCM_FREE)
+    fb.branch("isfree", "yes", "next")
+    fb.label("next")
+    fb.binop("i", BinOp.ADD, "i", 1)
+    fb.goto("loop")
+    fb.label("yes")
+    fb.tuple_("_0", 1, "i")
+    fb.ret()
+    fb.label("no")
+    fb.tuple_("_0", 0, 0)
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("epcm_alloc_page", ["owner", "kind", "va"],
+                     TupleTy((U64, U64)), layer="Epcm")
+    fb.call("r", "epcm_find_free", [])
+    fb.assign("found", place("r").field(0))
+    fb.binop("hit", BinOp.NE, "found", 0)
+    fb.branch("hit", "yes", "no")
+    fb.label("yes")
+    fb.assign("idx", place("r").field(1))
+    fb.call("_d", "epcm_set", ["idx", "kind", "owner", "va"])
+    fb.tuple_("_0", 1, "idx")
+    fb.ret()
+    fb.label("no")
+    fb.tuple_("_0", 0, 0)
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("epcm_release_page", ["idx", "owner"], UNIT,
+                     layer="Epcm")
+    fb.call("t", "epcm_get", ["idx"])
+    fb.assign("st", place("t").field(0))
+    fb.binop("busy", BinOp.NE, "st", EPCM_FREE)
+    fb.assert_("busy", "epcm_release: page already free")
+    fb.assign("ow", place("t").field(1))
+    fb.binop("mine", BinOp.EQ, "ow", "owner")
+    fb.assert_("mine", "epcm_release: owner mismatch")
+    fb.call("_d", "epcm_set", ["idx", EPCM_FREE, 0, 0])
+    fb.ret()
+    fb.finish()
+
+    fb = pb.function("epcm_owner_of", ["idx"], U64, layer="Epcm")
+    fb.call("t", "epcm_get", ["idx"])
+    fb.assign("_0", place("t").field(1))
+    fb.ret()
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layer 11 — EnclaveMem (the composite)
+# ---------------------------------------------------------------------------
+
+
+def _add_enclave_mem(pb, config, layout):
+    epc_base = layout.epc_base
+    fb = pb.function(
+        "add_epc_page",
+        ["gpt_root", "ept_root", "gpa_base", "elrange_base",
+         "elrange_size", "owner", "va"],
+        TupleTy((U64, U64)), layer="EnclaveMem")
+    fb.call("inr", "elrange_contains",
+            ["elrange_base", "elrange_size", "va"])
+    fb.branch("inr", "alloc", "no")
+    fb.label("alloc")
+    fb.call("ar", "epcm_alloc_page", ["owner", EPCM_REG, "va"])
+    fb.assign("ok", place("ar").field(0))
+    fb.binop("hit", BinOp.NE, "ok", 0)
+    fb.branch("hit", "mapit", "no")
+    fb.label("mapit")
+    fb.assign("idx", place("ar").field(1))
+    fb.call("gpa", "elrange_gpa_of", ["gpa_base", "elrange_base", "va"])
+    fb.call("_d1", "map_page", ["gpt_root", "va", "gpa", _LEAF_FLAGS])
+    fb.binop("epc_frame", BinOp.ADD, "idx", epc_base)
+    fb.binop("pa", BinOp.SHL, "epc_frame", config.page_bits)
+    fb.call("_d2", "map_page", ["ept_root", "gpa", "pa", _LEAF_FLAGS])
+    fb.tuple_("_0", 1, "epc_frame")
+    fb.ret()
+    fb.label("no")
+    fb.tuple_("_0", 0, 0)
+    fb.ret()
+    fb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Layer 13 — Hypercalls
+# ---------------------------------------------------------------------------
+
+
+def _add_hypercall(pb, config):
+    fb = pb.function(
+        "hc_add_page_checked",
+        ["gpt_root", "ept_root", "gpa_base", "elrange_base",
+         "elrange_size", "owner", "va"],
+        TupleTy((U64, U64)), layer="Hypercalls")
+    fb.call("al", "is_page_aligned", ["va"])
+    fb.branch("al", "go", "no")
+    fb.label("go")
+    fb.call("_0", "add_epc_page",
+            ["gpt_root", "ept_root", "gpa_base", "elrange_base",
+             "elrange_size", "owner", "va"])
+    fb.ret()
+    fb.label("no")
+    fb.tuple_("_0", 0, 0)
+    fb.ret()
+    fb.finish()

@@ -1,0 +1,298 @@
+"""RustMonitor — the trusted hypervisor core (layers 12-13).
+
+Implements enclave lifecycle management as emulation of the privileged
+SGX instructions (Sec. 2.1): ``hc_create`` (ECREATE), ``hc_add_page``
+(EADD), ``hc_init`` (EINIT), plus ``hc_enter``/``hc_exit`` world
+switches.  All EPTs and all *enclave* GPTs are built here, from scratch,
+in secure memory; the primary OS keeps managing its own and its apps'
+GPTs as ordinary guest data (Sec. 2.1, "to prevent possible page table
+attacks").
+
+Every validation rule in the hypercalls exists to uphold a Sec. 5.2
+invariant; the buggy variants in :mod:`repro.hyperenclave.buggy` each
+delete exactly one rule, and the benches watch the corresponding
+invariant checker catch it.
+"""
+
+from typing import Dict, Optional
+
+from repro.errors import HypercallError, TranslationFault
+from repro.hyperenclave import pte
+from repro.hyperenclave.constants import MemoryLayout, WORD_BYTES
+from repro.hyperenclave.enclave import Enclave, EnclaveState
+from repro.hyperenclave.epcm import Epcm, PageState
+from repro.hyperenclave.frames import BitmapFrameAllocator
+from repro.hyperenclave.guest import PrimaryOS
+from repro.hyperenclave.hardware import PhysMemory, Tlb, VCpu
+from repro.hyperenclave.mbuf import MarshallingBuffer
+from repro.hyperenclave.paging import PageTable, two_stage_translate
+
+HOST_ID = 0  # principal id of the primary OS / normal VM
+
+
+class RustMonitor:
+    """The trusted monitor: owns secure memory and all EPTs."""
+
+    def __init__(self, config, layout: Optional[MemoryLayout] = None,
+                 os_huge_pages=True):
+        self.config = config
+        self.layout = layout or MemoryLayout.default_for(config)
+        self.phys = PhysMemory(config)
+        self.tlb = Tlb()
+        self.pt_allocator = BitmapFrameAllocator(self.layout.pt_pool_frames)
+        self.epcm = Epcm(self.layout)
+        self.enclaves: Dict[int, Enclave] = {}
+        self._next_eid = 1
+        self.active = HOST_ID
+        self.vcpu = VCpu()
+        self.saved_host_context = None
+        # Boot: build the normal VM's EPT — identity over untrusted
+        # memory only.  Nothing in the secure range is ever entered here;
+        # that absence *is* spatial isolation (Sec. 2.1).
+        self.os_ept = PageTable(config, self.phys, self.pt_allocator,
+                                allow_huge=os_huge_pages, name="os-ept")
+        self._boot_map_untrusted()
+        self.primary_os = PrimaryOS(config, self.phys, self.os_ept,
+                                    self.layout)
+        self.vcpu.ept_root = self.os_ept.root_frame
+
+    def _boot_map_untrusted(self):
+        """Identity-map normal memory into the normal VM's EPT, using the
+        largest aligned spans available (huge pages keep the boot cost at
+        a handful of page-table frames; the enclave EPTs stay strictly
+        4K-grained per the enclave invariants)."""
+        config = self.config
+        addr = 0
+        end = config.frame_base(self.layout.secure_base)
+        while addr < end:
+            placed = False
+            if self.os_ept.allow_huge:
+                for level in range(config.levels, 1, -1):
+                    span = config.level_span(level)
+                    if addr % span == 0 and addr + span <= end:
+                        self.os_ept.map_huge(addr, addr, level,
+                                             pte.leaf_flags())
+                        addr += span
+                        placed = True
+                        break
+            if not placed:
+                self.os_ept.map_page(addr, addr, pte.leaf_flags())
+                addr += config.page_size
+
+    # -- hypercalls ------------------------------------------------------------------
+
+    def hc_create(self, elrange_base, elrange_size, mbuf_va, mbuf_pa,
+                  mbuf_size) -> int:
+        """ECREATE: establish a new enclave with empty page tables.
+
+        The page tables are constructed *from scratch* — never copied
+        from the primary OS's tables.  (The shallow-copy shortcut is the
+        real-world bug of Sec. 4.1; see
+        :class:`repro.hyperenclave.buggy.ShallowCopyMonitor`.)
+        """
+        config = self.config
+        self._require_page_aligned(elrange_base, "elrange_base")
+        self._require_page_aligned(mbuf_va, "mbuf_va")
+        self._require_page_aligned(mbuf_pa, "mbuf_pa")
+        if elrange_size <= 0 or elrange_size % config.page_size:
+            raise HypercallError("ELRANGE size must be whole pages")
+        if mbuf_size <= 0 or mbuf_size % config.page_size:
+            raise HypercallError("marshalling buffer must be whole pages")
+        if elrange_base + elrange_size > config.va_space:
+            raise HypercallError("ELRANGE exceeds the virtual address space")
+        mbuf = MarshallingBuffer(va_base=mbuf_va, pa_base=mbuf_pa,
+                                 size=mbuf_size)
+        # The buffer must be normal memory: backing an mbuf with EPC
+        # pages would alias secure memory into the untrusted world.
+        for va_page, pa_page in mbuf.pages(config):
+            if not self.layout.is_untrusted(config.frame_of(pa_page)):
+                raise HypercallError(
+                    f"marshalling buffer page {pa_page:#x} is not in "
+                    f"untrusted memory")
+        eid = self._next_eid
+        self._next_eid += 1
+        gpt = PageTable(config, self.phys, self.pt_allocator,
+                        allow_huge=False, name=f"enc{eid}-gpt")
+        ept = PageTable(config, self.phys, self.pt_allocator,
+                        allow_huge=False, name=f"enc{eid}-ept")
+        enclave = Enclave(eid=eid, elrange_base=elrange_base,
+                          elrange_size=elrange_size, mbuf=mbuf,
+                          gpt=gpt, ept=ept, gpa_base=elrange_base)
+        # SECS bookkeeping page.
+        self.epcm.allocate(eid, PageState.SECS)
+        # Fix the marshalling-buffer mappings for the enclave's lifetime:
+        # GVA -> GPA (identity into untrusted space) -> HPA (identity).
+        for va_page, pa_page in mbuf.pages(config):
+            gpt.map_page(va_page, pa_page, pte.leaf_flags())
+            if ept.query(pa_page) is None:
+                ept.map_page(pa_page, pa_page, pte.leaf_flags())
+        self.enclaves[eid] = enclave
+        return eid
+
+    def hc_add_page(self, eid, va, src_gpa) -> int:
+        """EADD: copy one source page from untrusted memory into a fresh
+        EPC page and map it at ``va`` in the enclave.  Returns the EPC
+        frame chosen."""
+        enclave = self._enclave(eid)
+        enclave.require_state(EnclaveState.CREATED)
+        config = self.config
+        self._require_page_aligned(va, "va")
+        self._require_page_aligned(src_gpa, "src_gpa")
+        if not enclave.in_elrange(va):
+            raise HypercallError(
+                f"va {va:#x} outside ELRANGE "
+                f"[{enclave.elrange_base:#x}, {enclave.elrange_end:#x})")
+        if enclave.gpt.query(va) is not None:
+            raise HypercallError(f"va {va:#x} already added")
+        # Source must be normal memory reachable through the OS EPT.
+        try:
+            src_hpa = self.os_ept.translate(src_gpa, write=False)
+        except TranslationFault:
+            raise HypercallError(
+                f"source page {src_gpa:#x} is not mapped for the OS")
+        frame = self.epcm.allocate(eid, PageState.REG, va=va)
+        dst_frame = frame
+        self.phys.copy_frame(dst_frame, config.frame_of(src_hpa))
+        gpa = enclave.elrange_gpa(va)
+        enclave.gpt.map_page(va, gpa, pte.leaf_flags())
+        enclave.ept.map_page(gpa, config.frame_base(dst_frame),
+                             pte.leaf_flags())
+        enclave.absorb_measurement(va, self.phys.frame_words(dst_frame))
+        return frame
+
+    def hc_aug_page(self, eid, va) -> int:
+        """EAUG: add a fresh EPC page to an *initialized* enclave.
+
+        Unlike EADD there is no source to copy, so the page arrives with
+        whatever the frame holds — which is all-zeros precisely because
+        ``hc_destroy`` scrubs frames before releasing them.  That makes
+        destroy-time scrubbing load-bearing: the NoScrub buggy variant
+        turns this hypercall into a cross-enclave leak.
+        """
+        enclave = self._enclave(eid)
+        enclave.require_state(EnclaveState.INITIALIZED)
+        self._require_page_aligned(va, "va")
+        if not enclave.in_elrange(va):
+            raise HypercallError(
+                f"va {va:#x} outside ELRANGE "
+                f"[{enclave.elrange_base:#x}, {enclave.elrange_end:#x})")
+        if enclave.gpt.query(va) is not None:
+            raise HypercallError(f"va {va:#x} already mapped")
+        frame = self.epcm.allocate(eid, PageState.REG, va=va)
+        gpa = enclave.elrange_gpa(va)
+        enclave.gpt.map_page(va, gpa, pte.leaf_flags())
+        enclave.ept.map_page(gpa, self.config.frame_base(frame),
+                             pte.leaf_flags())
+        return frame
+
+    def hc_remove_page(self, eid, va):
+        """EREMOVE: take one REG page back out of a *pre-init* enclave.
+
+        The kernel module uses this to recover from partially-built
+        enclaves.  The page is unmapped from both tables, scrubbed, and
+        its EPCM entry freed — in that order, so no window exists where
+        a mapping points at a free frame.
+        """
+        enclave = self._enclave(eid)
+        enclave.require_state(EnclaveState.CREATED)
+        self._require_page_aligned(va, "va")
+        frame = self.epcm.lookup_mapping(eid, va)
+        if frame is None:
+            raise HypercallError(
+                f"no EPC page recorded at va {va:#x} for enclave {eid}")
+        gpa = enclave.elrange_gpa(va)
+        enclave.gpt.unmap(va)
+        enclave.ept.unmap(gpa)
+        self.phys.zero_frame(frame)
+        self.epcm.release(frame, eid)
+        self.tlb.flush_all()
+        return frame
+
+    def hc_init(self, eid):
+        """EINIT: freeze the memory layout; the enclave becomes enterable."""
+        enclave = self._enclave(eid)
+        enclave.require_state(EnclaveState.CREATED)
+        enclave.state = EnclaveState.INITIALIZED
+
+    def hc_enter(self, eid):
+        """Synchronous enclave entry: save host context, install the
+        enclave's GPT/EPT roots, flush the TLB (Sec. 2.1)."""
+        enclave = self._enclave(eid)
+        enclave.require_state(EnclaveState.INITIALIZED)
+        if self.active != HOST_ID:
+            raise HypercallError("enter requires the host to be active")
+        self.saved_host_context = self.vcpu.context()
+        if enclave.saved_context is not None:
+            self.vcpu.restore(enclave.saved_context)
+        else:
+            self.vcpu.restore(tuple((name, 0) for name, _ in
+                                    self.vcpu.context()))
+        self.vcpu.gpt_root = enclave.gpt.root_frame
+        self.vcpu.ept_root = enclave.ept.root_frame
+        self.tlb.flush_all()
+        enclave.state = EnclaveState.RUNNING
+        self.active = eid
+
+    def hc_exit(self, eid):
+        """Enclave exit: save enclave context, restore the host world."""
+        enclave = self._enclave(eid)
+        enclave.require_state(EnclaveState.RUNNING)
+        if self.active != eid:
+            raise HypercallError("exit from a non-active enclave")
+        enclave.saved_context = self.vcpu.context()
+        self.vcpu.restore(self.saved_host_context)
+        self.vcpu.gpt_root = None
+        self.vcpu.ept_root = self.os_ept.root_frame
+        self.tlb.flush_all()
+        enclave.state = EnclaveState.INITIALIZED
+        self.active = HOST_ID
+
+    def hc_destroy(self, eid):
+        """Tear down an enclave: scrub and release its EPC pages and
+        page-table frames."""
+        enclave = self._enclave(eid)
+        enclave.require_state(EnclaveState.CREATED,
+                              EnclaveState.INITIALIZED)
+        for frame, entry in self.epcm.owned_by(eid):
+            self.phys.zero_frame(frame)
+        self.epcm.release_all(eid)
+        for frame in enclave.gpt.table_frames():
+            self.phys.zero_frame(frame)
+            self.pt_allocator.dealloc(frame)
+        for frame in enclave.ept.table_frames():
+            self.phys.zero_frame(frame)
+            self.pt_allocator.dealloc(frame)
+        self.tlb.flush_all()  # its translations die with it
+        enclave.state = EnclaveState.DESTROYED
+        del self.enclaves[eid]
+
+    # -- memory access on behalf of principals (used by the security model) ----------
+
+    def enclave_translate(self, eid, va, write=False) -> int:
+        """Resolve an enclave VA through its GPT∘EPT composition."""
+        enclave = self._enclave(eid)
+        return two_stage_translate(self.config, self.phys, enclave.ept,
+                                   enclave.gpt, va, write=write)
+
+    def enclave_load(self, eid, va) -> int:
+        return self.phys.read_word(self.enclave_translate(eid, va))
+
+    def enclave_store(self, eid, va, value):
+        self.phys.write_word(self.enclave_translate(eid, va, write=True),
+                             value)
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _enclave(self, eid) -> Enclave:
+        try:
+            return self.enclaves[eid]
+        except KeyError:
+            raise HypercallError(f"no enclave with id {eid}")
+
+    def _require_page_aligned(self, addr, what):
+        if addr % self.config.page_size:
+            raise HypercallError(f"{what} ({addr:#x}) is not page-aligned")
+
+    def principals(self):
+        """All live principal ids: the host plus every enclave."""
+        return [HOST_ID] + sorted(self.enclaves)

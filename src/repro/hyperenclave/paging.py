@@ -1,0 +1,304 @@
+"""Multi-level page tables — layers 3-9 of the stack.
+
+:class:`PageTable` implements the monitor-managed tables (all EPTs and
+the enclaves' GPTs, Sec. 2.1): walking, mapping with on-demand
+intermediate-table allocation, unmapping, querying, and translation.
+Table frames live in the secure page-table pool and the walker reads
+physical memory directly (host-physical space).
+
+The *primary OS* GPT is different: it is a guest-owned data structure in
+untrusted memory whose every table access is itself translated through
+the EPT — :func:`guest_walk` models that hardware walker faithfully,
+which is exactly what makes OS-side page-table ("mapping") attacks
+expressible and lets the invariants of Sec. 5.2 rule them out.
+
+Terminology: ``va`` is the input address of whatever space the table
+translates (GVA for GPTs, GPA for EPTs); entries hold output-space
+addresses.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import PagingError, TranslationFault
+from repro.hyperenclave import pte
+from repro.hyperenclave.constants import WORD_BYTES
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One visited entry during a walk."""
+
+    level: int
+    table_frame: int
+    index: int
+    entry: int
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of walking a VA: the visited spine and the terminal entry.
+
+    ``terminal`` is None when the walk ended at a non-present entry;
+    ``huge_level`` is the level of a huge-page terminal (1 for a normal
+    4K-style leaf).
+    """
+
+    va: int
+    steps: Tuple[WalkStep, ...]
+    terminal: Optional[int]
+    huge_level: int = 1
+
+    @property
+    def complete(self):
+        return self.terminal is not None
+
+
+class PageTable:
+    """A monitor-managed multi-level page table."""
+
+    def __init__(self, config, phys, allocator, root_frame=None,
+                 allow_huge=False, name=""):
+        self.config = config
+        self.phys = phys
+        self.allocator = allocator
+        self.allow_huge = allow_huge
+        self.name = name
+        if root_frame is None:
+            root_frame = allocator.alloc()
+            phys.zero_frame(root_frame)
+        self.root_frame = root_frame
+
+    # -- entry IO (layer 3: the trusted load/store pair) --------------------------
+
+    def entry_paddr(self, table_frame, index):
+        return self.config.frame_base(table_frame) + index * WORD_BYTES
+
+    def read_entry(self, table_frame, index):
+        return self.phys.read_word(self.entry_paddr(table_frame, index))
+
+    def write_entry(self, table_frame, index, entry):
+        self.phys.write_word(self.entry_paddr(table_frame, index), entry)
+
+    # -- walking (layers 4-5) ---------------------------------------------------------
+
+    def walk(self, va) -> WalkResult:
+        """Follow the tables from the root; stop at the first non-present
+        entry, a huge leaf, or the level-1 terminal."""
+        va = self.config.canonical_va(va)
+        steps = []
+        frame = self.root_frame
+        for level in range(self.config.levels, 0, -1):
+            index = self.config.entry_index(va, level)
+            entry = self.read_entry(frame, index)
+            steps.append(WalkStep(level, frame, index, entry))
+            if not pte.pte_is_present(entry):
+                return WalkResult(va, tuple(steps), None)
+            if level == 1:
+                return WalkResult(va, tuple(steps), entry, huge_level=1)
+            if pte.pte_is_huge(entry):
+                return WalkResult(va, tuple(steps), entry, huge_level=level)
+            frame = pte.pte_frame(entry, self.config)
+        raise PagingError("walk fell off the table hierarchy")  # unreachable
+
+    def _get_or_create_table(self, frame, level, va):
+        """Layer 6: follow one level, allocating a zeroed intermediate
+        table when the entry is empty."""
+        index = self.config.entry_index(va, level)
+        entry = self.read_entry(frame, index)
+        if pte.pte_is_present(entry):
+            if pte.pte_is_huge(entry):
+                raise PagingError(
+                    f"{self.name}: huge page at level {level} blocks "
+                    f"mapping va={va:#x}")
+            return pte.pte_frame(entry, self.config)
+        new_frame = self.allocator.alloc()
+        self.phys.zero_frame(new_frame)
+        new_entry = pte.pte_new(self.config.frame_base(new_frame),
+                                pte.table_flags(), self.config)
+        self.write_entry(frame, index, new_entry)
+        return new_frame
+
+    # -- mapping (layer 7) -----------------------------------------------------------------
+
+    def map_page(self, va, paddr, flags):
+        """Install a level-1 mapping ``va -> paddr`` with ``flags``."""
+        va = self.config.canonical_va(va)
+        if self.config.page_offset(va) or self.config.page_offset(paddr):
+            raise PagingError(
+                f"{self.name}: unaligned mapping {va:#x} -> {paddr:#x}")
+        frame = self.root_frame
+        for level in range(self.config.levels, 1, -1):
+            frame = self._get_or_create_table(frame, level, va)
+        index = self.config.entry_index(va, 1)
+        existing = self.read_entry(frame, index)
+        if pte.pte_is_present(existing):
+            raise PagingError(
+                f"{self.name}: va {va:#x} is already mapped")
+        self.write_entry(frame, index,
+                         pte.pte_new(paddr, flags, self.config))
+
+    def map_huge(self, va, paddr, level, flags):
+        """Install a huge mapping covering ``level_span(level)`` bytes."""
+        if not self.allow_huge:
+            raise PagingError(f"{self.name}: huge pages are not allowed")
+        if level < 2 or level > self.config.levels:
+            raise PagingError(f"bad huge-page level {level}")
+        va = self.config.canonical_va(va)
+        span = self.config.level_span(level)
+        if va % span or paddr % span:
+            raise PagingError(
+                f"{self.name}: huge mapping must be {span:#x}-aligned")
+        frame = self.root_frame
+        for walk_level in range(self.config.levels, level, -1):
+            frame = self._get_or_create_table(frame, walk_level, va)
+        index = self.config.entry_index(va, level)
+        existing = self.read_entry(frame, index)
+        if pte.pte_is_present(existing):
+            raise PagingError(f"{self.name}: va {va:#x} is already mapped")
+        self.write_entry(
+            frame, index,
+            pte.pte_new(paddr, flags | pte.leaf_flags(huge=True),
+                        self.config))
+
+    def unmap(self, va):
+        """Remove the terminal mapping covering ``va``.
+
+        Intermediate tables are left in place (HyperEnclave does not
+        reclaim them during an enclave's lifetime; the whole tree is
+        reclaimed on enclave destruction).
+        """
+        result = self.walk(va)
+        if not result.complete:
+            raise PagingError(f"{self.name}: va {va:#x} is not mapped")
+        last = result.steps[-1]
+        self.write_entry(last.table_frame, last.index, pte.pte_empty())
+
+    # -- queries (layer 8) --------------------------------------------------------------------
+
+    def query(self, va) -> Optional[Tuple[int, int]]:
+        """``(paddr, flags)`` for the page containing ``va``, or None."""
+        result = self.walk(va)
+        if not result.complete:
+            return None
+        return (pte.pte_addr(result.terminal, self.config),
+                pte.pte_flags(result.terminal, self.config))
+
+    def translate(self, va, write=False, user=True) -> int:
+        """Translate a byte address, enforcing W/U permission bits."""
+        va = self.config.canonical_va(va)
+        result = self.walk(va)
+        if not result.complete:
+            raise TranslationFault(
+                f"{self.name}: no mapping for {va:#x}", va=va)
+        entry = result.terminal
+        if write and not pte.pte_is_writable(entry):
+            raise TranslationFault(
+                f"{self.name}: write to read-only page at {va:#x}", va=va)
+        if user and not pte.pte_is_user(entry):
+            raise TranslationFault(
+                f"{self.name}: user access to supervisor page {va:#x}",
+                va=va)
+        span = self.config.level_span(result.huge_level)
+        base = pte.pte_addr(entry, self.config)
+        return base + (va % span)
+
+    # -- whole-table views (used by invariants and figures) ----------------------------------------
+
+    def mappings(self) -> List[Tuple[int, int, int, int]]:
+        """All terminal mappings as ``(va, paddr, size, flags)``."""
+        found = []
+        self._collect(self.root_frame, self.config.levels, 0, found)
+        return found
+
+    def _collect(self, frame, level, va_prefix, found):
+        span = self.config.level_span(level)
+        for index in range(self.config.entries_per_table):
+            entry = self.read_entry(frame, index)
+            if not pte.pte_is_present(entry):
+                continue
+            va = va_prefix + index * span
+            if level == 1 or pte.pte_is_huge(entry):
+                found.append((va, pte.pte_addr(entry, self.config),
+                              span, pte.pte_flags(entry, self.config)))
+            else:
+                self._collect(pte.pte_frame(entry, self.config),
+                              level - 1, va, found)
+
+    def table_frames(self) -> List[int]:
+        """Every frame used by this table's structure (root included)."""
+        frames = []
+        self._collect_frames(self.root_frame, self.config.levels, frames)
+        return frames
+
+    def _collect_frames(self, frame, level, frames):
+        frames.append(frame)
+        if level == 1:
+            return
+        for index in range(self.config.entries_per_table):
+            entry = self.read_entry(frame, index)
+            if pte.pte_is_present(entry) and not pte.pte_is_huge(entry):
+                self._collect_frames(pte.pte_frame(entry, self.config),
+                                     level - 1, frames)
+
+
+# ---------------------------------------------------------------------------
+# The hardware walker for guest-owned tables
+# ---------------------------------------------------------------------------
+
+
+def guest_walk(config, phys, ept, gpt_root_gpa, va, write=False):
+    """Walk a guest-owned GPT whose structures live in guest memory.
+
+    Every table access is a guest-physical access translated through
+    ``ept`` first — the faithful nested-paging behaviour.  The terminal
+    GPT entry yields a GPA which is translated through the EPT again.
+    Raises :class:`TranslationFault` tagged with the failing stage.
+    """
+    va = config.canonical_va(va)
+    table_gpa = gpt_root_gpa
+    for level in range(config.levels, 0, -1):
+        table_hpa = _ept_translate(ept, config.page_base(table_gpa),
+                                   stage_va=va)
+        index = config.entry_index(va, level)
+        entry = phys.read_word(table_hpa + index * WORD_BYTES)
+        if not pte.pte_is_present(entry):
+            raise TranslationFault(
+                f"guest PT: no mapping for {va:#x} at level {level}",
+                stage="gpt", va=va)
+        if write and not pte.pte_is_writable(entry):
+            raise TranslationFault(
+                f"guest PT: write denied at level {level} for {va:#x}",
+                stage="gpt", va=va)
+        if level == 1 or pte.pte_is_huge(entry):
+            span = config.level_span(level if pte.pte_is_huge(entry)
+                                     and level > 1 else 1)
+            gpa = pte.pte_addr(entry, config) + (va % span)
+            return _ept_translate(ept, config.page_base(gpa),
+                                  stage_va=va, write=write) \
+                + config.page_offset(gpa)
+        table_gpa = pte.pte_addr(entry, config)
+    raise PagingError("guest walk fell off the hierarchy")  # unreachable
+
+
+def _ept_translate(ept, gpa, stage_va, write=False):
+    try:
+        return ept.translate(gpa, write=write)
+    except TranslationFault as fault:
+        raise TranslationFault(
+            f"EPT violation translating GPA {gpa:#x} "
+            f"(guest VA {stage_va:#x}): {fault}",
+            stage="ept", va=stage_va)
+
+
+def two_stage_translate(config, phys, ept, gpt, va, write=False):
+    """Compose a monitor-managed GPT with an EPT (the enclave path).
+
+    Enclave GPTs are monitor-owned structures in secure memory, so the
+    GPT stage walks host-physical space directly; only the resulting GPA
+    goes through the EPT (Sec. 2.1: "all enclaves' GPTs are managed by
+    RustMonitor").
+    """
+    gpa = gpt.translate(va, write=write)
+    return _ept_translate(ept, config.page_base(gpa), stage_va=va,
+                          write=write) + config.page_offset(gpa)

@@ -1,0 +1,115 @@
+"""Page-table-entry manipulation — layer 2 (pure functions).
+
+"Entries are represented by plain 64-bit integers in the implementation,
+and each consists of two parts: a physical address and its associated
+flags."  (Sec. 4.1)
+
+Every function here is pure integer manipulation; the mirlight corpus
+transcribes them one-for-one and the symbolic engine checks the
+transcription exhaustively over bounded domains (these are the functions
+where bit-twiddling bugs live, so they get the strongest checking).
+"""
+
+from repro.hyperenclave.constants import PteFlagBits
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def pte_new(paddr, flags, config):
+    """Build an entry from a frame-aligned physical address and a flag
+    bitmask (the flag bits of :class:`PteFlagBits`)."""
+    return ((paddr & config.addr_mask()) | (flags & ~config.addr_mask())) \
+        & _WORD_MASK
+
+
+def pte_empty():
+    """The all-zero (non-present) entry."""
+    return 0
+
+
+def pte_addr(entry, config):
+    """The physical address packed in ``entry``."""
+    return entry & config.addr_mask()
+
+
+def pte_frame(entry, config):
+    return pte_addr(entry, config) >> config.page_bits
+
+
+def pte_flags(entry, config):
+    """The flag bits (everything outside the address field)."""
+    return entry & ~config.addr_mask() & _WORD_MASK
+
+
+def pte_flag_set(entry, bit):
+    return bool((entry >> bit) & 1)
+
+
+def pte_is_present(entry):
+    return pte_flag_set(entry, PteFlagBits.PRESENT)
+
+
+def pte_is_writable(entry):
+    return pte_flag_set(entry, PteFlagBits.WRITE)
+
+
+def pte_is_user(entry):
+    return pte_flag_set(entry, PteFlagBits.USER)
+
+
+def pte_is_huge(entry):
+    return pte_flag_set(entry, PteFlagBits.HUGE)
+
+
+def pte_is_unused(entry):
+    """An entry with no address and no flags — the paper's
+    ``unused_inv`` ties this to absent ``addr_content``."""
+    return entry == 0
+
+
+def pte_with_flag(entry, bit, value=True):
+    """Set or clear one flag bit of an entry."""
+    if value:
+        return (entry | (1 << bit)) & _WORD_MASK
+    return entry & ~(1 << bit) & _WORD_MASK
+
+
+def pte_set_addr(entry, paddr, config):
+    """Replace the address field, preserving flags."""
+    return (pte_flags(entry, config) | (paddr & config.addr_mask())) \
+        & _WORD_MASK
+
+
+def pte_set_flags(entry, flags, config):
+    """Replace the flag field, preserving the address."""
+    return (pte_addr(entry, config) | (flags & ~config.addr_mask())) \
+        & _WORD_MASK
+
+
+def table_flags():
+    """Flags for an intermediate (next-table) entry."""
+    return ((1 << PteFlagBits.PRESENT) | (1 << PteFlagBits.WRITE)
+            | (1 << PteFlagBits.USER))
+
+
+def leaf_flags(writable=True, user=True, huge=False, nx=False):
+    """Flags for a terminal (frame-mapping) entry."""
+    flags = 1 << PteFlagBits.PRESENT
+    if writable:
+        flags |= 1 << PteFlagBits.WRITE
+    if user:
+        flags |= 1 << PteFlagBits.USER
+    if huge:
+        flags |= 1 << PteFlagBits.HUGE
+    if nx:
+        flags |= 1 << PteFlagBits.NX
+    return flags
+
+
+def describe(entry, config):
+    """Human-readable entry rendering for figures and debugging."""
+    if pte_is_unused(entry):
+        return "<unused>"
+    flag_names = [name for bit, name in PteFlagBits.NAMES.items()
+                  if pte_flag_set(entry, bit)]
+    return f"{pte_addr(entry, config):#x} [{'|'.join(flag_names)}]"

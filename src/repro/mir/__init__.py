@@ -1,0 +1,172 @@
+"""mirlight — a lightweight executable semantics for Rust's MIR.
+
+This subpackage is the Python analog of the paper's Coq deep embedding
+(Sec. 3.1-3.3).  It provides:
+
+* :mod:`repro.mir.types` — the (erased) MIR type grammar,
+* :mod:`repro.mir.value` — the object-view value domain
+  ``value := int | other atomics | (discriminant, fields)`` plus the three
+  pointer kinds of Sec. 3.4,
+* :mod:`repro.mir.path` — path addresses (base identifier + integer
+  projections) replacing flat integer addresses,
+* :mod:`repro.mir.memory` — the object-view memory: a collection of
+  non-overlapping objects addressed by paths,
+* :mod:`repro.mir.ast` — the program syntax: 28 expression constructors
+  and 11 statement/terminator constructors arranged in control-flow
+  graphs,
+* :mod:`repro.mir.env` — temporary environments implementing the
+  local/temporary variable lifting of Sec. 3.2,
+* :mod:`repro.mir.interp` — the small-step operational semantics,
+* :mod:`repro.mir.builder` — a programmatic CFG builder,
+* :mod:`repro.mir.parser` / :mod:`repro.mir.printer` — the textual
+  mirlight format (our ``mirlightgen`` substitute) and its pretty-printer,
+* :mod:`repro.mir.retrofit` — lints enforcing the Sec. 2.3 retrofitting
+  rules on mirlight programs.
+"""
+
+from repro.mir.types import (
+    MirTy,
+    IntTy,
+    BoolTy,
+    UnitTy,
+    CharTy,
+    StrTy,
+    TupleTy,
+    StructTy,
+    EnumTy,
+    ArrayTy,
+    RefTy,
+    RawPtrTy,
+    FnTy,
+    I8,
+    I16,
+    I32,
+    I64,
+    ISIZE,
+    U8,
+    U16,
+    U32,
+    U64,
+    USIZE,
+    BOOL,
+    UNIT,
+)
+from repro.mir.value import (
+    Value,
+    IntValue,
+    BoolValue,
+    UnitValue,
+    CharValue,
+    StrValue,
+    FnValue,
+    Aggregate,
+    PathPtr,
+    TrustedPtr,
+    RDataPtr,
+    unit,
+    mk_int,
+    mk_usize,
+    mk_u64,
+    mk_bool,
+    mk_tuple,
+    mk_struct,
+    mk_variant,
+    mk_array,
+    OPTION_NONE,
+    OPTION_SOME,
+    mk_none,
+    mk_some,
+    RESULT_OK,
+    RESULT_ERR,
+    mk_ok,
+    mk_err,
+)
+from repro.mir.path import Path, GlobalBase, LocalBase, Field, Index
+from repro.mir.memory import ObjectMemory
+from repro.mir.ast import (
+    Program,
+    Function,
+    BasicBlock,
+    Place,
+    Deref,
+    FieldProj,
+    IndexProj,
+    ConstantIndex,
+    Downcast,
+    Operand,
+    Copy,
+    Move,
+    Constant,
+    Rvalue,
+    Use,
+    Ref,
+    AddressOf,
+    BinaryOp,
+    CheckedBinaryOp,
+    UnaryOp,
+    Cast,
+    AggregateRv,
+    Repeat,
+    Len,
+    Discriminant,
+    NullaryOp,
+    CopyForDeref,
+    BinOp,
+    UnOp,
+    CastKind,
+    AggregateKind,
+    Statement,
+    Assign,
+    SetDiscriminant,
+    StorageLive,
+    StorageDead,
+    Nop,
+    Terminator,
+    Goto,
+    SwitchInt,
+    Return,
+    Call,
+    Drop,
+    Assert,
+    EXPRESSION_CONSTRUCTORS,
+    STATEMENT_CONSTRUCTORS,
+)
+from repro.mir.env import TempEnv, Frame
+from repro.mir.interp import Interpreter, ExecResult, TrustedFunction
+from repro.mir.builder import FunctionBuilder, ProgramBuilder
+from repro.mir.parser import parse_program, parse_function
+from repro.mir.printer import print_program, print_function
+
+__all__ = [
+    # types
+    "MirTy", "IntTy", "BoolTy", "UnitTy", "CharTy", "StrTy", "TupleTy",
+    "StructTy", "EnumTy", "ArrayTy", "RefTy", "RawPtrTy", "FnTy",
+    "I8", "I16", "I32", "I64", "ISIZE", "U8", "U16", "U32", "U64", "USIZE",
+    "BOOL", "UNIT",
+    # values
+    "Value", "IntValue", "BoolValue", "UnitValue", "CharValue", "StrValue",
+    "FnValue", "Aggregate", "PathPtr", "TrustedPtr", "RDataPtr",
+    "unit", "mk_int", "mk_usize", "mk_u64", "mk_bool", "mk_tuple",
+    "mk_struct", "mk_variant", "mk_array",
+    "OPTION_NONE", "OPTION_SOME", "mk_none", "mk_some",
+    "RESULT_OK", "RESULT_ERR", "mk_ok", "mk_err",
+    # paths and memory
+    "Path", "GlobalBase", "LocalBase", "Field", "Index", "ObjectMemory",
+    # ast
+    "Program", "Function", "BasicBlock",
+    "Place", "Deref", "FieldProj", "IndexProj", "ConstantIndex", "Downcast",
+    "Operand", "Copy", "Move", "Constant",
+    "Rvalue", "Use", "Ref", "AddressOf", "BinaryOp", "CheckedBinaryOp",
+    "UnaryOp", "Cast", "AggregateRv", "Repeat", "Len", "Discriminant",
+    "NullaryOp", "CopyForDeref",
+    "BinOp", "UnOp", "CastKind", "AggregateKind",
+    "Statement", "Assign", "SetDiscriminant", "StorageLive", "StorageDead",
+    "Nop",
+    "Terminator", "Goto", "SwitchInt", "Return", "Call", "Drop", "Assert",
+    "EXPRESSION_CONSTRUCTORS", "STATEMENT_CONSTRUCTORS",
+    # env / interp
+    "TempEnv", "Frame", "Interpreter", "ExecResult", "TrustedFunction",
+    # builder / parser / printer
+    "FunctionBuilder", "ProgramBuilder",
+    "parse_program", "parse_function", "print_program", "print_function",
+]

@@ -1,0 +1,708 @@
+"""The mirlight program syntax.
+
+"MIR programs are formatted as control flow graphs, where each labelled
+block consists of multiple statements followed by one 'terminator'. We
+define the program syntax as a datatype in Coq (28 types of expressions
+and 11 statements/terminators are supported)." (Sec. 3.1)
+
+The same counts hold here.  The 28 expression constructors:
+
+==== places (6) ====   Place, Deref, FieldProj, IndexProj, ConstantIndex,
+                       Downcast
+==== operands (3) ====  Copy, Move, Constant
+==== constants (6) ===  ConstInt, ConstBool, ConstUnit, ConstStr,
+                       ConstFn, ConstChar
+==== rvalues (13) ====  Use, Ref, AddressOf, BinaryOp, CheckedBinaryOp,
+                       UnaryOp, Cast, AggregateRv, Repeat, Len,
+                       Discriminant, NullaryOp, CopyForDeref
+
+and the 11 statement/terminator constructors:
+
+==== statements (5) ==  Assign, SetDiscriminant, StorageLive,
+                       StorageDead, Nop
+==== terminators (6) =  Goto, SwitchInt, Return, Call, Drop, Assert
+
+``EXPRESSION_CONSTRUCTORS`` and ``STATEMENT_CONSTRUCTORS`` export the
+lists so tests can pin the counts to the paper's.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.mir.types import MirTy, UNIT
+from repro.mir.value import Value
+
+
+# ---------------------------------------------------------------------------
+# Places: where values live
+# ---------------------------------------------------------------------------
+
+
+class PlaceProjection:
+    """Base class for projections applied to a place."""
+
+
+@dataclass(frozen=True)
+class Deref(PlaceProjection):
+    """Follow the pointer stored at the place built so far."""
+
+    def __str__(self):
+        return "*"
+
+
+@dataclass(frozen=True)
+class FieldProj(PlaceProjection):
+    """Select struct/tuple field ``index``."""
+
+    index: int
+
+    def __str__(self):
+        return f".{self.index}"
+
+
+@dataclass(frozen=True)
+class IndexProj(PlaceProjection):
+    """Index an array by the value of local variable ``var``."""
+
+    var: str
+
+    def __str__(self):
+        return f"[{self.var}]"
+
+
+@dataclass(frozen=True)
+class ConstantIndex(PlaceProjection):
+    """Index an array by compile-time constant ``index``."""
+
+    index: int
+
+    def __str__(self):
+        return f"[{self.index}c]"
+
+
+@dataclass(frozen=True)
+class Downcast(PlaceProjection):
+    """View an enum place as one of its variants (``as Variant``).
+
+    Field projections that follow apply within the variant's payload.  The
+    interpreter checks the live discriminant matches ``variant``.
+    """
+
+    variant: int
+
+    def __str__(self):
+        return f" as v{self.variant}"
+
+
+@dataclass(frozen=True)
+class Place:
+    """A variable plus a projection chain, e.g. ``(*self).entries[i].0``."""
+
+    var: str
+    projections: Tuple[PlaceProjection, ...] = ()
+
+    def deref(self):
+        return Place(self.var, self.projections + (Deref(),))
+
+    def field(self, index):
+        return Place(self.var, self.projections + (FieldProj(index),))
+
+    def index_by(self, var):
+        return Place(self.var, self.projections + (IndexProj(var),))
+
+    def index_const(self, index):
+        return Place(self.var, self.projections + (ConstantIndex(index),))
+
+    def downcast(self, variant):
+        return Place(self.var, self.projections + (Downcast(variant),))
+
+    @property
+    def is_bare(self):
+        """True when the place is just a variable with no projections."""
+        return not self.projections
+
+    def __str__(self):
+        text = self.var
+        for proj in self.projections:
+            if isinstance(proj, Deref):
+                text = f"(*{text})"
+            else:
+                text = f"{text}{proj}"
+        return text
+
+
+def place(var, *projections):
+    """Shorthand constructor used pervasively by the corpus."""
+    return Place(var, tuple(projections))
+
+
+# ---------------------------------------------------------------------------
+# Operands: how values are obtained
+# ---------------------------------------------------------------------------
+
+
+class Operand:
+    """Base class of operands (the leaves of rvalues)."""
+
+
+@dataclass(frozen=True)
+class Copy(Operand):
+    """Read a place, leaving it live."""
+
+    place: Place
+
+    def __str__(self):
+        return f"copy {self.place}"
+
+
+@dataclass(frozen=True)
+class Move(Operand):
+    """Read a place, ending its lifetime.
+
+    Our semantics treat Move exactly like Copy (deallocation is a no-op —
+    Sec. 3.2) but the constructor is kept distinct because the borrow
+    discipline the object-memory model relies on is defined in terms of
+    moves, and the retrofit lints want to see them.
+    """
+
+    place: Place
+
+    def __str__(self):
+        return f"move {self.place}"
+
+
+@dataclass(frozen=True)
+class Constant(Operand):
+    """A literal value.  The wrapped :class:`Value` is built via one of
+    the six constant constructors below."""
+
+    value: Value
+
+    def __str__(self):
+        return str(self.value)
+
+
+# The six constant *forms* — thin builders kept as named functions so the
+# constructor census in EXPRESSION_CONSTRUCTORS can include them.
+
+def ConstInt(value, ty):
+    """An integer constant operand of type ``ty``."""
+    from repro.mir.value import mk_int
+    return Constant(mk_int(value, ty))
+
+
+def ConstBool(value):
+    """A boolean constant operand."""
+    from repro.mir.value import mk_bool
+    return Constant(mk_bool(value))
+
+
+def ConstUnit():
+    """The unit constant operand."""
+    from repro.mir.value import unit
+    return Constant(unit())
+
+
+def ConstStr(text):
+    """A string constant operand (panic messages)."""
+    from repro.mir.value import StrValue
+    return Constant(StrValue(text))
+
+
+def ConstChar(char):
+    """A character constant operand."""
+    from repro.mir.value import CharValue
+    return Constant(CharValue(char))
+
+
+def ConstFn(name):
+    """A function-item constant operand."""
+    from repro.mir.value import FnValue
+    return Constant(FnValue(name))
+
+
+# ---------------------------------------------------------------------------
+# Rvalues: the right-hand sides of assignments
+# ---------------------------------------------------------------------------
+
+
+class Rvalue:
+    """Base class of rvalues."""
+
+
+@dataclass(frozen=True)
+class Use(Rvalue):
+    """An operand used as an rvalue."""
+    operand: Operand
+
+    def __str__(self):
+        return str(self.operand)
+
+
+@dataclass(frozen=True)
+class Ref(Rvalue):
+    """``&place`` / ``&mut place`` — take the address of a place.
+
+    Produces a :class:`~repro.mir.value.PathPtr`.  Any variable that
+    appears under Ref is classified as *local* (memory-allocated) by the
+    lifting pass.
+    """
+
+    place: Place
+    mutable: bool = True
+
+    def __str__(self):
+        mut = "mut " if self.mutable else ""
+        return f"&{mut}{self.place}"
+
+
+@dataclass(frozen=True)
+class AddressOf(Rvalue):
+    """``&raw place`` — raw-pointer form of Ref.  Same semantics here;
+    kept distinct because its uses are what the unsafe audit counts."""
+
+    place: Place
+    mutable: bool = True
+
+    def __str__(self):
+        mut = "mut" if self.mutable else "const"
+        return f"&raw {mut} {self.place}"
+
+
+class BinOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    REM = "%"
+    BITAND = "&"
+    BITOR = "|"
+    BITXOR = "^"
+    SHL = "<<"
+    SHR = ">>"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+@dataclass(frozen=True)
+class BinaryOp(Rvalue):
+    """Wrapping/bitwise/compare binary operation."""
+    op: BinOp
+    left: Operand
+    right: Operand
+
+    def __str__(self):
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class CheckedBinaryOp(Rvalue):
+    """Overflow-checked arithmetic: yields ``(wrapped_result, overflowed)``.
+
+    rustc emits these for debug-mode arithmetic followed by an Assert
+    terminator on the ``.1`` flag; the corpus contains both halves.
+    """
+
+    op: BinOp
+    left: Operand
+    right: Operand
+
+    def __str__(self):
+        return f"Checked({self.left} {self.op.value} {self.right})"
+
+
+class UnOp(enum.Enum):
+    NOT = "!"
+    NEG = "-"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Rvalue):
+    """Logical/bitwise NOT or arithmetic negation."""
+    op: UnOp
+    operand: Operand
+
+    def __str__(self):
+        return f"{self.op.value}{self.operand}"
+
+
+class CastKind(enum.Enum):
+    INT_TO_INT = "IntToInt"
+    PTR_TO_INT = "PtrToInt"      # trusted-code only; audited
+    INT_TO_PTR = "IntToPtr"      # trusted-code only; audited
+    BOOL_TO_INT = "BoolToInt"
+
+
+@dataclass(frozen=True)
+class Cast(Rvalue):
+    """A type cast of an operand."""
+    kind: CastKind
+    operand: Operand
+    ty: MirTy
+
+    def __str__(self):
+        return f"{self.operand} as {self.ty} ({self.kind.value})"
+
+
+class AggregateKind(enum.Enum):
+    TUPLE = "tuple"
+    STRUCT = "struct"
+    VARIANT = "variant"
+    ARRAY = "array"
+
+
+@dataclass(frozen=True)
+class AggregateRv(Rvalue):
+    """Construct a struct/tuple/array/enum-variant from operand fields."""
+
+    kind: AggregateKind
+    operands: Tuple[Operand, ...]
+    variant: int = 0
+
+    def __str__(self):
+        inner = ", ".join(str(o) for o in self.operands)
+        if self.kind is AggregateKind.VARIANT:
+            return f"variant#{self.variant}({inner})"
+        return f"{self.kind.value}({inner})"
+
+
+@dataclass(frozen=True)
+class Repeat(Rvalue):
+    """``[operand; count]`` — an array of ``count`` copies."""
+
+    operand: Operand
+    count: int
+
+    def __str__(self):
+        return f"[{self.operand}; {self.count}]"
+
+
+@dataclass(frozen=True)
+class Len(Rvalue):
+    """Length of the array at ``place``."""
+
+    place: Place
+
+    def __str__(self):
+        return f"Len({self.place})"
+
+
+@dataclass(frozen=True)
+class Discriminant(Rvalue):
+    """Read the discriminant of the enum at ``place``.
+
+    The Sec. 2.3 retrofit removes these for *value-carrying* enums (rule
+    3), but matches over data enums such as Option still use them.
+    """
+
+    place: Place
+
+    def __str__(self):
+        return f"discriminant({self.place})"
+
+
+class NullOp(enum.Enum):
+    SIZE_OF = "SizeOf"
+    ALIGN_OF = "AlignOf"
+
+
+@dataclass(frozen=True)
+class NullaryOp(Rvalue):
+    """``SizeOf``/``AlignOf`` — appears only in trusted allocator shims.
+
+    The object-view memory has no layout, so evaluating one outside
+    trusted code is a semantic error; the corpus confines them to layer 0.
+    """
+
+    op: NullOp
+    ty: MirTy
+
+    def __str__(self):
+        return f"{self.op.value}({self.ty})"
+
+
+@dataclass(frozen=True)
+class CopyForDeref(Rvalue):
+    """MIR's ``CopyForDeref`` — copy a pointer value so the *next*
+    statement can deref it.  Semantically identical to ``Use(Copy(p))``;
+    rustc distinguishes it and so does our census."""
+
+    place: Place
+
+    def __str__(self):
+        return f"deref_copy {self.place}"
+
+
+# ---------------------------------------------------------------------------
+# Statements (5)
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class of in-block statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``place = rvalue;``"""
+    place: Place
+    rvalue: Rvalue
+
+    def __str__(self):
+        return f"{self.place} = {self.rvalue};"
+
+
+@dataclass(frozen=True)
+class SetDiscriminant(Statement):
+    """Overwrite the enum discriminant at a place."""
+    place: Place
+    variant: int
+
+    def __str__(self):
+        return f"discriminant({self.place}) = {self.variant};"
+
+
+@dataclass(frozen=True)
+class StorageLive(Statement):
+    """Marks the start of a local's live range.  The interpreter
+    allocates uninitialised locals lazily, so this is bookkeeping — but
+    the retrofit lints use the markers to check the corpus was generated
+    faithfully."""
+
+    var: str
+
+    def __str__(self):
+        return f"StorageLive({self.var});"
+
+
+@dataclass(frozen=True)
+class StorageDead(Statement):
+    """End of a live range; a no-op at runtime (Sec. 3.2 treats
+    deallocation like a GC'd language would)."""
+
+    var: str
+
+    def __str__(self):
+        return f"StorageDead({self.var});"
+
+
+@dataclass(frozen=True)
+class Nop(Statement):
+    """No operation."""
+    def __str__(self):
+        return "nop;"
+
+
+# ---------------------------------------------------------------------------
+# Terminators (6)
+# ---------------------------------------------------------------------------
+
+
+class Terminator:
+    """Base class of block terminators."""
+
+
+@dataclass(frozen=True)
+class Goto(Terminator):
+    """Unconditional jump."""
+    target: str
+
+    def __str__(self):
+        return f"goto -> {self.target};"
+
+
+@dataclass(frozen=True)
+class SwitchInt(Terminator):
+    """Multi-way branch on an integer/bool operand.
+
+    ``targets`` maps tested values to block labels; ``otherwise`` catches
+    the rest.  Rust ``if``/``match`` both lower to this.
+    """
+
+    operand: Operand
+    targets: Tuple[Tuple[int, str], ...]
+    otherwise: str
+
+    def __str__(self):
+        arms = ", ".join(f"{v} -> {lbl}" for v, lbl in self.targets)
+        return f"switchInt({self.operand}) [{arms}, otherwise -> {self.otherwise}];"
+
+
+@dataclass(frozen=True)
+class Return(Terminator):
+    """Return the value of the distinguished variable ``_0``."""
+
+    def __str__(self):
+        return "return;"
+
+
+@dataclass(frozen=True)
+class Call(Terminator):
+    """``dest = func(args) -> target``.
+
+    ``func`` is an operand (normally a ConstFn).  Calls to *trusted*
+    functions dispatch to their registered specification instead of MIR
+    code (Sec. 4.2).
+    """
+
+    func: Operand
+    args: Tuple[Operand, ...]
+    dest: Place
+    target: str
+
+    def __str__(self):
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.dest} = {self.func}({args}) -> {self.target};"
+
+
+@dataclass(frozen=True)
+class Drop(Terminator):
+    """Run the drop glue for ``place`` then continue.
+
+    The corpus's types have no interesting Drop impls, so the semantics
+    treat this as a jump — but explicit ``drop`` calls to user functions
+    are still modelled (Sec. 3.2: "we still model the call to explicit
+    'drop' functions" — those appear as ordinary Calls).
+    """
+
+    place: Place
+    target: str
+
+    def __str__(self):
+        return f"drop({self.place}) -> {self.target};"
+
+
+@dataclass(frozen=True)
+class Assert(Terminator):
+    """``assert(cond == expected, msg) -> target`` — models Rust panics
+    (bounds checks, overflow checks)."""
+
+    cond: Operand
+    expected: bool
+    msg: str
+    target: str
+
+    def __str__(self):
+        return f'assert({self.cond} == {str(self.expected).lower()}, "{self.msg}") -> {self.target};'
+
+
+# ---------------------------------------------------------------------------
+# Blocks, functions, programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A labelled statement list plus one terminator."""
+    label: str
+    statements: Tuple[Statement, ...]
+    terminator: Terminator
+
+
+@dataclass
+class Function:
+    """A mirlight function: a CFG plus variable declarations.
+
+    ``params`` lists parameter names in order; ``ret_ty`` documents the
+    return type; ``locals_`` is the set of variables classified as
+    memory-allocated by the lifting pass (everything else is a
+    temporary).  ``layer`` optionally names the CCAL layer the function
+    belongs to, and ``attrs`` carries free-form markers (``unsafe_fn``,
+    ``trusted`` ...) consumed by the audit tooling.
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    blocks: Dict[str, BasicBlock]
+    entry: str = "bb0"
+    locals_: frozenset = frozenset()
+    var_tys: Dict[str, MirTy] = field(default_factory=dict)
+    ret_ty: MirTy = UNIT
+    layer: Optional[str] = None
+    attrs: Tuple[str, ...] = ()
+
+    RETURN_VAR = "_0"
+
+    def block(self, label):
+        return self.blocks[label]
+
+    def is_local_var(self, var):
+        """True if ``var`` lives in object memory rather than the
+        temporary environment (Sec. 3.2 'Lifting Local Variables')."""
+        return var in self.locals_
+
+    def called_functions(self):
+        """Names of functions this function calls (for layer ordering)."""
+        names = []
+        for block in self.blocks.values():
+            term = block.terminator
+            if isinstance(term, Call) and isinstance(term.func, Constant):
+                fn_value = term.func.value
+                name = getattr(fn_value, "name", None)
+                if name is not None:
+                    names.append(name)
+        return names
+
+    def statement_count(self):
+        return sum(len(b.statements) + 1 for b in self.blocks.values())
+
+
+@dataclass
+class Program:
+    """A collection of functions plus global declarations.
+
+    ``globals_`` maps global names to initial values (installed into
+    object memory before execution).  Trusted functions are registered on
+    the interpreter, not here, because their meaning is a specification
+    over the abstract state rather than MIR code.
+    """
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    globals_: Dict[str, Value] = field(default_factory=dict)
+
+    def add_function(self, function):
+        """Register a function (duplicates rejected)."""
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name}")
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name):
+        return self.functions[name]
+
+    def merged_with(self, other):
+        """A new program containing both function sets (layer assembly)."""
+        merged = Program(dict(self.functions), dict(self.globals_))
+        for fn in other.functions.values():
+            merged.add_function(fn)
+        merged.globals_.update(other.globals_)
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# The constructor census pinned by tests to the paper's counts
+# ---------------------------------------------------------------------------
+
+EXPRESSION_CONSTRUCTORS = (
+    # places (6)
+    Place, Deref, FieldProj, IndexProj, ConstantIndex, Downcast,
+    # operands (3)
+    Copy, Move, Constant,
+    # constant forms (6)
+    ConstInt, ConstBool, ConstUnit, ConstStr, ConstChar, ConstFn,
+    # rvalues (13)
+    Use, Ref, AddressOf, BinaryOp, CheckedBinaryOp, UnaryOp, Cast,
+    AggregateRv, Repeat, Len, Discriminant, NullaryOp, CopyForDeref,
+)
+
+STATEMENT_CONSTRUCTORS = (
+    # statements (5)
+    Assign, SetDiscriminant, StorageLive, StorageDead, Nop,
+    # terminators (6)
+    Goto, SwitchInt, Return, Call, Drop, Assert,
+)

@@ -1,0 +1,409 @@
+"""Programmatic construction of mirlight CFGs.
+
+The paper obtains MIR by running ``rustc --emit mir`` through
+``mirlightgen``; our substitute corpus is transcribed by hand, so this
+module provides a builder that keeps the transcription short while
+emitting exactly the AST of :mod:`repro.mir.ast`.
+
+Conventions mirroring rustc's output:
+
+* the return value lives in ``_0``; :meth:`FunctionBuilder.ret` assigns
+  it and emits the Return terminator,
+* blocks are labelled ``bb0, bb1, ...`` and ``bb0`` is the entry,
+* the *lifting pass* runs automatically at :meth:`finish`: every variable
+  whose address is taken by Ref/AddressOf is classified as local, every
+  other variable is a temporary (Sec. 3.2).
+
+Operands coerce from Python values: a ``str`` is ``Copy`` of that
+variable, an ``int`` is a typed constant (default type set per builder),
+a ``bool`` is a boolean constant, a :class:`~repro.mir.ast.Place` is a
+Copy of the place, and any :class:`~repro.mir.value.Value` is a constant.
+"""
+
+from typing import Optional
+
+from repro.errors import MirError
+from repro.mir import ast
+from repro.mir.ast import (
+    AggregateKind,
+    AggregateRv,
+    Assert,
+    Assign,
+    BasicBlock,
+    BinOp,
+    BinaryOp,
+    Call,
+    Cast,
+    CastKind,
+    CheckedBinaryOp,
+    Constant,
+    Copy,
+    Discriminant,
+    Drop,
+    Function,
+    Goto,
+    Len,
+    Nop,
+    Operand,
+    Place,
+    Program,
+    Ref,
+    AddressOf,
+    Repeat,
+    Return,
+    Rvalue,
+    SetDiscriminant,
+    StorageDead,
+    StorageLive,
+    SwitchInt,
+    UnOp,
+    UnaryOp,
+    Use,
+    place,
+)
+from repro.mir.types import BOOL, U64, UNIT, MirTy
+from repro.mir.value import Value, mk_bool, mk_int, unit
+
+
+class FunctionBuilder:
+    """Builds one mirlight function block by block."""
+
+    def __init__(self, name, params=(), ret_ty=UNIT, default_int_ty=U64,
+                 layer=None, attrs=()):
+        self.name = name
+        self.params = tuple(params)
+        self.ret_ty = ret_ty
+        self.default_int_ty = default_int_ty
+        self.layer = layer
+        self.attrs = tuple(attrs)
+        self.var_tys = {}
+        self._blocks = {}
+        self._order = []
+        self._current_label = "bb0"
+        self._current_statements = []
+        self._next_block = 1
+        self._finished = False
+        self._forced_locals = set()
+
+    # -- coercions ----------------------------------------------------------
+
+    def operand(self, x):
+        """Coerce ``x`` into an Operand (see module docstring)."""
+        if isinstance(x, Operand):
+            return x
+        if isinstance(x, Place):
+            return Copy(x)
+        if isinstance(x, str):
+            return Copy(place(x))
+        if isinstance(x, bool):
+            return Constant(mk_bool(x))
+        if isinstance(x, int):
+            return Constant(mk_int(x, self.default_int_ty))
+        if isinstance(x, Value):
+            return Constant(x)
+        raise MirError(f"cannot coerce {x!r} into an operand")
+
+    def _as_place(self, x):
+        if isinstance(x, Place):
+            return x
+        if isinstance(x, str):
+            return place(x)
+        raise MirError(f"cannot coerce {x!r} into a place")
+
+    def _as_rvalue(self, x):
+        if isinstance(x, Rvalue):
+            return x
+        return Use(self.operand(x))
+
+    # -- block management ------------------------------------------------------
+
+    def fresh_label(self):
+        """Allocate the next ``bbN`` label."""
+        label = f"bb{self._next_block}"
+        self._next_block += 1
+        return label
+
+    def label(self, name=None):
+        """Start a new block (sealing requires a prior terminator)."""
+        if self._current_label is not None:
+            raise MirError(
+                f"{self.name}: block {self._current_label} not terminated "
+                f"before starting a new one"
+            )
+        new_label = name if name is not None else self.fresh_label()
+        self._current_label = new_label
+        self._current_statements = []
+        return new_label
+
+    def _emit(self, statement):
+        if self._current_label is None:
+            raise MirError(
+                f"{self.name}: statement emitted outside any block "
+                f"(missing label() after a terminator?)"
+            )
+        self._current_statements.append(statement)
+
+    def _terminate(self, terminator):
+        if self._current_label is None:
+            raise MirError(f"{self.name}: terminator without an open block")
+        block = BasicBlock(self._current_label,
+                           tuple(self._current_statements), terminator)
+        if block.label in self._blocks:
+            raise MirError(f"{self.name}: duplicate block {block.label}")
+        self._blocks[block.label] = block
+        self._order.append(block.label)
+        self._current_label = None
+        self._current_statements = []
+
+    # -- statements ---------------------------------------------------------------
+
+    def assign(self, dest, rvalue):
+        """Emit ``dest = rvalue;`` (operands coerce)."""
+        self._emit(Assign(self._as_place(dest), self._as_rvalue(rvalue)))
+        return self
+
+    let = assign  # idiomatic alias: fb.let("_1", ...)
+
+    def binop(self, dest, op, lhs, rhs):
+        """Emit a binary-operation assignment."""
+        self.assign(dest, BinaryOp(op, self.operand(lhs), self.operand(rhs)))
+        return self
+
+    def checked_binop(self, dest, op, lhs, rhs):
+        """Emit an overflow-checked binary operation."""
+        self.assign(dest,
+                    CheckedBinaryOp(op, self.operand(lhs), self.operand(rhs)))
+        return self
+
+    def unop(self, dest, op, operand):
+        """Emit a unary-operation assignment."""
+        self.assign(dest, UnaryOp(op, self.operand(operand)))
+        return self
+
+    def cast(self, dest, operand, ty, kind=CastKind.INT_TO_INT):
+        """Emit a cast assignment."""
+        self.assign(dest, Cast(kind, self.operand(operand), ty))
+        return self
+
+    def ref(self, dest, target, mutable=True):
+        """Emit ``dest = &target`` (forces ``target`` local)."""
+        target_place = self._as_place(target)
+        if _ref_forces_local(target_place):
+            self._forced_locals.add(target_place.var)
+        self.assign(dest, Ref(target_place, mutable))
+        return self
+
+    def address_of(self, dest, target, mutable=True):
+        """Emit ``dest = &raw target``."""
+        target_place = self._as_place(target)
+        if _ref_forces_local(target_place):
+            self._forced_locals.add(target_place.var)
+        self.assign(dest, AddressOf(target_place, mutable))
+        return self
+
+    def tuple_(self, dest, *elems):
+        """Emit tuple construction."""
+        self.assign(dest, AggregateRv(AggregateKind.TUPLE,
+                                      tuple(self.operand(e) for e in elems)))
+        return self
+
+    def struct(self, dest, *fields):
+        """Emit struct construction."""
+        self.assign(dest, AggregateRv(AggregateKind.STRUCT,
+                                      tuple(self.operand(f) for f in fields)))
+        return self
+
+    def variant(self, dest, discriminant, *fields):
+        """Emit enum-variant construction."""
+        self.assign(dest, AggregateRv(AggregateKind.VARIANT,
+                                      tuple(self.operand(f) for f in fields),
+                                      variant=discriminant))
+        return self
+
+    def array(self, dest, elems):
+        """Emit array construction."""
+        self.assign(dest, AggregateRv(AggregateKind.ARRAY,
+                                      tuple(self.operand(e) for e in elems)))
+        return self
+
+    def repeat(self, dest, element, count):
+        """Emit ``[element; count]``."""
+        self.assign(dest, Repeat(self.operand(element), count))
+        return self
+
+    def len_(self, dest, target):
+        """Emit an array-length read."""
+        self.assign(dest, Len(self._as_place(target)))
+        return self
+
+    def discriminant(self, dest, target):
+        """Emit a discriminant read."""
+        self.assign(dest, Discriminant(self._as_place(target)))
+        return self
+
+    def set_discriminant(self, target, variant):
+        """Emit a SetDiscriminant statement."""
+        self._emit(SetDiscriminant(self._as_place(target), variant))
+        return self
+
+    def storage_live(self, var):
+        """Emit StorageLive bookkeeping."""
+        self._emit(StorageLive(var))
+        return self
+
+    def storage_dead(self, var):
+        """Emit StorageDead bookkeeping."""
+        self._emit(StorageDead(var))
+        return self
+
+    def nop(self):
+        """Emit a no-op statement."""
+        self._emit(Nop())
+        return self
+
+    # -- terminators -----------------------------------------------------------------
+
+    def goto(self, target):
+        """Terminate the block with a jump."""
+        self._terminate(Goto(target))
+        return self
+
+    def switch(self, operand, targets, otherwise):
+        """Terminate with a multi-way integer branch."""
+        self._terminate(SwitchInt(self.operand(operand),
+                                  tuple(targets), otherwise))
+        return self
+
+    def branch(self, cond, if_true, if_false):
+        """``if cond {if_true} else {if_false}`` — sugar over SwitchInt,
+        matching rustc's lowering (false = 0 tested, true otherwise)."""
+        self.switch(cond, [(0, if_false)], otherwise=if_true)
+        return self
+
+    def ret(self, value=None):
+        """Assign ``_0`` (unless None) and emit Return."""
+        if value is not None:
+            self.assign(Function.RETURN_VAR, value)
+        self._terminate(Return())
+        return self
+
+    def call(self, dest, func_name, args=(), target=None):
+        """Emit a Call terminator.
+
+        If ``target`` is None a fresh continuation block is opened
+        immediately, so straight-line transcriptions read naturally::
+
+            fb.call("_3", "alloc_frame", [])
+            fb.binop("_4", BinOp.ADD, "_3", 1)
+        """
+        continue_at = target if target is not None else self.fresh_label()
+        self._terminate(Call(ast.ConstFn(func_name),
+                             tuple(self.operand(a) for a in args),
+                             self._as_place(dest), continue_at))
+        if target is None:
+            self.label(continue_at)
+        return self
+
+    def drop_(self, target, jump_to=None):
+        """Terminate with Drop, continuing at a fresh block."""
+        continue_at = jump_to if jump_to is not None else self.fresh_label()
+        self._terminate(Drop(self._as_place(target), continue_at))
+        if jump_to is None:
+            self.label(continue_at)
+        return self
+
+    def assert_(self, cond, msg, expected=True, target=None):
+        """Terminate with an Assert (a modelled Rust panic)."""
+        continue_at = target if target is not None else self.fresh_label()
+        self._terminate(Assert(self.operand(cond), expected, msg, continue_at))
+        if target is None:
+            self.label(continue_at)
+        return self
+
+    # -- typing / finish ------------------------------------------------------------------
+
+    def declare(self, var, ty):
+        """Record a variable's type (documentation + symbolic widths)."""
+        self.var_tys[var] = ty
+        return self
+
+    def finish(self):
+        """Seal the function: run the lifting pass and build the Function."""
+        if self._finished:
+            raise MirError(f"{self.name}: finish() called twice")
+        if self._current_label is not None:
+            raise MirError(
+                f"{self.name}: open block {self._current_label} at finish()"
+            )
+        if "bb0" not in self._blocks:
+            raise MirError(f"{self.name}: no entry block bb0")
+        self._finished = True
+        locals_ = frozenset(self._forced_locals | _address_taken(self._blocks))
+        return Function(
+            name=self.name,
+            params=self.params,
+            blocks=dict(self._blocks),
+            entry="bb0",
+            locals_=locals_,
+            var_tys=dict(self.var_tys),
+            ret_ty=self.ret_ty,
+            layer=self.layer,
+            attrs=self.attrs,
+        )
+
+
+def _ref_forces_local(target_place):
+    """Taking ``&x.f`` makes ``x`` a local; taking ``&(*p).f`` does not —
+    the referent already lives behind the pointer in ``p``, so ``p``
+    itself can stay a temporary."""
+    projections = target_place.projections
+    return not projections or not isinstance(projections[0], ast.Deref)
+
+
+def _address_taken(blocks):
+    """The lifting pass: variables appearing under Ref/AddressOf (not
+    through a leading deref) are locals; everything else stays temporary."""
+    taken = set()
+    for block in blocks.values():
+        for stmt in block.statements:
+            if isinstance(stmt, Assign) and isinstance(
+                    stmt.rvalue, (Ref, AddressOf)):
+                if _ref_forces_local(stmt.rvalue.place):
+                    taken.add(stmt.rvalue.place.var)
+    return taken
+
+
+class ProgramBuilder:
+    """Accumulates functions and globals into a Program."""
+
+    def __init__(self):
+        self._program = Program()
+
+    def function(self, name, params=(), ret_ty=UNIT, default_int_ty=U64,
+                 layer=None, attrs=()):
+        """Open a FunctionBuilder whose finish() also registers it."""
+        builder = FunctionBuilder(name, params, ret_ty, default_int_ty,
+                                  layer, attrs)
+        original_finish = builder.finish
+        program = self._program
+
+        def finish_and_register():
+            function = original_finish()
+            program.add_function(function)
+            return function
+
+        builder.finish = finish_and_register
+        return builder
+
+    def add(self, function):
+        """Register an already-built function."""
+        self._program.add_function(function)
+        return self
+
+    def global_(self, name, value):
+        """Declare a global with its initial value."""
+        self._program.globals_[name] = value
+        return self
+
+    def build(self):
+        return self._program

@@ -1,0 +1,145 @@
+"""Object-view memory.
+
+"We view the memory in a structured way, as collections of
+non-overlapping objects, different from the flat-array-of-bytes ... view
+in C."  (Sec. 3.2)
+
+Memory maps each *base* (a global or a frame-pinned local) to a single
+value tree.  Reads and writes take a :class:`~repro.mir.path.Path` and
+project into / functionally update that tree.  Three consequences mirror
+the paper's claims:
+
+1. a pointer (path) is valid iff its base object exists and the
+   projections stay in range — no "points to a valid region" side
+   conditions,
+2. types are carried by the values themselves — no "pointer type matches
+   region type" side conditions, and
+3. a write changes exactly the addressed location — distinct (non
+   prefix-related) paths never interfere, which :func:`write` guarantees
+   structurally rather than axiomatically.
+
+Deallocation is a no-op (Sec. 3.2, "Memory Safety Implies Pointer
+Validity"): ``drop_base`` exists so tests can model StorageDead, but the
+default interpreter never calls it, exactly as the paper treats Rust
+deallocation points.
+"""
+
+from repro.errors import MirRuntimeError, MirTypeError
+from repro.mir.path import Path
+from repro.mir.value import Aggregate, Value
+
+
+class ObjectMemory:
+    """A collection of non-overlapping objects addressed by paths."""
+
+    def __init__(self):
+        self._objects = {}
+        self._write_count = 0
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def write_count(self):
+        """Number of memory writes performed; the temporary-lifting
+        ablation bench compares this across semantics variants."""
+        return self._write_count
+
+    def bases(self):
+        """All live base objects (for dump/debug and the figure benches)."""
+        return tuple(self._objects.keys())
+
+    def has_base(self, base):
+        return base in self._objects
+
+    def snapshot(self):
+        """A shallow copy sharing all (immutable) value trees.
+
+        Cheap because values are immutable; used by the refinement checker
+        to compare pre/post states.
+        """
+        copy = ObjectMemory()
+        copy._objects = dict(self._objects)
+        copy._write_count = self._write_count
+        return copy
+
+    def __eq__(self, other):
+        if not isinstance(other, ObjectMemory):
+            return NotImplemented
+        return self._objects == other._objects
+
+    def __len__(self):
+        return len(self._objects)
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate(self, base, value):
+        """Install a fresh base object holding ``value``.
+
+        Allocating over a live base is a bug in the client (objects are
+        non-overlapping and bases are unique per frame), so it errors.
+        """
+        if base in self._objects:
+            raise MirRuntimeError(f"base object {base} already allocated")
+        if not isinstance(value, Value):
+            raise MirTypeError(f"cannot store non-Value {value!r}")
+        self._objects[base] = value
+        self._write_count += 1
+
+    def drop_base(self, base):
+        """Remove a base object.  Never called by the default semantics —
+        see module docstring."""
+        self._objects.pop(base, None)
+
+    # -- reads -------------------------------------------------------------
+
+    def read(self, path):
+        """Project the value at ``path`` out of its base object."""
+        if not isinstance(path, Path):
+            raise MirTypeError(f"memory read needs a Path, got {path!r}")
+        try:
+            value = self._objects[path.base]
+        except KeyError:
+            raise MirRuntimeError(f"read from unallocated object {path.base}")
+        for proj in path.projections:
+            value = value.expect_aggregate(f"projection {proj} on {path}")
+            value = value.field(proj.index)
+        return value
+
+    # -- writes ------------------------------------------------------------
+
+    def write(self, path, new_value):
+        """Functionally update the value at ``path``.
+
+        Rebuilds the spine of aggregates from the base down to the
+        assigned location, so every value off the spine is shared
+        unchanged — the structural form of the paper's "assignment ...
+        only changing at the assigned location" axiom.
+        """
+        if not isinstance(new_value, Value):
+            raise MirTypeError(f"cannot store non-Value {new_value!r}")
+        try:
+            root = self._objects[path.base]
+        except KeyError:
+            raise MirRuntimeError(f"write to unallocated object {path.base}")
+        self._objects[path.base] = _update(root, path.projections, new_value, path)
+        self._write_count += 1
+
+    def write_or_allocate(self, path, new_value):
+        """Write, allocating the base if this is its first use.
+
+        Covers MIR's StorageLive-then-assign idiom for locals without
+        requiring an explicit initial value.
+        """
+        if path.base not in self._objects and not path.projections:
+            self.allocate(path.base, new_value)
+            return
+        self.write(path, new_value)
+
+
+def _update(value, projections, new_value, full_path):
+    if not projections:
+        return new_value
+    head, rest = projections[0], projections[1:]
+    agg = value.expect_aggregate(f"projection {head} on {full_path}")
+    updated_child = _update(agg.field(head.index), rest, new_value, full_path)
+    return agg.with_field(head.index, updated_child)

@@ -1,0 +1,615 @@
+"""Parser for the textual mirlight format.
+
+This is the front half of our ``mirlightgen`` substitute: it turns the
+textual MIR-like dumps (see :mod:`repro.mir.printer` for the grammar by
+example) into :mod:`repro.mir.ast` programs.  The parser re-runs the
+lifting pass (Sec. 3.2) rather than trusting serialized local lists, so
+printed and parsed functions classify variables identically — tests pin
+the print→parse→print fixpoint.
+
+Grammar sketch::
+
+    program    := (static | function)*
+    static     := "static" IDENT "=" const ";"
+    function   := "fn" IDENT "(" params ")" "->" type attrs? "{" lets blocks "}"
+    block      := LABEL ":" "{" statement* terminator "}"
+    place      := atom ("." INT | "[" IDENT "]" | "[" INT "c" "]")*
+    atom       := IDENT | "(" "*" place ")" | "(" place "as" "v" INT ")"
+    operand    := ("copy" | "move") place | "const" const
+"""
+
+import re
+
+from repro.errors import MirParseError
+from repro.mir import ast
+from repro.mir.ast import BinOp, CastKind, UnOp
+from repro.mir.builder import _address_taken
+from repro.mir.types import (
+    ArrayTy,
+    RawPtrTy,
+    RefTy,
+    TupleTy,
+    UNIT,
+    type_from_name,
+)
+from repro.mir.value import (
+    Aggregate,
+    CharValue,
+    FnValue,
+    StrValue,
+    mk_bool,
+    mk_int,
+    unit,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>//[^\n]*)
+  | (?P<STRING>"(?:\\.|[^"\\])*")
+  | (?P<CHAR>'(?:\\.|[^'\\])')
+  | (?P<INT>-?\d+(?:_[iu](?:8|16|32|64|128|size))?)
+  | (?P<ARROW>->)
+  | (?P<OP>==|!=|<=|>=|<<|>>|[+\-*/%&|^<>=!.,;:#@\[\](){}])
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_BINOPS = {op.value: op for op in BinOp}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.kind}({self.text!r})"
+
+
+def _tokenize(source):
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise MirParseError(
+                f"unexpected character {source[pos]!r}", line=line
+            )
+        kind = match.lastgroup
+        text = match.group()
+        line += text.count("\n")
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, text, line))
+        pos = match.end()
+    tokens.append(_Token("EOF", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source):
+        self._tokens = _tokenize(source)
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, ahead=0):
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _next(self):
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect(self, text):
+        token = self._next()
+        if token.text != text:
+            raise MirParseError(
+                f"expected {text!r}, found {token.text!r}", line=token.line
+            )
+        return token
+
+    def _expect_kind(self, kind):
+        token = self._next()
+        if token.kind != kind:
+            raise MirParseError(
+                f"expected {kind}, found {token.text!r}", line=token.line
+            )
+        return token
+
+    def _at(self, text, ahead=0):
+        return self._peek(ahead).text == text
+
+    def _accept(self, text):
+        if self._at(text):
+            self._next()
+            return True
+        return False
+
+    # -- program / function --------------------------------------------------
+
+    def parse_program(self):
+        """Parse statics and functions until EOF."""
+        program = ast.Program()
+        while self._peek().kind != "EOF":
+            if self._at("static"):
+                name, value = self._parse_static()
+                program.globals_[name] = value
+            elif self._at("fn"):
+                program.add_function(self.parse_function())
+            else:
+                token = self._peek()
+                raise MirParseError(
+                    f"expected 'static' or 'fn', found {token.text!r}",
+                    line=token.line,
+                )
+        return program
+
+    def _parse_static(self):
+        self._expect("static")
+        name = self._expect_kind("IDENT").text
+        self._expect("=")
+        value = self._parse_const()
+        self._expect(";")
+        return name, value
+
+    def parse_function(self):
+        """Parse one ``fn`` definition."""
+        self._expect("fn")
+        name = self._expect_kind("IDENT").text
+        self._expect("(")
+        params = []
+        while not self._at(")"):
+            params.append(self._expect_kind("IDENT").text)
+            if not self._at(")"):
+                self._expect(",")
+        self._expect(")")
+        self._expect("->")
+        ret_ty = self._parse_type()
+        layer = None
+        attrs = ()
+        while self._at("@"):
+            self._next()
+            marker = self._expect_kind("IDENT").text
+            self._expect("(")
+            if marker == "layer":
+                layer = self._expect_kind("IDENT").text
+            elif marker == "attrs":
+                collected = [self._expect_kind("IDENT").text]
+                while self._accept(","):
+                    collected.append(self._expect_kind("IDENT").text)
+                attrs = tuple(collected)
+            else:
+                raise MirParseError(f"unknown marker @{marker}",
+                                    line=self._peek().line)
+            self._expect(")")
+        self._expect("{")
+        var_tys = {}
+        while self._at("let"):
+            self._next()
+            var = self._expect_kind("IDENT").text
+            self._expect(":")
+            var_tys[var] = self._parse_type()
+            self._expect(";")
+        blocks = {}
+        while not self._at("}"):
+            block = self._parse_block()
+            if block.label in blocks:
+                raise MirParseError(f"duplicate block {block.label}",
+                                    line=self._peek().line)
+            blocks[block.label] = block
+        self._expect("}")
+        if "bb0" not in blocks:
+            raise MirParseError(f"function {name} has no entry block bb0")
+        return ast.Function(
+            name=name,
+            params=tuple(params),
+            blocks=blocks,
+            entry="bb0",
+            locals_=frozenset(_address_taken(blocks)),
+            var_tys=var_tys,
+            ret_ty=ret_ty,
+            layer=layer,
+            attrs=attrs,
+        )
+
+    def _parse_block(self):
+        label = self._expect_kind("IDENT").text
+        self._expect(":")
+        self._expect("{")
+        statements = []
+        terminator = None
+        while not self._at("}"):
+            item = self._parse_statement_or_terminator()
+            if isinstance(item, ast.Terminator):
+                terminator = item
+                break
+            statements.append(item)
+        self._expect("}")
+        if terminator is None:
+            raise MirParseError(f"block {label} has no terminator")
+        return ast.BasicBlock(label, tuple(statements), terminator)
+
+    # -- statements / terminators ------------------------------------------------
+
+    def _parse_statement_or_terminator(self):
+        token = self._peek()
+        if token.text == "StorageLive":
+            self._next(); self._expect("(")
+            var = self._expect_kind("IDENT").text
+            self._expect(")"); self._expect(";")
+            return ast.StorageLive(var)
+        if token.text == "StorageDead":
+            self._next(); self._expect("(")
+            var = self._expect_kind("IDENT").text
+            self._expect(")"); self._expect(";")
+            return ast.StorageDead(var)
+        if token.text == "nop":
+            self._next(); self._expect(";")
+            return ast.Nop()
+        if token.text == "goto":
+            self._next(); self._expect("->")
+            target = self._expect_kind("IDENT").text
+            self._expect(";")
+            return ast.Goto(target)
+        if token.text == "return":
+            self._next(); self._expect(";")
+            return ast.Return()
+        if token.text == "switchInt":
+            return self._parse_switch()
+        if token.text == "drop":
+            self._next(); self._expect("(")
+            target_place = self._parse_place()
+            self._expect(")"); self._expect("->")
+            target = self._expect_kind("IDENT").text
+            self._expect(";")
+            return ast.Drop(target_place, target)
+        if token.text == "assert":
+            return self._parse_assert()
+        if token.text == "discriminant" and self._maybe_set_discriminant():
+            return self._parse_set_discriminant()
+        return self._parse_assign_or_call()
+
+    def _maybe_set_discriminant(self):
+        """Disambiguate ``discriminant(p) = N;`` (statement) from an
+        assignment whose LHS merely starts with that identifier."""
+        depth = 0
+        ahead = 1  # skip 'discriminant'
+        if not self._at("(", 1):
+            return False
+        while True:
+            token = self._peek(ahead)
+            if token.kind == "EOF":
+                return False
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return self._peek(ahead + 1).text == "="
+            ahead += 1
+
+    def _parse_set_discriminant(self):
+        self._expect("discriminant"); self._expect("(")
+        target_place = self._parse_place()
+        self._expect(")"); self._expect("=")
+        variant = int(self._expect_kind("INT").text)
+        self._expect(";")
+        return ast.SetDiscriminant(target_place, variant)
+
+    def _parse_switch(self):
+        self._expect("switchInt"); self._expect("(")
+        operand = self._parse_operand()
+        self._expect(")"); self._expect("[")
+        targets = []
+        otherwise = None
+        while True:
+            if self._at("otherwise"):
+                self._next(); self._expect("->")
+                otherwise = self._expect_kind("IDENT").text
+                break
+            value = self._parse_raw_int()
+            self._expect("->")
+            label = self._expect_kind("IDENT").text
+            targets.append((value, label))
+            self._expect(",")
+        self._expect("]"); self._expect(";")
+        return ast.SwitchInt(operand, tuple(targets), otherwise)
+
+    def _parse_assert(self):
+        self._expect("assert"); self._expect("(")
+        cond = self._parse_operand()
+        self._expect("==")
+        expected_tok = self._next()
+        if expected_tok.text not in ("true", "false"):
+            raise MirParseError("assert expects 'true' or 'false'",
+                                line=expected_tok.line)
+        self._expect(",")
+        msg_tok = self._expect_kind("STRING")
+        self._expect(")"); self._expect("->")
+        target = self._expect_kind("IDENT").text
+        self._expect(";")
+        return ast.Assert(cond, expected_tok.text == "true",
+                          _unescape(msg_tok.text), target)
+
+    def _parse_assign_or_call(self):
+        dest = self._parse_place()
+        self._expect("=")
+        if self._peek().text in ("copy", "move", "const"):
+            operand = self._parse_operand()
+            if self._at("("):
+                return self._finish_call(dest, operand)
+            rvalue = self._finish_operand_rvalue(operand)
+        else:
+            rvalue = self._parse_prefix_rvalue()
+        self._expect(";")
+        return ast.Assign(dest, rvalue)
+
+    def _finish_call(self, dest, func_operand):
+        self._expect("(")
+        args = []
+        while not self._at(")"):
+            args.append(self._parse_operand())
+            if not self._at(")"):
+                self._expect(",")
+        self._expect(")"); self._expect("->")
+        target = self._expect_kind("IDENT").text
+        self._expect(";")
+        return ast.Call(func_operand, tuple(args), dest, target)
+
+    # -- rvalues ---------------------------------------------------------------------
+
+    def _finish_operand_rvalue(self, operand):
+        """After a leading operand: binop, cast, or plain Use."""
+        text = self._peek().text
+        if text in _BINOPS and text != "as":
+            self._next()
+            rhs = self._parse_operand()
+            return ast.BinaryOp(_BINOPS[text], operand, rhs)
+        if text == "as":
+            self._next()
+            ty = self._parse_type()
+            self._expect("(")
+            kind_name = self._expect_kind("IDENT").text
+            self._expect(")")
+            try:
+                kind = CastKind(kind_name)
+            except ValueError:
+                raise MirParseError(f"unknown cast kind {kind_name!r}")
+            return ast.Cast(kind, operand, ty)
+        return ast.Use(operand)
+
+    def _parse_prefix_rvalue(self):
+        token = self._peek()
+        text = token.text
+        if text == "&":
+            return self._parse_ref()
+        if text == "Checked":
+            self._next(); self._expect("(")
+            left = self._parse_operand()
+            op = _BINOPS.get(self._next().text)
+            if op is None:
+                raise MirParseError("bad Checked operator", line=token.line)
+            right = self._parse_operand()
+            self._expect(")")
+            return ast.CheckedBinaryOp(op, left, right)
+        if text in ("!", "-"):
+            self._next()
+            operand = self._parse_operand()
+            return ast.UnaryOp(UnOp.NOT if text == "!" else UnOp.NEG, operand)
+        if text in ("tuple", "struct", "array"):
+            self._next()
+            kind = ast.AggregateKind(text)
+            return ast.AggregateRv(kind, self._parse_operand_list())
+        if text == "variant":
+            self._next(); self._expect("#")
+            variant = self._parse_raw_int()
+            return ast.AggregateRv(ast.AggregateKind.VARIANT,
+                                   self._parse_operand_list(), variant=variant)
+        if text == "[":
+            self._next()
+            operand = self._parse_operand()
+            self._expect(";")
+            count = self._parse_raw_int()
+            self._expect("]")
+            return ast.Repeat(operand, count)
+        if text == "Len":
+            self._next(); self._expect("(")
+            target = self._parse_place()
+            self._expect(")")
+            return ast.Len(target)
+        if text == "discriminant":
+            self._next(); self._expect("(")
+            target = self._parse_place()
+            self._expect(")")
+            return ast.Discriminant(target)
+        if text == "deref_copy":
+            self._next()
+            return ast.CopyForDeref(self._parse_place())
+        if text in ("SizeOf", "AlignOf"):
+            self._next(); self._expect("(")
+            ty = self._parse_type()
+            self._expect(")")
+            op = ast.NullOp.SIZE_OF if text == "SizeOf" else ast.NullOp.ALIGN_OF
+            return ast.NullaryOp(op, ty)
+        raise MirParseError(f"cannot parse rvalue at {text!r}",
+                            line=token.line)
+
+    def _parse_ref(self):
+        self._expect("&")
+        if self._at("raw"):
+            self._next()
+            mut_tok = self._next()
+            if mut_tok.text not in ("mut", "const"):
+                raise MirParseError("&raw needs mut/const", line=mut_tok.line)
+            return ast.AddressOf(self._parse_place(), mut_tok.text == "mut")
+        mutable = self._accept("mut")
+        return ast.Ref(self._parse_place(), mutable)
+
+    def _parse_operand_list(self):
+        self._expect("(")
+        operands = []
+        while not self._at(")"):
+            operands.append(self._parse_operand())
+            if not self._at(")"):
+                self._expect(",")
+        self._expect(")")
+        return tuple(operands)
+
+    # -- operands / places / constants -------------------------------------------------
+
+    def _parse_operand(self):
+        token = self._peek()
+        if token.text == "copy":
+            self._next()
+            return ast.Copy(self._parse_place())
+        if token.text == "move":
+            self._next()
+            return ast.Move(self._parse_place())
+        if token.text == "const":
+            self._next()
+            return ast.Constant(self._parse_const())
+        raise MirParseError(
+            f"expected operand (copy/move/const), found {token.text!r}",
+            line=token.line,
+        )
+
+    def _parse_place(self):
+        token = self._peek()
+        if token.text == "(":
+            self._next()
+            if self._accept("*"):
+                inner = self._parse_place()
+                self._expect(")")
+                base = ast.Place(inner.var,
+                                 inner.projections + (ast.Deref(),))
+            else:
+                inner = self._parse_place()
+                self._expect("as")
+                variant_tok = self._expect_kind("IDENT")
+                if not variant_tok.text.startswith("v"):
+                    raise MirParseError("downcast expects vN",
+                                        line=variant_tok.line)
+                variant = int(variant_tok.text[1:])
+                self._expect(")")
+                base = ast.Place(inner.var,
+                                 inner.projections + (ast.Downcast(variant),))
+        else:
+            base = ast.Place(self._expect_kind("IDENT").text)
+        return self._parse_place_postfix(base)
+
+    def _parse_place_postfix(self, base):
+        while True:
+            if self._at(".") and self._peek(1).kind == "INT":
+                self._next()
+                index = int(self._next().text)
+                base = ast.Place(base.var,
+                                 base.projections + (ast.FieldProj(index),))
+            elif self._at("["):
+                self._next()
+                token = self._next()
+                if token.kind == "INT":
+                    index = int(token.text)
+                    self._expect("c")
+                    proj = ast.ConstantIndex(index)
+                elif token.kind == "IDENT":
+                    proj = ast.IndexProj(token.text)
+                else:
+                    raise MirParseError("bad index projection",
+                                        line=token.line)
+                self._expect("]")
+                base = ast.Place(base.var, base.projections + (proj,))
+            else:
+                return base
+
+    def _parse_raw_int(self):
+        token = self._expect_kind("INT")
+        return int(token.text.split("_")[0])
+
+    def _parse_const(self):
+        token = self._next()
+        if token.kind == "INT":
+            if "_" in token.text:
+                digits, suffix = token.text.split("_")
+                return mk_int(int(digits), type_from_name(suffix))
+            return mk_int(int(token.text))
+        if token.text == "true":
+            return mk_bool(True)
+        if token.text == "false":
+            return mk_bool(False)
+        if token.text == "(":
+            self._expect(")")
+            return unit()
+        if token.kind == "STRING":
+            return StrValue(_unescape(token.text))
+        if token.kind == "CHAR":
+            return CharValue(token.text[1:-1])
+        if token.text == "fn":
+            return FnValue(self._expect_kind("IDENT").text)
+        if token.text == "#":
+            discriminant = self._parse_raw_int()
+            self._expect("(")
+            fields = []
+            while not self._at(")"):
+                fields.append(self._parse_const())
+                if not self._at(")"):
+                    self._expect(",")
+            self._expect(")")
+            return Aggregate(discriminant, tuple(fields))
+        raise MirParseError(f"cannot parse constant at {token.text!r}",
+                            line=token.line)
+
+    # -- types -------------------------------------------------------------------------
+
+    def _parse_type(self):
+        token = self._peek()
+        if token.text == "(":
+            self._next()
+            if self._accept(")"):
+                return UNIT
+            elems = [self._parse_type()]
+            while self._accept(","):
+                elems.append(self._parse_type())
+            self._expect(")")
+            return TupleTy(tuple(elems))
+        if token.text == "&":
+            self._next()
+            mutable = self._accept("mut")
+            return RefTy(self._parse_type(), mutable)
+        if token.text == "*":
+            self._next()
+            mut_tok = self._next()
+            if mut_tok.text not in ("mut", "const"):
+                raise MirParseError("raw pointer type needs mut/const",
+                                    line=mut_tok.line)
+            return RawPtrTy(self._parse_type(), mut_tok.text == "mut")
+        if token.text == "[":
+            self._next()
+            elem = self._parse_type()
+            self._expect(";")
+            length = self._parse_raw_int()
+            self._expect("]")
+            return ArrayTy(elem, length)
+        name = self._expect_kind("IDENT").text
+        return type_from_name(name)
+
+
+def _unescape(quoted):
+    body = quoted[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_program(source):
+    """Parse a whole mirlight source file into a Program."""
+    return _Parser(source).parse_program()
+
+
+def parse_function(source):
+    """Parse a single ``fn`` definition into a Function."""
+    return _Parser(source).parse_function()

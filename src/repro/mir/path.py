@@ -1,0 +1,134 @@
+"""Path addresses for the object-view memory model.
+
+The paper replaces flat integer addresses with *paths* (Sec. 3.2):
+
+    "A path simply consists of an identifier with a list of integer
+     indices, essentially the base object and a list of projections.
+     For example the expression foo.bar.1 will be modeled as
+     GlobalPath IDENT_foo [OFFSET_bar 1]."
+
+A path is a *base* (either a global variable, or a local variable pinned
+to a particular activation frame) plus a tuple of integer projections.
+Struct fields and array elements project uniformly by integer index, so a
+single :class:`Field`/:class:`Index` pair covers both; we keep the two
+constructors distinct because the pretty-printer and the aliasing checker
+want to know which kind of projection produced an index.
+
+Paths are immutable and hashable; extending a path returns a new one.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True)
+class GlobalBase:
+    """Base of a path rooted at a global (static) variable."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class LocalBase:
+    """Base of a path rooted at a stack-allocated local.
+
+    ``frame_id`` pins the local to one activation of its function, so
+    recursive calls do not collide.  The paper's semantics never free
+    locals (memory safety implies pointer validity, Sec. 3.2), and neither
+    do we: a frame's locals simply stay in memory after return.
+    """
+
+    frame_id: int
+    name: str
+
+    def __str__(self):
+        return f"{self.name}@{self.frame_id}"
+
+
+PathBase = Union[GlobalBase, LocalBase]
+
+
+@dataclass(frozen=True)
+class Field:
+    """Projection into field ``index`` of a struct/enum/tuple value."""
+
+    index: int
+
+    def __str__(self):
+        return f".{self.index}"
+
+
+@dataclass(frozen=True)
+class Index:
+    """Projection into element ``index`` of an array value."""
+
+    index: int
+
+    def __str__(self):
+        return f"[{self.index}]"
+
+
+Projection = Union[Field, Index]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A base object plus a list of projections.
+
+    Two paths alias iff one is a prefix of the other — which is exactly
+    the property :meth:`overlaps` decides, and the property Rust's
+    ownership discipline rules out for simultaneously-live mutable
+    pointers.
+    """
+
+    base: PathBase
+    projections: Tuple[Projection, ...] = ()
+
+    @staticmethod
+    def global_(name):
+        return Path(GlobalBase(name))
+
+    @staticmethod
+    def local(frame_id, name):
+        return Path(LocalBase(frame_id, name))
+
+    def field(self, index):
+        """Extend with a struct/enum field projection."""
+        return Path(self.base, self.projections + (Field(index),))
+
+    def index(self, index):
+        """Extend with an array-element projection."""
+        return Path(self.base, self.projections + (Index(index),))
+
+    def extend(self, projection):
+        return Path(self.base, self.projections + (projection,))
+
+    @property
+    def indices(self):
+        """The raw integer projection list (the paper's ``list of integer
+        indices`` payload)."""
+        return tuple(p.index for p in self.projections)
+
+    def is_prefix_of(self, other):
+        """True if ``other`` is reachable by projecting from ``self``."""
+        if self.base != other.base:
+            return False
+        if len(self.projections) > len(other.projections):
+            return False
+        return other.projections[: len(self.projections)] == self.projections
+
+    def overlaps(self, other):
+        """True if writing one path could change the value at the other."""
+        return self.is_prefix_of(other) or other.is_prefix_of(self)
+
+    def parent(self):
+        """The path one projection up, or None at a base object."""
+        if not self.projections:
+            return None
+        return Path(self.base, self.projections[:-1])
+
+    def __str__(self):
+        return str(self.base) + "".join(str(p) for p in self.projections)

@@ -1,0 +1,228 @@
+"""Retrofitting lints (Sec. 2.3).
+
+The paper retrofits HyperEnclave before verification with four succinct
+code changes.  This module turns each rule into a mechanical lint over
+mirlight programs, so the corpus can be *checked* to be in retrofitted
+form rather than assumed to be:
+
+1. **Large loop bodies moved into helpers** — a natural loop whose body
+   exceeds a statement budget is flagged; the fix is a helper call inside
+   the loop (at most "one extra function call in some loops").
+2. **No closures** — MIR defunctionalizes closures into separate named
+   functions called indirectly; any Call whose callee operand is not a
+   constant function item is flagged.
+3. **No int-valued enum discriminate reads** — casting an enum to an
+   integer emits a ``discriminant`` instruction; reads of discriminants
+   that feed casts (rather than ``switchInt`` matches over data enums
+   like Option/Result) are flagged.
+4. **No lazy statics** — functions marked with the ``lazy_static`` attr,
+   or exhibiting the check-then-initialize pattern on a global (read a
+   global, branch on it, write the same global), are flagged; constants
+   must be hardcoded.
+
+:func:`check_retrofitted` runs all four and returns findings; an empty
+list certifies the program is in the form the verification framework
+expects.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.mir import ast
+
+DEFAULT_LOOP_BUDGET = 8
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One retrofit-rule violation."""
+
+    rule: str
+    function: str
+    detail: str
+
+    def __str__(self):
+        return f"[{self.rule}] {self.function}: {self.detail}"
+
+
+# ---------------------------------------------------------------------------
+# Rule 1 — loop bodies
+# ---------------------------------------------------------------------------
+
+
+def _successors(block):
+    term = block.terminator
+    if isinstance(term, ast.Goto):
+        return (term.target,)
+    if isinstance(term, ast.SwitchInt):
+        return tuple(lbl for _, lbl in term.targets) + (term.otherwise,)
+    if isinstance(term, (ast.Call, ast.Drop)):
+        return (term.target,)
+    if isinstance(term, ast.Assert):
+        return (term.target,)
+    return ()
+
+
+def _back_edges(function):
+    """(source, header) pairs found by DFS from the entry block."""
+    colour = {}
+    edges = []
+    stack = [(function.entry, iter(_successors(function.blocks[function.entry])))]
+    colour[function.entry] = "grey"
+    while stack:
+        label, successors = stack[-1]
+        advanced = False
+        for succ in successors:
+            if succ not in function.blocks:
+                continue
+            state = colour.get(succ)
+            if state == "grey":
+                edges.append((label, succ))
+            elif state is None:
+                colour[succ] = "grey"
+                stack.append((succ, iter(_successors(function.blocks[succ]))))
+                advanced = True
+                break
+        if not advanced:
+            colour[label] = "black"
+            stack.pop()
+    return edges
+
+
+def natural_loop_blocks(function, back_edge):
+    """The natural loop of ``back_edge = (source, header)``: header plus
+    every block that reaches source without passing through header."""
+    source, header = back_edge
+    loop = {header, source}
+    predecessors = {}
+    for label, block in function.blocks.items():
+        for succ in _successors(block):
+            predecessors.setdefault(succ, []).append(label)
+    worklist = [source]
+    while worklist:
+        label = worklist.pop()
+        for pred in predecessors.get(label, ()):
+            if pred not in loop:
+                loop.add(pred)
+                worklist.append(pred)
+    return loop
+
+
+def lint_loop_bodies(function, budget=DEFAULT_LOOP_BUDGET):
+    """Rule 1: flag natural loops whose bodies exceed ``budget`` statements."""
+    findings = []
+    for edge in _back_edges(function):
+        blocks = natural_loop_blocks(function, edge)
+        size = sum(len(function.blocks[lbl].statements) for lbl in blocks)
+        if size > budget:
+            findings.append(Finding(
+                "loop-body-size", function.name,
+                f"loop at {edge[1]} has {size} statements (> {budget}); "
+                f"move the body into a helper function"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule 2 — closures / indirect calls
+# ---------------------------------------------------------------------------
+
+
+def lint_no_indirect_calls(function):
+    """Rule 2: every callee must be a constant function item."""
+    findings = []
+    for label, block in function.blocks.items():
+        term = block.terminator
+        if isinstance(term, ast.Call) and not isinstance(
+                term.func, ast.Constant):
+            findings.append(Finding(
+                "closure-call", function.name,
+                f"indirect call in {label} (callee {term.func}); replace "
+                f"the closure/higher-order function with direct code"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule 3 — int-valued enum discriminants
+# ---------------------------------------------------------------------------
+
+
+def lint_discriminant_casts(function):
+    """Rule 3: a discriminant read that is later *cast to an integer*
+    signals an int-valued enum that should have been replaced by plain
+    constants.  Discriminant reads consumed by switchInt (Option/Result
+    matching) are fine."""
+    findings = []
+    for label, block in function.blocks.items():
+        discriminant_vars = set()
+        for stmt in block.statements:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if isinstance(stmt.rvalue, ast.Discriminant) and stmt.place.is_bare:
+                discriminant_vars.add(stmt.place.var)
+            elif isinstance(stmt.rvalue, ast.Cast):
+                operand = stmt.rvalue.operand
+                if (isinstance(operand, (ast.Copy, ast.Move))
+                        and operand.place.is_bare
+                        and operand.place.var in discriminant_vars):
+                    findings.append(Finding(
+                        "int-enum-discriminant", function.name,
+                        f"discriminant of an enum cast to an integer in "
+                        f"{label}; replace the enum with integer constants"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule 4 — lazy statics
+# ---------------------------------------------------------------------------
+
+
+def lint_no_lazy_static(function):
+    """Rule 4: flag the lazy-init pattern (branch on a global, then write
+    that same global) and explicit ``lazy_static`` attrs."""
+    findings = []
+    if "lazy_static" in function.attrs:
+        findings.append(Finding(
+            "lazy-static", function.name,
+            "function is marked lazy_static; hardcode the constant"))
+        return findings
+    branched_globals = set()
+    for block in function.blocks.values():
+        term = block.terminator
+        if isinstance(term, ast.SwitchInt) and isinstance(
+                term.operand, (ast.Copy, ast.Move)):
+            branched_globals.add(term.operand.place.var)
+    if not branched_globals:
+        return findings
+    for block in function.blocks.values():
+        for stmt in block.statements:
+            if (isinstance(stmt, ast.Assign) and stmt.place.is_bare
+                    and stmt.place.var in branched_globals
+                    and stmt.place.var.isupper()):
+                findings.append(Finding(
+                    "lazy-static", function.name,
+                    f"check-then-initialize pattern on global "
+                    f"{stmt.place.var}; hardcode the constant"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def check_function(function, loop_budget=DEFAULT_LOOP_BUDGET) -> List[Finding]:
+    """All four retrofit lints for one function."""
+    findings = []
+    findings.extend(lint_loop_bodies(function, loop_budget))
+    findings.extend(lint_no_indirect_calls(function))
+    findings.extend(lint_discriminant_casts(function))
+    findings.extend(lint_no_lazy_static(function))
+    return findings
+
+
+def check_retrofitted(program, loop_budget=DEFAULT_LOOP_BUDGET) -> List[Finding]:
+    """Lint every function; an empty result certifies retrofitted form."""
+    findings = []
+    for name in sorted(program.functions):
+        findings.extend(check_function(program.functions[name], loop_budget))
+    return findings

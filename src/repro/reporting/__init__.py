@@ -1,0 +1,16 @@
+"""Rendering helpers for the bench harness: tables and ASCII figures."""
+
+from repro.reporting.tables import render_table
+from repro.reporting.figures import (
+    fig1_architecture,
+    fig2_translation,
+    fig3_pipeline,
+    fig4_pointer_cases,
+    fig5_exploits,
+)
+
+__all__ = [
+    "render_table",
+    "fig1_architecture", "fig2_translation", "fig3_pipeline",
+    "fig4_pointer_cases", "fig5_exploits",
+]

@@ -1,0 +1,47 @@
+"""Fixed-width table rendering for bench output."""
+
+
+def render_table(headers, rows, title=None):
+    """Render an aligned text table.
+
+    ``rows`` cells are stringified; numeric cells are right-aligned,
+    text cells left-aligned.
+    """
+    stringified = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in stringified:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    numeric = [all(_is_numeric(row[i]) for row in stringified if row[i])
+               for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in stringified:
+        cells = []
+        for index, cell in enumerate(row):
+            if numeric[index]:
+                cells.append(cell.rjust(widths[index]))
+            else:
+                cells.append(cell.ljust(widths[index]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_numeric(text):
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,76 @@
+"""Security properties of HyperEnclave (Sec. 5).
+
+* :mod:`repro.security.invariants` — the four page-table invariant
+  families of Sec. 5.2 plus page-table residency, as executable checkers
+  over a live monitor,
+* :mod:`repro.security.state` / :mod:`repro.security.transitions` — the
+  abstract transition system of Sec. 5.1 (nondeterministic CPU-local
+  moves, ``mem_load``/``mem_store``, hypercalls),
+* :mod:`repro.security.oracle` — data oracles declassifying the
+  marshalling buffer (Sec. 5.4),
+* :mod:`repro.security.observation` — the observation function V(p, σ)
+  of Sec. 5.3,
+* :mod:`repro.security.noninterference` — Lemmas 5.2-5.4 and Theorem 5.1
+  as trace-pair checkers,
+* :mod:`repro.security.attacks` — adversarial primary-OS strategies
+  exercising the threat model of Sec. 2.2.
+"""
+
+from repro.security.invariants import (
+    InvariantReport,
+    check_elrange_isolation,
+    check_mbuf_invariant,
+    check_epcm_invariant,
+    check_enclave_invariants,
+    check_pt_residency,
+    check_all_invariants,
+    assert_invariants,
+    enclave_translations,
+    host_reachable_hpas,
+)
+from repro.security.state import SystemState
+from repro.security.oracle import DataOracle
+from repro.security.transitions import (
+    Step,
+    LocalCompute,
+    MemLoad,
+    MemStore,
+    Hypercall,
+    apply_step,
+    apply_trace,
+)
+from repro.security.observation import observe, Observation
+from repro.security.noninterference import (
+    indistinguishable,
+    check_lemma_integrity,
+    check_lemma_confidentiality,
+    check_lemma_activation,
+    check_theorem_noninterference,
+    TwoWorlds,
+)
+from repro.security.attacks import (
+    AttackOutcome,
+    mapping_attack,
+    epc_probe_sweep,
+    dma_attack,
+    hypercall_fuzz,
+    gpt_remap_attack,
+    run_standard_attack_suite,
+)
+
+__all__ = [
+    "InvariantReport",
+    "check_elrange_isolation", "check_mbuf_invariant",
+    "check_epcm_invariant", "check_enclave_invariants",
+    "check_pt_residency", "check_all_invariants", "assert_invariants",
+    "enclave_translations", "host_reachable_hpas",
+    "SystemState", "DataOracle",
+    "Step", "LocalCompute", "MemLoad", "MemStore", "Hypercall",
+    "apply_step", "apply_trace",
+    "observe", "Observation",
+    "indistinguishable", "check_lemma_integrity",
+    "check_lemma_confidentiality", "check_lemma_activation",
+    "check_theorem_noninterference", "TwoWorlds",
+    "AttackOutcome", "mapping_attack", "epc_probe_sweep", "dma_attack",
+    "hypercall_fuzz", "gpt_remap_attack", "run_standard_attack_suite",
+]

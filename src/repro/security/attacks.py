@@ -1,0 +1,218 @@
+"""Adversarial primary-OS strategies (threat model, Sec. 2.2).
+
+"We assume the primary OS to be untrusted and possibly controlled by an
+adversary, with the following capabilities: (1) arbitrary memory access
+or malicious DMA to peek into or overwrite enclave memory; and (2)
+initiating hypercall sequences to try to tamper with the metadata within
+RustMonitor and subsequently trigger a hidden bug in memory management."
+
+Each attack uses only the adversary's legitimate verbs (guest-physical
+accesses through the EPT, GPT rewrites in its own memory, hypercalls)
+and reports whether the monitor contained it.  The noninterference and
+invariant benches run these against the correct monitor (all contained)
+and the buggy variants (specific attacks break through).
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import (
+    EpcmError,
+    HypercallError,
+    HypervisorError,
+    TranslationFault,
+)
+from repro.hyperenclave import pte
+from repro.security.invariants import check_all_invariants
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one attack campaign."""
+
+    name: str
+    attempts: int = 0
+    blocked: int = 0
+    leaked: List[str] = field(default_factory=list)
+
+    @property
+    def contained(self):
+        return not self.leaked
+
+    def __str__(self):
+        status = "CONTAINED" if self.contained else "BREACHED"
+        return (f"[{status}] {self.name}: {self.blocked}/{self.attempts} "
+                f"attempts blocked"
+                + (f"; leaks: {self.leaked}" if self.leaked else ""))
+
+
+# ---------------------------------------------------------------------------
+# Capability 1: arbitrary memory access / DMA
+# ---------------------------------------------------------------------------
+
+
+def epc_probe_sweep(monitor) -> AttackOutcome:
+    """Read every secure-memory page through the OS EPT."""
+    outcome = AttackOutcome("epc-probe-sweep")
+    config = monitor.config
+    for frame in monitor.layout.secure_frames:
+        outcome.attempts += 1
+        try:
+            value = monitor.primary_os.gpa_read_word(
+                config.frame_base(frame))
+            outcome.leaked.append(
+                f"read {value:#x} from secure frame {frame}")
+        except TranslationFault:
+            outcome.blocked += 1
+    return outcome
+
+
+def dma_attack(monitor, pattern=0x4141414141414141) -> AttackOutcome:
+    """Malicious DMA writes into secure memory."""
+    outcome = AttackOutcome("dma-overwrite")
+    config = monitor.config
+    for frame in monitor.layout.secure_frames:
+        outcome.attempts += 1
+        try:
+            monitor.primary_os.dma_write(config.frame_base(frame), pattern)
+            outcome.leaked.append(f"DMA overwrote secure frame {frame}")
+        except TranslationFault:
+            outcome.blocked += 1
+    return outcome
+
+
+def mapping_attack(monitor, app, victim_eid) -> AttackOutcome:
+    """Point the app's GPT at the victim's EPC pages and load through it.
+
+    The classic "mapping attack" (Sec. 2.1): the OS controls the app's
+    GPT, so it can *install* any GPA it likes — but the EPT composition
+    must still fault when that GPA is secure memory.
+    """
+    outcome = AttackOutcome("gpt-mapping-attack")
+    config = monitor.config
+    victim = monitor.enclaves[victim_eid]
+    probe_va = 0
+    for frame, entry in monitor.epcm.owned_by(victim_eid):
+        outcome.attempts += 1
+        epc_gpa = config.frame_base(frame)  # guess GPA == HPA
+        monitor.primary_os.gpt_map(app.gpt_root_gpa, probe_va, epc_gpa)
+        stolen = monitor.primary_os.probe(app, probe_va)
+        if stolen is not None:
+            value = monitor.phys.read_word(stolen)
+            outcome.leaked.append(
+                f"mapped EPC frame {frame} at va {probe_va:#x}, "
+                f"read {value:#x}")
+        else:
+            outcome.blocked += 1
+        probe_va += config.page_size
+    del victim
+    return outcome
+
+
+def gpt_remap_attack(monitor, app, victim_eid) -> AttackOutcome:
+    """Remap the app-side marshalling-buffer VA mid-lifecycle.
+
+    The OS may legally repoint *its own* view; the attack is contained
+    iff the enclave-side mbuf mapping stays fixed (Sec. 2.1: "the
+    mappings of the marshalling buffer are fixed during the entire
+    enclave life cycle").
+    """
+    outcome = AttackOutcome("mbuf-remap-attack")
+    victim = monitor.enclaves[victim_eid]
+    if victim.mbuf is None:
+        return outcome
+    before = [(va, victim.gpt.query(va))
+              for va in range(victim.mbuf.va_base, victim.mbuf.va_end,
+                              monitor.config.page_size)]
+    outcome.attempts += 1
+    # Repoint the app's mbuf VA at a fresh frame (legal for its own view).
+    decoy_gpa = monitor.config.frame_base(
+        monitor.primary_os.reserve_data_frame())
+    monitor.primary_os.gpt_map(app.gpt_root_gpa,
+                               victim.mbuf.va_base + 0, decoy_gpa)
+    after = [(va, victim.gpt.query(va))
+             for va in range(victim.mbuf.va_base, victim.mbuf.va_end,
+                             monitor.config.page_size)]
+    if before == after:
+        outcome.blocked += 1
+    else:
+        outcome.leaked.append("enclave-side mbuf mapping changed")
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Capability 2: hypercall sequences
+# ---------------------------------------------------------------------------
+
+
+def hypercall_fuzz(monitor, seed=0, rounds=200) -> AttackOutcome:
+    """Random hypercall sequences with hostile arguments.
+
+    Contained iff every invariant family still holds afterwards; the
+    monitor is free to accept well-formed calls (that is its job), so
+    acceptance alone is not a breach.
+    """
+    outcome = AttackOutcome(f"hypercall-fuzz(seed={seed})")
+    rng = random.Random(seed)
+    config = monitor.config
+    page = config.page_size
+    live_eids = list(monitor.enclaves)
+    for _ in range(rounds):
+        outcome.attempts += 1
+        choice = rng.randrange(6)
+        try:
+            if choice == 0:
+                eid = monitor.hc_create(
+                    elrange_base=rng.randrange(0, config.va_space, page),
+                    elrange_size=rng.choice([page, 2 * page, 4 * page]),
+                    mbuf_va=rng.randrange(0, config.va_space, page),
+                    mbuf_pa=rng.randrange(0, config.phys_bytes, page),
+                    mbuf_size=page)
+                live_eids.append(eid)
+            elif choice == 1 and live_eids:
+                monitor.hc_add_page(
+                    rng.choice(live_eids),
+                    va=rng.randrange(0, config.va_space, page),
+                    src_gpa=rng.randrange(0, config.phys_bytes, page))
+            elif choice == 2 and live_eids:
+                monitor.hc_init(rng.choice(live_eids))
+            elif choice == 3 and live_eids:
+                eid = rng.choice(live_eids)
+                monitor.hc_enter(eid)
+                monitor.hc_exit(eid)
+            elif choice == 4 and live_eids:
+                eid = rng.choice(live_eids)
+                monitor.hc_destroy(eid)
+                live_eids.remove(eid)
+            else:
+                monitor.hc_add_page(
+                    9999, va=0, src_gpa=0)  # dangling enclave id
+        except (HypercallError, HypervisorError, EpcmError,
+                TranslationFault):
+            outcome.blocked += 1
+    report = check_all_invariants(monitor)
+    if not report.ok:
+        outcome.leaked.extend(
+            f"invariant broken after fuzzing: {line}"
+            for line in str(report).splitlines())
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# The suite
+# ---------------------------------------------------------------------------
+
+
+def run_standard_attack_suite(monitor, app, victim_eid,
+                              seed=0) -> Dict[str, AttackOutcome]:
+    """All attacks against one victim; key by attack name."""
+    outcomes = {}
+    for outcome in (
+            epc_probe_sweep(monitor),
+            dma_attack(monitor),
+            mapping_attack(monitor, app, victim_eid),
+            gpt_remap_attack(monitor, app, victim_eid),
+            hypercall_fuzz(monitor, seed=seed)):
+        outcomes[outcome.name] = outcome
+    return outcomes

@@ -1,0 +1,301 @@
+"""The page-table invariants of Sec. 5.2, as executable checkers.
+
+The four families, quoted from the paper and implemented one-for-one:
+
+1. **ELRANGE memory isolation** — "Two virtual addresses va1 and va2
+   that are in the ELRANGE of two different enclaves must be mapped to
+   different physical addresses, if there exist such mappings at all."
+2. **Marshalling buffer invariant** — "If two virtual addresses va1 and
+   va2 are translated to the same physical memory region by an [enclave]
+   page table and the page table of the primary OS, then va1 and va2 are
+   in the marshalling buffer."
+3. **EPCM invariant** — "All the page mappings in the page tables of
+   enclaves correspond to an entry in the HyperEnclave's EPCM list ...
+   This rules out covert mappings."
+4. **Enclave invariants** — "a virtual address is mapped to a physical
+   page in the EPC if and only if the virtual address is in the
+   ELRANGE; the ELRANGE and the range of marshalling buffer are
+   disjoint; and there are no huge pages in the page tables."
+
+plus the residency property stated just after them: "The page tables
+themselves are also protected, because they are allocated in a disjoint
+range of physical memory which is never in the range of a guest
+mapping."
+
+Each checker returns a list of violation strings (empty = holds);
+:func:`check_all_invariants` aggregates them into a report and the
+benches assert exactly which planted bug trips exactly which family.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import TranslationFault
+from repro.hyperenclave.monitor import RustMonitor
+
+
+# ---------------------------------------------------------------------------
+# Address-space projections
+# ---------------------------------------------------------------------------
+
+
+def enclave_translations(monitor, eid) -> Dict[int, int]:
+    """Every page-granular ``va -> hpa`` the enclave can reach through
+    its GPT composed with its EPT."""
+    enclave = monitor.enclaves[eid]
+    config = monitor.config
+    reachable = {}
+    for va, gpa, size, _flags in enclave.gpt.mappings():
+        for offset in range(0, size, config.page_size):
+            page_va = va + offset
+            try:
+                hpa = monitor.enclave_translate(eid, page_va, write=False)
+            except TranslationFault:
+                continue
+            reachable[page_va] = config.page_base(hpa)
+    return reachable
+
+
+class HostReach:
+    """The normal VM's physical reach, as HPA intervals.
+
+    The primary OS kernel addresses guest-physical space directly, so
+    its maximal reach is everything its EPT maps, regardless of GPTs.
+    Interval form keeps the x86-64 geometry (huge mappings covering
+    gigabytes) cheap to query.
+    """
+
+    def __init__(self, intervals):
+        self.intervals = sorted(intervals)
+
+    def __contains__(self, hpa):
+        import bisect
+        index = bisect.bisect_right(self.intervals, (hpa, float("inf"))) - 1
+        if index < 0:
+            return False
+        base, end = self.intervals[index]
+        return base <= hpa < end
+
+    def pages(self, page_size):
+        """Materialised page set — only for tiny geometries/tests."""
+        return {base + offset
+                for base, end in self.intervals
+                for offset in range(0, end - base, page_size)}
+
+
+def host_reachable_hpas(monitor) -> HostReach:
+    """The host's reach through its EPT, as :class:`HostReach`."""
+    return HostReach([(hpa, hpa + size)
+                      for _gpa, hpa, size, _flags
+                      in monitor.os_ept.mappings()])
+
+
+# ---------------------------------------------------------------------------
+# Family 1 — ELRANGE isolation
+# ---------------------------------------------------------------------------
+
+
+def check_elrange_isolation(monitor) -> List[str]:
+    """Family 1: no EPC page reachable from two ELRANGEs."""
+    violations = []
+    per_enclave: Dict[int, Dict[int, int]] = {}
+    for eid in monitor.enclaves:
+        enclave = monitor.enclaves[eid]
+        translations = enclave_translations(monitor, eid)
+        per_enclave[eid] = {
+            va: hpa for va, hpa in translations.items()
+            if enclave.in_elrange(va)}
+    eids = sorted(per_enclave)
+    for i, eid_a in enumerate(eids):
+        hpas_a = {hpa: va for va, hpa in per_enclave[eid_a].items()}
+        for eid_b in eids[i + 1:]:
+            for va_b, hpa_b in per_enclave[eid_b].items():
+                if hpa_b in hpas_a:
+                    violations.append(
+                        f"enclaves {eid_a} and {eid_b} both reach physical "
+                        f"page {hpa_b:#x} (va {hpas_a[hpa_b]:#x} vs "
+                        f"{va_b:#x}) from their ELRANGEs")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Family 2 — marshalling buffer
+# ---------------------------------------------------------------------------
+
+
+def check_mbuf_invariant(monitor) -> List[str]:
+    """Family 2: enclave/host physical sharing only inside the mbuf."""
+    violations = []
+    host_reach = host_reachable_hpas(monitor)
+    for eid in sorted(monitor.enclaves):
+        enclave = monitor.enclaves[eid]
+        for va, hpa in sorted(enclave_translations(monitor, eid).items()):
+            if hpa in host_reach and not enclave.in_mbuf(va):
+                violations.append(
+                    f"enclave {eid} va {va:#x} and the primary OS share "
+                    f"physical page {hpa:#x} outside the marshalling "
+                    f"buffer")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Family 3 — EPCM
+# ---------------------------------------------------------------------------
+
+
+def check_epcm_invariant(monitor) -> List[str]:
+    """Family 3: every enclave EPC mapping has a matching EPCM record."""
+    violations = []
+    config = monitor.config
+    for eid in sorted(monitor.enclaves):
+        for va, hpa in sorted(enclave_translations(monitor, eid).items()):
+            frame = config.frame_of(hpa)
+            if not monitor.layout.is_epc(frame):
+                continue
+            entry = monitor.epcm.entry_for_frame(frame)
+            if entry.is_free():
+                violations.append(
+                    f"enclave {eid} maps va {va:#x} to EPC frame {frame} "
+                    f"with no EPCM record (covert mapping)")
+            elif entry.owner != eid:
+                violations.append(
+                    f"enclave {eid} maps va {va:#x} to EPC frame {frame} "
+                    f"recorded as owned by enclave {entry.owner}")
+            elif entry.va is not None and entry.va != va:
+                violations.append(
+                    f"enclave {eid} maps va {va:#x} to EPC frame {frame} "
+                    f"recorded for va {entry.va:#x}")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Family 4 — enclave invariants
+# ---------------------------------------------------------------------------
+
+
+def check_enclave_invariants(monitor) -> List[str]:
+    """Family 4: ELRANGE<->EPC iff, mbuf disjointness, no huge pages."""
+    violations = []
+    config = monitor.config
+    for eid in sorted(monitor.enclaves):
+        enclave = monitor.enclaves[eid]
+        # (b) ELRANGE and mbuf disjoint.
+        if enclave.mbuf is not None and enclave.overlaps_elrange(
+                enclave.mbuf.va_base, enclave.mbuf.size):
+            violations.append(
+                f"enclave {eid}: marshalling buffer "
+                f"[{enclave.mbuf.va_base:#x}, {enclave.mbuf.va_end:#x}) "
+                f"overlaps ELRANGE")
+        # (a) va -> EPC  <=>  va in ELRANGE.
+        for va, hpa in sorted(enclave_translations(monitor, eid).items()):
+            maps_to_epc = monitor.layout.is_epc(config.frame_of(hpa))
+            if maps_to_epc and not enclave.in_elrange(va):
+                violations.append(
+                    f"enclave {eid}: va {va:#x} outside ELRANGE maps to "
+                    f"EPC page {hpa:#x}")
+            if enclave.in_elrange(va) and not maps_to_epc:
+                violations.append(
+                    f"enclave {eid}: ELRANGE va {va:#x} maps to non-EPC "
+                    f"page {hpa:#x}")
+        # (c) no huge pages in enclave tables.
+        for table_name, table in (("gpt", enclave.gpt),
+                                  ("ept", enclave.ept)):
+            for va, _pa, size, _flags in table.mappings():
+                if size != config.page_size:
+                    violations.append(
+                        f"enclave {eid}: huge mapping ({size} bytes) at "
+                        f"{va:#x} in its {table_name}")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Residency — page tables never guest-mapped
+# ---------------------------------------------------------------------------
+
+
+def check_pt_residency(monitor) -> List[str]:
+    """Page-table frames live in the pool and are never guest-reachable."""
+    violations = []
+    config = monitor.config
+    pool = monitor.layout
+    table_frames = set(monitor.os_ept.table_frames())
+    for eid in sorted(monitor.enclaves):
+        enclave = monitor.enclaves[eid]
+        table_frames.update(enclave.gpt.table_frames())
+        table_frames.update(enclave.ept.table_frames())
+    for frame in sorted(table_frames):
+        if not pool.is_pt_pool(frame):
+            violations.append(
+                f"page-table frame {frame} lies outside the secure "
+                f"page-table pool")
+    # Never in the range of a guest mapping: neither the normal VM's EPT
+    # nor any enclave's composition may reach a table frame.
+    host_reach = host_reachable_hpas(monitor)
+    enclave_reachable = set()
+    for eid in monitor.enclaves:
+        enclave_reachable.update(
+            enclave_translations(monitor, eid).values())
+    for frame in sorted(table_frames):
+        base = config.frame_base(frame)
+        if base in host_reach or base in enclave_reachable:
+            violations.append(
+                f"page-table frame {frame} is reachable by a guest "
+                f"mapping")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+FAMILIES = (
+    ("elrange-isolation", check_elrange_isolation),
+    ("marshalling-buffer", check_mbuf_invariant),
+    ("epcm", check_epcm_invariant),
+    ("enclave-invariants", check_enclave_invariants),
+    ("pt-residency", check_pt_residency),
+)
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of a full invariant sweep."""
+
+    violations: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return not any(self.violations.values())
+
+    def violated_families(self):
+        return sorted(name for name, items in self.violations.items()
+                      if items)
+
+    def __str__(self):
+        if self.ok:
+            return "all invariant families hold"
+        lines = []
+        for name in self.violated_families():
+            for item in self.violations[name]:
+                lines.append(f"[{name}] {item}")
+        return "\n".join(lines)
+
+
+def check_all_invariants(monitor) -> InvariantReport:
+    """Run all five families and aggregate."""
+    report = InvariantReport()
+    for name, checker in FAMILIES:
+        report.violations[name] = checker(monitor)
+    return report
+
+
+def assert_invariants(monitor):
+    """Raise :class:`~repro.errors.InvariantViolation` on the first
+    violated family (the raising flavour of :func:`check_all_invariants`)."""
+    from repro.errors import InvariantViolation
+    report = check_all_invariants(monitor)
+    if not report.ok:
+        family = report.violated_families()[0]
+        raise InvariantViolation(family, report.violations[family][0],
+                                 witness=report)
+    return report

@@ -1,0 +1,64 @@
+"""The abstract system state σ of the transition system (Sec. 5.1).
+
+A :class:`SystemState` wraps a live :class:`RustMonitor` (which already
+carries physical memory, the vCPU, the TLB, the EPCM, and every page
+table) plus the bookkeeping the security arguments need: the step
+counter and the data oracle cursor.
+
+States support :meth:`clone` (deep copy) so the noninterference drivers
+can branch executions, and :meth:`principal_is_active` /
+:meth:`live_principals` queries used by the lemma checkers.
+"""
+
+import copy
+
+from repro.hyperenclave.monitor import HOST_ID
+
+
+class SystemState:
+    """σ: the whole machine plus model bookkeeping."""
+
+    def __init__(self, monitor, oracle=None, use_spec_walk=False):
+        self.monitor = monitor
+        self.oracle = oracle
+        self.step_count = 0
+        # Resolve enclave accesses via the verified spec walk (Sec. 5.1)
+        # instead of the hardware walker; both must agree (tested).
+        self.use_spec_walk = use_spec_walk
+
+    # -- principals -----------------------------------------------------------
+
+    @property
+    def active(self):
+        return self.monitor.active
+
+    def principal_is_active(self, principal):
+        return self.monitor.active == principal
+
+    def live_principals(self):
+        return self.monitor.principals()
+
+    def enclave(self, eid):
+        return self.monitor.enclaves[eid]
+
+    # -- branching --------------------------------------------------------------
+
+    def clone(self):
+        """An independent deep copy (same oracle position)."""
+        return copy.deepcopy(self)
+
+    def __repr__(self):
+        return (f"SystemState(active={self.active}, "
+                f"principals={self.live_principals()}, "
+                f"steps={self.step_count})")
+
+
+def fresh_state(config, monitor_class=None, oracle=None,
+                **monitor_kwargs):
+    """Boot a monitor (default :class:`RustMonitor`) into a SystemState."""
+    from repro.hyperenclave.monitor import RustMonitor
+    cls = monitor_class or RustMonitor
+    return SystemState(cls(config, **monitor_kwargs), oracle=oracle)
+
+
+__all__ = ["SystemState", "fresh_state", "HOST_ID"]

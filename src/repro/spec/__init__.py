@@ -1,0 +1,60 @@
+"""Functional specifications of the paging subsystem (Sec. 4.1).
+
+Two views of the same page tables:
+
+* the **low spec** (:mod:`repro.spec.flat`) — "a flat representation":
+  pure functions over an abstract state holding the page-table pool as a
+  map of 64-bit words plus the allocation bitmap,
+* the **high spec** (:mod:`repro.spec.tree`) — "a tree representation
+  for use by the higher layers": entries *contain* the next table
+  directly, so aliasing is unrepresentable and installing a mapping is a
+  local change.
+
+:mod:`repro.spec.pte_record` defines the parameterised PTE record with
+the paper's ``unused_inv``; :mod:`repro.spec.relation` defines ``R_pte``
+and ``R`` relating the two views plus the abstraction function that
+*computes* the tree view from flat memory (and refuses when an entry
+escapes the monitor's frame area — the exact reason the Sec. 4.1
+shallow-copy bug is unprovable).
+"""
+
+from repro.spec.pte_record import PTERecord, TreeTable
+from repro.spec.flat import (
+    FlatPtState,
+    flat_initial_state,
+    flat_alloc_frame,
+    flat_read_entry,
+    flat_write_entry,
+    flat_new_table,
+    flat_walk,
+    flat_map_page,
+    flat_unmap,
+    flat_query,
+)
+from repro.spec.tree import (
+    tree_empty,
+    tree_walk,
+    tree_map_page,
+    tree_unmap,
+    tree_query,
+    tree_mappings,
+    tree_table_count,
+)
+from repro.spec.relation import (
+    abstract_table,
+    r_pte,
+    relation_r,
+    AbstractionFailure,
+)
+from repro.spec.walk import spec_translate, spec_walk_terminal
+
+__all__ = [
+    "PTERecord", "TreeTable",
+    "FlatPtState", "flat_initial_state", "flat_alloc_frame",
+    "flat_read_entry", "flat_write_entry", "flat_new_table", "flat_walk",
+    "flat_map_page", "flat_unmap", "flat_query",
+    "tree_empty", "tree_walk", "tree_map_page", "tree_unmap",
+    "tree_query", "tree_mappings", "tree_table_count",
+    "abstract_table", "r_pte", "relation_r", "AbstractionFailure",
+    "spec_translate", "spec_walk_terminal",
+]

@@ -1,0 +1,110 @@
+"""The parameterised PTE record and tree tables (Sec. 4.1).
+
+The paper's Coq record::
+
+    Record PTE {content:Type} := mkPTE {
+      addr_content: option (int64 * content);
+      flags: list bool;
+      unused_inv : addr_content = None
+                   -> (is_huge = false /\\ is_present = false)
+    }.
+
+Here absence is modelled by the ZMap default (``None``), so a
+:class:`PTERecord` always *has* address+content and the ``unused_inv``
+obligation becomes a constructor check: a record must be present, and an
+absent entry trivially satisfies "not huge and not present".  Terminal
+records carry ``content=None`` (the paper's unit); intermediate records
+carry the next :class:`TreeTable` *by value* — the nesting that
+"constitutes a tree-shaped view of page tables".
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ccal.zmap import ZMap
+from repro.errors import SpecError
+from repro.hyperenclave.constants import PteFlagBits
+
+
+@dataclass(frozen=True)
+class TreeTable:
+    """One page table in the tree view: a total map index -> PTERecord.
+
+    ``level`` is the paging level this table serves (root = config.levels,
+    leaves = 1).  ``entries`` is a ZMap with default None (absent).
+    """
+
+    level: int
+    entries: ZMap
+
+    @staticmethod
+    def empty(level):
+        return TreeTable(level=level, entries=ZMap(default=None))
+
+    def get(self, index) -> Optional["PTERecord"]:
+        return self.entries.get(index)
+
+    def set(self, index, record) -> "TreeTable":
+        return TreeTable(self.level, self.entries.set(index, record))
+
+    def unset(self, index) -> "TreeTable":
+        return TreeTable(self.level, self.entries.unset(index))
+
+    def present_indices(self):
+        return self.entries.keys()
+
+
+@dataclass(frozen=True)
+class PTERecord:
+    """A present page-table entry in the tree view.
+
+    ``addr`` — the physical address packed in the entry (a frame base
+    for terminals; for intermediates it is retained so the refinement
+    relation can compare against flat memory, but the *tree* semantics
+    never follow it — they follow ``content``);
+    ``flags`` — the flag bitmask;
+    ``content`` — the nested table, or None for a terminal entry.
+    """
+
+    addr: int
+    flags: int
+    content: Optional[TreeTable] = None
+
+    def __post_init__(self):
+        # unused_inv contrapositive: any materialised record must be
+        # present; absent entries are ZMap-default None.
+        if not self.is_present:
+            raise SpecError(
+                "PTERecord must be present; model absent entries as None "
+                "(unused_inv)")
+        if self.is_huge and self.content is not None:
+            raise SpecError("a huge entry is terminal; it cannot carry a "
+                            "nested table")
+
+    # -- flag views -------------------------------------------------------------
+
+    def _flag(self, bit):
+        return bool((self.flags >> bit) & 1)
+
+    @property
+    def is_present(self):
+        return self._flag(PteFlagBits.PRESENT)
+
+    @property
+    def is_writable(self):
+        return self._flag(PteFlagBits.WRITE)
+
+    @property
+    def is_user(self):
+        return self._flag(PteFlagBits.USER)
+
+    @property
+    def is_huge(self):
+        return self._flag(PteFlagBits.HUGE)
+
+    @property
+    def is_terminal(self):
+        return self.content is None
+
+    def with_content(self, content):
+        return PTERecord(addr=self.addr, flags=self.flags, content=content)

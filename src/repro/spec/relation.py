@@ -1,0 +1,134 @@
+"""The refinement relation R between flat and tree views (Sec. 4.1).
+
+"To relate a low spec to a high spec, we use a refinement relation R
+over two abstract states d1, d2 ... R d1 d2 holds if the page tables
+viewed as trees in d1 agree in content with those viewed as flat memory
+in d2. Defining R requires another relation R_pte p a, which relates the
+PTE record p to the entry address a."
+
+Two artefacts:
+
+* :func:`r_pte` / :func:`relation_r` — the relations, literally,
+* :func:`abstract_table` — the abstraction function α computing the tree
+  view *from* flat memory.  α is partial: it refuses (raises
+  :class:`AbstractionFailure`) when an intermediate entry points outside
+  the monitor's frame area — which is precisely why the Sec. 4.1
+  shallow-copy initialisation "would be impossible to prove in our
+  setting": no tree view exists for such a table.
+
+``relation_r(tree, flat, root)`` ⇔ ``tree == abstract_table(flat, root)``
+— both directions are implemented so tests can cross-validate them.
+"""
+
+from repro.errors import ReproError
+from repro.hyperenclave import pte as pte_ops
+from repro.spec.pte_record import PTERecord, TreeTable
+from repro.spec.flat import flat_read_entry
+
+
+class AbstractionFailure(ReproError):
+    """Flat memory has no tree view (entry escapes the frame area,
+    malformed intermediate, cyclic/overlapping structure...)."""
+
+
+def abstract_table(flat_state, root_frame, level=None,
+                   _visited=None) -> TreeTable:
+    """The abstraction function α: flat memory -> tree view.
+
+    Recursively reads the table at ``root_frame``; every intermediate
+    entry must point at a frame inside the pool (and no frame may appear
+    twice — aliased or cyclic structures have no tree abstraction).
+    """
+    config = flat_state.config
+    if level is None:
+        level = config.levels
+    visited = set() if _visited is None else _visited
+    if not flat_state.in_pool(root_frame):
+        raise AbstractionFailure(
+            f"table frame {root_frame} escapes the monitor's frame area")
+    if root_frame in visited:
+        raise AbstractionFailure(
+            f"table frame {root_frame} reached twice (aliasing/cycle)")
+    visited.add(root_frame)
+    table = TreeTable.empty(level)
+    for index in range(config.entries_per_table):
+        entry = flat_read_entry(flat_state, root_frame, index)
+        if not pte_ops.pte_is_present(entry):
+            if entry != 0:
+                raise AbstractionFailure(
+                    f"non-present entry {entry:#x} has residual bits "
+                    f"(violates unused_inv)")
+            continue
+        addr = pte_ops.pte_addr(entry, config)
+        flags = pte_ops.pte_flags(entry, config)
+        if level == 1 or pte_ops.pte_is_huge(entry):
+            record = PTERecord(addr=addr, flags=flags)
+        else:
+            child = abstract_table(flat_state,
+                                   config.frame_of(addr),
+                                   level - 1, visited)
+            record = PTERecord(addr=addr, flags=flags, content=child)
+        table = table.set(index, record)
+    return table
+
+
+def r_pte(record, entry_value, flat_state, level) -> bool:
+    """R_pte: does PTE record ``record`` agree with the 64-bit entry
+    ``entry_value`` (and, recursively, with the table it points to)?"""
+    config = flat_state.config
+    if record is None:
+        return entry_value == 0
+    if not pte_ops.pte_is_present(entry_value):
+        return False
+    if record.addr != pte_ops.pte_addr(entry_value, config):
+        return False
+    if record.flags != pte_ops.pte_flags(entry_value, config):
+        return False
+    if record.is_terminal:
+        return level == 1 or pte_ops.pte_is_huge(entry_value)
+    # "Otherwise R_pte quantifies over page table indices and says that
+    # entry at each index should be recursively related to a plus some
+    # offset."
+    next_frame = pte_ops.pte_frame(entry_value, config)
+    if not flat_state.in_pool(next_frame):
+        return False
+    child = record.content
+    for index in range(config.entries_per_table):
+        low_entry = flat_read_entry(flat_state, next_frame, index)
+        if not r_pte(child.get(index), low_entry, flat_state, level - 1):
+            return False
+    return True
+
+
+def relation_r(tree, flat_state, root_frame) -> bool:
+    """R: the whole-table relation built from R_pte."""
+    config = flat_state.config
+    if not flat_state.in_pool(root_frame):
+        return False
+    for index in range(config.entries_per_table):
+        entry = flat_read_entry(flat_state, root_frame, index)
+        if not r_pte(tree.get(index), entry, flat_state,
+                     config.levels):
+            return False
+    return True
+
+
+def flat_state_of_page_table(page_table, pool_base, pool_size):
+    """Project a live :class:`~repro.hyperenclave.paging.PageTable`'s
+    backing memory into a :class:`FlatPtState` — the bridge that lets
+    the relation run against the *implementation*, not just the flat
+    spec."""
+    from repro.ccal.zmap import ZMap
+    from repro.hyperenclave.constants import WORD_BYTES
+    from repro.spec.flat import FlatPtState
+    config = page_table.config
+    words = ZMap(default=0)
+    for frame in range(pool_base, pool_base + pool_size):
+        base_word = config.frame_base(frame) // WORD_BYTES
+        for offset, value in enumerate(page_table.phys.frame_words(frame)):
+            if value:
+                words = words.set(base_word + offset, value)
+    bitmap = tuple(page_table.allocator.is_allocated(pool_base + i)
+                   for i in range(pool_size))
+    return FlatPtState(config=config, pool_base=pool_base,
+                       pool_size=pool_size, words=words, bitmap=bitmap)

@@ -1,0 +1,143 @@
+"""The high (tree) specification of the paging functions.
+
+"Entries do not store an indirect index to the next page table, rather
+they contain the next page table directly ... Such nesting constitutes a
+tree-shaped view of page tables."  (Sec. 4.1)
+
+Because subtables are *contained*, two entries cannot share an
+intermediate table — aliasing is unrepresentable — and installing a
+mapping is a local functional update, which is exactly why the higher
+layers (invariants, noninterference) prefer this view.
+
+All functions are pure: tables in, tables out.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.errors import PagingError, SpecError
+from repro.hyperenclave import pte as pte_ops
+from repro.spec.pte_record import PTERecord, TreeTable
+
+
+def tree_empty(config) -> TreeTable:
+    """An empty root table."""
+    return TreeTable.empty(config.levels)
+
+
+def tree_walk(tree, va, config):
+    """``(records, terminal, huge_level)``: the visited PTERecords."""
+    va = config.canonical_va(va)
+    records = []
+    table = tree
+    for level in range(config.levels, 0, -1):
+        record = table.get(config.entry_index(va, level))
+        records.append(record)
+        if record is None:
+            return records, None, 1
+        if level == 1:
+            if not record.is_terminal:
+                raise SpecError("level-1 record carries a nested table")
+            return records, record, 1
+        if record.is_huge:
+            return records, record, level
+        if record.is_terminal:
+            raise SpecError(
+                f"non-huge intermediate record at level {level} has no "
+                f"nested table")
+        table = record.content
+    raise SpecError("tree walk fell off the hierarchy")
+
+
+def tree_map_page(tree, va, paddr, flags, config,
+                  new_table_addrs=None) -> TreeTable:
+    """Install ``va -> paddr``; returns the new tree.
+
+    ``new_table_addrs`` optionally supplies the physical addresses the
+    *implementation* would give newly created intermediate tables (an
+    iterator).  The tree semantics never follow addresses, but carrying
+    them lets the refinement relation compare intermediate entries
+    against flat memory bit-for-bit.
+    """
+    va = config.canonical_va(va)
+    if config.page_offset(va) or config.page_offset(paddr):
+        raise PagingError("tree spec: unaligned mapping")
+    addr_iter = iter(new_table_addrs) if new_table_addrs is not None else None
+    return _map_into(tree, config.levels, va, paddr, flags, config,
+                     addr_iter)
+
+
+def _map_into(table, level, va, paddr, flags, config, addr_iter):
+    index = config.entry_index(va, level)
+    record = table.get(index)
+    if level == 1:
+        if record is not None:
+            raise PagingError("tree spec: va already mapped")
+        return table.set(index, PTERecord(addr=paddr, flags=flags))
+    if record is None:
+        addr = next(addr_iter) if addr_iter is not None else 0
+        child = TreeTable.empty(level - 1)
+        child = _map_into(child, level - 1, va, paddr, flags, config,
+                          addr_iter)
+        return table.set(index, PTERecord(
+            addr=addr, flags=pte_ops.table_flags(), content=child))
+    if record.is_huge:
+        raise PagingError("tree spec: huge page blocks mapping")
+    if record.is_terminal:
+        raise SpecError("intermediate record has no nested table")
+    child = _map_into(record.content, level - 1, va, paddr, flags, config,
+                      addr_iter)
+    return table.set(index, record.with_content(child))
+
+
+def tree_unmap(tree, va, config) -> TreeTable:
+    """Clear the terminal record covering ``va`` (intermediates stay)."""
+    va = config.canonical_va(va)
+    return _unmap_from(tree, config.levels, va, config)
+
+
+def _unmap_from(table, level, va, config):
+    index = config.entry_index(va, level)
+    record = table.get(index)
+    if record is None:
+        raise PagingError("tree spec: va not mapped")
+    if level == 1 or record.is_huge:
+        return table.unset(index)
+    child = _unmap_from(record.content, level - 1, va, config)
+    return table.set(index, record.with_content(child))
+
+
+def tree_query(tree, va, config) -> Optional[Tuple[int, int]]:
+    """(paddr, flags) for va's terminal record, or None."""
+    _, terminal, _ = tree_walk(tree, va, config)
+    if terminal is None:
+        return None
+    return terminal.addr, terminal.flags
+
+
+def tree_mappings(tree, config) -> List[Tuple[int, int, int, int]]:
+    """All terminal mappings as ``(va, paddr, size, flags)``."""
+    found = []
+    _collect(tree, config.levels, 0, config, found)
+    return found
+
+
+def _collect(table, level, va_prefix, config, found):
+    span = config.level_span(level)
+    for index in table.present_indices():
+        record = table.get(index)
+        va = va_prefix + index * span
+        if level == 1 or record.is_huge:
+            found.append((va, record.addr, span, record.flags))
+        else:
+            _collect(record.content, level - 1, va, config, found)
+
+
+def tree_table_count(tree) -> int:
+    """Number of tables in the tree (root included) — the tree-side
+    analog of ``PageTable.table_frames`` for refinement checks."""
+    count = 1
+    for index in tree.present_indices():
+        record = tree.get(index)
+        if record is not None and not record.is_terminal:
+            count += tree_table_count(record.content)
+    return count

@@ -1,0 +1,46 @@
+"""The specification-level page walk used by the security model.
+
+"As part of these specifications we need a function representing the
+page table walk that the CPU performs; instead of manually writing this
+function in Coq (which we could get wrong), we actually use a
+corresponding page-walk function that is part of the memory module of
+HyperEnclave, which we have a verified Coq specification for." (Sec. 5.1)
+
+We reproduce that reuse: :func:`spec_translate` is a thin wrapper over
+:func:`repro.spec.tree.tree_walk` — the same walk the refinement proofs
+verified against the code — so the transition system of
+:mod:`repro.security.transitions` resolves addresses with the verified
+artifact rather than a third, hand-written walker.
+"""
+
+from typing import Optional, Tuple
+
+from repro.spec.tree import tree_walk
+
+
+def spec_walk_terminal(tree, va, config):
+    """The terminal PTERecord covering ``va`` plus its huge level, or
+    ``(None, 1)``."""
+    _, terminal, huge_level = tree_walk(tree, va, config)
+    return terminal, huge_level
+
+
+def spec_translate(tree, va, config, write=False,
+                   user=True) -> Optional[int]:
+    """Translate a byte address through a tree-view table.
+
+    Returns the physical byte address, or None on any fault (absent
+    mapping or permission violation) — the security model treats faults
+    as no-op transitions, matching hardware delivering a fault instead
+    of completing the access.
+    """
+    va = config.canonical_va(va)
+    terminal, huge_level = spec_walk_terminal(tree, va, config)
+    if terminal is None:
+        return None
+    if write and not terminal.is_writable:
+        return None
+    if user and not terminal.is_user:
+        return None
+    span = config.level_span(huge_level)
+    return terminal.addr + (va % span)

@@ -1,0 +1,52 @@
+"""Bounded symbolic execution for mirlight.
+
+The repro band for this paper is "only informal symbolic checking
+possible, not faithful proofs" — this subpackage is that checking engine.
+It symbolically executes the *pure* fragment of mirlight (functions whose
+variables are all temporaries — 65 of the 77 memory-module functions in
+the paper never touch memory, Sec. 3.2), enumerating every control-flow
+path, discharging assertion obligations with a small solver over bounded
+domains, and producing concrete counterexamples when a property fails.
+
+* :mod:`repro.symbolic.terms` — the term language and evaluator,
+* :mod:`repro.symbolic.solver` — domain pruning + exhaustive model
+  enumeration (exact over bounded domains; no SMT dependency),
+* :mod:`repro.symbolic.execute` — the path-forking executor plus
+  ``verify_assertions`` / ``check_equivalence`` drivers.
+"""
+
+from repro.symbolic.terms import (
+    Term,
+    SymVar,
+    Const,
+    App,
+    evaluate,
+    term_vars,
+    simplify,
+    bv,
+    boolean,
+)
+from repro.symbolic.solver import (
+    Domains,
+    check_sat,
+    enumerate_models,
+    must_hold,
+    prune_domains,
+)
+from repro.symbolic.execute import (
+    SymExecutor,
+    PathResult,
+    Obligation,
+    SymbolicUnsupported,
+    verify_assertions,
+    check_equivalence,
+    path_coverage_inputs,
+)
+
+__all__ = [
+    "Term", "SymVar", "Const", "App",
+    "evaluate", "term_vars", "simplify", "bv", "boolean",
+    "Domains", "check_sat", "enumerate_models", "must_hold", "prune_domains",
+    "SymExecutor", "PathResult", "Obligation", "SymbolicUnsupported",
+    "verify_assertions", "check_equivalence", "path_coverage_inputs",
+]

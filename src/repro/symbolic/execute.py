@@ -1,0 +1,654 @@
+"""Path-forking symbolic execution of mirlight's pure fragment.
+
+Scope: functions whose variables are all *temporaries* (no address-taken
+locals, no global state) — per Sec. 3.2 this covers 65 of the 77
+functions of the paper's memory module, including the bit-twiddling
+page-table-entry layer where symbolic checking earns its keep.  Anything
+outside the fragment raises :class:`SymbolicUnsupported` and the caller
+falls back to co-simulation over enumerated inputs.
+
+The executor forks at every ``switchInt``, carries a path condition of
+boolean terms, and emits an :class:`Obligation` for every ``assert`` and
+every symbolic divisor.  Drivers:
+
+* :func:`verify_assertions` — bounded proof that no path can panic,
+* :func:`check_equivalence` — exhaustive bounded equivalence of a MIR
+  function against a Python reference (organised path-by-path),
+* :func:`path_coverage_inputs` — one concrete witness per feasible path
+  (a path-complete test vector generator).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MirError, MirRuntimeError
+from repro.mir import ast
+from repro.mir.ast import BinOp, CastKind, UnOp
+from repro.mir.value import (
+    Aggregate,
+    BoolValue,
+    FnValue,
+    IntValue,
+    StrValue,
+    UnitValue,
+    Value,
+    mk_bool,
+    mk_int,
+)
+from repro.symbolic.solver import Domains, check_sat, enumerate_models, must_hold
+from repro.symbolic.terms import (
+    App,
+    Const,
+    SymVar,
+    Term,
+    boolean,
+    bv,
+    evaluate,
+    simplify,
+)
+
+
+class SymbolicUnsupported(MirError):
+    """The function leaves the pure fragment (memory, pointers, globals)."""
+
+
+@dataclass(frozen=True)
+class SymAggregate:
+    """A struct/enum value whose leaves may be symbolic terms.
+
+    The discriminant is always concrete: the corpus never computes a
+    discriminant symbolically (matches fork on switchInt instead).
+    """
+
+    discriminant: int
+    fields: Tuple[object, ...]
+
+    def field(self, index):
+        return self.fields[index]
+
+    def with_field(self, index, value):
+        return SymAggregate(
+            self.discriminant,
+            self.fields[:index] + (value,) + self.fields[index + 1:])
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One proof obligation: under ``pathcond``, ``prop`` must hold."""
+
+    kind: str           # "assert" | "div-by-zero" | "bounds"
+    message: str
+    function: str
+    block: str
+    pathcond: Tuple[Term, ...]
+    prop: Term
+
+
+@dataclass
+class PathResult:
+    """One fully-explored execution path."""
+
+    pathcond: Tuple[Term, ...]
+    ret: object
+    steps: int
+
+
+_BINOP_NAME = {
+    BinOp.ADD: "add", BinOp.SUB: "sub", BinOp.MUL: "mul",
+    BinOp.DIV: "div", BinOp.REM: "rem",
+    BinOp.BITAND: "band", BinOp.BITOR: "bor", BinOp.BITXOR: "bxor",
+    BinOp.SHL: "shl", BinOp.SHR: "shr",
+    BinOp.EQ: "eq", BinOp.NE: "ne", BinOp.LT: "lt",
+    BinOp.LE: "le", BinOp.GT: "gt", BinOp.GE: "ge",
+}
+
+_CMP_OPS = frozenset({BinOp.EQ, BinOp.NE, BinOp.LT,
+                      BinOp.LE, BinOp.GT, BinOp.GE})
+
+
+@dataclass
+class _PathState:
+    env: Dict[str, object]
+    block: str
+    stmt_index: int
+    pathcond: Tuple[Term, ...]
+    steps: int
+
+
+class SymExecutor:
+    """Symbolically executes one function of a program."""
+
+    def __init__(self, program, max_steps_per_path=20_000, max_paths=4096,
+                 domains: Optional[Domains] = None, max_inline_depth=32):
+        self.program = program
+        self.max_steps_per_path = max_steps_per_path
+        self.max_paths = max_paths
+        self.domains = domains  # enables feasibility pruning at forks
+        self.max_inline_depth = max_inline_depth
+        self.obligations: List[Obligation] = []
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, fn_name, args) -> List[PathResult]:
+        """Explore every path of ``fn_name`` applied to symbolic ``args``."""
+        self.obligations = []
+        return self._run_function(fn_name, tuple(args), pathcond=(),
+                                  depth=0, steps=0)
+
+    # -- function-level recursion ----------------------------------------------------
+
+    def _run_function(self, fn_name, args, pathcond, depth, steps):
+        if depth > self.max_inline_depth:
+            raise SymbolicUnsupported(
+                f"inlining depth exceeded at {fn_name} (recursion?)")
+        try:
+            function = self.program.functions[fn_name]
+        except KeyError:
+            raise SymbolicUnsupported(
+                f"call to unknown/unregistered function {fn_name!r}")
+        if function.locals_:
+            raise SymbolicUnsupported(
+                f"{fn_name} has memory-allocated locals "
+                f"{sorted(function.locals_)}; outside the pure fragment")
+        if len(args) != len(function.params):
+            raise MirRuntimeError(
+                f"{fn_name}: arity mismatch ({len(args)} args, "
+                f"{len(function.params)} params)")
+        env = dict(zip(function.params, args))
+        initial = _PathState(env=env, block=function.entry, stmt_index=0,
+                             pathcond=pathcond, steps=steps)
+        worklist = [initial]
+        results = []
+        while worklist:
+            if len(results) + len(worklist) > self.max_paths:
+                raise SymbolicUnsupported(
+                    f"{fn_name}: path explosion beyond {self.max_paths}")
+            state = worklist.pop()
+            outcome = self._run_path(function, state, depth)
+            results.extend(outcome[0])
+            worklist.extend(outcome[1])
+        return results
+
+    def _run_path(self, function, state, depth):
+        """Advance one path until return or fork.
+
+        Returns ``(finished PathResults, forked _PathStates)``.
+        """
+        while True:
+            state.steps += 1
+            if state.steps > self.max_steps_per_path:
+                raise SymbolicUnsupported(
+                    f"{function.name}: exceeded {self.max_steps_per_path} "
+                    f"steps on one path (unbounded loop?)")
+            block = function.blocks[state.block]
+            if state.stmt_index < len(block.statements):
+                self._exec_statement(function, state,
+                                     block.statements[state.stmt_index])
+                state.stmt_index += 1
+                continue
+            term = block.terminator
+            if isinstance(term, ast.Goto):
+                state.block, state.stmt_index = term.target, 0
+                continue
+            if isinstance(term, ast.Drop):
+                state.block, state.stmt_index = term.target, 0
+                continue
+            if isinstance(term, ast.Return):
+                ret = state.env.get(function.RETURN_VAR, UnitValue())
+                return [PathResult(state.pathcond, ret, state.steps)], []
+            if isinstance(term, ast.Assert):
+                self._exec_assert(function, state, term)
+                continue
+            if isinstance(term, ast.SwitchInt):
+                return [], self._fork_switch(function, state, term)
+            if isinstance(term, ast.Call):
+                finished, forks = self._exec_call(function, state, term, depth)
+                if finished is None:
+                    continue  # inlined call merged back into this path
+                return finished, forks
+            raise SymbolicUnsupported(f"unsupported terminator {term!r}")
+
+    # -- statements ----------------------------------------------------------------------
+
+    def _exec_statement(self, function, state, stmt):
+        if isinstance(stmt, ast.Assign):
+            value = self._eval_rvalue(function, state, stmt.rvalue)
+            self._write_place(state, stmt.place, value)
+        elif isinstance(stmt, ast.SetDiscriminant):
+            current = self._read_place(state, stmt.place)
+            if not isinstance(current, SymAggregate):
+                raise SymbolicUnsupported("SetDiscriminant on non-aggregate")
+            self._write_place(state, stmt.place,
+                              SymAggregate(stmt.variant, current.fields))
+        elif isinstance(stmt, (ast.StorageLive, ast.StorageDead, ast.Nop)):
+            pass
+        else:
+            raise SymbolicUnsupported(f"unsupported statement {stmt!r}")
+
+    # -- terminator helpers ------------------------------------------------------------------
+
+    def _exec_assert(self, function, state, term):
+        cond = self._as_bool_term(
+            self._eval_operand(function, state, term.cond))
+        prop = cond if term.expected else simplify("not", (cond,), None)
+        self.obligations.append(Obligation(
+            kind="assert", message=term.msg, function=function.name,
+            block=state.block, pathcond=state.pathcond, prop=prop))
+        state.pathcond = state.pathcond + (prop,)
+        state.block, state.stmt_index = term.target, 0
+
+    def _fork_switch(self, function, state, term):
+        scrutinee = self._eval_operand(function, state, term.operand)
+        term_value = self._as_int_or_bool_term(scrutinee)
+        if isinstance(term_value, Const):
+            concrete = int(term_value.value)
+            for value, label in term.targets:
+                if concrete == value:
+                    return [self._continue_at(state, label, state.pathcond)]
+            return [self._continue_at(state, term.otherwise, state.pathcond)]
+        forks = []
+        negations = []
+        for value, label in term.targets:
+            test = simplify("eq", (term_value, _const_like(term_value, value)),
+                            None)
+            cond = state.pathcond + (test,)
+            if self._feasible(cond):
+                forks.append(self._continue_at(state, label, cond))
+            negations.append(simplify("not", (test,), None))
+        otherwise_cond = state.pathcond + tuple(negations)
+        if self._feasible(otherwise_cond):
+            forks.append(self._continue_at(state, term.otherwise,
+                                           otherwise_cond))
+        return forks
+
+    def _continue_at(self, state, label, pathcond):
+        return _PathState(env=dict(state.env), block=label, stmt_index=0,
+                          pathcond=pathcond, steps=state.steps)
+
+    def _feasible(self, pathcond):
+        if self.domains is None:
+            return True  # no pruning; infeasible paths die at solve time
+        try:
+            return check_sat(pathcond, self.domains) is not None
+        except (KeyError, OverflowError):
+            return True
+
+    def _exec_call(self, function, state, term, depth):
+        if not isinstance(term.func, ast.Constant) or not isinstance(
+                term.func.value, FnValue):
+            raise SymbolicUnsupported("indirect call in symbolic execution")
+        callee = term.func.value.name
+        args = tuple(self._eval_operand(function, state, a)
+                     for a in term.args)
+        sub_results = self._run_function(callee, args, state.pathcond,
+                                         depth + 1, state.steps)
+        if len(sub_results) == 1:
+            # Common fast path: merge straight back into the current path.
+            only = sub_results[0]
+            state.pathcond = only.pathcond
+            state.steps = only.steps
+            self._write_place(state, term.dest, only.ret)
+            state.block, state.stmt_index = term.target, 0
+            return None, []
+        forks = []
+        for sub in sub_results:
+            forked = self._continue_at(state, term.target, sub.pathcond)
+            forked.steps = sub.steps
+            self._write_place(forked, term.dest, sub.ret)
+            forks.append(forked)
+        return [], forks
+
+    # -- places -------------------------------------------------------------------------------
+
+    def _read_place(self, state, place):
+        try:
+            value = state.env[place.var]
+        except KeyError:
+            raise SymbolicUnsupported(
+                f"read of {place.var!r}: globals/locals are outside the "
+                f"pure fragment")
+        for proj in place.projections:
+            value = self._project_read(value, proj, state)
+        return value
+
+    def _project_read(self, value, proj, state):
+        if isinstance(proj, ast.FieldProj) or isinstance(
+                proj, ast.ConstantIndex):
+            if not isinstance(value, SymAggregate):
+                raise SymbolicUnsupported(
+                    f"projection {proj} on non-aggregate {value!r}")
+            return value.field(proj.index)
+        if isinstance(proj, ast.Downcast):
+            if not isinstance(value, SymAggregate):
+                raise SymbolicUnsupported("downcast on non-aggregate")
+            if value.discriminant != proj.variant:
+                raise MirRuntimeError(
+                    f"downcast to variant {proj.variant}, live "
+                    f"{value.discriminant}")
+            return value
+        if isinstance(proj, ast.IndexProj):
+            index = self._as_int_or_bool_term(state.env[proj.var])
+            if isinstance(index, Const):
+                if not isinstance(value, SymAggregate):
+                    raise SymbolicUnsupported("index on non-aggregate")
+                return value.field(int(index.value))
+            raise SymbolicUnsupported(
+                "symbolic array index (enumerate inputs instead)")
+        if isinstance(proj, ast.Deref):
+            raise SymbolicUnsupported(
+                "pointer dereference is outside the pure fragment")
+        raise SymbolicUnsupported(f"unsupported projection {proj!r}")
+
+    def _write_place(self, state, place, value):
+        if place.is_bare:
+            state.env[place.var] = value
+            return
+        indices = []
+        for proj in place.projections:
+            if isinstance(proj, (ast.FieldProj, ast.ConstantIndex)):
+                indices.append(proj.index)
+            elif isinstance(proj, ast.IndexProj):
+                index = self._as_int_or_bool_term(state.env[proj.var])
+                if not isinstance(index, Const):
+                    raise SymbolicUnsupported("symbolic index write")
+                indices.append(int(index.value))
+            elif isinstance(proj, ast.Downcast):
+                continue
+            else:
+                raise SymbolicUnsupported(
+                    f"unsupported write projection {proj!r}")
+        root = state.env.get(place.var)
+        state.env[place.var] = _update_sym(root, tuple(indices), value)
+
+    # -- rvalues --------------------------------------------------------------------------------
+
+    def _eval_operand(self, function, state, operand):
+        if isinstance(operand, (ast.Copy, ast.Move)):
+            return self._read_place(state, operand.place)
+        if isinstance(operand, ast.Constant):
+            return _lift_value(operand.value)
+        raise SymbolicUnsupported(f"unsupported operand {operand!r}")
+
+    def _eval_rvalue(self, function, state, rvalue):
+        if isinstance(rvalue, ast.Use):
+            return self._eval_operand(function, state, rvalue.operand)
+        if isinstance(rvalue, ast.BinaryOp):
+            return self._binop(function, state, rvalue.op,
+                               rvalue.left, rvalue.right)
+        if isinstance(rvalue, ast.CheckedBinaryOp):
+            left = self._as_int_term(
+                self._eval_operand(function, state, rvalue.left))
+            right = self._as_int_term(
+                self._eval_operand(function, state, rvalue.right))
+            wrapped = simplify(_BINOP_NAME[rvalue.op], (left, right), left.ty)
+            overflow = _overflow_term(rvalue.op, left, right)
+            return SymAggregate(0, (wrapped, overflow))
+        if isinstance(rvalue, ast.UnaryOp):
+            operand = self._eval_operand(function, state, rvalue.operand)
+            if rvalue.op is UnOp.NOT:
+                as_term = self._as_int_or_bool_term(operand)
+                if as_term.ty is None:
+                    return simplify("not", (as_term,), None)
+                return simplify("bnot", (as_term,), as_term.ty)
+            as_term = self._as_int_term(operand)
+            return simplify("neg", (as_term,), as_term.ty)
+        if isinstance(rvalue, ast.Cast):
+            operand = self._eval_operand(function, state, rvalue.operand)
+            if rvalue.kind is CastKind.BOOL_TO_INT:
+                cond = self._as_bool_term(operand)
+                return simplify("ite", (cond, bv(1, rvalue.ty),
+                                        bv(0, rvalue.ty)), rvalue.ty)
+            if rvalue.kind is CastKind.INT_TO_INT:
+                term = self._as_int_term(operand)
+                return _retype(term, rvalue.ty)
+            raise SymbolicUnsupported(
+                f"cast kind {rvalue.kind} outside pure fragment")
+        if isinstance(rvalue, ast.AggregateRv):
+            fields = tuple(self._eval_operand(function, state, o)
+                           for o in rvalue.operands)
+            disc = (rvalue.variant
+                    if rvalue.kind is ast.AggregateKind.VARIANT else 0)
+            return SymAggregate(disc, fields)
+        if isinstance(rvalue, ast.Repeat):
+            element = self._eval_operand(function, state, rvalue.operand)
+            return SymAggregate(0, (element,) * rvalue.count)
+        if isinstance(rvalue, ast.Len):
+            value = self._read_place(state, rvalue.place)
+            if not isinstance(value, SymAggregate):
+                raise SymbolicUnsupported("Len of non-aggregate")
+            return bv(len(value.fields))
+        if isinstance(rvalue, ast.Discriminant):
+            value = self._read_place(state, rvalue.place)
+            if not isinstance(value, SymAggregate):
+                raise SymbolicUnsupported("discriminant of non-aggregate")
+            return bv(value.discriminant)
+        if isinstance(rvalue, (ast.Ref, ast.AddressOf)):
+            raise SymbolicUnsupported(
+                "address-taking is outside the pure fragment")
+        raise SymbolicUnsupported(f"unsupported rvalue {rvalue!r}")
+
+    def _binop(self, function, state, op, left_op, right_op):
+        left = self._eval_operand(function, state, left_op)
+        right = self._eval_operand(function, state, right_op)
+        if op in _CMP_OPS:
+            lterm = self._as_int_or_bool_term(left)
+            rterm = self._as_int_or_bool_term(right)
+            if lterm.ty is None:
+                # bool comparison: encode as ite over eq of 0/1
+                lterm = simplify("ite", (lterm, bv(1), bv(0)), bv(0).ty)
+            if rterm.ty is None:
+                rterm = simplify("ite", (rterm, bv(1), bv(0)), bv(0).ty)
+            return simplify(_BINOP_NAME[op], (lterm, rterm), None)
+        lterm = self._as_int_term(left)
+        rterm = self._as_int_term(right)
+        if op in (BinOp.DIV, BinOp.REM) and not isinstance(rterm, Const):
+            nonzero = simplify("ne", (rterm, bv(0, rterm.ty)), None)
+            self.obligations.append(Obligation(
+                kind="div-by-zero",
+                message=f"divisor may be zero in {op.value}",
+                function=function.name, block="?",
+                pathcond=tuple(), prop=nonzero))
+        return simplify(_BINOP_NAME[op], (lterm, rterm), lterm.ty)
+
+    # -- coercions ----------------------------------------------------------------------------------
+
+    def _as_int_term(self, value):
+        term = self._as_int_or_bool_term(value)
+        if term.ty is None:
+            raise SymbolicUnsupported(f"expected integer term, got bool")
+        return term
+
+    def _as_bool_term(self, value):
+        term = self._as_int_or_bool_term(value)
+        if term.ty is None:
+            return term
+        return simplify("ne", (term, bv(0, term.ty)), None)
+
+    def _as_int_or_bool_term(self, value):
+        if isinstance(value, Term):
+            return value
+        if isinstance(value, IntValue):
+            return Const(value.value, value.ty)
+        if isinstance(value, BoolValue):
+            return boolean(value.value)
+        raise SymbolicUnsupported(
+            f"value {value!r} has no term representation")
+
+
+# ---------------------------------------------------------------------------
+# Support
+# ---------------------------------------------------------------------------
+
+
+def _lift_value(value):
+    """Concrete Value -> symbolic representation."""
+    if isinstance(value, IntValue):
+        return Const(value.value, value.ty)
+    if isinstance(value, BoolValue):
+        return boolean(value.value)
+    if isinstance(value, Aggregate):
+        return SymAggregate(value.discriminant,
+                            tuple(_lift_value(f) for f in value.fields))
+    if isinstance(value, (UnitValue, StrValue, FnValue)):
+        return value
+    raise SymbolicUnsupported(f"cannot lift {value!r} into a term")
+
+
+def lower_value(sym, model):
+    """Symbolic representation + model -> concrete Value."""
+    if isinstance(sym, Term):
+        result = evaluate(sym, model)
+        if sym.ty is None:
+            return mk_bool(result)
+        return mk_int(result, sym.ty)
+    if isinstance(sym, SymAggregate):
+        return Aggregate(sym.discriminant,
+                         tuple(lower_value(f, model) for f in sym.fields))
+    if isinstance(sym, Value):
+        return sym
+    raise SymbolicUnsupported(f"cannot lower {sym!r}")
+
+
+def _update_sym(root, indices, value):
+    if not indices:
+        return value
+    if not isinstance(root, SymAggregate):
+        raise SymbolicUnsupported("projected write into non-aggregate")
+    head, rest = indices[0], indices[1:]
+    return root.with_field(head, _update_sym(root.field(head), rest, value))
+
+
+def _const_like(term, value):
+    return bv(value, term.ty) if term.ty is not None else boolean(bool(value))
+
+
+def _retype(term, ty):
+    if isinstance(term, Const):
+        return bv(term.value, ty)
+    # Casting is a masking operation: band with the mask, tagged at new ty.
+    mask = bv((1 << ty.width) - 1, ty)
+    widened = App("band", (term, mask), ty)
+    return widened
+
+
+def _overflow_term(op, left, right):
+    """Boolean term: does ``left op right`` overflow its type?
+
+    Exact for the unsigned types the corpus uses (signed arithmetic in
+    the corpus is confined to trusted code).
+    """
+    ty = left.ty
+    if op is BinOp.ADD:
+        wide = App("add", (left, right), ty)
+        # Unsigned overflow iff wrapped sum < left.
+        return simplify("lt", (wide, left), None)
+    if op is BinOp.SUB:
+        return simplify("lt", (left, right), None)
+    if op is BinOp.MUL:
+        # Fall back: wrapped != unbounded is not expressible; check via
+        # division when the rhs is nonzero constant.
+        if isinstance(right, Const) and right.value not in (0,):
+            limit = bv(((1 << ty.width) - 1) // right.value, ty)
+            return simplify("gt", (left, limit), None)
+        if isinstance(right, Const):
+            return boolean(False)
+        return App("mul_overflows", (left, right), None)
+    if op in (BinOp.SHL, BinOp.SHR):
+        width = bv(ty.width, right.ty)
+        return simplify("ge", (right, width), None)
+    return boolean(False)
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+def _symbolic_args(function, domains):
+    """One SymVar per parameter, typed from var_tys (default u64)."""
+    from repro.mir.types import U64
+    args = []
+    for param in function.params:
+        ty = function.var_tys.get(param, U64)
+        args.append(SymVar(param, ty if hasattr(ty, "width") else U64))
+    return tuple(args)
+
+
+def verify_assertions(program, fn_name, domains):
+    """Bounded proof that no assertion can fail.
+
+    Returns ``(verified: bool, failures: [(Obligation, countermodel)])``.
+    """
+    executor = SymExecutor(program, domains=domains)
+    function = program.functions[fn_name]
+    executor.run(fn_name, _symbolic_args(function, domains))
+    failures = []
+    for obligation in executor.obligations:
+        try:
+            holds, countermodel = must_hold(obligation.prop,
+                                            obligation.pathcond, domains)
+        except (KeyError, OverflowError) as exc:
+            raise SymbolicUnsupported(
+                f"cannot discharge obligation in {fn_name}: {exc}")
+        if not holds:
+            failures.append((obligation, countermodel))
+    return not failures, failures
+
+
+def check_equivalence(program, fn_name, reference, domains,
+                      ret_relation=None):
+    """Exhaustive bounded equivalence of MIR code against a reference.
+
+    ``reference(*concrete_args) -> Value`` is the Python model.  Every
+    feasible path's input cell is enumerated; mismatches are returned as
+    ``(model, mir_value, reference_value)`` triples.  The union of the
+    path cells is the whole (bounded) input space, so an empty mismatch
+    list is an exhaustive bounded-equivalence certificate.
+    """
+    executor = SymExecutor(program, domains=domains)
+    function = program.functions[fn_name]
+    sym_args = _symbolic_args(function, domains)
+    paths = executor.run(fn_name, sym_args)
+    compare = ret_relation or (lambda a, b: a == b)
+    param_names = tuple(a.name for a in sym_args if isinstance(a, SymVar))
+    mismatches = []
+    cells = 0
+    for path in paths:
+        for model in enumerate_models(path.pathcond, domains,
+                                      required_vars=param_names):
+            full_model = _complete_model(model, sym_args, domains)
+            cells += 1
+            mir_value = lower_value(path.ret, full_model)
+            concrete_args = [lower_value(a, full_model) for a in sym_args]
+            ref_value = reference(*concrete_args)
+            if not compare(mir_value, ref_value):
+                mismatches.append((full_model, mir_value, ref_value))
+    return mismatches, {"paths": len(paths), "cells": cells}
+
+
+def path_coverage_inputs(program, fn_name, domains):
+    """One concrete input per feasible path — a path-complete test vector."""
+    executor = SymExecutor(program, domains=domains)
+    function = program.functions[fn_name]
+    sym_args = _symbolic_args(function, domains)
+    paths = executor.run(fn_name, sym_args)
+    witnesses = []
+    for path in paths:
+        model = check_sat(path.pathcond, domains)
+        if model is None:
+            continue
+        full_model = _complete_model(model, sym_args, domains)
+        witnesses.append(
+            tuple(lower_value(a, full_model) for a in sym_args))
+    return witnesses
+
+
+def _complete_model(model, sym_args, domains):
+    """Extend a partial model to bind every parameter (unconstrained
+    parameters take the first domain value)."""
+    completed = dict(model)
+    for arg in sym_args:
+        if isinstance(arg, SymVar) and arg.name not in completed:
+            domain = domains.of(arg.name)
+            completed[arg.name] = domain[0]
+    return completed

@@ -1,0 +1,159 @@
+"""A small exact solver over bounded domains.
+
+No SMT backend is available offline, so satisfiability is decided by
+*exhaustive model enumeration* over explicitly bounded variable domains,
+after a pruning pass that narrows domains using the unary comparisons in
+the constraint set.  Within the supplied domains the answers are exact:
+``check_sat`` returns a genuine model or proves none exists, and
+``must_hold`` is a real bounded proof.
+
+This is precisely the "informal symbolic checking" level of assurance
+the reproduction targets: universally-quantified claims hold *for the
+explored domain*, not for all 2^64 inputs.
+"""
+
+import itertools
+
+from repro.symbolic.terms import App, Const, SymVar, evaluate, term_vars
+
+DEFAULT_ENUMERATION_LIMIT = 2_000_000
+
+
+class Domains:
+    """Explicit finite domains for symbolic variables.
+
+    ``Domains({"x": range(16), "flag": (True, False)})``.  Every variable
+    appearing in the constraints must be covered.
+    """
+
+    def __init__(self, mapping=None):
+        self._mapping = {k: tuple(v) for k, v in (mapping or {}).items()}
+
+    def of(self, name):
+        try:
+            return self._mapping[name]
+        except KeyError:
+            raise KeyError(
+                f"no domain declared for symbolic variable {name!r}")
+
+    def names(self):
+        return sorted(self._mapping)
+
+    def restrict(self, name, predicate):
+        """A new Domains with ``name`` filtered by ``predicate``."""
+        new_mapping = dict(self._mapping)
+        new_mapping[name] = tuple(v for v in self.of(name) if predicate(v))
+        return Domains(new_mapping)
+
+    def size(self, names):
+        """Product of the domain sizes over ``names``."""
+        total = 1
+        for name in names:
+            total *= max(len(self.of(name)), 1)
+        return total
+
+    def with_var(self, name, values):
+        """A new Domains binding ``name`` to ``values``."""
+        new_mapping = dict(self._mapping)
+        new_mapping[name] = tuple(values)
+        return Domains(new_mapping)
+
+
+def prune_domains(constraints, domains):
+    """Narrow domains using unary constraints (``x <op> const``).
+
+    Sound: only removes values that falsify some constraint on their own,
+    so the model set is unchanged.
+    """
+    pruned = domains
+    for constraint in constraints:
+        unary = _as_unary(constraint)
+        if unary is None:
+            continue
+        name, predicate = unary
+        try:
+            pruned = pruned.restrict(name, predicate)
+        except KeyError:
+            pass
+    return pruned
+
+
+def _as_unary(term):
+    """Recognise ``cmp(var, const)`` / ``cmp(const, var)`` / ``not(...)``."""
+    negated = False
+    while isinstance(term, App) and term.op == "not":
+        negated = not negated
+        term = term.args[0]
+    if not isinstance(term, App) or term.op not in (
+            "eq", "ne", "lt", "le", "gt", "ge"):
+        return None
+    left, right = term.args
+    if isinstance(left, SymVar) and isinstance(right, Const):
+        name, const, flipped = left.name, right.value, False
+    elif isinstance(left, Const) and isinstance(right, SymVar):
+        name, const, flipped = right.name, left.value, True
+    else:
+        return None
+    op = term.op
+    if flipped:
+        op = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le",
+              "eq": "eq", "ne": "ne"}[op]
+    tests = {
+        "eq": lambda v: v == const,
+        "ne": lambda v: v != const,
+        "lt": lambda v: v < const,
+        "le": lambda v: v <= const,
+        "gt": lambda v: v > const,
+        "ge": lambda v: v >= const,
+    }
+    base = tests[op]
+    if negated:
+        return name, (lambda v: not base(v))
+    return name, base
+
+
+def enumerate_models(constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT,
+                     required_vars=()):
+    """Yield every model (dict) of the conjunction, up to ``limit``
+    candidate assignments examined.
+
+    ``required_vars`` forces enumeration over variables even when no
+    constraint mentions them — needed when the caller evaluates other
+    terms (e.g. return values) under the models.
+    """
+    constraints = tuple(constraints)
+    names = set(required_vars)
+    for constraint in constraints:
+        term_vars(constraint, names)
+    names = sorted(names)
+    pruned = prune_domains(constraints, domains)
+    if pruned.size(names) > limit:
+        raise OverflowError(
+            f"enumeration space {pruned.size(names)} exceeds limit {limit}; "
+            f"shrink the domains or raise the limit")
+    value_lists = [pruned.of(name) for name in names]
+    for combo in itertools.product(*value_lists):
+        model = dict(zip(names, combo))
+        if all(evaluate(c, model) for c in constraints):
+            yield model
+
+
+def check_sat(constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT):
+    """The first model of the conjunction, or None if unsatisfiable
+    within the domains."""
+    for model in enumerate_models(constraints, domains, limit):
+        return model
+    return None
+
+
+def must_hold(prop, constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT):
+    """Bounded validity: no model of ``constraints`` falsifies ``prop``.
+
+    Returns ``(True, None)`` or ``(False, countermodel)``.
+    """
+    from repro.symbolic.terms import simplify
+    negated = simplify("not", (prop,), None)
+    model = check_sat(tuple(constraints) + (negated,), domains, limit)
+    if model is None:
+        return True, None
+    return False, model

@@ -1,0 +1,214 @@
+"""The symbolic term language.
+
+Terms represent mirlight integer and boolean computations symbolically.
+Integer terms carry their :class:`~repro.mir.types.IntTy` so evaluation
+wraps exactly like the concrete semantics; boolean terms carry ``None``.
+
+The surface is deliberately small: variables, constants, and applications
+of a fixed operator vocabulary.  :func:`simplify` constant-folds during
+construction, so fully-concrete executions never accumulate symbolic
+structure — the executor degrades gracefully into an interpreter.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import MirTypeError
+from repro.mir.types import IntTy, U64
+
+# Operator vocabulary.  Arithmetic/bitwise wrap at the result type;
+# comparisons and connectives yield booleans.
+ARITH_OPS = frozenset({
+    "add", "sub", "mul", "div", "rem",
+    "band", "bor", "bxor", "shl", "shr", "neg", "bnot",
+})
+CMP_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+BOOL_OPS = frozenset({"not", "and", "or", "implies"})
+ITE_OP = "ite"
+
+
+class Term:
+    """Base class of symbolic terms.  ``ty`` is an IntTy or None (bool)."""
+
+    ty: Optional[IntTy]
+
+    def is_bool(self):
+        return self.ty is None
+
+
+@dataclass(frozen=True)
+class SymVar(Term):
+    """A symbolic variable."""
+    name: str
+    ty: Optional[IntTy] = U64
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A literal integer or boolean term."""
+    value: object  # int (for IntTy) or bool (for ty=None)
+    ty: Optional[IntTy] = U64
+
+    def __str__(self):
+        return str(self.value).lower() if self.ty is None else f"{self.value}"
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """An operator application over sub-terms."""
+    op: str
+    args: Tuple[Term, ...]
+    ty: Optional[IntTy] = U64
+
+    def __str__(self):
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.op}({inner})"
+
+
+def bv(value, ty=U64):
+    """An integer constant term, wrapped into range."""
+    return Const(ty.wrap(value), ty)
+
+
+def boolean(value):
+    """A boolean constant term."""
+    return Const(bool(value), None)
+
+
+TRUE = boolean(True)
+FALSE = boolean(False)
+
+
+# ---------------------------------------------------------------------------
+# Construction with constant folding
+# ---------------------------------------------------------------------------
+
+
+def simplify(op, args, ty):
+    """Build ``App(op, args, ty)``, folding when all args are constant
+    and applying a few cheap identities."""
+    if all(isinstance(a, Const) for a in args):
+        values = tuple(a.value for a in args)
+        return _fold(op, values, args, ty)
+    if op == "and":
+        if any(a == FALSE for a in args):
+            return FALSE
+        remaining = tuple(a for a in args if a != TRUE)
+        if not remaining:
+            return TRUE
+        if len(remaining) == 1:
+            return remaining[0]
+        return App("and", remaining, None)
+    if op == "or":
+        if any(a == TRUE for a in args):
+            return TRUE
+        remaining = tuple(a for a in args if a != FALSE)
+        if not remaining:
+            return FALSE
+        if len(remaining) == 1:
+            return remaining[0]
+        return App("or", remaining, None)
+    if op == "not" and isinstance(args[0], App) and args[0].op == "not":
+        return args[0].args[0]
+    if op == "ite" and isinstance(args[0], Const):
+        return args[1] if args[0].value else args[2]
+    return App(op, args, ty)
+
+
+def _fold(op, values, args, ty):
+    if op in CMP_OPS:
+        a, b = values
+        result = {
+            "eq": a == b, "ne": a != b, "lt": a < b,
+            "le": a <= b, "gt": a > b, "ge": a >= b,
+        }[op]
+        return boolean(result)
+    if op in BOOL_OPS:
+        if op == "not":
+            return boolean(not values[0])
+        if op == "and":
+            return boolean(all(values))
+        if op == "or":
+            return boolean(any(values))
+        if op == "implies":
+            return boolean((not values[0]) or values[1])
+    if op == ITE_OP:
+        chosen = args[1] if values[0] else args[2]
+        return chosen
+    if op in ARITH_OPS:
+        return bv(_arith(op, values, ty), ty)
+    raise MirTypeError(f"cannot fold operator {op!r}")
+
+
+def _arith(op, values, ty):
+    if op == "neg":
+        return -values[0]
+    if op == "bnot":
+        return ~(values[0] % ty.modulus)
+    a, b = values
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        if b == 0:
+            raise ZeroDivisionError("symbolic fold: divide by zero")
+        return int(a / b) if (a < 0) != (b < 0) else a // b
+    if op == "rem":
+        if b == 0:
+            raise ZeroDivisionError("symbolic fold: remainder by zero")
+        quotient = int(a / b) if (a < 0) != (b < 0) else a // b
+        return a - b * quotient
+    ua, ub = a % ty.modulus, b % ty.modulus
+    if op == "band":
+        return ua & ub
+    if op == "bor":
+        return ua | ub
+    if op == "bxor":
+        return ua ^ ub
+    if op == "shl":
+        return ua << (ub % ty.width)
+    if op == "shr":
+        return ua >> (ub % ty.width)
+    raise MirTypeError(f"unknown arithmetic operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Evaluation and traversal
+# ---------------------------------------------------------------------------
+
+
+def evaluate(term, model):
+    """Evaluate ``term`` under ``model`` (name -> int/bool)."""
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, SymVar):
+        try:
+            return model[term.name]
+        except KeyError:
+            raise MirTypeError(f"model does not bind {term.name!r}")
+    if isinstance(term, App):
+        if term.op == ITE_OP:
+            cond = evaluate(term.args[0], model)
+            return evaluate(term.args[1 if cond else 2], model)
+        values = tuple(evaluate(a, model) for a in term.args)
+        folded = _fold(term.op, values,
+                       tuple(Const(v, None) for v in values), term.ty)
+        return folded.value
+    raise MirTypeError(f"cannot evaluate {term!r}")
+
+
+def term_vars(term, into=None):
+    """The set of variable names occurring in ``term``."""
+    names = set() if into is None else into
+    if isinstance(term, SymVar):
+        names.add(term.name)
+    elif isinstance(term, App):
+        for arg in term.args:
+            term_vars(arg, names)
+    return names

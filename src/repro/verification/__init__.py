@@ -1,0 +1,48 @@
+"""The verification harness: MIRVerif's proofs, as checks.
+
+Ties the pieces together the way the paper's Coq development does:
+
+* **code proofs** (Sec. 4.3, code -> low spec):
+  :mod:`repro.verification.code_proofs` co-simulates every stateful
+  corpus function against its functional specification over the same
+  abstract state;
+* **pure-function proofs**: :mod:`repro.verification.pure_refs` pairs
+  every pure corpus function with its Python reference, checked by
+  exhaustive bounded symbolic equivalence and panic-freedom
+  (:func:`repro.symbolic.check_equivalence` /
+  :func:`repro.symbolic.verify_assertions`);
+* **refinement proofs** (Sec. 4.1, low spec -> high spec): driven via
+  :mod:`repro.spec.relation` by the tests and benches;
+* :func:`repro.verification.code_proofs.verify_corpus` — the one-call
+  "check everything" driver producing the per-layer report behind the
+  Sec. 6 statistics.
+"""
+
+from repro.verification.pure_refs import (
+    pure_reference,
+    pure_function_names,
+    default_domains,
+)
+from repro.verification.code_proofs import (
+    low_spec_for,
+    stateful_function_names,
+    sample_states,
+    verify_stateful_function,
+    verify_pure_function,
+    verify_corpus,
+    CorpusReport,
+    FunctionVerdict,
+)
+from repro.verification.autospec import (
+    SynthesizedSpec,
+    synthesize_spec,
+    check_synthesized_spec,
+)
+
+__all__ = [
+    "pure_reference", "pure_function_names", "default_domains",
+    "low_spec_for", "stateful_function_names", "sample_states",
+    "verify_stateful_function", "verify_pure_function", "verify_corpus",
+    "CorpusReport", "FunctionVerdict",
+    "SynthesizedSpec", "synthesize_spec", "check_synthesized_spec",
+]

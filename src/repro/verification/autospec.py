@@ -1,0 +1,130 @@
+"""Automatic specification synthesis for the pure fragment.
+
+The paper's related work points at Spoq [33], which "automates part of
+the work of writing code-proofs for CCAL-style verification in C;
+similar techniques might improve the productivity of Rust system
+software verification too" (Sec. 7).  This module is that direction,
+prototyped: for any pure mirlight function, symbolically execute every
+path and package the result as a *guarded functional specification* —
+
+    spec pte_is_present(e) :=
+      | ne(band(e, 1), 0) -> true
+      | otherwise         -> false
+
+The synthesized spec is an executable object (it evaluates concrete
+inputs by path dispatch) and a printable artifact.  Because it is
+derived *from the code*, agreement with the code is by construction;
+its value is (a) as a generated low spec a human can audit instead of
+write, and (b) as a bridge: checking the synthesized spec against an
+independent reference is exactly the code-vs-reference equivalence
+check, now with the spec text as a readable witness of what the code
+does on every path.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import SpecError
+from repro.mir.value import Value
+from repro.symbolic.execute import SymExecutor, _symbolic_args, lower_value
+from repro.symbolic.solver import Domains, check_sat, enumerate_models
+from repro.symbolic.terms import SymVar, Term, evaluate
+
+
+@dataclass
+class GuardedClause:
+    """One spec clause: a conjunction of guard terms and a result."""
+
+    guards: Tuple[Term, ...]
+    result: object  # Term or SymAggregate over terms
+
+    def matches(self, model) -> bool:
+        return all(evaluate(guard, model) for guard in self.guards)
+
+
+class SynthesizedSpec:
+    """A guarded functional specification derived from MIR code."""
+
+    def __init__(self, name, params, clauses: List[GuardedClause]):
+        self.name = name
+        self.params = tuple(params)
+        self.clauses = clauses
+
+    def evaluate(self, *args) -> Value:
+        """Apply the spec to concrete argument Values."""
+        model = {param: arg.value if hasattr(arg, "value") else arg
+                 for param, arg in zip(self.params, args)}
+        for clause in self.clauses:
+            if clause.matches(model):
+                return lower_value(clause.result, model)
+        raise SpecError(
+            f"{self.name}: no clause matches {model!r} — the synthesized "
+            f"spec does not cover this input")
+
+    def pretty(self) -> str:
+        """Render the spec as guarded clauses."""
+        lines = [f"spec {self.name}({', '.join(self.params)}) :="]
+        for clause in self.clauses:
+            if clause.guards:
+                guard = " && ".join(str(g) for g in clause.guards)
+            else:
+                guard = "otherwise"
+            lines.append(f"  | {guard:<48} -> {_pretty_result(clause.result)}")
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self.clauses)
+
+
+def _pretty_result(result):
+    from repro.symbolic.execute import SymAggregate
+    if isinstance(result, SymAggregate):
+        inner = ", ".join(_pretty_result(f) for f in result.fields)
+        return f"({inner})"
+    return str(result)
+
+
+def synthesize_spec(program, fn_name, domains: Domains,
+                    prune_infeasible=True) -> SynthesizedSpec:
+    """Derive the guarded spec of a pure function by path enumeration.
+
+    Infeasible paths (within the domains) are dropped so the printed
+    spec contains only clauses a real input can reach.
+    """
+    function = program.functions[fn_name]
+    executor = SymExecutor(program,
+                           domains=domains if prune_infeasible else None)
+    sym_args = _symbolic_args(function, domains)
+    paths = executor.run(fn_name, sym_args)
+    clauses = []
+    for path in paths:
+        if prune_infeasible and check_sat(path.pathcond, domains) is None:
+            continue
+        clauses.append(GuardedClause(guards=path.pathcond,
+                                     result=path.ret))
+    return SynthesizedSpec(fn_name, function.params, clauses)
+
+
+def check_synthesized_spec(spec: SynthesizedSpec, reference, domains,
+                           limit=200_000):
+    """Exhaustively compare the synthesized spec against a reference.
+
+    ``reference(*Values) -> Value``.  Returns the mismatches and the
+    number of inputs examined — the Spoq-style 'did the generated spec
+    capture the intent' check.
+    """
+    from repro.mir.value import mk_int
+    from repro.mir.types import U64
+    param_vars = [SymVar(p) for p in spec.params]
+    mismatches = []
+    examined = 0
+    for model in enumerate_models((), domains, limit=limit,
+                                  required_vars=spec.params):
+        examined += 1
+        args = [mk_int(model[p], U64) for p in spec.params]
+        got = spec.evaluate(*args)
+        expected = reference(*args)
+        if got != expected:
+            mismatches.append((model, got, expected))
+    del param_vars
+    return mismatches, examined

@@ -1,0 +1,200 @@
+"""The RData simulation proof (Sec. 3.4, case 3).
+
+"Of course, it is not possible to verify the code of the methods with
+respect to this [RData] semantics, because the code does load and store
+through pointers. Instead, the functions are verified in the concrete
+Rust memory model, and then we do a refinement proof showing a
+simulation from the RData pointer specifications to the concrete memory
+semantics."
+
+This module builds both sides and the simulation:
+
+* **High side** — AddrSpace specifications over an abstract registry:
+  the abstract state gains an ``addrspaces`` ZMap (handle index → page
+  table root); ``as_new`` returns an opaque
+  :class:`~repro.mir.value.RDataPtr` and the methods take handles.
+  Clients at higher layers can *only* pass the handle around.
+* **Low side** — the MIR code, executed in the concrete memory model:
+  ``as_new`` allocates a struct in object memory and returns a real
+  :class:`~repro.mir.value.PathPtr`.
+* **Simulation** — a handle↔pointer correspondence maintained across
+  paired executions; after every operation the registry entry and the
+  concrete struct agree, and the shared page-table state is equal.
+
+:func:`run_simulation` drives a scripted workload through both sides
+and checks the simulation relation after every step.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.ccal.spec import Spec
+from repro.ccal.zmap import ZMap
+from repro.errors import RefinementFailure, SpecPreconditionError
+from repro.mir.value import PathPtr, RDataPtr, mk_tuple, mk_u64, unit
+
+ADDR_SPACE_LAYER = "AddrSpace"
+
+
+def extend_with_registry(state):
+    """Add the high side's addrspace registry to an abstract state."""
+    return state.with_field("addrspaces", ZMap(default=None),
+                            owner=ADDR_SPACE_LAYER)
+
+
+# ---------------------------------------------------------------------------
+# The high (RData) specifications
+# ---------------------------------------------------------------------------
+
+
+def high_specs(model) -> Dict[str, Spec]:
+    """AddrSpace specs whose handles are opaque RData pointers."""
+    from repro.verification.code_proofs import low_spec_for
+    alloc = low_spec_for(model, "alloc_frame")
+    map_page = low_spec_for(model, "map_page")
+    unmap_page = low_spec_for(model, "unmap_page")
+    query = low_spec_for(model, "query")
+
+    def _root_of(state, handle):
+        if not isinstance(handle, RDataPtr) \
+                or handle.owner_layer != ADDR_SPACE_LAYER:
+            raise SpecPreconditionError(
+                f"expected an AddrSpace handle, got {handle!r}")
+        root = state.get("addrspaces").get(handle.indices[0])
+        if root is None:
+            raise SpecPreconditionError(
+                f"dangling AddrSpace handle {handle}")
+        return root
+
+    def as_new_spec(args, state):
+        frame, state = alloc((), state)
+        registry = state.get("addrspaces")
+        index = len(registry)
+        state = state.set("addrspaces",
+                          registry.set(index, frame.value))
+        return RDataPtr(ADDR_SPACE_LAYER, "as", (index,)), state
+
+    def as_root_spec(args, state):
+        return mk_u64(_root_of(state, args[0])), state
+
+    def as_map_spec(args, state):
+        root = _root_of(state, args[0])
+        return map_page((mk_u64(root),) + tuple(args[1:]), state)
+
+    def as_unmap_spec(args, state):
+        root = _root_of(state, args[0])
+        return unmap_page((mk_u64(root),) + tuple(args[1:]), state)
+
+    def as_query_spec(args, state):
+        root = _root_of(state, args[0])
+        return query((mk_u64(root),) + tuple(args[1:]), state)
+
+    return {
+        "as_new": Spec("as_new", as_new_spec, layer=ADDR_SPACE_LAYER,
+                       ptr_kind="rdata"),
+        "as_root": Spec("as_root", as_root_spec,
+                        layer=ADDR_SPACE_LAYER),
+        "as_map": Spec("as_map", as_map_spec, layer=ADDR_SPACE_LAYER),
+        "as_unmap": Spec("as_unmap", as_unmap_spec,
+                         layer=ADDR_SPACE_LAYER),
+        "as_query": Spec("as_query", as_query_spec,
+                         layer=ADDR_SPACE_LAYER),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The simulation driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SimulationRun:
+    """Outcome of a paired high/low execution."""
+
+    steps: int = 0
+    handles: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+
+def run_simulation(model, script) -> SimulationRun:
+    """Drive ``script`` through both semantics in lockstep.
+
+    Script entries:
+
+    * ``("new", tag)`` — create an address space, remember it as ``tag``
+    * ``("map", tag, va, pa, flags)``
+    * ``("unmap", tag, va)``
+    * ``("query", tag, va)`` — return values must agree
+
+    The simulation relation, checked after every step: the shared
+    page-table fields (``pt_words``, ``pt_bitmap``, ``epcm``) are equal
+    on both sides, and for every tag the registry root (high) equals the
+    struct's root field behind the concrete pointer (low).
+    """
+    specs = high_specs(model)
+    high_state = extend_with_registry(model.initial_absstate())
+    low = model.make_interpreter()  # concrete memory model
+    run = SimulationRun()
+    handle_of: Dict[str, RDataPtr] = {}
+    pointer_of: Dict[str, PathPtr] = {}
+
+    def related():
+        # shared state fields agree
+        for name in ("pt_words", "pt_bitmap", "epcm"):
+            if high_state.get(name) != low.absstate.get(name):
+                return f"abstract field {name} diverged"
+        # per-handle correspondence
+        registry = high_state.get("addrspaces")
+        for tag, handle in handle_of.items():
+            high_root = registry.get(handle.indices[0])
+            low_struct = low.memory.read(pointer_of[tag].path)
+            if high_root != low_struct.field(0).value:
+                return (f"{tag}: registry root {high_root} != concrete "
+                        f"struct root {low_struct.field(0).value}")
+        return None
+
+    for step in script:
+        run.steps += 1
+        op, tag = step[0], step[1]
+        if op == "new":
+            handle, high_state = specs["as_new"]((), high_state)
+            handle_of[tag] = handle
+            pointer_of[tag] = low.call("as_new").value
+            run.handles += 1
+        elif op == "map":
+            _va, _pa, _flags = step[2], step[3], step[4]
+            args = (mk_u64(_va), mk_u64(_pa), mk_u64(_flags))
+            try:
+                _ret, high_state = specs["as_map"](
+                    (handle_of[tag],) + args, high_state)
+            except SpecPreconditionError:
+                continue  # outside the spec's domain: skip the pair
+            low.call("as_map", (pointer_of[tag],) + args)
+        elif op == "unmap":
+            args = (mk_u64(step[2]),)
+            try:
+                _ret, high_state = specs["as_unmap"](
+                    (handle_of[tag],) + args, high_state)
+            except SpecPreconditionError:
+                continue
+            low.call("as_unmap", (pointer_of[tag],) + args)
+        elif op == "query":
+            args = (mk_u64(step[2]),)
+            high_ret, high_state = specs["as_query"](
+                (handle_of[tag],) + args, high_state)
+            low_ret = low.call("as_query",
+                               (pointer_of[tag],) + args).value
+            if high_ret != low_ret:
+                run.failures.append(
+                    f"step {run.steps}: query returns diverge "
+                    f"({high_ret} vs {low_ret})")
+        else:
+            raise ValueError(f"unknown script op {op!r}")
+        divergence = related()
+        if divergence is not None:
+            run.failures.append(f"step {run.steps}: {divergence}")
+    return run

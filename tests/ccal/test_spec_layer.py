@@ -1,0 +1,139 @@
+"""Specs and layer stacks: preconditions, purity, interface export,
+ownership disjointness, and the caller-callee order."""
+
+import pytest
+
+from repro.ccal.absstate import AbsState
+from repro.ccal.layer import LayerStack
+from repro.ccal.spec import Spec, pure_spec, state_spec
+from repro.errors import LayerError, SpecPreconditionError
+from repro.mir.builder import ProgramBuilder
+from repro.mir.types import U64, UNIT
+from repro.mir.value import mk_u64
+
+
+def counter_state():
+    return AbsState().with_field("n", 0)
+
+
+class TestSpec:
+    def test_state_spec_threads_state(self):
+        spec = state_spec("inc", lambda args, s: (mk_u64(s.get("n")),
+                                                  s.set("n", s.get("n") + 1)))
+        ret, state = spec((), counter_state())
+        assert ret.value == 0
+        assert state.get("n") == 1
+
+    def test_precondition_enforced(self):
+        spec = state_spec("f", lambda args, s: (None, s),
+                          pre=lambda args, s: args[0].value > 0)
+        with pytest.raises(SpecPreconditionError):
+            spec((mk_u64(0),), counter_state())
+        spec((mk_u64(1),), counter_state())
+
+    def test_pure_spec_state_unchanged(self):
+        spec = pure_spec("sq", lambda args: mk_u64(args[0].value ** 2))
+        ret, state = spec((mk_u64(3),), counter_state())
+        assert ret.value == 9
+        assert state == counter_state()
+
+    def test_pure_claim_checked(self):
+        lying = Spec("f", lambda args, s: (None, s.set("n", 9)), pure=True)
+        with pytest.raises(SpecPreconditionError, match="pure"):
+            lying((), counter_state())
+
+    def test_as_trusted_function(self):
+        spec = pure_spec("one", lambda args: mk_u64(1), layer="L")
+        tf = spec.as_trusted_function()
+        assert tf.name == "one"
+        assert tf.layer == "L"
+
+
+def two_layer_stack():
+    stack = LayerStack()
+    stack.push("Bottom",
+               primitives=[pure_spec("prim_a", lambda args: mk_u64(1))],
+               owned_fields=("mem",))
+    stack.push("Top",
+               primitives=[pure_spec("prim_b", lambda args: mk_u64(2))],
+               owned_fields=("meta",))
+    return stack
+
+
+class TestLayerStack:
+    def test_interface_is_cumulative(self):
+        stack = two_layer_stack()
+        assert set(stack.interface_at("Bottom")) == {"prim_a"}
+        assert set(stack.interface_at("Top")) == {"prim_a", "prim_b"}
+
+    def test_ownership_disjointness(self):
+        stack = two_layer_stack()
+        with pytest.raises(LayerError, match="claimed by both"):
+            stack.push("Evil", owned_fields=("mem",))
+
+    def test_duplicate_layer_rejected(self):
+        stack = two_layer_stack()
+        with pytest.raises(LayerError, match="duplicate"):
+            stack.push("Top")
+
+    def test_owner_lookups(self):
+        stack = two_layer_stack()
+        assert stack.owner_of_field("mem").name == "Bottom"
+        assert stack.owner_of_primitive("prim_b").name == "Top"
+        assert stack.owner_of_field("ghost") is None
+
+    def test_initial_state_carries_ownership(self):
+        stack = two_layer_stack()
+        state = stack.initial_state({"mem": (0,), "meta": {}})
+        assert state.owner_of("mem") == "Bottom"
+        with pytest.raises(LayerError):
+            stack.initial_state({"mem": (0,)})  # missing meta
+
+    def test_duplicate_primitive_rejected(self):
+        stack = LayerStack()
+        layer = stack.push("L")
+        layer.add_primitive(pure_spec("p", lambda args: None))
+        with pytest.raises(LayerError):
+            layer.add_primitive(pure_spec("p", lambda args: None))
+
+
+class TestCallOrder:
+    def build_program(self, upward=False):
+        pb = ProgramBuilder()
+        fb = pb.function("low_fn", [], U64, layer="Bottom")
+        if upward:
+            fb.call("_1", "high_fn", [])
+        fb.ret(1)
+        fb.finish()
+        fb = pb.function("high_fn", [], U64, layer="Top")
+        fb.call("_1", "low_fn", [])
+        fb.call("_2", "prim_a", [])
+        fb.ret("_1")
+        fb.finish()
+        return pb.build()
+
+    def test_downward_calls_allowed(self):
+        stack = two_layer_stack()
+        program = self.build_program(upward=False)
+        mapping = {"low_fn": "Bottom", "high_fn": "Top"}
+        assert stack.check_call_order(program, mapping) == []
+
+    def test_upward_call_flagged(self):
+        stack = two_layer_stack()
+        program = self.build_program(upward=True)
+        mapping = {"low_fn": "Bottom", "high_fn": "Top"}
+        violations = stack.check_call_order(program, mapping)
+        assert violations and "calls upward" in violations[0]
+
+    def test_unexported_callee_flagged(self):
+        stack = two_layer_stack()
+        pb = ProgramBuilder()
+        fb = pb.function("f", [], U64, layer="Top")
+        fb.call("_1", "mystery", [])
+        fb.ret(1)
+        fb.finish()
+        violations = stack.check_call_order(pb.build(), {"f": "Top"})
+        assert violations and "no layer exports" in violations[0]
+
+    def test_corpus_call_order_holds(self, model):
+        assert model.check_call_order() == []

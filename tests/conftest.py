@@ -1,0 +1,63 @@
+"""Shared fixtures: geometries, monitors, the corpus model."""
+
+import pytest
+
+from repro.hyperenclave.constants import TINY, X86_64, MemoryLayout
+from repro.hyperenclave.monitor import RustMonitor
+from repro.hyperenclave.mir_model import build_model
+
+
+@pytest.fixture(scope="session")
+def tiny():
+    return TINY
+
+
+@pytest.fixture(scope="session")
+def x86():
+    return X86_64
+
+
+@pytest.fixture(scope="session")
+def tiny_layout():
+    return MemoryLayout.default_for(TINY)
+
+
+@pytest.fixture(scope="session")
+def model():
+    """The mirlight corpus model (expensive enough to share)."""
+    return build_model(TINY)
+
+
+@pytest.fixture
+def monitor():
+    return RustMonitor(TINY)
+
+
+def build_enclave_world(monitor_cls=RustMonitor, secret=0xDEAD,
+                        pages=1, config=TINY, scrub_source=True):
+    """A booted monitor with one app and one initialized enclave whose
+    first EPC page holds ``secret``.  Returns (monitor, app, eid)."""
+    monitor = monitor_cls(config)
+    primary_os = monitor.primary_os
+    app = primary_os.spawn_app(1)
+    page = config.page_size
+    mbuf_pa = config.frame_base(primary_os.reserve_data_frame())
+    src_pa = config.frame_base(primary_os.reserve_data_frame())
+    primary_os.gpa_write_word(src_pa, secret)
+    elrange_base = 16 * page
+    eid = monitor.hc_create(elrange_base=elrange_base,
+                            elrange_size=pages * page,
+                            mbuf_va=12 * page, mbuf_pa=mbuf_pa,
+                            mbuf_size=page)
+    for index in range(pages):
+        monitor.hc_add_page(eid, elrange_base + index * page, src_pa)
+    if scrub_source:
+        primary_os.gpa_write_word(src_pa, 0)
+    monitor.hc_init(eid)
+    primary_os.gpt_map(app.gpt_root_gpa, 12 * page, mbuf_pa)
+    return monitor, app, eid
+
+
+@pytest.fixture
+def enclave_world():
+    return build_enclave_world()

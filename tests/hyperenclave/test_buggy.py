@@ -1,0 +1,148 @@
+"""Each buggy monitor variant must actually exhibit its planted bug."""
+
+import pytest
+
+from repro.hyperenclave import buggy, pte
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.epcm import PageState
+from repro.hyperenclave.monitor import HOST_ID
+
+from tests.conftest import build_enclave_world
+
+PAGE = TINY.page_size
+
+
+class TestShallowCopyMonitor:
+    def test_enclave_gpt_points_into_guest_memory(self):
+        monitor = buggy.ShallowCopyMonitor(TINY)
+        primary_os = monitor.primary_os
+        app = primary_os.spawn_app(1)
+        primary_os.app_map_data(app, 16 * PAGE)
+        mbuf_pa = TINY.frame_base(primary_os.reserve_data_frame())
+        eid = monitor.hc_create_from_app(app, 16 * PAGE, 2 * PAGE,
+                                         4 * PAGE, mbuf_pa, PAGE)
+        enclave = monitor.enclaves[eid]
+        guest_frames = [f for f in enclave.gpt.table_frames()
+                        if monitor.layout.is_untrusted(f)]
+        assert guest_frames, \
+            "shallow copy must leave guest-controlled table frames"
+
+
+class TestAliasingMonitor:
+    def test_identical_content_shares_epc_frame(self):
+        monitor = buggy.AliasingMonitor(TINY)
+        primary_os = monitor.primary_os
+        src = TINY.frame_base(primary_os.reserve_data_frame())
+        primary_os.gpa_write_word(src, 0x1234)
+        mbuf_a = TINY.frame_base(primary_os.reserve_data_frame())
+        mbuf_b = TINY.frame_base(primary_os.reserve_data_frame())
+        eid_a = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf_a, PAGE)
+        eid_b = monitor.hc_create(32 * PAGE, PAGE, 5 * PAGE, mbuf_b, PAGE)
+        frame_a = monitor.hc_add_page(eid_a, 16 * PAGE, src)
+        frame_b = monitor.hc_add_page(eid_b, 32 * PAGE, src)
+        assert frame_a == frame_b  # the alias
+
+    def test_different_content_not_shared(self):
+        monitor = buggy.AliasingMonitor(TINY)
+        primary_os = monitor.primary_os
+        src_a = TINY.frame_base(primary_os.reserve_data_frame())
+        src_b = TINY.frame_base(primary_os.reserve_data_frame())
+        primary_os.gpa_write_word(src_a, 1)
+        primary_os.gpa_write_word(src_b, 2)
+        mbuf_a = TINY.frame_base(primary_os.reserve_data_frame())
+        mbuf_b = TINY.frame_base(primary_os.reserve_data_frame())
+        eid_a = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf_a, PAGE)
+        eid_b = monitor.hc_create(32 * PAGE, PAGE, 5 * PAGE, mbuf_b, PAGE)
+        assert monitor.hc_add_page(eid_a, 16 * PAGE, src_a) != \
+            monitor.hc_add_page(eid_b, 32 * PAGE, src_b)
+
+
+class TestOutsideElrangeMonitor:
+    def test_outside_va_lands_in_epc(self):
+        monitor = buggy.OutsideElrangeMonitor(TINY)
+        primary_os = monitor.primary_os
+        mbuf = TINY.frame_base(primary_os.reserve_data_frame())
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf, PAGE)
+        frame = monitor.hc_add_page(eid, 40 * PAGE, 0)  # outside!
+        assert monitor.layout.is_epc(frame)
+        hpa = monitor.enclave_translate(eid, 40 * PAGE)
+        assert monitor.layout.is_epc(TINY.frame_of(hpa))
+
+
+class TestNoEpcmRecordMonitor:
+    def test_mapping_without_record(self):
+        monitor, _app, eid = build_enclave_world(
+            monitor_cls=buggy.NoEpcmRecordMonitor)
+        hpa = monitor.enclave_translate(eid, 16 * PAGE)
+        entry = monitor.epcm.entry_for_frame(TINY.frame_of(hpa))
+        assert entry.is_free()  # covert mapping
+
+
+class TestHugePageMonitor:
+    def test_enclave_ept_has_huge_mapping(self):
+        monitor, _app, eid = build_enclave_world(
+            monitor_cls=buggy.HugePageMonitor)
+        sizes = {size for _va, _pa, size, _f
+                 in monitor.enclaves[eid].ept.mappings()}
+        assert any(size > PAGE for size in sizes)
+
+
+class TestMbufOverlapMonitor:
+    def test_overlapping_mbuf_accepted(self):
+        monitor = buggy.MbufOverlapMonitor(TINY)
+        mbuf = TINY.frame_base(monitor.primary_os.reserve_data_frame())
+        eid = monitor.hc_create(16 * PAGE, 2 * PAGE, 17 * PAGE, mbuf, PAGE)
+        enclave = monitor.enclaves[eid]
+        assert enclave.overlaps_elrange(enclave.mbuf.va_base,
+                                        enclave.mbuf.size)
+
+
+class TestSecureMbufMonitor:
+    def test_epc_backed_mbuf_accepted(self):
+        monitor = buggy.SecureMbufMonitor(TINY)
+        epc_pa = TINY.frame_base(monitor.layout.epc_base + 3)
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, epc_pa, PAGE)
+        hpa = monitor.enclave_translate(eid, 4 * PAGE)
+        assert monitor.layout.is_epc(TINY.frame_of(hpa))
+
+
+class TestLeakyExitMonitor:
+    def test_registers_survive_exit(self):
+        monitor, _app, eid = build_enclave_world(
+            monitor_cls=buggy.LeakyExitMonitor)
+        monitor.hc_enter(eid)
+        monitor.vcpu.write_reg("rax", 0x5EC2E7)
+        monitor.hc_exit(eid)
+        assert monitor.active == HOST_ID
+        assert monitor.vcpu.read_reg("rax") == 0x5EC2E7  # leaked
+
+
+class TestNoScrubMonitor:
+    def test_epc_content_survives_destroy(self):
+        monitor, _app, eid = build_enclave_world(
+            monitor_cls=buggy.NoScrubMonitor, secret=0x51C2E7)
+        frames = [f for f, e in monitor.epcm.owned_by(eid)
+                  if e.state is PageState.REG]
+        monitor.hc_destroy(eid)
+        leaked = [monitor.phys.frame_words(f)[0] for f in frames]
+        assert 0x51C2E7 in leaked
+
+
+class TestNoTlbFlushMonitor:
+    def test_tlb_survives_exit(self):
+        monitor, _app, eid = build_enclave_world(
+            monitor_cls=buggy.NoTlbFlushMonitor)
+        monitor.hc_enter(eid)
+        monitor.tlb.insert(0, (16 * PAGE, False), 0x6800)
+        monitor.hc_exit(eid)
+        assert monitor.tlb.lookup(0, (16 * PAGE, False)) == 0x6800
+
+
+class TestRegistry:
+    def test_all_variants_registered(self):
+        assert len(buggy.ALL_BUGGY_MONITORS) == 10
+        assert all(hasattr(cls, "BUG") for cls in buggy.ALL_BUGGY_MONITORS)
+
+    def test_bug_tags_unique(self):
+        tags = [cls.BUG for cls in buggy.ALL_BUGGY_MONITORS]
+        assert len(tags) == len(set(tags))

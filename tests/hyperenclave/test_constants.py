@@ -1,0 +1,102 @@
+"""Machine geometry and memory layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hyperenclave.constants import (
+    MachineConfig, MemoryLayout, TINY, X86_64,
+)
+
+
+class TestMachineConfig:
+    def test_x86_shape(self):
+        assert X86_64.page_size == 4096
+        assert X86_64.entries_per_table == 512
+        assert X86_64.va_bits == 48
+        assert X86_64.words_per_page == 512
+
+    def test_tiny_shape(self):
+        assert TINY.page_size == 256
+        assert TINY.entries_per_table == 4
+        assert TINY.va_bits == 16
+        assert TINY.phys_bytes == 128 * 256
+        assert TINY.va_space >= TINY.phys_bytes  # GPAs cannot wrap
+
+    def test_tables_must_fit_in_pages(self):
+        with pytest.raises(ValueError, match="fit"):
+            MachineConfig("bad", page_bits=8, index_bits=6, levels=2,
+                          phys_frames=4)
+
+    def test_flag_bits_must_fit_below_address_field(self):
+        with pytest.raises(ValueError, match="flag bits"):
+            MachineConfig("bad", page_bits=7, index_bits=2, levels=2,
+                          phys_frames=4)
+
+    @pytest.mark.parametrize("config", [TINY, X86_64])
+    def test_entry_index_decomposition(self, config):
+        """Recomposing the per-level indices and the offset recovers va."""
+        va = config.va_space - config.page_size + 8
+        rebuilt = config.page_offset(va)
+        for level in range(1, config.levels + 1):
+            rebuilt += config.entry_index(va, level) * config.level_span(level)
+        assert rebuilt == va
+
+    @given(st.integers(0, TINY.va_space - 1))
+    def test_entry_index_in_range(self, va):
+        for level in range(1, TINY.levels + 1):
+            assert 0 <= TINY.entry_index(va, level) < TINY.entries_per_table
+
+    def test_entry_index_bad_level(self):
+        with pytest.raises(ValueError):
+            TINY.entry_index(0, 0)
+        with pytest.raises(ValueError):
+            TINY.entry_index(0, TINY.levels + 1)
+
+    @given(st.integers(0, TINY.phys_bytes - 1))
+    def test_frame_roundtrip(self, paddr):
+        frame = TINY.frame_of(paddr)
+        assert TINY.frame_base(frame) <= paddr < TINY.frame_base(frame + 1)
+
+    def test_addr_mask_excludes_flags(self):
+        assert TINY.addr_mask() & 0xFF == 0
+        assert X86_64.addr_mask() & 0xFFF == 0
+        assert X86_64.addr_mask() >> 52 == 0
+
+    def test_canonical_va(self):
+        assert TINY.canonical_va(TINY.va_space + 5) == 5
+
+
+class TestMemoryLayout:
+    def test_default_regions_partition_memory(self):
+        layout = MemoryLayout.default_for(TINY)
+        regions = (list(layout.untrusted_frames)
+                   + list(layout.monitor_frames)
+                   + list(layout.pt_pool_frames)
+                   + list(layout.epc_frames))
+        assert regions == list(range(TINY.phys_frames))
+
+    def test_classification(self):
+        layout = MemoryLayout.default_for(TINY)
+        assert layout.is_untrusted(0)
+        assert not layout.is_untrusted(layout.secure_base)
+        assert layout.is_secure(layout.secure_base)
+        assert layout.is_pt_pool(layout.pt_pool_base)
+        assert layout.is_epc(layout.epc_base)
+        assert not layout.is_epc(layout.epc_base - 1)
+
+    def test_epc_index(self):
+        layout = MemoryLayout.default_for(TINY)
+        assert layout.epc_index(layout.epc_base) == 0
+        assert layout.epc_index(TINY.phys_frames - 1) == \
+            layout.epc_size - 1
+        with pytest.raises(ValueError):
+            layout.epc_index(0)
+
+    def test_out_of_order_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(config=TINY, secure_base=40, pt_pool_base=30,
+                         epc_base=50)
+
+    def test_secure_fraction_controls_split(self):
+        layout = MemoryLayout.default_for(TINY, secure_fraction=0.25)
+        assert layout.secure_base == TINY.phys_frames - 32

@@ -1,0 +1,157 @@
+"""EPCM bookkeeping, enclave objects, marshalling buffers."""
+
+import pytest
+
+from repro.errors import EpcmError, HypercallError, HypervisorError
+from repro.hyperenclave.constants import MemoryLayout, TINY
+from repro.hyperenclave.enclave import Enclave, EnclaveState
+from repro.hyperenclave.epcm import Epcm, PageState
+from repro.hyperenclave.mbuf import MarshallingBuffer
+
+PAGE = TINY.page_size
+LAYOUT = MemoryLayout.default_for(TINY)
+
+
+class TestEpcm:
+    def test_allocate_lowest_free(self):
+        epcm = Epcm(LAYOUT)
+        frame = epcm.allocate(1, PageState.REG, va=0x100)
+        assert frame == LAYOUT.epc_base
+        entry = epcm.entry_for_frame(frame)
+        assert entry.state is PageState.REG
+        assert entry.owner == 1
+        assert entry.va == 0x100
+
+    def test_exhaustion(self):
+        epcm = Epcm(LAYOUT)
+        for _ in range(LAYOUT.epc_size):
+            epcm.allocate(1, PageState.REG)
+        with pytest.raises(EpcmError, match="exhausted"):
+            epcm.allocate(1, PageState.REG)
+
+    def test_record_specific_frame(self):
+        epcm = Epcm(LAYOUT)
+        frame = LAYOUT.epc_base + 2
+        epcm.record(frame, 3, PageState.PT)
+        assert epcm.entry_for_frame(frame).owner == 3
+        with pytest.raises(EpcmError, match="busy"):
+            epcm.record(frame, 4, PageState.REG)
+
+    def test_release_checks_owner(self):
+        epcm = Epcm(LAYOUT)
+        frame = epcm.allocate(1, PageState.REG)
+        with pytest.raises(EpcmError, match="owned by"):
+            epcm.release(frame, 2)
+        epcm.release(frame, 1)
+        assert epcm.entry_for_frame(frame).is_free()
+        with pytest.raises(EpcmError, match="already free"):
+            epcm.release(frame, 1)
+
+    def test_release_all(self):
+        epcm = Epcm(LAYOUT)
+        epcm.allocate(1, PageState.REG)
+        epcm.allocate(2, PageState.REG)
+        epcm.allocate(1, PageState.SECS)
+        epcm.release_all(1)
+        assert epcm.owned_by(1) == []
+        assert len(epcm.owned_by(2)) == 1
+
+    def test_lookup_mapping(self):
+        epcm = Epcm(LAYOUT)
+        frame = epcm.allocate(1, PageState.REG, va=0x400)
+        assert epcm.lookup_mapping(1, 0x400) == frame
+        assert epcm.lookup_mapping(1, 0x500) is None
+        assert epcm.lookup_mapping(2, 0x400) is None
+
+    def test_free_count_and_snapshot(self):
+        epcm = Epcm(LAYOUT)
+        assert epcm.free_count() == LAYOUT.epc_size
+        epcm.allocate(1, PageState.REG)
+        assert epcm.free_count() == LAYOUT.epc_size - 1
+        snap = epcm.snapshot()
+        assert snap[0] == ("reg", 1, None)
+
+
+class TestMarshallingBuffer:
+    def test_bounds_and_membership(self):
+        mbuf = MarshallingBuffer(va_base=4 * PAGE, pa_base=2 * PAGE,
+                                 size=PAGE)
+        assert mbuf.contains_va(4 * PAGE)
+        assert mbuf.contains_va(5 * PAGE - 1)
+        assert not mbuf.contains_va(5 * PAGE)
+        assert mbuf.contains_pa(2 * PAGE + 8)
+
+    def test_pages_pairing(self):
+        mbuf = MarshallingBuffer(va_base=4 * PAGE, pa_base=2 * PAGE,
+                                 size=2 * PAGE)
+        assert mbuf.pages(TINY) == [(4 * PAGE, 2 * PAGE),
+                                    (5 * PAGE, 3 * PAGE)]
+
+    def test_unaligned_pages_rejected(self):
+        mbuf = MarshallingBuffer(va_base=5, pa_base=0, size=PAGE)
+        with pytest.raises(HypervisorError, match="aligned"):
+            mbuf.pages(TINY)
+
+    def test_empty_rejected(self):
+        with pytest.raises(HypervisorError):
+            MarshallingBuffer(va_base=0, pa_base=0, size=0)
+
+    def test_overlap_predicate(self):
+        mbuf = MarshallingBuffer(va_base=4 * PAGE, pa_base=0, size=PAGE)
+        assert mbuf.overlaps_va(4 * PAGE, PAGE)
+        assert mbuf.overlaps_va(3 * PAGE, 2 * PAGE)
+        assert not mbuf.overlaps_va(5 * PAGE, PAGE)
+
+    def test_immutability(self):
+        mbuf = MarshallingBuffer(va_base=0, pa_base=0, size=PAGE)
+        with pytest.raises(Exception):
+            mbuf.va_base = PAGE
+
+
+class _FakeTable:
+    pass
+
+
+class TestEnclave:
+    def make(self, elrange_base=16 * PAGE, mbuf_va=4 * PAGE):
+        mbuf = MarshallingBuffer(va_base=mbuf_va, pa_base=0, size=PAGE)
+        return Enclave(eid=1, elrange_base=elrange_base,
+                       elrange_size=2 * PAGE, mbuf=mbuf,
+                       gpt=_FakeTable(), ept=_FakeTable(),
+                       gpa_base=elrange_base)
+
+    def test_elrange_membership(self):
+        enclave = self.make()
+        assert enclave.in_elrange(16 * PAGE)
+        assert enclave.in_elrange(18 * PAGE - 1)
+        assert not enclave.in_elrange(18 * PAGE)
+
+    def test_elrange_gpa_linear(self):
+        enclave = self.make()
+        assert enclave.elrange_gpa(16 * PAGE + 8) == 16 * PAGE + 8
+        with pytest.raises(HypercallError):
+            enclave.elrange_gpa(0)
+
+    def test_mbuf_overlap_rejected_at_construction(self):
+        with pytest.raises(HypercallError, match="overlaps"):
+            self.make(elrange_base=16 * PAGE, mbuf_va=16 * PAGE)
+
+    def test_lifecycle_guard(self):
+        enclave = self.make()
+        enclave.require_state(EnclaveState.CREATED)
+        with pytest.raises(HypercallError, match="needs"):
+            enclave.require_state(EnclaveState.RUNNING)
+
+    def test_measurement_changes_with_content(self):
+        a, b = self.make(), self.make()
+        a.absorb_measurement(0, (1, 2, 3))
+        b.absorb_measurement(0, (1, 2, 4))
+        assert a.measurement != b.measurement
+
+    def test_measurement_order_sensitive(self):
+        a, b = self.make(), self.make()
+        a.absorb_measurement(0, (1,))
+        a.absorb_measurement(PAGE, (2,))
+        b.absorb_measurement(PAGE, (2,))
+        b.absorb_measurement(0, (1,))
+        assert a.measurement != b.measurement

@@ -1,0 +1,146 @@
+"""Frame allocator invariants and PTE bit manipulation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HypervisorError, OutOfMemoryError
+from repro.hyperenclave import pte
+from repro.hyperenclave.constants import PteFlagBits, TINY, X86_64
+from repro.hyperenclave.frames import BitmapFrameAllocator
+
+
+class TestAllocator:
+    def test_first_fit_lowest(self):
+        alloc = BitmapFrameAllocator(range(10, 15))
+        assert alloc.alloc() == 10
+        assert alloc.alloc() == 11
+
+    def test_dealloc_enables_reuse(self):
+        alloc = BitmapFrameAllocator(range(10, 12))
+        first = alloc.alloc()
+        alloc.alloc()
+        alloc.dealloc(first)
+        assert alloc.alloc() == first
+
+    def test_exhaustion(self):
+        alloc = BitmapFrameAllocator(range(10, 12))
+        alloc.alloc(); alloc.alloc()
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc()
+
+    def test_double_free_rejected(self):
+        alloc = BitmapFrameAllocator(range(10, 12))
+        frame = alloc.alloc()
+        alloc.dealloc(frame)
+        with pytest.raises(HypervisorError, match="double free"):
+            alloc.dealloc(frame)
+
+    def test_foreign_frame_rejected(self):
+        alloc = BitmapFrameAllocator(range(10, 12))
+        with pytest.raises(HypervisorError):
+            alloc.dealloc(5)
+        assert not alloc.contains(5)
+
+    def test_alloc_specific(self):
+        alloc = BitmapFrameAllocator(range(10, 15))
+        assert alloc.alloc_specific(13) == 13
+        with pytest.raises(HypervisorError, match="already"):
+            alloc.alloc_specific(13)
+
+    def test_noncontiguous_pool_rejected(self):
+        with pytest.raises(HypervisorError):
+            BitmapFrameAllocator([1, 3, 5])
+        with pytest.raises(HypervisorError):
+            BitmapFrameAllocator([])
+
+    def test_counters(self):
+        alloc = BitmapFrameAllocator(range(0, 4))
+        alloc.alloc()
+        assert alloc.used_count == 1
+        assert alloc.free_count == 3
+        assert alloc.allocated_frames() == [0]
+
+    @given(st.lists(st.sampled_from(["alloc", "dealloc"]), max_size=40))
+    def test_alloc_dealloc_invariants(self, script):
+        """used+free == size; no frame handed out twice while live."""
+        alloc = BitmapFrameAllocator(range(0, 8))
+        live = set()
+        for action in script:
+            if action == "alloc":
+                try:
+                    frame = alloc.alloc()
+                except OutOfMemoryError:
+                    assert len(live) == 8
+                    continue
+                assert frame not in live
+                live.add(frame)
+            elif live:
+                victim = sorted(live)[0]
+                alloc.dealloc(victim)
+                live.discard(victim)
+            assert alloc.used_count == len(live)
+            assert alloc.used_count + alloc.free_count == alloc.size
+            assert set(alloc.allocated_frames()) == live
+
+
+ENTRIES = st.integers(0, 2 ** 64 - 1)
+TINY_ADDRS = st.integers(0, TINY.phys_bytes - 1).map(TINY.page_base)
+FLAGS = st.integers(0, 0xFF)
+
+
+class TestPteBits:
+    @given(TINY_ADDRS, FLAGS)
+    def test_new_entry_roundtrip(self, addr, flags):
+        entry = pte.pte_new(addr, flags, TINY)
+        assert pte.pte_addr(entry, TINY) == addr
+        assert pte.pte_flags(entry, TINY) == flags & ~TINY.addr_mask()
+
+    @given(ENTRIES)
+    def test_addr_flags_partition(self, entry):
+        """Every entry is exactly its address field plus its flag field."""
+        assert pte.pte_addr(entry, TINY) | pte.pte_flags(entry, TINY) \
+            == entry
+        assert pte.pte_addr(entry, TINY) & pte.pte_flags(entry, TINY) == 0
+
+    @given(ENTRIES, TINY_ADDRS)
+    def test_set_addr_preserves_flags(self, entry, addr):
+        updated = pte.pte_set_addr(entry, addr, TINY)
+        assert pte.pte_addr(updated, TINY) == addr
+        assert pte.pte_flags(updated, TINY) == pte.pte_flags(entry, TINY)
+
+    @given(ENTRIES, FLAGS)
+    def test_set_flags_preserves_addr(self, entry, flags):
+        updated = pte.pte_set_flags(entry, flags, TINY)
+        assert pte.pte_addr(updated, TINY) == pte.pte_addr(entry, TINY)
+
+    def test_flag_predicates(self):
+        entry = pte.pte_new(0, pte.leaf_flags(writable=True, user=False,
+                                              huge=True), TINY)
+        assert pte.pte_is_present(entry)
+        assert pte.pte_is_writable(entry)
+        assert not pte.pte_is_user(entry)
+        assert pte.pte_is_huge(entry)
+
+    def test_with_flag_set_and_clear(self):
+        entry = pte.pte_with_flag(0, PteFlagBits.PRESENT)
+        assert pte.pte_is_present(entry)
+        assert not pte.pte_is_present(
+            pte.pte_with_flag(entry, PteFlagBits.PRESENT, False))
+
+    def test_unused_entry(self):
+        assert pte.pte_is_unused(pte.pte_empty())
+        assert not pte.pte_is_unused(pte.pte_new(0, 1, TINY))
+
+    def test_nx_bit_is_outside_x86_addr_field(self):
+        entry = pte.pte_new(0x1000, pte.leaf_flags(nx=True), X86_64)
+        assert pte.pte_addr(entry, X86_64) == 0x1000
+        assert pte.pte_flag_set(entry, PteFlagBits.NX)
+
+    def test_frame_extraction(self):
+        entry = pte.pte_new(TINY.frame_base(7), pte.leaf_flags(), TINY)
+        assert pte.pte_frame(entry, TINY) == 7
+
+    def test_describe(self):
+        assert pte.describe(0, TINY) == "<unused>"
+        text = pte.describe(pte.pte_new(0x100, pte.leaf_flags(), TINY), TINY)
+        assert "0x100" in text and "P" in text and "W" in text

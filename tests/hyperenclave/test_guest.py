@@ -1,0 +1,108 @@
+"""The untrusted side: guest-physical access, GPT building, probing."""
+
+import pytest
+
+from repro.errors import TranslationFault
+from repro.hyperenclave import pte
+from repro.hyperenclave.constants import TINY
+
+from tests.conftest import build_enclave_world
+
+PAGE = TINY.page_size
+
+
+class TestGpaAccess:
+    def test_untrusted_read_write(self, monitor):
+        primary_os = monitor.primary_os
+        primary_os.gpa_write_word(0x100, 0x42)
+        assert primary_os.gpa_read_word(0x100) == 0x42
+
+    def test_secure_access_faults(self, monitor):
+        secure_gpa = TINY.frame_base(monitor.layout.secure_base)
+        with pytest.raises(TranslationFault):
+            monitor.primary_os.gpa_read_word(secure_gpa)
+        with pytest.raises(TranslationFault):
+            monitor.primary_os.gpa_write_word(secure_gpa, 1)
+
+    def test_dma_goes_through_same_checks(self, monitor):
+        with pytest.raises(TranslationFault):
+            monitor.primary_os.dma_write(
+                TINY.frame_base(monitor.layout.epc_base), 0x41)
+        monitor.primary_os.dma_write(0x200, 0x41)  # untrusted ok
+
+
+class TestGptConstruction:
+    def test_spawn_app_and_map_data(self, monitor):
+        app = monitor.primary_os.spawn_app(1)
+        gpa = monitor.primary_os.app_map_data(app, 6 * PAGE)
+        monitor.primary_os.store(app, 6 * PAGE, 0x77)
+        assert monitor.primary_os.load(app, 6 * PAGE) == 0x77
+        assert monitor.phys.read_word(gpa) == 0x77  # identity EPT
+
+    def test_duplicate_app_rejected(self, monitor):
+        monitor.primary_os.spawn_app(1)
+        with pytest.raises(Exception):
+            monitor.primary_os.spawn_app(1)
+
+    def test_gpt_map_creates_intermediates_in_untrusted_memory(self,
+                                                               monitor):
+        primary_os = monitor.primary_os
+        app = primary_os.spawn_app(1)
+        reserved_before = len(primary_os._reserved_frames)
+        primary_os.gpt_map(app.gpt_root_gpa, 9 * PAGE, 0)
+        # root existed; levels-1 intermediates were reserved
+        assert len(primary_os._reserved_frames) == \
+            reserved_before + TINY.levels - 1
+        for frame in primary_os._reserved_frames:
+            assert monitor.layout.is_untrusted(frame)
+
+    def test_gpt_set_raw_entry(self, monitor):
+        primary_os = monitor.primary_os
+        app = primary_os.spawn_app(1)
+        raw = pte.pte_new(0x700, pte.leaf_flags(), TINY)
+        primary_os.gpt_set_raw_entry(app.gpt_root_gpa, 2, raw)
+        assert primary_os.gpa_read_word(app.gpt_root_gpa + 16) == raw
+
+    def test_probe_returns_none_on_fault(self, monitor):
+        app = monitor.primary_os.spawn_app(1)
+        assert monitor.primary_os.probe(app, 9 * PAGE) is None
+        monitor.primary_os.app_map_data(app, 9 * PAGE)
+        assert monitor.primary_os.probe(app, 9 * PAGE) is not None
+
+    def test_write_permission_respected_in_guest_walk(self, monitor):
+        primary_os = monitor.primary_os
+        app = primary_os.spawn_app(1)
+        gpa = TINY.frame_base(primary_os.reserve_data_frame())
+        primary_os.gpt_map(app.gpt_root_gpa, 6 * PAGE, gpa,
+                           flags=pte.leaf_flags(writable=False))
+        assert primary_os.probe(app, 6 * PAGE, write=False) is not None
+        assert primary_os.probe(app, 6 * PAGE, write=True) is None
+
+
+class TestAdversarialReach:
+    def test_os_gpt_rewrite_cannot_reach_epc(self):
+        """The OS may point its GPT anywhere; the EPT still wins."""
+        monitor, app, eid = build_enclave_world()
+        primary_os = monitor.primary_os
+        for frame, _ in monitor.epcm.owned_by(eid):
+            primary_os.gpt_map(app.gpt_root_gpa, 7 * PAGE,
+                               TINY.frame_base(frame))
+            assert primary_os.probe(app, 7 * PAGE) is None
+            # clean up the probe mapping for the next round
+            raw_index = TINY.entry_index(7 * PAGE, 1)
+            # find the L1 table by walking the first two levels manually
+            entry = primary_os.gpa_read_word(
+                app.gpt_root_gpa + TINY.entry_index(7 * PAGE, 3) * 8)
+            l2_gpa = pte.pte_addr(entry, TINY)
+            entry = primary_os.gpa_read_word(
+                l2_gpa + TINY.entry_index(7 * PAGE, 2) * 8)
+            l1_gpa = pte.pte_addr(entry, TINY)
+            primary_os.gpa_write_word(l1_gpa + raw_index * 8, 0)
+
+    def test_os_cannot_touch_enclave_page_table_frames(self):
+        monitor, _app, eid = build_enclave_world()
+        enclave = monitor.enclaves[eid]
+        for frame in enclave.gpt.table_frames():
+            with pytest.raises(TranslationFault):
+                monitor.primary_os.gpa_write_word(TINY.frame_base(frame),
+                                                  0xBAD)

@@ -1,0 +1,226 @@
+"""RustMonitor: boot, hypercalls, world switches, teardown."""
+
+import pytest
+
+from repro.errors import HypercallError, TranslationFault
+from repro.hyperenclave.constants import TINY, X86_64
+from repro.hyperenclave.enclave import EnclaveState
+from repro.hyperenclave.epcm import PageState
+from repro.hyperenclave.monitor import HOST_ID, RustMonitor
+
+from tests.conftest import build_enclave_world
+
+PAGE = TINY.page_size
+
+
+class TestBoot:
+    def test_ept_covers_exactly_untrusted_memory(self, monitor):
+        mapped = set()
+        for gpa, hpa, size, _ in monitor.os_ept.mappings():
+            assert gpa == hpa  # identity
+            for offset in range(0, size, PAGE):
+                mapped.add(TINY.frame_of(hpa + offset))
+        assert mapped == set(monitor.layout.untrusted_frames)
+
+    def test_boot_is_cheap_with_huge_pages(self, monitor):
+        assert monitor.pt_allocator.used_count <= 2
+
+    def test_boot_without_huge_pages_costs_more(self):
+        small = RustMonitor(TINY, os_huge_pages=False)
+        huge = RustMonitor(TINY, os_huge_pages=True)
+        assert small.pt_allocator.used_count > huge.pt_allocator.used_count
+
+    def test_x86_geometry_boots(self):
+        monitor = RustMonitor(X86_64)
+        assert monitor.pt_allocator.used_count >= 1
+        base = 0
+        assert monitor.os_ept.translate(base) == base
+
+    def test_host_active_initially(self, monitor):
+        assert monitor.active == HOST_ID
+        assert monitor.principals() == [HOST_ID]
+
+
+class TestCreate:
+    def test_create_validates_mbuf_backing(self, monitor):
+        epc_pa = TINY.frame_base(monitor.layout.epc_base)
+        with pytest.raises(HypercallError, match="untrusted"):
+            monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, epc_pa, PAGE)
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(elrange_base=5, elrange_size=PAGE, mbuf_va=0, mbuf_pa=0,
+              mbuf_size=PAGE), "aligned"),
+        (dict(elrange_base=0, elrange_size=PAGE // 2, mbuf_va=0,
+              mbuf_pa=0, mbuf_size=PAGE), "whole pages"),
+        (dict(elrange_base=0, elrange_size=PAGE, mbuf_va=PAGE,
+              mbuf_pa=0, mbuf_size=PAGE // 2), "whole pages"),
+        (dict(elrange_base=TINY.va_space, elrange_size=PAGE,
+              mbuf_va=PAGE, mbuf_pa=0, mbuf_size=PAGE), "exceeds"),
+    ])
+    def test_create_validation(self, monitor, kwargs, match):
+        with pytest.raises(HypercallError, match=match):
+            monitor.hc_create(**kwargs)
+
+    def test_mbuf_overlapping_elrange_rejected(self, monitor):
+        with pytest.raises(HypercallError, match="overlaps"):
+            monitor.hc_create(16 * PAGE, 2 * PAGE, 17 * PAGE, 0, PAGE)
+
+    def test_create_fixes_mbuf_mappings(self, monitor):
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, 2 * PAGE, PAGE)
+        enclave = monitor.enclaves[eid]
+        assert enclave.gpt.query(4 * PAGE) == \
+            (2 * PAGE, enclave.gpt.query(4 * PAGE)[1])
+        assert monitor.enclave_translate(eid, 4 * PAGE) == 2 * PAGE
+
+    def test_create_allocates_secs_page(self, monitor):
+        free_before = monitor.epcm.free_count()
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, 2 * PAGE, PAGE)
+        assert monitor.epcm.free_count() == free_before - 1
+        secs = [e for _, e in monitor.epcm.owned_by(eid)
+                if e.state is PageState.SECS]
+        assert len(secs) == 1
+
+    def test_eids_are_unique(self, monitor):
+        a = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, 2 * PAGE, PAGE)
+        b = monitor.hc_create(32 * PAGE, PAGE, 5 * PAGE, 3 * PAGE, PAGE)
+        assert a != b
+
+
+class TestAddPage:
+    def test_add_page_copies_content(self):
+        monitor, app, eid = build_enclave_world(secret=0x5150,
+                                                scrub_source=False)
+        assert monitor.enclave_load(eid, 16 * PAGE) == 0x5150
+
+    def test_add_page_outside_elrange_rejected(self, monitor):
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, 2 * PAGE, PAGE)
+        with pytest.raises(HypercallError, match="outside ELRANGE"):
+            monitor.hc_add_page(eid, 0, 0)
+
+    def test_add_same_va_twice_rejected(self, monitor):
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, 2 * PAGE, PAGE)
+        monitor.hc_add_page(eid, 16 * PAGE, 0)
+        with pytest.raises(HypercallError, match="already added"):
+            monitor.hc_add_page(eid, 16 * PAGE, 0)
+
+    def test_add_page_source_must_be_os_mapped(self, monitor):
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, 2 * PAGE, PAGE)
+        secure_gpa = TINY.frame_base(monitor.layout.secure_base)
+        with pytest.raises(HypercallError, match="not mapped"):
+            monitor.hc_add_page(eid, 16 * PAGE, secure_gpa)
+
+    def test_add_page_only_in_created_state(self, monitor):
+        eid = monitor.hc_create(16 * PAGE, 2 * PAGE, 4 * PAGE, 2 * PAGE,
+                                PAGE)
+        monitor.hc_add_page(eid, 16 * PAGE, 0)
+        monitor.hc_init(eid)
+        with pytest.raises(HypercallError, match="initialized"):
+            monitor.hc_add_page(eid, 17 * PAGE, 0)
+
+    def test_add_page_records_epcm(self, monitor):
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, 2 * PAGE, PAGE)
+        frame = monitor.hc_add_page(eid, 16 * PAGE, 0)
+        entry = monitor.epcm.entry_for_frame(frame)
+        assert entry.owner == eid
+        assert entry.va == 16 * PAGE
+        assert entry.state is PageState.REG
+
+    def test_measurement_reflects_content(self):
+        a = build_enclave_world(secret=1)[0]
+        b = build_enclave_world(secret=2)[0]
+        assert a.enclaves[1].measurement != b.enclaves[1].measurement
+
+
+class TestWorldSwitch:
+    def test_enter_requires_initialized(self, monitor):
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, 2 * PAGE, PAGE)
+        with pytest.raises(HypercallError):
+            monitor.hc_enter(eid)
+
+    def test_enter_exit_roundtrip(self):
+        monitor, _app, eid = build_enclave_world()
+        monitor.vcpu.write_reg("rax", 0x1111)
+        flushes = monitor.tlb.flush_count
+        monitor.hc_enter(eid)
+        assert monitor.active == eid
+        assert monitor.enclaves[eid].state is EnclaveState.RUNNING
+        assert monitor.vcpu.read_reg("rax") == 0  # fresh enclave context
+        assert monitor.vcpu.ept_root == monitor.enclaves[eid].ept.root_frame
+        monitor.vcpu.write_reg("rax", 0x2222)
+        monitor.hc_exit(eid)
+        assert monitor.active == HOST_ID
+        assert monitor.vcpu.read_reg("rax") == 0x1111  # host restored
+        assert monitor.tlb.flush_count == flushes + 2
+
+    def test_enclave_context_preserved_across_entries(self):
+        monitor, _app, eid = build_enclave_world()
+        monitor.hc_enter(eid)
+        monitor.vcpu.write_reg("rbx", 0x77)
+        monitor.hc_exit(eid)
+        monitor.hc_enter(eid)
+        assert monitor.vcpu.read_reg("rbx") == 0x77
+        monitor.hc_exit(eid)
+
+    def test_double_enter_rejected(self):
+        monitor, _app, eid = build_enclave_world()
+        monitor.hc_enter(eid)
+        with pytest.raises(HypercallError):
+            monitor.hc_enter(eid)
+
+    def test_exit_without_enter_rejected(self):
+        monitor, _app, eid = build_enclave_world()
+        with pytest.raises(HypercallError):
+            monitor.hc_exit(eid)
+
+
+class TestDestroy:
+    def test_destroy_releases_everything(self):
+        monitor, _app, eid = build_enclave_world()
+        pt_used = monitor.pt_allocator.used_count
+        epcm_free = monitor.epcm.free_count()
+        enclave = monitor.enclaves[eid]
+        table_frames = (len(enclave.gpt.table_frames())
+                        + len(enclave.ept.table_frames()))
+        monitor.hc_destroy(eid)
+        assert eid not in monitor.enclaves
+        assert monitor.pt_allocator.used_count == pt_used - table_frames
+        assert monitor.epcm.free_count() == epcm_free + 2  # SECS + REG
+
+    def test_destroy_scrubs_epc_content(self):
+        monitor, _app, eid = build_enclave_world(secret=0xAA55)
+        frames = [f for f, e in monitor.epcm.owned_by(eid)
+                  if e.state is PageState.REG]
+        monitor.hc_destroy(eid)
+        for frame in frames:
+            assert monitor.phys.frame_words(frame) == \
+                (0,) * TINY.words_per_page
+
+    def test_destroy_running_enclave_rejected(self):
+        monitor, _app, eid = build_enclave_world()
+        monitor.hc_enter(eid)
+        with pytest.raises(HypercallError):
+            monitor.hc_destroy(eid)
+
+    def test_unknown_eid_rejected(self, monitor):
+        with pytest.raises(HypercallError, match="no enclave"):
+            monitor.hc_destroy(99)
+
+
+class TestIsolationSmoke:
+    def test_host_cannot_read_epc_through_ept(self):
+        monitor, _app, eid = build_enclave_world()
+        for frame, _ in monitor.epcm.owned_by(eid):
+            with pytest.raises(TranslationFault):
+                monitor.primary_os.gpa_read_word(TINY.frame_base(frame))
+
+    def test_mbuf_is_shared_both_ways(self):
+        monitor, app, eid = build_enclave_world()
+        monitor.primary_os.store(app, 12 * PAGE, 0xCAFE)
+        assert monitor.enclave_load(eid, 12 * PAGE) == 0xCAFE
+        monitor.enclave_store(eid, 12 * PAGE + 8, 0xF00D)
+        assert monitor.primary_os.load(app, 12 * PAGE + 8) == 0xF00D
+
+    def test_enclave_cannot_reach_arbitrary_untrusted_memory(self):
+        monitor, _app, eid = build_enclave_world()
+        with pytest.raises(TranslationFault):
+            monitor.enclave_translate(eid, 0)  # unmapped va

@@ -1,0 +1,258 @@
+"""Page tables: walking, mapping, unmapping, translation, nested walks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PagingError, TranslationFault
+from repro.hyperenclave import pte
+from repro.hyperenclave.constants import MemoryLayout, TINY
+from repro.hyperenclave.frames import BitmapFrameAllocator
+from repro.hyperenclave.hardware import PhysMemory
+from repro.hyperenclave.paging import (
+    PageTable, guest_walk, two_stage_translate,
+)
+
+PAGE = TINY.page_size
+
+
+@pytest.fixture
+def setup():
+    layout = MemoryLayout.default_for(TINY)
+    phys = PhysMemory(TINY)
+    allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+    table = PageTable(TINY, phys, allocator, name="test")
+    return phys, allocator, table
+
+
+class TestMapAndWalk:
+    def test_map_then_translate(self, setup):
+        _, _, table = setup
+        table.map_page(3 * PAGE, 9 * PAGE, pte.leaf_flags())
+        assert table.translate(3 * PAGE) == 9 * PAGE
+        assert table.translate(3 * PAGE + 17) == 9 * PAGE + 17
+
+    def test_walk_spine_has_all_levels(self, setup):
+        _, _, table = setup
+        table.map_page(0, PAGE, pte.leaf_flags())
+        result = table.walk(0)
+        assert [s.level for s in result.steps] == \
+            list(range(TINY.levels, 0, -1))
+        assert result.complete
+
+    def test_unmapped_walk_incomplete(self, setup):
+        _, _, table = setup
+        result = table.walk(5 * PAGE)
+        assert not result.complete
+        assert table.query(5 * PAGE) is None
+
+    def test_double_map_rejected(self, setup):
+        _, _, table = setup
+        table.map_page(0, PAGE, pte.leaf_flags())
+        with pytest.raises(PagingError, match="already mapped"):
+            table.map_page(0, 2 * PAGE, pte.leaf_flags())
+
+    def test_unaligned_rejected(self, setup):
+        _, _, table = setup
+        with pytest.raises(PagingError, match="unaligned"):
+            table.map_page(5, PAGE, pte.leaf_flags())
+        with pytest.raises(PagingError, match="unaligned"):
+            table.map_page(PAGE, 5, pte.leaf_flags())
+
+    def test_intermediate_tables_shared_within_span(self, setup):
+        _, allocator, table = setup
+        before = allocator.used_count
+        table.map_page(0, PAGE, pte.leaf_flags())
+        after_first = allocator.used_count
+        table.map_page(PAGE, 2 * PAGE, pte.leaf_flags())  # same L2/L1
+        assert allocator.used_count == after_first
+        assert after_first == before + TINY.levels - 1
+
+    def test_unmap_then_translate_faults(self, setup):
+        _, _, table = setup
+        table.map_page(0, PAGE, pte.leaf_flags())
+        table.unmap(0)
+        with pytest.raises(TranslationFault):
+            table.translate(0)
+
+    def test_unmap_unmapped_rejected(self, setup):
+        _, _, table = setup
+        with pytest.raises(PagingError, match="not mapped"):
+            table.unmap(0)
+
+    def test_unmap_keeps_intermediates(self, setup):
+        _, allocator, table = setup
+        table.map_page(0, PAGE, pte.leaf_flags())
+        used = allocator.used_count
+        table.unmap(0)
+        assert allocator.used_count == used
+
+    def test_query_returns_addr_and_flags(self, setup):
+        _, _, table = setup
+        flags = pte.leaf_flags(writable=False)
+        table.map_page(2 * PAGE, 6 * PAGE, flags)
+        paddr, got_flags = table.query(2 * PAGE)
+        assert paddr == 6 * PAGE
+        assert got_flags == flags
+
+    def test_permission_enforcement(self, setup):
+        _, _, table = setup
+        table.map_page(0, PAGE, pte.leaf_flags(writable=False))
+        table.map_page(PAGE, 2 * PAGE, pte.leaf_flags(user=False))
+        assert table.translate(0, write=False) == PAGE
+        with pytest.raises(TranslationFault, match="read-only"):
+            table.translate(0, write=True)
+        with pytest.raises(TranslationFault, match="supervisor"):
+            table.translate(PAGE, user=True)
+        assert table.translate(PAGE, user=False) == 2 * PAGE
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.integers(0, TINY.va_space // PAGE - 1),
+                   min_size=1, max_size=8))
+    def test_mappings_reports_exactly_what_was_mapped(self, pages):
+        layout = MemoryLayout.default_for(TINY)
+        phys = PhysMemory(TINY)
+        allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+        table = PageTable(TINY, phys, allocator)
+        expected = {}
+        for page_no in pages:
+            table.map_page(page_no * PAGE, (page_no % 8) * PAGE,
+                           pte.leaf_flags())
+            expected[page_no * PAGE] = (page_no % 8) * PAGE
+        got = {va: pa for va, pa, size, _ in table.mappings()}
+        assert got == expected
+        for va, pa in expected.items():
+            assert table.translate(va) == pa
+
+
+class TestHugePages:
+    def test_huge_disallowed_by_default(self, setup):
+        _, _, table = setup
+        with pytest.raises(PagingError, match="not allowed"):
+            table.map_huge(0, 0, 2, pte.leaf_flags())
+
+    def test_huge_map_and_translate(self):
+        layout = MemoryLayout.default_for(TINY)
+        phys = PhysMemory(TINY)
+        allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+        table = PageTable(TINY, phys, allocator, allow_huge=True)
+        span = TINY.level_span(2)
+        table.map_huge(0, span, 2, pte.leaf_flags())
+        assert table.translate(0) == span
+        assert table.translate(PAGE + 4) == span + PAGE + 4
+        mappings = table.mappings()
+        assert mappings[0][2] == span  # size
+
+    def test_huge_alignment_enforced(self):
+        layout = MemoryLayout.default_for(TINY)
+        phys = PhysMemory(TINY)
+        allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+        table = PageTable(TINY, phys, allocator, allow_huge=True)
+        with pytest.raises(PagingError, match="aligned"):
+            table.map_huge(PAGE, 0, 2, pte.leaf_flags())
+
+    def test_huge_blocks_fine_grained_mapping(self):
+        layout = MemoryLayout.default_for(TINY)
+        phys = PhysMemory(TINY)
+        allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+        table = PageTable(TINY, phys, allocator, allow_huge=True)
+        table.map_huge(0, 0, 2, pte.leaf_flags())
+        with pytest.raises(PagingError, match="huge"):
+            table.map_page(PAGE, 5 * PAGE, pte.leaf_flags())
+
+    def test_table_frames_excludes_huge_targets(self):
+        layout = MemoryLayout.default_for(TINY)
+        phys = PhysMemory(TINY)
+        allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+        table = PageTable(TINY, phys, allocator, allow_huge=True)
+        table.map_huge(0, 0, TINY.levels, pte.leaf_flags())
+        assert table.table_frames() == [table.root_frame]
+
+
+class TestTableFrames:
+    def test_all_frames_in_pool(self, setup):
+        _, allocator, table = setup
+        for page_no in range(6):
+            table.map_page(page_no * PAGE, page_no * PAGE,
+                           pte.leaf_flags())
+        frames = table.table_frames()
+        assert frames[0] == table.root_frame
+        assert all(allocator.contains(f) for f in frames)
+        assert len(frames) == allocator.used_count
+
+
+class TestNestedWalks:
+    def build_nested(self):
+        """An EPT identity-mapping frames 0..16 plus a guest GPT."""
+        layout = MemoryLayout.default_for(TINY)
+        phys = PhysMemory(TINY)
+        allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+        ept = PageTable(TINY, phys, allocator, name="ept")
+        for frame in range(16):
+            base = TINY.frame_base(frame)
+            ept.map_page(base, base, pte.leaf_flags())
+        # Guest page tables live in guest frames 0..2 (identity mapped).
+        gpt_root_gpa = TINY.frame_base(0)
+        return phys, ept, gpt_root_gpa
+
+    def write_guest_entry(self, phys, table_gpa, index, entry):
+        phys.write_word(table_gpa + index * 8, entry)
+
+    def build_guest_chain(self, phys, gpt_root, va, leaf_frame):
+        """Hand-build the guest table chain for ``va`` in frames 1..n."""
+        table_gpa = gpt_root
+        next_free = 1
+        for level in range(TINY.levels, 1, -1):
+            child = TINY.frame_base(next_free)
+            next_free += 1
+            self.write_guest_entry(phys, table_gpa,
+                                   TINY.entry_index(va, level),
+                                   pte.pte_new(child, pte.table_flags(),
+                                               TINY))
+            table_gpa = child
+        self.write_guest_entry(phys, table_gpa, TINY.entry_index(va, 1),
+                               pte.pte_new(TINY.frame_base(leaf_frame),
+                                           pte.leaf_flags(), TINY))
+
+    def test_guest_walk_resolves(self):
+        phys, ept, gpt_root = self.build_nested()
+        va = 5 * PAGE
+        self.build_guest_chain(phys, gpt_root, va, leaf_frame=9)
+        hpa = guest_walk(TINY, phys, ept, gpt_root, va + 24)
+        assert hpa == TINY.frame_base(9) + 24
+
+    def test_guest_walk_gpt_fault(self):
+        phys, ept, gpt_root = self.build_nested()
+        with pytest.raises(TranslationFault) as excinfo:
+            guest_walk(TINY, phys, ept, gpt_root, 5 * PAGE)
+        assert excinfo.value.stage == "gpt"
+
+    def test_guest_walk_ept_fault_on_secure_target(self):
+        """A GPT entry pointing at unmapped (secure) GPA faults at the
+        EPT stage — the mapping-attack containment in miniature."""
+        phys, ept, gpt_root = self.build_nested()
+        self.build_guest_chain(phys, gpt_root, 0, leaf_frame=120)
+        with pytest.raises(TranslationFault) as excinfo:
+            guest_walk(TINY, phys, ept, gpt_root, 0)
+        assert excinfo.value.stage == "ept"
+
+    def test_two_stage_translate(self):
+        layout = MemoryLayout.default_for(TINY)
+        phys = PhysMemory(TINY)
+        allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+        gpt = PageTable(TINY, phys, allocator, name="gpt")
+        ept = PageTable(TINY, phys, allocator, name="ept")
+        gpt.map_page(7 * PAGE, 3 * PAGE, pte.leaf_flags())
+        ept.map_page(3 * PAGE, 11 * PAGE, pte.leaf_flags())
+        assert two_stage_translate(TINY, phys, ept, gpt, 7 * PAGE + 5) \
+            == 11 * PAGE + 5
+
+    def test_two_stage_fault_propagates_stage(self):
+        layout = MemoryLayout.default_for(TINY)
+        phys = PhysMemory(TINY)
+        allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+        gpt = PageTable(TINY, phys, allocator, name="gpt")
+        ept = PageTable(TINY, phys, allocator, name="ept")
+        gpt.map_page(7 * PAGE, 3 * PAGE, pte.leaf_flags())
+        with pytest.raises(TranslationFault) as excinfo:
+            two_stage_translate(TINY, phys, ept, gpt, 7 * PAGE)
+        assert excinfo.value.stage == "ept"

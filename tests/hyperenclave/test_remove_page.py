@@ -1,0 +1,83 @@
+"""EREMOVE (hc_remove_page): recovery from partially-built enclaves."""
+
+import pytest
+
+from repro.errors import HypercallError, InvariantViolation, TranslationFault
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.monitor import RustMonitor
+from repro.security import assert_invariants, check_all_invariants
+
+PAGE = TINY.page_size
+
+
+@pytest.fixture
+def created_enclave(monitor):
+    primary_os = monitor.primary_os
+    src = TINY.frame_base(primary_os.reserve_data_frame())
+    primary_os.gpa_write_word(src, 0x5EC)
+    mbuf = TINY.frame_base(primary_os.reserve_data_frame())
+    eid = monitor.hc_create(16 * PAGE, 2 * PAGE, 4 * PAGE, mbuf, PAGE)
+    monitor.hc_add_page(eid, 16 * PAGE, src)
+    return monitor, eid, src
+
+
+class TestRemovePage:
+    def test_remove_then_translate_faults(self, created_enclave):
+        monitor, eid, _src = created_enclave
+        monitor.hc_remove_page(eid, 16 * PAGE)
+        with pytest.raises(TranslationFault):
+            monitor.enclave_translate(eid, 16 * PAGE)
+
+    def test_remove_scrubs_and_frees(self, created_enclave):
+        monitor, eid, _src = created_enclave
+        free_before = monitor.epcm.free_count()
+        frame = monitor.hc_remove_page(eid, 16 * PAGE)
+        assert monitor.epcm.entry_for_frame(frame).is_free()
+        assert monitor.epcm.free_count() == free_before + 1
+        assert monitor.phys.frame_words(frame) == \
+            (0,) * TINY.words_per_page
+
+    def test_remove_then_re_add(self, created_enclave):
+        monitor, eid, src = created_enclave
+        monitor.hc_remove_page(eid, 16 * PAGE)
+        monitor.hc_add_page(eid, 16 * PAGE, src)
+        monitor.hc_init(eid)
+        assert monitor.enclave_load(eid, 16 * PAGE) == 0x5EC
+
+    def test_remove_unknown_va_rejected(self, created_enclave):
+        monitor, eid, _src = created_enclave
+        with pytest.raises(HypercallError, match="no EPC page"):
+            monitor.hc_remove_page(eid, 17 * PAGE)
+
+    def test_remove_after_init_rejected(self, created_enclave):
+        monitor, eid, _src = created_enclave
+        monitor.hc_init(eid)
+        with pytest.raises(HypercallError):
+            monitor.hc_remove_page(eid, 16 * PAGE)
+
+    def test_invariants_preserved_through_remove(self, created_enclave):
+        monitor, eid, _src = created_enclave
+        monitor.hc_remove_page(eid, 16 * PAGE)
+        assert_invariants(monitor)  # raises on violation
+
+    def test_remove_flushes_tlb(self, created_enclave):
+        monitor, eid, _src = created_enclave
+        flushes = monitor.tlb.flush_count
+        monitor.hc_remove_page(eid, 16 * PAGE)
+        assert monitor.tlb.flush_count == flushes + 1
+
+
+class TestAssertInvariants:
+    def test_raises_with_family_tag(self):
+        from repro.hyperenclave.buggy import OutsideElrangeMonitor
+        monitor = OutsideElrangeMonitor(TINY)
+        mbuf = TINY.frame_base(monitor.primary_os.reserve_data_frame())
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf, PAGE)
+        monitor.hc_add_page(eid, 40 * PAGE, 0)
+        with pytest.raises(InvariantViolation) as excinfo:
+            assert_invariants(monitor)
+        assert excinfo.value.invariant == "enclave-invariants"
+
+    def test_returns_report_when_clean(self, monitor):
+        report = assert_invariants(monitor)
+        assert report.ok

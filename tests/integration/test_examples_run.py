@@ -1,0 +1,29 @@
+"""Every shipped example must run clean — no bitrot."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+EXAMPLES = sorted(name for name in os.listdir(EXAMPLES_DIR)
+                  if name.endswith(".py"))
+
+
+def test_examples_inventory():
+    assert len(EXAMPLES) >= 6
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, tmp_path):
+    args = [sys.executable, os.path.join(EXAMPLES_DIR, script)]
+    if script == "export_corpus.py":
+        args.append(str(tmp_path / "export"))
+    result = subprocess.run(args, capture_output=True, text=True,
+                            timeout=240)
+    assert result.returncode == 0, \
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip()  # every example narrates its run

@@ -1,0 +1,177 @@
+"""End-to-end integration: the whole paper pipeline in one place.
+
+Retrofit-checked corpus → parsed mirlight → layered verification →
+refinement to the tree spec → security invariants over the running
+system → noninterference over adversarial traces.
+"""
+
+import pytest
+
+from repro.hyperenclave.constants import TINY, MemoryLayout
+from repro.hyperenclave.monitor import HOST_ID, RustMonitor
+from repro.mir.parser import parse_program
+from repro.mir.printer import print_program
+from repro.mir.retrofit import check_retrofitted
+from repro.security import (
+    DataOracle, Hypercall, LocalCompute, MemLoad, MemStore, SystemState,
+    check_all_invariants,
+)
+from repro.security.noninterference import (
+    TwoWorlds, check_theorem_noninterference,
+)
+from repro.security.attacks import run_standard_attack_suite
+from repro.spec import abstract_table, relation_r, tree_mappings
+from repro.spec.relation import flat_state_of_page_table
+from repro.verification import verify_corpus
+
+from tests.conftest import build_enclave_world
+
+PAGE = TINY.page_size
+
+
+class TestPipeline:
+    def test_stage1_corpus_is_retrofitted(self, model):
+        assert check_retrofitted(model.program) == []
+
+    def test_stage2_mirlightgen_roundtrip(self, model):
+        source = print_program(model.program)
+        assert print_program(parse_program(source)) == source
+
+    def test_stage3_layering_holds(self, model):
+        assert model.check_call_order() == []
+        assert len(model.stack) == 15
+
+    def test_stage4_code_proofs_green(self, model):
+        report = verify_corpus(model, cosim_samples=6)
+        assert report.ok, report.summary()
+
+    def test_stage5_refinement_on_live_system(self, enclave_world):
+        monitor, _app, eid = enclave_world
+        layout = monitor.layout
+        enclave = monitor.enclaves[eid]
+        for table in (enclave.gpt, enclave.ept, monitor.os_ept):
+            flat = flat_state_of_page_table(
+                table, layout.pt_pool_base,
+                layout.epc_base - layout.pt_pool_base)
+            tree = abstract_table(flat, table.root_frame)
+            assert relation_r(tree, flat, table.root_frame)
+            assert sorted(tree_mappings(tree, TINY)) == \
+                sorted(table.mappings())
+
+    def test_stage6_invariants_and_attacks(self, enclave_world):
+        monitor, app, eid = enclave_world
+        assert check_all_invariants(monitor).ok
+        outcomes = run_standard_attack_suite(monitor, app, eid, seed=11)
+        assert all(o.contained for o in outcomes.values())
+        assert check_all_invariants(monitor).ok  # still, after attacks
+
+    def test_stage7_noninterference_full_trace(self):
+        def world(secret):
+            monitor, app, eid = build_enclave_world(secret=secret,
+                                                    pages=2)
+            return SystemState(monitor, oracle=DataOracle.seeded(3)), eid
+
+        state_a, eid = world(0x41)
+        state_b, _ = world(0x42)
+        worlds = TwoWorlds(state_a, state_b)
+        trace = [
+            LocalCompute(HOST_ID, "rax", value=1),
+            MemStore(HOST_ID, 0x300, "rax"),
+            Hypercall(HOST_ID, "enter", (eid,)),
+            (MemLoad(eid, 16 * PAGE, "rax"),
+             MemLoad(eid, 16 * PAGE, "rax")),
+            (MemStore(eid, 17 * PAGE, "rax"),
+             MemStore(eid, 17 * PAGE, "rax")),  # secret propagates in EPC
+            (Hypercall(eid, "exit", (eid,)),
+             Hypercall(eid, "exit", (eid,))),
+            MemLoad(HOST_ID, 0x300, "rbx"),
+            MemLoad(HOST_ID, 12 * PAGE, "rcx"),     # mbuf via oracle
+            Hypercall(HOST_ID, "enter", (eid,)),
+            (MemLoad(eid, 17 * PAGE, "rdx"),
+             MemLoad(eid, 17 * PAGE, "rdx")),
+            (Hypercall(eid, "exit", (eid,)),
+             Hypercall(eid, "exit", (eid,))),
+        ]
+        violations = check_theorem_noninterference(worlds, trace,
+                                                   observers=[HOST_ID])
+        assert violations == []
+
+
+class TestMultiEnclaveScenario:
+    def build(self):
+        monitor = RustMonitor(TINY)
+        primary_os = monitor.primary_os
+        apps, eids = [], []
+        for index in range(2):
+            app = primary_os.spawn_app(index + 1)
+            apps.append(app)
+            src = TINY.frame_base(primary_os.reserve_data_frame())
+            primary_os.gpa_write_word(src, 0x100 + index)
+            mbuf = TINY.frame_base(primary_os.reserve_data_frame())
+            base = (16 + 16 * index) * PAGE
+            eid = monitor.hc_create(base, PAGE, (4 + index) * PAGE,
+                                    mbuf, PAGE)
+            monitor.hc_add_page(eid, base, src)
+            monitor.hc_init(eid)
+            primary_os.gpt_map(app.gpt_root_gpa, (4 + index) * PAGE, mbuf)
+            eids.append(eid)
+        return monitor, apps, eids
+
+    def test_two_enclaves_isolated(self):
+        monitor, _apps, eids = self.build()
+        assert check_all_invariants(monitor).ok
+        assert monitor.enclave_load(eids[0], 16 * PAGE) == 0x100
+        assert monitor.enclave_load(eids[1], 32 * PAGE) == 0x101
+        # distinct physical backing
+        pa0 = monitor.enclave_translate(eids[0], 16 * PAGE)
+        pa1 = monitor.enclave_translate(eids[1], 32 * PAGE)
+        assert pa0 != pa1
+
+    def test_sequential_world_switches(self):
+        monitor, _apps, eids = self.build()
+        for _round in range(3):
+            for eid in eids:
+                monitor.hc_enter(eid)
+                monitor.vcpu.write_reg("rax", eid * 1000 + _round)
+                monitor.hc_exit(eid)
+        for eid in eids:
+            monitor.hc_enter(eid)
+            assert monitor.vcpu.read_reg("rax") == eid * 1000 + 2
+            monitor.hc_exit(eid)
+
+    def test_destroy_one_keeps_other_intact(self):
+        monitor, _apps, eids = self.build()
+        monitor.hc_destroy(eids[0])
+        assert check_all_invariants(monitor).ok
+        assert monitor.enclave_load(eids[1], 32 * PAGE) == 0x101
+
+    def test_epc_reuse_after_destroy_is_clean(self):
+        monitor, _apps, eids = self.build()
+        monitor.hc_destroy(eids[0])
+        primary_os = monitor.primary_os
+        src = TINY.frame_base(primary_os.reserve_data_frame())
+        mbuf = TINY.frame_base(primary_os.reserve_data_frame())
+        eid = monitor.hc_create(48 * PAGE, 2 * PAGE, 6 * PAGE, mbuf, PAGE)
+        monitor.hc_add_page(eid, 48 * PAGE, src)
+        monitor.hc_init(eid)
+        monitor.hc_aug_page(eid, 49 * PAGE)
+        assert monitor.enclave_load(eid, 49 * PAGE) == 0  # scrubbed
+        assert check_all_invariants(monitor).ok
+
+
+class TestStressScale:
+    def test_many_lifecycle_rounds_stay_invariant(self):
+        monitor = RustMonitor(TINY)
+        primary_os = monitor.primary_os
+        src = TINY.frame_base(primary_os.reserve_data_frame())
+        mbuf = TINY.frame_base(primary_os.reserve_data_frame())
+        for round_no in range(12):
+            eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf, PAGE)
+            monitor.hc_add_page(eid, 16 * PAGE, src)
+            monitor.hc_init(eid)
+            monitor.hc_enter(eid)
+            monitor.hc_exit(eid)
+            monitor.hc_destroy(eid)
+            assert check_all_invariants(monitor).ok
+        assert monitor.pt_allocator.used_count <= 2  # no frame leaks
+        assert monitor.epcm.free_count() == monitor.layout.epc_size

@@ -1,0 +1,173 @@
+"""Hypothesis stateful testing: the §5.2 claim "we prove that the
+hypercalls preserve them", as a state machine.
+
+The machine drives an arbitrary interleaving of hypercalls and
+guest-side actions against a live monitor, and checks *every* invariant
+family after *every* rule — a randomized search for an action sequence
+that breaks isolation.  A parallel shadow model tracks what should be
+live, so bookkeeping (EPCM counts, allocator usage) is cross-checked
+too.
+"""
+
+import pytest
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    Bundle, RuleBasedStateMachine, consumes, initialize, invariant, rule,
+)
+
+from repro.errors import HypervisorError, ReproError, TranslationFault
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.enclave import EnclaveState
+from repro.hyperenclave.monitor import HOST_ID, RustMonitor
+from repro.security import check_all_invariants
+
+PAGE = TINY.page_size
+ELRANGE_SLOTS = [16 * PAGE, 32 * PAGE, 48 * PAGE]
+MBUF_SLOTS = [4 * PAGE, 5 * PAGE, 6 * PAGE]
+
+
+class HypervisorMachine(RuleBasedStateMachine):
+    enclaves = Bundle("enclaves")
+
+    @initialize()
+    def boot(self):
+        self.monitor = RustMonitor(TINY)
+        self.primary_os = self.monitor.primary_os
+        self.app = self.primary_os.spawn_app(1)
+        self.src = TINY.frame_base(self.primary_os.reserve_data_frame())
+        self.mbufs = [TINY.frame_base(self.primary_os.reserve_data_frame())
+                      for _ in MBUF_SLOTS]
+        self.slot_of = {}
+        self.pages_added = {}
+
+    # -- hypercall rules ------------------------------------------------------
+
+    @rule(target=enclaves, slot=st.integers(0, 2),
+          secret=st.integers(0, 2 ** 32))
+    def create(self, slot, secret):
+        if slot in self.slot_of.values():
+            return None
+        self.primary_os.gpa_write_word(self.src, secret)
+        try:
+            eid = self.monitor.hc_create(
+                ELRANGE_SLOTS[slot], 2 * PAGE, MBUF_SLOTS[slot],
+                self.mbufs[slot], PAGE)
+        except HypervisorError:
+            return None
+        self.slot_of[eid] = slot
+        self.pages_added[eid] = 0
+        return eid
+
+    @rule(eid=enclaves, which=st.integers(0, 1))
+    def add_page(self, eid, which):
+        if eid not in self.slot_of:
+            return
+        va = ELRANGE_SLOTS[self.slot_of[eid]] + which * PAGE
+        try:
+            self.monitor.hc_add_page(eid, va, self.src)
+            self.pages_added[eid] += 1
+        except HypervisorError:
+            pass
+
+    @rule(eid=enclaves)
+    def init(self, eid):
+        if eid not in self.slot_of:
+            return
+        try:
+            self.monitor.hc_init(eid)
+        except HypervisorError:
+            pass
+
+    @rule(eid=enclaves, reg_value=st.integers(0, 2 ** 16))
+    def enter_compute_exit(self, eid, reg_value):
+        if eid not in self.slot_of:
+            return
+        try:
+            self.monitor.hc_enter(eid)
+        except HypervisorError:
+            return
+        self.monitor.vcpu.write_reg("rax", reg_value)
+        self.monitor.hc_exit(eid)
+
+    @rule(eid=enclaves, which=st.integers(0, 1))
+    def aug_page(self, eid, which):
+        if eid not in self.slot_of:
+            return
+        va = ELRANGE_SLOTS[self.slot_of[eid]] + which * PAGE
+        try:
+            self.monitor.hc_aug_page(eid, va)
+            self.pages_added[eid] += 1
+        except HypervisorError:
+            pass
+
+    @rule(eid=enclaves, which=st.integers(0, 1))
+    def remove_page(self, eid, which):
+        if eid not in self.slot_of:
+            return
+        va = ELRANGE_SLOTS[self.slot_of[eid]] + which * PAGE
+        try:
+            self.monitor.hc_remove_page(eid, va)
+            self.pages_added[eid] -= 1
+        except HypervisorError:
+            pass
+
+    @rule(eid=consumes(enclaves))
+    def destroy(self, eid):
+        if eid not in self.slot_of:
+            return
+        try:
+            self.monitor.hc_destroy(eid)
+        except HypervisorError:
+            return
+        del self.slot_of[eid]
+        del self.pages_added[eid]
+
+    # -- adversarial guest rules --------------------------------------------------
+
+    @rule(offset=st.integers(0, 31))
+    def probe_secure_memory(self, offset):
+        gpa = TINY.frame_base(self.monitor.layout.secure_base + offset)
+        with pytest.raises(TranslationFault):
+            self.primary_os.gpa_read_word(gpa)
+
+    @rule(value=st.integers(0, 2 ** 64 - 1), word=st.integers(0, 63))
+    def scribble_untrusted_memory(self, value, word):
+        self.primary_os.gpa_write_word(0x1000 + word * 8, value)
+
+    @rule(eid=enclaves)
+    def remap_gpt_at_enclave(self, eid):
+        """Point the app's GPT at the victim's EPC — must stay blocked."""
+        if eid not in self.slot_of:
+            return
+        for frame, _entry in self.monitor.epcm.owned_by(eid)[:1]:
+            self.primary_os.gpt_map(self.app.gpt_root_gpa, 7 * PAGE,
+                                    TINY.frame_base(frame))
+            assert self.primary_os.probe(self.app, 7 * PAGE) is None
+
+    # -- invariants after every rule -------------------------------------------------
+
+    @invariant()
+    def security_invariants_hold(self):
+        if not hasattr(self, "monitor"):
+            return
+        report = check_all_invariants(self.monitor)
+        assert report.ok, str(report)
+
+    @invariant()
+    def bookkeeping_consistent(self):
+        if not hasattr(self, "monitor"):
+            return
+        # EPCM busy pages == SECS + REG accounted per live enclave.
+        expected_busy = sum(1 + pages
+                            for pages in self.pages_added.values())
+        busy = self.monitor.layout.epc_size \
+            - self.monitor.epcm.free_count()
+        assert busy == expected_busy
+        # The host is active between rules (every enter is paired).
+        assert self.monitor.active == HOST_ID
+
+
+HypervisorMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+
+TestHypervisorMachine = HypervisorMachine.TestCase

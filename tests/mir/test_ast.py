@@ -1,0 +1,94 @@
+"""AST structure tests, including the paper's constructor census."""
+
+import pytest
+
+from repro.mir import ast
+from repro.mir.ast import (
+    EXPRESSION_CONSTRUCTORS, STATEMENT_CONSTRUCTORS, BinOp, Place, place,
+)
+from repro.mir.builder import ProgramBuilder
+from repro.mir.types import U64, UNIT
+
+
+class TestConstructorCensus:
+    def test_28_expression_constructors(self):
+        """Sec. 3.1: '28 types of expressions ... are supported'."""
+        assert len(EXPRESSION_CONSTRUCTORS) == 28
+        assert len(set(EXPRESSION_CONSTRUCTORS)) == 28
+
+    def test_11_statement_constructors(self):
+        """Sec. 3.1: '... and 11 statements/terminators'."""
+        assert len(STATEMENT_CONSTRUCTORS) == 11
+        statements = [c for c in STATEMENT_CONSTRUCTORS
+                      if issubclass(c, ast.Statement)]
+        terminators = [c for c in STATEMENT_CONSTRUCTORS
+                       if issubclass(c, ast.Terminator)]
+        assert len(statements) == 5
+        assert len(terminators) == 6
+
+
+class TestPlace:
+    def test_projection_chaining(self):
+        p = place("x").deref().field(1).index_const(2).downcast(0)
+        kinds = [type(proj) for proj in p.projections]
+        assert kinds == [ast.Deref, ast.FieldProj, ast.ConstantIndex,
+                         ast.Downcast]
+
+    def test_is_bare(self):
+        assert place("x").is_bare
+        assert not place("x").field(0).is_bare
+
+    def test_str_deref(self):
+        assert str(place("p").deref().field(0)) == "(*p).0"
+
+    def test_index_by_variable(self):
+        p = place("arr").index_by("i")
+        assert str(p) == "arr[i]"
+
+
+class TestFunctionIntrospection:
+    def build_calling(self):
+        pb = ProgramBuilder()
+        fb = pb.function("callee", [], UNIT)
+        fb.ret()
+        fb.finish()
+        fb = pb.function("caller", [], U64)
+        fb.call("_1", "callee", [])
+        fb.call("_2", "callee", [])
+        fb.ret(1)
+        fb.finish()
+        return pb.build()
+
+    def test_called_functions(self):
+        program = self.build_calling()
+        assert program.function("caller").called_functions() == [
+            "callee", "callee"]
+        assert program.function("callee").called_functions() == []
+
+    def test_statement_count_includes_terminators(self):
+        program = self.build_calling()
+        callee = program.function("callee")
+        assert callee.statement_count() == 1  # just Return
+
+    def test_duplicate_function_rejected(self):
+        program = self.build_calling()
+        with pytest.raises(ValueError):
+            program.add_function(program.function("callee"))
+
+    def test_merged_with(self):
+        program = self.build_calling()
+        pb = ProgramBuilder()
+        fb = pb.function("extra", [], UNIT)
+        fb.ret()
+        fb.finish()
+        merged = program.merged_with(pb.build())
+        assert set(merged.functions) == {"caller", "callee", "extra"}
+        # originals untouched
+        assert "extra" not in program.functions
+
+
+class TestSwitchIntShape:
+    def test_targets_and_otherwise(self):
+        term = ast.SwitchInt(ast.ConstBool(True), ((0, "bb1"),), "bb2")
+        assert term.targets == ((0, "bb1"),)
+        assert term.otherwise == "bb2"

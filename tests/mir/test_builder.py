@@ -1,0 +1,142 @@
+"""FunctionBuilder / ProgramBuilder tests, especially the lifting pass."""
+
+import pytest
+
+from repro.errors import MirError
+from repro.mir.ast import BinOp, Deref, place
+from repro.mir.builder import FunctionBuilder, ProgramBuilder
+from repro.mir.types import U64, UNIT
+from repro.mir.value import mk_u64
+
+
+class TestBlockDiscipline:
+    def test_statement_after_terminator_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.ret()
+        with pytest.raises(MirError, match="outside any block"):
+            fb.assign("x", 1)
+
+    def test_label_before_terminating_rejected(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(MirError, match="not terminated"):
+            fb.label("bb9")
+
+    def test_duplicate_label_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.goto("bb0")  # seals bb0... jumping to itself
+        with pytest.raises(MirError, match="duplicate block"):
+            fb.label("bb0")
+            fb.ret()
+
+    def test_finish_with_open_block_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.assign("x", 1)
+        with pytest.raises(MirError, match="open block"):
+            fb.finish()
+
+    def test_finish_twice_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.ret()
+        fb.finish()
+        with pytest.raises(MirError, match="twice"):
+            fb.finish()
+
+    def test_missing_entry_rejected(self):
+        fb = FunctionBuilder("f")
+        fb._current_label = "bb7"  # start on a non-entry label
+        fb.ret()
+        with pytest.raises(MirError, match="bb0"):
+            fb.finish()
+
+    def test_call_opens_continuation_block(self):
+        pb = ProgramBuilder()
+        fb = pb.function("g", [], U64)
+        fb.ret(1)
+        fb.finish()
+        fb = pb.function("f", [], U64)
+        fb.call("_1", "g", [])
+        fb.binop("_0", BinOp.ADD, "_1", 1)  # lands in continuation block
+        fb.ret()
+        function = fb.finish()
+        assert len(function.blocks) == 2
+
+
+class TestLiftingPass:
+    def test_plain_vars_are_temporaries(self):
+        fb = FunctionBuilder("f", ["a"])
+        fb.binop("x", BinOp.ADD, "a", 1)
+        fb.ret("x")
+        function = fb.finish()
+        assert function.locals_ == frozenset()
+
+    def test_ref_target_is_local(self):
+        fb = FunctionBuilder("f")
+        fb.assign("x", 1)
+        fb.ref("p", "x")
+        fb.ret()
+        function = fb.finish()
+        assert function.locals_ == frozenset({"x"})
+
+    def test_address_of_target_is_local(self):
+        fb = FunctionBuilder("f")
+        fb.assign("x", 1)
+        fb.address_of("p", "x")
+        fb.ret()
+        assert fb.finish().locals_ == frozenset({"x"})
+
+    def test_ref_through_deref_does_not_force_local(self):
+        """&(*p).0 re-borrows through p: p itself stays a temporary."""
+        fb = FunctionBuilder("f", ["p"])
+        fb.ref("q", place("p").deref().field(0))
+        fb.ret()
+        assert fb.finish().locals_ == frozenset()
+
+    def test_ref_to_field_forces_whole_base_local(self):
+        fb = FunctionBuilder("f")
+        fb.tuple_("t", 1, 2)
+        fb.ref("p", place("t").field(0))
+        fb.ret()
+        assert fb.finish().locals_ == frozenset({"t"})
+
+
+class TestOperandCoercion:
+    def test_int_uses_default_ty(self):
+        from repro.mir.types import U8
+        fb = FunctionBuilder("f", default_int_ty=U8)
+        operand = fb.operand(5)
+        assert operand.value.ty == U8
+
+    def test_bool_and_value_and_place(self):
+        fb = FunctionBuilder("f")
+        assert fb.operand(True).value.value is True
+        assert fb.operand(mk_u64(3)).value.value == 3
+        assert fb.operand(place("x")).place == place("x")
+        assert fb.operand("x").place == place("x")
+
+    def test_uncoercible_rejected(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(MirError):
+            fb.operand(object())
+
+
+class TestProgramBuilder:
+    def test_function_registration(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", [], UNIT)
+        fb.ret()
+        fb.finish()
+        assert "f" in pb.build().functions
+
+    def test_globals(self):
+        pb = ProgramBuilder()
+        pb.global_("G", mk_u64(1))
+        assert pb.build().globals_["G"].value == 1
+
+    def test_layer_and_attrs_preserved(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", [], UNIT, layer="PtMap",
+                         attrs=("unsafe_fn",))
+        fb.ret()
+        function = fb.finish()
+        assert function.layer == "PtMap"
+        assert function.attrs == ("unsafe_fn",)

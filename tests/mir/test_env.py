@@ -1,0 +1,66 @@
+"""Temporary environments and activation frames."""
+
+import pytest
+
+from repro.errors import MirRuntimeError
+from repro.mir.builder import FunctionBuilder
+from repro.mir.env import Frame, TempEnv
+from repro.mir.value import mk_u64
+
+
+def sample_function():
+    fb = FunctionBuilder("f", ["a"])
+    fb.assign("x", 1)
+    fb.goto("bb1")
+    fb.label("bb1")
+    fb.ret("x")
+    return fb.finish()
+
+
+class TestTempEnv:
+    def test_write_read(self):
+        env = TempEnv()
+        env.write("x", mk_u64(5))
+        assert env.read("x").value == 5
+        assert "x" in env and env.is_bound("x")
+
+    def test_uninitialised_read_rejected(self):
+        with pytest.raises(MirRuntimeError, match="uninitialised"):
+            TempEnv().read("ghost")
+
+    def test_non_value_rejected(self):
+        with pytest.raises(MirRuntimeError):
+            TempEnv().write("x", 42)
+
+    def test_len(self):
+        env = TempEnv()
+        env.write("x", mk_u64(1))
+        env.write("y", mk_u64(2))
+        env.write("x", mk_u64(3))  # overwrite, not a new binding
+        assert len(env) == 2
+
+
+class TestFrame:
+    def test_starts_at_entry(self):
+        frame = Frame(function=sample_function(), frame_id=0)
+        assert frame.block == "bb0"
+        assert frame.stmt_index == 0
+        assert not frame.at_terminator()
+
+    def test_statement_progression(self):
+        frame = Frame(function=sample_function(), frame_id=0)
+        assert frame.current_statement() is not None
+        frame.stmt_index += 1
+        assert frame.at_terminator()
+
+    def test_jump(self):
+        frame = Frame(function=sample_function(), frame_id=0)
+        frame.stmt_index = 1
+        frame.jump("bb1")
+        assert frame.block == "bb1"
+        assert frame.stmt_index == 0
+
+    def test_jump_to_unknown_block_rejected(self):
+        frame = Frame(function=sample_function(), frame_id=0)
+        with pytest.raises(MirRuntimeError, match="unknown block"):
+            frame.jump("bb99")

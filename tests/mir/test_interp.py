@@ -1,0 +1,471 @@
+"""Operational-semantics tests: one class per rule family."""
+
+import pytest
+
+from repro.ccal.absstate import AbsState
+from repro.errors import (
+    EncapsulationViolation, MirAssertError, MirRuntimeError, OutOfFuel,
+)
+from repro.mir.ast import (
+    AggregateKind, AggregateRv, BinOp, Cast, CastKind, CheckedBinaryOp,
+    Copy, Discriminant, Len, Repeat, UnOp, Use, place,
+)
+from repro.mir.builder import ProgramBuilder
+from repro.mir.interp import Interpreter, TrustedFunction
+from repro.mir.types import BOOL, I64, U8, U64, UNIT
+from repro.mir.value import (
+    PathPtr, RDataPtr, TrustedPtr, mk_bool, mk_int, mk_u64, unit,
+)
+from repro.mir.path import Path
+
+
+def run(build, name="f", args=(), absstate=None, trusted=(),
+        rdata_resolvers=None):
+    pb = ProgramBuilder()
+    build(pb)
+    interp = Interpreter(pb.build(), absstate=absstate)
+    for tf in trusted:
+        interp.register_trusted(tf)
+    for owner, resolver in (rdata_resolvers or {}).items():
+        interp.register_rdata_resolver(owner, resolver)
+    return interp.call(name, args), interp
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (BinOp.ADD, 3, 4, 7),
+        (BinOp.SUB, 3, 4, 2 ** 64 - 1),   # unsigned wrap
+        (BinOp.MUL, 5, 6, 30),
+        (BinOp.DIV, 7, 2, 3),
+        (BinOp.REM, 7, 2, 1),
+        (BinOp.BITAND, 0b1100, 0b1010, 0b1000),
+        (BinOp.BITOR, 0b1100, 0b1010, 0b1110),
+        (BinOp.BITXOR, 0b1100, 0b1010, 0b0110),
+        (BinOp.SHL, 1, 8, 256),
+        (BinOp.SHR, 256, 8, 1),
+    ])
+    def test_u64_ops(self, op, a, b, expected):
+        def build(pb):
+            fb = pb.function("f", ["a", "b"], U64)
+            fb.binop("_0", op, "a", "b")
+            fb.ret()
+            fb.finish()
+        result, _ = run(build, args=[mk_u64(a), mk_u64(b)])
+        assert result.value.value == expected
+
+    def test_signed_division_truncates_toward_zero(self):
+        def build(pb):
+            fb = pb.function("f", ["a", "b"], I64, default_int_ty=I64)
+            fb.binop("_0", BinOp.DIV, "a", "b")
+            fb.ret()
+            fb.finish()
+        result, _ = run(build, args=[mk_int(-7, I64), mk_int(2, I64)])
+        assert result.value.value == -3  # Rust: -7 / 2 == -3
+
+    def test_signed_remainder_sign_of_dividend(self):
+        def build(pb):
+            fb = pb.function("f", ["a", "b"], I64, default_int_ty=I64)
+            fb.binop("_0", BinOp.REM, "a", "b")
+            fb.ret()
+            fb.finish()
+        result, _ = run(build, args=[mk_int(-7, I64), mk_int(2, I64)])
+        assert result.value.value == -1  # Rust: -7 % 2 == -1
+
+    def test_divide_by_zero_panics(self):
+        def build(pb):
+            fb = pb.function("f", ["a"], U64)
+            fb.binop("_0", BinOp.DIV, "a", 0)
+            fb.ret()
+            fb.finish()
+        with pytest.raises(MirAssertError):
+            run(build, args=[mk_u64(1)])
+
+    def test_shift_amount_masked_like_x86(self):
+        def build(pb):
+            fb = pb.function("f", ["a"], U64)
+            fb.binop("_0", BinOp.SHL, "a", 64)  # 64 % 64 == 0
+            fb.ret()
+            fb.finish()
+        result, _ = run(build, args=[mk_u64(5)])
+        assert result.value.value == 5
+
+    def test_checked_add_reports_overflow(self):
+        def build(pb):
+            fb = pb.function("f", ["a", "b"], U64, default_int_ty=U8)
+            fb.checked_binop("_1", BinOp.ADD, "a", "b")
+            fb.assign("_0", Use(Copy(place("_1"))))
+            fb.ret()
+            fb.finish()
+        result, _ = run(build, args=[mk_int(200, U8), mk_int(100, U8)])
+        wrapped, overflowed = result.value.fields
+        assert wrapped.value == 44
+        assert overflowed.value is True
+
+    def test_unary_not_and_neg(self):
+        def build(pb):
+            fb = pb.function("f", ["a"], U64)
+            fb.unop("_1", UnOp.NOT, "a")
+            fb.assign("_0", Use(Copy(place("_1"))))
+            fb.ret()
+            fb.finish()
+        result, _ = run(build, args=[mk_u64(0)])
+        assert result.value.value == 2 ** 64 - 1
+
+    def test_comparisons(self):
+        def build(pb):
+            fb = pb.function("f", ["a", "b"], BOOL)
+            fb.binop("_0", BinOp.LT, "a", "b")
+            fb.ret()
+            fb.finish()
+        result, _ = run(build, args=[mk_u64(1), mk_u64(2)])
+        assert result.value.value is True
+
+    def test_cast_int_to_int_truncates(self):
+        def build(pb):
+            fb = pb.function("f", ["a"], U8)
+            fb.cast("_0", "a", U8)
+            fb.ret()
+            fb.finish()
+        result, _ = run(build, args=[mk_u64(0x1FF)])
+        assert result.value.value == 0xFF
+        assert result.value.ty == U8
+
+
+class TestControlFlow:
+    def test_branch_goto_return(self):
+        def build(pb):
+            fb = pb.function("f", ["a"], U64)
+            fb.binop("_1", BinOp.GT, "a", 10)
+            fb.branch("_1", "big", "small")
+            fb.label("big")
+            fb.ret(1)
+            fb.label("small")
+            fb.ret(0)
+            fb.finish()
+        assert run(build, args=[mk_u64(11)])[0].value.value == 1
+        assert run(build, args=[mk_u64(9)])[0].value.value == 0
+
+    def test_switch_multiway(self):
+        def build(pb):
+            fb = pb.function("f", ["a"], U64)
+            fb.switch("a", [(0, "zero"), (7, "seven")], "other")
+            fb.label("zero")
+            fb.ret(100)
+            fb.label("seven")
+            fb.ret(107)
+            fb.label("other")
+            fb.ret(999)
+            fb.finish()
+        assert run(build, args=[mk_u64(0)])[0].value.value == 100
+        assert run(build, args=[mk_u64(7)])[0].value.value == 107
+        assert run(build, args=[mk_u64(3)])[0].value.value == 999
+
+    def test_loop_with_counter(self):
+        def build(pb):
+            fb = pb.function("f", ["n"], U64)
+            fb.assign("acc", 0)
+            fb.assign("i", 0)
+            fb.goto("loop")
+            fb.label("loop")
+            fb.binop("c", BinOp.LT, "i", "n")
+            fb.branch("c", "body", "done")
+            fb.label("body")
+            fb.binop("acc", BinOp.ADD, "acc", "i")
+            fb.binop("i", BinOp.ADD, "i", 1)
+            fb.goto("loop")
+            fb.label("done")
+            fb.ret("acc")
+            fb.finish()
+        assert run(build, args=[mk_u64(5)])[0].value.value == 10
+
+    def test_assert_pass_and_fail(self):
+        def build(pb):
+            fb = pb.function("f", ["a"], U64)
+            fb.binop("_1", BinOp.NE, "a", 0)
+            fb.assert_("_1", "a must not be zero")
+            fb.ret("a")
+            fb.finish()
+        assert run(build, args=[mk_u64(3)])[0].value.value == 3
+        with pytest.raises(MirAssertError, match="must not be zero"):
+            run(build, args=[mk_u64(0)])
+
+    def test_fuel_exhaustion(self):
+        def build(pb):
+            fb = pb.function("f", [], UNIT)
+            fb.goto("loop")
+            fb.label("loop")
+            fb.goto("loop")
+            fb.finish()
+        pb = ProgramBuilder()
+        build(pb)
+        interp = Interpreter(pb.build(), fuel=100)
+        with pytest.raises(OutOfFuel):
+            interp.call("f")
+
+    def test_drop_is_jump(self):
+        def build(pb):
+            fb = pb.function("f", [], U64)
+            fb.assign("x", 5)
+            fb.drop_("x")
+            fb.ret("x")  # never-free semantics: x still readable
+            fb.finish()
+        assert run(build)[0].value.value == 5
+
+
+class TestCallsAndFrames:
+    def test_call_returns_value(self):
+        def build(pb):
+            fb = pb.function("double", ["x"], U64)
+            fb.binop("_0", BinOp.MUL, "x", 2)
+            fb.ret()
+            fb.finish()
+            fb = pb.function("f", [], U64)
+            fb.call("_0", "double", [21])
+            fb.ret()
+            fb.finish()
+        assert run(build)[0].value.value == 42
+
+    def test_recursion_uses_separate_frames(self):
+        def build(pb):
+            fb = pb.function("f", ["n"], U64)
+            fb.binop("_1", BinOp.EQ, "n", 0)
+            fb.branch("_1", "base", "rec")
+            fb.label("base")
+            fb.ret(0)
+            fb.label("rec")
+            fb.binop("m", BinOp.SUB, "n", 1)
+            fb.call("sub", "f", ["m"])
+            fb.binop("_0", BinOp.ADD, "sub", "n")
+            fb.ret()
+            fb.finish()
+        assert run(build, args=[mk_u64(4)])[0].value.value == 10
+
+    def test_unknown_function_rejected(self):
+        def build(pb):
+            fb = pb.function("f", [], UNIT)
+            fb.call("_1", "ghost", [])
+            fb.ret()
+            fb.finish()
+        with pytest.raises(MirRuntimeError, match="ghost"):
+            run(build)
+
+    def test_arity_mismatch_rejected(self):
+        def build(pb):
+            fb = pb.function("g", ["a"], UNIT)
+            fb.ret()
+            fb.finish()
+            fb = pb.function("f", [], UNIT)
+            fb.call("_1", "g", [])
+            fb.ret()
+            fb.finish()
+        with pytest.raises(MirRuntimeError, match="expected 1"):
+            run(build)
+
+    def test_trusted_function_dispatches_to_spec(self):
+        state = AbsState().with_field("counter", 0)
+
+        def spec(args, absstate):
+            return mk_u64(absstate.get("counter")), \
+                absstate.set("counter", absstate.get("counter") + 1)
+
+        def build(pb):
+            fb = pb.function("f", [], U64)
+            fb.call("a", "tick", [])
+            fb.call("b", "tick", [])
+            fb.binop("_0", BinOp.ADD, "a", "b")
+            fb.ret()
+            fb.finish()
+        result, interp = run(
+            build, absstate=state,
+            trusted=[TrustedFunction("tick", spec)])
+        assert result.value.value == 1  # 0 + 1
+        assert interp.absstate.get("counter") == 2
+
+
+class TestPointers:
+    def test_write_through_path_pointer(self):
+        def build(pb):
+            fb = pb.function("set_to", ["p", "v"], UNIT)
+            fb.assign(place("p").deref(), Use(Copy(place("v"))))
+            fb.ret()
+            fb.finish()
+            fb = pb.function("f", [], U64)
+            fb.assign("x", 1)
+            fb.ref("ptr", "x")
+            fb.call("_1", "set_to", ["ptr", 99])
+            fb.assign("_0", Use(Copy(place("x"))))
+            fb.ret()
+            fb.finish()
+        assert run(build)[0].value.value == 99
+
+    def test_pointer_to_field(self):
+        def build(pb):
+            fb = pb.function("f", [], U64)
+            fb.tuple_("t", 1, 2)
+            fb.ref("ptr", place("t").field(1))
+            fb.assign("_0", Use(Copy(place("ptr").deref())))
+            fb.ret()
+            fb.finish()
+        assert run(build)[0].value.value == 2
+
+    def test_returning_pointer_to_local_stays_valid(self):
+        """Memory safety implies pointer validity (Sec. 3.2): locals are
+        never freed, so returned pointers keep working."""
+        def build(pb):
+            fb = pb.function("make", [], U64)
+            fb.assign("x", 7)
+            fb.ref("_0", "x")
+            fb.ret()
+            fb.finish()
+            fb = pb.function("f", [], U64)
+            fb.call("p", "make", [])
+            fb.assign("_0", Use(Copy(place("p").deref())))
+            fb.ret()
+            fb.finish()
+        assert run(build)[0].value.value == 7
+
+    def test_trusted_pointer_reads_abstract_state(self):
+        state = AbsState().with_field("cell", mk_u64(5))
+        ptr = TrustedPtr("cell",
+                         getter=lambda s: s.get("cell"),
+                         setter=lambda s, v: s.set("cell", v))
+
+        def build(pb):
+            fb = pb.function("f", ["p"], U64)
+            fb.assign("_1", Use(Copy(place("p").deref())))
+            fb.binop("_2", BinOp.ADD, "_1", 1)
+            fb.assign(place("p").deref(), Use(Copy(place("_2"))))
+            fb.assign("_0", Use(Copy(place("p").deref())))
+            fb.ret()
+            fb.finish()
+        result, interp = run(build, args=[ptr], absstate=state)
+        assert result.value.value == 6
+        assert interp.absstate.get("cell").value == 6
+
+    def test_rdata_deref_outside_owner_layer_raises(self):
+        handle = RDataPtr("Secret", "obj", (0,))
+
+        def build(pb):
+            fb = pb.function("f", ["p"], U64, layer="Other")
+            fb.assign("_0", Use(Copy(place("p").deref())))
+            fb.ret()
+            fb.finish()
+        with pytest.raises(EncapsulationViolation, match="Secret"):
+            run(build, args=[handle])
+
+    def test_rdata_deref_inside_owner_layer_with_resolver(self):
+        handle = RDataPtr("Secret", "obj", (0,))
+
+        def build(pb):
+            fb = pb.function("f", ["p"], U64, layer="Secret")
+            fb.assign("_0", Use(Copy(place("p").deref())))
+            fb.ret()
+            fb.finish()
+        pb = ProgramBuilder()
+        build(pb)
+        interp = Interpreter(pb.build())
+        interp.memory.allocate(Path.global_("secret_obj").base, mk_u64(77))
+        interp.register_rdata_resolver(
+            "Secret", lambda ptr: Path.global_("secret_obj"))
+        assert interp.call("f", [handle]).value.value == 77
+
+    def test_integer_deref_rejected(self):
+        def build(pb):
+            fb = pb.function("f", ["p"], U64)
+            fb.assign("_0", Use(Copy(place("p").deref())))
+            fb.ret()
+            fb.finish()
+        with pytest.raises(EncapsulationViolation, match="forged"):
+            run(build, args=[mk_u64(0x1000)])
+
+
+class TestAggregatesAndEnums:
+    def test_aggregate_construction_and_projection(self):
+        def build(pb):
+            fb = pb.function("f", [], U64)
+            fb.variant("opt", 1, 42)            # Some(42)
+            fb.discriminant("d", "opt")
+            fb.assign("v", Use(Copy(place("opt").downcast(1).field(0))))
+            fb.binop("_0", BinOp.ADD, "d", "v")
+            fb.ret()
+            fb.finish()
+        assert run(build)[0].value.value == 43
+
+    def test_wrong_downcast_rejected(self):
+        def build(pb):
+            fb = pb.function("f", [], U64)
+            fb.variant("opt", 0)                # None
+            fb.assign("_0", Use(Copy(place("opt").downcast(1).field(0))))
+            fb.ret()
+            fb.finish()
+        with pytest.raises(MirRuntimeError, match="downcast"):
+            run(build)
+
+    def test_set_discriminant(self):
+        def build(pb):
+            fb = pb.function("f", [], U64)
+            fb.variant("v", 0, 5)
+            fb.set_discriminant("v", 1)
+            fb.discriminant("_0", "v")
+            fb.ret()
+            fb.finish()
+        assert run(build)[0].value.value == 1
+
+    def test_repeat_and_len(self):
+        def build(pb):
+            fb = pb.function("f", [], U64)
+            fb.repeat("arr", 9, 4)
+            fb.len_("_0", "arr")
+            fb.ret()
+            fb.finish()
+        assert run(build)[0].value.value == 4
+
+    def test_array_index_by_variable(self):
+        def build(pb):
+            fb = pb.function("f", ["i"], U64)
+            fb.array("arr", [10, 20, 30])
+            fb.assign("_0", Use(Copy(place("arr").index_by("i"))))
+            fb.ret()
+            fb.finish()
+        assert run(build, args=[mk_u64(2)])[0].value.value == 30
+
+
+class TestLocalsVsTemporaries:
+    def test_pure_function_never_touches_memory(self):
+        """Sec. 3.2: temporary lifting — functions without address-taken
+        variables create no memory traffic at all."""
+        def build(pb):
+            fb = pb.function("f", ["a"], U64)
+            fb.binop("_1", BinOp.ADD, "a", 1)
+            fb.binop("_0", BinOp.MUL, "_1", 2)
+            fb.ret()
+            fb.finish()
+        result, interp = run(build, args=[mk_u64(3)])
+        assert result.value.value == 8
+        assert interp.memory.write_count == 0
+        assert len(interp.memory) == 0
+
+    def test_address_taken_variable_lands_in_memory(self):
+        def build(pb):
+            fb = pb.function("f", [], U64)
+            fb.assign("x", 5)
+            fb.ref("p", "x")
+            fb.assign("_0", Use(Copy(place("p").deref())))
+            fb.ret()
+            fb.finish()
+        result, interp = run(build)
+        assert result.value.value == 5
+        assert interp.memory.write_count > 0
+
+    def test_globals_are_memory_resident(self):
+        def build(pb):
+            pb.global_("G", mk_u64(3))
+            fb = pb.function("f", [], U64)
+            fb.binop("_1", BinOp.ADD, "G", 1)
+            fb.assign("G", Use(Copy(place("_1"))))
+            fb.assign("_0", Use(Copy(place("G"))))
+            fb.ret()
+            fb.finish()
+        result, interp = run(build)
+        assert result.value.value == 4
+        assert interp.memory.read(Path.global_("G")).value == 4

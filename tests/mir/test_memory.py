@@ -1,0 +1,102 @@
+"""Unit and property tests for the object-view memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MirRuntimeError, MirTypeError
+from repro.mir.memory import ObjectMemory
+from repro.mir.path import Path
+from repro.mir.value import mk_tuple, mk_u64
+
+
+def fresh(value=None):
+    memory = ObjectMemory()
+    memory.allocate(Path.global_("obj").base,
+                    value if value is not None else
+                    mk_tuple(mk_tuple(mk_u64(1), mk_u64(2)), mk_u64(3)))
+    return memory
+
+
+class TestAllocation:
+    def test_read_back(self):
+        memory = fresh(mk_u64(42))
+        assert memory.read(Path.global_("obj")).value == 42
+
+    def test_double_allocate_rejected(self):
+        memory = fresh()
+        with pytest.raises(MirRuntimeError):
+            memory.allocate(Path.global_("obj").base, mk_u64(1))
+
+    def test_read_unallocated_rejected(self):
+        with pytest.raises(MirRuntimeError):
+            ObjectMemory().read(Path.global_("nope"))
+
+    def test_non_value_rejected(self):
+        with pytest.raises(MirTypeError):
+            ObjectMemory().allocate(Path.global_("x").base, 42)
+
+
+class TestProjectedAccess:
+    def test_nested_read(self):
+        memory = fresh()
+        assert memory.read(Path.global_("obj").field(0).field(1)).value == 2
+
+    def test_nested_write(self):
+        memory = fresh()
+        memory.write(Path.global_("obj").field(0).field(0), mk_u64(9))
+        assert memory.read(Path.global_("obj").field(0).field(0)).value == 9
+
+    def test_write_changes_only_assigned_location(self):
+        """The paper's axiom, structurally: the spine is rebuilt, every
+        off-spine location is untouched."""
+        memory = fresh()
+        memory.write(Path.global_("obj").field(0).field(0), mk_u64(9))
+        assert memory.read(Path.global_("obj").field(0).field(1)).value == 2
+        assert memory.read(Path.global_("obj").field(1)).value == 3
+
+    def test_projection_through_scalar_rejected(self):
+        memory = fresh(mk_u64(1))
+        with pytest.raises(MirTypeError):
+            memory.read(Path.global_("obj").field(0))
+
+    @given(st.integers(0, 2), st.integers(0, 2), st.integers(0, 1000))
+    def test_disjoint_paths_never_interfere(self, i, j, raw):
+        grid = mk_tuple(*[mk_tuple(*[mk_u64(r * 3 + c) for c in range(3)])
+                          for r in range(3)])
+        memory = ObjectMemory()
+        memory.allocate(Path.global_("g").base, grid)
+        memory.write(Path.global_("g").field(i).field(j), mk_u64(raw))
+        for r in range(3):
+            for c in range(3):
+                expected = raw if (r, c) == (i, j) else r * 3 + c
+                got = memory.read(Path.global_("g").field(r).field(c))
+                assert got.value == expected
+
+
+class TestSnapshotsAndCounters:
+    def test_snapshot_is_independent(self):
+        memory = fresh()
+        snap = memory.snapshot()
+        memory.write(Path.global_("obj").field(1), mk_u64(99))
+        assert snap.read(Path.global_("obj").field(1)).value == 3
+        assert memory != snap
+
+    def test_equal_contents_compare_equal(self):
+        assert fresh() == fresh()
+
+    def test_write_count(self):
+        memory = fresh()
+        before = memory.write_count
+        memory.write(Path.global_("obj").field(1), mk_u64(4))
+        assert memory.write_count == before + 1
+
+    def test_write_or_allocate_on_fresh_base(self):
+        memory = ObjectMemory()
+        memory.write_or_allocate(Path.global_("new"), mk_u64(7))
+        assert memory.read(Path.global_("new")).value == 7
+
+    def test_drop_base_then_read_fails(self):
+        memory = fresh()
+        memory.drop_base(Path.global_("obj").base)
+        with pytest.raises(MirRuntimeError):
+            memory.read(Path.global_("obj"))

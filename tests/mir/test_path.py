@@ -1,0 +1,79 @@
+"""Unit and property tests for path addresses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mir.path import Field, GlobalBase, Index, LocalBase, Path
+
+
+def projections():
+    return st.lists(
+        st.one_of(st.builds(Field, st.integers(0, 5)),
+                  st.builds(Index, st.integers(0, 5))),
+        max_size=5).map(tuple)
+
+
+def paths():
+    base = st.one_of(
+        st.builds(GlobalBase, st.sampled_from(["a", "b", "c"])),
+        st.builds(LocalBase, st.integers(0, 3),
+                  st.sampled_from(["x", "y"])))
+    return st.builds(Path, base, projections())
+
+
+class TestConstruction:
+    def test_global(self):
+        path = Path.global_("foo")
+        assert path.base == GlobalBase("foo")
+        assert path.projections == ()
+
+    def test_local_pinned_to_frame(self):
+        assert Path.local(1, "x") != Path.local(2, "x")
+
+    def test_field_and_index_extension(self):
+        path = Path.global_("foo").field(2).index(1)
+        assert path.indices == (2, 1)
+
+    def test_str_matches_paper_example(self):
+        # foo.bar.1 with bar at field offset 0
+        path = Path.global_("foo").field(0).field(1)
+        assert str(path) == "foo.0.1"
+
+    def test_parent(self):
+        path = Path.global_("foo").field(1)
+        assert path.parent() == Path.global_("foo")
+        assert Path.global_("foo").parent() is None
+
+
+class TestOverlap:
+    def test_prefix_overlaps(self):
+        root = Path.global_("s")
+        assert root.overlaps(root.field(0))
+        assert root.field(0).overlaps(root)
+
+    def test_siblings_disjoint(self):
+        root = Path.global_("s")
+        assert not root.field(0).overlaps(root.field(1))
+
+    def test_different_bases_disjoint(self):
+        assert not Path.global_("a").overlaps(Path.global_("b"))
+        assert not Path.local(0, "x").overlaps(Path.local(1, "x"))
+
+    @given(paths())
+    def test_overlap_reflexive(self, path):
+        assert path.overlaps(path)
+
+    @given(paths(), paths())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(paths(), projections())
+    def test_extension_overlaps_base(self, path, projs):
+        extended = path
+        for proj in projs:
+            extended = extended.extend(proj)
+        assert path.overlaps(extended)
+
+    @given(paths())
+    def test_is_prefix_of_self(self, path):
+        assert path.is_prefix_of(path)

@@ -1,0 +1,140 @@
+"""Retrofit lints (Sec. 2.3): each rule fires on a crafted offender and
+stays silent on the corpus."""
+
+import pytest
+
+from repro.mir.ast import (
+    BinOp, Call, Cast, CastKind, ConstFn, Copy, place,
+)
+from repro.mir.builder import FunctionBuilder, ProgramBuilder
+from repro.mir.retrofit import (
+    check_function,
+    check_retrofitted,
+    lint_discriminant_casts,
+    lint_loop_bodies,
+    lint_no_indirect_calls,
+    lint_no_lazy_static,
+    natural_loop_blocks,
+    _back_edges,
+)
+from repro.mir.types import U64, UNIT
+from repro.mir.value import mk_u64
+
+
+def big_loop_function(statements_in_body=12):
+    fb = FunctionBuilder("bigloop", ["n"])
+    fb.assign("i", 0)
+    fb.goto("loop")
+    fb.label("loop")
+    fb.binop("c", BinOp.LT, "i", "n")
+    fb.branch("c", "body", "done")
+    fb.label("body")
+    for index in range(statements_in_body):
+        fb.binop(f"t{index}", BinOp.ADD, "i", index)
+    fb.binop("i", BinOp.ADD, "i", 1)
+    fb.goto("loop")
+    fb.label("done")
+    fb.ret()
+    return fb.finish()
+
+
+class TestRule1LoopBodies:
+    def test_large_loop_flagged(self):
+        findings = lint_loop_bodies(big_loop_function(12), budget=8)
+        assert findings and findings[0].rule == "loop-body-size"
+
+    def test_small_loop_clean(self):
+        assert lint_loop_bodies(big_loop_function(2), budget=8) == []
+
+    def test_back_edge_detection(self):
+        function = big_loop_function(2)
+        edges = _back_edges(function)
+        assert any(header == "loop" for _src, header in edges)
+
+    def test_natural_loop_includes_body(self):
+        function = big_loop_function(2)
+        edge = _back_edges(function)[0]
+        blocks = natural_loop_blocks(function, edge)
+        assert "body" in blocks and "loop" in blocks
+        assert "done" not in blocks
+
+
+class TestRule2Closures:
+    def test_indirect_call_flagged(self):
+        fb = FunctionBuilder("f", ["callback"])
+        fb._terminate(Call(Copy(place("callback")), (), place("_1"),
+                           "bb1"))
+        fb.label("bb1")
+        fb.ret()
+        findings = lint_no_indirect_calls(fb.finish())
+        assert findings and findings[0].rule == "closure-call"
+
+    def test_direct_call_clean(self):
+        fb = FunctionBuilder("f", [])
+        fb._terminate(Call(ConstFn("g"), (), place("_1"), "bb1"))
+        fb.label("bb1")
+        fb.ret()
+        assert lint_no_indirect_calls(fb.finish()) == []
+
+
+class TestRule3IntEnums:
+    def test_discriminant_cast_flagged(self):
+        fb = FunctionBuilder("f", ["e"])
+        fb.discriminant("d", "e")
+        fb.cast("v", "d", U64)
+        fb.ret("v")
+        findings = lint_discriminant_casts(fb.finish())
+        assert findings and findings[0].rule == "int-enum-discriminant"
+
+    def test_discriminant_for_match_clean(self):
+        fb = FunctionBuilder("f", ["e"])
+        fb.discriminant("d", "e")
+        fb.switch("d", [(0, "none")], "some")
+        fb.label("none")
+        fb.ret(0)
+        fb.label("some")
+        fb.ret(1)
+        assert lint_discriminant_casts(fb.finish()) == []
+
+
+class TestRule4LazyStatic:
+    def test_attr_flagged(self):
+        fb = FunctionBuilder("f", [], attrs=("lazy_static",))
+        fb.ret()
+        findings = lint_no_lazy_static(fb.finish())
+        assert findings and findings[0].rule == "lazy-static"
+
+    def test_check_then_init_pattern_flagged(self):
+        pb = ProgramBuilder()
+        pb.global_("LAYOUT", mk_u64(0))
+        fb = pb.function("f", [], U64)
+        fb.switch("LAYOUT", [(0, "init")], "ready")
+        fb.label("init")
+        fb.assign("LAYOUT", 42)
+        fb.goto("ready")
+        fb.label("ready")
+        fb.ret("LAYOUT")
+        function = fb.finish()
+        findings = lint_no_lazy_static(function)
+        assert findings and findings[0].rule == "lazy-static"
+
+    def test_plain_global_read_clean(self):
+        pb = ProgramBuilder()
+        pb.global_("LAYOUT", mk_u64(0))
+        fb = pb.function("f", [], U64)
+        fb.ret("LAYOUT")
+        assert lint_no_lazy_static(fb.finish()) == []
+
+
+class TestCorpusIsRetrofitted:
+    def test_corpus_passes_all_lints(self, model):
+        """The transcribed corpus must already be in retrofitted form."""
+        assert check_retrofitted(model.program) == []
+
+    def test_check_function_aggregates(self):
+        findings = check_function(big_loop_function(12), loop_budget=8)
+        assert any(f.rule == "loop-body-size" for f in findings)
+
+    def test_finding_str(self):
+        findings = check_function(big_loop_function(12), loop_budget=8)
+        assert "bigloop" in str(findings[0])

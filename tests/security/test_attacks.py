@@ -1,0 +1,86 @@
+"""Adversarial strategies: all contained by the correct monitor, and the
+relevant ones break through the matching buggy variants."""
+
+import pytest
+
+from repro.hyperenclave import buggy
+from repro.hyperenclave.constants import TINY
+from repro.security.attacks import (
+    dma_attack, epc_probe_sweep, gpt_remap_attack, hypercall_fuzz,
+    mapping_attack, run_standard_attack_suite,
+)
+
+from tests.conftest import build_enclave_world
+
+PAGE = TINY.page_size
+
+
+class TestContainment:
+    def test_epc_probe_sweep_contained(self, enclave_world):
+        monitor, _app, _eid = enclave_world
+        outcome = epc_probe_sweep(monitor)
+        assert outcome.contained
+        assert outcome.blocked == outcome.attempts > 0
+
+    def test_dma_contained(self, enclave_world):
+        monitor, _app, _eid = enclave_world
+        assert dma_attack(monitor).contained
+
+    def test_mapping_attack_contained(self, enclave_world):
+        monitor, app, eid = enclave_world
+        outcome = mapping_attack(monitor, app, eid)
+        assert outcome.contained and outcome.attempts >= 2  # SECS + REG
+
+    def test_mbuf_remap_contained(self, enclave_world):
+        monitor, app, eid = enclave_world
+        assert gpt_remap_attack(monitor, app, eid).contained
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_hypercall_fuzz_preserves_invariants(self, seed,
+                                                 enclave_world):
+        monitor, _app, _eid = enclave_world
+        outcome = hypercall_fuzz(monitor, seed=seed, rounds=120)
+        assert outcome.contained, outcome.leaked
+
+    def test_standard_suite_all_contained(self, enclave_world):
+        monitor, app, eid = enclave_world
+        outcomes = run_standard_attack_suite(monitor, app, eid)
+        assert len(outcomes) == 5
+        for outcome in outcomes.values():
+            assert outcome.contained, str(outcome)
+
+
+class TestBreaches:
+    def test_fuzz_breaks_through_outside_elrange_monitor(self):
+        monitor, _app, _eid = build_enclave_world(
+            monitor_cls=buggy.OutsideElrangeMonitor)
+        # Fuzz will eventually add a page outside the ELRANGE and the
+        # post-fuzz invariant sweep reports it.
+        breached = False
+        for seed in range(6):
+            outcome = hypercall_fuzz(monitor, seed=seed, rounds=150)
+            if not outcome.contained:
+                breached = True
+                break
+        assert breached
+
+    def test_mapping_attack_reads_epc_through_secure_mbuf(self):
+        """With an EPC-backed mbuf the host-side window gives the OS a
+        toehold into secure memory contents via the shared mapping."""
+        monitor = buggy.SecureMbufMonitor(TINY)
+        primary_os = monitor.primary_os
+        app = primary_os.spawn_app(1)
+        epc_pa = TINY.frame_base(monitor.layout.epc_base + 3)
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, epc_pa, PAGE)
+        monitor.hc_add_page(eid, 16 * PAGE, 0)
+        monitor.hc_init(eid)
+        # The enclave treats the (EPC-backed) mbuf as its channel and
+        # writes "secret-adjacent" data there...
+        monitor.enclave_store(eid, 4 * PAGE, 0x5EC)
+        # ...which now lives in EPC that the monitor believes is shared.
+        assert monitor.phys.read_word(epc_pa) == 0x5EC
+
+    def test_outcome_str_reports_status(self, enclave_world):
+        monitor, _app, _eid = enclave_world
+        text = str(epc_probe_sweep(monitor))
+        assert "CONTAINED" in text

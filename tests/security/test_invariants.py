@@ -1,0 +1,174 @@
+"""Sec. 5.2 invariants: hold on the correct monitor, and each planted
+bug trips exactly the family that guards against it."""
+
+import pytest
+
+from repro.hyperenclave import buggy
+from repro.hyperenclave.constants import TINY
+from repro.security import (
+    check_all_invariants, check_elrange_isolation, check_enclave_invariants,
+    check_epcm_invariant, check_mbuf_invariant, check_pt_residency,
+    enclave_translations, host_reachable_hpas,
+)
+
+from tests.conftest import build_enclave_world
+
+PAGE = TINY.page_size
+
+
+def two_enclave_world(monitor_cls):
+    monitor = monitor_cls(TINY)
+    primary_os = monitor.primary_os
+    src = TINY.frame_base(primary_os.reserve_data_frame())
+    primary_os.gpa_write_word(src, 0x9999)
+    mbuf_a = TINY.frame_base(primary_os.reserve_data_frame())
+    mbuf_b = TINY.frame_base(primary_os.reserve_data_frame())
+    eid_a = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf_a, PAGE)
+    eid_b = monitor.hc_create(32 * PAGE, PAGE, 5 * PAGE, mbuf_b, PAGE)
+    monitor.hc_add_page(eid_a, 16 * PAGE, src)
+    monitor.hc_add_page(eid_b, 32 * PAGE, src)
+    monitor.hc_init(eid_a)
+    monitor.hc_init(eid_b)
+    return monitor, eid_a, eid_b
+
+
+class TestCorrectMonitorHolds:
+    def test_all_families_hold_single_enclave(self, enclave_world):
+        monitor, _app, _eid = enclave_world
+        report = check_all_invariants(monitor)
+        assert report.ok, str(report)
+
+    def test_all_families_hold_two_enclaves(self):
+        from repro.hyperenclave.monitor import RustMonitor
+        monitor, _a, _b = two_enclave_world(RustMonitor)
+        report = check_all_invariants(monitor)
+        assert report.ok, str(report)
+
+    def test_all_families_hold_after_destroy(self, enclave_world):
+        monitor, _app, eid = enclave_world
+        monitor.hc_destroy(eid)
+        assert check_all_invariants(monitor).ok
+
+    def test_projections_make_sense(self, enclave_world):
+        monitor, _app, eid = enclave_world
+        translations = enclave_translations(monitor, eid)
+        assert 16 * PAGE in translations  # the EPC page
+        assert 12 * PAGE in translations  # the mbuf page
+        host = host_reachable_hpas(monitor)
+        for frame in monitor.layout.secure_frames:
+            assert TINY.frame_base(frame) not in host
+        for frame in monitor.layout.untrusted_frames:
+            assert TINY.frame_base(frame) in host
+
+
+class TestFig5Case1Aliasing:
+    def test_elrange_isolation_trips(self):
+        monitor, _a, _b = two_enclave_world(buggy.AliasingMonitor)
+        violations = check_elrange_isolation(monitor)
+        assert violations and "both reach" in violations[0]
+
+    def test_report_names_the_family(self):
+        monitor, _a, _b = two_enclave_world(buggy.AliasingMonitor)
+        report = check_all_invariants(monitor)
+        assert "elrange-isolation" in report.violated_families()
+
+
+class TestFig5Case2OutsideElrange:
+    def build(self):
+        monitor = buggy.OutsideElrangeMonitor(TINY)
+        mbuf = TINY.frame_base(monitor.primary_os.reserve_data_frame())
+        eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf, PAGE)
+        monitor.hc_add_page(eid, 40 * PAGE, 0)
+        monitor.hc_init(eid)
+        return monitor
+
+    def test_enclave_invariant_trips(self):
+        violations = check_enclave_invariants(self.build())
+        assert any("outside ELRANGE maps to" in v for v in violations)
+
+    def test_family_named(self):
+        report = check_all_invariants(self.build())
+        assert "enclave-invariants" in report.violated_families()
+
+
+class TestEpcmFamily:
+    def test_covert_mapping_detected(self):
+        monitor, _app, _eid = build_enclave_world(
+            monitor_cls=buggy.NoEpcmRecordMonitor)
+        violations = check_epcm_invariant(monitor)
+        assert violations and "covert" in violations[0]
+
+    def test_cross_owner_detected_via_alias(self):
+        monitor, _a, _b = two_enclave_world(buggy.AliasingMonitor)
+        violations = check_epcm_invariant(monitor)
+        assert any("owned by" in v for v in violations)
+
+
+class TestEnclaveInvariantFamily:
+    def test_huge_pages_detected(self):
+        monitor, _app, _eid = build_enclave_world(
+            monitor_cls=buggy.HugePageMonitor)
+        violations = check_enclave_invariants(monitor)
+        assert any("huge mapping" in v for v in violations)
+
+    def test_mbuf_overlap_detected(self):
+        monitor = buggy.MbufOverlapMonitor(TINY)
+        mbuf = TINY.frame_base(monitor.primary_os.reserve_data_frame())
+        monitor.hc_create(16 * PAGE, 2 * PAGE, 17 * PAGE, mbuf, PAGE)
+        violations = check_enclave_invariants(monitor)
+        assert any("overlaps ELRANGE" in v for v in violations)
+
+    def test_secure_mbuf_detected(self):
+        monitor = buggy.SecureMbufMonitor(TINY)
+        epc_pa = TINY.frame_base(monitor.layout.epc_base + 3)
+        monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, epc_pa, PAGE)
+        violations = check_enclave_invariants(monitor)
+        assert any("outside ELRANGE maps to EPC" in v for v in violations)
+
+
+class TestResidency:
+    def test_shallow_copy_detected(self):
+        monitor = buggy.ShallowCopyMonitor(TINY)
+        primary_os = monitor.primary_os
+        app = primary_os.spawn_app(1)
+        primary_os.app_map_data(app, 16 * PAGE)
+        mbuf = TINY.frame_base(primary_os.reserve_data_frame())
+        monitor.hc_create_from_app(app, 16 * PAGE, 2 * PAGE, 4 * PAGE,
+                                   mbuf, PAGE)
+        violations = check_pt_residency(monitor)
+        assert any("outside the secure page-table pool" in v
+                   for v in violations)
+
+    def test_correct_monitor_tables_never_guest_reachable(
+            self, enclave_world):
+        monitor, _app, _eid = enclave_world
+        assert check_pt_residency(monitor) == []
+
+
+class TestBugFamilyMatrix:
+    """The full bug → violated-family matrix, in one place."""
+
+    def test_matrix(self):
+        from repro.hyperenclave.monitor import RustMonitor
+        expectations = [
+            (lambda: two_enclave_world(buggy.AliasingMonitor)[0],
+             "elrange-isolation"),
+            (lambda: build_enclave_world(
+                monitor_cls=buggy.NoEpcmRecordMonitor)[0], "epcm"),
+            (lambda: build_enclave_world(
+                monitor_cls=buggy.HugePageMonitor)[0],
+             "enclave-invariants"),
+        ]
+        for build, family in expectations:
+            report = check_all_invariants(build())
+            assert family in report.violated_families(), \
+                f"{family} not tripped: {report}"
+
+    def test_register_leak_bugs_invisible_to_invariants(self):
+        """LeakyExit/NoScrub keep every page-table invariant — that is
+        the point: only noninterference catches them."""
+        monitor, _app, eid = build_enclave_world(
+            monitor_cls=buggy.LeakyExitMonitor)
+        monitor.hc_enter(eid)
+        monitor.hc_exit(eid)
+        assert check_all_invariants(monitor).ok

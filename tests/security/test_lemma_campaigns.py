@@ -1,0 +1,89 @@
+"""Randomized campaigns over the step-wise lemmas (5.2-5.4).
+
+The paper proves each lemma once in Coq; we run each over many seeded
+random traces — the bounded analogue of the universal quantification.
+"""
+
+import random
+
+import pytest
+
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.monitor import HOST_ID, RustMonitor
+from repro.security import (
+    DataOracle, Hypercall, LocalCompute, MemLoad, MemStore, SystemState,
+)
+from repro.security.noninterference import (
+    TwoWorlds, check_lemma_activation, check_lemma_confidentiality,
+    check_lemma_integrity,
+)
+
+from tests.conftest import build_enclave_world
+
+PAGE = TINY.page_size
+
+
+def make_state(secret, seed=11):
+    monitor, app, eid = build_enclave_world(secret=secret)
+    return SystemState(monitor, DataOracle.seeded(seed)), app, eid
+
+
+def random_host_steps(app, seed, length=20):
+    """Host-local moves only: loads, stores, computes, hostile probes."""
+    rng = random.Random(seed)
+    steps = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.3:
+            steps.append(LocalCompute(HOST_ID, "rax",
+                                      value=rng.getrandbits(16)))
+        elif roll < 0.55:
+            steps.append(MemLoad(HOST_ID, rng.randrange(0, 0x4000, 8),
+                                 "rbx"))
+        elif roll < 0.75:
+            steps.append(MemStore(HOST_ID,
+                                  rng.randrange(0x200, 0x3000, 8),
+                                  "rax"))
+        elif roll < 0.9:
+            steps.append(MemLoad(HOST_ID, 12 * PAGE, "rcx",
+                                 via_app=app.app_id))
+        else:
+            # hostile probe into secure memory (faults, must be no-op)
+            steps.append(MemLoad(HOST_ID, 0x6000
+                                 + rng.randrange(0, 0x800, 8), "rdx"))
+    return steps
+
+
+class TestLemma52Campaign:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_host_moves_never_change_enclave_view(self, seed):
+        state, app, eid = make_state(secret=0x41, seed=seed)
+        steps = random_host_steps(app, seed)
+        violations = check_lemma_integrity(state, steps, observer=eid)
+        assert violations == [], violations[:2]
+
+
+class TestLemma53Campaign:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_host_cannot_distinguish_secret_worlds(self, seed):
+        state_a, app, _eid = make_state(41, seed)
+        state_b, _, _ = make_state(42, seed)
+        worlds = TwoWorlds(state_a, state_b)
+        steps = random_host_steps(app, seed + 100)
+        violations = check_lemma_confidentiality(worlds, steps,
+                                                 actor=HOST_ID)
+        assert violations == [], violations[:2]
+
+
+class TestLemma54Campaign:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_activation_preserves_indistinguishability(self, seed):
+        """Same-secret worlds (the enclave's own view must match), host
+        does arbitrary local work, then activates the enclave."""
+        state_a, app_a, eid = make_state(0x77, seed)
+        state_b, _app_b, _ = make_state(0x77, seed)
+        worlds = TwoWorlds(state_a, state_b)
+        steps = random_host_steps(app_a, seed + 50, length=10)
+        steps.append(Hypercall(HOST_ID, "enter", (eid,)))
+        violations = check_lemma_activation(worlds, steps, observer=eid)
+        assert violations == [], violations[:2]

@@ -1,0 +1,94 @@
+"""Sec. 5.1's page-walk reuse: the transition system can resolve
+enclave accesses through the verified *specification* walk, and it must
+behave identically to the hardware walker — the observable payoff of
+the refinement proofs."""
+
+import pytest
+
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.monitor import HOST_ID
+from repro.security import (
+    DataOracle, Hypercall, LocalCompute, MemLoad, MemStore, SystemState,
+    apply_step, apply_trace,
+)
+from repro.security.transitions import spec_walk_enclave
+
+from tests.conftest import build_enclave_world
+
+PAGE = TINY.page_size
+
+
+def paired_states(secret=0x41, pages=2):
+    hw = SystemState(build_enclave_world(secret=secret, pages=pages)[0],
+                     oracle=DataOracle.seeded(6))
+    spec = SystemState(build_enclave_world(secret=secret, pages=pages)[0],
+                       oracle=DataOracle.seeded(6), use_spec_walk=True)
+    return hw, spec
+
+
+class TestSpecWalkAgreement:
+    def test_spec_walk_resolves_like_hardware(self):
+        monitor, _app, eid = build_enclave_world(secret=1, pages=2)
+        for va in (16 * PAGE, 17 * PAGE, 12 * PAGE):
+            assert spec_walk_enclave(monitor, eid, va) == \
+                monitor.enclave_translate(eid, va)
+
+    def test_spec_walk_faults_like_hardware(self):
+        monitor, _app, eid = build_enclave_world()
+        assert spec_walk_enclave(monitor, eid, 0) is None
+        assert spec_walk_enclave(monitor, eid, 40 * PAGE) is None
+
+    def test_identical_traces_identical_outcomes(self):
+        hw, spec = paired_states()
+        eid = 1
+        trace = [
+            Hypercall(HOST_ID, "enter", (eid,)),
+            MemLoad(eid, 16 * PAGE, "rax"),
+            LocalCompute(eid, "rbx", op="copy", src1="rax"),
+            MemStore(eid, 17 * PAGE, "rbx"),
+            MemLoad(eid, 17 * PAGE, "rcx"),
+            MemLoad(eid, 12 * PAGE, "rdx"),       # mbuf via oracle
+            MemLoad(eid, 40 * PAGE, "rsi"),       # fault: no-op
+            Hypercall(eid, "exit", (eid,)),
+        ]
+        hw_outcomes = apply_trace(hw, trace)
+        spec_outcomes = apply_trace(spec, trace)
+        for hw_outcome, spec_outcome in zip(hw_outcomes, spec_outcomes):
+            assert hw_outcome.applied == spec_outcome.applied
+            assert hw_outcome.result == spec_outcome.result
+        assert hw.monitor.phys.snapshot() == spec.monitor.phys.snapshot()
+        assert hw.monitor.vcpu.context() == spec.monitor.vcpu.context()
+
+    def test_spec_walk_refuses_malformed_tables(self):
+        """On the shallow-copy monitor the spec walk cannot even
+        abstract the tables — accesses become faults, which is the safe
+        direction (deny by unprovability)."""
+        from repro.hyperenclave.buggy import ShallowCopyMonitor
+        monitor = ShallowCopyMonitor(TINY)
+        primary_os = monitor.primary_os
+        app = primary_os.spawn_app(1)
+        primary_os.app_map_data(app, 16 * PAGE)
+        mbuf = TINY.frame_base(primary_os.reserve_data_frame())
+        eid = monitor.hc_create_from_app(app, 16 * PAGE, 2 * PAGE,
+                                         4 * PAGE, mbuf, PAGE)
+        assert spec_walk_enclave(monitor, eid, 16 * PAGE) is None
+
+    def test_noninterference_holds_in_spec_mode(self):
+        from repro.security.noninterference import (
+            TwoWorlds, check_theorem_noninterference,
+        )
+        def world(secret):
+            return SystemState(build_enclave_world(secret=secret)[0],
+                               oracle=DataOracle.seeded(9),
+                               use_spec_walk=True)
+        worlds = TwoWorlds(world(41), world(42))
+        eid = 1
+        trace = [
+            Hypercall(HOST_ID, "enter", (eid,)),
+            (MemLoad(eid, 16 * PAGE, "rax"),
+             MemLoad(eid, 16 * PAGE, "rax")),
+            (Hypercall(eid, "exit", (eid,)),
+             Hypercall(eid, "exit", (eid,))),
+        ]
+        assert check_theorem_noninterference(worlds, trace,
+                                             observers=[HOST_ID]) == []

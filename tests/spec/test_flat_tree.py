@@ -1,0 +1,161 @@
+"""The flat (low) and tree (high) page-table specifications."""
+
+import pytest
+
+from repro.errors import PagingError, SpecError
+from repro.hyperenclave import pte
+from repro.hyperenclave.constants import MemoryLayout, TINY
+from repro.spec import (
+    FlatPtState, flat_alloc_frame, flat_initial_state, flat_map_page,
+    flat_query, flat_read_entry, flat_unmap, flat_walk, flat_write_entry,
+    tree_empty, tree_map_page, tree_mappings, tree_query, tree_table_count,
+    tree_unmap, tree_walk,
+)
+from repro.spec.pte_record import PTERecord, TreeTable
+
+PAGE = TINY.page_size
+LAYOUT = MemoryLayout.default_for(TINY)
+POOL_BASE = LAYOUT.pt_pool_base
+POOL_SIZE = LAYOUT.epc_base - LAYOUT.pt_pool_base
+LEAF = pte.leaf_flags()
+
+
+def fresh_flat():
+    state = flat_initial_state(TINY, POOL_BASE, POOL_SIZE)
+    root, state = flat_alloc_frame(state)
+    return root, state
+
+
+class TestPTERecord:
+    def test_unused_inv_rejects_non_present(self):
+        """The paper's unused_inv: a materialised record is present."""
+        with pytest.raises(SpecError, match="unused_inv"):
+            PTERecord(addr=0, flags=0)
+
+    def test_huge_record_cannot_nest(self):
+        with pytest.raises(SpecError, match="huge"):
+            PTERecord(addr=0, flags=pte.leaf_flags(huge=True),
+                      content=TreeTable.empty(1))
+
+    def test_flag_views(self):
+        record = PTERecord(addr=PAGE,
+                           flags=pte.leaf_flags(writable=False))
+        assert record.is_present and not record.is_writable
+        assert record.is_terminal
+
+    def test_table_total_with_default_none(self):
+        table = TreeTable.empty(2)
+        assert table.get(3) is None
+        record = PTERecord(addr=0, flags=LEAF)
+        assert table.set(3, record).get(3) == record
+        assert table.set(3, record).unset(3).get(3) is None
+
+
+class TestFlatSpec:
+    def test_alloc_is_functional_and_zeroing(self):
+        state = flat_initial_state(TINY, POOL_BASE, POOL_SIZE)
+        state = flat_write_entry(state, POOL_BASE, 0, 0xFF)
+        frame, allocated = flat_alloc_frame(state)
+        assert frame == POOL_BASE
+        assert flat_read_entry(allocated, POOL_BASE, 0) == 0
+        # original untouched
+        assert flat_read_entry(state, POOL_BASE, 0) == 0xFF
+        assert not state.frame_allocated(POOL_BASE)
+        assert allocated.frame_allocated(POOL_BASE)
+
+    def test_exhaustion(self):
+        state = flat_initial_state(TINY, POOL_BASE, 2)
+        _, state = flat_alloc_frame(state)
+        _, state = flat_alloc_frame(state)
+        with pytest.raises(PagingError, match="exhausted"):
+            flat_alloc_frame(state)
+
+    def test_entry_io_outside_pool_rejected(self):
+        state = flat_initial_state(TINY, POOL_BASE, POOL_SIZE)
+        with pytest.raises(SpecError, match="escapes"):
+            flat_read_entry(state, 0, 0)
+
+    def test_map_walk_query_unmap(self):
+        root, state = fresh_flat()
+        state = flat_map_page(state, root, 5 * PAGE, 9 * PAGE, LEAF)
+        assert flat_query(state, root, 5 * PAGE) == (9 * PAGE, LEAF)
+        steps, terminal, huge_level = flat_walk(state, root, 5 * PAGE)
+        assert terminal is not None and huge_level == 1
+        assert len(steps) == TINY.levels
+        state = flat_unmap(state, root, 5 * PAGE)
+        assert flat_query(state, root, 5 * PAGE) is None
+
+    def test_double_map_rejected(self):
+        root, state = fresh_flat()
+        state = flat_map_page(state, root, 0, PAGE, LEAF)
+        with pytest.raises(PagingError, match="already"):
+            flat_map_page(state, root, 0, 2 * PAGE, LEAF)
+
+    def test_unaligned_rejected(self):
+        root, state = fresh_flat()
+        with pytest.raises(PagingError, match="unaligned"):
+            flat_map_page(state, root, 3, PAGE, LEAF)
+
+    def test_unmap_missing_rejected(self):
+        root, state = fresh_flat()
+        with pytest.raises(PagingError, match="not mapped"):
+            flat_unmap(state, root, 0)
+
+
+class TestTreeSpec:
+    def test_map_query_unmap(self):
+        tree = tree_empty(TINY)
+        tree = tree_map_page(tree, 5 * PAGE, 9 * PAGE, LEAF, TINY)
+        assert tree_query(tree, 5 * PAGE, TINY) == (9 * PAGE, LEAF)
+        tree = tree_unmap(tree, 5 * PAGE, TINY)
+        assert tree_query(tree, 5 * PAGE, TINY) is None
+
+    def test_map_is_functional(self):
+        empty = tree_empty(TINY)
+        mapped = tree_map_page(empty, 0, PAGE, LEAF, TINY)
+        assert tree_query(empty, 0, TINY) is None
+        assert tree_query(mapped, 0, TINY) is not None
+
+    def test_double_map_rejected(self):
+        tree = tree_map_page(tree_empty(TINY), 0, PAGE, LEAF, TINY)
+        with pytest.raises(PagingError, match="already"):
+            tree_map_page(tree, 0, 2 * PAGE, LEAF, TINY)
+
+    def test_mappings_enumerates_all(self):
+        tree = tree_empty(TINY)
+        expected = {}
+        for page_no in (0, 1, 7, 40):
+            tree = tree_map_page(tree, page_no * PAGE,
+                                 (page_no % 5) * PAGE, LEAF, TINY)
+            expected[page_no * PAGE] = (page_no % 5) * PAGE
+        got = {va: pa for va, pa, _s, _f in tree_mappings(tree, TINY)}
+        assert got == expected
+
+    def test_table_count_grows_per_span(self):
+        tree = tree_empty(TINY)
+        assert tree_table_count(tree) == 1
+        tree = tree_map_page(tree, 0, PAGE, LEAF, TINY)
+        assert tree_table_count(tree) == TINY.levels
+        tree = tree_map_page(tree, PAGE, PAGE, LEAF, TINY)
+        assert tree_table_count(tree) == TINY.levels  # shared chain
+
+    def test_walk_records_spine(self):
+        tree = tree_map_page(tree_empty(TINY), 0, PAGE, LEAF, TINY)
+        records, terminal, huge_level = tree_walk(tree, 0, TINY)
+        assert len(records) == TINY.levels
+        assert terminal is records[-1]
+        assert huge_level == 1
+
+    def test_aliasing_is_unrepresentable(self):
+        """The whole point of the tree view (Sec. 4.1): updating one
+        mapping can never alter another, because subtables are contained
+        values — shown here by the strongest available form: mapping into
+        a tree twice from the same base never perturbs other entries."""
+        tree = tree_map_page(tree_empty(TINY), 0, PAGE, LEAF, TINY)
+        before = tree_query(tree, 0, TINY)
+        tree2 = tree_map_page(tree, 63 * PAGE, 3 * PAGE, LEAF, TINY)
+        assert tree_query(tree2, 0, TINY) == before
+
+    def test_unmap_missing_rejected(self):
+        with pytest.raises(PagingError):
+            tree_unmap(tree_empty(TINY), 0, TINY)

@@ -1,0 +1,181 @@
+"""The refinement relation R and the abstraction function α (Sec. 4.1).
+
+Property: flat and tree specifications co-evolve in lockstep — after any
+sequence of map/unmap operations applied to both views, R relates them,
+and α(flat) equals the tree.  Plus the negative direction: structures
+whose entries escape the frame area (the shallow-copy bug) have no
+abstraction and fail R.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PagingError
+from repro.hyperenclave import pte
+from repro.hyperenclave.constants import MemoryLayout, TINY
+from repro.spec import (
+    AbstractionFailure, abstract_table, flat_alloc_frame,
+    flat_initial_state, flat_map_page, flat_unmap, flat_write_entry,
+    r_pte, relation_r, tree_empty, tree_map_page, tree_unmap,
+)
+from repro.spec.relation import flat_state_of_page_table
+
+PAGE = TINY.page_size
+LAYOUT = MemoryLayout.default_for(TINY)
+POOL_BASE = LAYOUT.pt_pool_base
+POOL_SIZE = LAYOUT.epc_base - LAYOUT.pt_pool_base
+LEAF = pte.leaf_flags()
+
+
+def co_evolve(operations):
+    """Apply (op, page_no) operations to both views; return both."""
+    state = flat_initial_state(TINY, POOL_BASE, POOL_SIZE)
+    root, state = flat_alloc_frame(state)
+    tree = tree_empty(TINY)
+    for op, page_no in operations:
+        va = page_no * PAGE
+        pa = (page_no % 16) * PAGE
+        if op == "map":
+            before = state.bitmap
+            try:
+                state = flat_map_page(state, root, va, pa, LEAF)
+            except PagingError:
+                continue
+            created = [TINY.frame_base(POOL_BASE + i)
+                       for i, (a, b) in enumerate(zip(before, state.bitmap))
+                       if b and not a]
+            tree = tree_map_page(tree, va, pa, LEAF, TINY,
+                                 new_table_addrs=created)
+        else:
+            try:
+                state = flat_unmap(state, root, va)
+            except PagingError:
+                continue
+            tree = tree_unmap(tree, va, TINY)
+    return tree, state, root
+
+
+OPERATIONS = st.lists(
+    st.tuples(st.sampled_from(["map", "unmap"]), st.integers(0, 63)),
+    max_size=24)
+
+
+class TestCoEvolution:
+    @settings(max_examples=60, deadline=None)
+    @given(OPERATIONS)
+    def test_r_holds_after_any_op_sequence(self, operations):
+        tree, state, root = co_evolve(operations)
+        assert relation_r(tree, state, root)
+
+    @settings(max_examples=40, deadline=None)
+    @given(OPERATIONS)
+    def test_alpha_computes_the_tree(self, operations):
+        tree, state, root = co_evolve(operations)
+        assert abstract_table(state, root) == tree
+
+    def test_empty_tables_related(self):
+        tree, state, root = co_evolve([])
+        assert relation_r(tree, state, root)
+        assert abstract_table(state, root) == tree_empty(TINY)
+
+
+class TestNegativeDirection:
+    def test_escaping_entry_fails_abstraction(self):
+        """A root entry pointing into guest memory (the Sec. 4.1 shallow
+        copy) has no tree view."""
+        _tree, state, root = co_evolve([])
+        guest_table = pte.pte_new(TINY.frame_base(2), pte.table_flags(),
+                                  TINY)
+        state = flat_write_entry(state, root, 0, guest_table)
+        with pytest.raises(AbstractionFailure, match="escapes"):
+            abstract_table(state, root)
+        assert not relation_r(tree_empty(TINY), state, root)
+
+    def test_aliased_tables_fail_abstraction(self):
+        """Two entries pointing at the same intermediate table — exactly
+        the aliasing the flat view cannot rule out — are rejected."""
+        _tree, state, root = co_evolve([("map", 0)])
+        # Read the entry for span 0 and duplicate it into slot 1.
+        from repro.spec.flat import flat_read_entry
+        entry = flat_read_entry(state, root, 0)
+        state = flat_write_entry(state, root, 1, entry)
+        with pytest.raises(AbstractionFailure, match="twice"):
+            abstract_table(state, root)
+
+    def test_residual_bits_fail_abstraction(self):
+        """A non-present entry with leftover bits violates unused_inv."""
+        _tree, state, root = co_evolve([])
+        state = flat_write_entry(state, root, 0, 0xF0)  # flags, no PRESENT
+        with pytest.raises(AbstractionFailure, match="unused_inv"):
+            abstract_table(state, root)
+
+    def test_wrong_tree_fails_r(self):
+        tree, state, root = co_evolve([("map", 5)])
+        wrong = tree_map_page(tree_empty(TINY), 5 * PAGE, 13 * PAGE, LEAF,
+                              TINY)
+        assert not relation_r(wrong, state, root)
+
+    def test_r_pte_terminal_agreement(self):
+        from repro.spec.pte_record import PTERecord
+        _tree, state, root = co_evolve([])
+        record = PTERecord(addr=3 * PAGE, flags=LEAF)
+        entry = pte.pte_new(3 * PAGE, LEAF, TINY)
+        assert r_pte(record, entry, state, 1)
+        assert not r_pte(record, pte.pte_new(4 * PAGE, LEAF, TINY),
+                         state, 1)
+        assert r_pte(None, 0, state, 1)
+        assert not r_pte(None, entry, state, 1)
+
+
+class TestImplementationBridge:
+    def test_live_page_table_abstracts(self, enclave_world):
+        """α applies to the real implementation's backing memory, and the
+        resulting tree agrees with the implementation's own mappings."""
+        monitor, _app, eid = enclave_world
+        enclave = monitor.enclaves[eid]
+        flat = flat_state_of_page_table(enclave.gpt, POOL_BASE, POOL_SIZE)
+        tree = abstract_table(flat, enclave.gpt.root_frame)
+        assert relation_r(tree, flat, enclave.gpt.root_frame)
+        from repro.spec import tree_mappings
+        assert sorted(tree_mappings(tree, TINY)) == \
+            sorted(enclave.gpt.mappings())
+
+    def test_shallow_copy_monitor_unprovable(self):
+        """The paper's in-the-wild bug: no tree abstraction exists."""
+        from repro.hyperenclave.buggy import ShallowCopyMonitor
+        monitor = ShallowCopyMonitor(TINY)
+        primary_os = monitor.primary_os
+        app = primary_os.spawn_app(1)
+        primary_os.app_map_data(app, 16 * PAGE)
+        mbuf_pa = TINY.frame_base(primary_os.reserve_data_frame())
+        eid = monitor.hc_create_from_app(app, 16 * PAGE, 2 * PAGE,
+                                         4 * PAGE, mbuf_pa, PAGE)
+        enclave = monitor.enclaves[eid]
+        flat = flat_state_of_page_table(enclave.gpt, POOL_BASE, POOL_SIZE)
+        with pytest.raises(AbstractionFailure):
+            abstract_table(flat, enclave.gpt.root_frame)
+
+
+class TestSpecWalk:
+    def test_spec_translate_agrees_with_impl(self, enclave_world):
+        """Sec. 5.1's reuse: the security model's walk is the verified
+        spec walk, and it agrees with the hardware model."""
+        from repro.spec import spec_translate
+        monitor, _app, eid = enclave_world
+        enclave = monitor.enclaves[eid]
+        flat = flat_state_of_page_table(enclave.gpt, POOL_BASE, POOL_SIZE)
+        tree = abstract_table(flat, enclave.gpt.root_frame)
+        for va, _gpa, _size, _flags in enclave.gpt.mappings():
+            assert spec_translate(tree, va + 8, TINY) == \
+                enclave.gpt.translate(va + 8)
+
+    def test_spec_translate_none_on_fault(self):
+        from repro.spec import spec_translate
+        assert spec_translate(tree_empty(TINY), 0, TINY) is None
+
+    def test_spec_translate_permissions(self):
+        from repro.spec import spec_translate
+        tree = tree_map_page(tree_empty(TINY), 0, PAGE,
+                             pte.leaf_flags(writable=False), TINY)
+        assert spec_translate(tree, 0, TINY, write=False) == PAGE
+        assert spec_translate(tree, 0, TINY, write=True) is None

@@ -1,0 +1,224 @@
+"""The symbolic executor: paths, obligations, equivalence, coverage."""
+
+import pytest
+
+from repro.mir.ast import BinOp, Copy, Use, place
+from repro.mir.builder import ProgramBuilder
+from repro.mir.types import BOOL, U64, UNIT
+from repro.mir.value import mk_bool, mk_u64
+from repro.symbolic import (
+    Domains,
+    SymExecutor,
+    SymbolicUnsupported,
+    SymVar,
+    check_equivalence,
+    path_coverage_inputs,
+    verify_assertions,
+)
+
+
+def abs_diff_program():
+    pb = ProgramBuilder()
+    fb = pb.function("abs_diff", ["a", "b"], U64)
+    fb.binop("_1", BinOp.GT, "a", "b")
+    fb.branch("_1", "gt", "le")
+    fb.label("gt")
+    fb.binop("_0", BinOp.SUB, "a", "b")
+    fb.ret()
+    fb.label("le")
+    fb.binop("_0", BinOp.SUB, "b", "a")
+    fb.ret()
+    fb.finish()
+    return pb.build()
+
+
+class TestPathExploration:
+    def test_two_paths(self):
+        executor = SymExecutor(abs_diff_program())
+        paths = executor.run("abs_diff", (SymVar("a"), SymVar("b")))
+        assert len(paths) == 2
+
+    def test_concrete_input_single_path(self):
+        executor = SymExecutor(abs_diff_program())
+        paths = executor.run("abs_diff", (mk_u64(5), mk_u64(3)))
+        assert len(paths) == 1
+        from repro.symbolic.terms import Const
+        assert isinstance(paths[0].ret, Const)
+        assert paths[0].ret.value == 2
+
+    def test_feasibility_pruning(self):
+        """With domains, contradictory branches are not explored."""
+        pb = ProgramBuilder()
+        fb = pb.function("f", ["a"], U64)
+        fb.binop("_1", BinOp.LT, "a", 3)
+        fb.branch("_1", "low", "high")
+        fb.label("low")
+        fb.binop("_2", BinOp.GT, "a", 5)      # contradiction
+        fb.branch("_2", "dead", "alive")
+        fb.label("dead")
+        fb.ret(666)
+        fb.label("alive")
+        fb.ret(1)
+        fb.label("high")
+        fb.ret(2)
+        fb.finish()
+        domains = Domains({"a": range(8)})
+        executor = SymExecutor(pb.build(), domains=domains)
+        paths = executor.run("f", (SymVar("a"),))
+        assert len(paths) == 2  # dead branch pruned
+
+    def test_inlined_call_forks_propagate(self):
+        program = abs_diff_program()
+        pb = ProgramBuilder()
+        for name, function in program.functions.items():
+            pb.add(function)
+        fb = pb.function("wrap", ["a", "b"], U64)
+        fb.call("d", "abs_diff", ["a", "b"])
+        fb.binop("_0", BinOp.ADD, "d", 1)
+        fb.ret()
+        fb.finish()
+        executor = SymExecutor(pb.build())
+        paths = executor.run("wrap", (SymVar("a"), SymVar("b")))
+        assert len(paths) == 2
+
+    def test_loop_unrolls_with_concrete_bound(self):
+        pb = ProgramBuilder()
+        fb = pb.function("sum3", ["a"], U64)
+        fb.assign("i", 0)
+        fb.assign("acc", 0)
+        fb.goto("loop")
+        fb.label("loop")
+        fb.binop("c", BinOp.LT, "i", 3)
+        fb.branch("c", "body", "done")
+        fb.label("body")
+        fb.binop("acc", BinOp.ADD, "acc", "a")
+        fb.binop("i", BinOp.ADD, "i", 1)
+        fb.goto("loop")
+        fb.label("done")
+        fb.ret("acc")
+        fb.finish()
+        executor = SymExecutor(pb.build())
+        paths = executor.run("sum3", (SymVar("a"),))
+        assert len(paths) == 1
+
+
+class TestUnsupportedFragment:
+    def test_memory_functions_rejected(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", [], U64)
+        fb.assign("x", 1)
+        fb.ref("p", "x")
+        fb.assign("_0", Use(Copy(place("p").deref())))
+        fb.ret()
+        fb.finish()
+        executor = SymExecutor(pb.build())
+        with pytest.raises(SymbolicUnsupported):
+            executor.run("f", ())
+
+    def test_unknown_callee_rejected(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", [], U64)
+        fb.call("_0", "phys_read_word", [0])
+        fb.ret()
+        fb.finish()
+        executor = SymExecutor(pb.build())
+        with pytest.raises(SymbolicUnsupported):
+            executor.run("f", ())
+
+    def test_unbounded_loop_rejected(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", [], UNIT)
+        fb.goto("loop")
+        fb.label("loop")
+        fb.goto("loop")
+        fb.finish()
+        executor = SymExecutor(pb.build(), max_steps_per_path=100)
+        with pytest.raises(SymbolicUnsupported, match="steps"):
+            executor.run("f", ())
+
+
+class TestAssertionVerification:
+    def test_safe_function_verified(self):
+        ok, failures = verify_assertions(
+            abs_diff_program(), "abs_diff",
+            Domains({"a": range(8), "b": range(8)}))
+        assert ok and failures == []
+
+    def test_failing_assert_yields_countermodel(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", ["a"], U64)
+        fb.binop("_1", BinOp.NE, "a", 5)
+        fb.assert_("_1", "a must differ from five")
+        fb.ret("a")
+        fb.finish()
+        ok, failures = verify_assertions(pb.build(), "f",
+                                         Domains({"a": range(8)}))
+        assert not ok
+        obligation, countermodel = failures[0]
+        assert countermodel == {"a": 5}
+        assert obligation.message == "a must differ from five"
+
+    def test_guarded_assert_verified(self):
+        """An assert made unreachable by a dominating branch holds."""
+        pb = ProgramBuilder()
+        fb = pb.function("f", ["a"], U64)
+        fb.binop("_1", BinOp.LT, "a", 5)
+        fb.branch("_1", "safe", "out")
+        fb.label("safe")
+        fb.binop("_2", BinOp.NE, "a", 7)   # always true when a < 5
+        fb.assert_("_2", "unreachable failure")
+        fb.ret("a")
+        fb.label("out")
+        fb.ret(0)
+        fb.finish()
+        ok, _ = verify_assertions(pb.build(), "f", Domains({"a": range(16)}))
+        assert ok
+
+
+class TestEquivalence:
+    def test_exhaustive_equivalence(self):
+        domains = Domains({"a": range(8), "b": range(8)})
+        mismatches, stats = check_equivalence(
+            abs_diff_program(), "abs_diff",
+            lambda a, b: mk_u64(abs(a.value - b.value)), domains)
+        assert mismatches == []
+        assert stats["cells"] == 64  # the whole bounded input space
+        assert stats["paths"] == 2
+
+    def test_planted_divergence_found(self):
+        pb = ProgramBuilder()
+        fb = pb.function("inc", ["a"], U64)
+        fb.binop("_1", BinOp.EQ, "a", 6)
+        fb.branch("_1", "bug", "fine")
+        fb.label("bug")
+        fb.ret(0)                      # wrong on exactly a == 6
+        fb.label("fine")
+        fb.binop("_0", BinOp.ADD, "a", 1)
+        fb.ret()
+        fb.finish()
+        mismatches, _ = check_equivalence(
+            pb.build(), "inc", lambda a: mk_u64(a.value + 1),
+            Domains({"a": range(8)}))
+        assert len(mismatches) == 1
+        model, mir_value, ref_value = mismatches[0]
+        assert model == {"a": 6}
+        assert (mir_value.value, ref_value.value) == (0, 7)
+
+    def test_path_coverage_inputs(self):
+        witnesses = path_coverage_inputs(
+            abs_diff_program(), "abs_diff",
+            Domains({"a": range(4), "b": range(4)}))
+        assert len(witnesses) == 2
+        gt = [w for w in witnesses if w[0].value > w[1].value]
+        le = [w for w in witnesses if w[0].value <= w[1].value]
+        assert gt and le  # one witness per path
+
+
+class TestCorpusSymbolically:
+    def test_every_pure_corpus_function_panic_free(self, model):
+        """No pure corpus function can panic within its domain."""
+        from repro.verification import default_domains, pure_function_names
+        for name in pure_function_names(model.config, model.layout):
+            domains = default_domains(name, model.config)
+            ok, failures = verify_assertions(model.program, name, domains)
+            assert ok, f"{name}: {failures}"

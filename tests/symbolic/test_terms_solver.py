@@ -1,0 +1,133 @@
+"""Term language and the bounded solver."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mir.types import U8, U64
+from repro.symbolic.solver import (
+    Domains, check_sat, enumerate_models, must_hold, prune_domains,
+)
+from repro.symbolic.terms import (
+    App, Const, SymVar, boolean, bv, evaluate, simplify, term_vars,
+)
+
+X = SymVar("x", U64)
+Y = SymVar("y", U64)
+
+
+def eq(a, b):
+    return simplify("eq", (a, b), None)
+
+
+def lt(a, b):
+    return simplify("lt", (a, b), None)
+
+
+class TestConstruction:
+    def test_constant_folding(self):
+        assert simplify("add", (bv(2), bv(3)), U64) == bv(5)
+        assert simplify("eq", (bv(2), bv(2)), None) == boolean(True)
+
+    def test_wrapping_fold(self):
+        assert simplify("add", (bv(255, U8), bv(1, U8)), U8) == bv(0, U8)
+
+    def test_and_or_identities(self):
+        assert simplify("and", (boolean(True), lt(X, bv(3))), None) == \
+            lt(X, bv(3))
+        assert simplify("and", (boolean(False), lt(X, bv(3))), None) == \
+            boolean(False)
+        assert simplify("or", (boolean(True), lt(X, bv(3))), None) == \
+            boolean(True)
+
+    def test_double_negation(self):
+        negated = simplify("not", (lt(X, bv(3)),), None)
+        assert simplify("not", (negated,), None) == lt(X, bv(3))
+
+    def test_ite_folds_on_constant_condition(self):
+        assert simplify("ite", (boolean(True), bv(1), bv(2)), U64) == bv(1)
+
+    def test_symbolic_stays_symbolic(self):
+        term = simplify("add", (X, bv(1)), U64)
+        assert isinstance(term, App)
+
+
+class TestEvaluation:
+    def test_evaluate_arithmetic(self):
+        term = App("mul", (X, App("add", (Y, bv(1)), U64)), U64)
+        assert evaluate(term, {"x": 3, "y": 4}) == 15
+
+    def test_evaluate_wraps(self):
+        term = App("add", (SymVar("a", U8), bv(1, U8)), U8)
+        assert evaluate(term, {"a": 255}) == 0
+
+    def test_evaluate_comparison_and_bool(self):
+        term = simplify("and", (lt(X, bv(5)), eq(Y, bv(2))), None)
+        assert evaluate(term, {"x": 1, "y": 2}) is True
+        assert evaluate(term, {"x": 9, "y": 2}) is False
+
+    def test_term_vars(self):
+        term = App("add", (X, App("mul", (Y, X), U64)), U64)
+        assert term_vars(term) == {"x", "y"}
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_evaluate_matches_python(self, a, b):
+        term = App("bxor", (SymVar("a", U8), SymVar("b", U8)), U8)
+        assert evaluate(term, {"a": a, "b": b}) == a ^ b
+
+
+class TestSolver:
+    def test_check_sat_finds_model(self):
+        domains = Domains({"x": range(10)})
+        model = check_sat([eq(X, bv(7))], domains)
+        assert model == {"x": 7}
+
+    def test_unsat_within_domain(self):
+        domains = Domains({"x": range(10)})
+        assert check_sat([eq(X, bv(42))], domains) is None
+
+    def test_conjunction(self):
+        domains = Domains({"x": range(10), "y": range(10)})
+        model = check_sat([lt(X, bv(3)),
+                           eq(App("add", (X, Y), U64), bv(11))], domains)
+        assert model["x"] + model["y"] == 11 and model["x"] < 3
+
+    def test_must_hold_proof_and_countermodel(self):
+        domains = Domains({"x": range(8)})
+        holds, _ = must_hold(lt(X, bv(8)), [], domains)
+        assert holds
+        holds, counter = must_hold(lt(X, bv(7)), [], domains)
+        assert not holds and counter == {"x": 7}
+
+    def test_must_hold_uses_context(self):
+        domains = Domains({"x": range(16)})
+        holds, _ = must_hold(lt(X, bv(4)), [lt(X, bv(3))], domains)
+        assert holds  # vacuous outside x<3
+
+    def test_prune_domains_unary(self):
+        domains = Domains({"x": range(100)})
+        pruned = prune_domains([lt(X, bv(5))], domains)
+        assert pruned.of("x") == (0, 1, 2, 3, 4)
+
+    def test_prune_handles_negation_and_flip(self):
+        domains = Domains({"x": range(10)})
+        flipped = simplify("gt", (bv(6), X), None)  # 6 > x  <=>  x < 6
+        pruned = prune_domains([flipped], domains)
+        assert max(pruned.of("x")) == 5
+        negated = App("not", (lt(X, bv(4)),), None)
+        pruned = prune_domains([negated], domains)
+        assert min(pruned.of("x")) == 4
+
+    def test_enumeration_limit(self):
+        domains = Domains({"x": range(10_000), "y": range(10_000)})
+        with pytest.raises(OverflowError):
+            list(enumerate_models([eq(X, Y)], domains, limit=1000))
+
+    def test_required_vars_forces_coverage(self):
+        domains = Domains({"x": range(3), "y": range(2)})
+        models = list(enumerate_models([eq(X, bv(1))], domains,
+                                       required_vars=("y",)))
+        assert len(models) == 2  # y enumerated despite no constraint
+
+    def test_missing_domain_raises(self):
+        with pytest.raises(KeyError):
+            check_sat([eq(X, bv(1))], Domains({}))

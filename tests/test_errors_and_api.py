@@ -1,0 +1,85 @@
+"""The error taxonomy and the top-level package surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.MirError, errors.SpecError, errors.LayerError,
+        errors.RefinementFailure, errors.SecurityError,
+        errors.HypervisorError,
+    ])
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_mir_family(self):
+        for exc in (errors.MirParseError, errors.MirTypeError,
+                    errors.MirRuntimeError, errors.MirAssertError,
+                    errors.EncapsulationViolation, errors.OutOfFuel):
+            assert issubclass(exc, errors.MirError)
+        assert issubclass(errors.MirAssertError, errors.MirRuntimeError)
+
+    def test_security_family(self):
+        assert issubclass(errors.InvariantViolation, errors.SecurityError)
+        assert issubclass(errors.NoninterferenceViolation,
+                          errors.SecurityError)
+
+    def test_hypervisor_family(self):
+        for exc in (errors.OutOfMemoryError, errors.PagingError,
+                    errors.EpcmError, errors.HypercallError,
+                    errors.TranslationFault):
+            assert issubclass(exc, errors.HypervisorError)
+
+    def test_spec_family(self):
+        assert issubclass(errors.SpecPreconditionError, errors.SpecError)
+
+
+class TestErrorPayloads:
+    def test_parse_error_location(self):
+        error = errors.MirParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error) and error.line == 3
+
+    def test_assert_error_context(self):
+        error = errors.MirAssertError("boom", function="f", block="bb2")
+        assert "in f" in str(error) and "bb2" in str(error)
+
+    def test_invariant_violation_tags_family(self):
+        error = errors.InvariantViolation("epcm", "missing record",
+                                          witness=(1, 2))
+        assert str(error).startswith("[epcm]")
+        assert error.witness == (1, 2)
+
+    def test_translation_fault_stage(self):
+        error = errors.TranslationFault("nope", stage="ept", va=0x100)
+        assert error.stage == "ept" and error.va == 0x100
+
+    def test_refinement_failure_counterexample(self):
+        error = errors.RefinementFailure("diverged",
+                                         counterexample={"args": ()})
+        assert error.counterexample == {"args": ()}
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_error_exports(self):
+        assert repro.ReproError is errors.ReproError
+        assert repro.InvariantViolation is errors.InvariantViolation
+
+    def test_fresh_state_helper(self):
+        from repro.hyperenclave.constants import TINY
+        from repro.security.state import fresh_state
+        state = fresh_state(TINY)
+        assert state.live_principals() == [0]
+        assert state.clone().monitor is not state.monitor
+
+    def test_fresh_state_with_custom_monitor(self):
+        from repro.hyperenclave.buggy import LeakyExitMonitor
+        from repro.hyperenclave.constants import TINY
+        from repro.security.state import fresh_state
+        state = fresh_state(TINY, monitor_class=LeakyExitMonitor)
+        assert isinstance(state.monitor, LeakyExitMonitor)

@@ -1,0 +1,144 @@
+"""Call-graph layering, effort accounting, tables and figures."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_RATIOS, PAPER_TABLE1, call_graph, corpus_mirlight_loc,
+    infer_layer_indices, layering_consistency, measure_components,
+    proof_effort_summary, split_blob,
+)
+from repro.errors import LayerError
+from repro.hyperenclave.constants import TINY
+from repro.mir.builder import ProgramBuilder
+from repro.mir.types import U64
+from repro.reporting import render_table
+from repro.reporting.figures import (
+    fig1_architecture, fig2_translation, fig4_pointer_cases,
+)
+
+from tests.conftest import build_enclave_world
+
+PAGE = TINY.page_size
+
+
+class TestCallGraphAnalysis:
+    def test_call_graph_shape(self, model):
+        graph = call_graph(model.program)
+        assert "phys_read_word" in graph["read_entry"]
+        assert graph["pte_new"] == []
+
+    def test_split_blob_per_function(self, model):
+        files = split_blob(model.program)
+        assert len(files) == 49
+        assert files["map_page"].startswith("fn map_page(")
+
+    def test_inferred_depths_respect_calls(self, model):
+        trusted = [s.name for s in model.trusted]
+        depths = infer_layer_indices(model.program, trusted)
+        graph = call_graph(model.program)
+        for name, callees in graph.items():
+            for callee in callees:
+                if callee in depths:
+                    assert depths[callee] < depths[name]
+
+    def test_declared_layering_is_topological(self, model):
+        trusted = [s.name for s in model.trusted]
+        problems = layering_consistency(model.program, trusted,
+                                        model.layer_map, model.stack)
+        assert problems == []
+
+    def test_cycle_detected(self):
+        pb = ProgramBuilder()
+        fb = pb.function("a", [], U64)
+        fb.call("_1", "b", [])
+        fb.ret(1)
+        fb.finish()
+        fb = pb.function("b", [], U64)
+        fb.call("_1", "a", [])
+        fb.ret(1)
+        fb.finish()
+        with pytest.raises(LayerError, match="cycle"):
+            infer_layer_indices(pb.build(), [])
+
+    def test_inconsistent_declaration_flagged(self, model):
+        """Swap two layers in the declaration and the checker objects."""
+        bad_map = dict(model.layer_map)
+        bad_map["map_page"] = "PtEntryIo"  # below what it calls
+        trusted = [s.name for s in model.trusted]
+        problems = layering_consistency(model.program, trusted, bad_map,
+                                        model.stack)
+        assert problems
+
+
+class TestEffortAccounting:
+    def test_paper_constants_sane(self):
+        assert PAPER_RATIOS["proof_per_mir_line"] == pytest.approx(
+            PAPER_RATIOS["proof_loc"] / PAPER_RATIOS["mirlight_loc"],
+            abs=0.01)
+        assert PAPER_RATIOS["sekvm_proof_per_line"] == pytest.approx(
+            PAPER_RATIOS["sekvm_proof_loc"]
+            / PAPER_RATIOS["sekvm_c_loc"], abs=0.01)
+        assert sum(PAPER_RATIOS["effort_split"].values()) == \
+            pytest.approx(1.0)
+        assert len(PAPER_TABLE1) == 8
+
+    def test_measured_components_nonempty(self):
+        measured = measure_components(include_harness=False)
+        assert len(measured) == 7
+        for component, count in measured.items():
+            assert count.code > 0, component
+
+    def test_harness_components_included_in_editable_checkout(self):
+        measured = measure_components(include_harness=True)
+        assert "Test suite" in measured
+        assert measured["Test suite"].code > 3000
+        assert measured["Benchmark harness"].code > 400
+
+    def test_corpus_mirlight_loc(self, model):
+        count = corpus_mirlight_loc(model)
+        assert count.code > 500  # the corpus is substantial
+
+    def test_effort_summary_shape_matches_paper(self, model):
+        """Shape claims: 49 functions, 15 layers, MIR expansion, and a
+        checker-per-MIR-line ratio below SeKVM's 2.16."""
+        summary = proof_effort_summary(model)
+        assert summary.corpus_functions == 49
+        assert summary.corpus_layers == 15
+        assert summary.checker_per_mir_line < \
+            PAPER_RATIOS["sekvm_proof_per_line"]
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "lines"],
+                            [["alpha", 120], ["b", 7]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert set(lines[2]) <= {"-", " "}   # separator under the header
+        assert "alpha" in lines[3]
+        assert lines[4].endswith("7")        # numeric right-aligned
+
+    def test_render_table_floats(self):
+        text = render_table(["r"], [[1.234]])
+        assert "1.23" in text
+
+    def test_fig1_reflects_live_state(self, enclave_world):
+        monitor, _app, eid = enclave_world
+        text = fig1_architecture(monitor)
+        assert f"Enclave {eid}" in text
+        assert "EPC" in text and "RustMonitor" in text
+
+    def test_fig2_shows_shared_mbuf_only(self, enclave_world):
+        monitor, app, eid = enclave_world
+        vas = [0, 12 * PAGE, 16 * PAGE]
+        text = fig2_translation(monitor, eid, app, vas)
+        assert "marshalling buffer" in text
+        assert "ELRANGE -> EPC" in text
+        assert "fault" in text  # host can't see EPC / enclave can't see 0
+
+    def test_fig4_counts(self, model):
+        from repro.ccal.pointers import classify_pointer_flows
+        flows = classify_pointer_flows(model.program, model.layer_map,
+                                       model.stack)
+        text = fig4_pointer_cases(flows)
+        assert "trusted getter/setter" in text

@@ -1,0 +1,159 @@
+"""Line counting and the unsafe-block audit (Sec. 6.1)."""
+
+import os
+
+import pytest
+
+from repro.audit import (
+    CORPUS_DISTRIBUTION, UnsafeCategory, blocks_touching_page_tables,
+    classify_summary, count_package, count_text, generate_rust_corpus,
+    scan_source, scan_tree,
+)
+
+
+class TestLocCounter:
+    def test_python_classification(self):
+        text = '"""Module docstring\nspanning lines."""\n\n' \
+               '# a comment\nx = 1  # trailing comment is code\n'
+        count = count_text(text)
+        assert count.docstring == 2
+        assert count.blank == 1
+        assert count.comment == 1
+        assert count.code == 1
+        assert count.total == 5
+
+    def test_function_docstrings_counted(self):
+        text = 'def f():\n    """Doc."""\n    return 1\n'
+        count = count_text(text)
+        assert count.docstring == 1
+        assert count.code == 2
+
+    def test_string_expression_not_docstring_heuristic(self):
+        text = 'x = "just a string"\n'
+        assert count_text(text).code == 1
+
+    def test_mirlight_language(self):
+        text = "// comment\nfn f() -> u64 {\n\n}\n"
+        count = count_text(text, language="mirlight")
+        assert count.comment == 1
+        assert count.code == 2
+        assert count.blank == 1
+
+    def test_addition(self):
+        a = count_text("x = 1\n")
+        b = count_text("# hi\n")
+        total = a + b
+        assert total.code == 1 and total.comment == 1
+
+    def test_count_package_over_repro(self):
+        import repro
+        count = count_package(os.path.dirname(repro.__file__))
+        assert count.code > 4000  # the library is not a stub
+        assert count.docstring > 500
+
+
+class TestUnsafeScanner:
+    def test_raw_deref_detected(self):
+        blocks = scan_source("fn f() { unsafe { let v = *(ssa_ptr.add(1)); } }")
+        assert blocks[0].category is UnsafeCategory.RAW_DEREF
+
+    def test_asm_detected(self):
+        blocks = scan_source('fn f() { unsafe { asm!("vmcall") } }')
+        assert blocks[0].category is UnsafeCategory.ASM
+
+    def test_slice_detected(self):
+        blocks = scan_source(
+            "fn f() { unsafe { core::slice::from_raw_parts(p, n) } }")
+        assert blocks[0].category is UnsafeCategory.SLICE
+
+    def test_indirect_call_detected(self):
+        blocks = scan_source("fn f() { unsafe { vmcs_write(field, v) } }")
+        assert blocks[0].category is UnsafeCategory.INDIRECT_CALL
+
+    def test_transmute_detected(self):
+        blocks = scan_source(
+            "fn f() { unsafe { core::mem::transmute::<_, H>(w) } }")
+        assert blocks[0].category is UnsafeCategory.TRANSMUTE
+
+    def test_unsafe_fn_signature_not_a_block(self):
+        blocks = scan_source("unsafe fn f() { regular_call(); }")
+        assert blocks == []
+
+    def test_unsafe_in_string_or_comment_ignored(self):
+        source = ('fn f() { let s = "unsafe { *ptr }"; }\n'
+                  "// unsafe { asm!() }\n"
+                  "/* unsafe { foo() } */\n")
+        assert scan_source(source) == []
+
+    def test_nested_braces_matched(self):
+        source = "fn f() { unsafe { if x { *ptr } else { g() } } }"
+        blocks = scan_source(source)
+        assert len(blocks) == 1
+        assert blocks[0].category is UnsafeCategory.RAW_DEREF
+
+    def test_line_numbers(self):
+        source = "fn a() {}\n\nfn b() { unsafe { g() } }\n"
+        assert scan_source(source)[0].line == 3
+
+    def test_page_table_tokens_flagged(self):
+        blocks = scan_source(
+            "fn f() { unsafe { *pte_ptr = ept_entry } }")
+        assert blocks[0].touches_page_tables
+
+
+class TestScannerProperties:
+    """Property tests: the scanner's count is exact on generated trees."""
+
+    from hypothesis import given, strategies as st
+
+    TEMPLATES = [
+        ("fn s{i}() {{ unsafe {{ call_{i}(x) }} }}\n",
+         UnsafeCategory.INDIRECT_CALL),
+        ("fn s{i}() {{ let v = unsafe {{ *data_ptr }}; }}\n",
+         UnsafeCategory.RAW_DEREF),
+        ('fn s{i}() {{ unsafe {{ asm!("nop") }} }}\n',
+         UnsafeCategory.ASM),
+        ("fn s{i}() {{ safe_call_{i}(); }}\n", None),
+        ('fn s{i}() {{ let t = "unsafe {{ fake() }}"; }}\n', None),
+    ]
+
+    @given(st.lists(st.integers(0, len(TEMPLATES) - 1), max_size=30))
+    def test_count_matches_construction(self, picks):
+        source = "".join(
+            self.TEMPLATES[p][0].format(i=i)
+            for i, p in enumerate(picks))
+        expected = [self.TEMPLATES[p][1] for p in picks
+                    if self.TEMPLATES[p][1] is not None]
+        blocks = scan_source(source)
+        assert len(blocks) == len(expected)
+        assert [b.category for b in blocks] == expected
+
+    @given(st.lists(st.integers(0, len(TEMPLATES) - 1), max_size=20))
+    def test_line_numbers_monotonic(self, picks):
+        source = "".join(
+            self.TEMPLATES[p][0].format(i=i)
+            for i, p in enumerate(picks))
+        lines = [b.line for b in scan_source(source)]
+        assert lines == sorted(lines)
+
+
+class TestAuditReproduction:
+    def test_distribution_matches_paper_exactly(self):
+        """105 blocks: 74 indirect calls, 13 raw derefs (Sec. 6.1)."""
+        blocks = scan_tree(generate_rust_corpus())
+        assert len(blocks) == 105
+        summary = classify_summary(blocks)
+        assert summary[UnsafeCategory.INDIRECT_CALL] == 74
+        assert summary[UnsafeCategory.RAW_DEREF] == 13
+
+    def test_no_block_touches_page_tables(self):
+        """'None of the blocks with raw pointer dereferences involve
+        page table memory.'"""
+        blocks = scan_tree(generate_rust_corpus())
+        assert blocks_touching_page_tables(blocks) == []
+
+    def test_distribution_constant_sums_to_105(self):
+        assert sum(CORPUS_DISTRIBUTION.values()) == 105
+
+    def test_corpus_generation_deterministic(self):
+        assert generate_rust_corpus() == generate_rust_corpus()

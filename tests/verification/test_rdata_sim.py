@@ -1,0 +1,116 @@
+"""The Sec. 3.4 case-3 simulation: RData specs vs concrete-pointer code."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EncapsulationViolation, SpecPreconditionError
+from repro.hyperenclave import pte
+from repro.hyperenclave.constants import TINY
+from repro.mir.value import RDataPtr, mk_u64
+from repro.verification.rdata_sim import (
+    extend_with_registry, high_specs, run_simulation,
+)
+
+PAGE = TINY.page_size
+LEAF = pte.leaf_flags()
+
+
+class TestHighSpecs:
+    def test_as_new_returns_opaque_handle(self, model):
+        specs = high_specs(model)
+        state = extend_with_registry(model.initial_absstate())
+        handle, state = specs["as_new"]((), state)
+        assert isinstance(handle, RDataPtr)
+        assert handle.owner_layer == "AddrSpace"
+        assert state.get("addrspaces").get(0) is not None
+
+    def test_methods_only_accept_live_handles(self, model):
+        specs = high_specs(model)
+        state = extend_with_registry(model.initial_absstate())
+        with pytest.raises(SpecPreconditionError, match="handle"):
+            specs["as_root"]((mk_u64(5),), state)
+        dangling = RDataPtr("AddrSpace", "as", (7,))
+        with pytest.raises(SpecPreconditionError, match="dangling"):
+            specs["as_root"]((dangling,), state)
+
+    def test_handle_unusable_as_memory(self, model):
+        """Clients cannot dereference the handle — only pass it back."""
+        from repro.mir.ast import Copy, Use, place
+        from repro.mir.builder import ProgramBuilder
+        from repro.mir.interp import Interpreter
+        from repro.mir.types import U64
+        pb = ProgramBuilder()
+        fb = pb.function("client", ["h"], U64, layer="Hypercalls")
+        fb.assign("_0", Use(Copy(place("h").deref())))
+        fb.ret()
+        fb.finish()
+        specs = high_specs(model)
+        state = extend_with_registry(model.initial_absstate())
+        handle, _state = specs["as_new"]((), state)
+        with pytest.raises(EncapsulationViolation):
+            Interpreter(pb.build()).call("client", [handle])
+
+
+class TestSimulation:
+    def test_scripted_workload_simulates(self, model):
+        script = [
+            ("new", "a"),
+            ("map", "a", 3 * PAGE, 5 * PAGE, LEAF),
+            ("query", "a", 3 * PAGE),
+            ("new", "b"),
+            ("map", "b", 3 * PAGE, 9 * PAGE, LEAF),  # same va, own space
+            ("query", "a", 3 * PAGE),
+            ("query", "b", 3 * PAGE),
+            ("unmap", "a", 3 * PAGE),
+            ("query", "a", 3 * PAGE),
+            ("query", "b", 3 * PAGE),
+        ]
+        run = run_simulation(model, script)
+        assert run.ok, run.failures
+        assert run.handles == 2
+        assert run.steps == len(script)
+
+    @settings(max_examples=20, deadline=None)
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("map"), st.sampled_from(["a", "b"]),
+                      st.integers(0, 15), st.integers(0, 15)),
+            st.tuples(st.just("unmap"), st.sampled_from(["a", "b"]),
+                      st.integers(0, 15)),
+            st.tuples(st.just("query"), st.sampled_from(["a", "b"]),
+                      st.integers(0, 15))),
+        max_size=12))
+    def test_random_workloads_simulate(self, model, ops):
+        script = [("new", "a"), ("new", "b")]
+        for op in ops:
+            if op[0] == "map":
+                script.append(("map", op[1], op[2] * PAGE,
+                               op[3] * PAGE, LEAF))
+            elif op[0] == "unmap":
+                script.append(("unmap", op[1], op[2] * PAGE))
+            else:
+                script.append(("query", op[1], op[2] * PAGE))
+        run = run_simulation(model, script)
+        assert run.ok, run.failures
+
+    def test_simulation_catches_a_broken_low_side(self, model):
+        """Corrupt the concrete struct behind 'a' and the relation must
+        notice on the next step."""
+        import copy
+        from repro.verification import rdata_sim
+        script = [("new", "a"), ("map", "a", 0, PAGE, LEAF)]
+        # Run a custom lockstep where the low side's as_map silently
+        # targets a different root: swap in a broken MIR function.
+        broken = copy.copy(model)
+        broken_program = copy.copy(model.program)
+        broken_program.functions = dict(model.program.functions)
+        from repro.mir.builder import ProgramBuilder
+        from repro.mir.types import UNIT
+        pb = ProgramBuilder()
+        fb = pb.function("as_map", ["self_", "va", "pa", "flags"], UNIT,
+                         layer="AddrSpace")
+        fb.ret()  # drops the mapping on the floor
+        broken_program.functions["as_map"] = fb.finish()
+        broken.program = broken_program
+        run = rdata_sim.run_simulation(broken, script)
+        assert not run.ok

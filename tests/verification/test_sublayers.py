@@ -1,0 +1,111 @@
+"""Sec. 4.3 — sublayers and transitivity of refinement.
+
+"A benefit of CCAL is that it allows us to create 'sublayers' ... As
+refinement is transitive, we can insert a 'low spec' between the
+specification (now called the 'high spec') and the code."
+
+The composition checked here, end to end on real executions:
+
+    MIR code  ──(co-simulation: equal final abstract states)──▶  flat spec
+    flat spec ──(R / α)──▶  tree spec
+
+so the *code's* final state abstracts to exactly the tree the high spec
+computes — code refines the high spec through the intermediate one.
+"""
+
+import pytest
+
+from repro.hyperenclave import pte
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.mir_model.state import absstate_to_flat
+from repro.mir.value import mk_u64
+from repro.spec import (
+    abstract_table, relation_r, tree_empty, tree_map_page, tree_unmap,
+)
+
+PAGE = TINY.page_size
+LEAF = pte.leaf_flags()
+
+
+def run_mir_scenario(model, operations):
+    """Execute map/unmap operations through the *MIR code* and return
+    (root, final flat view, frames created per op)."""
+    interp = model.make_interpreter()
+    root = interp.call("alloc_frame").value
+    created_per_op = []
+    for op, page_no in operations:
+        before = interp.absstate.get("pt_bitmap")
+        if op == "map":
+            interp.call("map_page", [root, mk_u64(page_no * PAGE),
+                                     mk_u64((page_no % 8) * PAGE),
+                                     mk_u64(LEAF)])
+        else:
+            interp.call("unmap_page", [root, mk_u64(page_no * PAGE)])
+        after = interp.absstate.get("pt_bitmap")
+        created_per_op.append(
+            [TINY.frame_base(model.pool_base + i)
+             for i, (a, b) in enumerate(zip(before, after))
+             if b and not a])
+    flat = absstate_to_flat(interp.absstate, model.config,
+                            model.pool_base, model.pool_size)
+    return root.value, flat, created_per_op
+
+
+def run_tree_scenario(operations, created_per_op):
+    tree = tree_empty(TINY)
+    for (op, page_no), created in zip(operations, created_per_op):
+        if op == "map":
+            tree = tree_map_page(tree, page_no * PAGE,
+                                 (page_no % 8) * PAGE, LEAF, TINY,
+                                 new_table_addrs=created)
+        else:
+            tree = tree_unmap(tree, page_no * PAGE, TINY)
+    return tree
+
+
+SCENARIOS = [
+    [("map", 0)],
+    [("map", 0), ("map", 1), ("map", 17)],
+    [("map", 0), ("unmap", 0)],
+    [("map", 0), ("map", 63), ("unmap", 0), ("map", 0)],
+    [("map", 5), ("map", 21), ("map", 37), ("unmap", 21), ("map", 22)],
+]
+
+
+class TestTransitivity:
+    @pytest.mark.parametrize("operations", SCENARIOS,
+                             ids=[str(s) for s in SCENARIOS])
+    def test_code_refines_high_spec_through_low_spec(self, model,
+                                                     operations):
+        root, flat, created = run_mir_scenario(model, operations)
+        tree = run_tree_scenario(operations, created)
+        # transitive composition: the code's final memory abstracts to
+        # exactly the tree the high spec computes.
+        assert relation_r(tree, flat, root)
+        assert abstract_table(flat, root) == tree
+
+    def test_divergent_high_spec_rejected(self, model):
+        operations = [("map", 0), ("map", 1)]
+        root, flat, created = run_mir_scenario(model, operations)
+        wrong = run_tree_scenario([("map", 0), ("map", 2)], created)
+        assert not relation_r(wrong, flat, root)
+
+    def test_addrspace_methods_compose_too(self, model):
+        """The object-oriented layer (self pointers) sits on the same
+        refinement chain: driving as_map yields a state whose flat view
+        abstracts to the tree spec."""
+        interp = model.make_interpreter()
+        handle = interp.call("as_new").value
+        before = interp.absstate.get("pt_bitmap")
+        interp.call("as_map", [handle, mk_u64(3 * PAGE),
+                               mk_u64(5 * PAGE), mk_u64(LEAF)])
+        after = interp.absstate.get("pt_bitmap")
+        created = [TINY.frame_base(model.pool_base + i)
+                   for i, (a, b) in enumerate(zip(before, after))
+                   if b and not a]
+        root = interp.memory.read(handle.path).field(0).value
+        flat = absstate_to_flat(interp.absstate, model.config,
+                                model.pool_base, model.pool_size)
+        tree = tree_map_page(tree_empty(TINY), 3 * PAGE, 5 * PAGE, LEAF,
+                             TINY, new_table_addrs=created)
+        assert relation_r(tree, flat, root)
