@@ -1,10 +1,11 @@
 """The complete bug → checker matrix, over every buggy monitor variant.
 
-Extends Figure 5 to the full negative-example set: ten planted bugs,
+Extends Figure 5 to the full negative-example set: eleven planted bugs,
 each detected by the checker the paper assigns to its class —
 structural bugs by the §5.2 invariant families or the §4.1 refinement,
-behavioural leaks by the §5 noninterference theorem.  The benchmark
-times the whole matrix: total detection cost for all ten.
+behavioural leaks by the §5 noninterference theorem, and the
+crash-consistency bug by the fault-injection campaign.  The benchmark
+times the whole matrix: total detection cost for all eleven.
 """
 
 from repro.hyperenclave import buggy
@@ -129,6 +130,29 @@ def scrub_trace(app, eid):
     ]
 
 
+def detect_no_rollback(monitor_cls, _arg=None):
+    """A tiny crash-step sweep: partial mutations survive the abort."""
+    from repro.faults import crash_step_campaign, default_workload
+
+    def world():
+        monitor = monitor_cls(TINY)
+        primary_os = monitor.primary_os
+        ctx = {
+            "page": PAGE,
+            "mbuf_pa": TINY.frame_base(primary_os.reserve_data_frame()),
+            "src_pa": TINY.frame_base(primary_os.reserve_data_frame()),
+            "elrange_base": 16 * PAGE,
+        }
+        primary_os.gpa_write_word(ctx["src_pa"], 0xDEAD)
+        return monitor, ctx
+
+    calls = default_workload()[:2]   # create + add_page is enough
+    report = crash_step_campaign(world, calls, sites=(), seed=0)
+    return (not report.ok,
+            f"fault campaign: {len(report.failures())} un-rolled-back "
+            f"aborts")
+
+
 MATRIX = [
     (buggy.ShallowCopyMonitor, detect_shallow_copy, None),
     (buggy.AliasingMonitor, detect_invariant_bug, setup_two_enclaves),
@@ -141,6 +165,7 @@ MATRIX = [
     (buggy.LeakyExitMonitor, detect_ni_bug, leak_trace),
     (buggy.NoTlbFlushMonitor, detect_ni_bug, leak_trace),
     (buggy.NoScrubMonitor, detect_ni_bug, scrub_trace),
+    (buggy.NonTransactionalMonitor, detect_no_rollback, None),
 ]
 
 
@@ -159,6 +184,6 @@ def test_bench_bug_matrix(benchmark, emit):
     emit("bug_matrix",
          render_table(["Planted bug", "Verdict", "Detected by"], rows,
                       title="The full bug → checker matrix "
-                            "(all 10 buggy variants)"))
-    assert len(results) == len(buggy.ALL_BUGGY_MONITORS) == 10
+                            "(all 11 buggy variants)"))
+    assert len(results) == len(buggy.ALL_BUGGY_MONITORS) == 11
     assert all(detected for _bug, detected, _how in results)

@@ -29,6 +29,10 @@ from repro.errors import (
     InvariantViolation,
     NoninterferenceViolation,
     HypervisorError,
+    ResourceExhausted,
+    HypercallAborted,
+    FaultInjected,
+    CheckBudgetExceeded,
 )
 
 __version__ = "1.0.0"
@@ -45,5 +49,9 @@ __all__ = [
     "InvariantViolation",
     "NoninterferenceViolation",
     "HypervisorError",
+    "ResourceExhausted",
+    "HypercallAborted",
+    "FaultInjected",
+    "CheckBudgetExceeded",
     "__version__",
 ]

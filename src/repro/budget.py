@@ -1,0 +1,93 @@
+"""Wall-clock and step budgets for the checking engines.
+
+The checkers are only useful if they terminate: a symbolic execution
+chasing a path explosion, or a co-simulation over a hostile sample
+generator, must not hang the harness.  A :class:`Budget` is threaded
+through the engines; each unit of work (a symbolic step, a solved model
+cell, a co-simulated sample) calls :meth:`Budget.spend`, and crossing
+either limit raises the typed
+:class:`~repro.errors.CheckBudgetExceeded` — which the hardened harness
+(:mod:`repro.verification.harness`) catches to degrade to a cheaper
+engine rather than fail the whole run.
+
+The clock is injectable so timeout behaviour is deterministic under
+test: pass a fake ``clock`` and advance it by hand.
+"""
+
+import time
+
+from repro.errors import CheckBudgetExceeded
+
+
+class Budget:
+    """A spend-until-exhausted allowance of steps and/or seconds.
+
+    ``None`` for either limit means unlimited on that axis; a budget
+    with both limits ``None`` never trips, so engines can thread one
+    unconditionally.  One Budget may be shared across several engines —
+    the harness does exactly that, so a degraded run pays for what the
+    abandoned engine already burned.
+    """
+
+    def __init__(self, max_steps=None, max_seconds=None,
+                 clock=time.monotonic):
+        if max_steps is not None and max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        if max_seconds is not None and max_seconds < 0:
+            raise ValueError("max_seconds must be non-negative")
+        self.max_steps = max_steps
+        self.max_seconds = max_seconds
+        self._clock = clock
+        self._steps = 0
+        self._started = clock()
+
+    @property
+    def steps(self):
+        """Steps spent so far."""
+        return self._steps
+
+    @property
+    def seconds(self):
+        """Seconds elapsed since the budget was created."""
+        return self._clock() - self._started
+
+    @property
+    def exceeded(self):
+        """Is either limit crossed? (Does not raise.)"""
+        if self.max_steps is not None and self._steps > self.max_steps:
+            return True
+        if self.max_seconds is not None and self.seconds > self.max_seconds:
+            return True
+        return False
+
+    def spend(self, steps=1, what="work"):
+        """Consume ``steps`` units and enforce both limits.
+
+        Raises :class:`~repro.errors.CheckBudgetExceeded` naming the
+        crossed axis; the exception carries :meth:`spent` so reports
+        can show where the budget went.
+        """
+        self._steps += steps
+        if self.max_steps is not None and self._steps > self.max_steps:
+            raise CheckBudgetExceeded(
+                f"step budget exhausted after {self._steps} steps "
+                f"(limit {self.max_steps}) while doing {what}",
+                spent=self.spent())
+        self.check_time(what)
+
+    def check_time(self, what="work"):
+        """Enforce only the wall-clock limit (cheap; call in hot loops)."""
+        if self.max_seconds is not None and \
+                self.seconds > self.max_seconds:
+            raise CheckBudgetExceeded(
+                f"time budget exhausted after {self.seconds:.3f}s "
+                f"(limit {self.max_seconds}s) while doing {what}",
+                spent=self.spent())
+
+    def spent(self):
+        """``{"steps": ..., "seconds": ...}`` — the record for reports."""
+        return {"steps": self._steps, "seconds": round(self.seconds, 6)}
+
+    def __repr__(self):
+        return (f"Budget(steps={self._steps}/{self.max_steps}, "
+                f"seconds={self.seconds:.3f}/{self.max_seconds})")

@@ -23,7 +23,7 @@ Pieces:
 """
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import RefinementFailure, SpecPreconditionError
 from repro.mir.interp import Interpreter
@@ -83,12 +83,27 @@ def mir_impl(program, fn_name, trusted=(), setup=None, extract=None,
 
 @dataclass
 class CheckReport:
-    """Outcome of a co-simulation run."""
+    """Outcome of a checking run (co-simulation or any other engine).
+
+    The hardened harness (:mod:`repro.verification.harness`) fills the
+    provenance fields: which ``engine`` ultimately produced the verdict,
+    the ``degradations`` taken to get there (e.g. symbolic falling back
+    to co-simulation on a budget blow-up), what the run cost
+    (``budget_spent``), how many times a sampled campaign was reseeded
+    (``seed_retries``), and whether the engine ran to completion or was
+    cut off mid-way (``completed``).  The defaults make a bare
+    co-simulation report look exactly as it always did.
+    """
 
     name: str
     checked: int = 0
     skipped: int = 0
     failures: List[RefinementFailure] = field(default_factory=list)
+    engine: str = "cosim"
+    degradations: List[str] = field(default_factory=list)
+    budget_spent: Dict = field(default_factory=dict)
+    seed_retries: int = 0
+    completed: bool = True
 
     @property
     def ok(self):
@@ -96,8 +111,16 @@ class CheckReport:
 
     def __str__(self):
         status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
-        return (f"[{status}] {self.name}: {self.checked} checked, "
-                f"{self.skipped} outside precondition")
+        base = (f"[{status}] {self.name}: {self.checked} checked, "
+                f"{self.skipped} outside precondition "
+                f"(engine={self.engine}")
+        if self.degradations:
+            base += f", degraded {len(self.degradations)}x"
+        if self.seed_retries:
+            base += f", reseeded {self.seed_retries}x"
+        if not self.completed:
+            base += ", INCOMPLETE"
+        return base + ")"
 
 
 class CoSimChecker:
@@ -123,7 +146,7 @@ class CoSimChecker:
         self.ret_relation = ret_relation or (lambda a, b: a == b)
         self.stop_at_first = stop_at_first
 
-    def check(self, samples) -> CheckReport:
+    def check(self, samples, budget=None) -> CheckReport:
         """Run every sample; collect divergences.
 
         A sample is either ``(args, state)`` — both sides start from the
@@ -131,9 +154,16 @@ class CoSimChecker:
         across different representations.  Samples rejected by the spec's
         precondition are skipped (outside the verified domain); a
         precondition failure *only on one side* is itself a divergence.
+
+        ``budget`` (a :class:`repro.budget.Budget`) is spent one unit
+        per sample; exhaustion raises
+        :class:`~repro.errors.CheckBudgetExceeded` so the driver can
+        degrade rather than hang on an endless sample stream.
         """
         report = CheckReport(self.name)
         for sample in samples:
+            if budget is not None:
+                budget.spend(1, what=f"cosim sample of {self.name}")
             if len(sample) == 2:
                 args, low_state = sample
                 high_state = low_state

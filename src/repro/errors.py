@@ -154,7 +154,17 @@ class HypervisorError(ReproError):
     """Base class for errors raised by the HyperEnclave model itself."""
 
 
-class OutOfMemoryError(HypervisorError):
+class ResourceExhausted(HypervisorError):
+    """A finite monitor resource (frame pool, EPC, ...) ran out.
+
+    Every allocator in the model raises a subclass of this, so the
+    transactional hypercall layer can treat "out of resources" as one
+    recoverable error family: roll back and re-raise typed, never leave
+    a half-applied hypercall behind.
+    """
+
+
+class OutOfMemoryError(ResourceExhausted):
     """The secure-memory frame allocator is exhausted."""
 
 
@@ -166,8 +176,61 @@ class EpcmError(HypervisorError):
     """EPCM bookkeeping rejected an operation (page busy, wrong owner...)."""
 
 
+class EpcExhausted(EpcmError, ResourceExhausted):
+    """No free EPC frame is left for an allocation."""
+
+
 class HypercallError(HypervisorError):
     """A hypercall was rejected by RustMonitor's validation."""
+
+
+class HypercallAborted(HypercallError):
+    """A hypercall failed *mid-sequence* and was rolled back.
+
+    Raised by the transactional wrapper after it has restored the
+    monitor to its pre-hypercall state; ``hypercall`` names the call and
+    ``__cause__`` carries the original failure (an injected fault, an
+    exhausted allocator, ...).  Observing this error therefore comes
+    with the guarantee that no partial EPCM/GPT/EPT/allocator mutation
+    survived.
+    """
+
+    def __init__(self, hypercall, cause):
+        super().__init__(f"{hypercall} aborted and rolled back: {cause}")
+        self.hypercall = hypercall
+        self.cause = cause
+
+
+class FaultInjected(ReproError):
+    """An armed fault-injection site fired.
+
+    Deliberately *not* a :class:`HypervisorError`: injected faults model
+    the environment failing underneath the monitor (broken hardware, an
+    adversarial crash), so code that catches hypervisor errors for
+    normal control flow never swallows one by accident.  The
+    transactional hypercall layer converts it into a rolled-back
+    :class:`HypercallAborted`.
+    """
+
+    def __init__(self, site, hit=None, label=None):
+        where = f" (hit {hit}" + (f", {label})" if label else ")") \
+            if hit is not None else ""
+        super().__init__(f"injected fault at site {site!r}{where}")
+        self.site = site
+        self.hit = hit
+        self.label = label
+
+
+class CheckBudgetExceeded(ReproError):
+    """A checking engine ran past its wall-clock or step budget.
+
+    The hardened harness catches this and degrades to the next cheaper
+    engine instead of hanging; ``spent`` records what was consumed.
+    """
+
+    def __init__(self, message, spent=None):
+        super().__init__(message)
+        self.spent = spent or {}
 
 
 class TranslationFault(HypervisorError):

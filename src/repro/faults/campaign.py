@@ -1,0 +1,485 @@
+"""Campaign drivers: sweep every fault site × every step of every hypercall.
+
+The crash-step campaign is the executable form of the robustness claim:
+*a hypercall that fails at any step leaves the monitor exactly where it
+started, with all Sec. 5.2 invariant families intact*.  The driver
+
+1. dry-runs each hypercall of a workload under a record-only
+   :class:`~repro.faults.plane.FaultPlane` to count how often each
+   injection site is reached (the injectable step indices),
+2. then, for every ``(hypercall, site, step)`` triple, rebuilds the
+   world deterministically, arms one fault, runs the hypercall, and
+   checks three things: the typed abort surfaced
+   (:class:`~repro.errors.HypercallAborted`), the state digest equals
+   the pre-hypercall digest (rollback), and
+   :func:`repro.security.invariants.check_all_invariants` is all green.
+
+Running the same campaign against the deliberately broken
+``NonTransactionalMonitor`` produces failures — which is what makes the
+all-green run on the real monitor evidence rather than vacuity.
+
+The bit-flip campaign is the other half of hostile-environment
+robustness: arbitrary single-bit corruption of *untrusted* memory must
+never disturb any invariant family, because no secure state is ever
+derived from untrusted bytes.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultInjected, HypercallAborted, ReproError
+from repro.faults.plane import (
+    EXHAUST,
+    RAISE,
+    SITE_EPCM_ALLOC,
+    SITE_FRAME_ALLOC,
+    SITE_PHYS_WRITE,
+    FaultPlane,
+    installed,
+)
+
+DEFAULT_SITES = (SITE_FRAME_ALLOC, SITE_EPCM_ALLOC, SITE_PHYS_WRITE)
+
+# Allocator sites are injected as typed exhaustion (the organic failure
+# they model); everything else as a raw injected fault.
+_KIND_FOR_SITE = {SITE_FRAME_ALLOC: EXHAUST, SITE_EPCM_ALLOC: EXHAUST}
+
+
+def hypercall_site(name: str) -> str:
+    """The crash-point site name of hypercall ``name`` (e.g. ``add_page``)."""
+    return f"hc.{name}"
+
+
+@dataclass
+class RunRecord:
+    """One faulted execution of one hypercall."""
+
+    hypercall: str
+    site: str
+    step: int
+    kind: str
+    outcome: str                      # aborted | completed | escaped:<type>
+    fired: bool
+    rolled_back: Optional[bool]       # None when rollback is not expected
+    invariants_ok: bool
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Did this run behave exactly as the robustness claim demands?"""
+        if not self.invariants_ok:
+            return False
+        if not self.fired:
+            return self.outcome == "completed"
+        if self.rolled_back is None:
+            # Injections without abort semantics (bit flips): green means
+            # the run completed and the sweep stayed clean.
+            return self.outcome == "completed"
+        return self.outcome == "aborted" and self.rolled_back
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of a fault campaign."""
+
+    seed: int = 0
+    runs: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def faults_injected(self):
+        return sum(1 for run in self.runs if run.fired)
+
+    @property
+    def rollbacks_verified(self):
+        return sum(1 for run in self.runs if run.fired and run.rolled_back)
+
+    @property
+    def invariant_sweeps_passed(self):
+        return sum(1 for run in self.runs if run.invariants_ok)
+
+    def failures(self) -> List[RunRecord]:
+        return [run for run in self.runs if not run.ok]
+
+    @property
+    def ok(self):
+        return not self.failures()
+
+    def by_hypercall_site(self) -> Dict[Tuple[str, str], List[RunRecord]]:
+        """Runs grouped by ``(hypercall, site)`` for tabular rendering."""
+        grouped: Dict[Tuple[str, str], List[RunRecord]] = {}
+        for run in self.runs:
+            grouped.setdefault((run.hypercall, run.site), []).append(run)
+        return grouped
+
+    def render(self, title="Crash-step fault-injection campaign") -> str:
+        """A per-(hypercall, site) table plus one summary line."""
+        from repro.reporting import render_table
+        rows = []
+        for (hypercall, site), runs in sorted(
+                self.by_hypercall_site().items()):
+            rows.append([
+                hypercall, site, len(runs),
+                sum(1 for r in runs if r.fired),
+                sum(1 for r in runs if r.fired and r.rolled_back),
+                sum(1 for r in runs if r.invariants_ok),
+                "ok" if all(r.ok for r in runs) else "FAIL",
+            ])
+        table = render_table(
+            ["hypercall", "site", "steps", "injected", "rolled back",
+             "sweeps green", "verdict"],
+            rows, title=title)
+        summary = (f"total: {len(self.runs)} faulted runs, "
+                   f"{self.faults_injected} faults injected, "
+                   f"{self.rollbacks_verified} rollbacks verified, "
+                   f"{self.invariant_sweeps_passed} invariant sweeps "
+                   f"passed, {len(self.failures())} failures "
+                   f"(seed={self.seed})")
+        return table + "\n" + summary
+
+
+# ---------------------------------------------------------------------------
+# Workloads: (name, invoke) pairs over a deterministic world factory
+# ---------------------------------------------------------------------------
+
+
+def default_world_factory(config=None):
+    """A deterministic ``() -> (monitor, ctx)`` factory over TINY.
+
+    ``ctx`` carries the workload's shared addresses (mbuf, source page,
+    ELRANGE) plus whatever the calls stash (the enclave id).
+    """
+    from repro.hyperenclave.constants import TINY
+    from repro.hyperenclave.monitor import RustMonitor
+
+    config = config or TINY
+
+    def factory():
+        monitor = RustMonitor(config)
+        primary_os = monitor.primary_os
+        page = config.page_size
+        ctx = {
+            "page": page,
+            "mbuf_pa": config.frame_base(primary_os.reserve_data_frame()),
+            "src_pa": config.frame_base(primary_os.reserve_data_frame()),
+            "elrange_base": 16 * page,
+        }
+        primary_os.gpa_write_word(ctx["src_pa"], 0xDEAD)
+        return monitor, ctx
+
+    return factory
+
+
+def default_workload() -> List[Tuple[str, Callable]]:
+    """The full-lifecycle workload: every hypercall appears at least once.
+
+    create → add → remove → add → init → aug → enter → exit → destroy,
+    so the sweep exercises every crash point of every hypercall from a
+    state where it actually mutates something.
+    """
+    def create(monitor, ctx):
+        ctx["eid"] = monitor.hc_create(
+            elrange_base=ctx["elrange_base"],
+            elrange_size=4 * ctx["page"],
+            mbuf_va=12 * ctx["page"], mbuf_pa=ctx["mbuf_pa"],
+            mbuf_size=ctx["page"])
+
+    return [
+        ("create", create),
+        ("add_page", lambda m, c: m.hc_add_page(
+            c["eid"], c["elrange_base"], c["src_pa"])),
+        ("remove_page", lambda m, c: m.hc_remove_page(
+            c["eid"], c["elrange_base"])),
+        ("add_page", lambda m, c: m.hc_add_page(
+            c["eid"], c["elrange_base"], c["src_pa"])),
+        ("init", lambda m, c: m.hc_init(c["eid"])),
+        ("aug_page", lambda m, c: m.hc_aug_page(
+            c["eid"], c["elrange_base"] + c["page"])),
+        ("enter", lambda m, c: m.hc_enter(c["eid"])),
+        ("exit", lambda m, c: m.hc_exit(c["eid"])),
+        ("destroy", lambda m, c: m.hc_destroy(c["eid"])),
+    ]
+
+
+def _world_at(world_factory, calls, upto):
+    """A fresh world with ``calls[:upto]`` already applied cleanly."""
+    monitor, ctx = world_factory()
+    for _name, invoke in calls[:upto]:
+        invoke(monitor, ctx)
+    return monitor, ctx
+
+
+def enumerate_injectable_steps(world_factory, calls,
+                               sites: Sequence[str] = DEFAULT_SITES
+                               ) -> List[Dict[str, int]]:
+    """Dry-run each call under a record-only plane; hit counts per site.
+
+    Entry ``i`` of the result maps every reached site (the shared sites
+    plus the call's own ``hc.<name>`` crash points) to how many times
+    the executing hypercall passed through it — the sweepable step
+    indices.
+    """
+    per_call = []
+    for index, (name, invoke) in enumerate(calls):
+        monitor, ctx = _world_at(world_factory, calls, index)
+        plane = FaultPlane(record_only=True)
+        with installed(plane):
+            invoke(monitor, ctx)
+        reached = {}
+        for site in tuple(sites) + (hypercall_site(name),):
+            hits = plane.counts.get(site, 0)
+            if hits:
+                reached[site] = hits
+        per_call.append(reached)
+    return per_call
+
+
+def crash_step_campaign(world_factory, calls, *,
+                        sites: Sequence[str] = DEFAULT_SITES,
+                        seed=0) -> CampaignReport:
+    """Sweep every fault site × every step index of every hypercall.
+
+    ``world_factory() -> (monitor, ctx)`` must be deterministic;
+    ``calls`` is an ordered workload of ``(name, invoke)`` pairs where
+    ``invoke(monitor, ctx)`` performs exactly one hypercall.
+    """
+    from repro.hyperenclave.txn import monitor_digest
+    from repro.security.invariants import check_all_invariants
+
+    report = CampaignReport(seed=seed)
+    step_table = enumerate_injectable_steps(world_factory, calls, sites)
+    for index, (name, invoke) in enumerate(calls):
+        for site, hits in sorted(step_table[index].items()):
+            kind = _KIND_FOR_SITE.get(site, RAISE)
+            for step in range(hits):
+                monitor, ctx = _world_at(world_factory, calls, index)
+                pre_digest = monitor_digest(monitor)
+                plane = FaultPlane(seed=seed)
+                plane.arm(site, index=step, kind=kind)
+                outcome, detail = "completed", ""
+                with installed(plane):
+                    try:
+                        invoke(monitor, ctx)
+                    except HypercallAborted as exc:
+                        outcome, detail = "aborted", str(exc.cause)
+                    except (FaultInjected, ReproError) as exc:
+                        # A fault that escapes the transactional wrapper
+                        # raw — the non-transactional signature.
+                        outcome = f"escaped:{type(exc).__name__}"
+                        detail = str(exc)
+                rolled_back = monitor_digest(monitor) == pre_digest
+                invariants_ok = check_all_invariants(monitor).ok
+                report.runs.append(RunRecord(
+                    hypercall=name, site=site, step=step, kind=kind,
+                    outcome=outcome, fired=bool(plane.fired),
+                    rolled_back=rolled_back, invariants_ok=invariants_ok,
+                    detail=detail))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Untrusted-memory bit flips
+# ---------------------------------------------------------------------------
+
+
+def bitflip_campaign(world_factory, calls=(), *, flips=64,
+                     seed=0) -> CampaignReport:
+    """Flip seed-chosen bits in untrusted memory; invariants must hold.
+
+    No Sec. 5.2 invariant family may depend on a single byte of
+    untrusted memory, so arbitrary corruption there (rowhammer, a
+    hostile OS scribbling over its own RAM) must leave every sweep
+    green — and must never crash a checker.  ``calls`` (a workload
+    prefix) runs first so the flips land next to a *live* enclave
+    rather than an empty monitor.
+    """
+    from repro.hyperenclave.constants import WORD_BYTES
+    from repro.security.invariants import check_all_invariants
+
+    monitor, _ctx = _world_at(world_factory, list(calls), len(calls))
+    rng = random.Random(f"bitflip:{seed}")
+    config = monitor.config
+    report = CampaignReport(seed=seed)
+    for index in range(flips):
+        frame = rng.randrange(monitor.layout.secure_base)
+        word = rng.randrange(config.words_per_page)
+        bit = rng.randrange(64)
+        paddr = config.frame_base(frame) + word * WORD_BYTES
+        monitor.phys.write_word(paddr,
+                                monitor.phys.read_word(paddr) ^ (1 << bit))
+        invariants_ok = check_all_invariants(monitor).ok
+        report.runs.append(RunRecord(
+            hypercall="-", site="phys.bitflip-untrusted", step=index,
+            kind="flip", outcome="completed", fired=True,
+            rolled_back=None, invariants_ok=invariants_ok,
+            detail=f"frame {frame} word {word} bit {bit}"))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Crash-step noninterference
+# ---------------------------------------------------------------------------
+
+
+def default_two_worlds(config=None, secrets=(41, 42)):
+    """A deterministic ``() -> (worlds, eid)`` factory for NI campaigns.
+
+    Two booted monitors differing only in one word of an enclave's
+    initial memory (the paper's 41-vs-42 construction), each wrapped in
+    a :class:`~repro.security.state.SystemState` with a seeded data
+    oracle, paired into :class:`~repro.security.noninterference.TwoWorlds`.
+    """
+    from repro.hyperenclave.constants import TINY
+    from repro.hyperenclave.monitor import RustMonitor
+    from repro.security.noninterference import TwoWorlds
+    from repro.security.oracle import DataOracle
+    from repro.security.state import SystemState
+
+    config = config or TINY
+
+    def factory():
+        def one(secret):
+            monitor = RustMonitor(config)
+            primary_os = monitor.primary_os
+            primary_os.spawn_app(1)
+            page = config.page_size
+            mbuf_pa = config.frame_base(primary_os.reserve_data_frame())
+            src_pa = config.frame_base(primary_os.reserve_data_frame())
+            primary_os.gpa_write_word(src_pa, secret)
+            eid = monitor.hc_create(16 * page, 4 * page, 12 * page,
+                                    mbuf_pa, page)
+            monitor.hc_add_page(eid, 16 * page, src_pa)
+            primary_os.gpa_write_word(src_pa, 0)
+            monitor.hc_init(eid)
+            return SystemState(monitor, DataOracle.seeded(13)), eid
+        world_a, eid = one(secrets[0])
+        world_b, _eid = one(secrets[1])
+        return TwoWorlds(world_a, world_b), eid
+
+    return factory
+
+
+def default_ni_trace(eid, page_size):
+    """An enclave session around every faultable lifecycle hypercall.
+
+    Steps are transition-system :class:`~repro.security.transitions.Step`
+    values (or ``(step_a, step_b)`` pairs for secret-touching moves
+    inside the enclave); hypercall steps are the fault targets.
+    """
+    from repro.hyperenclave.monitor import HOST_ID
+    from repro.security.transitions import Hypercall, MemLoad
+
+    return [
+        Hypercall(HOST_ID, "enter", (eid,)),
+        (MemLoad(eid, 16 * page_size, "rax"),
+         MemLoad(eid, 16 * page_size, "rax")),
+        (Hypercall(eid, "exit", (eid,)), Hypercall(eid, "exit", (eid,))),
+        Hypercall(HOST_ID, "aug_page", (eid, 17 * page_size)),
+        Hypercall(HOST_ID, "enter", (eid,)),
+        (Hypercall(eid, "exit", (eid,)), Hypercall(eid, "exit", (eid,))),
+        Hypercall(HOST_ID, "destroy", (eid,)),
+    ]
+
+
+def _split(item):
+    if isinstance(item, tuple) and len(item) == 2:
+        return item
+    return item, item
+
+
+def _apply_tolerant(state, step):
+    """Apply one step; schedule violations after an aborted hypercall
+    (e.g. enclave moves after a crashed ``enter``) become no-op skips."""
+    from repro.errors import SecurityError
+    from repro.security.transitions import apply_step
+    try:
+        return apply_step(state, step).applied
+    except SecurityError:
+        return None
+
+
+def crash_ni_campaign(two_worlds_factory=None, trace=None, *,
+                      sites: Sequence[str] = DEFAULT_SITES,
+                      observers=None, seed=0) -> CampaignReport:
+    """The crash-step noninterference campaign (on top of Lemmas 5.2-5.4).
+
+    The step-wise lemmas quantify over *completed* transitions; this
+    campaign quantifies over *crashed* ones: for every hypercall step of
+    a two-world trace and every injectable fault site/step index, the
+    same fault is injected into both worlds (identical seeded planes,
+    one per world so hit counting stays symmetric), and the observers
+    must remain unable to distinguish the worlds — right after the
+    rolled-back hypercall and through the whole remaining trace.  A
+    crash that opened a distinguishing channel (partial mutations
+    visible to the host, an asymmetric abort) is a violation.
+    """
+    from repro.hyperenclave.monitor import HOST_ID
+    from repro.security.transitions import Hypercall
+
+    factory = two_worlds_factory or default_two_worlds()
+    worlds_probe, eid = factory()
+    observers = list(observers) if observers is not None else [HOST_ID]
+    if trace is None:
+        trace = default_ni_trace(
+            eid, worlds_probe.a.monitor.config.page_size)
+
+    report = CampaignReport(seed=seed)
+    for index, item in enumerate(trace):
+        step_a, _step_b = _split(item)
+        if not isinstance(step_a, Hypercall):
+            continue
+        # Reach the prefix state freshly, then count this step's hits.
+        worlds, _eid = factory()
+        for prior in trace[:index]:
+            pa, pb = _split(prior)
+            _apply_tolerant(worlds.a, pa)
+            _apply_tolerant(worlds.b, pb)
+        probe = worlds.a.clone()
+        recorder = FaultPlane(record_only=True)
+        with installed(recorder):
+            _apply_tolerant(probe, step_a)
+        reached = {}
+        for site in tuple(sites) + (hypercall_site(step_a.name),):
+            if recorder.counts.get(site, 0):
+                reached[site] = recorder.counts[site]
+        for site, hits in sorted(reached.items()):
+            kind = _KIND_FOR_SITE.get(site, RAISE)
+            for step in range(hits):
+                state_a = worlds.a.clone()
+                state_b = worlds.b.clone()
+                plane_a = FaultPlane(seed=seed).arm(site, index=step,
+                                                    kind=kind)
+                plane_b = FaultPlane(seed=seed).arm(site, index=step,
+                                                    kind=kind)
+                sa, sb = _split(item)
+                with installed(plane_a):
+                    applied_a = _apply_tolerant(state_a, sa)
+                with installed(plane_b):
+                    applied_b = _apply_tolerant(state_b, sb)
+                fired = bool(plane_a.fired)
+                symmetric = applied_a == applied_b and \
+                    bool(plane_a.fired) == bool(plane_b.fired)
+                indistinguishable = True
+                from repro.security.noninterference import (
+                    indistinguishable as indist)
+                for observer in observers:
+                    if not indist(state_a, state_b, observer):
+                        indistinguishable = False
+                # Drain the rest of the trace; every suffix step must
+                # keep the worlds indistinguishable too.
+                for later in trace[index + 1:]:
+                    la, lb = _split(later)
+                    ra = _apply_tolerant(state_a, la)
+                    rb = _apply_tolerant(state_b, lb)
+                    symmetric = symmetric and (ra == rb)
+                    for observer in observers:
+                        if not indist(state_a, state_b, observer):
+                            indistinguishable = False
+                outcome = "aborted" if fired else "completed"
+                report.runs.append(RunRecord(
+                    hypercall=step_a.name, site=site, step=step,
+                    kind=kind, outcome=outcome, fired=fired,
+                    rolled_back=symmetric if fired else None,
+                    invariants_ok=indistinguishable,
+                    detail=f"trace step {index}"))
+    return report

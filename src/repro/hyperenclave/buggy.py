@@ -27,6 +27,10 @@ one tempting shortcut, reproducing the paper's negative examples:
   structural invariants cannot).
 * :class:`NoScrubMonitor` — destroys enclaves without scrubbing their
   EPC pages, leaking secrets to the next owner.
+* :class:`NonTransactionalMonitor` — runs every hypercall without the
+  snapshot-rollback transaction, so a mid-hypercall failure strands
+  partial mutations (the pre-transactional monitor; caught by the
+  crash-step fault campaign rather than by any single invariant).
 
 All variants keep the full hypercall surface so identical workloads run
 against them.
@@ -400,3 +404,30 @@ class NoScrubMonitor(RustMonitor):
             self.pt_allocator.dealloc(frame)
         enclave.state = EnclaveState.DESTROYED
         del self.enclaves[eid]
+
+
+@_register
+class NonTransactionalMonitor(RustMonitor):
+    """Runs every hypercall body without the snapshot-rollback wrapper.
+
+    This is the monitor as it was before crash consistency: correct on
+    every *successful* hypercall (all structural invariants hold, all
+    refinement checks pass), but a failure halfway through ``hc_add_page``
+    strands an EPCM entry nothing points at, or a GPT mapping with no
+    EPT translation behind it.  No single-state invariant sweep over
+    successful traces can see the difference — only the crash-step fault
+    campaign does, which is what makes the campaign's all-green run on
+    the real monitor evidence rather than vacuity.
+    """
+
+    BUG = "no-rollback-on-fault"
+
+    # The undecorated bodies, reachable via functools.wraps.
+    hc_create = RustMonitor.hc_create.__wrapped__
+    hc_add_page = RustMonitor.hc_add_page.__wrapped__
+    hc_aug_page = RustMonitor.hc_aug_page.__wrapped__
+    hc_remove_page = RustMonitor.hc_remove_page.__wrapped__
+    hc_init = RustMonitor.hc_init.__wrapped__
+    hc_enter = RustMonitor.hc_enter.__wrapped__
+    hc_exit = RustMonitor.hc_exit.__wrapped__
+    hc_destroy = RustMonitor.hc_destroy.__wrapped__

@@ -15,7 +15,8 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.errors import EpcmError
+from repro.errors import EpcExhausted, EpcmError
+from repro.faults import plane as faults
 
 
 class PageState(enum.Enum):
@@ -77,14 +78,21 @@ class Epcm:
     # -- state transitions ----------------------------------------------------------
 
     def allocate(self, eid, state, va=None) -> int:
-        """Claim the lowest free EPC frame for enclave ``eid``."""
+        """Claim the lowest free EPC frame for enclave ``eid``.
+
+        Exhaustion (organic, or injected via the ``epcm.allocate``
+        site) raises the typed :class:`~repro.errors.EpcExhausted`.
+        """
+        faults.allocation_gate(
+            faults.SITE_EPCM_ALLOC,
+            exhaust=lambda: EpcExhausted("EPC exhausted (injected)"))
         for index, entry in enumerate(self._entries):
             if entry.is_free():
                 entry.state = state
                 entry.owner = eid
                 entry.va = va
                 return self.layout.epc_base + index
-        raise EpcmError("EPC exhausted")
+        raise EpcExhausted("EPC exhausted")
 
     def record(self, frame, eid, state, va=None):
         """Claim a *specific* free frame (used when the caller has
@@ -119,3 +127,9 @@ class Epcm:
 
     def snapshot(self):
         return tuple(e.snapshot() for e in self._entries)
+
+    def load_snapshot(self, snapshot):
+        """Restore the entry array captured by :meth:`snapshot`."""
+        self._entries = [
+            EpcmEntry(state=PageState(state), owner=owner, va=va)
+            for state, owner, va in snapshot]

@@ -10,6 +10,7 @@ lowest non-trusted layer: its MIR transcription is verified against the
 from typing import Iterable, Optional
 
 from repro.errors import OutOfMemoryError, HypervisorError
+from repro.faults import plane as faults
 
 
 class BitmapFrameAllocator:
@@ -50,7 +51,18 @@ class BitmapFrameAllocator:
     # -- operations ------------------------------------------------------------------
 
     def alloc(self) -> int:
-        """Allocate the lowest free frame."""
+        """Allocate the lowest free frame.
+
+        Exhaustion — organic or injected through the ``frames.alloc``
+        fault site — always raises the typed
+        :class:`~repro.errors.OutOfMemoryError` (a
+        :class:`~repro.errors.ResourceExhausted`), never an untyped
+        failure: callers rely on the type to roll back cleanly.
+        """
+        faults.allocation_gate(
+            faults.SITE_FRAME_ALLOC,
+            exhaust=lambda: OutOfMemoryError(
+                "page-table frame pool exhausted (injected)"))
         for index, used in enumerate(self._used):
             if not used:
                 self._used[index] = True
@@ -79,3 +91,11 @@ class BitmapFrameAllocator:
     def snapshot(self):
         """Immutable allocation bitmap (for abstract states)."""
         return tuple(self._used)
+
+    def load_snapshot(self, bitmap):
+        """Restore a bitmap captured by :meth:`snapshot`."""
+        if len(bitmap) != self.size:
+            raise HypervisorError(
+                f"snapshot covers {len(bitmap)} frames, pool has "
+                f"{self.size}")
+        self._used = list(bitmap)

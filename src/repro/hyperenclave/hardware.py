@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.errors import HypervisorError
+from repro.faults import plane as faults
 from repro.hyperenclave.constants import WORD_BYTES
 
 
@@ -37,8 +38,14 @@ class PhysMemory:
         return self._words.get(self._word_index(paddr), 0)
 
     def write_word(self, paddr, value):
-        """Write the 64-bit word at byte address ``paddr``."""
+        """Write the 64-bit word at byte address ``paddr``.
+
+        Fault-injection sites ``phys.write`` (the write faults) and
+        ``phys.flip`` (in-flight bit corruption) live here; without an
+        installed plane the hook is a single ``None`` test.
+        """
         index = self._word_index(paddr)
+        value = faults.filter_write(paddr, value)
         masked = value & ((1 << 64) - 1)
         if masked == 0:
             self._words.pop(index, None)
@@ -62,11 +69,17 @@ class PhysMemory:
             self._words.pop(base + offset, None)
 
     def copy_frame(self, dst_frame, src_frame):
-        """Copy a whole frame (zeros included)."""
+        """Copy a whole frame (zeros included).
+
+        Each destination word goes through the same fault sites as
+        :meth:`write_word`, so the EADD frame copy is injectable
+        word-by-word.
+        """
         dst = self.config.frame_base(dst_frame) // WORD_BYTES
         src = self.config.frame_base(src_frame) // WORD_BYTES
         for offset in range(self.config.words_per_page):
             value = self._words.get(src + offset, 0)
+            value = faults.filter_write((dst + offset) * WORD_BYTES, value)
             if value == 0:
                 self._words.pop(dst + offset, None)
             else:
@@ -101,6 +114,13 @@ class PhysMemory:
     def load_snapshot(self, items):
         self._words = dict(items)
 
+    def checkpoint(self):
+        """Cheap mutable checkpoint (unsorted) for transactional rollback."""
+        return dict(self._words)
+
+    def restore_checkpoint(self, checkpoint):
+        self._words = dict(checkpoint)
+
     def __len__(self):
         return self._capacity
 
@@ -133,6 +153,16 @@ class Tlb:
         """Drop every entry (the world-switch flush)."""
         self._entries.clear()
         self.flush_count += 1
+
+    def snapshot(self):
+        """(entries, flush_count) as an immutable value."""
+        return (tuple(sorted(self._entries.items())), self.flush_count)
+
+    def load_snapshot(self, snapshot):
+        """Restore a :meth:`snapshot` (transactional rollback)."""
+        entries, flush_count = snapshot
+        self._entries = dict(entries)
+        self.flush_count = flush_count
 
     def __len__(self):
         return len(self._entries)

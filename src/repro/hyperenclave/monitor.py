@@ -12,12 +12,22 @@ Every validation rule in the hypercalls exists to uphold a Sec. 5.2
 invariant; the buggy variants in :mod:`repro.hyperenclave.buggy` each
 delete exactly one rule, and the benches watch the corresponding
 invariant checker catch it.
+
+Every hypercall is **transactional** (see :mod:`repro.hyperenclave.txn`):
+a failure at any step — validation, resource exhaustion, or an injected
+fault — rolls the monitor back to its pre-hypercall state before
+re-raising, so the Sec. 5.2 invariants are preserved by *failed*
+hypercalls too, not just successful ones.  The ``faults.crash_point``
+calls between mutations are the named abort-at-step-k injection sites
+the crash-step campaign sweeps.
 """
 
 from typing import Dict, Optional
 
 from repro.errors import HypercallError, TranslationFault
+from repro.faults import plane as faults
 from repro.hyperenclave import pte
+from repro.hyperenclave.txn import transactional
 from repro.hyperenclave.constants import MemoryLayout, WORD_BYTES
 from repro.hyperenclave.enclave import Enclave, EnclaveState
 from repro.hyperenclave.epcm import Epcm, PageState
@@ -81,6 +91,7 @@ class RustMonitor:
 
     # -- hypercalls ------------------------------------------------------------------
 
+    @transactional
     def hc_create(self, elrange_base, elrange_size, mbuf_va, mbuf_pa,
                   mbuf_size) -> int:
         """ECREATE: establish a new enclave with empty page tables.
@@ -111,6 +122,7 @@ class RustMonitor:
                     f"untrusted memory")
         eid = self._next_eid
         self._next_eid += 1
+        faults.crash_point("hc.create", "validated")
         gpt = PageTable(config, self.phys, self.pt_allocator,
                         allow_huge=False, name=f"enc{eid}-gpt")
         ept = PageTable(config, self.phys, self.pt_allocator,
@@ -118,17 +130,21 @@ class RustMonitor:
         enclave = Enclave(eid=eid, elrange_base=elrange_base,
                           elrange_size=elrange_size, mbuf=mbuf,
                           gpt=gpt, ept=ept, gpa_base=elrange_base)
+        faults.crash_point("hc.create", "tables-built")
         # SECS bookkeeping page.
         self.epcm.allocate(eid, PageState.SECS)
+        faults.crash_point("hc.create", "secs-allocated")
         # Fix the marshalling-buffer mappings for the enclave's lifetime:
         # GVA -> GPA (identity into untrusted space) -> HPA (identity).
         for va_page, pa_page in mbuf.pages(config):
             gpt.map_page(va_page, pa_page, pte.leaf_flags())
             if ept.query(pa_page) is None:
                 ept.map_page(pa_page, pa_page, pte.leaf_flags())
+        faults.crash_point("hc.create", "mbuf-mapped")
         self.enclaves[eid] = enclave
         return eid
 
+    @transactional
     def hc_add_page(self, eid, va, src_gpa) -> int:
         """EADD: copy one source page from untrusted memory into a fresh
         EPC page and map it at ``va`` in the enclave.  Returns the EPC
@@ -150,16 +166,22 @@ class RustMonitor:
         except TranslationFault:
             raise HypercallError(
                 f"source page {src_gpa:#x} is not mapped for the OS")
+        faults.crash_point("hc.add_page", "validated")
         frame = self.epcm.allocate(eid, PageState.REG, va=va)
+        faults.crash_point("hc.add_page", "epcm-allocated")
         dst_frame = frame
         self.phys.copy_frame(dst_frame, config.frame_of(src_hpa))
+        faults.crash_point("hc.add_page", "frame-copied")
         gpa = enclave.elrange_gpa(va)
         enclave.gpt.map_page(va, gpa, pte.leaf_flags())
+        faults.crash_point("hc.add_page", "gpt-mapped")
         enclave.ept.map_page(gpa, config.frame_base(dst_frame),
                              pte.leaf_flags())
+        faults.crash_point("hc.add_page", "ept-mapped")
         enclave.absorb_measurement(va, self.phys.frame_words(dst_frame))
         return frame
 
+    @transactional
     def hc_aug_page(self, eid, va) -> int:
         """EAUG: add a fresh EPC page to an *initialized* enclave.
 
@@ -179,12 +201,15 @@ class RustMonitor:
         if enclave.gpt.query(va) is not None:
             raise HypercallError(f"va {va:#x} already mapped")
         frame = self.epcm.allocate(eid, PageState.REG, va=va)
+        faults.crash_point("hc.aug_page", "epcm-allocated")
         gpa = enclave.elrange_gpa(va)
         enclave.gpt.map_page(va, gpa, pte.leaf_flags())
+        faults.crash_point("hc.aug_page", "gpt-mapped")
         enclave.ept.map_page(gpa, self.config.frame_base(frame),
                              pte.leaf_flags())
         return frame
 
+    @transactional
     def hc_remove_page(self, eid, va):
         """EREMOVE: take one REG page back out of a *pre-init* enclave.
 
@@ -202,18 +227,24 @@ class RustMonitor:
                 f"no EPC page recorded at va {va:#x} for enclave {eid}")
         gpa = enclave.elrange_gpa(va)
         enclave.gpt.unmap(va)
+        faults.crash_point("hc.remove_page", "gpt-unmapped")
         enclave.ept.unmap(gpa)
+        faults.crash_point("hc.remove_page", "ept-unmapped")
         self.phys.zero_frame(frame)
+        faults.crash_point("hc.remove_page", "frame-scrubbed")
         self.epcm.release(frame, eid)
         self.tlb.flush_all()
         return frame
 
+    @transactional
     def hc_init(self, eid):
         """EINIT: freeze the memory layout; the enclave becomes enterable."""
         enclave = self._enclave(eid)
         enclave.require_state(EnclaveState.CREATED)
+        faults.crash_point("hc.init", "pre-commit")
         enclave.state = EnclaveState.INITIALIZED
 
+    @transactional
     def hc_enter(self, eid):
         """Synchronous enclave entry: save host context, install the
         enclave's GPT/EPT roots, flush the TLB (Sec. 2.1)."""
@@ -227,12 +258,15 @@ class RustMonitor:
         else:
             self.vcpu.restore(tuple((name, 0) for name, _ in
                                     self.vcpu.context()))
+        faults.crash_point("hc.enter", "context-saved")
         self.vcpu.gpt_root = enclave.gpt.root_frame
         self.vcpu.ept_root = enclave.ept.root_frame
         self.tlb.flush_all()
+        faults.crash_point("hc.enter", "roots-installed")
         enclave.state = EnclaveState.RUNNING
         self.active = eid
 
+    @transactional
     def hc_exit(self, eid):
         """Enclave exit: save enclave context, restore the host world."""
         enclave = self._enclave(eid)
@@ -240,13 +274,16 @@ class RustMonitor:
         if self.active != eid:
             raise HypercallError("exit from a non-active enclave")
         enclave.saved_context = self.vcpu.context()
+        faults.crash_point("hc.exit", "context-saved")
         self.vcpu.restore(self.saved_host_context)
         self.vcpu.gpt_root = None
         self.vcpu.ept_root = self.os_ept.root_frame
         self.tlb.flush_all()
+        faults.crash_point("hc.exit", "host-restored")
         enclave.state = EnclaveState.INITIALIZED
         self.active = HOST_ID
 
+    @transactional
     def hc_destroy(self, eid):
         """Tear down an enclave: scrub and release its EPC pages and
         page-table frames."""
@@ -255,13 +292,17 @@ class RustMonitor:
                               EnclaveState.INITIALIZED)
         for frame, entry in self.epcm.owned_by(eid):
             self.phys.zero_frame(frame)
+        faults.crash_point("hc.destroy", "pages-scrubbed")
         self.epcm.release_all(eid)
+        faults.crash_point("hc.destroy", "epcm-released")
         for frame in enclave.gpt.table_frames():
             self.phys.zero_frame(frame)
             self.pt_allocator.dealloc(frame)
+        faults.crash_point("hc.destroy", "gpt-freed")
         for frame in enclave.ept.table_frames():
             self.phys.zero_frame(frame)
             self.pt_allocator.dealloc(frame)
+        faults.crash_point("hc.destroy", "ept-freed")
         self.tlb.flush_all()  # its translations die with it
         enclave.state = EnclaveState.DESTROYED
         del self.enclaves[eid]

@@ -20,7 +20,8 @@ addresses.
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.errors import PagingError, TranslationFault
+from repro.errors import PagingError, ReproError, TranslationFault
+from repro.faults import plane as faults
 from repro.hyperenclave import pte
 from repro.hyperenclave.constants import WORD_BYTES
 
@@ -101,9 +102,14 @@ class PageTable:
             frame = pte.pte_frame(entry, self.config)
         raise PagingError("walk fell off the table hierarchy")  # unreachable
 
-    def _get_or_create_table(self, frame, level, va):
+    def _get_or_create_table(self, frame, level, va, created=None):
         """Layer 6: follow one level, allocating a zeroed intermediate
-        table when the entry is empty."""
+        table when the entry is empty.
+
+        ``created`` (when given) records ``(parent_frame, index,
+        new_frame)`` for every table allocated here, so a failing
+        caller can unwind them instead of leaking pool frames.
+        """
         index = self.config.entry_index(va, level)
         entry = self.read_entry(frame, index)
         if pte.pte_is_present(entry):
@@ -113,30 +119,61 @@ class PageTable:
                     f"mapping va={va:#x}")
             return pte.pte_frame(entry, self.config)
         new_frame = self.allocator.alloc()
+        # Record before the parent-entry write: if that write faults,
+        # the frame is already allocated and must be unwound too.
+        if created is not None:
+            created.append((frame, index, new_frame))
         self.phys.zero_frame(new_frame)
         new_entry = pte.pte_new(self.config.frame_base(new_frame),
                                 pte.table_flags(), self.config)
         self.write_entry(frame, index, new_entry)
         return new_frame
 
+    def _unwind_created(self, created):
+        """Give back intermediate tables allocated by a failed mapping.
+
+        Unwinds in reverse (children before parents): clear the parent
+        entry, scrub the frame, return it to the pool.  Runs with the
+        fault plane suspended — recovery must not itself be faultable,
+        or a ``phys.write`` injection could make the leak unfixable.
+        """
+        with faults.suspended():
+            for parent_frame, index, new_frame in reversed(created):
+                self.write_entry(parent_frame, index, pte.pte_empty())
+                self.phys.zero_frame(new_frame)
+                self.allocator.dealloc(new_frame)
+
     # -- mapping (layer 7) -----------------------------------------------------------------
 
     def map_page(self, va, paddr, flags):
-        """Install a level-1 mapping ``va -> paddr`` with ``flags``."""
+        """Install a level-1 mapping ``va -> paddr`` with ``flags``.
+
+        Atomic in the frame pool: if any step fails after intermediate
+        tables were allocated (pool exhaustion deeper in the walk, a
+        present terminal, an injected write fault), those tables are
+        unwound before the error propagates — a failed ``map_page``
+        never consumes frames.
+        """
         va = self.config.canonical_va(va)
         if self.config.page_offset(va) or self.config.page_offset(paddr):
             raise PagingError(
                 f"{self.name}: unaligned mapping {va:#x} -> {paddr:#x}")
-        frame = self.root_frame
-        for level in range(self.config.levels, 1, -1):
-            frame = self._get_or_create_table(frame, level, va)
-        index = self.config.entry_index(va, 1)
-        existing = self.read_entry(frame, index)
-        if pte.pte_is_present(existing):
-            raise PagingError(
-                f"{self.name}: va {va:#x} is already mapped")
-        self.write_entry(frame, index,
-                         pte.pte_new(paddr, flags, self.config))
+        created = []
+        try:
+            frame = self.root_frame
+            for level in range(self.config.levels, 1, -1):
+                frame = self._get_or_create_table(frame, level, va,
+                                                  created)
+            index = self.config.entry_index(va, 1)
+            existing = self.read_entry(frame, index)
+            if pte.pte_is_present(existing):
+                raise PagingError(
+                    f"{self.name}: va {va:#x} is already mapped")
+            self.write_entry(frame, index,
+                             pte.pte_new(paddr, flags, self.config))
+        except ReproError:
+            self._unwind_created(created)
+            raise
 
     def map_huge(self, va, paddr, level, flags):
         """Install a huge mapping covering ``level_span(level)`` bytes."""
@@ -149,17 +186,24 @@ class PageTable:
         if va % span or paddr % span:
             raise PagingError(
                 f"{self.name}: huge mapping must be {span:#x}-aligned")
-        frame = self.root_frame
-        for walk_level in range(self.config.levels, level, -1):
-            frame = self._get_or_create_table(frame, walk_level, va)
-        index = self.config.entry_index(va, level)
-        existing = self.read_entry(frame, index)
-        if pte.pte_is_present(existing):
-            raise PagingError(f"{self.name}: va {va:#x} is already mapped")
-        self.write_entry(
-            frame, index,
-            pte.pte_new(paddr, flags | pte.leaf_flags(huge=True),
-                        self.config))
+        created = []
+        try:
+            frame = self.root_frame
+            for walk_level in range(self.config.levels, level, -1):
+                frame = self._get_or_create_table(frame, walk_level, va,
+                                                  created)
+            index = self.config.entry_index(va, level)
+            existing = self.read_entry(frame, index)
+            if pte.pte_is_present(existing):
+                raise PagingError(
+                    f"{self.name}: va {va:#x} is already mapped")
+            self.write_entry(
+                frame, index,
+                pte.pte_new(paddr, flags | pte.leaf_flags(huge=True),
+                            self.config))
+        except ReproError:
+            self._unwind_created(created)
+            raise
 
     def unmap(self, va):
         """Remove the terminal mapping covering ``va``.

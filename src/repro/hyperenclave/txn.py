@@ -1,0 +1,159 @@
+"""Crash-consistent hypercalls: snapshot-rollback transactions.
+
+The paper's Sec. 5.2 claim quantifies over *every* hypercall — including
+the ones that die halfway through.  ``hc_add_page`` is five mutations
+long (EPCM allocate, frame copy, GPT map, EPT map, measure); if the
+frame pool runs dry between the GPT map and the EPT map, the naive
+monitor leaves a mapping with no backing translation and an EPCM entry
+nothing points at.  The :func:`transactional` decorator makes every
+hypercall atomic: capture a checkpoint on entry, and on *any* failure —
+validation, resource exhaustion, or an injected fault — restore the
+checkpoint before re-raising, so the observable state machine only ever
+moves in whole hypercalls.
+
+The checkpoint is a value snapshot of everything a hypercall can touch:
+physical memory (which transitively holds every page table), the
+page-table frame allocator bitmap, the EPCM array, the per-enclave
+metadata, the vCPU, the TLB, and the monitor's scalars.  On the
+simulated machine this is cheap (the sparse word store is the dominant
+cost); a real monitor would keep an undo journal instead, but the
+contract is identical and that is what the campaigns verify.
+
+Restoration runs with the fault plane suspended: rolling back must not
+itself trip a ``phys.write`` injection, or the system could never
+recover.
+"""
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    FaultInjected,
+    HypercallAborted,
+    HypercallError,
+    HypervisorError,
+)
+from repro.faults import plane as faults
+
+
+@dataclass
+class MonitorCheckpoint:
+    """A full value snapshot of the mutable monitor state."""
+
+    phys: Dict[int, int]
+    allocator: Tuple[bool, ...]
+    epcm: Tuple
+    enclaves: Dict[int, object]                  # eid -> Enclave (by ref)
+    enclave_meta: Dict[int, Tuple]               # eid -> mutable fields
+    next_eid: int
+    active: int
+    saved_host_context: Optional[Tuple]
+    vcpu_regs: Dict[str, int]
+    vcpu_gpt_root: Optional[int]
+    vcpu_ept_root: Optional[int]
+    tlb: Tuple
+
+
+def capture(monitor) -> MonitorCheckpoint:
+    """Checkpoint everything a hypercall may mutate."""
+    return MonitorCheckpoint(
+        phys=monitor.phys.checkpoint(),
+        allocator=monitor.pt_allocator.snapshot(),
+        epcm=monitor.epcm.snapshot(),
+        enclaves=dict(monitor.enclaves),
+        enclave_meta={
+            eid: (enclave.state, enclave.saved_context,
+                  enclave.measurement)
+            for eid, enclave in monitor.enclaves.items()},
+        next_eid=monitor._next_eid,
+        active=monitor.active,
+        saved_host_context=monitor.saved_host_context,
+        vcpu_regs=dict(monitor.vcpu.regs),
+        vcpu_gpt_root=monitor.vcpu.gpt_root,
+        vcpu_ept_root=monitor.vcpu.ept_root,
+        tlb=monitor.tlb.snapshot(),
+    )
+
+
+def restore(monitor, checkpoint: MonitorCheckpoint):
+    """Rewind the monitor to ``checkpoint`` (undoes partial hypercalls)."""
+    monitor.phys.restore_checkpoint(checkpoint.phys)
+    monitor.pt_allocator.load_snapshot(checkpoint.allocator)
+    monitor.epcm.load_snapshot(checkpoint.epcm)
+    monitor.enclaves.clear()
+    monitor.enclaves.update(checkpoint.enclaves)
+    for eid, (state, saved_context, measurement) in \
+            checkpoint.enclave_meta.items():
+        enclave = monitor.enclaves[eid]
+        enclave.state = state
+        enclave.saved_context = saved_context
+        enclave.measurement = measurement
+    monitor._next_eid = checkpoint.next_eid
+    monitor.active = checkpoint.active
+    monitor.saved_host_context = checkpoint.saved_host_context
+    monitor.vcpu.regs = dict(checkpoint.vcpu_regs)
+    monitor.vcpu.gpt_root = checkpoint.vcpu_gpt_root
+    monitor.vcpu.ept_root = checkpoint.vcpu_ept_root
+    monitor.tlb.load_snapshot(checkpoint.tlb)
+
+
+def monitor_digest(monitor) -> Tuple:
+    """A comparable value of the security-relevant monitor state.
+
+    Two monitors with equal digests are indistinguishable to every
+    invariant checker and to every observation function: physical
+    memory (hence all page tables), allocator bitmap, EPCM, enclave
+    metadata, scheduling scalars, vCPU, and live TLB entries.  The TLB
+    *flush count* is deliberately excluded — it is telemetry, not
+    state.
+    """
+    return (
+        monitor.phys.snapshot(),
+        monitor.pt_allocator.snapshot(),
+        monitor.epcm.snapshot(),
+        tuple(sorted(
+            (eid, enclave.state.value, enclave.measurement,
+             enclave.saved_context, enclave.gpt.root_frame,
+             enclave.ept.root_frame)
+            for eid, enclave in monitor.enclaves.items())),
+        monitor._next_eid,
+        monitor.active,
+        monitor.saved_host_context,
+        monitor.vcpu.context(),
+        monitor.vcpu.gpt_root,
+        monitor.vcpu.ept_root,
+        monitor.tlb.snapshot()[0],
+    )
+
+
+def transactional(fn):
+    """Make one hypercall atomic: any failure rolls back, then re-raises.
+
+    * Validation rejections (:class:`HypercallError`) re-raise as-is —
+      the rollback is a no-op for them, but running it anyway means the
+      guarantee does not depend on validations preceding mutations.
+    * Mid-sequence failures (injected faults, exhausted allocators, any
+      other hypervisor error) re-raise as the typed
+      :class:`HypercallAborted`, chaining the cause.
+
+    The undecorated body stays reachable as ``__wrapped__`` — the
+    deliberately broken ``NonTransactionalMonitor`` uses it, and the
+    fault campaign demonstrates that variant violating rollback.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        checkpoint = capture(self)
+        try:
+            return fn(self, *args, **kwargs)
+        except HypercallError:
+            with faults.suspended():
+                restore(self, checkpoint)
+            raise
+        except (FaultInjected, HypervisorError) as exc:
+            with faults.suspended():
+                restore(self, checkpoint)
+            raise HypercallAborted(fn.__name__, exc) from exc
+
+    return wrapper

@@ -119,12 +119,14 @@ class SymExecutor:
     """Symbolically executes one function of a program."""
 
     def __init__(self, program, max_steps_per_path=20_000, max_paths=4096,
-                 domains: Optional[Domains] = None, max_inline_depth=32):
+                 domains: Optional[Domains] = None, max_inline_depth=32,
+                 budget=None):
         self.program = program
         self.max_steps_per_path = max_steps_per_path
         self.max_paths = max_paths
         self.domains = domains  # enables feasibility pruning at forks
         self.max_inline_depth = max_inline_depth
+        self.budget = budget  # raises CheckBudgetExceeded when exhausted
         self.obligations: List[Obligation] = []
 
     # -- public API --------------------------------------------------------------
@@ -176,6 +178,9 @@ class SymExecutor:
         """
         while True:
             state.steps += 1
+            if self.budget is not None:
+                self.budget.spend(1, what=f"symbolic step in "
+                                          f"{function.name}")
             if state.steps > self.max_steps_per_path:
                 raise SymbolicUnsupported(
                     f"{function.name}: exceeded {self.max_steps_per_path} "
@@ -574,16 +579,21 @@ def _symbolic_args(function, domains):
     return tuple(args)
 
 
-def verify_assertions(program, fn_name, domains):
+def verify_assertions(program, fn_name, domains, budget=None):
     """Bounded proof that no assertion can fail.
 
     Returns ``(verified: bool, failures: [(Obligation, countermodel)])``.
+    ``budget`` (a :class:`repro.budget.Budget`) bounds both the symbolic
+    exploration and the solver work; exhaustion raises
+    :class:`~repro.errors.CheckBudgetExceeded`.
     """
-    executor = SymExecutor(program, domains=domains)
+    executor = SymExecutor(program, domains=domains, budget=budget)
     function = program.functions[fn_name]
     executor.run(fn_name, _symbolic_args(function, domains))
     failures = []
     for obligation in executor.obligations:
+        if budget is not None:
+            budget.spend(1, what=f"obligation in {fn_name}")
         try:
             holds, countermodel = must_hold(obligation.prop,
                                             obligation.pathcond, domains)
@@ -596,16 +606,17 @@ def verify_assertions(program, fn_name, domains):
 
 
 def check_equivalence(program, fn_name, reference, domains,
-                      ret_relation=None):
+                      ret_relation=None, budget=None):
     """Exhaustive bounded equivalence of MIR code against a reference.
 
     ``reference(*concrete_args) -> Value`` is the Python model.  Every
     feasible path's input cell is enumerated; mismatches are returned as
     ``(model, mir_value, reference_value)`` triples.  The union of the
     path cells is the whole (bounded) input space, so an empty mismatch
-    list is an exhaustive bounded-equivalence certificate.
+    list is an exhaustive bounded-equivalence certificate.  ``budget``
+    bounds exploration plus one unit per enumerated model cell.
     """
-    executor = SymExecutor(program, domains=domains)
+    executor = SymExecutor(program, domains=domains, budget=budget)
     function = program.functions[fn_name]
     sym_args = _symbolic_args(function, domains)
     paths = executor.run(fn_name, sym_args)
@@ -616,6 +627,8 @@ def check_equivalence(program, fn_name, reference, domains,
     for path in paths:
         for model in enumerate_models(path.pathcond, domains,
                                       required_vars=param_names):
+            if budget is not None:
+                budget.spend(1, what=f"model cell of {fn_name}")
             full_model = _complete_model(model, sym_args, domains)
             cells += 1
             mir_value = lower_value(path.ret, full_model)
@@ -626,14 +639,16 @@ def check_equivalence(program, fn_name, reference, domains,
     return mismatches, {"paths": len(paths), "cells": cells}
 
 
-def path_coverage_inputs(program, fn_name, domains):
+def path_coverage_inputs(program, fn_name, domains, budget=None):
     """One concrete input per feasible path — a path-complete test vector."""
-    executor = SymExecutor(program, domains=domains)
+    executor = SymExecutor(program, domains=domains, budget=budget)
     function = program.functions[fn_name]
     sym_args = _symbolic_args(function, domains)
     paths = executor.run(fn_name, sym_args)
     witnesses = []
     for path in paths:
+        if budget is not None:
+            budget.spend(1, what=f"path witness of {fn_name}")
         model = check_sat(path.pathcond, domains)
         if model is None:
             continue

@@ -15,7 +15,12 @@ Ties the pieces together the way the paper's Coq development does:
   :mod:`repro.spec.relation` by the tests and benches;
 * :func:`repro.verification.code_proofs.verify_corpus` — the one-call
   "check everything" driver producing the per-layer report behind the
-  Sec. 6 statistics.
+  Sec. 6 statistics;
+* **hardened checking** (:mod:`repro.verification.harness`): every
+  engine runs under a wall-clock/step budget and degrades gracefully
+  (symbolic → exhaustive-bounded → property sampling) instead of
+  hanging, with the taken path recorded in the
+  :class:`~repro.ccal.refinement.CheckReport`.
 """
 
 from repro.verification.pure_refs import (
@@ -38,6 +43,13 @@ from repro.verification.autospec import (
     synthesize_spec,
     check_synthesized_spec,
 )
+from repro.verification.harness import (
+    ENGINE_EXHAUSTIVE,
+    ENGINE_SAMPLING,
+    ENGINE_SYMBOLIC,
+    check_pure_hardened,
+    check_stateful_hardened,
+)
 
 __all__ = [
     "pure_reference", "pure_function_names", "default_domains",
@@ -45,4 +57,6 @@ __all__ = [
     "verify_stateful_function", "verify_pure_function", "verify_corpus",
     "CorpusReport", "FunctionVerdict",
     "SynthesizedSpec", "synthesize_spec", "check_synthesized_spec",
+    "ENGINE_EXHAUSTIVE", "ENGINE_SAMPLING", "ENGINE_SYMBOLIC",
+    "check_pure_hardened", "check_stateful_hardened",
 ]

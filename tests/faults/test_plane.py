@@ -1,0 +1,127 @@
+"""The fault plane: arming, hit counting, determinism, suspension."""
+
+import pytest
+
+from repro.errors import FaultInjected, OutOfMemoryError
+from repro.faults import plane as faults
+from repro.faults.plane import (
+    EXHAUST,
+    FLIP,
+    RAISE,
+    FaultPlane,
+    active_plane,
+    installed,
+)
+
+
+class TestHooksWithoutPlane:
+    def test_crash_point_is_noop(self):
+        assert active_plane() is None
+        faults.crash_point("hc.nowhere")  # must not raise
+
+    def test_allocation_gate_is_noop(self):
+        faults.allocation_gate("frames.alloc")
+
+    def test_filter_write_passes_value_through(self):
+        assert faults.filter_write(0x1000, 0xABCD) == 0xABCD
+
+
+class TestArming:
+    def test_raise_fires_on_exact_hit_index(self):
+        plane = FaultPlane().arm("site", index=2, kind=RAISE)
+        plane.hit("site")
+        plane.hit("site")
+        with pytest.raises(FaultInjected) as excinfo:
+            plane.hit("site")
+        assert excinfo.value.site == "site"
+        assert excinfo.value.hit == 2
+
+    def test_unarmed_site_never_fires(self):
+        plane = FaultPlane().arm("site", index=0)
+        for _ in range(5):
+            plane.hit("other")
+        assert plane.counts["other"] == 5
+        assert not plane.fired
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlane().arm("site", kind="meteor")
+
+    def test_record_only_counts_but_does_not_raise(self):
+        plane = FaultPlane(record_only=True).arm("site", index=0)
+        plane.hit("site", label="step-a")
+        plane.hit("site", label="step-b")
+        assert plane.counts["site"] == 2
+        assert plane.hit_labels["site"] == ["step-a", "step-b"]
+        assert len(plane.fired) == 1  # the arm matched, just did not raise
+
+    def test_reset_counts_keeps_arms(self):
+        plane = FaultPlane().arm("site", index=0)
+        with pytest.raises(FaultInjected):
+            plane.hit("site")
+        plane.reset_counts()
+        with pytest.raises(FaultInjected):
+            plane.hit("site")
+
+
+class TestExhaustAndFlip:
+    def test_exhaust_raises_the_sites_own_error(self):
+        plane = FaultPlane().arm("frames.alloc", index=0, kind=EXHAUST)
+        with installed(plane):
+            with pytest.raises(OutOfMemoryError):
+                faults.allocation_gate(
+                    "frames.alloc",
+                    exhaust=lambda: OutOfMemoryError("injected"))
+
+    def test_flip_corrupts_exactly_one_bit(self):
+        plane = FaultPlane(seed=7).arm("phys.flip", index=0, kind=FLIP)
+        corrupted = plane.filter_value("phys.flip", 0)
+        assert corrupted != 0
+        assert bin(corrupted).count("1") == 1
+
+    def test_flip_bit_is_seed_deterministic(self):
+        first = FaultPlane(seed=7).arm("phys.flip", kind=FLIP)
+        second = FaultPlane(seed=7).arm("phys.flip", kind=FLIP)
+        assert first.filter_value("phys.flip", 0) == \
+            second.filter_value("phys.flip", 0)
+
+    def test_different_seeds_usually_flip_different_bits(self):
+        flips = {FaultPlane(seed=s).arm("phys.flip", kind=FLIP)
+                 .filter_value("phys.flip", 0) for s in range(16)}
+        assert len(flips) > 1
+
+
+class TestInstallAndSuspend:
+    def test_installed_sets_and_restores(self):
+        plane = FaultPlane()
+        assert active_plane() is None
+        with installed(plane):
+            assert active_plane() is plane
+        assert active_plane() is None
+
+    def test_installed_restores_on_exception(self):
+        plane = FaultPlane().arm("site", index=0)
+        with pytest.raises(FaultInjected):
+            with installed(plane):
+                faults.crash_point("site")
+        assert active_plane() is None
+
+    def test_suspend_suppresses_hits_entirely(self):
+        plane = FaultPlane().arm("site", index=0)
+        with plane.suspend():
+            assert plane.hit("site") is None
+        assert plane.counts.get("site", 0) == 0
+        with pytest.raises(FaultInjected):
+            plane.hit("site")
+
+    def test_module_suspended_helper(self):
+        plane = FaultPlane().arm("site", index=0)
+        with installed(plane):
+            with faults.suspended():
+                faults.crash_point("site")  # must not fire
+            with pytest.raises(FaultInjected):
+                faults.crash_point("site")
+
+    def test_suspended_without_plane_is_noop(self):
+        with faults.suspended():
+            pass

@@ -1,0 +1,109 @@
+"""map_page atomicity: a failed mapping never leaks pool frames.
+
+The ISSUE-1 satellite: ``map_page`` walks up to ``levels - 1``
+intermediate tables into existence before touching the terminal entry;
+if the walk dies partway (pool exhaustion deeper down, an injected
+write fault), the tables it already allocated must go back to the pool
+and their parent entries must be cleared — otherwise every failed
+hypercall permanently shrinks the frame pool.
+"""
+
+import pytest
+
+from repro.errors import FaultInjected, OutOfMemoryError
+from repro.faults.plane import SITE_PHYS_WRITE, FaultPlane, installed
+from repro.hyperenclave import pte
+from repro.hyperenclave.constants import TINY, MemoryLayout
+from repro.hyperenclave.frames import BitmapFrameAllocator
+from repro.hyperenclave.hardware import PhysMemory
+from repro.hyperenclave.paging import PageTable
+
+PAGE = TINY.page_size
+
+
+def make_table(pool_frames, allow_huge=False):
+    layout = MemoryLayout.default_for(TINY)
+    phys = PhysMemory(TINY)
+    base = layout.pt_pool_frames.start
+    allocator = BitmapFrameAllocator(range(base, base + pool_frames))
+    table = PageTable(TINY, phys, allocator, allow_huge=allow_huge,
+                      name="unwind-test")
+    return phys, allocator, table
+
+
+class TestExhaustionUnwind:
+    def test_mid_walk_exhaustion_frees_created_tables(self):
+        # Root + one spare: the second intermediate allocation of a
+        # 4-level walk must fail, and the first must be given back.
+        phys, allocator, table = make_table(2)
+        assert allocator.used_count == 1  # the root
+        before = allocator.snapshot()
+        with pytest.raises(OutOfMemoryError):
+            table.map_page(3 * PAGE, 9 * PAGE, pte.leaf_flags())
+        assert allocator.snapshot() == before
+        assert allocator.used_count == 1
+
+    def test_unwound_parent_entries_are_cleared(self):
+        phys, allocator, table = make_table(2)
+        with pytest.raises(OutOfMemoryError):
+            table.map_page(3 * PAGE, 9 * PAGE, pte.leaf_flags())
+        # The root must hold no present entries afterwards.
+        for index in range(TINY.entries_per_table):
+            assert not pte.pte_is_present(
+                table.read_entry(table.root_frame, index))
+
+    def test_unwound_frames_are_scrubbed(self):
+        phys, allocator, table = make_table(2)
+        with pytest.raises(OutOfMemoryError):
+            table.map_page(3 * PAGE, 9 * PAGE, pte.leaf_flags())
+        spare = allocator.base + 1
+        base = TINY.frame_base(spare)
+        for offset in range(TINY.words_per_page):
+            assert phys.read_word(base + offset * 8) == 0
+
+    def test_success_after_recovered_failure(self):
+        # After the unwind, a shallower mapping (one intermediate) must
+        # still succeed with the recovered frame.
+        phys, allocator, table = make_table(2, allow_huge=True)
+        with pytest.raises(OutOfMemoryError):
+            table.map_page(3 * PAGE, 9 * PAGE, pte.leaf_flags())
+        table.map_huge(0, 0, 3, pte.leaf_flags())
+        assert table.query(0) is not None
+
+    def test_map_huge_unwinds_too(self):
+        # Two intermediates needed (levels 4 -> 3 -> 2), one spare: the
+        # first allocation succeeds, the second dies, both come back.
+        phys, allocator, table = make_table(2, allow_huge=True)
+        before = allocator.snapshot()
+        with pytest.raises(OutOfMemoryError):
+            table.map_huge(0, 0, 2, pte.leaf_flags())
+        assert allocator.snapshot() == before
+
+
+class TestInjectedWriteFaultUnwind:
+    def _fail_nth_write(self, index):
+        phys, allocator, table = make_table(8)
+        before = allocator.snapshot()
+        plane = FaultPlane().arm(SITE_PHYS_WRITE, index=index)
+        with installed(plane):
+            with pytest.raises(FaultInjected):
+                table.map_page(3 * PAGE, 9 * PAGE, pte.leaf_flags())
+        assert allocator.snapshot() == before
+        return table
+
+    def test_write_fault_at_every_step_leaks_nothing(self):
+        # A fresh 4-level mapping performs one entry write per created
+        # intermediate plus the terminal: sweep them all.
+        phys, allocator, table = make_table(8)
+        plane = FaultPlane(record_only=True)
+        with installed(plane):
+            table.map_page(3 * PAGE, 9 * PAGE, pte.leaf_flags())
+        writes = plane.counts[SITE_PHYS_WRITE]
+        assert writes >= TINY.levels  # 3 intermediates + 1 terminal
+        for index in range(writes):
+            self._fail_nth_write(index)
+
+    def test_table_still_usable_after_unwind(self):
+        table = self._fail_nth_write(1)
+        table.map_page(3 * PAGE, 9 * PAGE, pte.leaf_flags())
+        assert table.translate(3 * PAGE) == 9 * PAGE

@@ -1,0 +1,179 @@
+"""Transactional hypercalls: every faulted step rolls back completely.
+
+The ISSUE-1 satellite: for each hypercall, inject a fault at every
+injectable step index and assert the monitor state equals the
+pre-hypercall state — explicitly (EPCM array, allocator bitmap, GPT/EPT
+queries, physical memory), not just via the aggregate digest.
+"""
+
+import pytest
+
+from repro.errors import (
+    EpcExhausted,
+    FaultInjected,
+    HypercallAborted,
+    HypercallError,
+    OutOfMemoryError,
+    ResourceExhausted,
+)
+from repro.faults import (
+    EXHAUST,
+    FaultPlane,
+    default_workload,
+    default_world_factory,
+    enumerate_injectable_steps,
+    hypercall_site,
+    installed,
+)
+from repro.faults.campaign import DEFAULT_SITES, _KIND_FOR_SITE, RAISE
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.monitor import RustMonitor
+from repro.hyperenclave.txn import capture, monitor_digest, restore
+
+FACTORY = default_world_factory()
+CALLS = default_workload()
+STEP_TABLE = enumerate_injectable_steps(FACTORY, CALLS)
+
+
+def world_at(index):
+    monitor, ctx = FACTORY()
+    for _name, invoke in CALLS[:index]:
+        invoke(monitor, ctx)
+    return monitor, ctx
+
+
+def explicit_state(monitor, ctx):
+    """The satellite's explicit projection: EPCM, bitmap, translations."""
+    queries = {}
+    for eid, enclave in monitor.enclaves.items():
+        page = ctx["page"]
+        for offset in range(0, enclave.elrange_size, page):
+            va = enclave.elrange_base + offset
+            queries[(eid, "gpt", va)] = enclave.gpt.query(va)
+            queries[(eid, "ept", enclave.elrange_gpa(va))] = \
+                enclave.ept.query(enclave.elrange_gpa(va))
+    return {
+        "epcm": monitor.epcm.snapshot(),
+        "bitmap": monitor.pt_allocator.snapshot(),
+        "phys": monitor.phys.snapshot(),
+        "queries": queries,
+        "states": {eid: enclave.state
+                   for eid, enclave in monitor.enclaves.items()},
+    }
+
+
+def all_faultable_triples():
+    triples = []
+    for index, (name, _invoke) in enumerate(CALLS):
+        for site, hits in sorted(STEP_TABLE[index].items()):
+            for step in range(hits):
+                triples.append((index, name, site, step))
+    return triples
+
+
+class TestRollbackEveryStep:
+    @pytest.mark.parametrize(
+        "index,name,site,step",
+        [pytest.param(i, n, s, k, id=f"{i}-{n}:{s}@{k}")
+         for i, n, s, k in all_faultable_triples()])
+    def test_faulted_hypercall_restores_pre_state(self, index, name,
+                                                  site, step):
+        monitor, ctx = world_at(index)
+        before = explicit_state(monitor, ctx)
+        digest_before = monitor_digest(monitor)
+        plane = FaultPlane(seed=0).arm(
+            site, index=step, kind=_KIND_FOR_SITE.get(site, RAISE))
+        with installed(plane):
+            with pytest.raises(HypercallAborted) as excinfo:
+                CALLS[index][1](monitor, ctx)
+        assert plane.fired, "the armed fault must actually fire"
+        assert excinfo.value.hypercall == f"hc_{name}"
+        after = explicit_state(monitor, ctx)
+        assert after["epcm"] == before["epcm"]
+        assert after["bitmap"] == before["bitmap"]
+        assert after["phys"] == before["phys"]
+        assert after["queries"] == before["queries"]
+        assert after["states"] == before["states"]
+        assert monitor_digest(monitor) == digest_before
+
+    def test_every_hypercall_has_at_least_one_injectable_step(self):
+        for index, (name, _invoke) in enumerate(CALLS):
+            assert STEP_TABLE[index].get(hypercall_site(name)), \
+                f"{name} declares no crash points"
+
+
+class TestAbortSemantics:
+    def test_abort_carries_typed_cause(self):
+        monitor, ctx = world_at(1)  # before add_page
+        plane = FaultPlane().arm("frames.alloc", index=0, kind=EXHAUST)
+        with installed(plane):
+            with pytest.raises(HypercallAborted) as excinfo:
+                CALLS[1][1](monitor, ctx)
+        assert isinstance(excinfo.value.cause, OutOfMemoryError)
+        assert isinstance(excinfo.value.cause, ResourceExhausted)
+
+    def test_epc_exhaustion_is_typed_and_rolled_back(self):
+        monitor, ctx = world_at(1)
+        digest = monitor_digest(monitor)
+        plane = FaultPlane().arm("epcm.allocate", index=0, kind=EXHAUST)
+        with installed(plane):
+            with pytest.raises(HypercallAborted) as excinfo:
+                CALLS[1][1](monitor, ctx)
+        assert isinstance(excinfo.value.cause, EpcExhausted)
+        assert monitor_digest(monitor) == digest
+
+    def test_organic_exhaustion_also_rolls_back(self):
+        # Drain the EPC for real (no injection): the failing add_page
+        # must still roll back its partial work.
+        monitor, ctx = world_at(1)
+        while True:
+            try:
+                monitor.epcm.allocate(999, __import__(
+                    "repro.hyperenclave.epcm",
+                    fromlist=["PageState"]).PageState.REG)
+            except EpcExhausted:
+                break
+        digest = monitor_digest(monitor)
+        with pytest.raises(HypercallAborted) as excinfo:
+            CALLS[1][1](monitor, ctx)
+        assert isinstance(excinfo.value.cause, EpcExhausted)
+        assert monitor_digest(monitor) == digest
+
+    def test_validation_rejection_still_raises_plain_hypercall_error(self):
+        monitor, ctx = world_at(0)
+        with pytest.raises(HypercallError) as excinfo:
+            monitor.hc_add_page(999, 0, 0)
+        assert not isinstance(excinfo.value, HypercallAborted)
+
+    def test_fault_outside_transaction_escapes_raw(self):
+        monitor, _ctx = world_at(0)
+        plane = FaultPlane().arm("frames.alloc", index=0)
+        with installed(plane):
+            with pytest.raises(FaultInjected):
+                monitor.pt_allocator.alloc()
+
+
+class TestCheckpointRestore:
+    def test_capture_restore_roundtrip(self):
+        monitor, ctx = world_at(4)  # mid-lifecycle, enclave exists
+        checkpoint = capture(monitor)
+        digest = monitor_digest(monitor)
+        CALLS[4][1](monitor, ctx)  # init mutates state
+        assert monitor_digest(monitor) != digest
+        restore(monitor, checkpoint)
+        assert monitor_digest(monitor) == digest
+
+    def test_digest_ignores_tlb_flush_count(self):
+        monitor, _ctx = world_at(2)
+        digest = monitor_digest(monitor)
+        monitor.tlb.flush_all()
+        assert monitor_digest(monitor) == digest
+
+    def test_digest_sees_epc_content(self):
+        monitor, ctx = world_at(2)
+        digest = monitor_digest(monitor)
+        enclave = monitor.enclaves[ctx["eid"]]
+        hpa = monitor.enclave_translate(ctx["eid"], ctx["elrange_base"],
+                                        write=False)
+        monitor.phys.write_word(hpa, 0x1234)
+        assert monitor_digest(monitor) != digest

@@ -1,0 +1,69 @@
+"""Check budgets: step/wall-clock limits with a deterministic clock."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.errors import CheckBudgetExceeded
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestStepBudget:
+    def test_spend_under_limit(self):
+        budget = Budget(max_steps=3)
+        budget.spend(3)
+        assert budget.steps == 3
+        assert not budget.exceeded
+
+    def test_spend_over_limit_raises(self):
+        budget = Budget(max_steps=3)
+        with pytest.raises(CheckBudgetExceeded) as excinfo:
+            budget.spend(4, what="symbolic steps")
+        assert "symbolic steps" in str(excinfo.value)
+        assert excinfo.value.spent["steps"] == 4
+
+    def test_unlimited_never_trips(self):
+        budget = Budget()
+        budget.spend(10_000)
+        assert not budget.exceeded
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(max_steps=-1)
+        with pytest.raises(ValueError):
+            Budget(max_seconds=-0.5)
+
+
+class TestTimeBudget:
+    def test_timeout_is_clock_driven(self):
+        clock = FakeClock()
+        budget = Budget(max_seconds=5.0, clock=clock)
+        budget.spend(1)
+        clock.now += 10.0
+        assert budget.exceeded
+        with pytest.raises(CheckBudgetExceeded) as excinfo:
+            budget.spend(1, what="cosim")
+        assert "time budget" in str(excinfo.value)
+
+    def test_check_time_in_hot_loop(self):
+        clock = FakeClock()
+        budget = Budget(max_seconds=1.0, clock=clock)
+        budget.check_time()
+        clock.now += 2.0
+        with pytest.raises(CheckBudgetExceeded):
+            budget.check_time("tight loop")
+
+    def test_spent_reports_both_axes(self):
+        clock = FakeClock()
+        budget = Budget(max_steps=100, max_seconds=100, clock=clock)
+        budget.spend(7)
+        clock.now += 1.5
+        spent = budget.spent()
+        assert spent["steps"] == 7
+        assert spent["seconds"] == pytest.approx(1.5)

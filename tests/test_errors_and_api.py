@@ -36,6 +36,35 @@ class TestHierarchy:
     def test_spec_family(self):
         assert issubclass(errors.SpecPreconditionError, errors.SpecError)
 
+    def test_exhaustion_family(self):
+        assert issubclass(errors.ResourceExhausted, errors.HypervisorError)
+        assert issubclass(errors.OutOfMemoryError, errors.ResourceExhausted)
+        # EpcExhausted sits in both families: it is an EPCM error and a
+        # resource-exhaustion error.
+        assert issubclass(errors.EpcExhausted, errors.EpcmError)
+        assert issubclass(errors.EpcExhausted, errors.ResourceExhausted)
+
+    def test_hypercall_abort_is_a_hypercall_error(self):
+        assert issubclass(errors.HypercallAborted, errors.HypercallError)
+        error = errors.HypercallAborted("hc_add_page",
+                                        errors.OutOfMemoryError("pool dry"))
+        assert error.hypercall == "hc_add_page"
+        assert isinstance(error.cause, errors.OutOfMemoryError)
+        assert "rolled back" in str(error)
+
+    def test_fault_injected_is_not_a_hypervisor_error(self):
+        # Injected faults model the environment failing underneath the
+        # monitor; hypervisor-error handlers must never swallow one.
+        assert issubclass(errors.FaultInjected, errors.ReproError)
+        assert not issubclass(errors.FaultInjected, errors.HypervisorError)
+        error = errors.FaultInjected("frames.alloc", hit=3, label="walk")
+        assert error.site == "frames.alloc" and error.hit == 3
+
+    def test_budget_exceeded_is_not_a_hypervisor_error(self):
+        assert issubclass(errors.CheckBudgetExceeded, errors.ReproError)
+        assert not issubclass(errors.CheckBudgetExceeded,
+                              errors.HypervisorError)
+
 
 class TestErrorPayloads:
     def test_parse_error_location(self):
@@ -69,6 +98,10 @@ class TestPackageSurface:
     def test_top_level_error_exports(self):
         assert repro.ReproError is errors.ReproError
         assert repro.InvariantViolation is errors.InvariantViolation
+        assert repro.ResourceExhausted is errors.ResourceExhausted
+        assert repro.HypercallAborted is errors.HypercallAborted
+        assert repro.FaultInjected is errors.FaultInjected
+        assert repro.CheckBudgetExceeded is errors.CheckBudgetExceeded
 
     def test_fresh_state_helper(self):
         from repro.hyperenclave.constants import TINY

@@ -1,0 +1,126 @@
+"""The hardened harness: budgets, the degradation chain, reseeding.
+
+The contract under test: ``check_pure_hardened`` /
+``check_stateful_hardened`` never hang and never raise for budget
+reasons — hostile limits produce a report with the taken path recorded
+(``engine``, ``degradations``, ``budget_spent``, ``completed``), not an
+exception.
+"""
+
+import pytest
+
+from repro.verification.harness import (
+    ENGINE_EXHAUSTIVE,
+    ENGINE_SAMPLING,
+    ENGINE_SYMBOLIC,
+    PURE_ENGINE_CHAIN,
+    check_pure_hardened,
+    check_stateful_hardened,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestPureChain:
+    def test_unlimited_budget_stays_symbolic(self, model):
+        report = check_pure_hardened(model, "pte_new")
+        assert report.ok, report.failures
+        assert report.engine == ENGINE_SYMBOLIC
+        assert report.degradations == []
+        assert report.completed
+        assert report.checked > 0
+        assert report.budget_spent["steps"] > 0
+
+    def test_tight_steps_degrade_without_raising(self, model):
+        report = check_pure_hardened(model, "pte_new", max_steps=40,
+                                     sample_count=16)
+        assert report.engine in PURE_ENGINE_CHAIN
+        assert report.engine != ENGINE_SYMBOLIC
+        assert report.degradations, "the fallback must be recorded"
+        assert ENGINE_SYMBOLIC in report.degradations[0]
+        # Spend may overshoot by the tripping probe itself, never more.
+        assert report.budget_spent["steps"] <= 40 + 3
+
+    def test_domain_too_large_skips_exhaustive(self, model):
+        report = check_pure_hardened(model, "pte_new", max_steps=40,
+                                     max_exhaustive=1, sample_count=8)
+        assert report.engine == ENGINE_SAMPLING
+        assert any("domain too large" in d for d in report.degradations)
+
+    def test_starved_chain_returns_partial_not_exception(self, model):
+        report = check_pure_hardened(model, "pte_new", max_steps=3,
+                                     sample_count=64)
+        assert not report.completed
+        assert report.engine == ENGINE_SAMPLING
+        assert len(report.degradations) >= 2  # every engine fell through
+        assert report.budget_spent["steps"] <= 3 + 2  # slack: trip detection
+
+    def test_wallclock_budget_is_clock_driven(self, model):
+        clock = FakeClock()
+
+        class ExplodingClock(FakeClock):
+            def __call__(self):
+                self.now += 10.0     # every probe sees 10 more seconds
+                return self.now
+
+        report = check_pure_hardened(model, "pte_new", max_seconds=5.0,
+                                     sample_count=8,
+                                     clock=ExplodingClock())
+        assert not report.completed or report.engine != ENGINE_SYMBOLIC
+        assert report.degradations
+        # An untouched clock must leave the symbolic path alone.
+        report = check_pure_hardened(model, "pte_new", max_seconds=5.0,
+                                     clock=clock)
+        assert report.engine == ENGINE_SYMBOLIC
+
+    def test_degraded_exhaustive_still_covers_full_domain(self, model):
+        # level_span has a 4-value domain: too little budget for the
+        # symbolic proof, plenty for the exhaustive fallback — which
+        # must then check *every* input and run to completion.
+        report = check_pure_hardened(model, "level_span", max_steps=16,
+                                     sample_count=16)
+        assert report.engine == ENGINE_EXHAUSTIVE
+        assert report.ok, report.failures
+        assert report.completed
+        assert report.checked == 4  # the whole domain
+        assert len(report.degradations) == 1
+
+
+class TestStatefulHardened:
+    def test_unlimited_budget_completes(self, model):
+        report = check_stateful_hardened(model, "alloc_frame", count=8)
+        assert report.ok, report.failures
+        assert report.engine == "cosim"
+        assert report.completed
+        assert report.seed_retries == 0
+        assert report.checked > 0
+
+    def test_budget_trip_returns_incomplete_report(self, model):
+        report = check_stateful_hardened(model, "map_page", max_steps=1,
+                                         count=8)
+        assert not report.completed
+        assert report.checked == 0
+        assert report.degradations
+        assert "cosim" in report.degradations[0]
+
+    def test_reseed_is_bounded_and_recorded(self, model):
+        # An impossible min_checked forces every retry; the harness must
+        # stop at max_reseeds and surface the count, not loop forever.
+        report = check_stateful_hardened(model, "alloc_frame", count=4,
+                                         min_checked=10**6, max_reseeds=2)
+        assert report.completed
+        assert report.seed_retries >= 2
+        assert any("precondition" in d for d in report.degradations)
+
+    def test_reseed_recovers_sparse_campaigns(self, model):
+        # With a sane min_checked the first seed already suffices.
+        report = check_stateful_hardened(model, "query", count=8,
+                                         min_checked=1, seed=5)
+        assert report.ok, report.failures
+        assert report.seed_retries == 0
