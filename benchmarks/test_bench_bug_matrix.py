@@ -1,11 +1,13 @@
 """The complete bug → checker matrix, over every buggy monitor variant.
 
-Extends Figure 5 to the full negative-example set: eleven planted bugs,
-each detected by the checker the paper assigns to its class —
+Extends Figure 5 to the full negative-example set: thirteen planted
+bugs, each detected by the checker the paper assigns to its class —
 structural bugs by the §5.2 invariant families or the §4.1 refinement,
-behavioural leaks by the §5 noninterference theorem, and the
-crash-consistency bug by the fault-injection campaign.  The benchmark
-times the whole matrix: total detection cost for all eleven.
+behavioural leaks by the §5 noninterference theorem, the
+crash-consistency bug by the fault-injection campaign, and the two
+concurrency bugs (missing locking discipline, missing TLB shootdown)
+by the bounded-preemption interleaving explorer.  The benchmark times
+the whole matrix: total detection cost for all thirteen.
 """
 
 from repro.hyperenclave import buggy
@@ -153,6 +155,15 @@ def detect_no_rollback(monitor_cls, _arg=None):
             f"aborts")
 
 
+def detect_concurrency_bug(monitor_cls, _arg=None):
+    """Bounded-preemption exploration flags the planted race."""
+    from repro.faults import interleaving_campaign
+
+    result = interleaving_campaign(monitor_cls, check_ni=False)
+    kinds = "/".join(sorted(result.by_kind()))
+    return not result.ok, f"interleaving explorer: {kinds}"
+
+
 MATRIX = [
     (buggy.ShallowCopyMonitor, detect_shallow_copy, None),
     (buggy.AliasingMonitor, detect_invariant_bug, setup_two_enclaves),
@@ -166,6 +177,8 @@ MATRIX = [
     (buggy.NoTlbFlushMonitor, detect_ni_bug, leak_trace),
     (buggy.NoScrubMonitor, detect_ni_bug, scrub_trace),
     (buggy.NonTransactionalMonitor, detect_no_rollback, None),
+    (buggy.MissingLockMonitor, detect_concurrency_bug, None),
+    (buggy.NoShootdownMonitor, detect_concurrency_bug, None),
 ]
 
 
@@ -184,6 +197,6 @@ def test_bench_bug_matrix(benchmark, emit):
     emit("bug_matrix",
          render_table(["Planted bug", "Verdict", "Detected by"], rows,
                       title="The full bug → checker matrix "
-                            "(all 11 buggy variants)"))
-    assert len(results) == len(buggy.ALL_BUGGY_MONITORS) == 11
+                            "(all 13 buggy variants)"))
+    assert len(results) == len(buggy.ALL_BUGGY_MONITORS) == 13
     assert all(detected for _bug, detected, _how in results)

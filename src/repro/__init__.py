@@ -32,6 +32,8 @@ from repro.errors import (
     ResourceExhausted,
     HypercallAborted,
     FaultInjected,
+    LockProtocolViolation,
+    StaleTranslation,
     CheckBudgetExceeded,
 )
 
@@ -52,6 +54,8 @@ __all__ = [
     "ResourceExhausted",
     "HypercallAborted",
     "FaultInjected",
+    "LockProtocolViolation",
+    "StaleTranslation",
     "CheckBudgetExceeded",
     "__version__",
 ]

@@ -1,0 +1,157 @@
+"""Systematic interleaving exploration: bounded-preemption search.
+
+The scheduler makes every execution a pure function of its
+:class:`~repro.concurrency.scheduler.Schedule`, so exploring
+interleavings is exploring schedules.  The explorer runs breadth-first
+over preemption counts (the CHESS insight: real concurrency bugs
+almost always need very few preemptions, so bound them and search
+exhaustively within the bound):
+
+* The root schedule has no preemptions — each vCPU runs to completion
+  in vid order, the "sequential" interleaving.
+* From every executed schedule, a child is created for each decision
+  point after its last preemption where a *different* enabled vCPU
+  could have been chosen — but only at decisions whose chosen task was
+  parked at a kind in :data:`~repro.concurrency.scheduler.BRANCH_KINDS`.
+
+The branch-kind filter is the persistent-set/DPOR-lite reduction: a
+vCPU parked at a plain ``phys.write`` is mid-critical-section, writing
+under locks it already holds; those writes cannot be *observed* by any
+other vCPU until a lock, hypercall-return, or step boundary, and the
+stale-translation probe runs at every decision regardless, so deferring
+the preemption to the next branch kind explores an equivalent trace.
+Children are deduplicated by their predicted vid-trace prefix — two
+preemption vectors forcing the same prefix replay the same execution.
+
+Every child run re-executes from scratch (stateless model checking);
+nothing is ever restored from a snapshot, so a reported violation's
+``(seed, schedule)`` pair reproduces it standalone by construction.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.concurrency.scheduler import BRANCH_KINDS, RunResult, Schedule
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, pinned to the schedule that reproduces it."""
+
+    schedule: Schedule
+    kind: str        # lock-protocol | stale-translation | vcpu-error | ...
+    detail: str
+
+    def __str__(self):
+        return f"[{self.kind}] {self.detail} (replay: {self.schedule.describe()})"
+
+
+@dataclass
+class ExplorationResult:
+    """Everything a bounded-preemption sweep produced."""
+
+    preemption_bound: int
+    max_schedules: int
+    runs: List[Tuple[Schedule, RunResult]] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def schedules_run(self) -> int:
+        return len(self.runs)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_kind(self):
+        """Violations grouped by kind (dict of kind -> list)."""
+        grouped = {}
+        for violation in self.violations:
+            grouped.setdefault(violation.kind, []).append(violation)
+        return grouped
+
+    def summary(self) -> str:
+        """One human line: schedules explored and what was found."""
+        head = (f"{self.schedules_run} schedules explored "
+                f"(preemption bound {self.preemption_bound}"
+                f"{', truncated' if self.truncated else ''}): ")
+        if self.ok:
+            return head + "no violations"
+        parts = [f"{len(items)} {kind}"
+                 for kind, items in sorted(self.by_kind().items())]
+        return head + ", ".join(parts)
+
+
+def result_violations(schedule, result) -> List[Violation]:
+    """The violations a single :class:`RunResult` carries on its own."""
+    found = []
+    for violation in result.lock_violations:
+        found.append(Violation(schedule, "lock-protocol", str(violation)))
+    for stale in result.stale_translations:
+        found.append(Violation(schedule, "stale-translation", str(stale)))
+    for vid in sorted(result.task_errors):
+        exc = result.task_errors[vid]
+        found.append(Violation(
+            schedule, "vcpu-error",
+            f"vcpu{vid} died: {type(exc).__name__}: {exc}"))
+    return found
+
+
+def explore(run_schedule: Callable[[Schedule], RunResult], *,
+            seed: int = 0,
+            preemption_bound: int = 2,
+            max_schedules: int = 512,
+            crash: Optional[Tuple[int, int]] = None,
+            check=None) -> ExplorationResult:
+    """Bounded-preemption BFS over schedules.
+
+    ``run_schedule(schedule)`` must rebuild the world from scratch and
+    execute the schedule (deterministically — same schedule, same
+    result).  ``check(schedule, result)``, if given, yields extra
+    ``(kind, detail)`` findings per run (invariant sweeps,
+    noninterference) that become :class:`Violation` entries.
+    """
+    outcome = ExplorationResult(preemption_bound=preemption_bound,
+                                max_schedules=max_schedules)
+    frontier = deque([Schedule(seed=seed, crash=crash)])
+    seen_prefixes = set()
+    while frontier:
+        if len(outcome.runs) >= max_schedules:
+            outcome.truncated = True
+            break
+        schedule = frontier.popleft()
+        result = run_schedule(schedule)
+        outcome.runs.append((schedule, result))
+        outcome.violations.extend(result_violations(schedule, result))
+        if check is not None:
+            outcome.violations.extend(
+                Violation(schedule, kind, detail)
+                for kind, detail in check(schedule, result))
+        if len(schedule.preemptions) >= preemption_bound:
+            continue
+        last = schedule.preemptions[-1][0] if schedule.preemptions else -1
+        for decision in result.decisions:
+            if decision.index <= last:
+                continue
+            if decision.chosen_kind not in BRANCH_KINDS:
+                continue
+            for vid in decision.enabled:
+                if vid == decision.chosen:
+                    continue
+                prefix = result.trace[:decision.index] + (vid,)
+                if prefix in seen_prefixes:
+                    continue
+                seen_prefixes.add(prefix)
+                frontier.append(Schedule(
+                    seed=seed,
+                    preemptions=schedule.preemptions
+                    + ((decision.index, vid),),
+                    crash=schedule.crash))
+    return outcome
+
+
+def replay(run_schedule, schedule) -> RunResult:
+    """Re-execute one schedule (the standalone-reproduction entry)."""
+    return run_schedule(schedule)

@@ -1,0 +1,410 @@
+"""Deterministic cooperative multi-vCPU scheduler.
+
+Each vCPU's workload runs on its own OS thread, but only one thread is
+ever runnable: control is handed back and forth through per-task events
+(strict token passing, the CHESS execution model).  Instrumented code
+inside the monitor calls :func:`yield_point` at every lock acquire,
+lock release (hypercall return), physical-memory write, shootdown IPI,
+and security-model step; each such call parks the vCPU and lets the
+scheduler pick the next one.  Because the *only* scheduling freedom in
+the whole system is the scheduler's choice at each decision point, an
+execution is fully determined by its :class:`Schedule` — a seed, a
+tuple of preemptions, and an optional vCPU crash — which is what makes
+every explored interleaving replayable from a single small value.
+
+The module doubles as the instrumentation plane (mirroring
+``repro.faults.plane``): all hooks are module-level functions that
+no-op unless a scheduler is installed *and* the calling thread is one
+of its vCPU tasks.  Monitor code can therefore call them
+unconditionally; sequential callers pay nothing.
+"""
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import FaultInjected
+from repro.concurrency.locks import LockManager
+
+#: Yield kinds at which the interleaving explorer considers preempting.
+#: Anything else (plain ``phys.write`` under an owning lock) cannot be
+#: the first action of a conflict, per the persistent-set argument in
+#: :mod:`repro.concurrency.explorer`.
+BRANCH_KINDS = frozenset(
+    {"task.start", "step", "lock.acquire", "shootdown.ipi", "hc.return"})
+
+#: Synthetic fault site used when a schedule crashes a vCPU.
+VCPU_CRASH_SITE = "vcpu.crash"
+
+
+class _VCpuParked(BaseException):
+    """Unwinds a crashed vCPU's thread.
+
+    A ``BaseException`` on purpose: after a crash is delivered the task
+    must stop for good, and no ``except ReproError``/``except
+    Exception`` in monitor or workload code may resurrect it.
+    """
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete, replayable description of one interleaving.
+
+    ``preemptions`` maps decision indices to the vCPU forced at that
+    decision; at every other decision the scheduler continues the
+    previously running vCPU (or the lowest enabled one).  ``crash``, if
+    set, kills vCPU ``crash[0]`` at its ``crash[1]``-th yield point
+    with a :class:`~repro.errors.FaultInjected` at site ``vcpu.crash``.
+    """
+
+    seed: int = 0
+    preemptions: Tuple[Tuple[int, int], ...] = ()
+    crash: Optional[Tuple[int, int]] = None
+
+    def describe(self) -> str:
+        """The human-readable replay string printed with violations."""
+        parts = [f"seed={self.seed}"]
+        if self.preemptions:
+            parts.append("preempt=" + ",".join(
+                f"@{i}->vcpu{v}" for i, v in self.preemptions))
+        if self.crash is not None:
+            parts.append(f"crash=vcpu{self.crash[0]}@yield{self.crash[1]}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One scheduling decision: who ran, who else could have."""
+
+    index: int
+    chosen: int
+    chosen_kind: str
+    enabled: Tuple[int, ...]
+    kinds: Tuple[Tuple[int, str], ...]   # (vid, parked-at kind) per enabled
+
+
+@dataclass(frozen=True)
+class YieldPoint:
+    """One executed yield: where a vCPU handed control back."""
+
+    vid: int
+    yield_index: int       # 1-based, per vCPU
+    kind: str
+    detail: Optional[str]
+    locks_held: Tuple[str, ...]
+
+    @property
+    def in_critical_section(self) -> bool:
+        return bool(self.locks_held)
+
+
+@dataclass
+class Task:
+    """One vCPU's workload and its cooperative-scheduling state."""
+
+    vid: int
+    fn: Callable[[], None]
+    thread: Optional[threading.Thread] = None
+    event: threading.Event = field(default_factory=threading.Event)
+    pending_kind: str = "task.start"
+    pending_detail: Optional[str] = None
+    yield_index: int = 0
+    waiting_lock: Optional[str] = None
+    crashed: bool = False
+    parked: bool = False
+    done: bool = False
+    exc: Optional[BaseException] = None
+    txn_scope: Optional[object] = None
+
+
+@dataclass
+class RunResult:
+    """Everything one scheduled execution produced."""
+
+    schedule: Schedule
+    decisions: Tuple[Decision, ...]
+    yields: Tuple[YieldPoint, ...]
+    trace: Tuple[int, ...]                 # chosen vid per decision
+    lock_violations: tuple
+    stale_translations: tuple
+    task_errors: Dict[int, BaseException]
+    parked: Tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        return (not self.lock_violations and not self.stale_translations
+                and not self.task_errors)
+
+    def critical_yields(self) -> Tuple[YieldPoint, ...]:
+        """Yield points taken while the yielding vCPU held locks."""
+        return tuple(y for y in self.yields if y.in_critical_section)
+
+
+class DeterministicScheduler:
+    """Runs one :class:`Schedule` over a set of vCPU workloads.
+
+    ``workloads[i]`` becomes vCPU ``i``'s task (the monitor must have
+    at least that many vCPUs).  ``probe``, if given, is called with the
+    monitor after every decision — from the scheduler thread, so it
+    must not hit any yield points — and returns an iterable of
+    findings (the stale-translation detector).
+    """
+
+    def __init__(self, monitor, workloads, schedule=None, *,
+                 lock_manager=None, probe=None, timeout=60.0):
+        self.monitor = monitor
+        self.schedule = schedule if schedule is not None else Schedule()
+        self.locks = lock_manager if lock_manager is not None else LockManager()
+        self.probe = probe
+        self.timeout = timeout
+        self.tasks = [Task(vid=vid, fn=fn) for vid, fn in enumerate(workloads)]
+        self.decisions: List[Decision] = []
+        self.yields: List[YieldPoint] = []
+        self.stale: List[object] = []
+        self._preempt = dict(self.schedule.preemptions)
+        self._by_ident: Dict[int, Task] = {}
+        self._control = threading.Event()
+        self._last: Optional[int] = None
+        self._ran = False
+
+    # -- the main loop --------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute the schedule to completion and return the record."""
+        if self._ran:
+            raise RuntimeError("a DeterministicScheduler is single-use; "
+                               "build a fresh one to replay")
+        self._ran = True
+        with installed(self):
+            for task in self.tasks:
+                task.thread = threading.Thread(
+                    target=self._runner, args=(task,),
+                    name=f"vcpu-{task.vid}", daemon=True)
+                task.thread.start()
+            while True:
+                live = [t for t in self.tasks if not t.done]
+                if not live:
+                    break
+                enabled = [t for t in live if self._runnable(t)]
+                if not enabled:
+                    raise RuntimeError(
+                        "scheduler deadlock: "
+                        + "; ".join(f"vcpu{t.vid} waits on "
+                                    f"{t.waiting_lock!r}" for t in live))
+                chosen = self._pick(enabled)
+                self.decisions.append(Decision(
+                    index=len(self.decisions),
+                    chosen=chosen.vid,
+                    chosen_kind=chosen.pending_kind,
+                    enabled=tuple(t.vid for t in enabled),
+                    kinds=tuple((t.vid, t.pending_kind) for t in enabled)))
+                self._last = chosen.vid
+                self._control.clear()
+                chosen.event.set()
+                if not self._control.wait(self.timeout):
+                    raise RuntimeError(
+                        f"vcpu{chosen.vid} did not yield within "
+                        f"{self.timeout}s")
+                if self.probe is not None:
+                    self.stale.extend(self.probe(self.monitor) or ())
+            for task in self.tasks:
+                task.thread.join(self.timeout)
+        return self.result()
+
+    def result(self) -> RunResult:
+        return RunResult(
+            schedule=self.schedule,
+            decisions=tuple(self.decisions),
+            yields=tuple(self.yields),
+            trace=tuple(d.chosen for d in self.decisions),
+            lock_violations=tuple(self.locks.violations),
+            stale_translations=tuple(self.stale),
+            task_errors={t.vid: t.exc for t in self.tasks
+                         if t.exc is not None},
+            parked=tuple(t.vid for t in self.tasks if t.parked),
+        )
+
+    # -- scheduling policy ------------------------------------------------------------
+
+    def _runnable(self, task) -> bool:
+        return task.waiting_lock is None or \
+            not self.locks.would_block(task.vid, task.waiting_lock)
+
+    def _pick(self, enabled):
+        forced = self._preempt.get(len(self.decisions))
+        if forced is not None:
+            for task in enabled:
+                if task.vid == forced:
+                    return task
+        if self._last is not None:
+            for task in enabled:
+                if task.vid == self._last:
+                    return task
+        return min(enabled, key=lambda t: t.vid)
+
+    # -- task side --------------------------------------------------------------------
+
+    def _runner(self, task):
+        self._by_ident[threading.get_ident()] = task
+        task.event.wait()
+        task.event.clear()
+        try:
+            task.fn()
+        except _VCpuParked:
+            task.parked = True
+        except FaultInjected as exc:
+            if exc.site == VCPU_CRASH_SITE:
+                # crash delivered outside any hypercall: the vCPU just
+                # stops, with nothing to roll back
+                task.parked = True
+            else:
+                task.exc = exc
+        except BaseException as exc:          # noqa: BLE001 - report, don't die
+            task.exc = exc
+        finally:
+            task.done = True
+            self._control.set()
+
+    def _yield(self, task, kind, detail):
+        task.yield_index += 1
+        self.yields.append(YieldPoint(
+            vid=task.vid, yield_index=task.yield_index, kind=kind,
+            detail=detail, locks_held=self.locks.held_by(task.vid)))
+        if (not task.crashed and self.schedule.crash is not None
+                and self.schedule.crash == (task.vid, task.yield_index)):
+            task.crashed = True
+            raise FaultInjected(VCPU_CRASH_SITE,
+                                hit=task.yield_index, label=kind)
+        if task.crashed:
+            # the crash already fired; the vCPU must not execute further
+            raise _VCpuParked()
+        task.pending_kind = kind
+        task.pending_detail = detail
+        self._control.set()
+        if not task.event.wait(self.timeout):
+            raise RuntimeError(f"vcpu{task.vid} was never rescheduled")
+        task.event.clear()
+
+
+# ---------------------------------------------------------------------------
+# Module-level instrumentation plane (mirrors repro.faults.plane)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[DeterministicScheduler] = None
+_TLS = threading.local()
+
+
+def active_scheduler() -> Optional[DeterministicScheduler]:
+    return _ACTIVE
+
+
+@contextmanager
+def installed(scheduler):
+    """Install ``scheduler`` as the process-wide plane for one run."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a scheduler is already installed")
+    _ACTIVE = scheduler
+    try:
+        yield scheduler
+    finally:
+        _ACTIVE = None
+
+
+def current_task() -> Optional[Task]:
+    """The scheduled :class:`Task` of this thread, or None."""
+    sched = _ACTIVE
+    if sched is None:
+        return None
+    return sched._by_ident.get(threading.get_ident())
+
+
+def current_vid() -> Optional[int]:
+    """The executing vCPU id, or None off any scheduled task thread."""
+    task = current_task()
+    return None if task is None else task.vid
+
+
+def _suspended() -> bool:
+    return getattr(_TLS, "depth", 0) > 0
+
+
+@contextmanager
+def suspended():
+    """Silence all hooks on this thread (rollback must not re-enter)."""
+    _TLS.depth = getattr(_TLS, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _TLS.depth -= 1
+
+
+def yield_point(kind, detail=None):
+    """A potential context switch; no-op outside a scheduled task."""
+    sched = _ACTIVE
+    if sched is None or _suspended():
+        return
+    task = sched._by_ident.get(threading.get_ident())
+    if task is None:
+        return
+    sched._yield(task, kind, detail)
+
+
+def acquire_locks(monitor, names):
+    """Pre-acquire ``names`` in global order (strict 2PL entry).
+
+    Blocks (by parking at a ``lock.acquire`` yield that the scheduler
+    only resumes once the lock is free) rather than spinning, so the
+    enabled-set the explorer sees is exact.
+    """
+    sched = _ACTIVE
+    if sched is None or _suspended():
+        return
+    task = sched._by_ident.get(threading.get_ident())
+    if task is None:
+        return
+    from repro.concurrency.locks import order_locks
+    for name in order_locks(names):
+        task.waiting_lock = name
+        sched._yield(task, "lock.acquire", name)
+        task.waiting_lock = None
+        sched.locks.acquire(task.vid, name)
+        scope = task.txn_scope
+        if scope is not None:
+            scope.snapshot_structure(monitor, name)
+
+
+def release_locks(where):
+    """Release every lock of the current vCPU (hypercall return)."""
+    sched = _ACTIVE
+    task = current_task()
+    if sched is None or task is None:
+        return ()
+    released = sched.locks.release_all(task.vid)
+    try:
+        yield_point("hc.return", where)
+    finally:
+        sched.locks.check_none_held(task.vid, f"return from {where}")
+    return released
+
+
+def guard_mutation(name):
+    """Rule-3 checkpoint: a ``name``-guarded structure is being written."""
+    sched = _ACTIVE
+    if sched is None or _suspended():
+        return
+    task = sched._by_ident.get(threading.get_ident())
+    if task is None:
+        return
+    sched.locks.check_mutation(task.vid, name)
+
+
+def record_phys_write(index, old_value):
+    """Journal a physical-memory word about to be overwritten."""
+    if _suspended():
+        return
+    task = current_task()
+    if task is None or task.txn_scope is None:
+        return
+    task.txn_scope.record_word(index, old_value)

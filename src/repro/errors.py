@@ -221,6 +221,51 @@ class FaultInjected(ReproError):
         self.label = label
 
 
+class LockProtocolViolation(ReproError):
+    """The multi-vCPU lock discipline was broken.
+
+    Raised (strict mode) or recorded (campaign mode) by the
+    :class:`repro.concurrency.locks.LockManager` when a vCPU acquires
+    locks against the global order, still holds a lock at a
+    hypercall return, or mutates a lock-guarded structure without
+    holding its owning lock.  Deliberately *not* a
+    :class:`HypervisorError` — like :class:`FaultInjected`, it reports
+    the checking harness catching the monitor misbehaving, so code
+    that catches hypervisor errors for normal control flow (validation
+    rejections, exhaustion) can never swallow a discipline violation
+    by accident.
+    """
+
+    def __init__(self, rule, vid, message):
+        super().__init__(f"[{rule}] vCPU {vid}: {message}")
+        self.rule = rule      # lock-order | hold-across-return | unlocked-mutation
+        self.vid = vid
+
+
+class StaleTranslation(ReproError):
+    """A vCPU's TLB holds a translation its page tables no longer back.
+
+    The concurrent analogue of the paper's Sec. 5 use-after-unmap
+    concern: a page was unmapped (``hc_trim_page``, ``hc_remove_page``,
+    ``hc_destroy``) while another vCPU still caches the translation —
+    the TLB shootdown protocol exists to make this impossible.  Like
+    :class:`FaultInjected` and :class:`LockProtocolViolation`, this is
+    *not* a :class:`HypervisorError`: it is the detector convicting the
+    monitor, and must never be absorbed by normal error handling.
+    """
+
+    def __init__(self, vid, principal, va_page, cached_pa, reason):
+        super().__init__(
+            f"vCPU {vid}: principal {principal} caches "
+            f"{va_page:#x} -> {cached_pa:#x} but the page tables say "
+            f"{reason}")
+        self.vid = vid
+        self.principal = principal
+        self.va_page = va_page
+        self.cached_pa = cached_pa
+        self.reason = reason
+
+
 class CheckBudgetExceeded(ReproError):
     """A checking engine ran past its wall-clock or step budget.
 

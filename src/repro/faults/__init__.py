@@ -31,16 +31,23 @@ from repro.faults.plane import (
 from repro.faults.campaign import (
     DEFAULT_SITES,
     CampaignReport,
+    CrashCampaignReport,
+    CrashRecord,
     RunRecord,
     bitflip_campaign,
+    crash_in_critical_section_campaign,
     crash_ni_campaign,
     crash_step_campaign,
+    default_concurrent_workloads,
     default_ni_trace,
     default_two_worlds,
     default_workload,
     default_world_factory,
     enumerate_injectable_steps,
     hypercall_site,
+    interleaving_campaign,
+    make_interleaved_run,
+    scheduled_runner,
 )
 
 __all__ = [
@@ -61,14 +68,21 @@ __all__ = [
     "suspended",
     "DEFAULT_SITES",
     "CampaignReport",
+    "CrashCampaignReport",
+    "CrashRecord",
     "RunRecord",
     "bitflip_campaign",
+    "crash_in_critical_section_campaign",
     "crash_ni_campaign",
     "crash_step_campaign",
+    "default_concurrent_workloads",
     "default_ni_trace",
     "default_two_worlds",
     "default_workload",
     "default_world_factory",
     "enumerate_injectable_steps",
     "hypercall_site",
+    "interleaving_campaign",
+    "make_interleaved_run",
+    "scheduled_runner",
 ]

@@ -64,6 +64,7 @@ class RunRecord:
     rolled_back: Optional[bool]       # None when rollback is not expected
     invariants_ok: bool
     detail: str = ""
+    fired_faults: Tuple = ()          # the plane's FiredFault trace
 
     @property
     def ok(self) -> bool:
@@ -173,9 +174,10 @@ def default_world_factory(config=None):
 def default_workload() -> List[Tuple[str, Callable]]:
     """The full-lifecycle workload: every hypercall appears at least once.
 
-    create → add → remove → add → init → aug → enter → exit → destroy,
-    so the sweep exercises every crash point of every hypercall from a
-    state where it actually mutates something.
+    create → add → remove → add → init → aug → trim → enter → exit →
+    destroy, so the sweep exercises every crash point of every hypercall
+    from a state where it actually mutates something (the trim removes
+    the page the aug just grew, post-init — the SGX2 shrink path).
     """
     def create(monitor, ctx):
         ctx["eid"] = monitor.hc_create(
@@ -194,6 +196,8 @@ def default_workload() -> List[Tuple[str, Callable]]:
             c["eid"], c["elrange_base"], c["src_pa"])),
         ("init", lambda m, c: m.hc_init(c["eid"])),
         ("aug_page", lambda m, c: m.hc_aug_page(
+            c["eid"], c["elrange_base"] + c["page"])),
+        ("trim_page", lambda m, c: m.hc_trim_page(
             c["eid"], c["elrange_base"] + c["page"])),
         ("enter", lambda m, c: m.hc_enter(c["eid"])),
         ("exit", lambda m, c: m.hc_exit(c["eid"])),
@@ -234,14 +238,40 @@ def enumerate_injectable_steps(world_factory, calls,
     return per_call
 
 
+def scheduled_runner(invoke, monitor, ctx):
+    """Run one hypercall as vCPU 0 of a one-task deterministic schedule.
+
+    The determinism guard: handing ``runner=scheduled_runner`` to
+    :func:`crash_step_campaign` must change *nothing* — same fired
+    faults, same verdicts — because a single-vCPU schedule has exactly
+    one enabled choice at every decision and the concurrency plane's
+    journal rollback must be observation-equivalent to the sequential
+    whole-monitor snapshot.
+    """
+    from repro.concurrency import DeterministicScheduler, Schedule
+
+    box = {}
+
+    def task():
+        box["result"] = invoke(monitor, ctx)
+
+    scheduler = DeterministicScheduler(monitor, [task], Schedule())
+    run = scheduler.run()
+    for exc in run.task_errors.values():
+        raise exc
+    return box.get("result")
+
+
 def crash_step_campaign(world_factory, calls, *,
                         sites: Sequence[str] = DEFAULT_SITES,
-                        seed=0) -> CampaignReport:
+                        seed=0, runner=None) -> CampaignReport:
     """Sweep every fault site × every step index of every hypercall.
 
     ``world_factory() -> (monitor, ctx)`` must be deterministic;
     ``calls`` is an ordered workload of ``(name, invoke)`` pairs where
     ``invoke(monitor, ctx)`` performs exactly one hypercall.
+    ``runner``, if given, wraps each *armed* invocation (the fault-free
+    world rebuilding stays direct) — see :func:`scheduled_runner`.
     """
     from repro.hyperenclave.txn import monitor_digest
     from repro.security.invariants import check_all_invariants
@@ -259,7 +289,10 @@ def crash_step_campaign(world_factory, calls, *,
                 outcome, detail = "completed", ""
                 with installed(plane):
                     try:
-                        invoke(monitor, ctx)
+                        if runner is None:
+                            invoke(monitor, ctx)
+                        else:
+                            runner(invoke, monitor, ctx)
                     except HypercallAborted as exc:
                         outcome, detail = "aborted", str(exc.cause)
                     except (FaultInjected, ReproError) as exc:
@@ -273,7 +306,7 @@ def crash_step_campaign(world_factory, calls, *,
                     hypercall=name, site=site, step=step, kind=kind,
                     outcome=outcome, fired=bool(plane.fired),
                     rolled_back=rolled_back, invariants_ok=invariants_ok,
-                    detail=detail))
+                    detail=detail, fired_faults=tuple(plane.fired)))
     return report
 
 
@@ -482,4 +515,261 @@ def crash_ni_campaign(two_worlds_factory=None, trace=None, *,
                     rolled_back=symmetric if fired else None,
                     invariants_ok=indistinguishable,
                     detail=f"trace step {index}"))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Multi-vCPU interleaving campaigns
+# ---------------------------------------------------------------------------
+
+
+def default_concurrent_workloads(state, ctx):
+    """Two racing vCPU scripts over one shared monitor.
+
+    vCPU 0 (the management core) builds an enclave and then trims its
+    only page — the SGX2 shrink path whose TLB shootdown is
+    load-bearing.  vCPU 1 (the application core) races an
+    enter → load → load → exit session through the same enclave.  Every
+    step goes through the transition system (so each is a preemption
+    point), and mis-sequenced steps — entering before ``init`` landed,
+    loading after a rejected enter — are tolerated skips, which is what
+    lets *every* interleaving of the two scripts run to completion.
+    """
+    from repro.hyperenclave.monitor import HOST_ID
+    from repro.security.transitions import Hypercall, MemLoad
+
+    page, base = ctx["page"], ctx["elrange_base"]
+    host_script = [
+        Hypercall(HOST_ID, "create",
+                  (base, 4 * page, 12 * page, ctx["mbuf_pa"], page)),
+        Hypercall(HOST_ID, "add_page", (1, base, ctx["src_pa"])),
+        Hypercall(HOST_ID, "init", (1,)),
+        Hypercall(HOST_ID, "trim_page", (1, base)),
+    ]
+    guest_script = [
+        Hypercall(HOST_ID, "enter", (1,)),
+        MemLoad(1, base, "rax"),
+        MemLoad(1, base, "rbx"),
+        Hypercall(1, "exit", (1,)),
+    ]
+
+    def script_task(script):
+        def run():
+            for step in script:
+                _apply_tolerant(state, step)
+        return run
+
+    return [script_task(host_script), script_task(guest_script)]
+
+
+def make_interleaved_run(monitor_cls=None, config=None, *,
+                         workloads=None, probe=True):
+    """A ``run_world(secret, schedule) -> (state, RunResult)`` factory.
+
+    Each call rebuilds the whole world from scratch (stateless model
+    checking): a two-vCPU monitor, one app, a source page holding
+    ``secret``, and the vCPU scripts from ``workloads`` (default
+    :func:`default_concurrent_workloads`), then executes ``schedule``
+    under the deterministic scheduler with the stale-translation
+    detector probing after every decision.
+    """
+    from repro.concurrency import DeterministicScheduler
+    from repro.concurrency.shootdown import detect_stale_translations
+    from repro.hyperenclave.constants import TINY
+    from repro.hyperenclave.monitor import RustMonitor
+    from repro.security.oracle import DataOracle
+    from repro.security.state import SystemState
+
+    config = config or TINY
+    cls = monitor_cls or RustMonitor
+    build = workloads or default_concurrent_workloads
+
+    def run_world(secret, schedule):
+        monitor = cls(config, num_vcpus=2)
+        primary_os = monitor.primary_os
+        primary_os.spawn_app(1)
+        page = config.page_size
+        ctx = {
+            "page": page,
+            "mbuf_pa": config.frame_base(primary_os.reserve_data_frame()),
+            "src_pa": config.frame_base(primary_os.reserve_data_frame()),
+            "elrange_base": 16 * page,
+        }
+        primary_os.gpa_write_word(ctx["src_pa"], secret)
+        state = SystemState(monitor, DataOracle.seeded(13))
+        scheduler = DeterministicScheduler(
+            monitor, build(state, ctx), schedule,
+            probe=detect_stale_translations if probe else None)
+        result = scheduler.run()
+        # Scrub the source page the harness used to seed the secret —
+        # the concurrent analogue of :func:`default_two_worlds` zeroing
+        # it right after ``hc_add_page``.  Once inside the enclave the
+        # secret is exactly what noninterference must hide; the staging
+        # copy in host memory is a harness artifact, not a channel.
+        primary_os.gpa_write_word(ctx["src_pa"], 0)
+        return state, result
+
+    return run_world
+
+
+def interleaving_campaign(monitor_cls=None, *, preemption_bound=2,
+                          max_schedules=600, seed=0, check_ni=True,
+                          crash=None, config=None, observers=None):
+    """The systematic interleaving sweep — the concurrency tentpole.
+
+    Bounded-preemption exploration over the racing-vCPU workload, with
+    the full verification battery applied to *every* explored schedule:
+    the run's own findings (lock-discipline violations, stale
+    translations, vCPU errors), all Sec. 5.2 invariant families plus
+    the per-vCPU consistency check on the final state, and (with
+    ``check_ni``) the two-world noninterference re-run — the same
+    schedule executed in a secret-41 and a secret-42 world must produce
+    the identical scheduler trace and observer-indistinguishable final
+    states.  Returns the explorer's
+    :class:`~repro.concurrency.explorer.ExplorationResult`; every
+    violation carries its replayable ``(seed, schedule)``.
+    """
+    from repro.concurrency import explore
+    from repro.hyperenclave.monitor import HOST_ID
+    from repro.security.invariants import (
+        check_all_invariants,
+        check_vcpu_consistency,
+    )
+    from repro.security.noninterference import check_schedule_noninterference
+
+    run_world = make_interleaved_run(monitor_cls, config)
+    holder = {}
+
+    def run_schedule(schedule):
+        state, result = run_world(41, schedule)
+        holder["state"] = state
+        return result
+
+    watchers = list(observers) if observers is not None else [HOST_ID]
+
+    def check(schedule, result):
+        findings = []
+        monitor = holder["state"].monitor
+        report = check_all_invariants(monitor)
+        for family in report.violated_families():
+            for item in report.violations[family]:
+                findings.append(("invariant", f"[{family}] {item}"))
+        for item in check_vcpu_consistency(monitor):
+            findings.append(("vcpu-consistency", item))
+        if check_ni:
+            for violation in check_schedule_noninterference(
+                    run_world, schedule, watchers):
+                findings.append(("noninterference", str(violation)))
+        return findings
+
+    return explore(run_schedule, seed=seed,
+                   preemption_bound=preemption_bound,
+                   max_schedules=max_schedules, crash=crash, check=check)
+
+
+@dataclass
+class CrashRecord:
+    """One vCPU crash delivered at one critical-section yield point."""
+
+    vid: int
+    yield_index: int
+    kind: str
+    detail: Optional[str]
+    locks_held: Tuple[str, ...]
+    parked: bool
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Did the monitor absorb this mid-critical-section crash?"""
+        return not self.violations
+
+
+@dataclass
+class CrashCampaignReport:
+    """Aggregate of a crash-in-critical-section sweep."""
+
+    monitor: str
+    critical_yields: int = 0
+    records: List[CrashRecord] = field(default_factory=list)
+
+    def failures(self) -> List[CrashRecord]:
+        return [record for record in self.records if not record.ok]
+
+    @property
+    def ok(self):
+        return not self.failures()
+
+    def render(self, title="Crash-in-critical-section campaign") -> str:
+        """A per-(vid, yield-kind) table plus one summary line."""
+        from repro.reporting import render_table
+        grouped: Dict[Tuple[int, str], List[CrashRecord]] = {}
+        for record in self.records:
+            grouped.setdefault((record.vid, record.kind),
+                               []).append(record)
+        rows = []
+        for (vid, kind), records in sorted(grouped.items()):
+            rows.append([
+                f"vcpu{vid}", kind, len(records),
+                max(len(r.locks_held) for r in records),
+                sum(1 for r in records if r.parked),
+                "ok" if all(r.ok for r in records) else "FAIL",
+            ])
+        table = render_table(
+            ["vcpu", "crashed at", "crashes", "max locks held",
+             "parked", "verdict"],
+            rows, title=f"{title} — {self.monitor}")
+        summary = (f"total: {self.critical_yields} critical-section yield "
+                   f"points, {len(self.records)} crashes delivered, "
+                   f"{len(self.failures())} failures")
+        return table + "\n" + summary
+
+
+def crash_in_critical_section_campaign(monitor_cls=None, *, seed=0,
+                                       config=None) -> CrashCampaignReport:
+    """Kill a vCPU at every yield point inside a critical section.
+
+    This is PR 1's crash model composed with the concurrency plane:
+    first the root schedule runs cleanly and every yield taken while
+    the yielding vCPU held locks is collected; then, for each such
+    ``(vid, yield_index)``, the same schedule re-runs with the crash
+    armed.  The dying vCPU's transactional scope must roll its partial
+    hypercall back and release its locks (a dead vCPU may strand its
+    own work, never a lock), the other vCPU must run to completion, and
+    the final state must pass every invariant family plus the per-vCPU
+    consistency check.
+    """
+    from repro.concurrency import Schedule, result_violations
+    from repro.hyperenclave.monitor import RustMonitor
+    from repro.security.invariants import (
+        check_all_invariants,
+        check_vcpu_consistency,
+    )
+
+    cls = monitor_cls or RustMonitor
+    run_world = make_interleaved_run(monitor_cls, config)
+    _state, baseline = run_world(41, Schedule(seed=seed))
+    points = baseline.critical_yields()
+    report = CrashCampaignReport(monitor=cls.__name__,
+                                 critical_yields=len(points))
+    for point in points:
+        schedule = Schedule(seed=seed,
+                            crash=(point.vid, point.yield_index))
+        state, result = run_world(41, schedule)
+        found = [str(v) for v in result_violations(schedule, result)]
+        monitor = state.monitor
+        invariants = check_all_invariants(monitor)
+        for family in invariants.violated_families():
+            for item in invariants.violations[family]:
+                found.append(f"[invariant:{family}] {item} "
+                             f"(replay: {schedule.describe()})")
+        for item in check_vcpu_consistency(monitor):
+            found.append(f"[vcpu-consistency] {item} "
+                         f"(replay: {schedule.describe()})")
+        report.records.append(CrashRecord(
+            vid=point.vid, yield_index=point.yield_index,
+            kind=point.kind, detail=point.detail,
+            locks_held=point.locks_held,
+            parked=point.vid in result.parked,
+            violations=tuple(found)))
     return report

@@ -31,6 +31,13 @@ one tempting shortcut, reproducing the paper's negative examples:
   snapshot-rollback transaction, so a mid-hypercall failure strands
   partial mutations (the pre-transactional monitor; caught by the
   crash-step fault campaign rather than by any single invariant).
+* :class:`MissingLockMonitor` — drops the strict-2PL lock acquisition
+  while keeping every hypercall body; invisible to all sequential
+  checks, convicted by the interleaving explorer's lock-discipline
+  rules.
+* :class:`NoShootdownMonitor` — replaces the TLB shootdown protocol
+  with a local-only flush; convicted by the stale-translation detector
+  when another vCPU races a ``hc_trim_page``.
 
 All variants keep the full hypercall surface so identical workloads run
 against them.
@@ -342,6 +349,7 @@ class LeakyExitMonitor(RustMonitor):
             raise HypercallError("exit from a non-active enclave")
         enclave.saved_context = self.vcpu.context()
         # BUG: self.vcpu.restore(self.saved_host_context) is missing.
+        self.saved_host_context = None
         self.vcpu.gpt_root = None
         self.vcpu.ept_root = self.os_ept.root_frame
         self.tlb.flush_all()
@@ -371,6 +379,7 @@ class NoTlbFlushMonitor(RustMonitor):
             raise HypercallError("exit from a non-active enclave")
         enclave.saved_context = self.vcpu.context()
         self.vcpu.restore(self.saved_host_context)
+        self.saved_host_context = None
         self.vcpu.gpt_root = None
         self.vcpu.ept_root = self.os_ept.root_frame
         # BUG: self.tlb.flush_all() is missing.
@@ -427,7 +436,49 @@ class NonTransactionalMonitor(RustMonitor):
     hc_add_page = RustMonitor.hc_add_page.__wrapped__
     hc_aug_page = RustMonitor.hc_aug_page.__wrapped__
     hc_remove_page = RustMonitor.hc_remove_page.__wrapped__
+    hc_trim_page = RustMonitor.hc_trim_page.__wrapped__
     hc_init = RustMonitor.hc_init.__wrapped__
     hc_enter = RustMonitor.hc_enter.__wrapped__
     hc_exit = RustMonitor.hc_exit.__wrapped__
     hc_destroy = RustMonitor.hc_destroy.__wrapped__
+
+
+@_register
+class MissingLockMonitor(RustMonitor):
+    """Runs every hypercall with no locking discipline at all.
+
+    The hypercall *bodies* are unchanged — only the strict-2PL
+    pre-acquisition is dropped, which is exactly the bug a sequential
+    test suite can never see: every single-vCPU execution is identical
+    to the correct monitor's.  Under the interleaving explorer the
+    rule-3 mutation guards convict it on the very first schedule that
+    runs two lifecycle hypercalls on different vCPUs (unlocked
+    mutations of the EPCM, the frame pool, and the enclave directory),
+    and deeper schedules show the downstream damage those races cause.
+    """
+
+    BUG = "no-locking-discipline"
+
+    def _plan_locks(self, *names):
+        """BUG: acquire nothing; every mutation below runs unlocked."""
+
+
+@_register
+class NoShootdownMonitor(RustMonitor):
+    """Skips the remote TLB invalidations when unmapping live pages.
+
+    The tempting "optimisation": IPI round-trips are expensive, and the
+    *local* flush keeps the calling vCPU correct, so single-core tests
+    all pass.  But ``hc_trim_page`` on a live enclave races enclave
+    execution on other vCPUs by design — after the trim releases the
+    EPC frame, any other core that entered the enclave still holds the
+    dead translation in its TLB and reads a frame the EPCM no longer
+    accounts to the enclave.  The interleaving campaign's
+    stale-translation detector convicts exactly that window.
+    """
+
+    BUG = "no-tlb-shootdown"
+
+    def _tlb_shootdown(self):
+        """BUG: flush only the calling vCPU's TLB; no IPIs are sent."""
+        self.cpus[self.current_vid].tlb.flush_all()

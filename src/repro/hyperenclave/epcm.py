@@ -15,6 +15,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.concurrency import scheduler as conc
 from repro.errors import EpcExhausted, EpcmError
 from repro.faults import plane as faults
 
@@ -83,6 +84,7 @@ class Epcm:
         Exhaustion (organic, or injected via the ``epcm.allocate``
         site) raises the typed :class:`~repro.errors.EpcExhausted`.
         """
+        conc.guard_mutation("epcm")
         faults.allocation_gate(
             faults.SITE_EPCM_ALLOC,
             exhaust=lambda: EpcExhausted("EPC exhausted (injected)"))
@@ -97,6 +99,7 @@ class Epcm:
     def record(self, frame, eid, state, va=None):
         """Claim a *specific* free frame (used when the caller has
         already chosen the frame)."""
+        conc.guard_mutation("epcm")
         entry = self.entry_for_frame(frame)
         if not entry.is_free():
             raise EpcmError(
@@ -108,6 +111,7 @@ class Epcm:
 
     def release(self, frame, eid):
         """Free one frame after checking ownership."""
+        conc.guard_mutation("epcm")
         entry = self.entry_for_frame(frame)
         if entry.is_free():
             raise EpcmError(f"EPC frame {frame} already free")
@@ -119,6 +123,8 @@ class Epcm:
         entry.va = None
 
     def release_all(self, eid):
+        """Free every frame owned by enclave ``eid`` (destroy path)."""
+        conc.guard_mutation("epcm")
         for _, entry in self.entries():
             if entry.owner == eid:
                 entry.state = PageState.FREE

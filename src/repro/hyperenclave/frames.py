@@ -9,6 +9,7 @@ lowest non-trusted layer: its MIR transcription is verified against the
 
 from typing import Iterable, Optional
 
+from repro.concurrency import scheduler as conc
 from repro.errors import OutOfMemoryError, HypervisorError
 from repro.faults import plane as faults
 
@@ -59,6 +60,7 @@ class BitmapFrameAllocator:
         :class:`~repro.errors.ResourceExhausted`), never an untyped
         failure: callers rely on the type to roll back cleanly.
         """
+        conc.guard_mutation("frames")
         faults.allocation_gate(
             faults.SITE_FRAME_ALLOC,
             exhaust=lambda: OutOfMemoryError(
@@ -71,6 +73,7 @@ class BitmapFrameAllocator:
 
     def alloc_specific(self, frame) -> int:
         """Claim a specific free frame."""
+        conc.guard_mutation("frames")
         if not self.contains(frame):
             raise HypervisorError(f"frame {frame} outside the pool")
         index = frame - self.base
@@ -81,6 +84,7 @@ class BitmapFrameAllocator:
 
     def dealloc(self, frame):
         """Return a frame to the pool (double frees rejected)."""
+        conc.guard_mutation("frames")
         if not self.contains(frame):
             raise HypervisorError(f"frame {frame} outside the pool")
         index = frame - self.base

@@ -12,6 +12,7 @@ construction and the interesting proofs are about everything above.
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.concurrency import scheduler as conc
 from repro.errors import HypervisorError
 from repro.faults import plane as faults
 from repro.hyperenclave.constants import WORD_BYTES
@@ -45,7 +46,9 @@ class PhysMemory:
         installed plane the hook is a single ``None`` test.
         """
         index = self._word_index(paddr)
+        conc.yield_point("phys.write", f"word {paddr:#x}")
         value = faults.filter_write(paddr, value)
+        conc.record_phys_write(index, self._words.get(index, 0))
         masked = value & ((1 << 64) - 1)
         if masked == 0:
             self._words.pop(index, None)
@@ -63,9 +66,12 @@ class PhysMemory:
     # -- frame helpers --------------------------------------------------------------
 
     def zero_frame(self, frame):
-        """Clear every word of one frame."""
+        """Clear every word of one frame (one yield per frame)."""
         base = self.config.frame_base(frame) // WORD_BYTES
+        conc.yield_point("phys.write", f"zero frame {frame}")
         for offset in range(self.config.words_per_page):
+            conc.record_phys_write(base + offset,
+                                   self._words.get(base + offset, 0))
             self._words.pop(base + offset, None)
 
     def copy_frame(self, dst_frame, src_frame):
@@ -77,9 +83,13 @@ class PhysMemory:
         """
         dst = self.config.frame_base(dst_frame) // WORD_BYTES
         src = self.config.frame_base(src_frame) // WORD_BYTES
+        conc.yield_point("phys.write",
+                         f"copy frame {src_frame}->{dst_frame}")
         for offset in range(self.config.words_per_page):
             value = self._words.get(src + offset, 0)
             value = faults.filter_write((dst + offset) * WORD_BYTES, value)
+            conc.record_phys_write(dst + offset,
+                                   self._words.get(dst + offset, 0))
             if value == 0:
                 self._words.pop(dst + offset, None)
             else:
@@ -210,3 +220,35 @@ class VCpu:
     def clone(self):
         return VCpu(regs=dict(self.regs), gpt_root=self.gpt_root,
                     ept_root=self.ept_root)
+
+
+@dataclass
+class CpuLocal:
+    """Everything that is per-core on the real machine.
+
+    Each vCPU has its own register file, its own TLB, its own notion of
+    which principal it is running (``active``), and its own parked host
+    context across an enclave entry.  The monitor's scalar views of
+    these (``monitor.active`` etc.) dispatch on the executing vCPU.
+    """
+
+    vcpu: VCpu
+    tlb: Tlb
+    active: int = 0                       # HOST_ID
+    saved_host_context: Optional[Tuple] = None
+
+    def snapshot(self):
+        """Immutable capture for transactional rollback."""
+        return (dict(self.vcpu.regs), self.vcpu.gpt_root,
+                self.vcpu.ept_root, self.active,
+                self.saved_host_context, self.tlb.snapshot())
+
+    def load_snapshot(self, snapshot):
+        """Restore a :meth:`snapshot` (transactional rollback)."""
+        regs, gpt_root, ept_root, active, shc, tlb = snapshot
+        self.vcpu.regs = dict(regs)
+        self.vcpu.gpt_root = gpt_root
+        self.vcpu.ept_root = ept_root
+        self.active = active
+        self.saved_host_context = shc
+        self.tlb.load_snapshot(tlb)

@@ -22,8 +22,17 @@ calls between mutations are the named abort-at-step-k injection sites
 the crash-step campaign sweeps.
 """
 
+from contextlib import contextmanager
 from typing import Dict, Optional
 
+from repro.concurrency import scheduler as conc
+from repro.concurrency.locks import (
+    LOCK_ENCLAVES,
+    LOCK_EPCM,
+    LOCK_FRAMES,
+    enclave_lock,
+)
+from repro.concurrency.shootdown import tlb_shootdown
 from repro.errors import HypercallError, TranslationFault
 from repro.faults import plane as faults
 from repro.hyperenclave import pte
@@ -33,7 +42,7 @@ from repro.hyperenclave.enclave import Enclave, EnclaveState
 from repro.hyperenclave.epcm import Epcm, PageState
 from repro.hyperenclave.frames import BitmapFrameAllocator
 from repro.hyperenclave.guest import PrimaryOS
-from repro.hyperenclave.hardware import PhysMemory, Tlb, VCpu
+from repro.hyperenclave.hardware import CpuLocal, PhysMemory, Tlb, VCpu
 from repro.hyperenclave.mbuf import MarshallingBuffer
 from repro.hyperenclave.paging import PageTable, two_stage_translate
 
@@ -41,21 +50,32 @@ HOST_ID = 0  # principal id of the primary OS / normal VM
 
 
 class RustMonitor:
-    """The trusted monitor: owns secure memory and all EPTs."""
+    """The trusted monitor: owns secure memory and all EPTs.
+
+    The monitor serves ``num_vcpus`` virtual CPUs.  Register file, TLB,
+    active principal, and the parked host context are all per-vCPU
+    (:class:`~repro.hyperenclave.hardware.CpuLocal`); the scalar views
+    ``monitor.vcpu`` / ``monitor.tlb`` / ``monitor.active`` /
+    ``monitor.saved_host_context`` dispatch on the *executing* vCPU —
+    the scheduled task's vid under the concurrency plane, else the
+    monitor's own ``_vid`` cursor (settable via :meth:`on_cpu`).  With
+    the default single vCPU everything behaves exactly as before.
+    """
 
     def __init__(self, config, layout: Optional[MemoryLayout] = None,
-                 os_huge_pages=True):
+                 os_huge_pages=True, num_vcpus=1):
         self.config = config
         self.layout = layout or MemoryLayout.default_for(config)
         self.phys = PhysMemory(config)
-        self.tlb = Tlb()
         self.pt_allocator = BitmapFrameAllocator(self.layout.pt_pool_frames)
         self.epcm = Epcm(self.layout)
         self.enclaves: Dict[int, Enclave] = {}
         self._next_eid = 1
-        self.active = HOST_ID
-        self.vcpu = VCpu()
-        self.saved_host_context = None
+        if num_vcpus < 1:
+            raise HypercallError("a monitor needs at least one vCPU")
+        self.cpus = [CpuLocal(vcpu=VCpu(), tlb=Tlb())
+                     for _ in range(num_vcpus)]
+        self._vid = 0
         # Boot: build the normal VM's EPT — identity over untrusted
         # memory only.  Nothing in the secure range is ever entered here;
         # that absence *is* spatial isolation (Sec. 2.1).
@@ -64,7 +84,76 @@ class RustMonitor:
         self._boot_map_untrusted()
         self.primary_os = PrimaryOS(config, self.phys, self.os_ept,
                                     self.layout)
-        self.vcpu.ept_root = self.os_ept.root_frame
+        for cpu in self.cpus:
+            cpu.vcpu.ept_root = self.os_ept.root_frame
+
+    # -- per-vCPU views ---------------------------------------------------------------
+
+    @property
+    def num_vcpus(self):
+        return len(self.cpus)
+
+    @property
+    def current_vid(self) -> int:
+        """The executing vCPU: the scheduled task's, else the cursor."""
+        vid = conc.current_vid()
+        return self._vid if vid is None else vid
+
+    @property
+    def _cpu(self) -> CpuLocal:
+        return self.cpus[self.current_vid]
+
+    @property
+    def vcpu(self) -> VCpu:
+        return self._cpu.vcpu
+
+    @property
+    def tlb(self) -> Tlb:
+        return self._cpu.tlb
+
+    @property
+    def active(self) -> int:
+        return self._cpu.active
+
+    @active.setter
+    def active(self, value):
+        self._cpu.active = value
+
+    @property
+    def saved_host_context(self):
+        return self._cpu.saved_host_context
+
+    @saved_host_context.setter
+    def saved_host_context(self, value):
+        self._cpu.saved_host_context = value
+
+    @contextmanager
+    def on_cpu(self, vid):
+        """Point the scalar views at vCPU ``vid`` (observation helper)."""
+        if not 0 <= vid < len(self.cpus):
+            raise HypercallError(f"no vCPU {vid}")
+        old = self._vid
+        self._vid = vid
+        try:
+            yield self
+        finally:
+            self._vid = old
+
+    def _plan_locks(self, *names):
+        """Declare and pre-acquire this hypercall's whole lock set.
+
+        Strict two-phase locking with rank-ordered acquisition (see
+        :mod:`repro.concurrency.locks`); the transactional wrapper
+        releases everything at hypercall return.  A no-op without an
+        installed scheduler — and in the ``MissingLockMonitor`` bug
+        variant, which overrides this with ``pass``.
+        """
+        conc.acquire_locks(self, names)
+
+    def _tlb_shootdown(self):
+        """Run the TLB shootdown protocol (method indirection so the
+        ``NoShootdownMonitor`` bug variant can drop the remote IPIs)."""
+        tlb_shootdown(self)
 
     def _boot_map_untrusted(self):
         """Identity-map normal memory into the normal VM's EPT, using the
@@ -101,6 +190,7 @@ class RustMonitor:
         real-world bug of Sec. 4.1; see
         :class:`repro.hyperenclave.buggy.ShallowCopyMonitor`.)
         """
+        self._plan_locks(LOCK_ENCLAVES, LOCK_EPCM, LOCK_FRAMES)
         config = self.config
         self._require_page_aligned(elrange_base, "elrange_base")
         self._require_page_aligned(mbuf_va, "mbuf_va")
@@ -120,6 +210,7 @@ class RustMonitor:
                 raise HypercallError(
                     f"marshalling buffer page {pa_page:#x} is not in "
                     f"untrusted memory")
+        conc.guard_mutation(LOCK_ENCLAVES)
         eid = self._next_eid
         self._next_eid += 1
         faults.crash_point("hc.create", "validated")
@@ -141,6 +232,11 @@ class RustMonitor:
             if ept.query(pa_page) is None:
                 ept.map_page(pa_page, pa_page, pte.leaf_flags())
         faults.crash_point("hc.create", "mbuf-mapped")
+        # Publish: from here the tables are shared state guarded by the
+        # enclave's own lock (their mutations during construction above
+        # were private — nobody else could name them yet).
+        gpt.owner_lock = ept.owner_lock = enclave_lock(eid)
+        conc.guard_mutation(LOCK_ENCLAVES)
         self.enclaves[eid] = enclave
         return eid
 
@@ -149,6 +245,8 @@ class RustMonitor:
         """EADD: copy one source page from untrusted memory into a fresh
         EPC page and map it at ``va`` in the enclave.  Returns the EPC
         frame chosen."""
+        self._plan_locks(LOCK_ENCLAVES, enclave_lock(eid), LOCK_EPCM,
+                         LOCK_FRAMES)
         enclave = self._enclave(eid)
         enclave.require_state(EnclaveState.CREATED)
         config = self.config
@@ -191,6 +289,8 @@ class RustMonitor:
         destroy-time scrubbing load-bearing: the NoScrub buggy variant
         turns this hypercall into a cross-enclave leak.
         """
+        self._plan_locks(LOCK_ENCLAVES, enclave_lock(eid), LOCK_EPCM,
+                         LOCK_FRAMES)
         enclave = self._enclave(eid)
         enclave.require_state(EnclaveState.INITIALIZED)
         self._require_page_aligned(va, "va")
@@ -218,6 +318,7 @@ class RustMonitor:
         its EPCM entry freed — in that order, so no window exists where
         a mapping points at a free frame.
         """
+        self._plan_locks(LOCK_ENCLAVES, enclave_lock(eid), LOCK_EPCM)
         enclave = self._enclave(eid)
         enclave.require_state(EnclaveState.CREATED)
         self._require_page_aligned(va, "va")
@@ -233,12 +334,50 @@ class RustMonitor:
         self.phys.zero_frame(frame)
         faults.crash_point("hc.remove_page", "frame-scrubbed")
         self.epcm.release(frame, eid)
-        self.tlb.flush_all()
+        self._tlb_shootdown()
+        return frame
+
+    @transactional
+    def hc_trim_page(self, eid, va):
+        """EMODT/TRIM + ETRACK: take one REG page out of a *live* enclave.
+
+        The SGX2 memory-shrinking path: unlike ``hc_remove_page`` (a
+        pre-init recovery tool), trimming is legal on an initialized —
+        even currently entered — enclave, which is exactly what makes
+        the TLB shootdown load-bearing: another vCPU may be running
+        inside the enclave with the dying translation cached.  The
+        order is unmap GPT → unmap EPT → shootdown (ETRACK: no vCPU
+        still caches the translation) → scrub → release, so at no point
+        does any core reach a frame the EPCM no longer accounts to the
+        enclave.  The ``NoShootdownMonitor`` variant drops the remote
+        flushes and the interleaving campaign's stale-translation
+        detector convicts it.
+        """
+        self._plan_locks(LOCK_ENCLAVES, enclave_lock(eid), LOCK_EPCM)
+        enclave = self._enclave(eid)
+        enclave.require_state(EnclaveState.INITIALIZED,
+                              EnclaveState.RUNNING)
+        self._require_page_aligned(va, "va")
+        frame = self.epcm.lookup_mapping(eid, va)
+        if frame is None:
+            raise HypercallError(
+                f"no EPC page recorded at va {va:#x} for enclave {eid}")
+        gpa = enclave.elrange_gpa(va)
+        enclave.gpt.unmap(va)
+        faults.crash_point("hc.trim_page", "gpt-unmapped")
+        enclave.ept.unmap(gpa)
+        faults.crash_point("hc.trim_page", "ept-unmapped")
+        self._tlb_shootdown()
+        faults.crash_point("hc.trim_page", "shootdown-done")
+        self.phys.zero_frame(frame)
+        faults.crash_point("hc.trim_page", "frame-scrubbed")
+        self.epcm.release(frame, eid)
         return frame
 
     @transactional
     def hc_init(self, eid):
         """EINIT: freeze the memory layout; the enclave becomes enterable."""
+        self._plan_locks(LOCK_ENCLAVES, enclave_lock(eid))
         enclave = self._enclave(eid)
         enclave.require_state(EnclaveState.CREATED)
         faults.crash_point("hc.init", "pre-commit")
@@ -248,6 +387,7 @@ class RustMonitor:
     def hc_enter(self, eid):
         """Synchronous enclave entry: save host context, install the
         enclave's GPT/EPT roots, flush the TLB (Sec. 2.1)."""
+        self._plan_locks(LOCK_ENCLAVES, enclave_lock(eid))
         enclave = self._enclave(eid)
         enclave.require_state(EnclaveState.INITIALIZED)
         if self.active != HOST_ID:
@@ -269,6 +409,7 @@ class RustMonitor:
     @transactional
     def hc_exit(self, eid):
         """Enclave exit: save enclave context, restore the host world."""
+        self._plan_locks(LOCK_ENCLAVES, enclave_lock(eid))
         enclave = self._enclave(eid)
         enclave.require_state(EnclaveState.RUNNING)
         if self.active != eid:
@@ -276,6 +417,7 @@ class RustMonitor:
         enclave.saved_context = self.vcpu.context()
         faults.crash_point("hc.exit", "context-saved")
         self.vcpu.restore(self.saved_host_context)
+        self.saved_host_context = None  # consumed; nothing stays parked
         self.vcpu.gpt_root = None
         self.vcpu.ept_root = self.os_ept.root_frame
         self.tlb.flush_all()
@@ -287,6 +429,8 @@ class RustMonitor:
     def hc_destroy(self, eid):
         """Tear down an enclave: scrub and release its EPC pages and
         page-table frames."""
+        self._plan_locks(LOCK_ENCLAVES, enclave_lock(eid), LOCK_EPCM,
+                         LOCK_FRAMES)
         enclave = self._enclave(eid)
         enclave.require_state(EnclaveState.CREATED,
                               EnclaveState.INITIALIZED)
@@ -303,8 +447,9 @@ class RustMonitor:
             self.phys.zero_frame(frame)
             self.pt_allocator.dealloc(frame)
         faults.crash_point("hc.destroy", "ept-freed")
-        self.tlb.flush_all()  # its translations die with it
+        self._tlb_shootdown()  # its translations die with it, on every core
         enclave.state = EnclaveState.DESTROYED
+        conc.guard_mutation(LOCK_ENCLAVES)
         del self.enclaves[eid]
 
     # -- memory access on behalf of principals (used by the security model) ----------

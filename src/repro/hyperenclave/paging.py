@@ -20,6 +20,7 @@ addresses.
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.concurrency import scheduler as conc
 from repro.errors import PagingError, ReproError, TranslationFault
 from repro.faults import plane as faults
 from repro.hyperenclave import pte
@@ -65,6 +66,10 @@ class PageTable:
         self.allocator = allocator
         self.allow_huge = allow_huge
         self.name = name
+        # Lock discipline: when set (to a lock name), every structural
+        # mutation of this table must run under that lock.  hc_create
+        # publishes the owning enclave's lock here.
+        self.owner_lock = None
         if root_frame is None:
             root_frame = allocator.alloc()
             phys.zero_frame(root_frame)
@@ -154,6 +159,8 @@ class PageTable:
         unwound before the error propagates — a failed ``map_page``
         never consumes frames.
         """
+        if self.owner_lock is not None:
+            conc.guard_mutation(self.owner_lock)
         va = self.config.canonical_va(va)
         if self.config.page_offset(va) or self.config.page_offset(paddr):
             raise PagingError(
@@ -177,6 +184,8 @@ class PageTable:
 
     def map_huge(self, va, paddr, level, flags):
         """Install a huge mapping covering ``level_span(level)`` bytes."""
+        if self.owner_lock is not None:
+            conc.guard_mutation(self.owner_lock)
         if not self.allow_huge:
             raise PagingError(f"{self.name}: huge pages are not allowed")
         if level < 2 or level > self.config.levels:
@@ -212,6 +221,8 @@ class PageTable:
         reclaim them during an enclave's lifetime; the whole tree is
         reclaimed on enclave destruction).
         """
+        if self.owner_lock is not None:
+            conc.guard_mutation(self.owner_lock)
         result = self.walk(va)
         if not result.complete:
             raise PagingError(f"{self.name}: va {va:#x} is not mapped")

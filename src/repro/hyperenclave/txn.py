@@ -11,23 +11,34 @@ validation, resource exhaustion, or an injected fault — restore the
 checkpoint before re-raising, so the observable state machine only ever
 moves in whole hypercalls.
 
-The checkpoint is a value snapshot of everything a hypercall can touch:
-physical memory (which transitively holds every page table), the
-page-table frame allocator bitmap, the EPCM array, the per-enclave
-metadata, the vCPU, the TLB, and the monitor's scalars.  On the
-simulated machine this is cheap (the sparse word store is the dominant
-cost); a real monitor would keep an undo journal instead, but the
-contract is identical and that is what the campaigns verify.
+Two rollback strategies, same contract:
 
-Restoration runs with the fault plane suspended: rolling back must not
-itself trip a ``phys.write`` injection, or the system could never
-recover.
+* **Sequential** (no scheduler installed): a full value snapshot of
+  everything a hypercall can touch — physical memory (which
+  transitively holds every page table), the allocator bitmap, the EPCM
+  array, the per-enclave metadata, every vCPU, and the monitor's
+  scalars.  Cheap on the simulated machine.
+* **Concurrent** (running as a scheduled vCPU task): a whole-monitor
+  snapshot would capture — and on rollback clobber — *other vCPUs'*
+  in-flight writes.  Instead each task keeps a :class:`TxnScope`: a
+  first-write-wins undo journal of physical words (fed by the
+  ``phys.write`` hooks), lazy snapshots of each lock-guarded structure
+  taken at acquire time (2PL guarantees nobody else touches it until
+  release), and a capture of the task's own CPU-local state.  Rolling
+  back undoes exactly the aborted vCPU's footprint.  Remote TLB flushes
+  already sent by a shootdown are deliberately not undone — flushing a
+  cache is always safe, and real IPIs cannot be recalled.
+
+Restoration runs with the fault plane and the scheduler hooks
+suspended: rolling back must not itself trip a ``phys.write`` injection
+or hand the CPU away mid-undo.
 """
 
 import functools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.concurrency import scheduler as conc
 from repro.errors import (
     FaultInjected,
     HypercallAborted,
@@ -47,12 +58,7 @@ class MonitorCheckpoint:
     enclaves: Dict[int, object]                  # eid -> Enclave (by ref)
     enclave_meta: Dict[int, Tuple]               # eid -> mutable fields
     next_eid: int
-    active: int
-    saved_host_context: Optional[Tuple]
-    vcpu_regs: Dict[str, int]
-    vcpu_gpt_root: Optional[int]
-    vcpu_ept_root: Optional[int]
-    tlb: Tuple
+    cpus: Tuple                                  # CpuLocal.snapshot() each
 
 
 def capture(monitor) -> MonitorCheckpoint:
@@ -67,12 +73,7 @@ def capture(monitor) -> MonitorCheckpoint:
                   enclave.measurement)
             for eid, enclave in monitor.enclaves.items()},
         next_eid=monitor._next_eid,
-        active=monitor.active,
-        saved_host_context=monitor.saved_host_context,
-        vcpu_regs=dict(monitor.vcpu.regs),
-        vcpu_gpt_root=monitor.vcpu.gpt_root,
-        vcpu_ept_root=monitor.vcpu.ept_root,
-        tlb=monitor.tlb.snapshot(),
+        cpus=tuple(cpu.snapshot() for cpu in monitor.cpus),
     )
 
 
@@ -90,12 +91,8 @@ def restore(monitor, checkpoint: MonitorCheckpoint):
         enclave.saved_context = saved_context
         enclave.measurement = measurement
     monitor._next_eid = checkpoint.next_eid
-    monitor.active = checkpoint.active
-    monitor.saved_host_context = checkpoint.saved_host_context
-    monitor.vcpu.regs = dict(checkpoint.vcpu_regs)
-    monitor.vcpu.gpt_root = checkpoint.vcpu_gpt_root
-    monitor.vcpu.ept_root = checkpoint.vcpu_ept_root
-    monitor.tlb.load_snapshot(checkpoint.tlb)
+    for cpu, snapshot in zip(monitor.cpus, checkpoint.cpus):
+        cpu.load_snapshot(snapshot)
 
 
 def monitor_digest(monitor) -> Tuple:
@@ -104,9 +101,9 @@ def monitor_digest(monitor) -> Tuple:
     Two monitors with equal digests are indistinguishable to every
     invariant checker and to every observation function: physical
     memory (hence all page tables), allocator bitmap, EPCM, enclave
-    metadata, scheduling scalars, vCPU, and live TLB entries.  The TLB
-    *flush count* is deliberately excluded — it is telemetry, not
-    state.
+    metadata, scheduling scalars, and every vCPU with its live TLB
+    entries.  The TLB *flush counts* are deliberately excluded — they
+    are telemetry, not state.
     """
     return (
         monitor.phys.snapshot(),
@@ -118,13 +115,119 @@ def monitor_digest(monitor) -> Tuple:
              enclave.ept.root_frame)
             for eid, enclave in monitor.enclaves.items())),
         monitor._next_eid,
-        monitor.active,
-        monitor.saved_host_context,
-        monitor.vcpu.context(),
-        monitor.vcpu.gpt_root,
-        monitor.vcpu.ept_root,
-        monitor.tlb.snapshot()[0],
+        tuple((cpu.active, cpu.saved_host_context, cpu.vcpu.context(),
+               cpu.vcpu.gpt_root, cpu.vcpu.ept_root,
+               cpu.tlb.snapshot()[0])
+              for cpu in monitor.cpus),
     )
+
+
+# ---------------------------------------------------------------------------
+# Concurrent rollback: the per-task undo scope
+# ---------------------------------------------------------------------------
+
+_MISSING = object()  # enclave lock taken for an eid that did not exist
+
+
+@dataclass
+class TxnScope:
+    """The undo footprint of one in-flight concurrent hypercall.
+
+    * ``journal`` — physical words overwritten by *this* task, first
+      write wins (fed by :func:`repro.concurrency.scheduler
+      .record_phys_write`).  Covers every page-table entry, frame copy,
+      and scrub, because all tables live in physical memory.
+    * ``structures`` — value snapshots of each lock-guarded structure,
+      taken lazily when the lock is acquired.  Under strict 2PL no
+      other task can have mutated a structure between acquire and
+      abort, so restoring the acquire-time snapshot is exact.
+    * ``cpu`` — the task's own CPU-local capture from hypercall entry.
+    """
+
+    vid: int
+    cpu: Tuple
+    journal: Dict[int, int] = field(default_factory=dict)
+    structures: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def begin(cls, monitor, vid) -> "TxnScope":
+        return cls(vid=vid, cpu=monitor.cpus[vid].snapshot())
+
+    def record_word(self, index, old_value):
+        self.journal.setdefault(index, old_value)
+
+    def snapshot_structure(self, monitor, lock_name):
+        """Capture the acquire-time value of one lock-guarded structure
+        (idempotent — the first capture per lock wins)."""
+        if lock_name in self.structures:
+            return
+        if lock_name == "frames":
+            value = monitor.pt_allocator.snapshot()
+        elif lock_name == "epcm":
+            value = monitor.epcm.snapshot()
+        elif lock_name == "enclaves":
+            value = (dict(monitor.enclaves), monitor._next_eid)
+        elif lock_name.startswith("enclave:"):
+            eid = int(lock_name.split(":", 1)[1])
+            enclave = monitor.enclaves.get(eid)
+            if enclave is None:
+                value = _MISSING
+            else:
+                value = (enclave, enclave.state, enclave.saved_context,
+                         enclave.measurement)
+        else:
+            raise HypervisorError(f"no snapshot rule for lock {lock_name!r}")
+        self.structures[lock_name] = value
+
+    def rollback(self, monitor):
+        """Undo this task's footprint; leaves other vCPUs' work alone."""
+        with conc.suspended(), faults.suspended():
+            words = monitor.phys._words
+            for index, old_value in self.journal.items():
+                if old_value == 0:
+                    words.pop(index, None)
+                else:
+                    words[index] = old_value
+            for lock_name, value in self.structures.items():
+                if value is _MISSING:
+                    continue
+                if lock_name == "frames":
+                    monitor.pt_allocator.load_snapshot(value)
+                elif lock_name == "epcm":
+                    monitor.epcm.load_snapshot(value)
+                elif lock_name == "enclaves":
+                    enclaves, next_eid = value
+                    monitor.enclaves.clear()
+                    monitor.enclaves.update(enclaves)
+                    monitor._next_eid = next_eid
+                else:
+                    enclave, state, saved_context, measurement = value
+                    enclave.state = state
+                    enclave.saved_context = saved_context
+                    enclave.measurement = measurement
+            monitor.cpus[self.vid].load_snapshot(self.cpu)
+
+
+def _run_concurrent(fn, monitor, args, kwargs, task):
+    """The scheduled-vCPU flavour of a transactional hypercall."""
+    scope = TxnScope.begin(monitor, task.vid)
+    task.txn_scope = scope
+    try:
+        return fn(monitor, *args, **kwargs)
+    except HypercallError:
+        scope.rollback(monitor)
+        raise
+    except (FaultInjected, HypervisorError) as exc:
+        scope.rollback(monitor)
+        raise HypercallAborted(fn.__name__, exc) from exc
+    finally:
+        task.txn_scope = None
+        # Strict 2PL exit: drop every lock, yield the hc.return point,
+        # and self-check rule 2.  This runs on the abort path too —
+        # including a vCPU crash, whose park is delivered *at* that
+        # yield, after the locks are gone: a crashed vCPU can strand
+        # work, never locks.
+        conc.release_locks(fn.__name__)
 
 
 def transactional(fn):
@@ -137,6 +240,10 @@ def transactional(fn):
       other hypervisor error) re-raise as the typed
       :class:`HypercallAborted`, chaining the cause.
 
+    On a scheduled vCPU task the journal-based :class:`TxnScope` path
+    is used instead of the whole-monitor snapshot; see the module
+    docstring for why.
+
     The undecorated body stays reachable as ``__wrapped__`` — the
     deliberately broken ``NonTransactionalMonitor`` uses it, and the
     fault campaign demonstrates that variant violating rollback.
@@ -144,6 +251,9 @@ def transactional(fn):
 
     @functools.wraps(fn)
     def wrapper(self, *args, **kwargs):
+        task = conc.current_task()
+        if task is not None:
+            return _run_concurrent(fn, self, args, kwargs, task)
         checkpoint = capture(self)
         try:
             return fn(self, *args, **kwargs)

@@ -244,6 +244,57 @@ def check_pt_residency(monitor) -> List[str]:
     return violations
 
 
+def check_vcpu_consistency(monitor) -> List[str]:
+    """Per-vCPU scheduling state is internally consistent.
+
+    For every core: a host-mode vCPU has no parked host context and the
+    OS EPT installed; an enclave-mode vCPU points at a live, RUNNING
+    enclave whose table roots match the installed ones, with the host
+    context parked for the eventual exit.  Checked standalone by the
+    interleaving campaign (not one of the sequential ``FAMILIES`` —
+    with one vCPU the transition system already enforces it by
+    construction).
+    """
+    from repro.hyperenclave.monitor import HOST_ID
+    violations = []
+    for vid, cpu in enumerate(monitor.cpus):
+        if cpu.active == HOST_ID:
+            if cpu.saved_host_context is not None:
+                violations.append(
+                    f"vcpu{vid}: host active but a host context is parked")
+            if cpu.vcpu.gpt_root is not None:
+                violations.append(
+                    f"vcpu{vid}: host active but an enclave GPT root "
+                    f"{cpu.vcpu.gpt_root} is installed")
+            if cpu.vcpu.ept_root != monitor.os_ept.root_frame:
+                violations.append(
+                    f"vcpu{vid}: host active but EPT root is "
+                    f"{cpu.vcpu.ept_root}, not the OS EPT")
+            continue
+        enclave = monitor.enclaves.get(cpu.active)
+        if enclave is None:
+            violations.append(
+                f"vcpu{vid}: active enclave {cpu.active} does not exist")
+            continue
+        if enclave.state.value != "running":
+            violations.append(
+                f"vcpu{vid}: active enclave {cpu.active} is in state "
+                f"{enclave.state.value}, not running")
+        if cpu.vcpu.gpt_root != enclave.gpt.root_frame:
+            violations.append(
+                f"vcpu{vid}: GPT root {cpu.vcpu.gpt_root} does not match "
+                f"enclave {cpu.active}'s ({enclave.gpt.root_frame})")
+        if cpu.vcpu.ept_root != enclave.ept.root_frame:
+            violations.append(
+                f"vcpu{vid}: EPT root {cpu.vcpu.ept_root} does not match "
+                f"enclave {cpu.active}'s ({enclave.ept.root_frame})")
+        if cpu.saved_host_context is None:
+            violations.append(
+                f"vcpu{vid}: inside enclave {cpu.active} with no parked "
+                f"host context to exit to")
+    return violations
+
+
 # ---------------------------------------------------------------------------
 # Aggregation
 # ---------------------------------------------------------------------------

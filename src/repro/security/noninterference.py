@@ -194,6 +194,40 @@ def check_theorem_noninterference(worlds, trace, observers,
     return violations
 
 
+def check_schedule_noninterference(run_world, schedule,
+                                   observers) -> List[NIViolation]:
+    """Two-world noninterference over one *interleaved* execution.
+
+    ``run_world(secret, schedule)`` must build a fresh world whose
+    victim enclave holds ``secret`` and execute ``schedule`` under the
+    deterministic scheduler, returning ``(state, RunResult)``.  The two
+    worlds (secrets 41 and 42, the paper's example pair) must first
+    produce the *identical* scheduler trace — if the interleaving
+    itself depends on the secret, that is already a scheduling side
+    channel — and must then be indistinguishable to every observer on
+    every vCPU's view of the final state.
+    """
+    state_a, result_a = run_world(41, schedule)
+    state_b, result_b = run_world(42, schedule)
+    violations = []
+    if result_a.trace != result_b.trace:
+        violations.append(NIViolation(
+            lemma="schedule-ni", step_index=-1, observer=-1,
+            components=("scheduler-trace",),
+            detail="the interleaving itself depends on the secret"))
+        return violations
+    for observer in observers:
+        for vid in range(state_a.monitor.num_vcpus):
+            with state_a.monitor.on_cpu(vid), state_b.monitor.on_cpu(vid):
+                diff = observation_diff(state_a, state_b, observer)
+            if diff:
+                violations.append(NIViolation(
+                    lemma="schedule-ni", step_index=len(result_a.trace),
+                    observer=observer, components=diff,
+                    detail=f"final state as seen from vcpu{vid}"))
+    return violations
+
+
 def assert_noninterference(worlds, trace, observers):
     """Raise :class:`NoninterferenceViolation` on the first witness."""
     violations = check_theorem_noninterference(worlds, trace, observers,

@@ -21,6 +21,7 @@ hits the real simulated memory.
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.concurrency import scheduler as conc
 from repro.errors import (
     HypercallError,
     HypervisorError,
@@ -210,7 +211,14 @@ def _resolve(state, step, write) -> Optional[int]:
 
 
 def apply_step(state, step) -> StepOutcome:
-    """Apply one step to ``state`` (in place)."""
+    """Apply one step to ``state`` (in place).
+
+    Under the deterministic scheduler each step is a preemption point
+    (``step`` is a branch kind): the explorer may hand the CPU to a
+    different vCPU between any two steps of a workload, which is the
+    hardware-level interleaving the concurrency plane quantifies over.
+    """
+    conc.yield_point("step", type(step).__name__)
     state.step_count += 1
     if isinstance(step, LocalCompute):
         return _apply_local(state, step)
@@ -278,7 +286,8 @@ def _apply_store(state, step) -> StepOutcome:
 
 
 _HOST_HYPERCALLS = frozenset({"create", "add_page", "aug_page",
-                              "remove_page", "init", "enter", "destroy"})
+                              "remove_page", "trim_page", "init", "enter",
+                              "destroy"})
 
 
 def _apply_hypercall(state, step) -> StepOutcome:

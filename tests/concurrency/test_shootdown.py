@@ -1,0 +1,92 @@
+"""TLB shootdown and the stale-translation detector."""
+
+from functools import partial
+
+from repro.hyperenclave import buggy
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.monitor import RustMonitor
+from repro.concurrency.shootdown import (
+    detect_stale_translations,
+    tlb_shootdown,
+)
+
+from tests.conftest import build_enclave_world
+
+PAGE = TINY.page_size
+
+
+def two_vcpu_world(monitor_cls=RustMonitor):
+    return build_enclave_world(
+        monitor_cls=partial(monitor_cls, num_vcpus=2))
+
+
+def cache_translation(monitor, eid, va):
+    """Make vCPU 1 run the enclave with ``va``'s translation cached."""
+    pa = TINY.page_base(monitor.enclave_translate(eid, va, write=False))
+    monitor.cpus[1].active = eid
+    monitor.cpus[1].tlb.insert(eid, (va, False), pa)
+    return pa
+
+
+class TestShootdown:
+    def test_flushes_every_vcpu(self):
+        monitor, _app, eid = two_vcpu_world()
+        monitor.cpus[0].tlb.insert(eid, (16 * PAGE, False), 0x111)
+        monitor.cpus[1].tlb.insert(eid, (16 * PAGE, False), 0x222)
+        tlb_shootdown(monitor)
+        assert len(monitor.cpus[0].tlb) == 0
+        assert len(monitor.cpus[1].tlb) == 0
+
+    def test_trim_shoots_down_remote_tlbs(self):
+        monitor, _app, eid = two_vcpu_world()
+        va = 16 * PAGE
+        cache_translation(monitor, eid, va)
+        monitor.hc_trim_page(eid, va)
+        assert monitor.cpus[1].tlb.lookup(eid, (va, False)) is None
+        assert not detect_stale_translations(monitor)
+
+
+class TestDetector:
+    def test_live_translation_is_clean(self):
+        monitor, _app, eid = two_vcpu_world()
+        cache_translation(monitor, eid, 16 * PAGE)
+        assert detect_stale_translations(monitor) == []
+
+    def test_host_vcpus_are_skipped(self):
+        monitor, _app, eid = two_vcpu_world()
+        # Host loads go through the direct physical map, not this TLB;
+        # a leftover entry on a host-mode vCPU convicts nobody.
+        monitor.cpus[1].tlb.insert(eid, (16 * PAGE, False), 0x333)
+        assert monitor.cpus[1].active == 0
+        assert detect_stale_translations(monitor) == []
+
+    def test_unmapped_but_unreleased_page_is_benign(self):
+        monitor, _app, eid = two_vcpu_world()
+        va = 16 * PAGE
+        cache_translation(monitor, eid, va)
+        # The mid-shootdown window: the GPT mapping is gone but the
+        # EPCM still accounts the frame to (eid, va) as a REG page.
+        monitor.enclaves[eid].gpt.unmap(va)
+        assert detect_stale_translations(monitor) == []
+
+    def test_released_frame_is_convicted(self):
+        monitor, _app, eid = two_vcpu_world(buggy.NoShootdownMonitor)
+        va = 16 * PAGE
+        pa = cache_translation(monitor, eid, va)
+        monitor.hc_trim_page(eid, va)   # BUG: only vCPU 0's TLB flushed
+        findings = detect_stale_translations(monitor)
+        assert len(findings) == 1
+        stale = findings[0]
+        assert stale.vid == 1 and stale.principal == eid
+        assert stale.va_page == va and stale.cached_pa == pa
+        assert "free" in stale.reason
+
+    def test_remapped_va_is_convicted(self):
+        monitor, _app, eid = two_vcpu_world()
+        va = 16 * PAGE
+        cache_translation(monitor, eid, va)
+        # Point the cached entry at a non-EPC frame the walk disowns.
+        monitor.cpus[1].tlb.insert(eid, (va, False), 0)
+        findings = detect_stale_translations(monitor)
+        assert len(findings) == 1
+        assert "maps to" in findings[0].reason

@@ -140,7 +140,7 @@ class TestNoTlbFlushMonitor:
 
 class TestRegistry:
     def test_all_variants_registered(self):
-        assert len(buggy.ALL_BUGGY_MONITORS) == 11
+        assert len(buggy.ALL_BUGGY_MONITORS) == 13
         assert all(hasattr(cls, "BUG") for cls in buggy.ALL_BUGGY_MONITORS)
 
     def test_bug_tags_unique(self):
