@@ -8,186 +8,17 @@ crash-consistency bug by the fault-injection campaign, and the two
 concurrency bugs (missing locking discipline, missing TLB shootdown)
 by the bounded-preemption interleaving explorer.  The benchmark times
 the whole matrix: total detection cost for all thirteen.
+
+The matrix itself (setups, detectors, bug rows) lives in
+:mod:`repro.engine.bug_matrix`, where the parallel checking fabric
+runs the identical convictions through its sharded executor
+(:func:`~repro.engine.bug_matrix.run_matrix_parallel`); this bench
+times the sequential sweep.
 """
 
+from repro.engine.bug_matrix import run_matrix
 from repro.hyperenclave import buggy
-from repro.hyperenclave.constants import TINY
-from repro.hyperenclave.monitor import HOST_ID
 from repro.reporting import render_table
-from repro.security import (
-    DataOracle, Hypercall, MemLoad, SystemState, check_all_invariants,
-)
-from repro.security.noninterference import (
-    TwoWorlds, check_theorem_noninterference,
-)
-from repro.spec import AbstractionFailure, abstract_table
-from repro.spec.relation import flat_state_of_page_table
-
-from benchmarks.conftest import build_world
-
-PAGE = TINY.page_size
-
-
-def detect_invariant_bug(monitor_cls, setup):
-    monitor = setup(monitor_cls)
-    report = check_all_invariants(monitor)
-    return (not report.ok,
-            "invariants: " + "/".join(report.violated_families()))
-
-
-def setup_single(monitor_cls):
-    return build_world(monitor_cls)[0]
-
-
-def setup_two_enclaves(monitor_cls):
-    monitor = monitor_cls(TINY)
-    primary_os = monitor.primary_os
-    src = TINY.frame_base(primary_os.reserve_data_frame())
-    primary_os.gpa_write_word(src, 0x9)
-    mbuf_a = TINY.frame_base(primary_os.reserve_data_frame())
-    mbuf_b = TINY.frame_base(primary_os.reserve_data_frame())
-    eid_a = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf_a, PAGE)
-    eid_b = monitor.hc_create(32 * PAGE, PAGE, 5 * PAGE, mbuf_b, PAGE)
-    monitor.hc_add_page(eid_a, 16 * PAGE, src)
-    monitor.hc_add_page(eid_b, 32 * PAGE, src)
-    return monitor
-
-
-def setup_outside(monitor_cls):
-    monitor = monitor_cls(TINY)
-    mbuf = TINY.frame_base(monitor.primary_os.reserve_data_frame())
-    eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf, PAGE)
-    monitor.hc_add_page(eid, 40 * PAGE, 0)
-    return monitor
-
-
-def setup_mbuf_overlap(monitor_cls):
-    monitor = monitor_cls(TINY)
-    mbuf = TINY.frame_base(monitor.primary_os.reserve_data_frame())
-    monitor.hc_create(16 * PAGE, 2 * PAGE, 17 * PAGE, mbuf, PAGE)
-    return monitor
-
-
-def setup_secure_mbuf(monitor_cls):
-    monitor = monitor_cls(TINY)
-    epc_pa = TINY.frame_base(monitor.layout.epc_base + 3)
-    monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, epc_pa, PAGE)
-    return monitor
-
-
-def detect_shallow_copy(monitor_cls, _setup=None):
-    monitor = monitor_cls(TINY)
-    primary_os = monitor.primary_os
-    app = primary_os.spawn_app(1)
-    primary_os.app_map_data(app, 16 * PAGE)
-    mbuf = TINY.frame_base(primary_os.reserve_data_frame())
-    eid = monitor.hc_create_from_app(app, 16 * PAGE, 2 * PAGE, 4 * PAGE,
-                                     mbuf, PAGE)
-    enclave = monitor.enclaves[eid]
-    flat = flat_state_of_page_table(
-        enclave.gpt, monitor.layout.pt_pool_base,
-        monitor.layout.epc_base - monitor.layout.pt_pool_base)
-    try:
-        abstract_table(flat, enclave.gpt.root_frame)
-        refused = False
-    except AbstractionFailure:
-        refused = True
-    residency = not check_all_invariants(monitor).ok
-    return refused and residency, "refinement: α refuses + pt-residency"
-
-
-def detect_ni_bug(monitor_cls, trace_builder):
-    def world(secret):
-        monitor, app, eid = build_world(monitor_cls, secret=secret,
-                                        pages=2)
-        return SystemState(monitor, DataOracle.seeded(5)), app, eid
-    state_a, app, eid = world(41)
-    state_b, _, _ = world(42)
-    worlds = TwoWorlds(state_a, state_b)
-    violations = check_theorem_noninterference(
-        worlds, trace_builder(app, eid),
-        observers=[HOST_ID, eid + 1] if monitor_cls is buggy.NoScrubMonitor
-        else [HOST_ID])
-    component = violations[-1].components if violations else ()
-    return bool(violations), f"noninterference: {component}"
-
-
-def leak_trace(app, eid):
-    return [
-        Hypercall(HOST_ID, "enter", (eid,)),
-        (MemLoad(eid, 16 * PAGE, "rax"), MemLoad(eid, 16 * PAGE, "rax")),
-        (Hypercall(eid, "exit", (eid,)), Hypercall(eid, "exit", (eid,))),
-        MemLoad(HOST_ID, 16 * PAGE, "rbx", via_app=app.app_id),
-    ]
-
-
-def scrub_trace(app, eid):
-    return [
-        Hypercall(HOST_ID, "destroy", (eid,)),
-        Hypercall(HOST_ID, "create",
-                  (48 * PAGE, 2 * PAGE, 8 * PAGE, 2 * PAGE, PAGE)),
-        Hypercall(HOST_ID, "add_page", (eid + 1, 48 * PAGE, 0)),
-        Hypercall(HOST_ID, "init", (eid + 1,)),
-        Hypercall(HOST_ID, "aug_page", (eid + 1, 49 * PAGE)),
-    ]
-
-
-def detect_no_rollback(monitor_cls, _arg=None):
-    """A tiny crash-step sweep: partial mutations survive the abort."""
-    from repro.faults import crash_step_campaign, default_workload
-
-    def world():
-        monitor = monitor_cls(TINY)
-        primary_os = monitor.primary_os
-        ctx = {
-            "page": PAGE,
-            "mbuf_pa": TINY.frame_base(primary_os.reserve_data_frame()),
-            "src_pa": TINY.frame_base(primary_os.reserve_data_frame()),
-            "elrange_base": 16 * PAGE,
-        }
-        primary_os.gpa_write_word(ctx["src_pa"], 0xDEAD)
-        return monitor, ctx
-
-    calls = default_workload()[:2]   # create + add_page is enough
-    report = crash_step_campaign(world, calls, sites=(), seed=0)
-    return (not report.ok,
-            f"fault campaign: {len(report.failures())} un-rolled-back "
-            f"aborts")
-
-
-def detect_concurrency_bug(monitor_cls, _arg=None):
-    """Bounded-preemption exploration flags the planted race."""
-    from repro.faults import interleaving_campaign
-
-    result = interleaving_campaign(monitor_cls, check_ni=False)
-    kinds = "/".join(sorted(result.by_kind()))
-    return not result.ok, f"interleaving explorer: {kinds}"
-
-
-MATRIX = [
-    (buggy.ShallowCopyMonitor, detect_shallow_copy, None),
-    (buggy.AliasingMonitor, detect_invariant_bug, setup_two_enclaves),
-    (buggy.OutsideElrangeMonitor, detect_invariant_bug, setup_outside),
-    (buggy.NoEpcmRecordMonitor, detect_invariant_bug, setup_single),
-    (buggy.HugePageMonitor, detect_invariant_bug, setup_single),
-    (buggy.MbufOverlapMonitor, detect_invariant_bug,
-     setup_mbuf_overlap),
-    (buggy.SecureMbufMonitor, detect_invariant_bug, setup_secure_mbuf),
-    (buggy.LeakyExitMonitor, detect_ni_bug, leak_trace),
-    (buggy.NoTlbFlushMonitor, detect_ni_bug, leak_trace),
-    (buggy.NoScrubMonitor, detect_ni_bug, scrub_trace),
-    (buggy.NonTransactionalMonitor, detect_no_rollback, None),
-    (buggy.MissingLockMonitor, detect_concurrency_bug, None),
-    (buggy.NoShootdownMonitor, detect_concurrency_bug, None),
-]
-
-
-def run_matrix():
-    results = []
-    for monitor_cls, detector, arg in MATRIX:
-        detected, how = detector(monitor_cls, arg)
-        results.append((monitor_cls.BUG, detected, how))
-    return results
 
 
 def test_bench_bug_matrix(benchmark, emit):

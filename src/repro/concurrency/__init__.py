@@ -25,6 +25,7 @@ from repro.concurrency.explorer import (
     ExplorationResult,
     Violation,
     explore,
+    explore_batched,
     replay,
     result_violations,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "detect_stale_translations",
     "enclave_lock",
     "explore",
+    "explore_batched",
     "guard_mutation",
     "installed",
     "lock_rank",

@@ -152,6 +152,68 @@ def explore(run_schedule: Callable[[Schedule], RunResult], *,
     return outcome
 
 
+def explore_batched(run_batch, *,
+                    seed: int = 0,
+                    preemption_bound: int = 2,
+                    max_schedules: int = 512,
+                    crash: Optional[Tuple[int, int]] = None
+                    ) -> ExplorationResult:
+    """:func:`explore`, one BFS wavefront at a time — byte-identical.
+
+    ``run_batch(schedules)`` executes a list of schedules (in any order,
+    e.g. fanned out across worker processes) and returns, *aligned with
+    its input*, ``(result, findings)`` pairs where ``findings`` are the
+    extra ``(kind, detail)`` items a ``check`` hook would have produced.
+
+    Identity with the sequential explorer holds by construction: a
+    schedule's children always enqueue *behind* every schedule already
+    in the FIFO frontier, so the sequential loop pops the entire current
+    frontier before reaching any child generated along the way — which
+    is exactly a wavefront.  Runs execute out of order in workers, but
+    run results are pure functions of their schedules, and the
+    append/dedup/branch bookkeeping below replays in frontier order.
+    """
+    outcome = ExplorationResult(preemption_bound=preemption_bound,
+                                max_schedules=max_schedules)
+    frontier = deque([Schedule(seed=seed, crash=crash)])
+    seen_prefixes = set()
+    while frontier:
+        if len(outcome.runs) >= max_schedules:
+            outcome.truncated = True
+            break
+        wave = [frontier.popleft()
+                for _ in range(min(len(frontier),
+                                   max_schedules - len(outcome.runs)))]
+        for schedule, (result, findings) in zip(wave, run_batch(wave)):
+            outcome.runs.append((schedule, result))
+            outcome.violations.extend(result_violations(schedule, result))
+            outcome.violations.extend(
+                Violation(schedule, kind, detail)
+                for kind, detail in findings)
+            if len(schedule.preemptions) >= preemption_bound:
+                continue
+            last = (schedule.preemptions[-1][0]
+                    if schedule.preemptions else -1)
+            for decision in result.decisions:
+                if decision.index <= last:
+                    continue
+                if decision.chosen_kind not in BRANCH_KINDS:
+                    continue
+                for vid in decision.enabled:
+                    if vid == decision.chosen:
+                        continue
+                    prefix = result.trace[:decision.index] + (vid,)
+                    if prefix in seen_prefixes:
+                        continue
+                    seen_prefixes.add(prefix)
+                    frontier.append(Schedule(
+                        seed=seed,
+                        preemptions=schedule.preemptions
+                        + ((decision.index, vid),),
+                        crash=schedule.crash))
+    return outcome
+
+
 def replay(run_schedule, schedule) -> RunResult:
     """Re-execute one schedule (the standalone-reproduction entry)."""
     return run_schedule(schedule)

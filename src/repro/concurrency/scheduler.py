@@ -152,12 +152,14 @@ class DeterministicScheduler:
     """
 
     def __init__(self, monitor, workloads, schedule=None, *,
-                 lock_manager=None, probe=None, timeout=60.0):
+                 lock_manager=None, probe=None, timeout=60.0,
+                 fast_handoff=False):
         self.monitor = monitor
         self.schedule = schedule if schedule is not None else Schedule()
         self.locks = lock_manager if lock_manager is not None else LockManager()
         self.probe = probe
         self.timeout = timeout
+        self.fast_handoff = fast_handoff
         self.tasks = [Task(vid=vid, fn=fn) for vid, fn in enumerate(workloads)]
         self.decisions: List[Decision] = []
         self.yields: List[YieldPoint] = []
@@ -281,10 +283,46 @@ class DeterministicScheduler:
             raise _VCpuParked()
         task.pending_kind = kind
         task.pending_detail = detail
+        if self.fast_handoff and self._inline_decision(task):
+            return
         self._control.set()
         if not task.event.wait(self.timeout):
             raise RuntimeError(f"vcpu{task.vid} was never rescheduled")
         task.event.clear()
+
+    def _inline_decision(self, task) -> bool:
+        """Decide the next step without waking the scheduler thread.
+
+        Strict token passing means the parked world is frozen while
+        this vCPU runs, so the yielding thread can evaluate exactly the
+        pick the scheduler thread would make.  When that pick is the
+        yielding vCPU itself — the overwhelmingly common case under a
+        small preemption bound, where every non-preempted decision just
+        continues the running vCPU — the decision, its record, and the
+        probe all happen inline and the two thread handoffs are
+        skipped.  Any other pick (a preemption, a lock handover, a
+        finished task) falls back to the token-passing slow path, so
+        the recorded :class:`RunResult` is byte-identical either way.
+        """
+        live = [t for t in self.tasks if not t.done]
+        enabled = [t for t in live if self._runnable(t)]
+        if not enabled or self._pick(enabled) is not task:
+            return False
+        self.decisions.append(Decision(
+            index=len(self.decisions),
+            chosen=task.vid,
+            chosen_kind=task.pending_kind,
+            enabled=tuple(t.vid for t in enabled),
+            kinds=tuple((t.vid, t.pending_kind) for t in enabled)))
+        self._last = task.vid
+        if self.probe is not None:
+            # The probe normally runs on the scheduler thread, where
+            # instrumentation hooks no-op (the thread owns no task);
+            # ``suspended`` gives it the same hook-free environment
+            # here on the vCPU thread.
+            with suspended():
+                self.stale.extend(self.probe(self.monitor) or ())
+        return True
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,138 @@
+"""Perf trajectory for the parallel checking fabric.
+
+One entry point, :func:`bench_checking`, times the sequential
+interleaving campaign (the pre-fabric baseline, untouched by this
+subsystem) against :func:`~repro.engine.campaigns.parallel_interleaving_campaign`
+on the same grid, verifies the two reports are **byte-identical**, and
+returns the record that lands in ``BENCH_checking.json``:
+
+* ``schedules_per_sec`` / ``states_per_sec`` (states = scheduler
+  decisions, the unit of interleaving exploration) for both sides;
+* ``speedup`` — median-of-``repeats`` wall-clock ratio (medians, not
+  means: on a shared box one descheduled round would otherwise skew
+  the trajectory);
+* the worker-side memoisation counters and their aggregate hit rate.
+
+Run as a module for the CI perf-smoke job::
+
+    python -m repro.engine.bench --out BENCH_checking.json \
+        --max-schedules 600 --workers 4 --repeats 3
+
+``--smoke`` shrinks the grid (preemption bound 1) so CI spends seconds,
+not minutes; the byte-identity assertion runs at every size.
+"""
+
+import argparse
+import json
+import statistics
+import time
+
+from repro.engine.campaigns import parallel_interleaving_campaign
+from repro.engine.executor import resolve_workers
+
+
+def _rates(seconds, schedules, states):
+    return {
+        "seconds": round(seconds, 4),
+        "schedules_per_sec": round(schedules / seconds, 2),
+        "states_per_sec": round(states / seconds, 2),
+    }
+
+
+def _memo_summary(stats):
+    hits = sum(c.get("hits", 0) for c in stats.values())
+    misses = sum(c.get("misses", 0) for c in stats.values())
+    total = hits + misses
+    return {
+        "counters": stats,
+        "hit_rate": round(hits / total, 4) if total else 0.0,
+    }
+
+
+def bench_checking(*, preemption_bound=2, max_schedules=600, seed=0,
+                   workers=None, repeats=3) -> dict:
+    """Time sequential vs parallel interleaving checking on one grid.
+
+    Raises ``RuntimeError`` if any parallel round's merged report is
+    not byte-identical to the sequential baseline — a perf number for
+    a divergent checker would be meaningless.
+    """
+    from repro.engine.executor import ShardedExecutor
+    from repro.faults.campaign import interleaving_campaign
+
+    workers = resolve_workers(workers)
+    grid = dict(preemption_bound=preemption_bound,
+                max_schedules=max_schedules, seed=seed)
+    seq_times, par_times = [], []
+    baseline = None
+    stats = {}
+    # One pool for every round: the median then measures the fabric's
+    # steady state, not per-round process forking (which a long
+    # campaign amortises anyway).
+    with ShardedExecutor(workers) as pool:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            seq = interleaving_campaign(**grid)
+            seq_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            par = parallel_interleaving_campaign(
+                **grid, executor=pool, stats_out=stats)
+            par_times.append(time.perf_counter() - t0)
+            if repr(par) != repr(seq):
+                raise RuntimeError(
+                    "parallel interleaving report diverged from the "
+                    "sequential baseline")
+            baseline = seq
+    schedules = len(baseline.runs)
+    states = sum(len(result.decisions) for _, result in baseline.runs)
+    seq_s = statistics.median(seq_times)
+    par_s = statistics.median(par_times)
+    return {
+        "benchmark": "parallel-checking-fabric",
+        "campaign": "interleaving",
+        "config": {"preemption_bound": preemption_bound,
+                   "max_schedules": max_schedules, "seed": seed,
+                   "workers": workers, "repeats": repeats},
+        "schedules": schedules,
+        "states": states,
+        "sequential": _rates(seq_s, schedules, states),
+        "parallel": _rates(par_s, schedules, states),
+        "speedup": round(seq_s / par_s, 2),
+        "byte_identical": True,
+        "memo": _memo_summary(stats),
+    }
+
+
+def main(argv=None):
+    """CLI entry point: run the bench and write ``--out`` (JSON)."""
+    parser = argparse.ArgumentParser(
+        description="Benchmark the parallel checking fabric")
+    parser.add_argument("--out", default="BENCH_checking.json")
+    parser.add_argument("--preemption-bound", type=int, default=2)
+    parser.add_argument("--max-schedules", type=int, default=600)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI grid: preemption bound 1, "
+                             "one repeat")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.preemption_bound = min(args.preemption_bound, 1)
+        args.repeats = 1
+    record = bench_checking(preemption_bound=args.preemption_bound,
+                            max_schedules=args.max_schedules,
+                            workers=args.workers, repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"sequential {record['sequential']['seconds']}s  "
+          f"parallel {record['parallel']['seconds']}s  "
+          f"speedup {record['speedup']}x  "
+          f"({record['schedules']} schedules, "
+          f"{record['states']} states, "
+          f"memo hit rate {record['memo']['hit_rate']})")
+    return record
+
+
+if __name__ == "__main__":
+    main()

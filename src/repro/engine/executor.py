@@ -1,0 +1,142 @@
+"""The deterministic sharded executor.
+
+Campaign work units are independent pure functions of their seeds, so
+they can run in any process in any order — as long as the merge puts
+the results back in unit order, the combined report is byte-identical
+to the sequential run.  :class:`ShardedExecutor` does exactly that:
+
+* units are partitioned across workers by a **stable shard key**
+  (blake2b of a caller-supplied key string, defaulting to the unit's
+  position) — the partition is a pure function of the unit list, never
+  of scheduling luck;
+* each shard ships to a ``ProcessPoolExecutor`` worker as one task
+  (worker functions are named by ``module:attr`` path, because the
+  campaign closures themselves do not pickle);
+* the merge reassembles results by original unit index, so neither the
+  shard layout nor completion order can leak into the output;
+* worker-side :class:`~repro.engine.memo.CheckMemo` hit/miss counters
+  are returned per shard and aggregated on ``executor.stats``.
+
+The pool uses the ``fork`` start method where available: workers
+inherit the parent's imports (cheap spawn) *and* its siphash seed,
+which keeps the toy ``measurement`` accumulator — the one piece of
+state built on Python's salted ``hash`` — consistent between the
+sequential baseline and every worker.
+
+Worker count resolution: explicit argument, else the
+``REPRO_CHECK_WORKERS`` environment variable, else ``os.cpu_count()``.
+``workers=1`` (or a single-unit map) runs in-process with identical
+semantics — the degenerate fabric is the sequential engine.
+"""
+
+import hashlib
+import importlib
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+WORKERS_ENV = "REPRO_CHECK_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit count, else ``REPRO_CHECK_WORKERS``, else cpu count."""
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_callable(path: str):
+    """Import ``module:attr`` (worker functions travel as paths)."""
+    module_name, sep, attr = path.partition(":")
+    if not sep or not attr:
+        raise ValueError(f"worker path {path!r} is not 'module:attr'")
+    target = importlib.import_module(module_name)
+    for part in attr.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def stable_shard(key: str, shards: int) -> int:
+    """The shard a key lands in — deterministic across processes."""
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+def _run_shard(fn_path: str, pairs):
+    """Worker task: run one shard's ``(index, unit)`` pairs in order."""
+    from repro.engine import workers as worker_module
+    fn = resolve_callable(fn_path)
+    baseline = worker_module.MEMO.stats()
+    results = [(index, fn(unit)) for index, unit in pairs]
+    return results, worker_module.MEMO.stats_since(baseline)
+
+
+class ShardedExecutor:
+    """A reusable deterministic fan-out over a process pool."""
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = resolve_workers(workers)
+        self.stats = {}           # aggregated worker CheckMemo counters
+        self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:       # platform without fork
+                context = None
+            self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                             mp_context=context)
+        return self._pool
+
+    def map(self, fn_path: str, units: Sequence,
+            *, keys: Optional[Sequence[str]] = None) -> List:
+        """Run ``fn_path(unit)`` for every unit; results in unit order.
+
+        ``keys`` (one string per unit) drive the stable sharding;
+        they default to the unit's position in the list.
+        """
+        from repro.engine.memo import merge_stats
+
+        units = list(units)
+        if not units:
+            return []
+        if keys is None:
+            keys = [str(index) for index in range(len(units))]
+        if len(keys) != len(units):
+            raise ValueError("one shard key per unit required")
+        shard_count = min(self.workers, len(units))
+        if shard_count <= 1:
+            results, stats = _run_shard(fn_path, list(enumerate(units)))
+            merge_stats(self.stats, stats)
+            return [value for _index, value in results]
+        shards = [[] for _ in range(shard_count)]
+        for index, (unit, key) in enumerate(zip(units, keys)):
+            shards[stable_shard(f"{fn_path}\x1f{key}",
+                                shard_count)].append((index, unit))
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_shard, fn_path, shard)
+                   for shard in shards if shard]
+        merged = [None] * len(units)
+        for future in futures:
+            results, stats = future.result()
+            merge_stats(self.stats, stats)
+            for index, value in results:
+                merged[index] = value
+        return merged

@@ -1,0 +1,123 @@
+"""Canonical 64-bit fingerprints over the mutable monitor state.
+
+A fingerprint is a :func:`hashlib.blake2b` digest (8 bytes) over a
+canonical byte encoding of one lock-guarded structure's value.  Two
+properties matter:
+
+* **Cross-process stability.**  Python's builtin ``hash`` is salted per
+  process and useless as a cache key that workers and the parent both
+  compute; blake2b over ``repr`` of primitive tuples is identical
+  everywhere.  (The one exception is the enclave ``measurement``, a toy
+  accumulator built on salted ``hash`` — stable across *forked* workers,
+  which is why the sharded executor pins the ``fork`` start method.)
+* **Soundness for memoisation.**  Every input the memoised checkers
+  read is covered by some structure fingerprint: the invariant families
+  read ``phys``/``enclaves``/``epcm``/``frames`` (page tables live in
+  physical memory, so walks are functions of ``phys``), the vCPU
+  consistency check and the observation function additionally read
+  ``cpus``.  TLB *entries* are included; TLB flush counts are telemetry
+  (as in :func:`repro.hyperenclave.txn.monitor_digest`) and no memoised
+  checker reads them.  The fingerprint-soundness property test pins
+  this: any mutation through ``phys.write`` or a lock-structure path
+  changes the combined fingerprint.
+
+The granularity — one fingerprint per lock-guarded structure — is what
+makes dirty tracking possible: a terminal state whose ``epcm``
+fingerprint matches an already-certified state's need not re-run the
+EPCM family even if its ``cpus`` changed.
+"""
+
+import hashlib
+from typing import Dict
+
+# One fingerprint per lock-guarded mutable structure of the monitor.
+STRUCTURES = ("phys", "frames", "epcm", "enclaves", "cpus")
+
+
+def _fp(*parts) -> int:
+    digest = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest(), "big")
+
+
+def phys_fingerprint(monitor) -> int:
+    """Physical memory — transitively every page table's entries."""
+    return _fp("phys", monitor.phys.snapshot())
+
+
+def frames_fingerprint(monitor) -> int:
+    """The page-table frame allocator bitmap."""
+    return _fp("frames", monitor.pt_allocator.base,
+               monitor.pt_allocator.snapshot())
+
+
+def epcm_fingerprint(monitor) -> int:
+    """The EPCM entry array."""
+    return _fp("epcm", monitor.epcm.snapshot())
+
+
+def enclaves_fingerprint(monitor) -> int:
+    """Per-enclave metadata plus the eid counter."""
+    return _fp("enclaves", monitor._next_eid, tuple(sorted(
+        (eid, enclave.state.value, enclave.elrange_base,
+         enclave.elrange_size,
+         (enclave.mbuf.va_base, enclave.mbuf.pa_base, enclave.mbuf.size)
+         if enclave.mbuf is not None else None,
+         enclave.gpa_base, enclave.gpt.root_frame,
+         enclave.ept.root_frame, enclave.measurement,
+         enclave.saved_context)
+        for eid, enclave in monitor.enclaves.items())))
+
+
+def cpus_fingerprint(monitor) -> int:
+    """Every per-core state: registers, roots, active principal, parked
+    host context, live TLB entries (flush counts excluded — telemetry).
+
+    The OS EPT root rides along because the vCPU consistency check
+    compares installed roots against it; it is allocated at boot and
+    never moves, but covering it keeps the memo key honest.
+    """
+    return _fp("cpus", monitor.os_ept.root_frame, tuple(
+        (cpu.active, cpu.saved_host_context, cpu.vcpu.context(),
+         cpu.vcpu.gpt_root, cpu.vcpu.ept_root, cpu.tlb.snapshot()[0])
+        for cpu in monitor.cpus))
+
+
+_FINGERPRINTS = {
+    "phys": phys_fingerprint,
+    "frames": frames_fingerprint,
+    "epcm": epcm_fingerprint,
+    "enclaves": enclaves_fingerprint,
+    "cpus": cpus_fingerprint,
+}
+
+
+def structure_fingerprints(monitor) -> Dict[str, int]:
+    """All per-structure fingerprints, keyed by :data:`STRUCTURES`."""
+    return {name: _FINGERPRINTS[name](monitor) for name in STRUCTURES}
+
+
+def fingerprint(monitor, fps: Dict[str, int] = None) -> int:
+    """The combined 64-bit monitor fingerprint."""
+    fps = fps or structure_fingerprints(monitor)
+    return _fp("monitor", tuple(fps[name] for name in STRUCTURES))
+
+
+def state_fingerprint(state) -> int:
+    """Fingerprint of a whole :class:`~repro.security.state.SystemState`
+    (monitor plus the model bookkeeping: oracle cursor, step counter,
+    walk mode)."""
+    oracle = state.oracle
+    oracle_key = None if oracle is None else (
+        type(oracle).__name__, getattr(oracle, "position", None))
+    return _fp("state", fingerprint(state.monitor), oracle_key,
+               state.step_count, state.use_spec_walk)
+
+
+def dirty_structures(before: Dict[str, int],
+                     after: Dict[str, int]) -> tuple:
+    """Which structures changed between two fingerprint dicts."""
+    return tuple(name for name in STRUCTURES
+                 if before.get(name) != after.get(name))

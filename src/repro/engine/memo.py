@@ -1,0 +1,150 @@
+"""Fingerprint-keyed memoisation of the per-state checkers.
+
+The interleaving explorer's schedules massively reconverge: at
+preemption bound 2 the default campaign explores 178 schedules that
+reach only a handful of distinct terminal states.  Re-running every
+invariant family, the vCPU consistency check, and the noninterference
+observation diff on each of them is the dominant non-execution cost —
+and it is pure recomputation, because all three are side-effect-free
+functions of the monitor state (``enclave_translate`` walks physical
+memory directly; nothing touches a TLB or an allocator).
+
+:class:`CheckMemo` caches each by its exact input fingerprints:
+
+* invariant families individually, keyed by the fingerprints of just
+  the structures that family reads (:data:`FAMILY_DEPS`) — the
+  per-lock-structure dirty tracking: a state whose ``phys`` and
+  ``enclaves`` match a certified state re-checks nothing even if its
+  ``cpus`` differ;
+* the vCPU consistency check, keyed by (cpus, enclaves, phys);
+* observation diffs, keyed by both worlds' combined fingerprints plus
+  the observing vCPU and principal.
+
+Memoisation by fingerprint is hash compaction (as in every stateful
+model checker's visited-state table): a 64-bit blake2b collision would
+alias two distinct states.  The planted-bug matrix re-run through the
+parallel fabric guards the other failure mode — a memo bug masking a
+real violation.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.engine.fingerprint import structure_fingerprints
+from repro.security.invariants import (
+    FAMILIES,
+    InvariantReport,
+    check_vcpu_consistency,
+)
+from repro.security.noninterference import observation_diff
+
+# The structures each invariant family reads.  Page-table walks are
+# functions of physical memory; enclave metadata (roots, ELRANGE, mbuf,
+# lifecycle state) comes from the enclave table.  Supersets are sound
+# (they only cost extra misses), subsets are not.
+FAMILY_DEPS: Dict[str, Tuple[str, ...]] = {
+    "elrange-isolation": ("phys", "enclaves"),
+    "marshalling-buffer": ("phys", "enclaves"),
+    "epcm": ("phys", "enclaves", "epcm"),
+    "enclave-invariants": ("phys", "enclaves"),
+    "pt-residency": ("phys", "enclaves", "frames"),
+}
+
+# What the vCPU consistency check reads: per-core state, enclave
+# metadata, and the OS EPT root (folded into the cpus fingerprint).
+VCPU_DEPS: Tuple[str, ...] = ("cpus", "enclaves", "phys")
+
+
+class CheckMemo:
+    """Per-process cache for the three per-state checkers."""
+
+    def __init__(self):
+        self._families: Dict[str, Dict[Tuple, List[str]]] = {
+            name: {} for name, _checker in FAMILIES}
+        self._vcpu: Dict[Tuple, Tuple[str, ...]] = {}
+        self._obs: Dict[Tuple, Tuple[str, ...]] = {}
+        self.counters = {"invariants": [0, 0], "vcpu": [0, 0],
+                         "observation": [0, 0]}       # [hits, misses]
+
+    # -- invariant families -------------------------------------------------------
+
+    def check_invariants(self, monitor, fps=None) -> InvariantReport:
+        """Memoised :func:`~repro.security.invariants.check_all_invariants`:
+        identical report, but only families whose dependency structures
+        changed since a certified state actually run."""
+        fps = fps or structure_fingerprints(monitor)
+        report = InvariantReport()
+        for name, checker in FAMILIES:
+            key = tuple(fps[dep] for dep in FAMILY_DEPS[name])
+            cache = self._families[name]
+            if key in cache:
+                self.counters["invariants"][0] += 1
+                report.violations[name] = list(cache[key])
+            else:
+                self.counters["invariants"][1] += 1
+                found = checker(monitor)
+                cache[key] = list(found)
+                report.violations[name] = found
+        return report
+
+    # -- vCPU consistency ---------------------------------------------------------
+
+    def check_vcpu(self, monitor, fps=None) -> List[str]:
+        """Memoised per-vCPU consistency check (list of findings)."""
+        fps = fps or structure_fingerprints(monitor)
+        key = tuple(fps[dep] for dep in VCPU_DEPS)
+        if key in self._vcpu:
+            self.counters["vcpu"][0] += 1
+            return list(self._vcpu[key])
+        self.counters["vcpu"][1] += 1
+        found = check_vcpu_consistency(monitor)
+        self._vcpu[key] = tuple(found)
+        return found
+
+    # -- observation diffs ---------------------------------------------------------
+
+    def final_state_diff(self, state_a, state_b, vid, observer,
+                         fp_a=None, fp_b=None) -> Tuple[str, ...]:
+        """Memoised observation diff of two final states as seen from
+        vCPU ``vid`` by ``observer`` (the schedule-NI inner loop).
+
+        The observation function reads only monitor structures plus the
+        active/saved per-core state — all covered by the combined
+        fingerprints — and the executing-vCPU dispatch is pinned by
+        ``on_cpu``, so (fp_a, fp_b, vid, observer) determines the diff.
+        """
+        from repro.engine.fingerprint import fingerprint
+        fp_a = fp_a if fp_a is not None else fingerprint(state_a.monitor)
+        fp_b = fp_b if fp_b is not None else fingerprint(state_b.monitor)
+        key = (fp_a, fp_b, vid, observer)
+        if key in self._obs:
+            self.counters["observation"][0] += 1
+            return self._obs[key]
+        self.counters["observation"][1] += 1
+        with state_a.monitor.on_cpu(vid), state_b.monitor.on_cpu(vid):
+            diff = observation_diff(state_a, state_b, observer)
+        self._obs[key] = diff
+        return diff
+
+    # -- stats ---------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {name: {"hits": hits, "misses": misses}
+                for name, (hits, misses) in self.counters.items()}
+
+    def stats_since(self, baseline) -> Dict[str, Dict[str, int]]:
+        """Counter deltas relative to a :meth:`stats` snapshot."""
+        current = self.stats()
+        return {name: {"hits": current[name]["hits"]
+                       - baseline[name]["hits"],
+                       "misses": current[name]["misses"]
+                       - baseline[name]["misses"]}
+                for name in current}
+
+
+def merge_stats(into: Dict, extra: Dict) -> Dict:
+    """Accumulate one stats dict into another (shard aggregation)."""
+    for name, counts in extra.items():
+        slot = into.setdefault(name, {"hits": 0, "misses": 0})
+        slot["hits"] += counts.get("hits", 0)
+        slot["misses"] += counts.get("misses", 0)
+    return into

@@ -8,7 +8,26 @@ refinement-checking failures, and security-property violations.
 
 
 class ReproError(Exception):
-    """Base class of all errors raised by the repro library."""
+    """Base class of all errors raised by the repro library.
+
+    Errors can cross process boundaries (the parallel checking fabric
+    ships :class:`~repro.concurrency.scheduler.RunResult` task errors
+    back from worker processes), but default exception pickling
+    reconstructs via ``cls(*self.args)`` — wrong for the subclasses
+    below that compose a single message in ``__init__`` and stash the
+    original arguments as attributes.  Those subclasses list their
+    constructor attributes in ``_CTOR_ATTRS`` (in signature order) and
+    pickle by re-invoking the constructor.
+    """
+
+    _CTOR_ATTRS = ()
+
+    def __reduce__(self):
+        if self._CTOR_ATTRS:
+            return (type(self),
+                    tuple(getattr(self, name)
+                          for name in self._CTOR_ATTRS))
+        return super().__reduce__()
 
 
 # ---------------------------------------------------------------------------
@@ -130,18 +149,24 @@ class InvariantViolation(SecurityError):
     and ``witness`` carries the concrete offending addresses/entries.
     """
 
+    _CTOR_ATTRS = ("invariant", "message", "witness")
+
     def __init__(self, invariant, message, witness=None):
         super().__init__(f"[{invariant}] {message}")
         self.invariant = invariant
+        self.message = message
         self.witness = witness
 
 
 class NoninterferenceViolation(SecurityError):
     """A step-wise noninterference lemma (5.2-5.4) found distinguishable states."""
 
+    _CTOR_ATTRS = ("lemma", "message", "witness")
+
     def __init__(self, lemma, message, witness=None):
         super().__init__(f"[{lemma}] {message}")
         self.lemma = lemma
+        self.message = message
         self.witness = witness
 
 
@@ -195,6 +220,8 @@ class HypercallAborted(HypercallError):
     survived.
     """
 
+    _CTOR_ATTRS = ("hypercall", "cause")
+
     def __init__(self, hypercall, cause):
         super().__init__(f"{hypercall} aborted and rolled back: {cause}")
         self.hypercall = hypercall
@@ -211,6 +238,8 @@ class FaultInjected(ReproError):
     transactional hypercall layer converts it into a rolled-back
     :class:`HypercallAborted`.
     """
+
+    _CTOR_ATTRS = ("site", "hit", "label")
 
     def __init__(self, site, hit=None, label=None):
         where = f" (hit {hit}" + (f", {label})" if label else ")") \
@@ -236,10 +265,13 @@ class LockProtocolViolation(ReproError):
     by accident.
     """
 
+    _CTOR_ATTRS = ("rule", "vid", "message")
+
     def __init__(self, rule, vid, message):
         super().__init__(f"[{rule}] vCPU {vid}: {message}")
         self.rule = rule      # lock-order | hold-across-return | unlocked-mutation
         self.vid = vid
+        self.message = message
 
 
 class StaleTranslation(ReproError):
@@ -253,6 +285,8 @@ class StaleTranslation(ReproError):
     *not* a :class:`HypervisorError`: it is the detector convicting the
     monitor, and must never be absorbed by normal error handling.
     """
+
+    _CTOR_ATTRS = ("vid", "principal", "va_page", "cached_pa", "reason")
 
     def __init__(self, vid, principal, va_page, cached_pa, reason):
         super().__init__(

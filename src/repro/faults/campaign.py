@@ -262,6 +262,57 @@ def scheduled_runner(invoke, monitor, ctx):
     return box.get("result")
 
 
+def crash_step_units(world_factory, calls,
+                     sites: Sequence[str] = DEFAULT_SITES
+                     ) -> List[Tuple[int, str, str, int]]:
+    """The campaign's work units, in sweep order:
+    ``(call index, site, kind, step)`` for every injectable step."""
+    step_table = enumerate_injectable_steps(world_factory, calls, sites)
+    units = []
+    for index, _call in enumerate(calls):
+        for site, hits in sorted(step_table[index].items()):
+            kind = _KIND_FOR_SITE.get(site, RAISE)
+            for step in range(hits):
+                units.append((index, site, kind, step))
+    return units
+
+
+def run_crash_step_unit(world_factory, calls, index, site, kind, step, *,
+                        seed=0, runner=None) -> RunRecord:
+    """One armed ``(hypercall, site, step)`` execution: rebuild the
+    world, arm exactly one fault, run, verify rollback and invariants.
+    """
+    from repro.hyperenclave.txn import monitor_digest
+    from repro.security.invariants import check_all_invariants
+
+    name, invoke = calls[index]
+    monitor, ctx = _world_at(world_factory, calls, index)
+    pre_digest = monitor_digest(monitor)
+    plane = FaultPlane(seed=seed)
+    plane.arm(site, index=step, kind=kind)
+    outcome, detail = "completed", ""
+    with installed(plane):
+        try:
+            if runner is None:
+                invoke(monitor, ctx)
+            else:
+                runner(invoke, monitor, ctx)
+        except HypercallAborted as exc:
+            outcome, detail = "aborted", str(exc.cause)
+        except (FaultInjected, ReproError) as exc:
+            # A fault that escapes the transactional wrapper
+            # raw — the non-transactional signature.
+            outcome = f"escaped:{type(exc).__name__}"
+            detail = str(exc)
+    rolled_back = monitor_digest(monitor) == pre_digest
+    invariants_ok = check_all_invariants(monitor).ok
+    return RunRecord(
+        hypercall=name, site=site, step=step, kind=kind,
+        outcome=outcome, fired=bool(plane.fired),
+        rolled_back=rolled_back, invariants_ok=invariants_ok,
+        detail=detail, fired_faults=tuple(plane.fired))
+
+
 def crash_step_campaign(world_factory, calls, *,
                         sites: Sequence[str] = DEFAULT_SITES,
                         seed=0, runner=None) -> CampaignReport:
@@ -273,40 +324,12 @@ def crash_step_campaign(world_factory, calls, *,
     ``runner``, if given, wraps each *armed* invocation (the fault-free
     world rebuilding stays direct) — see :func:`scheduled_runner`.
     """
-    from repro.hyperenclave.txn import monitor_digest
-    from repro.security.invariants import check_all_invariants
-
     report = CampaignReport(seed=seed)
-    step_table = enumerate_injectable_steps(world_factory, calls, sites)
-    for index, (name, invoke) in enumerate(calls):
-        for site, hits in sorted(step_table[index].items()):
-            kind = _KIND_FOR_SITE.get(site, RAISE)
-            for step in range(hits):
-                monitor, ctx = _world_at(world_factory, calls, index)
-                pre_digest = monitor_digest(monitor)
-                plane = FaultPlane(seed=seed)
-                plane.arm(site, index=step, kind=kind)
-                outcome, detail = "completed", ""
-                with installed(plane):
-                    try:
-                        if runner is None:
-                            invoke(monitor, ctx)
-                        else:
-                            runner(invoke, monitor, ctx)
-                    except HypercallAborted as exc:
-                        outcome, detail = "aborted", str(exc.cause)
-                    except (FaultInjected, ReproError) as exc:
-                        # A fault that escapes the transactional wrapper
-                        # raw — the non-transactional signature.
-                        outcome = f"escaped:{type(exc).__name__}"
-                        detail = str(exc)
-                rolled_back = monitor_digest(monitor) == pre_digest
-                invariants_ok = check_all_invariants(monitor).ok
-                report.runs.append(RunRecord(
-                    hypercall=name, site=site, step=step, kind=kind,
-                    outcome=outcome, fired=bool(plane.fired),
-                    rolled_back=rolled_back, invariants_ok=invariants_ok,
-                    detail=detail, fired_faults=tuple(plane.fired)))
+    for index, site, kind, step in crash_step_units(world_factory, calls,
+                                                    sites):
+        report.runs.append(run_crash_step_unit(
+            world_factory, calls, index, site, kind, step,
+            seed=seed, runner=runner))
     return report
 
 
@@ -447,7 +470,6 @@ def crash_ni_campaign(two_worlds_factory=None, trace=None, *,
     visible to the host, an asymmetric abort) is a violation.
     """
     from repro.hyperenclave.monitor import HOST_ID
-    from repro.security.transitions import Hypercall
 
     factory = two_worlds_factory or default_two_worlds()
     worlds_probe, eid = factory()
@@ -457,65 +479,80 @@ def crash_ni_campaign(two_worlds_factory=None, trace=None, *,
             eid, worlds_probe.a.monitor.config.page_size)
 
     report = CampaignReport(seed=seed)
-    for index, item in enumerate(trace):
-        step_a, _step_b = _split(item)
-        if not isinstance(step_a, Hypercall):
-            continue
-        # Reach the prefix state freshly, then count this step's hits.
-        worlds, _eid = factory()
-        for prior in trace[:index]:
-            pa, pb = _split(prior)
-            _apply_tolerant(worlds.a, pa)
-            _apply_tolerant(worlds.b, pb)
-        probe = worlds.a.clone()
-        recorder = FaultPlane(record_only=True)
-        with installed(recorder):
-            _apply_tolerant(probe, step_a)
-        reached = {}
-        for site in tuple(sites) + (hypercall_site(step_a.name),):
-            if recorder.counts.get(site, 0):
-                reached[site] = recorder.counts[site]
-        for site, hits in sorted(reached.items()):
-            kind = _KIND_FOR_SITE.get(site, RAISE)
-            for step in range(hits):
-                state_a = worlds.a.clone()
-                state_b = worlds.b.clone()
-                plane_a = FaultPlane(seed=seed).arm(site, index=step,
-                                                    kind=kind)
-                plane_b = FaultPlane(seed=seed).arm(site, index=step,
-                                                    kind=kind)
-                sa, sb = _split(item)
-                with installed(plane_a):
-                    applied_a = _apply_tolerant(state_a, sa)
-                with installed(plane_b):
-                    applied_b = _apply_tolerant(state_b, sb)
-                fired = bool(plane_a.fired)
-                symmetric = applied_a == applied_b and \
-                    bool(plane_a.fired) == bool(plane_b.fired)
-                indistinguishable = True
-                from repro.security.noninterference import (
-                    indistinguishable as indist)
+    for index in range(len(trace)):
+        report.runs.extend(run_crash_ni_index(
+            factory, trace, index, sites=sites, observers=observers,
+            seed=seed))
+    return report
+
+
+def run_crash_ni_index(two_worlds_factory, trace, index, *,
+                       sites: Sequence[str] = DEFAULT_SITES,
+                       observers, seed=0) -> List[RunRecord]:
+    """All crash-NI runs for one trace step — the campaign's unit of
+    work.  Non-hypercall steps have no crash points: empty list."""
+    from repro.security.noninterference import (
+        indistinguishable as indist)
+    from repro.security.transitions import Hypercall
+
+    item = trace[index]
+    step_a, _step_b = _split(item)
+    if not isinstance(step_a, Hypercall):
+        return []
+    # Reach the prefix state freshly, then count this step's hits.
+    worlds, _eid = two_worlds_factory()
+    for prior in trace[:index]:
+        pa, pb = _split(prior)
+        _apply_tolerant(worlds.a, pa)
+        _apply_tolerant(worlds.b, pb)
+    probe = worlds.a.clone()
+    recorder = FaultPlane(record_only=True)
+    with installed(recorder):
+        _apply_tolerant(probe, step_a)
+    reached = {}
+    for site in tuple(sites) + (hypercall_site(step_a.name),):
+        if recorder.counts.get(site, 0):
+            reached[site] = recorder.counts[site]
+    runs = []
+    for site, hits in sorted(reached.items()):
+        kind = _KIND_FOR_SITE.get(site, RAISE)
+        for step in range(hits):
+            state_a = worlds.a.clone()
+            state_b = worlds.b.clone()
+            plane_a = FaultPlane(seed=seed).arm(site, index=step,
+                                                kind=kind)
+            plane_b = FaultPlane(seed=seed).arm(site, index=step,
+                                                kind=kind)
+            sa, sb = _split(item)
+            with installed(plane_a):
+                applied_a = _apply_tolerant(state_a, sa)
+            with installed(plane_b):
+                applied_b = _apply_tolerant(state_b, sb)
+            fired = bool(plane_a.fired)
+            symmetric = applied_a == applied_b and \
+                bool(plane_a.fired) == bool(plane_b.fired)
+            indistinguishable = True
+            for observer in observers:
+                if not indist(state_a, state_b, observer):
+                    indistinguishable = False
+            # Drain the rest of the trace; every suffix step must
+            # keep the worlds indistinguishable too.
+            for later in trace[index + 1:]:
+                la, lb = _split(later)
+                ra = _apply_tolerant(state_a, la)
+                rb = _apply_tolerant(state_b, lb)
+                symmetric = symmetric and (ra == rb)
                 for observer in observers:
                     if not indist(state_a, state_b, observer):
                         indistinguishable = False
-                # Drain the rest of the trace; every suffix step must
-                # keep the worlds indistinguishable too.
-                for later in trace[index + 1:]:
-                    la, lb = _split(later)
-                    ra = _apply_tolerant(state_a, la)
-                    rb = _apply_tolerant(state_b, lb)
-                    symmetric = symmetric and (ra == rb)
-                    for observer in observers:
-                        if not indist(state_a, state_b, observer):
-                            indistinguishable = False
-                outcome = "aborted" if fired else "completed"
-                report.runs.append(RunRecord(
-                    hypercall=step_a.name, site=site, step=step,
-                    kind=kind, outcome=outcome, fired=fired,
-                    rolled_back=symmetric if fired else None,
-                    invariants_ok=indistinguishable,
-                    detail=f"trace step {index}"))
-    return report
+            outcome = "aborted" if fired else "completed"
+            runs.append(RunRecord(
+                hypercall=step_a.name, site=site, step=step,
+                kind=kind, outcome=outcome, fired=fired,
+                rolled_back=symmetric if fired else None,
+                invariants_ok=indistinguishable,
+                detail=f"trace step {index}"))
+    return runs
 
 
 # ---------------------------------------------------------------------------
@@ -562,19 +599,15 @@ def default_concurrent_workloads(state, ctx):
     return [script_task(host_script), script_task(guest_script)]
 
 
-def make_interleaved_run(monitor_cls=None, config=None, *,
-                         workloads=None, probe=True):
-    """A ``run_world(secret, schedule) -> (state, RunResult)`` factory.
+def build_interleaved_world(monitor_cls=None, config=None, *, secret=41):
+    """The interleaved-campaign world, pre-schedule: ``(state, ctx)``.
 
-    Each call rebuilds the whole world from scratch (stateless model
-    checking): a two-vCPU monitor, one app, a source page holding
-    ``secret``, and the vCPU scripts from ``workloads`` (default
-    :func:`default_concurrent_workloads`), then executes ``schedule``
-    under the deterministic scheduler with the stale-translation
-    detector probing after every decision.
+    A two-vCPU monitor, one app, and a source page holding ``secret``.
+    The returned state has executed nothing yet, so it can serve as a
+    clean prototype: :meth:`SystemState.clone` of it is exactly the
+    world a fresh build would produce (the parallel fabric builds one
+    prototype per worker and clones per schedule).
     """
-    from repro.concurrency import DeterministicScheduler
-    from repro.concurrency.shootdown import detect_stale_translations
     from repro.hyperenclave.constants import TINY
     from repro.hyperenclave.monitor import RustMonitor
     from repro.security.oracle import DataOracle
@@ -582,32 +615,62 @@ def make_interleaved_run(monitor_cls=None, config=None, *,
 
     config = config or TINY
     cls = monitor_cls or RustMonitor
-    build = workloads or default_concurrent_workloads
+    monitor = cls(config, num_vcpus=2)
+    primary_os = monitor.primary_os
+    primary_os.spawn_app(1)
+    page = config.page_size
+    ctx = {
+        "page": page,
+        "mbuf_pa": config.frame_base(primary_os.reserve_data_frame()),
+        "src_pa": config.frame_base(primary_os.reserve_data_frame()),
+        "elrange_base": 16 * page,
+    }
+    primary_os.gpa_write_word(ctx["src_pa"], secret)
+    return SystemState(monitor, DataOracle.seeded(13)), ctx
 
+
+def execute_interleaved(state, ctx, schedule, *, workloads=None,
+                        probe=True, fast_handoff=False):
+    """Run ``schedule`` over a :func:`build_interleaved_world` state.
+
+    The vCPU scripts come from ``workloads`` (default
+    :func:`default_concurrent_workloads`); the stale-translation
+    detector probes after every decision unless ``probe`` is false.
+    ``fast_handoff`` enables the scheduler's inline-decision path (used
+    by the parallel fabric's workers; byte-identical results either
+    way).
+    """
+    from repro.concurrency import DeterministicScheduler
+    from repro.concurrency.shootdown import detect_stale_translations
+
+    build = workloads or default_concurrent_workloads
+    scheduler = DeterministicScheduler(
+        state.monitor, build(state, ctx), schedule,
+        probe=detect_stale_translations if probe else None,
+        fast_handoff=fast_handoff)
+    result = scheduler.run()
+    # Scrub the source page the harness used to seed the secret —
+    # the concurrent analogue of :func:`default_two_worlds` zeroing
+    # it right after ``hc_add_page``.  Once inside the enclave the
+    # secret is exactly what noninterference must hide; the staging
+    # copy in host memory is a harness artifact, not a channel.
+    state.monitor.primary_os.gpa_write_word(ctx["src_pa"], 0)
+    return state, result
+
+
+def make_interleaved_run(monitor_cls=None, config=None, *,
+                         workloads=None, probe=True):
+    """A ``run_world(secret, schedule) -> (state, RunResult)`` factory.
+
+    Each call rebuilds the whole world from scratch (stateless model
+    checking) via :func:`build_interleaved_world` and executes the
+    schedule via :func:`execute_interleaved`.
+    """
     def run_world(secret, schedule):
-        monitor = cls(config, num_vcpus=2)
-        primary_os = monitor.primary_os
-        primary_os.spawn_app(1)
-        page = config.page_size
-        ctx = {
-            "page": page,
-            "mbuf_pa": config.frame_base(primary_os.reserve_data_frame()),
-            "src_pa": config.frame_base(primary_os.reserve_data_frame()),
-            "elrange_base": 16 * page,
-        }
-        primary_os.gpa_write_word(ctx["src_pa"], secret)
-        state = SystemState(monitor, DataOracle.seeded(13))
-        scheduler = DeterministicScheduler(
-            monitor, build(state, ctx), schedule,
-            probe=detect_stale_translations if probe else None)
-        result = scheduler.run()
-        # Scrub the source page the harness used to seed the secret —
-        # the concurrent analogue of :func:`default_two_worlds` zeroing
-        # it right after ``hc_add_page``.  Once inside the enclave the
-        # secret is exactly what noninterference must hide; the staging
-        # copy in host memory is a harness artifact, not a channel.
-        primary_os.gpa_write_word(ctx["src_pa"], 0)
-        return state, result
+        state, ctx = build_interleaved_world(monitor_cls, config,
+                                             secret=secret)
+        return execute_interleaved(state, ctx, schedule,
+                                   workloads=workloads, probe=probe)
 
     return run_world
 
@@ -753,23 +816,35 @@ def crash_in_critical_section_campaign(monitor_cls=None, *, seed=0,
     report = CrashCampaignReport(monitor=cls.__name__,
                                  critical_yields=len(points))
     for point in points:
-        schedule = Schedule(seed=seed,
-                            crash=(point.vid, point.yield_index))
-        state, result = run_world(41, schedule)
-        found = [str(v) for v in result_violations(schedule, result)]
-        monitor = state.monitor
-        invariants = check_all_invariants(monitor)
-        for family in invariants.violated_families():
-            for item in invariants.violations[family]:
-                found.append(f"[invariant:{family}] {item} "
-                             f"(replay: {schedule.describe()})")
-        for item in check_vcpu_consistency(monitor):
-            found.append(f"[vcpu-consistency] {item} "
-                         f"(replay: {schedule.describe()})")
-        report.records.append(CrashRecord(
-            vid=point.vid, yield_index=point.yield_index,
-            kind=point.kind, detail=point.detail,
-            locks_held=point.locks_held,
-            parked=point.vid in result.parked,
-            violations=tuple(found)))
+        report.records.append(crash_point_record(run_world, point,
+                                                 seed=seed))
     return report
+
+
+def crash_point_record(run_world, point, *, seed=0) -> CrashRecord:
+    """Deliver one crash at one critical-section yield point — the
+    crash-in-critical-section campaign's unit of work."""
+    from repro.concurrency import Schedule, result_violations
+    from repro.security.invariants import (
+        check_all_invariants,
+        check_vcpu_consistency,
+    )
+
+    schedule = Schedule(seed=seed, crash=(point.vid, point.yield_index))
+    state, result = run_world(41, schedule)
+    found = [str(v) for v in result_violations(schedule, result)]
+    monitor = state.monitor
+    invariants = check_all_invariants(monitor)
+    for family in invariants.violated_families():
+        for item in invariants.violations[family]:
+            found.append(f"[invariant:{family}] {item} "
+                         f"(replay: {schedule.describe()})")
+    for item in check_vcpu_consistency(monitor):
+        found.append(f"[vcpu-consistency] {item} "
+                     f"(replay: {schedule.describe()})")
+    return CrashRecord(
+        vid=point.vid, yield_index=point.yield_index,
+        kind=point.kind, detail=point.detail,
+        locks_held=point.locks_held,
+        parked=point.vid in result.parked,
+        violations=tuple(found))

@@ -42,6 +42,27 @@ class Enclave:
             raise HypercallError(
                 f"enclave {eid}: marshalling buffer overlaps ELRANGE")
 
+    def clone(self, gpt, ept):
+        """An independent copy over pre-cloned page tables.
+
+        Built via ``object.__new__`` so the constructor's overlap
+        validation does not re-run — deliberately: the buggy variants
+        plant enclaves that would fail it, and a clone must reproduce
+        the state it was given, bugs included.
+        """
+        new = object.__new__(type(self))
+        new.eid = self.eid
+        new.elrange_base = self.elrange_base
+        new.elrange_size = self.elrange_size
+        new.mbuf = self.mbuf          # frozen descriptor
+        new.gpt = gpt
+        new.ept = ept
+        new.gpa_base = self.gpa_base
+        new.state = self.state
+        new.saved_context = self.saved_context   # immutable tuple
+        new.measurement = self.measurement
+        return new
+
     # -- address classification -----------------------------------------------------
 
     @property

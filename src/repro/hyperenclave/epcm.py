@@ -139,3 +139,11 @@ class Epcm:
         self._entries = [
             EpcmEntry(state=PageState(state), owner=owner, va=va)
             for state, owner, va in snapshot]
+
+    def clone(self):
+        """An independent copy of the whole entry array."""
+        new = object.__new__(type(self))
+        new.layout = self.layout
+        new._entries = [EpcmEntry(state=e.state, owner=e.owner, va=e.va)
+                        for e in self._entries]
+        return new

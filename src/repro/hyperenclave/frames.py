@@ -103,3 +103,11 @@ class BitmapFrameAllocator:
                 f"snapshot covers {len(bitmap)} frames, pool has "
                 f"{self.size}")
         self._used = list(bitmap)
+
+    def clone(self):
+        """An independent copy over the same pool geometry."""
+        new = object.__new__(type(self))
+        new.base = self.base
+        new.size = self.size
+        new._used = list(self._used)
+        return new

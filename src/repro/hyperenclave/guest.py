@@ -48,6 +48,24 @@ class PrimaryOS:
         self._next_table_frame = 0  # naive bump allocator over guest frames
         self._reserved_frames: set = set()
 
+    def clone(self, phys, ept):
+        """Rebind onto cloned backing stores (the OS's own page tables
+        are guest data living in ``phys``, so only the bookkeeping —
+        apps, reserved frames, the bump cursor — needs copying)."""
+        new = object.__new__(type(self))
+        new.config = self.config
+        new.phys = phys
+        new.ept = ept
+        new.layout = self.layout
+        new.apps = {app_id: App(app_id=app.app_id,
+                                gpt_root_gpa=app.gpt_root_gpa,
+                                mbuf_va=app.mbuf_va,
+                                mbuf_size=app.mbuf_size)
+                    for app_id, app in self.apps.items()}
+        new._next_table_frame = self._next_table_frame
+        new._reserved_frames = set(self._reserved_frames)
+        return new
+
     # -- raw guest-physical access (adversary verb 1) ---------------------------------
 
     def gpa_write_word(self, gpa, value):

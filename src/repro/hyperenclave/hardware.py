@@ -131,6 +131,14 @@ class PhysMemory:
     def restore_checkpoint(self, checkpoint):
         self._words = dict(checkpoint)
 
+    def clone(self):
+        """An independent copy (no yield points, no fault sites)."""
+        new = object.__new__(type(self))
+        new.config = self.config
+        new._capacity = self._capacity
+        new._words = dict(self._words)
+        return new
+
     def __len__(self):
         return self._capacity
 
@@ -173,6 +181,13 @@ class Tlb:
         entries, flush_count = snapshot
         self._entries = dict(entries)
         self.flush_count = flush_count
+
+    def clone(self):
+        """An independent copy, flush telemetry included."""
+        new = type(self)()
+        new._entries = dict(self._entries)
+        new.flush_count = self.flush_count
+        return new
 
     def __len__(self):
         return len(self._entries)
@@ -252,3 +267,10 @@ class CpuLocal:
         self.active = active
         self.saved_host_context = shc
         self.tlb.load_snapshot(tlb)
+
+    def clone(self):
+        """An independent per-core copy (``saved_host_context`` is an
+        immutable register tuple, shared by reference)."""
+        return CpuLocal(vcpu=self.vcpu.clone(), tlb=self.tlb.clone(),
+                        active=self.active,
+                        saved_host_context=self.saved_host_context)

@@ -139,6 +139,46 @@ class RustMonitor:
         finally:
             self._vid = old
 
+    # Instance fields :meth:`clone` copies structurally; anything a
+    # subclass adds on top falls back to ``copy.deepcopy``.
+    _CLONE_FIELDS = frozenset((
+        "config", "layout", "phys", "pt_allocator", "epcm", "enclaves",
+        "_next_eid", "cpus", "_vid", "os_ept", "primary_os"))
+
+    def clone(self):
+        """An independent structural copy of the whole monitor.
+
+        Field-wise instead of ``copy.deepcopy``: the immutable geometry
+        (``config``, ``layout``) is shared, every mutable structure —
+        physical memory, allocator bitmap, EPCM, per-core state, enclave
+        metadata — is copied, and the page tables / primary OS are
+        rebound onto the cloned backing stores.  This sits on the
+        two-world noninterference hot path and under every parallel
+        campaign's prototype-clone world builder.
+        """
+        import copy
+
+        new = object.__new__(type(self))
+        new.config = self.config
+        new.layout = self.layout
+        new.phys = self.phys.clone()
+        new.pt_allocator = self.pt_allocator.clone()
+        new.epcm = self.epcm.clone()
+        new._next_eid = self._next_eid
+        new._vid = self._vid
+        new.cpus = [cpu.clone() for cpu in self.cpus]
+        new.os_ept = self.os_ept.clone(new.phys, new.pt_allocator)
+        new.primary_os = self.primary_os.clone(new.phys, new.os_ept)
+        new.enclaves = {
+            eid: enclave.clone(
+                enclave.gpt.clone(new.phys, new.pt_allocator),
+                enclave.ept.clone(new.phys, new.pt_allocator))
+            for eid, enclave in self.enclaves.items()}
+        for key, value in self.__dict__.items():
+            if key not in self._CLONE_FIELDS:
+                new.__dict__[key] = copy.deepcopy(value)
+        return new
+
     def _plan_locks(self, *names):
         """Declare and pre-acquire this hypercall's whole lock set.
 

@@ -75,6 +75,24 @@ class PageTable:
             phys.zero_frame(root_frame)
         self.root_frame = root_frame
 
+    def clone(self, phys, allocator):
+        """Rebind this table onto cloned backing stores.
+
+        A page table owns no state of its own beyond the root frame and
+        the lock name — the entries live in physical memory — so a clone
+        is the same descriptor wired to the *cloned* ``phys`` and
+        ``allocator`` (the caller clones those first).
+        """
+        new = object.__new__(type(self))
+        new.config = self.config
+        new.phys = phys
+        new.allocator = allocator
+        new.allow_huge = self.allow_huge
+        new.name = self.name
+        new.owner_lock = self.owner_lock
+        new.root_frame = self.root_frame
+        return new
+
     # -- entry IO (layer 3: the trusted load/store pair) --------------------------
 
     def entry_paddr(self, table_frame, index):

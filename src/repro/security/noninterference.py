@@ -208,6 +208,28 @@ def check_schedule_noninterference(run_world, schedule,
     every vCPU's view of the final state.
     """
     state_a, result_a = run_world(41, schedule)
+    return check_schedule_noninterference_prepared(
+        state_a, result_a, run_world, schedule, observers)
+
+
+def _default_final_diff(state_a, state_b, vid, observer):
+    with state_a.monitor.on_cpu(vid), state_b.monitor.on_cpu(vid):
+        return observation_diff(state_a, state_b, observer)
+
+
+def check_schedule_noninterference_prepared(state_a, result_a, run_world,
+                                            schedule, observers,
+                                            diff=None) -> List[NIViolation]:
+    """:func:`check_schedule_noninterference` with world A pre-run.
+
+    ``run_world`` is deterministic, so a caller that already executed the
+    secret-41 world (the interleaving campaign checks invariants on it
+    first) can hand in ``(state_a, result_a)`` and pay for only the
+    secret-42 run — identical violations, one world build fewer.
+    ``diff(state_a, state_b, vid, observer)`` overrides the final-state
+    observation diff (the parallel fabric memoises it by fingerprint).
+    """
+    final_diff = diff or _default_final_diff
     state_b, result_b = run_world(42, schedule)
     violations = []
     if result_a.trace != result_b.trace:
@@ -218,12 +240,11 @@ def check_schedule_noninterference(run_world, schedule,
         return violations
     for observer in observers:
         for vid in range(state_a.monitor.num_vcpus):
-            with state_a.monitor.on_cpu(vid), state_b.monitor.on_cpu(vid):
-                diff = observation_diff(state_a, state_b, observer)
-            if diff:
+            found = final_diff(state_a, state_b, vid, observer)
+            if found:
                 violations.append(NIViolation(
                     lemma="schedule-ni", step_index=len(result_a.trace),
-                    observer=observer, components=diff,
+                    observer=observer, components=found,
                     detail=f"final state as seen from vcpu{vid}"))
     return violations
 

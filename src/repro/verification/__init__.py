@@ -49,6 +49,7 @@ from repro.verification.harness import (
     ENGINE_SYMBOLIC,
     check_pure_hardened,
     check_stateful_hardened,
+    split_budget,
 )
 
 __all__ = [
@@ -58,5 +59,5 @@ __all__ = [
     "CorpusReport", "FunctionVerdict",
     "SynthesizedSpec", "synthesize_spec", "check_synthesized_spec",
     "ENGINE_EXHAUSTIVE", "ENGINE_SAMPLING", "ENGINE_SYMBOLIC",
-    "check_pure_hardened", "check_stateful_hardened",
+    "check_pure_hardened", "check_stateful_hardened", "split_budget",
 ]

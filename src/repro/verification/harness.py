@@ -150,6 +150,22 @@ def _run_concrete(impl, state, reference, args, failures, cap=5):
                 counterexample=args))
 
 
+def split_budget(max_steps, max_seconds, shares):
+    """Even per-unit slices of a grid-wide checking allowance.
+
+    The parallel fabric fans a check grid out across workers; each unit
+    gets ``total // shares`` steps (at least 1) and ``total / shares``
+    seconds, so the whole grid spends no more than the caller allowed —
+    and the sequential grid uses the *same* slices, keeping the two
+    byte-identical.  ``None`` (unlimited) stays ``None``.
+    """
+    if shares <= 0:
+        raise ValueError("shares must be positive")
+    steps = None if max_steps is None else max(1, max_steps // shares)
+    seconds = None if max_seconds is None else max_seconds / shares
+    return steps, seconds
+
+
 def check_pure_hardened(model, name, *, max_steps=None, max_seconds=None,
                         seed=0, sample_count=128, max_exhaustive=4096,
                         clock=None) -> CheckReport:

@@ -1,0 +1,16 @@
+"""One shared worker pool for the whole equivalence suite.
+
+Forking a fresh 4-process pool per test would dominate the suite's
+runtime; determinism does not depend on pool lifetime (the merge is
+by unit index), so every test borrows this session-scoped executor.
+"""
+
+import pytest
+
+from repro.engine import ShardedExecutor
+
+
+@pytest.fixture(scope="session")
+def pool():
+    with ShardedExecutor(4) as executor:
+        yield executor

@@ -1,0 +1,113 @@
+"""Sequential ↔ parallel byte-identity, campaign by campaign.
+
+The fabric's one hard guarantee: for every checking campaign, the
+merged parallel report is **byte-identical** (``repr``-equal, which
+covers every field of every record) to the sequential run — worker
+count, shard assignment, and completion order must not be observable.
+Each test here runs both sides of one campaign on a small grid and
+compares the full reports, including the campaigns where the planted
+concurrency bugs actually fire (violations must merge identically,
+not just clean runs).
+"""
+
+from repro.engine import (
+    parallel_bitflip_campaigns,
+    parallel_crash_in_critical_section_campaign,
+    parallel_crash_ni_campaign,
+    parallel_crash_step_campaign,
+    parallel_interleaving_campaign,
+    parallel_pure_check_grid,
+    sequential_pure_check_grid,
+)
+from repro.faults.campaign import (
+    bitflip_campaign,
+    crash_in_critical_section_campaign,
+    crash_ni_campaign,
+    crash_step_campaign,
+    default_workload,
+    default_world_factory,
+    interleaving_campaign,
+)
+from repro.hyperenclave.buggy import MissingLockMonitor, NoShootdownMonitor
+
+
+def test_interleaving_equivalence(pool):
+    seq = interleaving_campaign(max_schedules=40)
+    par = parallel_interleaving_campaign(max_schedules=40, executor=pool)
+    assert repr(par) == repr(seq)
+
+
+def test_interleaving_equivalence_with_crash(pool):
+    seq = interleaving_campaign(max_schedules=24, check_ni=False,
+                                crash=(1, 3))
+    par = parallel_interleaving_campaign(max_schedules=24,
+                                         check_ni=False, crash=(1, 3),
+                                         executor=pool)
+    assert repr(par) == repr(seq)
+
+
+def test_interleaving_equivalence_missing_lock(pool):
+    """Violating runs (lock-protocol findings) must merge identically."""
+    seq = interleaving_campaign(MissingLockMonitor, max_schedules=30,
+                                check_ni=False)
+    par = parallel_interleaving_campaign(MissingLockMonitor,
+                                         max_schedules=30,
+                                         check_ni=False, executor=pool)
+    assert not seq.ok
+    assert repr(par) == repr(seq)
+
+
+def test_interleaving_equivalence_no_shootdown(pool):
+    seq = interleaving_campaign(NoShootdownMonitor, max_schedules=150,
+                                check_ni=False)
+    par = parallel_interleaving_campaign(NoShootdownMonitor,
+                                         max_schedules=150,
+                                         check_ni=False, executor=pool)
+    assert not seq.ok
+    assert repr(par) == repr(seq)
+
+
+def test_crash_step_equivalence(pool):
+    seq = crash_step_campaign(default_world_factory(),
+                              default_workload())
+    par = parallel_crash_step_campaign(executor=pool)
+    assert seq.runs and repr(par) == repr(seq)
+
+
+def test_bitflip_equivalence(pool):
+    factory = default_world_factory()
+    seeds = [0, 1, 2]
+    seq = [bitflip_campaign(factory, flips=24, seed=s) for s in seeds]
+    par = parallel_bitflip_campaigns(seeds, flips=24, executor=pool)
+    assert repr(par) == repr(seq)
+
+
+def test_crash_ni_equivalence(pool):
+    seq = crash_ni_campaign()
+    par = parallel_crash_ni_campaign(executor=pool)
+    assert seq.runs and repr(par) == repr(seq)
+
+
+def test_crash_in_critical_section_equivalence(pool):
+    seq = crash_in_critical_section_campaign()
+    par = parallel_crash_in_critical_section_campaign(executor=pool)
+    assert seq.records and repr(par) == repr(seq)
+
+
+def test_pure_check_grid_equivalence(pool):
+    """With frozen worker clocks even ``budget_spent`` merges equal."""
+    names = ["entry_index", "pte_is_present", "pte_frame",
+             "align_page_down"]
+    kw = dict(total_steps=4000, seed=7, sample_count=32,
+              fake_clock=True)
+    seq = sequential_pure_check_grid(names, **kw)
+    par = parallel_pure_check_grid(names, **kw, executor=pool)
+    assert [r.name for r in seq] == names
+    assert repr(par) == repr(seq)
+
+
+def test_stats_out_reports_worker_memoisation(pool):
+    stats = {}
+    parallel_interleaving_campaign(max_schedules=40, executor=pool,
+                                   stats_out=stats)
+    assert stats["invariants"]["hits"] + stats["invariants"]["misses"] > 0

@@ -1,0 +1,109 @@
+"""Fingerprint soundness: the memo key sees every mutation.
+
+The memoised checkers are only sound if *any* state change a worker's
+execution can make lands in some structure fingerprint.  Hypothesis
+drives the two mutation planes the monitor exposes — raw physical
+memory writes and the lock-guarded structure paths exercised by the
+hypercall surface — and requires the fingerprints to move every time,
+with :func:`~repro.engine.fingerprint.dirty_structures` naming the
+right structure.  Determinism across rebuilds and clones is pinned
+too: a fingerprint that drifted between a prototype and its clone
+would silently poison every cache hit.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.fingerprint import (
+    STRUCTURES,
+    dirty_structures,
+    fingerprint,
+    state_fingerprint,
+    structure_fingerprints,
+)
+from repro.faults.campaign import (
+    build_interleaved_world,
+    default_workload,
+    default_world_factory,
+)
+from repro.hyperenclave.constants import TINY
+
+WORKLOAD = default_workload()
+
+
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_any_phys_write_changes_the_fingerprint(data):
+    monitor, _ctx = default_world_factory()()
+    frame = data.draw(st.integers(0, 30), label="frame")
+    offset = data.draw(st.integers(0, TINY.words_per_page - 1),
+                       label="word")
+    paddr = TINY.frame_base(frame) + offset * 8
+    value = data.draw(
+        st.integers(1, (1 << 64) - 1).filter(
+            lambda v: v != monitor.phys.read_word(paddr)),
+        label="value")
+    before = structure_fingerprints(monitor)
+    monitor.phys.write_word(paddr, value)
+    after = structure_fingerprints(monitor)
+    assert dirty_structures(before, after) == ("phys",)
+    assert fingerprint(monitor, after) != fingerprint(monitor, before)
+
+
+@given(prefix=st.integers(1, len(WORKLOAD)))
+@settings(max_examples=len(WORKLOAD), deadline=None)
+def test_every_hypercall_of_a_random_prefix_moves_the_fingerprint(prefix):
+    monitor, ctx = default_world_factory()()
+    fps = structure_fingerprints(monitor)
+    last = fingerprint(monitor, fps)
+    for _name, invoke in WORKLOAD[:prefix]:
+        invoke(monitor, ctx)
+        fps = structure_fingerprints(monitor)
+        combined = fingerprint(monitor, fps)
+        # every hypercall mutates some covered structure, so the
+        # combined fingerprint must move step over step (a *revisit*
+        # of an earlier state — aug then trim — is legal; a missed
+        # mutation is not)
+        assert combined != last
+        last = combined
+
+
+def test_lock_structure_paths_name_their_structure():
+    monitor, ctx = default_world_factory()()
+    before = structure_fingerprints(monitor)
+    monitor.pt_allocator.alloc()
+    after = structure_fingerprints(monitor)
+    assert dirty_structures(before, after) == ("frames",)
+    before = after
+    monitor.cpus[0].vcpu.write_reg("rax", 0xC0FFEE)
+    after = structure_fingerprints(monitor)
+    assert dirty_structures(before, after) == ("cpus",)
+
+
+@given(prefix=st.integers(0, len(WORKLOAD)))
+@settings(max_examples=6, deadline=None)
+def test_fingerprints_are_stable_across_rebuilds(prefix):
+    """Two independently built worlds running the same prefix agree on
+    every structure fingerprint — the cross-run half of the memo-key
+    contract (cross-*process* stability rides on the same canonical
+    encoding plus the executor's forked workers)."""
+    results = []
+    for _ in range(2):
+        monitor, ctx = default_world_factory()()
+        for _name, invoke in WORKLOAD[:prefix]:
+            invoke(monitor, ctx)
+        results.append(structure_fingerprints(monitor))
+    assert results[0] == results[1]
+
+
+def test_clone_preserves_every_fingerprint():
+    state, _ctx = build_interleaved_world()
+    clone = state.clone()
+    assert (structure_fingerprints(clone.monitor)
+            == structure_fingerprints(state.monitor))
+    assert state_fingerprint(clone) == state_fingerprint(state)
+
+
+def test_structure_list_matches_fingerprint_dict():
+    monitor, _ctx = default_world_factory()()
+    fps = structure_fingerprints(monitor)
+    assert tuple(fps) == STRUCTURES
