@@ -91,7 +91,12 @@ class CheckReport:
     to co-simulation on a budget blow-up), what the run cost
     (``budget_spent``), how many times a sampled campaign was reseeded
     (``seed_retries``), and whether the engine ran to completion or was
-    cut off mid-way (``completed``).  The defaults make a bare
+    cut off mid-way (``completed``).  ``solver_stats`` carries the
+    bounded solver's work counters for this run — candidate assignments
+    examined, models enumerated, domain values pruned, and verdict-memo
+    hits (see :func:`repro.symbolic.solver.solver_stats`) — so reports
+    show not just *what* was decided but how much solving it took and
+    how much the fast path saved.  The defaults make a bare
     co-simulation report look exactly as it always did.
     """
 
@@ -104,6 +109,7 @@ class CheckReport:
     budget_spent: Dict = field(default_factory=dict)
     seed_retries: int = 0
     completed: bool = True
+    solver_stats: Dict = field(default_factory=dict)
 
     @property
     def ok(self):

@@ -34,12 +34,22 @@ from typing import Dict
 STRUCTURES = ("phys", "frames", "epcm", "enclaves", "cpus")
 
 
-def _fp(*parts) -> int:
+def content_fingerprint(*parts) -> int:
+    """Canonical blake2b-64 over ``repr`` of primitive parts.
+
+    The one fingerprint primitive of the engine: stable across processes
+    (unlike salted builtin ``hash``), cheap, and collision-resistant
+    enough for memo keys.  The monitor-state fingerprints below and the
+    solver-verdict memo (:mod:`repro.symbolic.solver`) both build on it.
+    """
     digest = hashlib.blake2b(digest_size=8)
     for part in parts:
         digest.update(repr(part).encode())
         digest.update(b"\x1f")
     return int.from_bytes(digest.digest(), "big")
+
+
+_fp = content_fingerprint
 
 
 def phys_fingerprint(monitor) -> int:

@@ -99,6 +99,37 @@ class OutOfFuel(MirError):
     """
 
 
+class UnboundSymbolicVariable(MirError, KeyError):
+    """A constraint references a symbolic variable with no declared domain.
+
+    The bounded solver can only enumerate variables whose domains the
+    caller declared; silently treating an unbound variable as an empty
+    domain would turn "I cannot decide this" into "unsatisfiable", which
+    is unsound for :func:`~repro.symbolic.solver.must_hold` (an unbound
+    negated property would be "proved").  ``enumerate_models``
+    short-circuits with this error *before* enumerating anything.
+
+    Derives from :class:`KeyError` as well so pre-existing callers that
+    treated a missing domain as "cannot prune / cannot decide" keep
+    working unchanged.
+    """
+
+    _CTOR_ATTRS = ("names",)
+
+    def __init__(self, names):
+        if isinstance(names, str):
+            names = (names,)
+        self.names = tuple(sorted(names))
+        listing = ", ".join(repr(n) for n in self.names)
+        # Exception.__str__ on a KeyError repr()s a single arg; pass the
+        # composed message as the only argument for readable output.
+        super().__init__(
+            f"no domain declared for symbolic variable(s) {listing}")
+
+    def __str__(self):
+        return self.args[0]
+
+
 # ---------------------------------------------------------------------------
 # CCAL / specification errors
 # ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ Three design points carried over from the paper:
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from repro import fastpath
 from repro.errors import (
     EncapsulationViolation,
     MirAssertError,
@@ -33,6 +34,7 @@ from repro.errors import (
 )
 from repro.mir import ast
 from repro.mir.ast import BinOp, CastKind, UnOp
+from repro.mir.compile import compiled_blocks
 from repro.mir.env import Frame, TempEnv
 from repro.mir.memory import ObjectMemory
 from repro.mir.path import Path
@@ -115,6 +117,11 @@ class Interpreter:
         self._frames = []
         self._next_frame_id = 0
         self._result: Optional[Value] = None
+        # Snapshot the fast-path switch once: this interpreter either
+        # drives the compiled per-CFG dispatch (repro.mir.compile) or
+        # the naive isinstance ladder for its whole lifetime.  Both
+        # produce identical results, steps, and errors.
+        self._fast = fastpath.enabled()
         for name, value in program.globals_.items():
             self.memory.allocate(Path.global_(name).base, value)
 
@@ -159,13 +166,50 @@ class Interpreter:
                               self.absstate, 0, self.memory)
         self._push_frame(name, tuple(args), dest=None, return_to=None)
         base_depth = len(self._frames) - 1
-        while len(self._frames) > base_depth:
-            self.step()
+        if self._fast:
+            self._run_compiled(base_depth)
+        else:
+            while len(self._frames) > base_depth:
+                self.step()
         result = self._result if self._result is not None else unit()
         self._result = None
         return ExecResult(result, self.absstate, self.steps, self.memory)
 
     # -- small-step machine ---------------------------------------------------
+
+    def _run_compiled(self, base_depth):
+        """Drive compiled dispatch until the outer frame returns.
+
+        Step accounting is identical to repeated :meth:`step` calls: one
+        fuel unit per statement (no-ops included) and per terminator,
+        with the fuel check *before* each step — so fuel-bounded runs
+        stop at exactly the same step either way.
+        """
+        frames = self._frames
+        while len(frames) > base_depth:
+            frame = frames[-1]
+            statements, terminator, count = frame.code[frame.block]
+            index = frame.stmt_index
+            # Statements never touch the step counter or push frames,
+            # so both can live in locals across the block body; the
+            # ``finally`` keeps frame/interpreter state exact when a
+            # statement raises mid-block.
+            steps = self.steps
+            fuel = self.fuel
+            try:
+                while index < count:
+                    if steps >= fuel:
+                        raise OutOfFuel(f"exceeded fuel of {fuel} steps")
+                    steps += 1
+                    statements[index](self, frame)
+                    index += 1
+            finally:
+                self.steps = steps
+                frame.stmt_index = index
+            if steps >= fuel:
+                raise OutOfFuel(f"exceeded fuel of {fuel} steps")
+            self.steps = steps + 1
+            terminator(self, frame)
 
     def step(self):
         """Fire one statement or terminator rule."""
@@ -190,6 +234,8 @@ class Interpreter:
             )
         frame = Frame(function=function, frame_id=self._next_frame_id,
                       dest=dest, return_to=return_to)
+        if self._fast:
+            frame.code = compiled_blocks(function, self.program)
         self._next_frame_id += 1
         for param, value in zip(function.params, args):
             self._bind_var(frame, param, value)

@@ -21,10 +21,15 @@ from repro.symbolic.terms import (
     Const,
     App,
     evaluate,
+    fast_evaluate,
     term_vars,
+    term_fingerprint,
     simplify,
     bv,
     boolean,
+    compile_evaluator,
+    intern_stats,
+    clear_term_caches,
 )
 from repro.symbolic.solver import (
     Domains,
@@ -32,6 +37,9 @@ from repro.symbolic.solver import (
     enumerate_models,
     must_hold,
     prune_domains,
+    solver_stats,
+    stats_delta,
+    clear_solver_caches,
 )
 from repro.symbolic.execute import (
     SymExecutor,
@@ -45,8 +53,11 @@ from repro.symbolic.execute import (
 
 __all__ = [
     "Term", "SymVar", "Const", "App",
-    "evaluate", "term_vars", "simplify", "bv", "boolean",
+    "evaluate", "fast_evaluate", "term_vars", "term_fingerprint",
+    "simplify", "bv", "boolean", "compile_evaluator",
+    "intern_stats", "clear_term_caches",
     "Domains", "check_sat", "enumerate_models", "must_hold", "prune_domains",
+    "solver_stats", "stats_delta", "clear_solver_caches",
     "SymExecutor", "PathResult", "Obligation", "SymbolicUnsupported",
     "verify_assertions", "check_equivalence", "path_coverage_inputs",
 ]

@@ -21,8 +21,10 @@ every symbolic divisor.  Drivers:
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import fastpath
 from repro.errors import MirError, MirRuntimeError
 from repro.mir import ast
+from repro.mir.compile import block_plan
 from repro.mir.ast import BinOp, CastKind, UnOp
 from repro.mir.value import (
     Aggregate,
@@ -35,7 +37,8 @@ from repro.mir.value import (
     mk_bool,
     mk_int,
 )
-from repro.symbolic.solver import Domains, check_sat, enumerate_models, must_hold
+from repro.symbolic.solver import (
+    Domains, check_sat, enumerate_models, must_hold, prune_domains)
 from repro.symbolic.terms import (
     App,
     Const,
@@ -43,6 +46,7 @@ from repro.symbolic.terms import (
     Term,
     boolean,
     bv,
+    compile_evaluator,
     evaluate,
     simplify,
 )
@@ -113,6 +117,13 @@ class _PathState:
     stmt_index: int
     pathcond: Tuple[Term, ...]
     steps: int
+    # Incremental solving (fast path only): the executor's domains
+    # pre-pruned by this path's condition.  Pruning is intersective,
+    # idempotent and order-independent, so narrowing the parent's
+    # already-pruned domains with just the branch constraint added at a
+    # fork equals re-pruning the full pathcond from scratch — each fork
+    # pays O(1) constraints instead of O(len(pathcond)).
+    domains: Optional[Domains] = None
 
 
 class SymExecutor:
@@ -128,6 +139,9 @@ class SymExecutor:
         self.max_inline_depth = max_inline_depth
         self.budget = budget  # raises CheckBudgetExceeded when exhausted
         self.obligations: List[Obligation] = []
+        # Snapshot the fast-path switch: incremental domain threading is
+        # decided once per executor, not mid-run.
+        self._fast = fastpath.enabled()
 
     # -- public API --------------------------------------------------------------
 
@@ -135,11 +149,12 @@ class SymExecutor:
         """Explore every path of ``fn_name`` applied to symbolic ``args``."""
         self.obligations = []
         return self._run_function(fn_name, tuple(args), pathcond=(),
-                                  depth=0, steps=0)
+                                  depth=0, steps=0, pruned=self.domains)
 
     # -- function-level recursion ----------------------------------------------------
 
-    def _run_function(self, fn_name, args, pathcond, depth, steps):
+    def _run_function(self, fn_name, args, pathcond, depth, steps,
+                      pruned=None):
         if depth > self.max_inline_depth:
             raise SymbolicUnsupported(
                 f"inlining depth exceeded at {fn_name} (recursion?)")
@@ -158,7 +173,9 @@ class SymExecutor:
                 f"{len(function.params)} params)")
         env = dict(zip(function.params, args))
         initial = _PathState(env=env, block=function.entry, stmt_index=0,
-                             pathcond=pathcond, steps=steps)
+                             pathcond=pathcond, steps=steps,
+                             domains=pruned if pruned is not None
+                             else self.domains)
         worklist = [initial]
         results = []
         while worklist:
@@ -176,6 +193,7 @@ class SymExecutor:
 
         Returns ``(finished PathResults, forked _PathStates)``.
         """
+        plan = block_plan(function)
         while True:
             state.steps += 1
             if self.budget is not None:
@@ -185,13 +203,12 @@ class SymExecutor:
                 raise SymbolicUnsupported(
                     f"{function.name}: exceeded {self.max_steps_per_path} "
                     f"steps on one path (unbounded loop?)")
-            block = function.blocks[state.block]
-            if state.stmt_index < len(block.statements):
+            statements, term, count = plan[state.block]
+            if state.stmt_index < count:
                 self._exec_statement(function, state,
-                                     block.statements[state.stmt_index])
+                                     statements[state.stmt_index])
                 state.stmt_index += 1
                 continue
-            term = block.terminator
             if isinstance(term, ast.Goto):
                 state.block, state.stmt_index = term.target, 0
                 continue
@@ -240,6 +257,7 @@ class SymExecutor:
             kind="assert", message=term.msg, function=function.name,
             block=state.block, pathcond=state.pathcond, prop=prop))
         state.pathcond = state.pathcond + (prop,)
+        state.domains = self._narrow(state.domains, (prop,))
         state.block, state.stmt_index = term.target, 0
 
     def _fork_switch(self, function, state, term):
@@ -257,24 +275,37 @@ class SymExecutor:
             test = simplify("eq", (term_value, _const_like(term_value, value)),
                             None)
             cond = state.pathcond + (test,)
-            if self._feasible(cond):
-                forks.append(self._continue_at(state, label, cond))
+            narrowed = self._narrow(state.domains, (test,))
+            if self._feasible(cond, narrowed):
+                forks.append(self._continue_at(state, label, cond, narrowed))
             negations.append(simplify("not", (test,), None))
         otherwise_cond = state.pathcond + tuple(negations)
-        if self._feasible(otherwise_cond):
+        narrowed = self._narrow(state.domains, negations)
+        if self._feasible(otherwise_cond, narrowed):
             forks.append(self._continue_at(state, term.otherwise,
-                                           otherwise_cond))
+                                           otherwise_cond, narrowed))
         return forks
 
-    def _continue_at(self, state, label, pathcond):
+    def _continue_at(self, state, label, pathcond, domains=None):
         return _PathState(env=dict(state.env), block=label, stmt_index=0,
-                          pathcond=pathcond, steps=state.steps)
+                          pathcond=pathcond, steps=state.steps,
+                          domains=domains if domains is not None
+                          else state.domains)
 
-    def _feasible(self, pathcond):
+    def _narrow(self, domains, constraints):
+        """Incrementally prune ``domains`` with freshly-added constraints
+        (fast path only — the naive baseline re-prunes at solve time)."""
+        if not self._fast or domains is None or not constraints:
+            return domains
+        return prune_domains(constraints, domains)
+
+    def _feasible(self, pathcond, pruned=None):
         if self.domains is None:
             return True  # no pruning; infeasible paths die at solve time
+        domains = pruned if (self._fast and pruned is not None) \
+            else self.domains
         try:
-            return check_sat(pathcond, self.domains) is not None
+            return check_sat(pathcond, domains) is not None
         except (KeyError, OverflowError):
             return True
 
@@ -285,19 +316,25 @@ class SymExecutor:
         callee = term.func.value.name
         args = tuple(self._eval_operand(function, state, a)
                      for a in term.args)
+        base_len = len(state.pathcond)
         sub_results = self._run_function(callee, args, state.pathcond,
-                                         depth + 1, state.steps)
+                                         depth + 1, state.steps,
+                                         pruned=state.domains)
         if len(sub_results) == 1:
             # Common fast path: merge straight back into the current path.
             only = sub_results[0]
             state.pathcond = only.pathcond
+            state.domains = self._narrow(state.domains,
+                                         only.pathcond[base_len:])
             state.steps = only.steps
             self._write_place(state, term.dest, only.ret)
             state.block, state.stmt_index = term.target, 0
             return None, []
         forks = []
         for sub in sub_results:
-            forked = self._continue_at(state, term.target, sub.pathcond)
+            forked = self._continue_at(
+                state, term.target, sub.pathcond,
+                self._narrow(state.domains, sub.pathcond[base_len:]))
             forked.steps = sub.steps
             self._write_place(forked, term.dest, sub.ret)
             forks.append(forked)
@@ -502,7 +539,11 @@ def _lift_value(value):
 def lower_value(sym, model):
     """Symbolic representation + model -> concrete Value."""
     if isinstance(sym, Term):
-        result = evaluate(sym, model)
+        if fastpath._ENABLED:
+            fn = compile_evaluator(sym)
+            result = fn(model) if fn is not None else evaluate(sym, model)
+        else:
+            result = evaluate(sym, model)
         if sym.ty is None:
             return mk_bool(result)
         return mk_int(result, sym.ty)

@@ -10,13 +10,48 @@ the constraint set.  Within the supplied domains the answers are exact:
 This is precisely the "informal symbolic checking" level of assurance
 the reproduction targets: universally-quantified claims hold *for the
 explored domain*, not for all 2^64 inputs.
+
+**Incremental solving (PR 4).**  Two fast-path layers sit on top of the
+exact core, both gated on :mod:`repro.fastpath` and both required to be
+verdict-invisible:
+
+* :class:`Domains` is *persistent*: ``restrict``/``with_var`` return a
+  copy-on-write child sharing the parent's tuples instead of copying
+  the whole mapping.  Forking path executors derive thousands of
+  single-variable refinements from one initial domain set; sharing
+  turns each fork from O(variables) into O(1).  This holds in naive
+  mode too — persistence is a data-structure choice, not a semantic
+  one; only the *caches* below are fast-path-gated.
+* Solver verdicts are memoised on a canonical key built from
+  :func:`~repro.symbolic.terms.term_fingerprint` of the constraints (in
+  call order — constraint order can matter when evaluation raises, so
+  the key must not sort it away), the :meth:`Domains.fingerprint`, and
+  the enumeration limit (so ``OverflowError`` behaviour is part of the
+  key).  Path-condition prefixes repeat across sibling paths and across
+  obligations of one function; the memo collapses the repeats.  Raised
+  exceptions are never cached; cached models are copied on return so
+  callers may mutate them.
+
+:func:`solver_stats` exposes the counters (models enumerated, domain
+values pruned, memo hits) that :class:`~repro.ccal.refinement.CheckReport`
+surfaces, and :func:`clear_solver_caches` resets everything for the
+bench's cold-cache rounds.
 """
 
 import itertools
 
-from repro.symbolic.terms import App, Const, SymVar, evaluate, term_vars
+from repro import fastpath
+from repro.errors import UnboundSymbolicVariable
+from repro.symbolic.terms import (
+    App, Const, SymVar, compile_evaluator, evaluate, term_fingerprint,
+    term_vars,
+)
 
 DEFAULT_ENUMERATION_LIMIT = 2_000_000
+
+# Flatten copy-on-write chains past this depth so ``of`` stays O(1)
+# amortised even for pathologically deep restrict sequences.
+_MAX_CHAIN_DEPTH = 8
 
 
 class Domains:
@@ -24,26 +59,78 @@ class Domains:
 
     ``Domains({"x": range(16), "flag": (True, False)})``.  Every variable
     appearing in the constraints must be covered.
+
+    Persistent: ``restrict`` and ``with_var`` return a child that holds
+    only the rebound variable and a pointer to its parent, so deriving a
+    refinement never copies the untouched domains.  Instances are
+    immutable once constructed, which is what makes the sharing — and
+    the cached :meth:`fingerprint` — sound.
     """
+
+    __slots__ = ("_mapping", "_parent", "_depth", "_fp", "_names")
 
     def __init__(self, mapping=None):
         self._mapping = {k: tuple(v) for k, v in (mapping or {}).items()}
+        self._parent = None
+        self._depth = 0
+        self._fp = None
+        self._names = None
+
+    @classmethod
+    def _derive(cls, parent, name, values):
+        """A child equal to ``parent`` except ``name`` -> ``values``."""
+        child = object.__new__(cls)
+        if parent._depth >= _MAX_CHAIN_DEPTH:
+            flat = parent._flat()
+            flat[name] = values
+            child._mapping = flat
+            child._parent = None
+            child._depth = 0
+        else:
+            child._mapping = {name: values}
+            child._parent = parent
+            child._depth = parent._depth + 1
+        child._fp = None
+        child._names = None
+        return child
+
+    def _flat(self):
+        """The full name -> values dict (materialises the chain)."""
+        chain = []
+        node = self
+        while node is not None:
+            chain.append(node._mapping)
+            node = node._parent
+        flat = {}
+        for mapping in reversed(chain):
+            flat.update(mapping)
+        return flat
 
     def of(self, name):
-        try:
-            return self._mapping[name]
-        except KeyError:
-            raise KeyError(
-                f"no domain declared for symbolic variable {name!r}")
+        """The value tuple for ``name``; raises
+        :class:`~repro.errors.UnboundSymbolicVariable` (a ``KeyError``)
+        when no domain was declared."""
+        node = self
+        while node is not None:
+            values = node._mapping.get(name)
+            if values is not None:
+                return values
+            node = node._parent
+        raise UnboundSymbolicVariable(name)
 
     def names(self):
-        return sorted(self._mapping)
+        """All declared variable names, sorted."""
+        if self._names is None:
+            if self._parent is None:
+                self._names = sorted(self._mapping)
+            else:
+                self._names = sorted(self._flat())
+        return self._names
 
     def restrict(self, name, predicate):
         """A new Domains with ``name`` filtered by ``predicate``."""
-        new_mapping = dict(self._mapping)
-        new_mapping[name] = tuple(v for v in self.of(name) if predicate(v))
-        return Domains(new_mapping)
+        return Domains._derive(
+            self, name, tuple(v for v in self.of(name) if predicate(v)))
 
     def size(self, names):
         """Product of the domain sizes over ``names``."""
@@ -54,28 +141,108 @@ class Domains:
 
     def with_var(self, name, values):
         """A new Domains binding ``name`` to ``values``."""
-        new_mapping = dict(self._mapping)
-        new_mapping[name] = tuple(values)
-        return Domains(new_mapping)
+        return Domains._derive(self, name, tuple(values))
+
+    def fingerprint(self):
+        """Canonical blake2b-64 of the full mapping, cached per instance
+        (sound because instances are immutable)."""
+        if self._fp is None:
+            from repro.engine.fingerprint import content_fingerprint
+            self._fp = content_fingerprint(
+                "domains", tuple(sorted(self._flat().items())))
+        return self._fp
+
+
+# ---------------------------------------------------------------------------
+# Statistics and memo tables
+# ---------------------------------------------------------------------------
+
+_STATS = {
+    "candidates_examined": 0,   # assignments tried by enumerate_models
+    "models_enumerated": 0,     # assignments that satisfied everything
+    "domains_pruned": 0,        # values removed by unary pruning
+    "check_sat_calls": 0,
+    "check_sat_memo_hits": 0,
+    "must_hold_calls": 0,
+    "must_hold_memo_hits": 0,
+}
+_CHECK_SAT_MEMO = {}
+_MUST_HOLD_MEMO = {}
+_MEMO_MAX = 1 << 18
+
+
+def solver_stats():
+    """A snapshot of the solver counters (plain dict copy)."""
+    return dict(_STATS)
+
+
+def stats_delta(before, after=None):
+    """Counter-wise ``after - before`` (``after`` defaults to now)."""
+    if after is None:
+        after = solver_stats()
+    return {key: after[key] - before.get(key, 0) for key in after}
+
+
+def clear_solver_caches():
+    """Empty the verdict memos and zero every counter."""
+    _CHECK_SAT_MEMO.clear()
+    _MUST_HOLD_MEMO.clear()
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def _constraints_key(constraints, domains, limit):
+    """The canonical memo key: constraint fingerprints *in call order*
+    (order can matter when evaluation raises), the domains fingerprint,
+    and the limit (``OverflowError`` behaviour depends on it)."""
+    return (tuple(term_fingerprint(c) for c in constraints),
+            domains.fingerprint(), limit)
+
+
+# ---------------------------------------------------------------------------
+# Pruning
+# ---------------------------------------------------------------------------
 
 
 def prune_domains(constraints, domains):
     """Narrow domains using unary constraints (``x <op> const``).
 
     Sound: only removes values that falsify some constraint on their own,
-    so the model set is unchanged.
+    so the model set is unchanged.  Each unary restrict is intersective,
+    idempotent and order-independent, which is why the path executor may
+    apply this incrementally — pruning the parent's already-pruned
+    domains with just the newly-added branch constraint yields the same
+    domains as re-pruning from scratch.
     """
     pruned = domains
     for constraint in constraints:
-        unary = _as_unary(constraint)
+        unary = _unary_of(constraint)
         if unary is None:
             continue
         name, predicate = unary
         try:
+            before = len(pruned.of(name))
             pruned = pruned.restrict(name, predicate)
+            removed = before - len(pruned.of(name))
+            if removed:
+                _STATS["domains_pruned"] += removed
         except KeyError:
             pass
     return pruned
+
+
+def _unary_of(term):
+    """:func:`_as_unary` with the parse cached on the (interned) term."""
+    if not fastpath._ENABLED:
+        return _as_unary(term)
+    unary = getattr(term, "_unary", False)
+    if unary is False:
+        unary = _as_unary(term)
+        try:
+            object.__setattr__(term, "_unary", unary)
+        except AttributeError:
+            pass
+    return unary
 
 
 def _as_unary(term):
@@ -112,6 +279,11 @@ def _as_unary(term):
     return name, base
 
 
+# ---------------------------------------------------------------------------
+# Enumeration
+# ---------------------------------------------------------------------------
+
+
 def enumerate_models(constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT,
                      required_vars=()):
     """Yield every model (dict) of the conjunction, up to ``limit``
@@ -120,30 +292,101 @@ def enumerate_models(constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT,
     ``required_vars`` forces enumeration over variables even when no
     constraint mentions them — needed when the caller evaluates other
     terms (e.g. return values) under the models.
+
+    Raises :class:`~repro.errors.UnboundSymbolicVariable` (a
+    ``KeyError``) listing *all* undeclared variables before examining a
+    single candidate, and ``OverflowError`` when the pruned space
+    exceeds ``limit``.
     """
     constraints = tuple(constraints)
     names = set(required_vars)
     for constraint in constraints:
         term_vars(constraint, names)
     names = sorted(names)
+    missing = []
+    for name in names:
+        try:
+            domains.of(name)
+        except KeyError:
+            missing.append(name)
+    if missing:
+        raise UnboundSymbolicVariable(missing)
     pruned = prune_domains(constraints, domains)
     if pruned.size(names) > limit:
         raise OverflowError(
             f"enumeration space {pruned.size(names)} exceeds limit {limit}; "
             f"shrink the domains or raise the limit")
     value_lists = [pruned.of(name) for name in names]
-    for combo in itertools.product(*value_lists):
-        model = dict(zip(names, combo))
-        if all(evaluate(c, model) for c in constraints):
-            yield model
+    if fastpath._ENABLED:
+        tests = tuple(_constraint_test(c) for c in constraints)
+        examined = found = 0
+        try:
+            for combo in itertools.product(*value_lists):
+                examined += 1
+                model = dict(zip(names, combo))
+                for test in tests:
+                    if not test(model):
+                        break
+                else:
+                    found += 1
+                    yield model
+        finally:
+            _STATS["candidates_examined"] += examined
+            _STATS["models_enumerated"] += found
+        return
+    examined = found = 0
+    try:
+        for combo in itertools.product(*value_lists):
+            examined += 1
+            model = dict(zip(names, combo))
+            if all(evaluate(c, model) for c in constraints):
+                found += 1
+                yield model
+    finally:
+        _STATS["candidates_examined"] += examined
+        _STATS["models_enumerated"] += found
+
+
+def _constraint_test(constraint):
+    """A compiled ``fn(model) -> truthy`` for one constraint, falling
+    back to :func:`evaluate` for out-of-vocabulary operators."""
+    fn = compile_evaluator(constraint)
+    if fn is not None:
+        return fn
+    return lambda model, _c=constraint: evaluate(_c, model)
+
+
+# ---------------------------------------------------------------------------
+# Verdicts
+# ---------------------------------------------------------------------------
 
 
 def check_sat(constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT):
     """The first model of the conjunction, or None if unsatisfiable
-    within the domains."""
+    within the domains.
+
+    Memoised on the canonical (constraints, domains, limit) fingerprint
+    while the fast path is on; exceptions always propagate un-cached.
+    """
+    _STATS["check_sat_calls"] += 1
+    if not fastpath._ENABLED:
+        for model in enumerate_models(constraints, domains, limit):
+            return model
+        return None
+    constraints = tuple(constraints)
+    key = _constraints_key(constraints, domains, limit)
+    cached = _CHECK_SAT_MEMO.get(key, False)
+    if cached is not False:
+        _STATS["check_sat_memo_hits"] += 1
+        return dict(cached) if cached is not None else None
+    result = None
     for model in enumerate_models(constraints, domains, limit):
-        return model
-    return None
+        result = model
+        break
+    if len(_CHECK_SAT_MEMO) >= _MEMO_MAX:
+        _CHECK_SAT_MEMO.clear()
+    _CHECK_SAT_MEMO[key] = dict(result) if result is not None else None
+    return result
 
 
 def must_hold(prop, constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT):
@@ -152,8 +395,31 @@ def must_hold(prop, constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT):
     Returns ``(True, None)`` or ``(False, countermodel)``.
     """
     from repro.symbolic.terms import simplify
+    _STATS["must_hold_calls"] += 1
+    if not fastpath._ENABLED:
+        negated = simplify("not", (prop,), None)
+        model = _first_model(tuple(constraints) + (negated,), domains, limit)
+        if model is None:
+            return True, None
+        return False, model
+    key = (term_fingerprint(prop),) + _constraints_key(
+        tuple(constraints), domains, limit)
+    cached = _MUST_HOLD_MEMO.get(key, False)
+    if cached is not False:
+        _STATS["must_hold_memo_hits"] += 1
+        holds, model = cached
+        return holds, dict(model) if model is not None else None
     negated = simplify("not", (prop,), None)
     model = check_sat(tuple(constraints) + (negated,), domains, limit)
-    if model is None:
-        return True, None
-    return False, model
+    result = (model is None, model)
+    if len(_MUST_HOLD_MEMO) >= _MEMO_MAX:
+        _MUST_HOLD_MEMO.clear()
+    _MUST_HOLD_MEMO[key] = (
+        result[0], dict(model) if model is not None else None)
+    return result
+
+
+def _first_model(constraints, domains, limit):
+    for model in enumerate_models(constraints, domains, limit):
+        return model
+    return None

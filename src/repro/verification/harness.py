@@ -52,6 +52,8 @@ from repro.mir.value import mk_bool, mk_u64
 from repro.symbolic import (
     SymbolicUnsupported,
     check_equivalence,
+    solver_stats,
+    stats_delta,
     verify_assertions,
 )
 from repro.verification.pure_refs import default_domains, pure_reference
@@ -181,12 +183,14 @@ def check_pure_hardened(model, name, *, max_steps=None, max_seconds=None,
     reference = pure_reference(name, model.config, model.layout)
     params = model.program.functions[name].params
     degradations = []
+    solver_before = solver_stats()
 
     def finish(engine, checked, failures, completed=True):
         pool.settle()
         return CheckReport(name=name, checked=checked, failures=failures,
                            engine=engine, degradations=degradations,
-                           budget_spent=pool.spent(), completed=completed)
+                           budget_spent=pool.spent(), completed=completed,
+                           solver_stats=stats_delta(solver_before))
 
     # -- engine 1: symbolic (keep 40% of the pool back for fallbacks) ------
     budget = pool.slice(0.6)
@@ -275,6 +279,7 @@ def check_stateful_hardened(model, name, *, max_steps=None,
 
     pool = _BudgetPool(max_steps=max_steps, max_seconds=max_seconds,
                        clock=clock)
+    solver_before = solver_stats()
     spec = low_spec_for(model, name)
     impl = mir_impl(model.program, name, trusted=model.trusted,
                     setup=_mir_args_setup(model, name))
@@ -297,7 +302,8 @@ def check_stateful_hardened(model, name, *, max_steps=None,
             return CheckReport(
                 name=name, checked=0, failures=[], engine="cosim",
                 degradations=degradations, budget_spent=pool.spent(),
-                seed_retries=attempt, completed=False)
+                seed_retries=attempt, completed=False,
+                solver_stats=stats_delta(solver_before))
         pool.settle()
         if last.checked >= min_checked or last.failures:
             break
@@ -311,4 +317,4 @@ def check_stateful_hardened(model, name, *, max_steps=None,
         failures=last.failures if last else [],
         engine="cosim", degradations=degradations,
         budget_spent=pool.spent(), seed_retries=retries,
-        completed=True)
+        completed=True, solver_stats=stats_delta(solver_before))

@@ -1,0 +1,164 @@
+"""The compiled dispatch loop must be invisible (PR 4).
+
+:mod:`repro.mir.compile` precompiles each CFG into per-block closure
+lists so the hot interpreter loop skips per-step AST dispatch.  The
+contract is byte-identical behaviour with :meth:`Interpreter.step`:
+same values, same step accounting (fuel exhaustion at the same step,
+with the same message), same error types and messages.  These tests
+run the same programs through both modes and compare everything
+observable.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import fastpath
+from repro.errors import MirAssertError, MirRuntimeError, OutOfFuel
+from repro.mir.ast import BinOp
+from repro.mir.builder import ProgramBuilder
+from repro.mir.compile import block_plan, compiled_blocks
+from repro.mir.interp import Interpreter
+from repro.mir.types import U64
+from repro.mir.value import mk_u64
+
+from tests.mir.test_random_programs import random_programs
+
+
+def both_modes(program, name="f", args=(), fuel=None):
+    """Run ``name`` naively and compiled; return the two outcomes.
+
+    An outcome is ``("ok", value, steps)`` or
+    ``("err", type_name, message, steps)`` — everything the two modes
+    must agree on.
+    """
+    outcomes = []
+    for context in (fastpath.disabled, fastpath.forced):
+        with context():
+            interp = Interpreter(program)
+            if fuel is not None:
+                interp.fuel = fuel
+            try:
+                result = interp.call(name, args)
+            except Exception as exc:  # noqa: BLE001 - parity capture
+                outcomes.append(("err", type(exc).__name__, str(exc),
+                                 interp.steps))
+            else:
+                outcomes.append(("ok", result.value, interp.steps))
+    return outcomes
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=random_programs(),
+       a=st.integers(0, 2 ** 64 - 1), b=st.integers(0, 2 ** 64 - 1))
+def test_random_programs_agree(program, a, b):
+    naive, compiled = both_modes(program, args=[mk_u64(a), mk_u64(b)])
+    assert compiled == naive
+
+
+@settings(max_examples=25, deadline=None)
+@given(program=random_programs(),
+       a=st.integers(0, 2 ** 64 - 1), b=st.integers(0, 2 ** 64 - 1),
+       fuel=st.integers(1, 12))
+def test_fuel_exhaustion_parity(program, a, b, fuel):
+    # Tight fuel makes most runs die mid-function; both modes must die
+    # at the same step with the same OutOfFuel message.
+    naive, compiled = both_modes(program, args=[mk_u64(a), mk_u64(b)],
+                                 fuel=fuel)
+    assert compiled == naive
+
+
+class TestErrorParity:
+    def test_divide_by_zero(self):
+        def build(pb):
+            fb = pb.function("f", ["a"], U64)
+            fb.binop("_0", BinOp.DIV, "a", 0)
+            fb.ret()
+            fb.finish()
+        pb = ProgramBuilder()
+        build(pb)
+        naive, compiled = both_modes(pb.build(), args=[mk_u64(7)])
+        assert naive[0] == "err" and naive[1] == "MirAssertError"
+        assert compiled == naive
+
+    def test_uninitialised_temp_read(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", [], U64)
+        fb.assign("_0", "never_written")
+        fb.ret()
+        fb.finish()
+        naive, compiled = both_modes(pb.build())
+        assert naive[0] == "err" and naive[1] == "MirRuntimeError"
+        assert "never_written" in naive[2]
+        assert compiled == naive
+
+    def test_assert_failure_message(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", ["a"], U64)
+        fb.binop("cond", BinOp.LT, "a", 10)
+        fb.assert_("cond", "a must stay below 10")
+        fb.ret("a")
+        fb.finish()
+        naive, compiled = both_modes(pb.build(), args=[mk_u64(99)])
+        assert naive[0] == "err" and naive[1] == "MirAssertError"
+        assert "a must stay below 10" in naive[2]
+        assert compiled == naive
+
+
+class TestCallsAndControlFlow:
+    def _call_program(self):
+        pb = ProgramBuilder()
+        fb = pb.function("callee", ["x"], U64)
+        fb.binop("_0", BinOp.ADD, "x", 1)
+        fb.ret()
+        fb.finish()
+        fb = pb.function("f", ["a"], U64)
+        fb.call("_0", "callee", ["a"])
+        fb.ret()
+        fb.finish()
+        return pb.build()
+
+    def test_call_agrees_with_naive(self):
+        naive, compiled = both_modes(self._call_program(),
+                                     args=[mk_u64(41)])
+        assert naive[0] == "ok" and naive[1].value == 42
+        assert compiled == naive
+
+    def test_switch_multiway(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", ["a"], U64)
+        fb.switch("a", [(0, "zero"), (1, "one")], "other")
+        fb.label("zero")
+        fb.ret(100)
+        fb.label("one")
+        fb.ret(200)
+        fb.label("other")
+        fb.ret(300)
+        fb.finish()
+        program = pb.build()
+        for value, expected in ((0, 100), (1, 200), (7, 300)):
+            naive, compiled = both_modes(program, args=[mk_u64(value)])
+            assert naive == ("ok", naive[1], naive[2])
+            assert naive[1].value == expected
+            assert compiled == naive
+
+
+class TestCaching:
+    def test_compiled_blocks_cached_per_program(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", [], U64)
+        fb.assign("_0", 1)
+        fb.ret()
+        fb.finish()
+        program = pb.build()
+        function = program.functions["f"]
+        first = compiled_blocks(function, program)
+        assert compiled_blocks(function, program) is first
+
+    def test_block_plan_cached(self):
+        pb = ProgramBuilder()
+        fb = pb.function("f", [], U64)
+        fb.assign("_0", 1)
+        fb.ret()
+        fb.finish()
+        function = pb.build().functions["f"]
+        assert block_plan(function) is block_plan(function)

@@ -1,0 +1,232 @@
+"""Property tests pinning the interned-term fast path (PR 4).
+
+The fast path is only admissible because it is semantically invisible;
+these tests pin the invariants that make it so:
+
+* interning: two structurally equal terms are the *same object*
+  (``is``), and ``is``-distinct interned terms are structurally
+  unequal — identity coincides exactly with structural equality;
+* naive-mode terms (built under :func:`repro.fastpath.disabled`)
+  remain structurally equal and hash-equal to their interned twins;
+* ``simplify`` is idempotent and produces equivalent terms (same
+  evaluation on every model) with the fast path on or off;
+* compiled evaluators agree with :func:`evaluate` — same values,
+  same exception types, same messages;
+* ``term_fingerprint`` is mode-independent (it keys the solver memo,
+  so a mode-dependent fingerprint would poison cross-mode results);
+* pickling and deepcopying re-intern (round-trips preserve ``is``).
+"""
+
+import copy
+import pickle
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import fastpath
+from repro.errors import UnboundSymbolicVariable
+from repro.mir.types import U8, U64
+from repro.symbolic import (
+    App,
+    Const,
+    Domains,
+    SymVar,
+    boolean,
+    bv,
+    check_sat,
+    compile_evaluator,
+    enumerate_models,
+    evaluate,
+    fast_evaluate,
+    simplify,
+    term_fingerprint,
+)
+
+VAR_NAMES = ("x", "y", "z")
+ARITH = st.sampled_from(["add", "sub", "mul", "band", "bor", "bxor"])
+CMP = st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"])
+
+
+def int_terms(depth):
+    """Strategy for U8 integer-sorted terms up to ``depth`` levels."""
+    leaf = st.one_of(
+        st.sampled_from(VAR_NAMES).map(lambda n: SymVar(n, U8)),
+        st.integers(0, 255).map(lambda v: bv(v, U8)),
+    )
+    if depth <= 0:
+        return leaf
+    sub = int_terms(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(ARITH, sub, sub).map(
+            lambda t: simplify(t[0], (t[1], t[2]), U8)),
+    )
+
+
+def bool_terms(depth):
+    """Strategy for boolean-sorted terms built over integer subterms."""
+    cmp = st.tuples(CMP, int_terms(depth), int_terms(depth)).map(
+        lambda t: simplify(t[0], (t[1], t[2]), None))
+    return st.one_of(
+        cmp,
+        cmp.map(lambda p: simplify("not", (p,), None)),
+        st.tuples(cmp, cmp).map(
+            lambda t: simplify("and", (t[0], t[1]), None)),
+        st.tuples(cmp, cmp).map(
+            lambda t: simplify("or", (t[0], t[1]), None)),
+    )
+
+
+MODELS = st.fixed_dictionaries(
+    {name: st.integers(0, 255) for name in VAR_NAMES})
+
+
+def rebuild(term):
+    """Reconstruct ``term`` bottom-up through the public constructors."""
+    if isinstance(term, SymVar):
+        return SymVar(term.name, term.ty)
+    if isinstance(term, Const):
+        return Const(term.value, term.ty)
+    return App(term.op, tuple(rebuild(a) for a in term.args), term.ty)
+
+
+class TestInterningIdentity:
+    @given(int_terms(2))
+    def test_rebuild_is_same_object(self, term):
+        assert rebuild(term) is term
+
+    @given(bool_terms(1))
+    def test_rebuild_is_same_object_bool(self, term):
+        assert rebuild(term) is term
+
+    @given(int_terms(1), int_terms(1))
+    def test_identity_iff_structural_equality(self, a, b):
+        assert (a is b) == (a == b)
+        if a == b:
+            assert hash(a) == hash(b)
+
+    def test_const_value_class_distinguished(self):
+        # bool is an int subclass; interning must not alias them.
+        assert Const(True, None) is not Const(1, None)
+        assert Const(True, None) != Const(1, None)
+
+    @given(int_terms(2))
+    def test_pickle_round_trip_reinterns(self, term):
+        assert pickle.loads(pickle.dumps(term)) is term
+
+    @given(int_terms(2))
+    def test_deepcopy_reinterns(self, term):
+        assert copy.deepcopy(term) is term
+
+
+class TestNaiveModeEquivalence:
+    @given(int_terms(2), MODELS)
+    def test_naive_terms_equal_interned_twins(self, term, model):
+        with fastpath.disabled():
+            naive = rebuild(term)
+        assert naive == term
+        assert hash(naive) == hash(term)
+        assert evaluate(naive, model) == evaluate(term, model)
+
+    @given(int_terms(2))
+    def test_fingerprint_mode_independent(self, term):
+        with fastpath.disabled():
+            naive = rebuild(term)
+        assert term_fingerprint(naive) == term_fingerprint(term)
+
+
+class TestSimplify:
+    @given(ARITH, int_terms(1), int_terms(1))
+    def test_idempotent(self, op, a, b):
+        built = simplify(op, (a, b), U8)
+        if isinstance(built, App):
+            assert simplify(built.op, built.args, built.ty) is built
+
+    @given(ARITH, int_terms(1), int_terms(1), MODELS)
+    def test_fast_and_naive_agree(self, op, a, b, model):
+        fast = simplify(op, (a, b), U8)
+        with fastpath.disabled():
+            naive = simplify(op, (rebuild(a), rebuild(b)), U8)
+        assert naive == fast
+        assert evaluate(naive, model) == evaluate(fast, model)
+
+    def test_memoised_fold_error_reraises(self):
+        # A folding error must surface on *every* call, never be cached.
+        zero = bv(0, U8)
+        for _ in range(2):
+            with pytest.raises(ZeroDivisionError):
+                simplify("div", (bv(1, U8), zero), U8)
+
+
+class TestCompiledEvaluators:
+    @given(bool_terms(1), MODELS)
+    def test_matches_evaluate(self, term, model):
+        compiled = compile_evaluator(term)
+        assert compiled is not None
+        assert compiled(model) == evaluate(term, model)
+        assert fast_evaluate(term, model) == evaluate(term, model)
+
+    @given(int_terms(2), MODELS)
+    def test_matches_evaluate_arith(self, term, model):
+        compiled = compile_evaluator(term)
+        assert compiled is not None
+        assert compiled(model) == evaluate(term, model)
+
+    @given(bool_terms(1))
+    def test_missing_binding_error_parity(self, term):
+        try:
+            expected = evaluate(term, {})
+        except Exception as exc:  # noqa: BLE001 - parity check
+            with pytest.raises(type(exc)) as caught:
+                fast_evaluate(term, {})
+            assert str(caught.value) == str(exc)
+        else:
+            assert fast_evaluate(term, {}) == expected
+
+    def test_unsupported_op_returns_none(self):
+        term = App("mul_overflows",
+                   (SymVar("x", U8), SymVar("y", U8)), None)
+        assert compile_evaluator(term) is None
+
+
+class TestUnboundVariable:
+    def test_lists_all_missing_names(self):
+        prop = simplify(
+            "and",
+            (simplify("lt", (SymVar("a", U8), bv(1, U8)), None),
+             simplify("lt", (SymVar("b", U8), bv(1, U8)), None)),
+            None)
+        domains = Domains({})
+        with pytest.raises(UnboundSymbolicVariable) as caught:
+            list(enumerate_models([prop], domains))
+        assert caught.value.names == ("a", "b")
+        assert "'a'" in str(caught.value) and "'b'" in str(caught.value)
+
+    def test_is_a_key_error(self):
+        # Pre-PR-4 catch sites say ``except KeyError``; the typed error
+        # must keep flowing through them.
+        err = UnboundSymbolicVariable("x")
+        assert isinstance(err, KeyError)
+        assert err.names == ("x",)
+
+    def test_check_sat_propagates(self):
+        prop = simplify("eq", (SymVar("q", U8), bv(1, U8)), None)
+        with pytest.raises(UnboundSymbolicVariable):
+            check_sat([prop], Domains({}))
+
+
+class TestSolverStatsSurfaced:
+    def test_harness_report_carries_solver_stats(self):
+        from repro.hyperenclave.constants import TINY
+        from repro.hyperenclave.mir_model import build_model
+        from repro.verification.harness import check_pure_hardened
+
+        model = build_model(TINY)
+        report = check_pure_hardened(model, "entry_index")
+        assert report.engine == "symbolic"
+        stats = report.solver_stats
+        assert stats["models_enumerated"] >= 0
+        assert stats["candidates_examined"] > 0
+        assert set(stats) >= {"models_enumerated", "domains_pruned",
+                              "check_sat_memo_hits",
+                              "must_hold_memo_hits"}
