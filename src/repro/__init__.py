@@ -19,6 +19,7 @@ testing.  See DESIGN.md for the substitution rationale.
 
 from repro.errors import (
     ReproError,
+    ConfigError,
     MirError,
     MirTypeError,
     MirRuntimeError,
@@ -41,6 +42,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ReproError",
+    "ConfigError",
     "MirError",
     "MirTypeError",
     "MirRuntimeError",

@@ -4,6 +4,10 @@ Sections: corpus verification (the code proofs), the live-system
 invariant sweep, the adversary campaign, a two-world noninterference
 check, and the Sec. 6 effort accounting.  Exits non-zero if anything
 fails, so it doubles as a smoke gate.
+
+``python -m repro replay <bundle.json>`` instead replays a
+counterexample provenance bundle (see :mod:`repro.obs.provenance`)
+and exits zero iff the recorded violation reproduces.
 """
 
 import sys
@@ -42,8 +46,38 @@ def build_world(secret):
     return monitor, app, eid
 
 
+def replay_main(argv):
+    """``python -m repro replay <bundle.json>`` — replay a provenance
+    bundle and report whether the recorded violation reproduces."""
+    from repro.obs.provenance import ProvenanceBundle, replay_bundle
+
+    if len(argv) != 1:
+        print("usage: python -m repro replay <bundle.json>",
+              file=sys.stderr)
+        return 2
+    try:
+        bundle = ProvenanceBundle.load(argv[0])
+    except (OSError, ValueError) as exc:
+        print(f"cannot load bundle {argv[0]}: {exc}", file=sys.stderr)
+        return 2
+    print(f"replaying {bundle.kind} bundle (seed {bundle.seed}, "
+          f"schema v{bundle.version}) from {argv[0]}")
+    outcome = replay_bundle(bundle)
+    print(outcome.summary())
+    return 0 if outcome.matched else 1
+
+
 def main(argv=None):
-    """Run every check and print the consolidated report."""
+    """Run every check and print the consolidated report.
+
+    ``argv`` (default ``sys.argv[1:]``) may select the ``replay``
+    subcommand; with no arguments the full report runs.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "replay":
+        return replay_main(argv[1:])
+
     failures = []
     started = time.perf_counter()
 

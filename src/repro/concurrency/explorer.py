@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.concurrency.scheduler import BRANCH_KINDS, RunResult, Schedule
+from repro.obs import trace as _trace
 
 
 @dataclass(frozen=True)
@@ -99,6 +100,18 @@ def result_violations(schedule, result) -> List[Violation]:
     return found
 
 
+def _note_schedule(schedule, new_violations):
+    """Trace one explored schedule and any violations it surfaced."""
+    if not _trace.enabled():
+        return
+    _trace.event("schedule", schedule=schedule.describe(),
+                 violations=len(new_violations))
+    for violation in new_violations:
+        _trace.event("violation", kind=violation.kind,
+                     detail=violation.detail,
+                     schedule=violation.schedule.describe())
+
+
 def explore(run_schedule: Callable[[Schedule], RunResult], *,
             seed: int = 0,
             preemption_bound: int = 2,
@@ -124,11 +137,13 @@ def explore(run_schedule: Callable[[Schedule], RunResult], *,
         schedule = frontier.popleft()
         result = run_schedule(schedule)
         outcome.runs.append((schedule, result))
+        known = len(outcome.violations)
         outcome.violations.extend(result_violations(schedule, result))
         if check is not None:
             outcome.violations.extend(
                 Violation(schedule, kind, detail)
                 for kind, detail in check(schedule, result))
+        _note_schedule(schedule, outcome.violations[known:])
         if len(schedule.preemptions) >= preemption_bound:
             continue
         last = schedule.preemptions[-1][0] if schedule.preemptions else -1
@@ -186,10 +201,12 @@ def explore_batched(run_batch, *,
                                    max_schedules - len(outcome.runs)))]
         for schedule, (result, findings) in zip(wave, run_batch(wave)):
             outcome.runs.append((schedule, result))
+            known = len(outcome.violations)
             outcome.violations.extend(result_violations(schedule, result))
             outcome.violations.extend(
                 Violation(schedule, kind, detail)
                 for kind, detail in findings)
+            _note_schedule(schedule, outcome.violations[known:])
             if len(schedule.preemptions) >= preemption_bound:
                 continue
             last = (schedule.preemptions[-1][0]

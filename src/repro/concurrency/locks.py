@@ -35,6 +35,7 @@ mode).
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import LockProtocolViolation
+from repro.obs import trace as _trace
 
 LOCK_ENCLAVES = "enclaves"
 LOCK_EPCM = "epcm"
@@ -116,6 +117,8 @@ class LockManager:
         self._owner[name] = vid
         held.append(name)
         self.acquisitions += 1
+        _trace.event("lock.acquire", vid=vid, lock=name,
+                     held=len(held))
 
     def release_all(self, vid) -> Tuple[str, ...]:
         """Drop every lock ``vid`` holds (the hypercall-return bulk

@@ -68,21 +68,33 @@ def _memo_summary(stats):
 
 
 def bench_checking(*, preemption_bound=2, max_schedules=600, seed=0,
-                   workers=None, repeats=3) -> dict:
+                   workers=None, repeats=3, trace_overhead=True) -> dict:
     """Time sequential vs parallel interleaving checking on one grid.
 
     Raises ``RuntimeError`` if any parallel round's merged report is
     not byte-identical to the sequential baseline — a perf number for
     a divergent checker would be meaningless.
+
+    With ``trace_overhead`` the sequential campaign additionally runs
+    with a tracer installed (ring only, no sink) and the record gains a
+    ``tracing`` section: traced seconds, the overhead fraction, the
+    record count, and the verdict-identity flag (tracing is
+    observation-only, so the traced report must repr-match the
+    untraced baseline — enforced here).  Overhead compares the
+    *fastest* round of each configuration: on a shared box scheduling
+    noise swamps the per-record cost, and the minimum is the least
+    contaminated estimate of intrinsic cost on both sides.
     """
     from repro.engine.executor import ShardedExecutor
     from repro.faults.campaign import interleaving_campaign
+    from repro.obs import trace as _trace
 
     workers = resolve_workers(workers)
     grid = dict(preemption_bound=preemption_bound,
                 max_schedules=max_schedules, seed=seed)
-    seq_times, par_times = [], []
+    seq_times, par_times, traced_times = [], [], []
     baseline = None
+    trace_records = 0
     stats = {}
     # One pool for every round: the median then measures the fabric's
     # steady state, not per-round process forking (which a long
@@ -101,11 +113,21 @@ def bench_checking(*, preemption_bound=2, max_schedules=600, seed=0,
                     "parallel interleaving report diverged from the "
                     "sequential baseline")
             baseline = seq
+            if trace_overhead:
+                with _trace.installed(_trace.Tracer()) as tracer:
+                    t0 = time.perf_counter()
+                    traced = interleaving_campaign(**grid)
+                    traced_times.append(time.perf_counter() - t0)
+                trace_records = len(tracer.records)
+                if repr(traced) != repr(seq):
+                    raise RuntimeError(
+                        "tracing changed the interleaving report — "
+                        "observation-only instrumentation is broken")
     schedules = len(baseline.runs)
     states = sum(len(result.decisions) for _, result in baseline.runs)
     seq_s = statistics.median(seq_times)
     par_s = statistics.median(par_times)
-    return {
+    record = {
         "benchmark": "parallel-checking-fabric",
         "campaign": "interleaving",
         "config": {"preemption_bound": preemption_bound,
@@ -119,6 +141,15 @@ def bench_checking(*, preemption_bound=2, max_schedules=600, seed=0,
         "byte_identical": True,
         "memo": _memo_summary(stats),
     }
+    if trace_overhead:
+        traced_s = min(traced_times)
+        record["tracing"] = {
+            "seconds": round(traced_s, 4),
+            "overhead": round(traced_s / min(seq_times) - 1.0, 4),
+            "records": trace_records,
+            "verdict_identical": True,
+        }
+    return record
 
 
 def _canonical_verdicts(report):
@@ -347,6 +378,9 @@ def main(argv=None):
                         help="small CI run: preemption bound 1 / one "
                              "repeat (fabric), two repeats and a "
                              "two-rung ladder (symbolic)")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip the tracing-overhead measurement "
+                             "(fabric bench)")
     args = parser.parse_args(argv)
 
     if args.symbolic:
@@ -380,16 +414,22 @@ def main(argv=None):
         args.repeats = 1
     record = bench_checking(preemption_bound=args.preemption_bound,
                             max_schedules=args.max_schedules,
-                            workers=args.workers, repeats=args.repeats)
+                            workers=args.workers, repeats=args.repeats,
+                            trace_overhead=not args.no_trace)
     with open(out, "w") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"sequential {record['sequential']['seconds']}s  "
-          f"parallel {record['parallel']['seconds']}s  "
-          f"speedup {record['speedup']}x  "
-          f"({record['schedules']} schedules, "
-          f"{record['states']} states, "
-          f"memo hit rate {record['memo']['hit_rate']})")
+    line = (f"sequential {record['sequential']['seconds']}s  "
+            f"parallel {record['parallel']['seconds']}s  "
+            f"speedup {record['speedup']}x  "
+            f"({record['schedules']} schedules, "
+            f"{record['states']} states, "
+            f"memo hit rate {record['memo']['hit_rate']})")
+    if "tracing" in record:
+        line += (f"  tracing overhead "
+                 f"{record['tracing']['overhead'] * 100:+.1f}% "
+                 f"({record['tracing']['records']} records)")
+    print(line)
     return record
 
 

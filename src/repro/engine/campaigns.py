@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.engine.executor import ShardedExecutor
 from repro.engine.memo import merge_stats
+from repro.obs import trace as _trace
 
 DEFAULT_WORLD_FACTORY = "repro.faults.campaign:default_world_factory"
 DEFAULT_WORKLOAD = "repro.faults.campaign:default_workload"
@@ -77,7 +78,9 @@ def parallel_interleaving_campaign(monitor_cls=None, *,
     monitor_path = callable_path(monitor_cls)
     watchers = list(observers) if observers is not None else [HOST_ID]
 
-    with _executor(executor, workers) as pool:
+    with _trace.span("campaign.interleaving", seed=seed,
+                     preemption_bound=preemption_bound, parallel=True), \
+            _executor(executor, workers) as pool:
         def run_batch(schedules):
             units = [{"schedule": schedule, "monitor": monitor_path,
                       "config": config, "check_ni": check_ni,
@@ -126,7 +129,9 @@ def parallel_crash_step_campaign(factory=DEFAULT_WORLD_FACTORY,
              for index, site, kind, step
              in crash_step_units(world_factory, calls, sites)]
     report = CampaignReport(seed=seed)
-    with _executor(executor, workers) as pool:
+    with _trace.span("campaign.crash-step", seed=seed,
+                     units=len(units), parallel=True), \
+            _executor(executor, workers) as pool:
         report.runs = pool.map("repro.engine.workers:run_crash_step_unit",
                                units,
                                keys=[f"{u['index']}:{u['site']}:{u['step']}"
@@ -147,7 +152,9 @@ def parallel_bitflip_campaigns(seeds: Sequence[int],
     units = [{"factory": factory, "factory_args": tuple(factory_args),
               "workload": workload, "flips": flips, "seed": s}
              for s in seeds]
-    with _executor(executor, workers) as pool:
+    with _trace.span("campaign.bitflip", seeds=len(units),
+                     parallel=True), \
+            _executor(executor, workers) as pool:
         reports = pool.map("repro.engine.workers:run_bitflip_unit",
                            units, keys=[str(s) for s in seeds])
         _publish_stats(stats_out, pool)
@@ -180,7 +187,9 @@ def parallel_crash_ni_campaign(factory=DEFAULT_TWO_WORLDS, *,
               "observers": observers, "seed": seed}
              for index in range(len(trace))]
     report = CampaignReport(seed=seed)
-    with _executor(executor, workers) as pool:
+    with _trace.span("campaign.crash-ni", seed=seed,
+                     units=len(units), parallel=True), \
+            _executor(executor, workers) as pool:
         per_index = pool.map("repro.engine.workers:run_crash_ni_unit",
                              units,
                              keys=[str(u["index"]) for u in units])
@@ -215,7 +224,9 @@ def parallel_crash_in_critical_section_campaign(monitor_cls=None, *,
     monitor_path = callable_path(monitor_cls)
     units = [{"monitor": monitor_path, "config": config, "seed": seed,
               "point": point} for point in points]
-    with _executor(executor, workers) as pool:
+    with _trace.span("campaign.crash-critical-section", seed=seed,
+                     points=len(points), parallel=True), \
+            _executor(executor, workers) as pool:
         report.records = pool.map(
             "repro.engine.workers:run_crash_point_unit", units,
             keys=[f"{p.vid}:{p.yield_index}" for p in points])
@@ -277,7 +288,9 @@ def parallel_pure_check_grid(names, *, total_steps=None,
                               sample_count=sample_count,
                               max_exhaustive=max_exhaustive,
                               config=config, fake_clock=fake_clock)
-    with _executor(executor, workers) as pool:
+    with _trace.span("campaign.pure-grid", names=len(units),
+                     parallel=True), \
+            _executor(executor, workers) as pool:
         reports = pool.map("repro.engine.workers:run_pure_check_unit",
                            units, keys=[u["name"] for u in units])
         _publish_stats(stats_out, pool)

@@ -36,16 +36,37 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence
 
+from repro.errors import ConfigError
+
 WORKERS_ENV = "REPRO_CHECK_WORKERS"
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """Explicit count, else ``REPRO_CHECK_WORKERS``, else cpu count."""
+    """Explicit count, else ``REPRO_CHECK_WORKERS``, else cpu count.
+
+    A ``REPRO_CHECK_WORKERS`` value that is not a positive integer
+    raises :class:`~repro.errors.ConfigError` naming the variable —
+    a silent clamp would hide the typo, and the raw ``ValueError``
+    ``int()`` used to throw named neither the knob nor the fix.  An
+    unset or empty variable falls back to the cpu count.
+    """
     if workers is not None:
         return max(1, int(workers))
     env = os.environ.get(WORKERS_ENV)
     if env:
-        return max(1, int(env))
+        try:
+            count = int(env)
+        except ValueError:
+            raise ConfigError(
+                WORKERS_ENV, env,
+                "not an integer (expected a positive worker count, "
+                "or unset for the cpu count)") from None
+        if count < 1:
+            raise ConfigError(
+                WORKERS_ENV, env,
+                "worker count must be >= 1 (or unset for the cpu "
+                "count)")
+        return count
     return max(1, os.cpu_count() or 1)
 
 
@@ -67,12 +88,59 @@ def stable_shard(key: str, shards: int) -> int:
 
 
 def _run_shard(fn_path: str, pairs):
-    """Worker task: run one shard's ``(index, unit)`` pairs in order."""
+    """Worker task: run one shard's ``(index, unit)`` pairs in order.
+
+    Returns ``(results, memo_stats, metrics_delta, unit_traces)``:
+
+    * ``metrics_delta`` — the worker registry's counter delta over the
+      shard (how solver work done in workers reaches the parent; with
+      the old memo-only return, a parent reading the global solver
+      counters around a parallel campaign undercounted by exactly the
+      work the pool did);
+    * ``unit_traces`` — when tracing was enabled at fork time, one
+      ``(index, records)`` export per unit, each recorded by a *fresh*
+      per-unit tracer (the inherited tracer is detached first: its
+      JSONL sink descriptor is shared with the parent across the fork,
+      and per-unit recording is what makes the assembled trace a pure
+      function of the unit list rather than of shard layout).
+    """
     from repro.engine import workers as worker_module
+    from repro.obs import trace as trace_mod
+    from repro.obs.metrics import REGISTRY
     fn = resolve_callable(fn_path)
     baseline = worker_module.MEMO.stats()
-    results = [(index, fn(unit)) for index, unit in pairs]
-    return results, worker_module.MEMO.stats_since(baseline)
+    metrics_before = REGISTRY.snapshot()
+    tracing = trace_mod.enabled()
+    inherited = trace_mod.install(None)
+    results, traces = [], []
+    try:
+        for index, unit in pairs:
+            if tracing:
+                tracer = trace_mod.Tracer()
+                with trace_mod.installed(tracer):
+                    with trace_mod.span("executor.unit", index=index,
+                                        fn=fn_path):
+                        value = fn(unit)
+                traces.append((index, tracer.export()))
+            else:
+                value = fn(unit)
+            results.append((index, value))
+    finally:
+        trace_mod.install(inherited)
+    return (results, worker_module.MEMO.stats_since(baseline),
+            REGISTRY.delta(metrics_before), traces)
+
+
+def _adopt_unit_traces(traces):
+    """Re-emit shipped worker spans into the parent tracer, sorted by
+    unit index — completion order and shard layout cannot leak into
+    the assembled trace."""
+    from repro.obs import trace as trace_mod
+    tracer = trace_mod.active_tracer()
+    if tracer is None:
+        return
+    for _index, records in sorted(traces, key=lambda item: item[0]):
+        tracer.adopt(records)
 
 
 class ShardedExecutor:
@@ -113,6 +181,8 @@ class ShardedExecutor:
         they default to the unit's position in the list.
         """
         from repro.engine.memo import merge_stats
+        from repro.obs import trace as trace_mod
+        from repro.obs.metrics import REGISTRY
 
         units = list(units)
         if not units:
@@ -122,21 +192,32 @@ class ShardedExecutor:
         if len(keys) != len(units):
             raise ValueError("one shard key per unit required")
         shard_count = min(self.workers, len(units))
-        if shard_count <= 1:
-            results, stats = _run_shard(fn_path, list(enumerate(units)))
-            merge_stats(self.stats, stats)
-            return [value for _index, value in results]
-        shards = [[] for _ in range(shard_count)]
-        for index, (unit, key) in enumerate(zip(units, keys)):
-            shards[stable_shard(f"{fn_path}\x1f{key}",
-                                shard_count)].append((index, unit))
-        pool = self._ensure_pool()
-        futures = [pool.submit(_run_shard, fn_path, shard)
-                   for shard in shards if shard]
-        merged = [None] * len(units)
-        for future in futures:
-            results, stats = future.result()
-            merge_stats(self.stats, stats)
-            for index, value in results:
-                merged[index] = value
-        return merged
+        with trace_mod.span("executor.map", fn=fn_path,
+                            units=len(units), shards=shard_count):
+            if shard_count <= 1:
+                # In-process: unit code already wrote to this process's
+                # registry, so the returned metrics delta is discarded
+                # (merging it would double-count).
+                results, stats, _metrics, traces = _run_shard(
+                    fn_path, list(enumerate(units)))
+                merge_stats(self.stats, stats)
+                _adopt_unit_traces(traces)
+                return [value for _index, value in results]
+            shards = [[] for _ in range(shard_count)]
+            for index, (unit, key) in enumerate(zip(units, keys)):
+                shards[stable_shard(f"{fn_path}\x1f{key}",
+                                    shard_count)].append((index, unit))
+            pool = self._ensure_pool()
+            futures = [pool.submit(_run_shard, fn_path, shard)
+                       for shard in shards if shard]
+            merged = [None] * len(units)
+            unit_traces = []
+            for future in futures:
+                results, stats, metrics, traces = future.result()
+                merge_stats(self.stats, stats)
+                REGISTRY.merge(metrics)
+                unit_traces.extend(traces)
+                for index, value in results:
+                    merged[index] = value
+            _adopt_unit_traces(unit_traces)
+            return merged

@@ -30,6 +30,7 @@ real violation.
 from typing import Dict, List, Tuple
 
 from repro.engine.fingerprint import structure_fingerprints
+from repro.obs import trace as _trace
 from repro.security.invariants import (
     FAMILIES,
     InvariantReport,
@@ -73,17 +74,22 @@ class CheckMemo:
         changed since a certified state actually run."""
         fps = fps or structure_fingerprints(monitor)
         report = InvariantReport()
+        hits = misses = 0
         for name, checker in FAMILIES:
             key = tuple(fps[dep] for dep in FAMILY_DEPS[name])
             cache = self._families[name]
             if key in cache:
+                hits += 1
                 self.counters["invariants"][0] += 1
                 report.violations[name] = list(cache[key])
             else:
+                misses += 1
                 self.counters["invariants"][1] += 1
                 found = checker(monitor)
                 cache[key] = list(found)
                 report.violations[name] = found
+        _trace.event("memo", checker="invariants", hits=hits,
+                     misses=misses)
         return report
 
     # -- vCPU consistency ---------------------------------------------------------
@@ -94,8 +100,10 @@ class CheckMemo:
         key = tuple(fps[dep] for dep in VCPU_DEPS)
         if key in self._vcpu:
             self.counters["vcpu"][0] += 1
+            _trace.event("memo", checker="vcpu", hits=1, misses=0)
             return list(self._vcpu[key])
         self.counters["vcpu"][1] += 1
+        _trace.event("memo", checker="vcpu", hits=0, misses=1)
         found = check_vcpu_consistency(monitor)
         self._vcpu[key] = tuple(found)
         return found
@@ -118,8 +126,10 @@ class CheckMemo:
         key = (fp_a, fp_b, vid, observer)
         if key in self._obs:
             self.counters["observation"][0] += 1
+            _trace.event("memo", checker="observation", hits=1, misses=0)
             return self._obs[key]
         self.counters["observation"][1] += 1
+        _trace.event("memo", checker="observation", hits=0, misses=1)
         with state_a.monitor.on_cpu(vid), state_b.monitor.on_cpu(vid):
             diff = observation_diff(state_a, state_b, observer)
         self._obs[key] = diff

@@ -30,6 +30,25 @@ class ReproError(Exception):
         return super().__reduce__()
 
 
+class ConfigError(ReproError):
+    """A runtime configuration knob holds an unusable value.
+
+    Carries the knob's name (e.g. the ``REPRO_CHECK_WORKERS``
+    environment variable), the offending value, and why it was
+    rejected, so the message names exactly what to fix — instead of a
+    bare ``ValueError: invalid literal for int()`` surfacing from deep
+    inside the executor.
+    """
+
+    _CTOR_ATTRS = ("name", "value", "reason")
+
+    def __init__(self, name, value, reason):
+        super().__init__(f"{name}={value!r}: {reason}")
+        self.name = name
+        self.value = value
+        self.reason = reason
+
+
 # ---------------------------------------------------------------------------
 # MIR semantics errors
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FaultInjected, HypercallAborted, ReproError
+from repro.obs import trace as _trace
 from repro.faults.plane import (
     EXHAUST,
     RAISE,
@@ -325,11 +326,12 @@ def crash_step_campaign(world_factory, calls, *,
     world rebuilding stays direct) — see :func:`scheduled_runner`.
     """
     report = CampaignReport(seed=seed)
-    for index, site, kind, step in crash_step_units(world_factory, calls,
-                                                    sites):
-        report.runs.append(run_crash_step_unit(
-            world_factory, calls, index, site, kind, step,
-            seed=seed, runner=runner))
+    with _trace.span("campaign.crash-step", seed=seed, parallel=False):
+        for index, site, kind, step in crash_step_units(
+                world_factory, calls, sites):
+            report.runs.append(run_crash_step_unit(
+                world_factory, calls, index, site, kind, step,
+                seed=seed, runner=runner))
     return report
 
 
@@ -349,13 +351,20 @@ def bitflip_campaign(world_factory, calls=(), *, flips=64,
     prefix) runs first so the flips land next to a *live* enclave
     rather than an empty monitor.
     """
-    from repro.hyperenclave.constants import WORD_BYTES
-    from repro.security.invariants import check_all_invariants
-
     monitor, _ctx = _world_at(world_factory, list(calls), len(calls))
     rng = random.Random(f"bitflip:{seed}")
     config = monitor.config
     report = CampaignReport(seed=seed)
+    with _trace.span("campaign.bitflip", seed=seed, flips=flips,
+                     parallel=False):
+        _bitflip_sweep(monitor, rng, config, report, flips)
+    return report
+
+
+def _bitflip_sweep(monitor, rng, config, report, flips):
+    from repro.hyperenclave.constants import WORD_BYTES
+    from repro.security.invariants import check_all_invariants
+
     for index in range(flips):
         frame = rng.randrange(monitor.layout.secure_base)
         word = rng.randrange(config.words_per_page)
@@ -369,7 +378,6 @@ def bitflip_campaign(world_factory, calls=(), *, flips=64,
             kind="flip", outcome="completed", fired=True,
             rolled_back=None, invariants_ok=invariants_ok,
             detail=f"frame {frame} word {word} bit {bit}"))
-    return report
 
 
 # ---------------------------------------------------------------------------
@@ -479,10 +487,11 @@ def crash_ni_campaign(two_worlds_factory=None, trace=None, *,
             eid, worlds_probe.a.monitor.config.page_size)
 
     report = CampaignReport(seed=seed)
-    for index in range(len(trace)):
-        report.runs.extend(run_crash_ni_index(
-            factory, trace, index, sites=sites, observers=observers,
-            seed=seed))
+    with _trace.span("campaign.crash-ni", seed=seed, parallel=False):
+        for index in range(len(trace)):
+            report.runs.extend(run_crash_ni_index(
+                factory, trace, index, sites=sites, observers=observers,
+                seed=seed))
     return report
 
 
@@ -725,9 +734,12 @@ def interleaving_campaign(monitor_cls=None, *, preemption_bound=2,
                 findings.append(("noninterference", str(violation)))
         return findings
 
-    return explore(run_schedule, seed=seed,
-                   preemption_bound=preemption_bound,
-                   max_schedules=max_schedules, crash=crash, check=check)
+    with _trace.span("campaign.interleaving", seed=seed,
+                     preemption_bound=preemption_bound, parallel=False):
+        return explore(run_schedule, seed=seed,
+                       preemption_bound=preemption_bound,
+                       max_schedules=max_schedules, crash=crash,
+                       check=check)
 
 
 @dataclass
@@ -815,9 +827,11 @@ def crash_in_critical_section_campaign(monitor_cls=None, *, seed=0,
     points = baseline.critical_yields()
     report = CrashCampaignReport(monitor=cls.__name__,
                                  critical_yields=len(points))
-    for point in points:
-        report.records.append(crash_point_record(run_world, point,
-                                                 seed=seed))
+    with _trace.span("campaign.crash-critical-section", seed=seed,
+                     points=len(points), parallel=False):
+        for point in points:
+            report.records.append(crash_point_record(run_world, point,
+                                                     seed=seed))
     return report
 
 

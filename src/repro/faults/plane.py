@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import FaultInjected
+from repro.obs import trace as _trace
 
 # Arm kinds.
 RAISE = "raise"      # raise FaultInjected at the site
@@ -112,6 +113,8 @@ class FaultPlane:
         for arm in self._arms.get(site, ()):
             if arm.index == count:
                 self.fired.append(FiredFault(site, count, arm.kind, label))
+                _trace.event("fault.fired", site=site, hit=count,
+                             kind=arm.kind)
                 if arm.kind == RAISE and not self.record_only:
                     raise FaultInjected(site, hit=count, label=label)
                 return arm

@@ -1,0 +1,57 @@
+"""repro.obs — the observability plane.
+
+Three pillars, all zero-dependency and all inert until asked for:
+
+* :mod:`repro.obs.trace` — nested spans + typed events with a ring
+  buffer and optional JSONL sink; off by default, observation-only
+  (cannot change a verdict).
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms with the
+  process-merge operation the sharded executor needs.
+* :mod:`repro.obs.provenance` — replayable counterexample bundles
+  (``python -m repro replay bundle.json``).
+"""
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.provenance import (
+    ProvenanceBundle,
+    ReplayOutcome,
+    bundles_from_exploration,
+    crash_point_bundle,
+    crash_step_bundle,
+    interleaving_bundle,
+    pure_check_bundle,
+    replay_bundle,
+)
+from repro.obs.trace import (
+    Tracer,
+    active_tracer,
+    enabled,
+    event,
+    install,
+    installed,
+    span,
+    validate_jsonl,
+    validate_records,
+)
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "ProvenanceBundle",
+    "ReplayOutcome",
+    "Tracer",
+    "active_tracer",
+    "bundles_from_exploration",
+    "crash_point_bundle",
+    "crash_step_bundle",
+    "enabled",
+    "event",
+    "install",
+    "installed",
+    "interleaving_bundle",
+    "pure_check_bundle",
+    "replay_bundle",
+    "span",
+    "validate_jsonl",
+    "validate_records",
+]

@@ -1,0 +1,157 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Before this module, every subsystem kept its own ad-hoc stats dict
+(the symbolic solver's ``_STATS``, the per-process memo counters) with
+its own snapshot/delta/merge helpers — and the parallel fabric had to
+know about each one separately to aggregate worker measurements.  The
+registry makes the pattern first-class:
+
+* **counters** are monotonically increasing ints (``inc``);
+* **gauges** are last-written floats (``set_gauge``);
+* **histograms** are streaming summaries — count / total / min / max —
+  cheap enough for hot paths and still mergeable (``observe``);
+* a **counter group** is a plain dict registered under a prefix, so an
+  existing hot loop (``_STATS["models_enumerated"] += 1``) keeps its
+  exact shape and cost while the registry gains visibility of it.
+
+The operation the parallel fabric needs is :meth:`MetricsRegistry.merge`:
+a worker process snapshots its registry around a shard, ships the
+:meth:`snapshot` (plain dicts, picklable) back with the results, and the
+parent merges it — counters add, histograms combine, gauges take the
+maximum (the only order-independent choice, so merging is deterministic
+regardless of shard completion order).
+
+One process-wide :data:`REGISTRY` serves the whole checking stack; unit
+tests build private instances.
+"""
+
+from typing import Dict, Iterable, Optional
+
+_EMPTY_HIST = {"count": 0, "total": 0.0, "min": None, "max": None}
+
+
+class MetricsRegistry:
+    """Named counters / gauges / histograms with snapshot + merge."""
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Dict] = {}
+        self._groups: Dict[str, Dict[str, int]] = {}
+
+    # -- writing ------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to counter ``name``; returns the new value."""
+        value = self.counters.get(name, 0) + amount
+        self.counters[name] = value
+        return value
+
+    def set_gauge(self, name: str, value: float):
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float):
+        """Record one sample of histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = dict(_EMPTY_HIST)
+            self.histograms[name] = hist
+        hist["count"] += 1
+        hist["total"] += value
+        hist["min"] = value if hist["min"] is None \
+            else min(hist["min"], value)
+        hist["max"] = value if hist["max"] is None \
+            else max(hist["max"], value)
+
+    def counter_group(self, prefix: str,
+                      keys: Iterable[str]) -> Dict[str, int]:
+        """A plain zeroed dict the registry snapshots as ``prefix.key``.
+
+        The returned dict is the live storage: hot loops mutate it
+        directly with no indirection, which is what lets the solver's
+        ``_STATS`` move into the registry without touching its inner
+        loops.  Calling again with the same prefix returns the same
+        dict (extended with any new keys).
+        """
+        group = self._groups.setdefault(prefix, {})
+        for key in keys:
+            group.setdefault(key, 0)
+        return group
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All metrics as plain nested dicts (picklable, JSON-able);
+        counter groups appear flattened as ``prefix.key`` counters."""
+        counters = dict(self.counters)
+        for prefix, group in self._groups.items():
+            for key, value in group.items():
+                counters[f"{prefix}.{key}"] = value
+        return {"counters": counters,
+                "gauges": dict(self.gauges),
+                "histograms": {name: dict(hist)
+                               for name, hist in self.histograms.items()}}
+
+    def delta(self, before: Dict[str, Dict],
+              after: Optional[Dict[str, Dict]] = None) -> Dict[str, Dict]:
+        """Counter-wise ``after - before`` over two snapshots.
+
+        Gauges and histogram extrema are not subtractable; the delta
+        keeps ``after``'s gauges and subtracts histogram counts/totals.
+        """
+        if after is None:
+            after = self.snapshot()
+        counters = {name: value - before["counters"].get(name, 0)
+                    for name, value in after["counters"].items()}
+        histograms = {}
+        for name, hist in after["histograms"].items():
+            base = before["histograms"].get(name, _EMPTY_HIST)
+            histograms[name] = {
+                "count": hist["count"] - base["count"],
+                "total": hist["total"] - base["total"],
+                "min": hist["min"], "max": hist["max"]}
+        return {"counters": counters, "gauges": dict(after["gauges"]),
+                "histograms": histograms}
+
+    # -- merging (the process-aggregation operation) ------------------------
+
+    def merge(self, snapshot: Dict[str, Dict]):
+        """Fold a worker snapshot (or delta) into this registry.
+
+        Counters add — ``prefix.key`` names route back into their
+        counter group when one is registered, so the solver's live dict
+        sees worker work too.  Histograms combine; gauges keep the
+        maximum, the only merge that cannot depend on arrival order.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            prefix, dot, key = name.rpartition(".")
+            group = self._groups.get(prefix) if dot else None
+            if group is not None and key in group:
+                group[key] += value
+            else:
+                self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            current = self.gauges.get(name)
+            self.gauges[name] = value if current is None \
+                else max(current, value)
+        for name, hist in snapshot.get("histograms", {}).items():
+            mine = self.histograms.setdefault(name, dict(_EMPTY_HIST))
+            mine["count"] += hist["count"]
+            mine["total"] += hist["total"]
+            for side, pick in (("min", min), ("max", max)):
+                if hist[side] is not None:
+                    mine[side] = hist[side] if mine[side] is None \
+                        else pick(mine[side], hist[side])
+
+    def reset(self):
+        """Zero every metric (counter groups keep their identity)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        for group in self._groups.values():
+            for key in group:
+                group[key] = 0
+
+
+#: The process-wide registry the checking stack writes to.
+REGISTRY = MetricsRegistry()

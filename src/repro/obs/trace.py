@@ -1,0 +1,332 @@
+"""Structured tracing: nested spans and typed events, off by default.
+
+The checking stack is trusted in proportion to the evidence it can
+replay (the Verus / Foundational-VeriFast argument): when a campaign
+refutes an invariant or quietly degrades its budget, the *sequence* of
+engine decisions is the audit trail.  This module is that trail's
+recorder — and, critically, it is **observation only**: no instrumented
+code path reads anything back from the tracer, so tracing on or off
+cannot change a single verdict (asserted by the invariance suite).
+
+Design, mirroring the fault plane (:mod:`repro.faults.plane`) and the
+scheduler's instrumentation hooks:
+
+* a module-global **installed tracer**; the hooks :func:`span` and
+  :func:`event` are one-``is None``-test no-ops when nothing is
+  installed, so production paths pay nothing;
+* a :class:`Tracer` owns an in-memory **ring buffer** (completed spans
+  and events, oldest evicted first) and an optional **JSONL sink** to
+  which every record is written as one line the moment it completes;
+* spans nest: ``with span("campaign.crash-step", seed=0): ...`` — the
+  tracer keeps an open-span stack, and events attach to whatever span
+  is innermost when they fire;
+* records are plain dicts with a fixed schema (see
+  :func:`validate_records`), so traces round-trip through JSON and are
+  diffable across runs.
+
+**Worker spans.**  The sharded executor runs units in other processes;
+their spans are recorded by a worker-local tracer, shipped back with
+the shard results, and re-emitted into the parent tracer **in unit
+order** via :meth:`Tracer.adopt` — so the assembled trace is a pure
+function of the unit list, never of shard layout or completion order.
+Worker timestamps stay worker-relative (a perf-counter is only
+comparable within one process); ordering, not wall-clock, is the
+deterministic part of a trace.
+"""
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+#: Event names used by the instrumented stack (informative, not closed):
+#: ``degradation`` (an engine fell back), ``fault.fired`` (an armed
+#: injection hit), ``lock.acquire``, ``memo`` (hit/miss of a memoised
+#: checker), ``solver.check_sat`` / ``solver.must_hold``, ``verdict``,
+#: ``violation``, ``schedule``, ``reseed``.
+RECORD_TYPES = ("span", "event")
+
+_SPAN_KEYS = {"type", "id", "parent", "name", "t0", "t1", "attrs"}
+_EVENT_KEYS = {"type", "id", "span", "name", "t", "attrs"}
+
+
+class Tracer:
+    """Span/event recorder with a ring buffer and an optional JSONL sink.
+
+    ``ring`` bounds the in-memory record list (oldest evicted first);
+    ``jsonl`` names a file every completed record is appended to as one
+    JSON line.  A tracer is cheap enough to leave installed for a whole
+    campaign: record construction is a dict literal and an append.
+    """
+
+    def __init__(self, ring: int = 65536, jsonl: Optional[str] = None,
+                 clock=time.perf_counter):
+        if ring < 1:
+            raise ValueError("ring size must be positive")
+        self.ring = ring
+        self.records: List[Dict] = []
+        self._clock = clock
+        self._next_id = 0
+        self._stack: List[Dict] = []      # open spans, innermost last
+        self._jsonl_path = jsonl
+        self._sink = None
+        if jsonl is not None:
+            self._sink = open(jsonl, "w")
+
+    # -- record plumbing ----------------------------------------------------
+
+    def _new_id(self) -> int:
+        ident = self._next_id
+        self._next_id += 1
+        return ident
+
+    def _emit(self, record: Dict):
+        self.records.append(record)
+        if len(self.records) > self.ring:
+            del self.records[:len(self.records) - self.ring]
+        if self._sink is not None:
+            self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # -- spans and events ---------------------------------------------------
+
+    def current_span_id(self) -> Optional[int]:
+        return self._stack[-1]["id"] if self._stack else None
+
+    def begin_span(self, name: str, attrs: Dict) -> Dict:
+        """Open a nested span; returns the open record for
+        :meth:`end_span` (most callers use the :func:`span` hook)."""
+        open_span = {"type": "span", "id": self._new_id(),
+                     "parent": self.current_span_id(), "name": name,
+                     "t0": self._clock(), "t1": None, "attrs": attrs}
+        self._stack.append(open_span)
+        return open_span
+
+    def end_span(self, open_span: Dict):
+        """Close ``open_span`` (and any spans left open inside it) and
+        emit it to the ring/sink."""
+        open_span["t1"] = self._clock()
+        # Close any spans left open inside (a return path skipped an
+        # exit); innermost first, so the record order stays nested.
+        while self._stack:
+            inner = self._stack.pop()
+            if inner is open_span:
+                break
+            inner["t1"] = open_span["t1"]
+            self._emit(inner)
+        self._emit(open_span)
+
+    def event(self, name: str, attrs: Dict):
+        self._emit({"type": "event", "id": self._new_id(),
+                    "span": self.current_span_id(), "name": name,
+                    "t": self._clock(), "attrs": attrs})
+
+    # -- export / adoption --------------------------------------------------
+
+    def export(self) -> List[Dict]:
+        """A picklable copy of the ring's records (shipping format)."""
+        return [dict(record) for record in self.records]
+
+    def adopt(self, records: List[Dict], parent: Optional[int] = None):
+        """Re-emit another tracer's records under this tracer.
+
+        Ids are remapped into this tracer's id space in record order and
+        root records are attached to ``parent`` (default: the current
+        open span), so adopting shard exports in unit order yields a
+        trace identical in structure to having run the units inline.
+        The id mapping is built for the whole batch *before* any
+        reference is rewritten: completed-record order is
+        innermost-first, so an event always precedes the span it
+        belongs to and a single-pass remap would mis-parent it.
+        """
+        if parent is None:
+            parent = self.current_span_id()
+        mapping = {record["id"]: self._new_id() for record in records}
+        for record in records:
+            adopted = dict(record)
+            adopted["id"] = mapping[record["id"]]
+            link = "parent" if record["type"] == "span" else "span"
+            old = record.get(link)
+            adopted[link] = mapping.get(old, parent)
+            self._emit(adopted)
+
+    def close(self):
+        """End any open spans and close the JSONL sink."""
+        now = self._clock()
+        while self._stack:
+            open_span = self._stack.pop()
+            open_span["t1"] = now
+            self._emit(open_span)
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The installed tracer (module-global so instrumented code needs no plumbing)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """Is a tracer installed?  The one check every hook starts with."""
+    return _ACTIVE is not None
+
+
+def install(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` (or ``None`` to disable); returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+@contextmanager
+def installed(tracer: Tracer):
+    """Make ``tracer`` the active tracer for the dynamic extent."""
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)
+
+
+# -- the hooks instrumented code calls (cheap when no tracer is installed) ---
+
+
+class _NullSpan:
+    """The disabled-path span: enter/exit with zero bookkeeping."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *_exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    __slots__ = ("_tracer", "_name", "_attrs", "_open")
+
+    def __init__(self, tracer, name, attrs):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._open = None
+
+    def __enter__(self):
+        self._open = self._tracer.begin_span(self._name, self._attrs)
+        return self._open
+
+    def __exit__(self, *_exc):
+        self._tracer.end_span(self._open)
+        return False
+
+
+def span(_span_name: str, **attrs):
+    """A nested-span context manager; free when tracing is off.
+
+    The positional parameter is underscore-prefixed so ``name`` stays
+    available as an attribute key (``span("check.pure", name=fn)``).
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return _LiveSpan(tracer, _span_name, attrs)
+
+
+def event(_event_name: str, **attrs):
+    """Record one typed event on the innermost open span; free when off."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.event(_event_name, attrs)
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (tests and the CI smoke both gate on this)
+# ---------------------------------------------------------------------------
+
+
+def validate_records(records: List[Dict]) -> int:
+    """Check a record list against the trace schema; returns the count.
+
+    Raises ``ValueError`` naming the first offending record.  Checks:
+    exact key sets per type, unique integer ids, and referential
+    integrity — every span ``parent`` and event ``span`` is ``None`` or
+    the id of a span present in the list (ring eviction can orphan
+    references, so validation is for complete traces: a JSONL sink or
+    an un-evicted ring).
+    """
+    span_ids = {record["id"] for record in records
+                if isinstance(record, dict)
+                and record.get("type") == "span"}
+    seen_ids = set()
+    for position, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise ValueError(f"record {position} is not an object")
+        kind = record.get("type")
+        if kind == "span":
+            expected = _SPAN_KEYS
+            ref, ref_key = record.get("parent"), "parent"
+            times = [record.get("t0"), record.get("t1")]
+        elif kind == "event":
+            expected = _EVENT_KEYS
+            ref, ref_key = record.get("span"), "span"
+            times = [record.get("t")]
+        else:
+            raise ValueError(
+                f"record {position} has unknown type {kind!r}")
+        if set(record) != expected:
+            raise ValueError(
+                f"record {position} ({kind}) has keys "
+                f"{sorted(record)}, expected {sorted(expected)}")
+        if not isinstance(record["id"], int):
+            raise ValueError(f"record {position} id is not an int")
+        if record["id"] in seen_ids:
+            raise ValueError(f"record {position} reuses id {record['id']}")
+        seen_ids.add(record["id"])
+        if ref is not None and ref not in span_ids:
+            raise ValueError(
+                f"record {position} {ref_key}={ref!r} names no span "
+                f"in the trace")
+        if not isinstance(record["name"], str) or not record["name"]:
+            raise ValueError(f"record {position} has no name")
+        if not isinstance(record["attrs"], dict):
+            raise ValueError(f"record {position} attrs is not an object")
+        for value in times:
+            if not isinstance(value, (int, float)):
+                raise ValueError(f"record {position} has a non-numeric "
+                                 f"timestamp")
+    return len(records)
+
+
+def validate_jsonl(path: str) -> int:
+    """Validate a trace JSONL file; returns the number of records."""
+    records = []
+    with open(path) as fh:
+        for line_number, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {exc}") \
+                    from None
+    return validate_records(records)

@@ -1,6 +1,6 @@
-"""Rendering helpers for the bench harness: tables and ASCII figures."""
+"""Rendering helpers for the bench harness: tables, metrics, figures."""
 
-from repro.reporting.tables import render_table
+from repro.reporting.tables import render_metrics, render_table
 from repro.reporting.figures import (
     fig1_architecture,
     fig2_translation,
@@ -10,7 +10,7 @@ from repro.reporting.figures import (
 )
 
 __all__ = [
-    "render_table",
+    "render_metrics", "render_table",
     "fig1_architecture", "fig2_translation", "fig3_pipeline",
     "fig4_pointer_cases", "fig5_exploits",
 ]

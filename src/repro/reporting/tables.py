@@ -1,4 +1,4 @@
-"""Fixed-width table rendering for bench output."""
+"""Fixed-width table rendering for bench and metrics output."""
 
 
 def render_table(headers, rows, title=None):
@@ -29,6 +29,38 @@ def render_table(headers, rows, title=None):
                 cells.append(cell.ljust(widths[index]))
         lines.append("  ".join(cells))
     return "\n".join(lines)
+
+
+def render_metrics(snapshot=None, title="metrics"):
+    """Render a metrics snapshot as one aligned table.
+
+    ``snapshot`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    dict (default: the process-global registry's).  Counters and gauges
+    render one row each; a histogram renders as count and mean with the
+    observed min/max.  Rows are sorted by kind then name, so two
+    snapshots with the same content render identically.
+    """
+    if snapshot is None:
+        from repro.obs.metrics import REGISTRY
+        snapshot = REGISTRY.snapshot()
+    rows = []
+    for name in sorted(snapshot.get("counters", {})):
+        rows.append(["counter", name, snapshot["counters"][name], ""])
+    for name in sorted(snapshot.get("gauges", {})):
+        rows.append(["gauge", name, snapshot["gauges"][name], ""])
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        if hist["count"] and hist["min"] is not None:
+            mean = hist["total"] / hist["count"]
+            detail = (f"mean={mean:.4g} min={hist['min']:.4g} "
+                      f"max={hist['max']:.4g}")
+        else:
+            detail = "no samples"
+        rows.append(["histogram", name, hist["count"], detail])
+    if not rows:
+        rows.append(["(empty)", "", "", ""])
+    return render_table(["kind", "name", "value", "detail"], rows,
+                        title=title)
 
 
 def _cell(value):

@@ -42,6 +42,8 @@ import itertools
 
 from repro import fastpath
 from repro.errors import UnboundSymbolicVariable
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY
 from repro.symbolic.terms import (
     App, Const, SymVar, compile_evaluator, evaluate, term_fingerprint,
     term_vars,
@@ -157,15 +159,19 @@ class Domains:
 # Statistics and memo tables
 # ---------------------------------------------------------------------------
 
-_STATS = {
-    "candidates_examined": 0,   # assignments tried by enumerate_models
-    "models_enumerated": 0,     # assignments that satisfied everything
-    "domains_pruned": 0,        # values removed by unary pruning
-    "check_sat_calls": 0,
-    "check_sat_memo_hits": 0,
-    "must_hold_calls": 0,
-    "must_hold_memo_hits": 0,
-}
+# The live counter storage is a registry counter group: the hot loops
+# below keep their plain-dict increments, while the metrics registry
+# snapshots/merges the same ints as ``solver.<key>`` (which is how
+# worker processes ship their solver work back to the parent).
+_STATS = REGISTRY.counter_group("solver", (
+    "candidates_examined",      # assignments tried by enumerate_models
+    "models_enumerated",        # assignments that satisfied everything
+    "domains_pruned",           # values removed by unary pruning
+    "check_sat_calls",
+    "check_sat_memo_hits",
+    "must_hold_calls",
+    "must_hold_memo_hits",
+))
 _CHECK_SAT_MEMO = {}
 _MUST_HOLD_MEMO = {}
 _MEMO_MAX = 1 << 18
@@ -371,13 +377,17 @@ def check_sat(constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT):
     _STATS["check_sat_calls"] += 1
     if not fastpath._ENABLED:
         for model in enumerate_models(constraints, domains, limit):
+            _trace.event("solver.check_sat", sat=True, memo=False)
             return model
+        _trace.event("solver.check_sat", sat=False, memo=False)
         return None
     constraints = tuple(constraints)
     key = _constraints_key(constraints, domains, limit)
     cached = _CHECK_SAT_MEMO.get(key, False)
     if cached is not False:
         _STATS["check_sat_memo_hits"] += 1
+        _trace.event("solver.check_sat", sat=cached is not None,
+                     memo=True)
         return dict(cached) if cached is not None else None
     result = None
     for model in enumerate_models(constraints, domains, limit):
@@ -386,6 +396,7 @@ def check_sat(constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT):
     if len(_CHECK_SAT_MEMO) >= _MEMO_MAX:
         _CHECK_SAT_MEMO.clear()
     _CHECK_SAT_MEMO[key] = dict(result) if result is not None else None
+    _trace.event("solver.check_sat", sat=result is not None, memo=False)
     return result
 
 
@@ -400,7 +411,9 @@ def must_hold(prop, constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT):
         negated = simplify("not", (prop,), None)
         model = _first_model(tuple(constraints) + (negated,), domains, limit)
         if model is None:
+            _trace.event("solver.must_hold", holds=True, memo=False)
             return True, None
+        _trace.event("solver.must_hold", holds=False, memo=False)
         return False, model
     key = (term_fingerprint(prop),) + _constraints_key(
         tuple(constraints), domains, limit)
@@ -408,6 +421,7 @@ def must_hold(prop, constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT):
     if cached is not False:
         _STATS["must_hold_memo_hits"] += 1
         holds, model = cached
+        _trace.event("solver.must_hold", holds=holds, memo=True)
         return holds, dict(model) if model is not None else None
     negated = simplify("not", (prop,), None)
     model = check_sat(tuple(constraints) + (negated,), domains, limit)
@@ -416,6 +430,7 @@ def must_hold(prop, constraints, domains, limit=DEFAULT_ENUMERATION_LIMIT):
         _MUST_HOLD_MEMO.clear()
     _MUST_HOLD_MEMO[key] = (
         result[0], dict(model) if model is not None else None)
+    _trace.event("solver.must_hold", holds=result[0], memo=False)
     return result
 
 

@@ -43,6 +43,7 @@ import random
 
 from repro.budget import Budget
 from repro.ccal.refinement import CheckReport, CoSimChecker, mir_impl
+from repro.obs import trace as _trace
 from repro.errors import (
     CheckBudgetExceeded,
     RefinementFailure,
@@ -185,78 +186,92 @@ def check_pure_hardened(model, name, *, max_steps=None, max_seconds=None,
     degradations = []
     solver_before = solver_stats()
 
+    def degrade(engine, reason):
+        degradations.append(f"{engine}: {reason}")
+        _trace.event("degradation", name=name, engine=engine,
+                     reason=str(reason))
+
     def finish(engine, checked, failures, completed=True):
         pool.settle()
+        _trace.event("verdict", name=name, engine=engine,
+                     checked=checked, failures=len(failures),
+                     completed=completed)
         return CheckReport(name=name, checked=checked, failures=failures,
                            engine=engine, degradations=degradations,
                            budget_spent=pool.spent(), completed=completed,
                            solver_stats=stats_delta(solver_before))
 
-    # -- engine 1: symbolic (keep 40% of the pool back for fallbacks) ------
-    budget = pool.slice(0.6)
-    try:
-        failures = []
-        ok, assertion_failures = verify_assertions(
-            model.program, name, domains, budget=budget)
-        if not ok:
-            failures.extend(RefinementFailure(
-                f"assertion can fail: {ob.message} with {witness}",
-                counterexample=witness)
-                for ob, witness in assertion_failures)
-        mismatches, stats = check_equivalence(
-            model.program, name, reference, domains, budget=budget)
-        failures.extend(RefinementFailure(
-            f"mismatch at {witness}: mir={mv} ref={rv}",
-            counterexample=witness)
-            for witness, mv, rv in mismatches[:5])
-        return finish(ENGINE_SYMBOLIC, stats["cells"], failures)
-    except (CheckBudgetExceeded, SymbolicUnsupported) as exc:
-        degradations.append(f"{ENGINE_SYMBOLIC}: {exc}")
-        pool.settle()
-
-    # -- engine 2: exhaustive-bounded concrete enumeration -----------------
-    impl = mir_impl(model.program, name, trusted=model.trusted)
-    state = model.initial_absstate()
-    value_lists = [domains.of(param) for param in params]
-    space = 1
-    for values in value_lists:
-        space *= max(len(values), 1)
-    if space > max_exhaustive:
-        degradations.append(
-            f"{ENGINE_EXHAUSTIVE}: domain too large "
-            f"({space} inputs > cap {max_exhaustive})")
-    elif pool.exhausted:
-        degradations.append(f"{ENGINE_EXHAUSTIVE}: no budget left")
-    else:
-        budget = pool.slice(0.7)
-        failures, checked = [], 0
+    with _trace.span("check.pure", name=name):
+        # -- engine 1: symbolic (keep 40% of the pool for fallbacks) -------
+        budget = pool.slice(0.6)
         try:
-            for combo in itertools.product(*value_lists):
-                budget.spend(1, what=f"exhaustive input of {name}")
-                args = tuple(_wrap(v) for v in combo)
-                _run_concrete(impl, state, reference, args, failures)
-                checked += 1
-            return finish(ENGINE_EXHAUSTIVE, checked, failures)
-        except CheckBudgetExceeded as exc:
-            degradations.append(f"{ENGINE_EXHAUSTIVE}: {exc}")
+            with _trace.span("engine.symbolic", name=name):
+                failures = []
+                ok, assertion_failures = verify_assertions(
+                    model.program, name, domains, budget=budget)
+                if not ok:
+                    failures.extend(RefinementFailure(
+                        f"assertion can fail: {ob.message} with {witness}",
+                        counterexample=witness)
+                        for ob, witness in assertion_failures)
+                mismatches, stats = check_equivalence(
+                    model.program, name, reference, domains, budget=budget)
+                failures.extend(RefinementFailure(
+                    f"mismatch at {witness}: mir={mv} ref={rv}",
+                    counterexample=witness)
+                    for witness, mv, rv in mismatches[:5])
+                return finish(ENGINE_SYMBOLIC, stats["cells"], failures)
+        except (CheckBudgetExceeded, SymbolicUnsupported) as exc:
+            degrade(ENGINE_SYMBOLIC, exc)
             pool.settle()
 
-    # -- engine 3: property sampling (last resort, partial on cutoff) ------
-    rng = random.Random(f"{name}:{seed}")
-    budget = pool.slice()
-    failures, checked, completed = [], 0, True
-    try:
-        for _ in range(sample_count):
-            budget.spend(1, what=f"sampled input of {name}")
-            combo = [rng.choice(values) if values else 0
-                     for values in value_lists]
-            args = tuple(_wrap(v) for v in combo)
-            _run_concrete(impl, state, reference, args, failures)
-            checked += 1
-    except CheckBudgetExceeded as exc:
-        degradations.append(f"{ENGINE_SAMPLING}: {exc}")
-        completed = False
-    return finish(ENGINE_SAMPLING, checked, failures, completed=completed)
+        # -- engine 2: exhaustive-bounded concrete enumeration -------------
+        impl = mir_impl(model.program, name, trusted=model.trusted)
+        state = model.initial_absstate()
+        value_lists = [domains.of(param) for param in params]
+        space = 1
+        for values in value_lists:
+            space *= max(len(values), 1)
+        if space > max_exhaustive:
+            degrade(ENGINE_EXHAUSTIVE,
+                    f"domain too large ({space} inputs > cap "
+                    f"{max_exhaustive})")
+        elif pool.exhausted:
+            degrade(ENGINE_EXHAUSTIVE, "no budget left")
+        else:
+            budget = pool.slice(0.7)
+            failures, checked = [], 0
+            try:
+                with _trace.span("engine.exhaustive", name=name):
+                    for combo in itertools.product(*value_lists):
+                        budget.spend(1, what=f"exhaustive input of {name}")
+                        args = tuple(_wrap(v) for v in combo)
+                        _run_concrete(impl, state, reference, args,
+                                      failures)
+                        checked += 1
+                    return finish(ENGINE_EXHAUSTIVE, checked, failures)
+            except CheckBudgetExceeded as exc:
+                degrade(ENGINE_EXHAUSTIVE, exc)
+                pool.settle()
+
+        # -- engine 3: property sampling (last resort, partial on cutoff) --
+        rng = random.Random(f"{name}:{seed}")
+        budget = pool.slice()
+        failures, checked, completed = [], 0, True
+        with _trace.span("engine.sampling", name=name):
+            try:
+                for _ in range(sample_count):
+                    budget.spend(1, what=f"sampled input of {name}")
+                    combo = [rng.choice(values) if values else 0
+                             for values in value_lists]
+                    args = tuple(_wrap(v) for v in combo)
+                    _run_concrete(impl, state, reference, args, failures)
+                    checked += 1
+            except CheckBudgetExceeded as exc:
+                degrade(ENGINE_SAMPLING, exc)
+                completed = False
+            return finish(ENGINE_SAMPLING, checked, failures,
+                          completed=completed)
 
 
 def check_stateful_hardened(model, name, *, max_steps=None,
@@ -286,35 +301,49 @@ def check_stateful_hardened(model, name, *, max_steps=None,
     checker = CoSimChecker(name=name, impl=impl, spec=spec)
     degradations = []
     last = None
-    for attempt in range(max_reseeds + 1):
-        if pool.exhausted and attempt:
-            degradations.append(
-                f"reseed {attempt}: no budget left, stopping retries")
-            break
-        budget = pool.slice()
-        samples = sample_states(model, name, seed=seed + attempt,
-                                count=count)
-        try:
-            last = checker.check(samples, budget=budget)
-        except CheckBudgetExceeded as exc:
+    with _trace.span("check.stateful", name=name):
+        for attempt in range(max_reseeds + 1):
+            if pool.exhausted and attempt:
+                degradations.append(
+                    f"reseed {attempt}: no budget left, stopping retries")
+                _trace.event("reseed", name=name, attempt=attempt,
+                             reason="no budget left")
+                break
+            budget = pool.slice()
+            samples = sample_states(model, name, seed=seed + attempt,
+                                    count=count)
+            try:
+                last = checker.check(samples, budget=budget)
+            except CheckBudgetExceeded as exc:
+                pool.settle()
+                degradations.append(
+                    f"cosim (seed {seed + attempt}): {exc}")
+                _trace.event("degradation", name=name, engine="cosim",
+                             reason=str(exc))
+                _trace.event("verdict", name=name, engine="cosim",
+                             checked=0, failures=0, completed=False)
+                return CheckReport(
+                    name=name, checked=0, failures=[], engine="cosim",
+                    degradations=degradations, budget_spent=pool.spent(),
+                    seed_retries=attempt, completed=False,
+                    solver_stats=stats_delta(solver_before))
             pool.settle()
-            degradations.append(f"cosim (seed {seed + attempt}): {exc}")
-            return CheckReport(
-                name=name, checked=0, failures=[], engine="cosim",
-                degradations=degradations, budget_spent=pool.spent(),
-                seed_retries=attempt, completed=False,
-                solver_stats=stats_delta(solver_before))
-        pool.settle()
-        if last.checked >= min_checked or last.failures:
-            break
-        degradations.append(
-            f"reseed {attempt + 1}: only {last.checked} of {count} "
-            f"samples inside the precondition (seed {seed + attempt})")
-    retries = sum(1 for d in degradations if d.startswith("reseed"))
-    return CheckReport(
-        name=name, checked=last.checked if last else 0,
-        skipped=last.skipped if last else 0,
-        failures=last.failures if last else [],
-        engine="cosim", degradations=degradations,
-        budget_spent=pool.spent(), seed_retries=retries,
-        completed=True, solver_stats=stats_delta(solver_before))
+            if last.checked >= min_checked or last.failures:
+                break
+            degradations.append(
+                f"reseed {attempt + 1}: only {last.checked} of {count} "
+                f"samples inside the precondition (seed {seed + attempt})")
+            _trace.event("reseed", name=name, attempt=attempt + 1,
+                         checked=last.checked)
+        retries = sum(1 for d in degradations if d.startswith("reseed"))
+        _trace.event("verdict", name=name, engine="cosim",
+                     checked=last.checked if last else 0,
+                     failures=len(last.failures) if last else 0,
+                     completed=True)
+        return CheckReport(
+            name=name, checked=last.checked if last else 0,
+            skipped=last.skipped if last else 0,
+            failures=last.failures if last else [],
+            engine="cosim", degradations=degradations,
+            budget_spent=pool.spent(), seed_retries=retries,
+            completed=True, solver_stats=stats_delta(solver_before))

@@ -1,0 +1,1 @@
+"""Observability plane tests: tracing, metrics, provenance."""

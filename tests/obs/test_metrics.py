@@ -1,0 +1,164 @@
+"""The metrics registry: snapshot, delta, counter groups, merging.
+
+The merge semantics are the load-bearing part — the parallel fabric
+aggregates worker snapshots through :meth:`MetricsRegistry.merge`, so
+counters must add, gauges must combine order-independently (max), and
+histogram summaries must compose exactly.
+"""
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+
+class TestWriting:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        assert registry.inc("runs") == 1
+        assert registry.inc("runs", 4) == 5
+        assert registry.snapshot()["counters"]["runs"] == 5
+
+    def test_gauges_keep_last_value(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("pool.workers", 4)
+        registry.set_gauge("pool.workers", 2)
+        assert registry.snapshot()["gauges"]["pool.workers"] == 2
+
+    def test_histograms_stream_summaries(self):
+        registry = MetricsRegistry()
+        for value in (0.5, 1.5, 1.0):
+            registry.observe("unit.seconds", value)
+        hist = registry.snapshot()["histograms"]["unit.seconds"]
+        assert hist == {"count": 3, "total": 3.0, "min": 0.5, "max": 1.5}
+
+
+class TestCounterGroups:
+    def test_group_is_live_storage(self):
+        registry = MetricsRegistry()
+        stats = registry.counter_group("solver", ("calls", "hits"))
+        stats["calls"] += 3          # the hot-loop idiom, unchanged
+        assert registry.snapshot()["counters"]["solver.calls"] == 3
+
+    def test_same_prefix_returns_same_dict(self):
+        registry = MetricsRegistry()
+        first = registry.counter_group("solver", ("calls",))
+        second = registry.counter_group("solver", ("hits",))
+        assert first is second
+        assert set(first) == {"calls", "hits"}
+
+    def test_reset_keeps_group_identity(self):
+        registry = MetricsRegistry()
+        stats = registry.counter_group("solver", ("calls",))
+        stats["calls"] = 7
+        registry.inc("other", 2)
+        registry.reset()
+        assert registry.counter_group("solver", ()) is stats
+        assert stats["calls"] == 0
+        assert registry.snapshot()["counters"] == {"solver.calls": 0}
+
+
+class TestDelta:
+    def test_counter_delta(self):
+        registry = MetricsRegistry()
+        registry.inc("runs", 2)
+        before = registry.snapshot()
+        registry.inc("runs", 3)
+        registry.inc("fresh")
+        delta = registry.delta(before)
+        assert delta["counters"] == {"runs": 3, "fresh": 1}
+
+    def test_histogram_delta_subtracts_counts_and_totals(self):
+        registry = MetricsRegistry()
+        registry.observe("seconds", 1.0)
+        before = registry.snapshot()
+        registry.observe("seconds", 3.0)
+        delta = registry.delta(before)
+        assert delta["histograms"]["seconds"]["count"] == 1
+        assert delta["histograms"]["seconds"]["total"] == 3.0
+
+
+class TestMerge:
+    def test_counters_add_and_route_into_groups(self):
+        parent = MetricsRegistry()
+        stats = parent.counter_group("solver", ("calls",))
+        stats["calls"] = 2
+        parent.inc("plain", 1)
+        worker = MetricsRegistry()
+        worker.counter_group("solver", ("calls",))["calls"] = 5
+        worker.inc("plain", 2)
+        worker.inc("worker.only", 3)
+        parent.merge(worker.snapshot())
+        # The live group dict saw the worker's work too.
+        assert stats["calls"] == 7
+        merged = parent.snapshot()["counters"]
+        assert merged["solver.calls"] == 7
+        assert merged["plain"] == 3
+        assert merged["worker.only"] == 3
+
+    def test_gauges_merge_to_max(self):
+        parent = MetricsRegistry()
+        parent.set_gauge("depth", 2)
+        worker = MetricsRegistry()
+        worker.set_gauge("depth", 5)
+        worker.set_gauge("fresh", 1)
+        parent.merge(worker.snapshot())
+        assert parent.snapshot()["gauges"] == {"depth": 5, "fresh": 1}
+        # Order independence: merging the smaller value changes nothing.
+        low = MetricsRegistry()
+        low.set_gauge("depth", 1)
+        parent.merge(low.snapshot())
+        assert parent.snapshot()["gauges"]["depth"] == 5
+
+    def test_histograms_combine_exactly(self):
+        parent = MetricsRegistry()
+        parent.observe("seconds", 1.0)
+        worker = MetricsRegistry()
+        worker.observe("seconds", 0.25)
+        worker.observe("seconds", 4.0)
+        parent.merge(worker.snapshot())
+        hist = parent.snapshot()["histograms"]["seconds"]
+        assert hist == {"count": 3, "total": 5.25, "min": 0.25, "max": 4.0}
+
+    def test_merge_order_cannot_change_the_result(self):
+        snapshots = []
+        for values in ((1.0, 2.0), (0.5,), (3.0, 0.75)):
+            worker = MetricsRegistry()
+            for value in values:
+                worker.observe("seconds", value)
+                worker.inc("count")
+            snapshots.append(worker.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snapshots:
+            forward.merge(snap)
+        for snap in reversed(snapshots):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+
+def test_global_registry_exists():
+    assert isinstance(REGISTRY, MetricsRegistry)
+    snapshot = REGISTRY.snapshot()
+    assert set(snapshot) == {"counters", "gauges", "histograms"}
+
+
+def test_render_metrics_formats_every_kind():
+    from repro.reporting import render_metrics
+
+    registry = MetricsRegistry()
+    registry.inc("campaign.runs", 7)
+    registry.set_gauge("pool.workers", 4)
+    registry.observe("unit.seconds", 0.5)
+    registry.counter_group("solver", ("calls",))["calls"] = 3
+    text = render_metrics(registry.snapshot(), title="obs")
+    assert "obs" in text
+    assert "campaign.runs" in text
+    assert "solver.calls" in text
+    assert "pool.workers" in text
+    assert "unit.seconds" in text
+    # Deterministic: same snapshot renders the same text.
+    assert text == render_metrics(registry.snapshot(), title="obs")
+
+
+def test_render_metrics_handles_empty_snapshot():
+    from repro.reporting import render_metrics
+
+    text = render_metrics(MetricsRegistry().snapshot())
+    assert "(empty)" in text

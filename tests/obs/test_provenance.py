@@ -1,0 +1,149 @@
+"""Provenance bundles: JSON round-trips and actual replays.
+
+The contract: a bundle written by one process — or one month — replays
+in another and reports REPRODUCED iff the recorded violation
+reappears.  The replay tests here run the real engines (small grids),
+not mocks: a bundle that only round-trips JSON is an anecdote.
+"""
+
+import pytest
+
+from repro.obs import trace as trace_mod
+from repro.obs.provenance import (
+    ProvenanceBundle,
+    ReplayOutcome,
+    bundles_from_exploration,
+    crash_step_bundle,
+    pure_check_bundle,
+    replay_bundle,
+)
+
+FACTORY = "repro.faults.campaign:default_world_factory"
+WORKLOAD = "repro.faults.campaign:default_workload"
+
+
+def _crash_step_record():
+    """One real crash-step run: the first epcm.allocate unit."""
+    from repro.engine.workers import run_crash_step_unit
+    from repro.faults.campaign import (
+        crash_step_units,
+        default_workload,
+        default_world_factory,
+    )
+
+    units = crash_step_units(default_world_factory(), default_workload(),
+                             ("epcm.allocate",))
+    index, site, kind, step = units[0]
+    record = run_crash_step_unit({
+        "factory": FACTORY, "factory_args": (), "workload": WORKLOAD,
+        "index": index, "site": site, "kind": kind, "step": step,
+        "seed": 0, "runner": None})
+    return (index, site, kind, step), record
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        bundle = ProvenanceBundle(
+            kind="pure-check", seed=3,
+            check={"name": "entry_index", "max_steps": 40},
+            violation={"engine": "property-sampling"},
+            budget_spent={"steps": 41})
+        assert ProvenanceBundle.from_json(bundle.to_json()) == bundle
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            ProvenanceBundle.from_json('{"kind": "pure-check", "bogus": 1}')
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ProvenanceBundle.from_json('{"seed": 0}')
+
+    def test_save_load_file(self, tmp_path):
+        bundle = ProvenanceBundle(kind="crash-step", seed=7,
+                                  fault_plan={"site": "epcm.allocate"})
+        path = bundle.save(str(tmp_path / "bundle.json"))
+        assert ProvenanceBundle.load(path) == bundle
+
+    def test_unknown_kind_refuses_to_replay(self):
+        with pytest.raises(ValueError, match="unknown bundle kind"):
+            replay_bundle(ProvenanceBundle(kind="teleport"))
+
+    def test_trace_slice_captured_when_tracing(self):
+        (index, site, kind, step), record = _crash_step_record()
+        with trace_mod.installed(trace_mod.Tracer()):
+            trace_mod.event("fault.fired", site=site)
+            bundle = crash_step_bundle(index, site, kind, step,
+                                       record=record)
+        assert bundle.trace_slice
+        assert bundle.trace_slice[-1]["name"] == "fault.fired"
+        # And the slice survives the JSON round-trip.
+        again = ProvenanceBundle.from_json(bundle.to_json())
+        assert again.trace_slice == bundle.trace_slice
+
+    def test_outcome_summary_marks_verdict(self):
+        outcome = ReplayOutcome(kind="crash-step", matched=True,
+                                expected={}, found=[1], detail="x")
+        assert outcome.summary().startswith("[REPRODUCED]")
+        outcome = ReplayOutcome(kind="crash-step", matched=False,
+                                expected={}, found=[])
+        assert outcome.summary().startswith("[DIVERGED]")
+
+
+class TestReplay:
+    def test_crash_step_bundle_reproduces(self, tmp_path):
+        (index, site, kind, step), record = _crash_step_record()
+        bundle = crash_step_bundle(index, site, kind, step, seed=0,
+                                   record=record)
+        # Through the file format, exactly as the CLI would.
+        loaded = ProvenanceBundle.load(
+            bundle.save(str(tmp_path / "bundle.json")))
+        outcome = replay_bundle(loaded)
+        assert outcome.matched, outcome.summary()
+        assert outcome.found[0]["detail"] == record.detail
+
+    def test_crash_step_bundle_diverges_on_wrong_expectation(self):
+        (index, site, kind, step), record = _crash_step_record()
+        bundle = crash_step_bundle(index, site, kind, step, record=record)
+        bundle.violation["detail"] = "a finding that never happened"
+        outcome = replay_bundle(bundle)
+        assert not outcome.matched
+
+    def test_pure_check_bundle_reproduces_degraded_verdict(self, model):
+        from repro import fastpath
+        from repro.verification.harness import (
+            ENGINE_EXHAUSTIVE,
+            check_pure_hardened,
+        )
+
+        with fastpath.forced():
+            report = check_pure_hardened(model, "level_span",
+                                         max_steps=16, sample_count=16)
+        assert report.engine == ENGINE_EXHAUSTIVE
+        bundle = pure_check_bundle(report, max_steps=16, sample_count=16)
+        assert bundle.check["fastpath"] is True
+        outcome = replay_bundle(bundle)
+        assert outcome.matched, outcome.summary()
+        assert outcome.found[0]["engine"] == ENGINE_EXHAUSTIVE
+
+    def test_interleaving_bundle_reproduces_planted_bug(self):
+        from repro.faults.campaign import interleaving_campaign
+        from repro.hyperenclave import buggy
+
+        result = interleaving_campaign(buggy.MissingLockMonitor,
+                                       check_ni=False, max_schedules=60)
+        assert result.violations, "the planted lock bug must fire"
+        bundles = bundles_from_exploration(
+            result, monitor_cls=buggy.MissingLockMonitor, check_ni=False)
+        assert len(bundles) == len(result.violations)
+        outcome = replay_bundle(bundles[0])
+        assert outcome.matched, outcome.summary()
+
+    def test_interleaving_bundle_diverges_on_fabricated_violation(self):
+        from repro.concurrency import Schedule
+        from repro.concurrency.explorer import Violation
+
+        fake = Violation(Schedule(seed=0), "lock-protocol",
+                         "a violation nobody observed")
+        outcome = replay_bundle(bundles_from_exploration(
+            type("R", (), {"violations": [fake]})(), check_ni=False)[0])
+        assert not outcome.matched

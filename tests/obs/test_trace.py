@@ -1,0 +1,191 @@
+"""The tracer itself: ring, nesting, adoption, hooks, validation.
+
+Everything here is pure :mod:`repro.obs.trace` — no instrumented
+subsystem runs, so these tests pin the recorder's own contract:
+record shapes, eviction, orphan-closing, id remapping on adoption,
+and the disabled-path hooks being true no-ops.
+"""
+
+import pytest
+
+from repro.obs import trace as trace_mod
+from repro.obs.trace import Tracer, validate_jsonl, validate_records
+
+
+class StepClock:
+    """A deterministic clock: every read advances by one."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestTracer:
+    def test_ring_evicts_oldest_first(self):
+        tracer = Tracer(ring=4)
+        for index in range(10):
+            tracer.event(f"e{index}", {})
+        assert len(tracer.records) == 4
+        assert [r["name"] for r in tracer.records] == \
+            ["e6", "e7", "e8", "e9"]
+
+    def test_ring_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(ring=0)
+
+    def test_span_nesting_and_event_attachment(self):
+        tracer = Tracer(clock=StepClock())
+        outer = tracer.begin_span("outer", {})
+        inner = tracer.begin_span("inner", {"depth": 2})
+        tracer.event("hit", {"k": 1})
+        tracer.end_span(inner)
+        tracer.event("after", {})
+        tracer.end_span(outer)
+        # Completed records appear innermost-first.
+        assert [(r["type"], r["name"]) for r in tracer.records] == \
+            [("event", "hit"), ("span", "inner"),
+             ("event", "after"), ("span", "outer")]
+        by_name = {r["name"]: r for r in tracer.records}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["hit"]["span"] == by_name["inner"]["id"]
+        assert by_name["after"]["span"] == by_name["outer"]["id"]
+        assert by_name["inner"]["t0"] < by_name["inner"]["t1"]
+        validate_records(tracer.records)
+
+    def test_end_span_closes_orphans_inside(self):
+        tracer = Tracer(clock=StepClock())
+        outer = tracer.begin_span("outer", {})
+        tracer.begin_span("inner", {})       # a return path skipped it
+        tracer.end_span(outer)
+        by_name = {r["name"]: r for r in tracer.records}
+        assert by_name["inner"]["t1"] == by_name["outer"]["t1"]
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        validate_records(tracer.records)
+
+    def test_close_ends_open_spans_and_sink(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(jsonl=path)
+        tracer.begin_span("open", {})
+        tracer.event("inside", {})
+        tracer.close()
+        assert validate_jsonl(path) == 2
+
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with Tracer(jsonl=path) as tracer:
+            with trace_mod.installed(tracer):
+                with trace_mod.span("work"):
+                    trace_mod.event("step", n=1)
+        assert validate_jsonl(path) == 2
+
+    def test_export_is_a_copy(self):
+        tracer = Tracer()
+        tracer.event("only", {})
+        exported = tracer.export()
+        exported[0]["name"] = "mutated"
+        assert tracer.records[0]["name"] == "only"
+
+    def test_adopt_remaps_ids_under_current_span(self):
+        worker = Tracer()
+        unit = worker.begin_span("unit", {"index": 0})
+        worker.event("inside", {})
+        worker.end_span(unit)
+        parent = Tracer()
+        top = parent.begin_span("map", {})
+        parent.adopt(worker.export())
+        parent.end_span(top)
+        by_name = {r["name"]: r for r in parent.records}
+        assert by_name["unit"]["parent"] == by_name["map"]["id"]
+        assert by_name["inside"]["span"] == by_name["unit"]["id"]
+        # Adopted ids landed in the parent's id space, no collisions.
+        validate_records(parent.records)
+
+    def test_adopting_two_workers_yields_unique_ids(self):
+        exports = []
+        for index in range(2):
+            worker = Tracer()
+            span = worker.begin_span("unit", {"index": index})
+            worker.event("inside", {})
+            worker.end_span(span)
+            exports.append(worker.export())
+        parent = Tracer()
+        for export in exports:
+            parent.adopt(export)
+        validate_records(parent.records)
+        indices = [r["attrs"]["index"] for r in parent.records
+                   if r["name"] == "unit"]
+        assert indices == [0, 1]
+
+
+class TestHooks:
+    def test_disabled_hooks_are_noops(self):
+        assert not trace_mod.enabled()
+        assert trace_mod.active_tracer() is None
+        with trace_mod.span("nothing", k=1) as opened:
+            assert opened is None
+        trace_mod.event("nothing", k=1)      # must not raise
+
+    def test_installed_hooks_record_and_restore(self):
+        tracer = Tracer()
+        with trace_mod.installed(tracer):
+            assert trace_mod.enabled()
+            assert trace_mod.active_tracer() is tracer
+            with trace_mod.span("outer", name="x"):
+                trace_mod.event("ping", name="y", value=3)
+        assert not trace_mod.enabled()
+        assert [r["name"] for r in tracer.records] == ["ping", "outer"]
+        # ``name`` stays usable as an attribute key (the hook's own
+        # positional parameter is underscore-prefixed for this).
+        assert tracer.records[0]["attrs"] == {"name": "y", "value": 3}
+        assert tracer.records[1]["attrs"] == {"name": "x"}
+
+    def test_install_returns_previous(self):
+        first, second = Tracer(), Tracer()
+        assert trace_mod.install(first) is None
+        assert trace_mod.install(second) is first
+        assert trace_mod.install(None) is second
+        assert not trace_mod.enabled()
+
+
+class TestValidation:
+    @staticmethod
+    def _one_event():
+        return {"type": "event", "id": 0, "span": None, "name": "e",
+                "t": 0.0, "attrs": {}}
+
+    def test_accepts_a_complete_trace(self):
+        tracer = Tracer()
+        with trace_mod.installed(tracer):
+            with trace_mod.span("a"):
+                trace_mod.event("b")
+        assert validate_records(tracer.records) == 2
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            validate_records([{"type": "mystery", "id": 0}])
+
+    def test_rejects_wrong_keys(self):
+        record = self._one_event()
+        del record["t"]
+        with pytest.raises(ValueError, match="keys"):
+            validate_records([record])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="reuses id"):
+            validate_records([self._one_event(), self._one_event()])
+
+    def test_rejects_dangling_references(self):
+        record = self._one_event()
+        record["span"] = 99
+        with pytest.raises(ValueError, match="names no span"):
+            validate_records([record])
+
+    def test_rejects_invalid_jsonl(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            validate_jsonl(str(path))

@@ -1,0 +1,101 @@
+"""``CheckReport.solver_stats`` and ``degradations`` across the matrix.
+
+Every cell of (engine in the degradation chain) × (fast path on/off)
+must produce a report whose ``solver_stats`` carries the full counter
+set and whose ``degradations`` record exactly the fallbacks taken —
+the observability fields are part of the verdict contract, not
+best-effort decoration.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.hyperenclave.constants import TINY
+from repro.hyperenclave.mir_model import build_model
+from repro.verification.harness import (
+    ENGINE_EXHAUSTIVE,
+    ENGINE_SAMPLING,
+    ENGINE_SYMBOLIC,
+    check_pure_hardened,
+)
+
+SOLVER_KEYS = {
+    "candidates_examined", "models_enumerated", "domains_pruned",
+    "check_sat_calls", "check_sat_memo_hits",
+    "must_hold_calls", "must_hold_memo_hits",
+}
+
+MODES = {"naive": fastpath.disabled, "fast": fastpath.forced}
+
+
+@pytest.fixture(scope="module")
+def mode_models():
+    """One corpus model per fast-path mode (compiled dispatch is chosen
+    at construction time, so each mode gets its own)."""
+    models = {}
+    for mode, switch in MODES.items():
+        with switch():
+            models[mode] = build_model(TINY)
+    return models
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+class TestDegradationMatrix:
+    def test_symbolic_happy_path(self, mode, mode_models):
+        with MODES[mode]():
+            report = check_pure_hardened(mode_models[mode], "pte_new")
+        assert report.ok, report.failures
+        assert report.engine == ENGINE_SYMBOLIC
+        assert report.degradations == []
+        assert set(report.solver_stats) == SOLVER_KEYS
+        assert report.solver_stats["models_enumerated"] > 0
+
+    def test_exhaustive_fallback_records_one_degradation(self, mode,
+                                                         mode_models):
+        with MODES[mode]():
+            report = check_pure_hardened(mode_models[mode], "level_span",
+                                         max_steps=16, sample_count=16)
+        assert report.engine == ENGINE_EXHAUSTIVE
+        assert len(report.degradations) == 1
+        assert report.degradations[0].startswith(ENGINE_SYMBOLIC)
+        assert report.ok and report.completed
+        assert set(report.solver_stats) == SOLVER_KEYS
+
+    def test_sampling_fallback_names_every_skipped_engine(self, mode,
+                                                          mode_models):
+        with MODES[mode]():
+            report = check_pure_hardened(mode_models[mode], "pte_new",
+                                         max_steps=40, max_exhaustive=1,
+                                         sample_count=8)
+        assert report.engine == ENGINE_SAMPLING
+        assert any(d.startswith(ENGINE_SYMBOLIC)
+                   for d in report.degradations)
+        assert any(ENGINE_EXHAUSTIVE in d and "domain too large" in d
+                   for d in report.degradations)
+        assert set(report.solver_stats) == SOLVER_KEYS
+
+    def test_repeat_check_reports_identical_stats(self, mode,
+                                                  mode_models):
+        """``solver_stats`` is a per-check delta, so the same check
+        repeated must report the same counters — not an accumulation,
+        and not warped by whatever ran before it."""
+        with MODES[mode]():
+            first = check_pure_hardened(mode_models[mode], "pte_new")
+            second = check_pure_hardened(mode_models[mode], "pte_new")
+        assert first.solver_stats == second.solver_stats
+
+
+def test_engine_choice_agrees_across_modes(mode_models):
+    """The fast path may not change which engine a budget lands on."""
+    grids = [("pte_new", {}),
+             ("level_span", dict(max_steps=16, sample_count=16)),
+             ("pte_new", dict(max_steps=40, max_exhaustive=1,
+                              sample_count=8))]
+    for name, kwargs in grids:
+        engines = set()
+        for mode, switch in MODES.items():
+            with switch():
+                report = check_pure_hardened(mode_models[mode], name,
+                                             **kwargs)
+            engines.add(report.engine)
+        assert len(engines) == 1, (name, kwargs, engines)
