@@ -8,8 +8,16 @@ fails, so it doubles as a smoke gate.
 ``python -m repro replay <bundle.json>`` instead replays a
 counterexample provenance bundle (see :mod:`repro.obs.provenance`)
 and exits zero iff the recorded violation reproduces.
+
+``python -m repro campaign --store DIR`` runs a durable interleaving
+campaign (crash-safe checkpoints + cross-run memo store, see
+:mod:`repro.service`), and ``python -m repro resume DIR`` continues an
+interrupted one.  Both exit 0 on a clean sweep, 1 when violations were
+found, 2 on a store/usage error — and 130 on Ctrl-C, *after* flushing
+a resumable checkpoint.
 """
 
+import argparse
 import sys
 import time
 
@@ -67,16 +75,100 @@ def replay_main(argv):
     return 0 if outcome.matched else 1
 
 
+#: Exit code for an interrupted-but-checkpointed campaign (the shell
+#: convention for SIGINT: 128 + 2).
+EXIT_INTERRUPTED = 130
+
+
+def _campaign_verdict(store_dir, result) -> int:
+    """Print a durable campaign's outcome; 0 clean, 1 violations."""
+    print(result.summary())
+    print(f"store: {store_dir} (resume with "
+          f"'python -m repro resume {store_dir}')")
+    return 0 if result.ok else 1
+
+
+def campaign_main(argv):
+    """``python -m repro campaign`` — run a durable interleaving
+    campaign with crash-safe checkpoints in ``--store``."""
+    from repro.service import CampaignSpec, run_durable_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="durable interleaving campaign (checkpointed, "
+                    "resumable, warm-memoised)")
+    parser.add_argument("--store", required=True,
+                        help="campaign store directory (checkpoint + "
+                             "memo log)")
+    parser.add_argument("--preemption-bound", type=int, default=2)
+    parser.add_argument("--max-schedules", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--monitor", default=None,
+                        help="monitor class as module:qualname "
+                             "(default RustMonitor)")
+    parser.add_argument("--no-ni", action="store_true",
+                        help="skip the per-schedule noninterference "
+                             "re-run")
+    parser.add_argument("--workers", type=int, default=None)
+    options = parser.parse_args(argv)
+    spec = CampaignSpec(monitor=options.monitor, seed=options.seed,
+                        preemption_bound=options.preemption_bound,
+                        max_schedules=options.max_schedules,
+                        check_ni=not options.no_ni)
+    try:
+        result = run_durable_campaign(spec, options.store,
+                                      workers=options.workers)
+    except KeyboardInterrupt:
+        print(f"\ninterrupted — checkpoint flushed to {options.store}; "
+              f"resume with 'python -m repro resume {options.store}'",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    return _campaign_verdict(options.store, result)
+
+
+def resume_main(argv):
+    """``python -m repro resume <store>`` — continue an interrupted
+    durable campaign from its checkpoint."""
+    from repro.errors import CorruptArtifact
+    from repro.service import resume_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro resume",
+        description="resume a durable campaign from its store")
+    parser.add_argument("store", help="campaign store directory")
+    parser.add_argument("--workers", type=int, default=None)
+    options = parser.parse_args(argv)
+    try:
+        result = resume_campaign(options.store, workers=options.workers)
+    except FileNotFoundError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    except CorruptArtifact as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(f"\ninterrupted — checkpoint flushed to {options.store}; "
+              f"resume again with 'python -m repro resume "
+              f"{options.store}'", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    return _campaign_verdict(options.store, result)
+
+
 def main(argv=None):
     """Run every check and print the consolidated report.
 
-    ``argv`` (default ``sys.argv[1:]``) may select the ``replay``
-    subcommand; with no arguments the full report runs.
+    ``argv`` (default ``sys.argv[1:]``) may select the ``replay``,
+    ``campaign``, or ``resume`` subcommand; with no arguments the full
+    report runs.
     """
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "replay":
         return replay_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
+    if argv and argv[0] == "resume":
+        return resume_main(argv[1:])
 
     failures = []
     started = time.perf_counter()

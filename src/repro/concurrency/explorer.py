@@ -167,6 +167,105 @@ def explore(run_schedule: Callable[[Schedule], RunResult], *,
     return outcome
 
 
+@dataclass
+class FrontierState:
+    """The picklable bookkeeping of a bounded-preemption BFS in flight.
+
+    Everything the wavefront loop mutates lives here — executed runs,
+    violations, the FIFO frontier, and the child-dedup prefix set — so
+    a durable orchestrator can checkpoint the exploration between waves
+    and resume it in another process: :meth:`take_wave` pops the next
+    wavefront, :meth:`absorb` replays the exact append/dedup/branch
+    bookkeeping of :func:`explore_batched` (which is itself built on
+    this class, so resumed-equals-uninterrupted is structural, not
+    re-implemented).
+    """
+
+    preemption_bound: int
+    max_schedules: int
+    seed: int = 0
+    crash: Optional[Tuple[int, int]] = None
+    runs: List[Tuple[Schedule, RunResult]] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    truncated: bool = False
+    frontier: deque = field(default_factory=deque)
+    seen_prefixes: set = field(default_factory=set)
+
+    @classmethod
+    def start(cls, *, seed: int = 0, preemption_bound: int = 2,
+              max_schedules: int = 512,
+              crash: Optional[Tuple[int, int]] = None) -> "FrontierState":
+        """A fresh exploration: the empty schedule on the frontier."""
+        state = cls(preemption_bound=preemption_bound,
+                    max_schedules=max_schedules, seed=seed, crash=crash)
+        state.frontier.append(Schedule(seed=seed, crash=crash))
+        return state
+
+    @property
+    def done(self) -> bool:
+        return self.truncated or not self.frontier
+
+    def take_wave(self) -> List[Schedule]:
+        """Pop the next wavefront (empty when the exploration is done).
+
+        Marks the exploration truncated — without popping — when the
+        run cap is already met, exactly where the sequential loop's
+        truncation check sits.
+        """
+        if not self.frontier:
+            return []
+        if len(self.runs) >= self.max_schedules:
+            self.truncated = True
+            return []
+        return [self.frontier.popleft()
+                for _ in range(min(len(self.frontier),
+                                   self.max_schedules - len(self.runs)))]
+
+    def absorb(self, wave: List[Schedule], outputs) -> None:
+        """Fold one executed wave back in, enqueueing its children.
+
+        ``outputs`` aligns with ``wave``: ``(result, findings)`` per
+        schedule, findings being the extra ``(kind, detail)`` items a
+        ``check`` hook would have produced.
+        """
+        for schedule, (result, findings) in zip(wave, outputs):
+            self.runs.append((schedule, result))
+            known = len(self.violations)
+            self.violations.extend(result_violations(schedule, result))
+            self.violations.extend(
+                Violation(schedule, kind, detail)
+                for kind, detail in findings)
+            _note_schedule(schedule, self.violations[known:])
+            if len(schedule.preemptions) >= self.preemption_bound:
+                continue
+            last = (schedule.preemptions[-1][0]
+                    if schedule.preemptions else -1)
+            for decision in result.decisions:
+                if decision.index <= last:
+                    continue
+                if decision.chosen_kind not in BRANCH_KINDS:
+                    continue
+                for vid in decision.enabled:
+                    if vid == decision.chosen:
+                        continue
+                    prefix = result.trace[:decision.index] + (vid,)
+                    if prefix in self.seen_prefixes:
+                        continue
+                    self.seen_prefixes.add(prefix)
+                    self.frontier.append(Schedule(
+                        seed=self.seed,
+                        preemptions=schedule.preemptions
+                        + ((decision.index, vid),),
+                        crash=schedule.crash))
+
+    def result(self) -> ExplorationResult:
+        return ExplorationResult(preemption_bound=self.preemption_bound,
+                                 max_schedules=self.max_schedules,
+                                 runs=self.runs,
+                                 violations=self.violations,
+                                 truncated=self.truncated)
+
+
 def explore_batched(run_batch, *,
                     seed: int = 0,
                     preemption_bound: int = 2,
@@ -186,49 +285,18 @@ def explore_batched(run_batch, *,
     frontier before reaching any child generated along the way — which
     is exactly a wavefront.  Runs execute out of order in workers, but
     run results are pure functions of their schedules, and the
-    append/dedup/branch bookkeeping below replays in frontier order.
+    :class:`FrontierState` append/dedup/branch bookkeeping replays in
+    frontier order.
     """
-    outcome = ExplorationResult(preemption_bound=preemption_bound,
-                                max_schedules=max_schedules)
-    frontier = deque([Schedule(seed=seed, crash=crash)])
-    seen_prefixes = set()
-    while frontier:
-        if len(outcome.runs) >= max_schedules:
-            outcome.truncated = True
+    state = FrontierState.start(seed=seed,
+                                preemption_bound=preemption_bound,
+                                max_schedules=max_schedules, crash=crash)
+    while True:
+        wave = state.take_wave()
+        if not wave:
             break
-        wave = [frontier.popleft()
-                for _ in range(min(len(frontier),
-                                   max_schedules - len(outcome.runs)))]
-        for schedule, (result, findings) in zip(wave, run_batch(wave)):
-            outcome.runs.append((schedule, result))
-            known = len(outcome.violations)
-            outcome.violations.extend(result_violations(schedule, result))
-            outcome.violations.extend(
-                Violation(schedule, kind, detail)
-                for kind, detail in findings)
-            _note_schedule(schedule, outcome.violations[known:])
-            if len(schedule.preemptions) >= preemption_bound:
-                continue
-            last = (schedule.preemptions[-1][0]
-                    if schedule.preemptions else -1)
-            for decision in result.decisions:
-                if decision.index <= last:
-                    continue
-                if decision.chosen_kind not in BRANCH_KINDS:
-                    continue
-                for vid in decision.enabled:
-                    if vid == decision.chosen:
-                        continue
-                    prefix = result.trace[:decision.index] + (vid,)
-                    if prefix in seen_prefixes:
-                        continue
-                    seen_prefixes.add(prefix)
-                    frontier.append(Schedule(
-                        seed=seed,
-                        preemptions=schedule.preemptions
-                        + ((decision.index, vid),),
-                        crash=schedule.crash))
-    return outcome
+        state.absorb(wave, run_batch(wave))
+    return state.result()
 
 
 def replay(run_schedule, schedule) -> RunResult:

@@ -90,7 +90,8 @@ def stable_shard(key: str, shards: int) -> int:
 def _run_shard(fn_path: str, pairs):
     """Worker task: run one shard's ``(index, unit)`` pairs in order.
 
-    Returns ``(results, memo_stats, metrics_delta, unit_traces)``:
+    Returns ``(results, memo_stats, metrics_delta, unit_traces,
+    memo_journal)``:
 
     * ``metrics_delta`` — the worker registry's counter delta over the
       shard (how solver work done in workers reaches the parent; with
@@ -102,7 +103,11 @@ def _run_shard(fn_path: str, pairs):
       per-unit tracer (the inherited tracer is detached first: its
       JSONL sink descriptor is shared with the parent across the fork,
       and per-unit recording is what makes the assembled trace a pure
-      function of the unit list rather than of shard layout).
+      function of the unit list rather than of shard layout);
+    * ``memo_journal`` — the ``(table, key, value)`` entries this
+      shard's misses added to the worker memo, when journalling was
+      enabled at fork time (the durable orchestrator persists them;
+      empty otherwise).
     """
     from repro.engine import workers as worker_module
     from repro.obs import trace as trace_mod
@@ -128,7 +133,8 @@ def _run_shard(fn_path: str, pairs):
     finally:
         trace_mod.install(inherited)
     return (results, worker_module.MEMO.stats_since(baseline),
-            REGISTRY.delta(metrics_before), traces)
+            REGISTRY.delta(metrics_before), traces,
+            worker_module.MEMO.drain_journal())
 
 
 def _adopt_unit_traces(traces):
@@ -149,6 +155,7 @@ class ShardedExecutor:
     def __init__(self, workers: Optional[int] = None):
         self.workers = resolve_workers(workers)
         self.stats = {}           # aggregated worker CheckMemo counters
+        self.memo_journal = []    # (table, key, value) from worker misses
         self._pool = None
 
     def __enter__(self):
@@ -162,6 +169,28 @@ class ShardedExecutor:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def terminate(self):
+        """Kill worker processes *now* (the Ctrl-C / abort path).
+
+        ``ProcessPoolExecutor.shutdown`` waits for queued work; on a
+        ``KeyboardInterrupt`` that would leave orphaned children
+        grinding on after the user asked to stop.  This kills the pool
+        processes directly (they hold no state worth draining — every
+        unit is a pure function of its seeds) and discards the pool, so
+        the executor can be reused afterwards.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # The pool's process table is private API, but it is the only
+        # handle on the children; killing via it beats leaking them.
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except (OSError, ValueError, AttributeError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -198,9 +227,10 @@ class ShardedExecutor:
                 # In-process: unit code already wrote to this process's
                 # registry, so the returned metrics delta is discarded
                 # (merging it would double-count).
-                results, stats, _metrics, traces = _run_shard(
+                results, stats, _metrics, traces, journal = _run_shard(
                     fn_path, list(enumerate(units)))
                 merge_stats(self.stats, stats)
+                self.memo_journal.extend(journal)
                 _adopt_unit_traces(traces)
                 return [value for _index, value in results]
             shards = [[] for _ in range(shard_count)]
@@ -212,12 +242,27 @@ class ShardedExecutor:
                        for shard in shards if shard]
             merged = [None] * len(units)
             unit_traces = []
-            for future in futures:
-                results, stats, metrics, traces = future.result()
-                merge_stats(self.stats, stats)
-                REGISTRY.merge(metrics)
-                unit_traces.extend(traces)
-                for index, value in results:
-                    merged[index] = value
+            try:
+                for future in futures:
+                    results, stats, metrics, traces, journal = \
+                        future.result()
+                    merge_stats(self.stats, stats)
+                    REGISTRY.merge(metrics)
+                    self.memo_journal.extend(journal)
+                    unit_traces.extend(traces)
+                    for index, value in results:
+                        merged[index] = value
+            except KeyboardInterrupt:
+                # Kill the children instead of leaking them behind a
+                # half-written campaign; the caller (orchestrator/CLI)
+                # flushes its checkpoint and exits with its distinct
+                # interrupted code.
+                self.terminate()
+                raise
             _adopt_unit_traces(unit_traces)
             return merged
+
+    def drain_memo_journal(self):
+        """Take and clear the journalled worker memo entries."""
+        drained, self.memo_journal = self.memo_journal, []
+        return drained

@@ -56,7 +56,18 @@ VCPU_DEPS: Tuple[str, ...] = ("cpus", "enclaves", "phys")
 
 
 class CheckMemo:
-    """Per-process cache for the three per-state checkers."""
+    """Per-process cache for the three per-state checkers.
+
+    With :meth:`enable_journal` every *miss* also appends a
+    ``(table, key, value)`` entry to an in-memory journal (tables:
+    ``invariants:<family>``, ``vcpu``, ``observation``).  The sharded
+    executor drains the journal with each shard's results, and the
+    durable orchestrator persists the drained entries to its
+    :class:`~repro.service.store.MemoStore` — which :meth:`preload`s
+    them back into a fresh memo on the next run, turning repeat
+    campaigns into mostly cache hits.  Journaling is off by default
+    (one ``is None`` test per miss when off).
+    """
 
     def __init__(self):
         self._families: Dict[str, Dict[Tuple, List[str]]] = {
@@ -65,6 +76,47 @@ class CheckMemo:
         self._obs: Dict[Tuple, Tuple[str, ...]] = {}
         self.counters = {"invariants": [0, 0], "vcpu": [0, 0],
                          "observation": [0, 0]}       # [hits, misses]
+        self.journal = None          # list of (table, key, value) or None
+
+    # -- persistence bridging -----------------------------------------------
+
+    def enable_journal(self):
+        """Start journalling new entries (idempotent)."""
+        if self.journal is None:
+            self.journal = []
+
+    def drain_journal(self) -> List[Tuple[str, Tuple, object]]:
+        """Take and clear the journalled entries (empty when disabled)."""
+        if not self.journal:
+            return []
+        drained, self.journal = self.journal, []
+        return drained
+
+    def _note(self, table: str, key: Tuple, value):
+        if self.journal is not None:
+            self.journal.append((table, key, value))
+
+    def preload(self, entries) -> int:
+        """Install persisted ``(table, key, value)`` entries; returns
+        how many were accepted (unknown tables are skipped — a store
+        written by a newer engine warms what it can)."""
+        loaded = 0
+        for table, key, value in entries:
+            key = tuple(key)
+            if table.startswith("invariants:"):
+                family = table.partition(":")[2]
+                cache = self._families.get(family)
+                if cache is None:
+                    continue
+                cache[key] = list(value)
+            elif table == "vcpu":
+                self._vcpu[key] = tuple(value)
+            elif table == "observation":
+                self._obs[key] = tuple(value)
+            else:
+                continue
+            loaded += 1
+        return loaded
 
     # -- invariant families -------------------------------------------------------
 
@@ -87,6 +139,7 @@ class CheckMemo:
                 self.counters["invariants"][1] += 1
                 found = checker(monitor)
                 cache[key] = list(found)
+                self._note(f"invariants:{name}", key, list(found))
                 report.violations[name] = found
         _trace.event("memo", checker="invariants", hits=hits,
                      misses=misses)
@@ -106,6 +159,7 @@ class CheckMemo:
         _trace.event("memo", checker="vcpu", hits=0, misses=1)
         found = check_vcpu_consistency(monitor)
         self._vcpu[key] = tuple(found)
+        self._note("vcpu", key, tuple(found))
         return found
 
     # -- observation diffs ---------------------------------------------------------
@@ -133,6 +187,7 @@ class CheckMemo:
         with state_a.monitor.on_cpu(vid), state_b.monitor.on_cpu(vid):
             diff = observation_diff(state_a, state_b, observer)
         self._obs[key] = diff
+        self._note("observation", key, diff)
         return diff
 
     # -- stats ---------------------------------------------------------------------

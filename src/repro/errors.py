@@ -49,6 +49,73 @@ class ConfigError(ReproError):
         self.reason = reason
 
 
+class CorruptArtifact(ReproError, ValueError):
+    """A persisted artifact (checkpoint, trace, bundle, memo log) is torn.
+
+    Raised when loading a file whose framing or checksum does not
+    survive validation — a truncated JSON bundle, a JSONL trace cut
+    mid-line, a checkpoint whose CRC does not match.  Carries the path
+    and what exactly failed, so the message says *which* artifact to
+    delete or regenerate instead of surfacing a bare
+    ``JSONDecodeError`` from deep inside a loader.
+
+    Derives from :class:`ValueError` as well, so pre-existing callers
+    that treated "cannot parse this file" as a ``ValueError`` keep
+    working unchanged.
+    """
+
+    _CTOR_ATTRS = ("path", "reason")
+
+    def __init__(self, path, reason):
+        super().__init__(f"corrupt artifact {path!r}: {reason}")
+        self.path = path
+        self.reason = reason
+
+    def __str__(self):
+        return self.args[0]
+
+
+class CheckpointMismatch(ReproError):
+    """A checkpoint was offered to a campaign it does not belong to.
+
+    Every checkpoint is keyed by the blake2b digest of its campaign
+    spec; resuming with different parameters would silently splice two
+    unrelated explorations, so the loader refuses with both digests.
+    """
+
+    _CTOR_ATTRS = ("path", "expected", "found")
+
+    def __init__(self, path, expected, found):
+        super().__init__(
+            f"checkpoint {path!r} belongs to campaign {found}, not "
+            f"{expected} — resume with the original parameters or "
+            f"start a fresh store")
+        self.path = path
+        self.expected = expected
+        self.found = found
+
+
+class ShardQuarantined(ReproError):
+    """A shard failed repeatedly and was quarantined, not retried forever.
+
+    The resilient executor retries a failing shard with backoff; after
+    ``attempts`` failures it records this typed result for each of the
+    shard's units instead of sinking the whole campaign.  ``cause``
+    is the stringified final failure (the exception itself may not
+    pickle, so only its rendering travels).
+    """
+
+    _CTOR_ATTRS = ("shard", "attempts", "cause")
+
+    def __init__(self, shard, attempts, cause):
+        super().__init__(
+            f"shard {shard} quarantined after {attempts} failed "
+            f"attempt(s): {cause}")
+        self.shard = shard
+        self.attempts = attempts
+        self.cause = cause
+
+
 # ---------------------------------------------------------------------------
 # MIR semantics errors
 # ---------------------------------------------------------------------------

@@ -37,6 +37,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import CorruptArtifact
 from repro.obs import trace as trace_mod
 
 SCHEMA_VERSION = 1
@@ -80,15 +81,28 @@ class ProvenanceBundle:
         return cls(**payload)
 
     def save(self, path: str) -> str:
-        """Write the bundle to ``path`` as JSON; returns the path."""
-        with open(path, "w") as fh:
-            fh.write(self.to_json() + "\n")
-        return path
+        """Write the bundle to ``path`` as JSON; returns the path.
+
+        The write is atomic (temp + fsync + rename): a crash mid-save
+        cannot leave a truncated bundle where a replayable one stood.
+        """
+        from repro.service.store import atomic_write_text
+        return atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: str) -> "ProvenanceBundle":
+        """Load a bundle; a truncated or non-JSON file raises
+        :class:`~repro.errors.CorruptArtifact` naming the damage (a
+        schema-valid JSON object with wrong fields stays a plain
+        ``ValueError`` — that is a foreign document, not a torn one)."""
         with open(path) as fh:
-            return cls.from_json(fh.read())
+            text = fh.read()
+        try:
+            return cls.from_json(text)
+        except json.JSONDecodeError as exc:
+            raise CorruptArtifact(
+                path, f"bundle is not valid JSON "
+                      f"(truncated write?): {exc}") from None
 
 
 @dataclass

@@ -35,6 +35,8 @@ deterministic part of a trace.
 """
 
 import json
+import os
+import tempfile
 import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional
@@ -57,6 +59,12 @@ class Tracer:
     ``jsonl`` names a file every completed record is appended to as one
     JSON line.  A tracer is cheap enough to leave installed for a whole
     campaign: record construction is a dict literal and an append.
+
+    The sink is written to a temp file in the target directory and
+    renamed over ``jsonl`` (fsynced) only on :meth:`close` — a crashed
+    campaign leaves the previous complete trace (or no file) at the
+    path, never a torn one, and readers polling the path cannot observe
+    a half-written line.
     """
 
     def __init__(self, ring: int = 65536, jsonl: Optional[str] = None,
@@ -70,8 +78,13 @@ class Tracer:
         self._stack: List[Dict] = []      # open spans, innermost last
         self._jsonl_path = jsonl
         self._sink = None
+        self._sink_temp = None
         if jsonl is not None:
-            self._sink = open(jsonl, "w")
+            directory = os.path.dirname(os.path.abspath(jsonl))
+            fd, self._sink_temp = tempfile.mkstemp(
+                dir=directory, prefix=os.path.basename(jsonl) + ".",
+                suffix=".tmp")
+            self._sink = os.fdopen(fd, "w")
 
     # -- record plumbing ----------------------------------------------------
 
@@ -150,15 +163,26 @@ class Tracer:
             self._emit(adopted)
 
     def close(self):
-        """End any open spans and close the JSONL sink."""
+        """End any open spans and publish the JSONL sink atomically."""
         now = self._clock()
         while self._stack:
             open_span = self._stack.pop()
             open_span["t1"] = now
             self._emit(open_span)
         if self._sink is not None:
-            self._sink.close()
-            self._sink = None
+            sink, self._sink = self._sink, None
+            temp, self._sink_temp = self._sink_temp, None
+            try:
+                sink.flush()
+                os.fsync(sink.fileno())
+                sink.close()
+                os.replace(temp, self._jsonl_path)
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
 
     def __enter__(self):
         return self

@@ -1,0 +1,117 @@
+"""Campaign checkpoints: whole-state snapshots a ``kill -9`` cannot tear.
+
+A checkpoint is one file — magic, CRC32, then a pickle of the
+campaign's replayable state — written with
+:func:`~repro.service.store.atomic_write`, so at any instant the path
+holds either the previous complete checkpoint or the new complete one.
+Loading verifies the frame and raises
+:class:`~repro.errors.CorruptArtifact` with the precise failure when
+the file is not a checkpoint (the orchestrator's cold-start fallback
+catches exactly that type).
+
+Every checkpoint carries the blake2b digest of its
+:class:`~repro.service.orchestrator.CampaignSpec`; resuming with a
+different spec raises :class:`~repro.errors.CheckpointMismatch`
+instead of silently splicing two unrelated explorations.
+"""
+
+import hashlib
+import os
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import CheckpointMismatch, CorruptArtifact
+from repro.service.store import atomic_write
+
+CHECKPOINT_MAGIC = b"RSCP0001"
+
+
+def spec_digest(payload: Dict) -> str:
+    """The blake2b key of a campaign spec (a plain JSON-able dict).
+
+    Keys the checkpoint to *what is being checked*: same spec, same
+    digest, on any machine — the repr of a sorted item list is
+    canonical enough for the plain values specs carry.
+    """
+    canonical = repr(sorted(payload.items())).encode()
+    return hashlib.blake2b(canonical, digest_size=16).hexdigest()
+
+
+@dataclass
+class CampaignCheckpoint:
+    """One loadable snapshot of a campaign in flight (or finished)."""
+
+    spec: Dict                     # the CampaignSpec payload
+    state: object                  # kind-specific resumable progress
+    waves: int = 0                 # checkpoints written before this one
+    done: bool = False
+    stats: Dict = field(default_factory=dict)   # aggregated memo stats
+    version: int = 1
+
+    @property
+    def digest(self) -> str:
+        return spec_digest(self.spec)
+
+    # -- disk round-trip ----------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Atomically persist (temp + fsync + rename); returns ``path``."""
+        payload = pickle.dumps(
+            {"spec": self.spec, "state": self.state, "waves": self.waves,
+             "done": self.done, "stats": self.stats,
+             "version": self.version, "digest": self.digest},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        frame = CHECKPOINT_MAGIC \
+            + zlib.crc32(payload).to_bytes(4, "little") + payload
+        return atomic_write(path, frame)
+
+    @classmethod
+    def load(cls, path: str,
+             expected_digest: Optional[str] = None) -> "CampaignCheckpoint":
+        """Load and verify a checkpoint.
+
+        Raises :class:`~repro.errors.CorruptArtifact` on a torn or
+        foreign file and :class:`~repro.errors.CheckpointMismatch` when
+        ``expected_digest`` (the resuming campaign's spec digest) does
+        not match the one recorded at save time.
+        """
+        if not os.path.exists(path):
+            raise FileNotFoundError(path)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        if len(blob) < len(CHECKPOINT_MAGIC) + 4:
+            raise CorruptArtifact(
+                path, f"file too short ({len(blob)} bytes) to be a "
+                      f"checkpoint")
+        if not blob.startswith(CHECKPOINT_MAGIC):
+            raise CorruptArtifact(
+                path, f"bad magic {blob[:8]!r} (expected "
+                      f"{CHECKPOINT_MAGIC!r})")
+        crc = int.from_bytes(blob[len(CHECKPOINT_MAGIC):
+                                  len(CHECKPOINT_MAGIC) + 4], "little")
+        payload = blob[len(CHECKPOINT_MAGIC) + 4:]
+        if zlib.crc32(payload) != crc:
+            raise CorruptArtifact(
+                path, "payload CRC mismatch — the checkpoint is torn")
+        try:
+            record = pickle.loads(payload)
+        except Exception as exc:
+            raise CorruptArtifact(
+                path, f"payload does not unpickle: {exc}") from None
+        checkpoint = cls(spec=record["spec"], state=record["state"],
+                         waves=record.get("waves", 0),
+                         done=record.get("done", False),
+                         stats=record.get("stats", {}),
+                         version=record.get("version", 1))
+        recorded = record.get("digest")
+        if recorded is not None and recorded != checkpoint.digest:
+            raise CorruptArtifact(
+                path, f"spec digest {recorded} does not match the "
+                      f"spec stored alongside it ({checkpoint.digest})")
+        if expected_digest is not None \
+                and checkpoint.digest != expected_digest:
+            raise CheckpointMismatch(path, expected_digest,
+                                     checkpoint.digest)
+        return checkpoint

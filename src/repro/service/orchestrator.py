@@ -1,0 +1,432 @@
+"""The durable campaign orchestrator: checkpoint, crash, resume, warm.
+
+The run loop mirrors the paper's transactional hypercalls: state
+advances in atomic steps (one explored wavefront), each step commits
+via an atomic checkpoint, and a crash at *any* instant — between
+steps, mid-wave, mid-checkpoint-write — leaves the store at the last
+committed step.  ``python -m repro resume <store>`` then continues
+from that step, and because the wavefront bookkeeping is the very
+:class:`~repro.concurrency.explorer.FrontierState` the in-memory
+explorer runs on, the resumed campaign's
+:class:`~repro.concurrency.explorer.ExplorationResult` is
+repr-identical to an uninterrupted run (property-tested by killing at
+randomized checkpoints in ``tests/service/``).
+
+Cross-run warm reuse rides the same store: worker memo misses are
+journalled, shipped back with each shard, and appended to the
+:class:`~repro.service.store.MemoStore`; the next campaign preloads
+them into the parent's :class:`~repro.engine.memo.CheckMemo` *before*
+forking workers, so every worker inherits the warm tables and repeat
+campaigns become mostly cache hits (measured in
+``BENCH_checking.json``).  :func:`warm_pure_check_grid` does the same
+for whole hardened pure-check verdicts, keyed by
+:func:`~repro.verification.harness.pure_check_key`.
+
+Chaos hooks: ``REPRO_CHAOS_KILL_AFTER=<n>`` (or the
+``chaos_kill_after`` argument) SIGKILLs the process right after the
+n-th checkpoint commits — the crash-safety tests and the CI chaos job
+drive the orchestrator through real ``kill -9`` with it.
+"""
+
+import copy
+import os
+import signal
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.memo import merge_stats
+from repro.errors import CorruptArtifact, ShardQuarantined
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY
+from repro.service.checkpoint import CampaignCheckpoint, spec_digest
+from repro.service.store import MemoStore
+from repro.service.supervisor import ResilientExecutor
+
+CHECKPOINT_FILE = "checkpoint.bin"
+MEMO_FILE = "memo.log"
+
+#: Environment hook: SIGKILL self after this many checkpoint commits.
+CHAOS_ENV = "REPRO_CHAOS_KILL_AFTER"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What is being checked — the identity a checkpoint is keyed by."""
+
+    kind: str = "interleaving"
+    monitor: Optional[str] = None      # module:qualname, None = RustMonitor
+    seed: int = 0
+    preemption_bound: int = 2
+    max_schedules: int = 600
+    check_ni: bool = True
+    observers: Optional[Tuple[int, ...]] = None
+
+    def payload(self) -> Dict:
+        return {"kind": self.kind, "monitor": self.monitor,
+                "seed": self.seed,
+                "preemption_bound": self.preemption_bound,
+                "max_schedules": self.max_schedules,
+                "check_ni": self.check_ni,
+                "observers": list(self.observers)
+                if self.observers is not None else None}
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "CampaignSpec":
+        """Rebuild a spec from a checkpoint's stored payload dict."""
+        observers = payload.get("observers")
+        return cls(kind=payload.get("kind", "interleaving"),
+                   monitor=payload.get("monitor"),
+                   seed=payload.get("seed", 0),
+                   preemption_bound=payload.get("preemption_bound", 2),
+                   max_schedules=payload.get("max_schedules", 600),
+                   check_ni=payload.get("check_ni", True),
+                   observers=tuple(observers)
+                   if observers is not None else None)
+
+    def digest(self) -> str:
+        # payload() is the canonical form (observers as list-or-None),
+        # and the checkpoint digests the same payload — the two must
+        # agree or every resume would be a spec mismatch.
+        return spec_digest(self.payload())
+
+
+class CampaignStore:
+    """One campaign's durable home: checkpoint file + memo log."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.checkpoint_path = os.path.join(root, CHECKPOINT_FILE)
+        self.memo = MemoStore(os.path.join(root, MEMO_FILE))
+
+    def has_checkpoint(self) -> bool:
+        return os.path.exists(self.checkpoint_path)
+
+    def load_checkpoint(self, expected_digest: Optional[str] = None,
+                        strict: bool = False
+                        ) -> Optional[CampaignCheckpoint]:
+        """The stored checkpoint, or ``None`` for a cold start.
+
+        A *corrupt* checkpoint is a warning plus cold start (strict
+        off): refusing to run because last run's snapshot is damaged
+        would turn one lost file into a lost service.  A checkpoint for
+        a *different spec* always raises
+        :class:`~repro.errors.CheckpointMismatch` — that is a caller
+        error, not damage.
+        """
+        if not self.has_checkpoint():
+            return None
+        try:
+            return CampaignCheckpoint.load(self.checkpoint_path,
+                                           expected_digest)
+        except CorruptArtifact as exc:
+            if strict:
+                raise
+            warnings.warn(
+                f"ignoring corrupt checkpoint and cold-starting: {exc}",
+                RuntimeWarning, stacklevel=2)
+            REGISTRY.inc("service.corrupt_checkpoints")
+            return None
+
+    def save_checkpoint(self, checkpoint: CampaignCheckpoint) -> str:
+        """Atomically replace the checkpoint; metered and traced."""
+        started = time.perf_counter()
+        path = checkpoint.save(self.checkpoint_path)
+        elapsed = time.perf_counter() - started
+        REGISTRY.inc("service.checkpoints")
+        REGISTRY.observe("service.checkpoint_seconds", elapsed)
+        _trace.event("service.checkpoint", waves=checkpoint.waves,
+                     done=checkpoint.done,
+                     runs=len(getattr(checkpoint.state, "runs", ())),
+                     seconds=round(elapsed, 6))
+        return path
+
+    def close(self):
+        self.memo.close()
+
+
+def _coerce_store(store) -> CampaignStore:
+    return store if isinstance(store, CampaignStore) else \
+        CampaignStore(store)
+
+
+def _chaos_threshold(chaos_kill_after: Optional[int]) -> Optional[int]:
+    if chaos_kill_after is not None:
+        return chaos_kill_after
+    env = os.environ.get(CHAOS_ENV)
+    return int(env) if env else None
+
+
+def _maybe_chaos_kill(threshold: Optional[int], checkpoints_written: int,
+                      pool=None):
+    """The chaos hook: a real ``SIGKILL``, not an exception — nothing
+    downstream of the commit gets a chance to clean up, exactly like a
+    power cut.
+
+    The pool's worker processes are killed first: they hold no durable
+    state (the crash-safety property under test lives entirely in the
+    store), but they do inherit the parent's stdio, and orphaned
+    workers idling on an inherited pipe would wedge any harness that
+    waits for the killed campaign's output to reach EOF.
+    """
+    if threshold is None or checkpoints_written < threshold:
+        return
+    if pool is not None:
+        pool.terminate()
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _quarantine_output(schedule, error: ShardQuarantined):
+    """A quarantined unit as an absorbable (result, findings) pair.
+
+    The synthetic result has no decisions, so the explorer grows no
+    children from it; the quarantine itself surfaces as a typed
+    violation pinned to the schedule that was never checked.
+    """
+    from repro.concurrency.scheduler import RunResult
+    empty = RunResult(schedule=schedule, decisions=(), yields=(),
+                      trace=(), lock_violations=(),
+                      stale_translations=(), task_errors={}, parked=())
+    return empty, [("shard-quarantined", str(error))]
+
+
+def _hash_cons_outputs(outputs, cache: dict) -> None:
+    """Share value-equal scheduler events across a campaign's runs.
+
+    Worker shards ship their results through separate pickles, so two
+    runs that executed the same scheduling decision arrive holding
+    equal-but-distinct ``Decision``/``YieldPoint`` objects.  Re-keying
+    them through one campaign-lifetime cache lets every later
+    checkpoint pickle emit each unique event once (pickle's memo table
+    shares by identity, not value) — an order of magnitude off the
+    per-wave checkpoint's size and serialisation time, while the
+    result stays repr-identical by construction: the cache only ever
+    substitutes an equal value.
+    """
+    for result, _findings in outputs:
+        result.yields = tuple(cache.setdefault(y, y)
+                              for y in result.yields)
+        result.decisions = tuple(cache.setdefault(d, d)
+                                 for d in result.decisions)
+
+
+# ---------------------------------------------------------------------------
+# The durable interleaving campaign
+# ---------------------------------------------------------------------------
+
+
+def run_durable_campaign(spec: CampaignSpec, store, *,
+                         workers: Optional[int] = None,
+                         executor: Optional[ResilientExecutor] = None,
+                         chaos_kill_after: Optional[int] = None):
+    """Run (or continue) a crash-safe interleaving campaign.
+
+    Returns the campaign's
+    :class:`~repro.concurrency.explorer.ExplorationResult`; every
+    explored wavefront commits an atomic checkpoint plus the wave's
+    memo-journal entries before the next wave starts, so a ``kill -9``
+    at any instant loses at most one in-flight wave — which the next
+    :func:`resume_campaign` re-runs to the identical verdict.
+
+    ``executor`` (a pre-built :class:`ResilientExecutor`) is only
+    honoured for pool reuse across campaigns *sharing a store* — a
+    pool forked before this store's memo preload would run cold.
+    """
+    if spec.kind != "interleaving":
+        raise ValueError(f"unknown campaign kind {spec.kind!r} "
+                         f"(supported: 'interleaving')")
+    from repro.concurrency.explorer import FrontierState
+    from repro.engine import workers as worker_module
+    from repro.hyperenclave.monitor import HOST_ID
+
+    store = _coerce_store(store)
+    digest = spec.digest()
+    checkpoint = store.load_checkpoint(expected_digest=digest)
+    threshold = _chaos_threshold(chaos_kill_after)
+
+    if checkpoint is not None and checkpoint.done:
+        return checkpoint.state.result()
+
+    if checkpoint is not None:
+        state: FrontierState = checkpoint.state
+        base_stats = copy.deepcopy(checkpoint.stats)
+        waves = checkpoint.waves
+        REGISTRY.inc("service.resumes")
+        _trace.event("service.resume", waves=waves,
+                     runs=len(state.runs),
+                     frontier=len(state.frontier))
+    else:
+        state = FrontierState.start(seed=spec.seed,
+                                    preemption_bound=spec.preemption_bound,
+                                    max_schedules=spec.max_schedules)
+        base_stats = {}
+        waves = 0
+
+    # Warm start *before* the pool forks: preloaded entries and the
+    # journalling flag are inherited by every worker.
+    preloaded = store.memo.preload_memo(worker_module.MEMO)
+    worker_module.MEMO.enable_journal()
+    if preloaded:
+        REGISTRY.inc("service.memo_preloaded", preloaded)
+        _trace.event("service.memo-preload", entries=preloaded)
+
+    # Seed the event cache from any resumed runs so fresh waves share
+    # with the history, not just with each other.
+    cons_cache: dict = {}
+    _hash_cons_outputs(((result, ()) for _schedule, result in state.runs),
+                       cons_cache)
+
+    watchers = list(spec.observers) if spec.observers is not None \
+        else [HOST_ID]
+    pool = executor if executor is not None \
+        else ResilientExecutor(workers)
+    owns_pool = executor is None
+
+    def commit(done: bool) -> None:
+        nonlocal waves
+        appended = store.memo.extend(pool.drain_memo_journal())
+        if appended:
+            REGISTRY.inc("service.memo_persisted", appended)
+        waves += 1
+        stats = merge_stats(copy.deepcopy(base_stats), pool.stats)
+        store.save_checkpoint(CampaignCheckpoint(
+            spec=spec.payload(), state=state, waves=waves, done=done,
+            stats=stats))
+
+    with _trace.span("service.campaign", kind=spec.kind,
+                     seed=spec.seed, resumed=checkpoint is not None):
+        try:
+            finished = False
+            while True:
+                wave = state.take_wave()
+                if not wave:
+                    break
+                units = [{"schedule": schedule, "monitor": spec.monitor,
+                          "config": None, "check_ni": spec.check_ni,
+                          "observers": watchers}
+                         for schedule in wave]
+                try:
+                    merged = pool.map(
+                        "repro.engine.workers:run_interleaving_unit",
+                        units, keys=[s.describe() for s in wave])
+                except KeyboardInterrupt:
+                    # The wave never merged: put it back where it came
+                    # from and flush, so the checkpoint is the exact
+                    # pre-wave state.
+                    state.frontier.extendleft(reversed(wave))
+                    commit(done=False)
+                    raise
+                outputs = [
+                    _quarantine_output(schedule, value)
+                    if isinstance(value, ShardQuarantined) else value
+                    for schedule, value in zip(wave, merged)]
+                _hash_cons_outputs(outputs, cons_cache)
+                state.absorb(wave, outputs)
+                commit(done=state.done)
+                finished = state.done
+                _maybe_chaos_kill(threshold, waves - (checkpoint.waves
+                                                      if checkpoint else 0),
+                                  pool)
+            if not finished:
+                # The exploration ended inside take_wave (truncation,
+                # or an empty frontier on a resumed store): the last
+                # per-wave checkpoint predates that decision, so leave
+                # a final, done one behind.
+                commit(done=True)
+        finally:
+            if owns_pool:
+                pool.close()
+    return state.result()
+
+
+def resume_campaign(store, *, workers: Optional[int] = None,
+                    executor: Optional[ResilientExecutor] = None,
+                    chaos_kill_after: Optional[int] = None):
+    """Continue an interrupted campaign from its store.
+
+    The spec travels inside the checkpoint, so resuming needs only the
+    store path.  Raises :class:`FileNotFoundError` when the store has
+    no checkpoint and :class:`~repro.errors.CorruptArtifact` when the
+    checkpoint cannot be loaded (an explicit resume of a damaged store
+    should fail loudly; the *campaign* entry point is the one with the
+    cold-start fallback).
+    """
+    store = _coerce_store(store)
+    if not store.has_checkpoint():
+        raise FileNotFoundError(
+            f"no checkpoint at {store.checkpoint_path!r} — nothing to "
+            f"resume")
+    checkpoint = store.load_checkpoint(strict=True)
+    spec = CampaignSpec.from_payload(checkpoint.spec)
+    return run_durable_campaign(spec, store, workers=workers,
+                                executor=executor,
+                                chaos_kill_after=chaos_kill_after)
+
+
+# ---------------------------------------------------------------------------
+# Warm cross-run verdict reuse for the hardened pure-check grid
+# ---------------------------------------------------------------------------
+
+VERDICT_TABLE = "pure-verdict"
+
+
+def warm_pure_check_grid(names: Sequence[str], store, *,
+                         total_steps: Optional[int] = None, seed: int = 0,
+                         sample_count: int = 128,
+                         max_exhaustive: int = 4096, config=None,
+                         workers: Optional[int] = None,
+                         executor=None, stats_out=None) -> List:
+    """The parallel pure-check grid with a persistent verdict memo.
+
+    Deterministic check parameters (step budgets only — wall-clock
+    budgets are not reproducible, exactly the provenance-bundle rule)
+    key each :class:`~repro.ccal.refinement.CheckReport` by
+    :func:`~repro.verification.harness.pure_check_key`; verdicts found
+    in the store are returned without running anything, the rest run
+    through the sharded executor and are appended for the next
+    campaign.  Reports come back in ``names`` order either way.
+    """
+    from repro.engine.campaigns import _executor, _pure_check_units
+    from repro.verification.harness import pure_check_key
+
+    store = _coerce_store(store)
+    names = list(names)
+    units = _pure_check_units(names, total_steps=total_steps,
+                              total_seconds=None, seed=seed,
+                              sample_count=sample_count,
+                              max_exhaustive=max_exhaustive,
+                              config=config, fake_clock=True)
+    keys = [pure_check_key(unit["name"], max_steps=unit["max_steps"],
+                           seed=seed, sample_count=sample_count,
+                           max_exhaustive=max_exhaustive, config=config)
+            for unit in units]
+    cached = {key: value for table, key, value in store.memo.load()
+              if table == VERDICT_TABLE}
+    reports: List = [None] * len(units)
+    misses = [index for index, key in enumerate(keys)
+              if key not in cached]
+    hits = len(units) - len(misses)
+    if hits:
+        REGISTRY.inc("service.verdict_hits", hits)
+    for index, key in enumerate(keys):
+        if key in cached:
+            reports[index] = cached[key]
+    if misses:
+        REGISTRY.inc("service.verdict_misses", len(misses))
+        with _trace.span("service.pure-grid", names=len(units),
+                         misses=len(misses)), \
+                _executor(executor, workers) as pool:
+            fresh = pool.map("repro.engine.workers:run_pure_check_unit",
+                             [units[index] for index in misses],
+                             keys=[units[index]["name"]
+                                   for index in misses])
+            if stats_out is not None:
+                merge_stats(stats_out, pool.stats)
+        for index, report in zip(misses, fresh):
+            reports[index] = report
+        store.memo.extend(
+            (VERDICT_TABLE, keys[index], report)
+            for index, report in zip(misses, fresh))
+    return reports

@@ -1,0 +1,268 @@
+"""Durable state: atomic snapshots and a CRC-framed append-only log.
+
+Two persistence primitives cover everything the orchestrator needs,
+mirroring the two shapes of its state:
+
+* :func:`atomic_write` — whole-file snapshots (campaign checkpoints,
+  provenance bundles, finished traces).  The bytes land in a temp file
+  in the same directory, are fsynced, and are renamed over the target;
+  POSIX rename atomicity means a reader can only ever observe the old
+  complete file or the new complete file, never a torn one.
+* :class:`AppendLog` — incrementally grown state (the cross-run memo
+  tables).  Records are length-prefixed and CRC32-framed; a crash can
+  only tear the *final* record, and :meth:`AppendLog.replay` detects
+  that torn tail and recovers the intact prefix — whereas corruption
+  *inside* the prefix (bit rot, a concurrent writer) is not a crash
+  signature and raises :class:`~repro.errors.CorruptArtifact`.
+
+:class:`MemoStore` builds the cross-run fingerprint/verdict memo on
+top of the log: entries are ``(table, key, value)`` pickles keyed by
+the engine's existing blake2b fingerprints, appended as campaigns
+discover them and replayed to warm-start the next run.
+"""
+
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import CorruptArtifact
+
+#: Log file magic + format version; bumping the version invalidates
+#: old logs loudly instead of misparsing them.
+LOG_MAGIC = b"RSLG0001"
+
+_FRAME = struct.Struct("<II")      # payload length, CRC32(payload)
+
+
+def atomic_write(path: str, data: bytes) -> str:
+    """Write ``data`` to ``path`` via temp-file + fsync + rename.
+
+    The temp file lives in the target's directory (rename must not
+    cross filesystems to stay atomic) and is cleaned up on any
+    failure, so a crash mid-write leaves the previous ``path`` content
+    untouched and at worst a stray ``.tmp`` file.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(dir=directory,
+                                     prefix=os.path.basename(path) + ".",
+                                     suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """:func:`atomic_write` for str payloads (UTF-8)."""
+    return atomic_write(path, text.encode("utf-8"))
+
+
+class AppendLog:
+    """An append-only record log that survives ``kill -9`` mid-append.
+
+    Every record is framed ``<length><crc32><payload>``; appends are
+    flushed and fsynced before :meth:`append` returns, so an
+    acknowledged record is durable.  :meth:`replay` yields payloads in
+    append order, truncating a torn tail (the only damage a crash can
+    inflict on an append-only file) after verifying everything before
+    it — any *non*-tail damage raises
+    :class:`~repro.errors.CorruptArtifact`.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+
+    # -- writing ------------------------------------------------------------
+
+    def _ensure_open(self):
+        if self._fh is None:
+            fresh = not os.path.exists(self.path) \
+                or os.path.getsize(self.path) == 0
+            self._fh = open(self.path, "ab")
+            if fresh:
+                self._fh.write(LOG_MAGIC)
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+        return self._fh
+
+    def append(self, payload: bytes):
+        """Durably append one record (flushed + fsynced)."""
+        fh = self._ensure_open()
+        fh.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
+
+    # -- reading ------------------------------------------------------------
+
+    def replay(self) -> List[bytes]:
+        """All intact payloads, oldest first; recovers from a torn tail.
+
+        A short or checksum-failing *final* record is the signature of
+        a crash mid-append: the file is truncated back to the last
+        intact record (so the next append continues cleanly) and the
+        prefix is returned.  A bad record with valid data *after* it
+        cannot be crash damage and raises
+        :class:`~repro.errors.CorruptArtifact`.
+        """
+        if not os.path.exists(self.path):
+            return []
+        self.close()
+        payloads: List[bytes] = []
+        with open(self.path, "rb") as fh:
+            blob = fh.read()
+        if not blob:
+            return []
+        if not blob.startswith(LOG_MAGIC):
+            raise CorruptArtifact(
+                self.path,
+                f"bad magic {blob[:8]!r} (expected {LOG_MAGIC!r}) — "
+                f"not an append log, or written by a different version")
+        offset = len(LOG_MAGIC)
+        good_end = offset
+        torn = None                  # (reason, damaged-record end)
+        while offset < len(blob):
+            header = blob[offset:offset + _FRAME.size]
+            if len(header) < _FRAME.size:
+                torn = ("truncated record header", len(blob))
+                break
+            length, crc = _FRAME.unpack(header)
+            record_end = offset + _FRAME.size + length
+            payload = blob[offset + _FRAME.size:record_end]
+            if len(payload) < length:
+                torn = (f"truncated payload ({len(payload)} of "
+                        f"{length} bytes)", record_end)
+                break
+            if zlib.crc32(payload) != crc:
+                torn = ("payload CRC mismatch", record_end)
+                break
+            payloads.append(payload)
+            offset = good_end = record_end
+        if torn is not None:
+            reason, record_end = torn
+            if record_end < len(blob):
+                # Bytes *after* the damaged record: an interrupted
+                # append can only tear the final record, so damage
+                # followed by more data is not a crash signature —
+                # refuse rather than silently drop the unreachable
+                # records behind it.
+                raise CorruptArtifact(
+                    self.path,
+                    f"{reason} at offset {offset} with "
+                    f"{len(blob) - record_end} byte(s) of log beyond "
+                    f"it — mid-log corruption, not a torn tail")
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+        return payloads
+
+    def records(self) -> Iterable[bytes]:
+        """Alias of :meth:`replay` (iteration-friendly name)."""
+        return self.replay()
+
+
+# ---------------------------------------------------------------------------
+# The cross-run memo store
+# ---------------------------------------------------------------------------
+
+
+class MemoStore:
+    """Persistent fingerprint/verdict memo tables over an append log.
+
+    Entries are ``(table, key, value)`` triples — ``table`` names the
+    memo ("invariants:<family>", "vcpu", "observation", "verdict"),
+    ``key`` is the engine's existing fingerprint tuple, ``value`` the
+    memoised result.  Campaigns append new entries as workers discover
+    them; the next campaign replays the log and preloads its in-process
+    :class:`~repro.engine.memo.CheckMemo` before forking workers, so a
+    warm store turns repeat campaigns into mostly cache hits.
+    """
+
+    def __init__(self, path: str):
+        self.log = AppendLog(path)
+        self._seen: set = set()
+        self._entries: List[Tuple[str, object, object]] = []
+        self._loaded = False
+
+    @property
+    def path(self) -> str:
+        return self.log.path
+
+    def load(self) -> List[Tuple[str, object, object]]:
+        """Replay the log into memory (idempotent); returns entries."""
+        if not self._loaded:
+            for payload in self.log.replay():
+                try:
+                    table, key, value = pickle.loads(payload)
+                except Exception as exc:
+                    raise CorruptArtifact(
+                        self.path,
+                        f"memo record does not unpickle: {exc}") from None
+                if (table, repr(key)) not in self._seen:
+                    self._seen.add((table, repr(key)))
+                    self._entries.append((table, key, value))
+            self._loaded = True
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        self.load()
+        return len(self._entries)
+
+    def extend(self, entries: Iterable[Tuple[str, object, object]]) -> int:
+        """Durably append entries not already in the store; returns the
+        number actually written (duplicates are skipped, so repeated
+        campaigns do not grow the log without learning anything)."""
+        self.load()
+        written = 0
+        for table, key, value in entries:
+            mark = (table, repr(key))
+            if mark in self._seen:
+                continue
+            self._seen.add(mark)
+            self._entries.append((table, key, value))
+            self.log.append(pickle.dumps((table, key, value),
+                                         protocol=pickle.HIGHEST_PROTOCOL))
+            written += 1
+        return written
+
+    def close(self):
+        self.log.close()
+
+    # -- CheckMemo bridging -------------------------------------------------
+
+    def preload_memo(self, memo) -> int:
+        """Warm a :class:`~repro.engine.memo.CheckMemo` from the store;
+        returns the number of entries installed."""
+        return memo.preload(self.load())
+
+    def stats(self) -> Dict[str, int]:
+        """Entry counts per table (for reports and the CLI)."""
+        self.load()
+        counts: Dict[str, int] = {}
+        for table, _key, _value in self._entries:
+            counts[table] = counts.get(table, 0) + 1
+        return counts

@@ -1,0 +1,206 @@
+"""Fault-tolerant execution: the sharded executor that survives its pool.
+
+:class:`ResilientExecutor` keeps the
+:class:`~repro.engine.executor.ShardedExecutor` contract — stable
+sharding, merge by unit index, byte-identical results on the happy
+path — and adds the failure half of the story:
+
+* **dead-worker detection + respawn** — a worker killed mid-shard
+  breaks the process pool; the executor kills and discards the broken
+  pool, forks a fresh one, and resubmits every unfinished shard;
+* **per-shard wait budget** — ``shard_timeout`` bounds how long the
+  merge loop waits on any one shard before treating it as hung
+  (a hung worker cannot be cancelled, only killed with its pool);
+* **bounded retry with backoff + deterministic jitter** — a blamed
+  shard retries up to ``max_attempts`` times, sleeping
+  ``backoff * 2^attempt`` scaled by a blake2b-derived jitter fraction
+  (deterministic: no wall-clock or RNG in the decision path);
+* **poison-shard quarantine** — a shard still failing at the attempt
+  cap is recorded as a typed :class:`~repro.errors.ShardQuarantined`
+  result in each of its unit slots instead of sinking the campaign.
+
+Blame is only assigned when it is unambiguous: a pool break during a
+*parallel* round names no culprit (any worker may have died), so the
+executor degrades to one-shard-at-a-time isolation, where a break or
+timeout convicts exactly the running shard.  A task-level exception
+(the pool survives, the future carries the error) is attributable in
+any mode.  After a successful isolated round the executor returns to
+parallel submission.
+
+Retries, respawns, and quarantines are counted on the metrics registry
+(``service.shard_retries`` / ``service.worker_respawns`` /
+``service.shards_quarantined``) and emitted as trace events, so a
+recovered campaign's audit trail shows exactly what it survived.
+"""
+
+import hashlib
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence
+
+from repro.engine.executor import (
+    ShardedExecutor,
+    _adopt_unit_traces,
+    _run_shard,
+    stable_shard,
+)
+from repro.engine.memo import merge_stats
+from repro.errors import ShardQuarantined
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY
+
+
+def backoff_delay(fn_path: str, shard: int, attempt: int, *,
+                  base: float, cap: float) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    The jitter fraction comes from blake2b of the (function, shard,
+    attempt) triple — different shards desynchronise their retries, yet
+    the schedule is a pure function of the inputs (replayable, and no
+    seeded RNG to thread through the executor).
+    """
+    digest = hashlib.blake2b(
+        f"{fn_path}\x1f{shard}\x1f{attempt}".encode(),
+        digest_size=8).digest()
+    fraction = int.from_bytes(digest, "big") / 2 ** 64
+    return min(base * (2 ** max(attempt - 1, 0)), cap) * (0.5 + fraction)
+
+
+class ResilientExecutor(ShardedExecutor):
+    """A :class:`ShardedExecutor` with retries, respawn, and quarantine."""
+
+    def __init__(self, workers: Optional[int] = None, *,
+                 shard_timeout: Optional[float] = None,
+                 max_attempts: int = 3,
+                 backoff: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 sleep=time.sleep):
+        super().__init__(workers)
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.shard_timeout = shard_timeout
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+
+    # -- the resilient fan-out ----------------------------------------------
+
+    def map(self, fn_path: str, units: Sequence,
+            *, keys: Optional[Sequence[str]] = None) -> List:
+        """Base-contract ``map`` that outlives worker deaths.
+
+        Unit slots of a quarantined shard hold
+        :class:`~repro.errors.ShardQuarantined` instances; every other
+        slot is byte-identical to the plain executor's merge.
+        """
+        units = list(units)
+        if not units:
+            return []
+        if keys is None:
+            keys = [str(index) for index in range(len(units))]
+        if len(keys) != len(units):
+            raise ValueError("one shard key per unit required")
+        shard_count = min(self.workers, len(units))
+        if shard_count <= 1:
+            # In-process: no pool to lose.  The degenerate fabric is
+            # the sequential engine, failures included.
+            return super().map(fn_path, units, keys=keys)
+
+        shards = [[] for _ in range(shard_count)]
+        for index, (unit, key) in enumerate(zip(units, keys)):
+            shards[stable_shard(f"{fn_path}\x1f{key}",
+                                shard_count)].append((index, unit))
+        pending = {number: shard for number, shard in enumerate(shards)
+                   if shard}
+        attempts = {number: 0 for number in pending}
+        merged = [None] * len(units)
+        unit_traces: List = []
+        isolating = False
+
+        with _trace.span("executor.resilient-map", fn=fn_path,
+                         units=len(units), shards=len(pending)):
+            while pending:
+                round_shards = sorted(pending)
+                if isolating:
+                    round_shards = round_shards[:1]
+                pool = self._ensure_pool()
+                submitted = [(number,
+                              pool.submit(_run_shard, fn_path,
+                                          pending[number]))
+                             for number in round_shards]
+                failure = None       # (shard number, cause, pool dead)
+                try:
+                    for number, future in submitted:
+                        try:
+                            payload = future.result(
+                                timeout=self.shard_timeout)
+                        except FutureTimeout:
+                            failure = (number,
+                                       f"no result within the "
+                                       f"{self.shard_timeout}s shard "
+                                       f"wait budget", True)
+                            break
+                        except BrokenProcessPool as exc:
+                            failure = (number,
+                                       f"worker died mid-shard: {exc}",
+                                       True)
+                            break
+                        except KeyboardInterrupt:
+                            raise
+                        except Exception as exc:   # task-level failure
+                            failure = (number,
+                                       f"{type(exc).__name__}: {exc}",
+                                       False)
+                            break
+                        results, stats, metrics, traces, journal = payload
+                        merge_stats(self.stats, stats)
+                        REGISTRY.merge(metrics)
+                        self.memo_journal.extend(journal)
+                        unit_traces.extend(traces)
+                        for index, value in results:
+                            merged[index] = value
+                        del pending[number]
+                except KeyboardInterrupt:
+                    self.terminate()
+                    raise
+                if failure is None:
+                    isolating = False
+                    continue
+                number, cause, pool_dead = failure
+                if pool_dead:
+                    # Kill whatever is left of the pool and respawn on
+                    # the next loop; completed-but-unread shards simply
+                    # re-run (units are pure functions of their seeds).
+                    self.terminate()
+                    REGISTRY.inc("service.worker_respawns")
+                    _trace.event("service.respawn", fn=fn_path,
+                                 shard=number, cause=cause)
+                if pool_dead and not isolating:
+                    # A parallel-round pool break names no culprit;
+                    # isolate before assigning blame.
+                    isolating = True
+                    continue
+                attempts[number] += 1
+                if attempts[number] >= self.max_attempts:
+                    quarantined = ShardQuarantined(number,
+                                                   attempts[number], cause)
+                    for index, _unit in pending.pop(number):
+                        merged[index] = quarantined
+                    REGISTRY.inc("service.shards_quarantined")
+                    _trace.event("service.quarantine", fn=fn_path,
+                                 shard=number,
+                                 attempts=attempts[number], cause=cause)
+                    isolating = False
+                    continue
+                REGISTRY.inc("service.shard_retries")
+                delay = backoff_delay(fn_path, number, attempts[number],
+                                      base=self.backoff,
+                                      cap=self.backoff_cap)
+                _trace.event("service.retry", fn=fn_path, shard=number,
+                             attempt=attempts[number], cause=cause,
+                             delay=round(delay, 4))
+                self._sleep(delay)
+            _adopt_unit_traces(unit_traces)
+        return merged

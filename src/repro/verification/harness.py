@@ -38,6 +38,7 @@ retried with a reseeded generator — boundedly (``max_reseeds``), with
 the retry count surfaced as ``CheckReport.seed_retries``.
 """
 
+import hashlib
 import itertools
 import random
 
@@ -167,6 +168,23 @@ def split_budget(max_steps, max_seconds, shares):
     steps = None if max_steps is None else max(1, max_steps // shares)
     seconds = None if max_seconds is None else max_seconds / shares
     return steps, seconds
+
+
+def pure_check_key(name, *, max_steps=None, seed=0, sample_count=128,
+                   max_exhaustive=4096, config=None) -> str:
+    """The blake2b identity of one *deterministic* hardened pure check.
+
+    Two :func:`check_pure_hardened` runs with equal keys produce equal
+    reports, so the key indexes a durable cross-run verdict memo (the
+    ``pure-verdict`` table of a
+    :class:`~repro.service.store.MemoStore`).  Wall-clock budgets are
+    deliberately absent — a seconds budget is not reproducible across
+    machines (the provenance-bundle rule), so only frozen-clock,
+    step-budgeted checks may be memoised under this key.
+    """
+    canonical = repr((name, max_steps, seed, sample_count,
+                      max_exhaustive, repr(config))).encode()
+    return hashlib.blake2b(canonical, digest_size=16).hexdigest()
 
 
 def check_pure_hardened(model, name, *, max_steps=None, max_seconds=None,

@@ -1,0 +1,45 @@
+"""Worker functions that fail on purpose (importable by forked workers).
+
+The supervisor tests ship these to pool workers by ``module:attr``
+path, exactly as real campaign units travel.  Failure is coordinated
+through marker files because the functions run in other processes:
+a unit carries the marker path, and the file's content counts how many
+times the victim has died so far.
+"""
+
+import os
+
+
+def _bump(marker: str) -> int:
+    """Increment the on-disk death counter; returns the prior count."""
+    count = 0
+    if os.path.exists(marker):
+        with open(marker) as fh:
+            count = int(fh.read() or 0)
+    with open(marker, "w") as fh:
+        fh.write(str(count + 1))
+        fh.flush()
+        os.fsync(fh.fileno())
+    return count
+
+
+def flaky_unit(unit):
+    """SIGKILLs its own worker until ``deaths`` kills have happened."""
+    if unit.get("victim") and _bump(unit["marker"]) < unit["deaths"]:
+        os.kill(os.getpid(), 9)
+    return unit["value"] * 2
+
+
+def raising_unit(unit):
+    """Raises a task-level error (the pool survives) for the victim."""
+    if unit.get("victim"):
+        raise RuntimeError("task boom")
+    return unit["value"] * 2
+
+
+def slow_unit(unit):
+    """Sleeps forever for the victim (the shard-timeout test)."""
+    if unit.get("victim") and _bump(unit["marker"]) < unit["deaths"]:
+        import time
+        time.sleep(3600)
+    return unit["value"] * 2

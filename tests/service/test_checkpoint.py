@@ -1,0 +1,106 @@
+"""Checkpoint framing: atomic save, verified load, spec identity."""
+
+import os
+
+import pytest
+
+from repro.errors import CheckpointMismatch, CorruptArtifact
+from repro.service.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CampaignCheckpoint,
+    spec_digest,
+)
+
+SPEC = {"kind": "interleaving", "seed": 0, "preemption_bound": 2,
+        "max_schedules": 40, "check_ni": True, "monitor": None,
+        "observers": None}
+
+
+def saved(tmp_path, **overrides):
+    fields = dict(spec=SPEC, state={"frontier": [1, 2, 3]}, waves=2,
+                  done=False, stats={"vcpu": {"hits": 1, "misses": 2}})
+    fields.update(overrides)
+    checkpoint = CampaignCheckpoint(**fields)
+    path = str(tmp_path / "checkpoint.bin")
+    checkpoint.save(path)
+    return checkpoint, path
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        original, path = saved(tmp_path)
+        loaded = CampaignCheckpoint.load(path)
+        assert loaded.spec == SPEC
+        assert loaded.state == {"frontier": [1, 2, 3]}
+        assert loaded.waves == 2
+        assert not loaded.done
+        assert loaded.stats == original.stats
+        assert loaded.digest == original.digest
+
+    def test_save_is_atomic_replace(self, tmp_path):
+        _, path = saved(tmp_path, waves=1)
+        saved(tmp_path, waves=7)
+        assert CampaignCheckpoint.load(path).waves == 7
+        assert os.listdir(tmp_path) == ["checkpoint.bin"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CampaignCheckpoint.load(str(tmp_path / "nope.bin"))
+
+
+class TestCorruption:
+    def test_truncated_file(self, tmp_path):
+        _, path = saved(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 10)
+        with pytest.raises(CorruptArtifact) as excinfo:
+            CampaignCheckpoint.load(path)
+        assert "CRC" in str(excinfo.value)
+
+    def test_too_short(self, tmp_path):
+        path = str(tmp_path / "checkpoint.bin")
+        with open(path, "wb") as fh:
+            fh.write(CHECKPOINT_MAGIC[:4])
+        with pytest.raises(CorruptArtifact) as excinfo:
+            CampaignCheckpoint.load(path)
+        assert "too short" in str(excinfo.value)
+
+    def test_foreign_magic(self, tmp_path):
+        path = str(tmp_path / "checkpoint.bin")
+        with open(path, "wb") as fh:
+            fh.write(b"GARBAGE!" + b"\x00" * 64)
+        with pytest.raises(CorruptArtifact) as excinfo:
+            CampaignCheckpoint.load(path)
+        assert "magic" in str(excinfo.value)
+
+    def test_flipped_payload_byte(self, tmp_path):
+        _, path = saved(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(len(CHECKPOINT_MAGIC) + 4 + 5)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(CorruptArtifact):
+            CampaignCheckpoint.load(path)
+
+
+class TestSpecIdentity:
+    def test_digest_ignores_item_order(self):
+        assert spec_digest({"a": 1, "b": 2}) == spec_digest({"b": 2,
+                                                            "a": 1})
+
+    def test_digest_distinguishes_values(self):
+        assert spec_digest({"seed": 0}) != spec_digest({"seed": 1})
+
+    def test_expected_digest_mismatch(self, tmp_path):
+        _, path = saved(tmp_path)
+        other = spec_digest({**SPEC, "seed": 99})
+        with pytest.raises(CheckpointMismatch) as excinfo:
+            CampaignCheckpoint.load(path, expected_digest=other)
+        assert excinfo.value.expected == other
+        assert excinfo.value.found == spec_digest(SPEC)
+
+    def test_matching_digest_loads(self, tmp_path):
+        _, path = saved(tmp_path)
+        assert CampaignCheckpoint.load(
+            path, expected_digest=spec_digest(SPEC)).waves == 2

@@ -1,0 +1,136 @@
+"""The resilient executor: respawn, retry, quarantine, determinism."""
+
+import pytest
+
+from repro.engine import ShardedExecutor
+from repro.errors import ShardQuarantined
+from repro.obs.metrics import REGISTRY
+from repro.service.supervisor import ResilientExecutor, backoff_delay
+
+FAULTY = "tests.service.faulty"
+
+
+def units_for(tmp_path, victim, *, deaths=0, count=8, marker="deaths"):
+    return [{"value": index, "victim": index == victim,
+             "marker": str(tmp_path / marker), "deaths": deaths}
+            for index in range(count)]
+
+
+def expected(count=8):
+    return [index * 2 for index in range(count)]
+
+
+class TestHappyPath:
+    def test_matches_base_executor(self, tmp_path):
+        units = units_for(tmp_path, victim=None)
+        with ResilientExecutor(4, backoff=0.001) as resilient, \
+                ShardedExecutor(4) as plain:
+            assert resilient.map(f"{FAULTY}:flaky_unit", units) \
+                == plain.map(f"{FAULTY}:flaky_unit", units) \
+                == expected()
+
+    def test_single_worker_runs_in_process(self, tmp_path):
+        units = units_for(tmp_path, victim=None, count=3)
+        with ResilientExecutor(1) as pool:
+            assert pool.map(f"{FAULTY}:flaky_unit", units) == expected(3)
+
+    def test_rejects_bad_attempt_cap(self):
+        with pytest.raises(ValueError):
+            ResilientExecutor(2, max_attempts=0)
+
+
+class TestDeadWorkers:
+    def test_killed_worker_is_respawned_and_shard_rerun(self, tmp_path):
+        # The victim SIGKILLs its worker twice, then succeeds: the map
+        # must survive two pool deaths and still merge every slot.
+        before = REGISTRY.counters.get("service.worker_respawns", 0)
+        units = units_for(tmp_path, victim=3, deaths=2)
+        with ResilientExecutor(4, backoff=0.001) as pool:
+            assert pool.map(f"{FAULTY}:flaky_unit", units) == expected()
+        assert REGISTRY.counters["service.worker_respawns"] > before
+
+    def test_permanent_killer_is_quarantined_not_looped(self, tmp_path):
+        units = units_for(tmp_path, victim=5, deaths=10 ** 6)
+        with ResilientExecutor(4, max_attempts=2, backoff=0.001) as pool:
+            merged = pool.map(f"{FAULTY}:flaky_unit", units)
+        quarantined = {index for index, value in enumerate(merged)
+                       if isinstance(value, ShardQuarantined)}
+        assert 5 in quarantined
+        for index, value in enumerate(merged):
+            if index not in quarantined:
+                assert value == index * 2
+        for index in quarantined:
+            assert merged[index].attempts == 2
+            assert "worker died" in merged[index].cause
+
+    def test_hung_shard_times_out_and_quarantines(self, tmp_path):
+        units = units_for(tmp_path, victim=2, deaths=10 ** 6, count=4)
+        with ResilientExecutor(2, shard_timeout=0.5, max_attempts=1,
+                               backoff=0.001) as pool:
+            merged = pool.map(f"{FAULTY}:slow_unit", units)
+        assert any(isinstance(value, ShardQuarantined)
+                   and "wait budget" in value.cause
+                   for value in merged)
+
+
+class TestTaskFailures:
+    def test_raising_unit_quarantines_only_its_shard(self, tmp_path):
+        before = REGISTRY.counters.get("service.shards_quarantined", 0)
+        units = units_for(tmp_path, victim=3)
+        with ResilientExecutor(4, max_attempts=2, backoff=0.001) as pool:
+            merged = pool.map(f"{FAULTY}:raising_unit", units)
+        quarantined = [value for value in merged
+                       if isinstance(value, ShardQuarantined)]
+        assert quarantined
+        assert all("RuntimeError: task boom" in value.cause
+                   for value in quarantined)
+        assert any(value.shard == quarantined[0].shard
+                   for value in quarantined)
+        assert REGISTRY.counters["service.shards_quarantined"] > before
+
+    def test_retry_uses_injected_sleep_with_backoff(self, tmp_path):
+        from repro.engine.executor import stable_shard
+        fn = f"{FAULTY}:raising_unit"
+        slept = []
+        units = units_for(tmp_path, victim=1, count=4)
+        with ResilientExecutor(2, max_attempts=3, backoff=0.25,
+                               backoff_cap=1.0,
+                               sleep=slept.append) as pool:
+            pool.map(fn, units)
+        # max_attempts=3 means 2 retries (the 3rd failure quarantines),
+        # each sleeping the deterministic backoff of the blamed shard.
+        shard = stable_shard(f"{fn}\x1f1", 2)
+        assert slept == [backoff_delay(fn, shard, attempt,
+                                       base=0.25, cap=1.0)
+                         for attempt in (1, 2)]
+
+
+class TestBackoffDelay:
+    def test_deterministic(self):
+        assert backoff_delay("f", 3, 2, base=0.1, cap=2.0) \
+            == backoff_delay("f", 3, 2, base=0.1, cap=2.0)
+
+    def test_desynchronises_shards(self):
+        delays = {backoff_delay("f", shard, 1, base=0.1, cap=2.0)
+                  for shard in range(16)}
+        assert len(delays) > 8
+
+    def test_bounded_by_cap_and_grows(self):
+        base, cap = 0.05, 0.4
+        for attempt in range(1, 10):
+            delay = backoff_delay("f", 0, attempt, base=base, cap=cap)
+            assert 0.5 * base <= delay <= 1.5 * cap
+
+    def test_exponential_until_cap(self):
+        small = backoff_delay("f", 0, 1, base=0.1, cap=100.0)
+        large = backoff_delay("f", 0, 6, base=0.1, cap=100.0)
+        assert large > small
+
+
+class TestReuseAfterTermination:
+    def test_terminate_then_map_again(self, tmp_path):
+        units = units_for(tmp_path, victim=None, count=6)
+        with ResilientExecutor(3, backoff=0.001) as pool:
+            assert pool.map(f"{FAULTY}:flaky_unit", units) == expected(6)
+            pool.terminate()
+            assert pool.map(f"{FAULTY}:flaky_unit", units) == expected(6)
