@@ -15,6 +15,12 @@ campaign (crash-safe checkpoints + cross-run memo store, see
 interrupted one.  Both exit 0 on a clean sweep, 1 when violations were
 found, 2 on a store/usage error — and 130 on Ctrl-C, *after* flushing
 a resumable checkpoint.
+
+``python -m repro serve --root DIR`` runs the checking-as-a-service
+daemon (:mod:`repro.service.daemon`); ``submit`` and ``status`` are
+the matching client verbs (:mod:`repro.service.client`).  ``serve``
+exits 0 after a SIGTERM graceful drain, 130 after Ctrl-C — both with
+every campaign checkpoint flushed.
 """
 
 import argparse
@@ -72,7 +78,13 @@ def replay_main(argv):
           f"schema v{bundle.version}) from {argv[0]}")
     outcome = replay_bundle(bundle)
     print(outcome.summary())
-    return 0 if outcome.matched else 1
+    if not outcome.matched:
+        from repro.errors import ReplayDivergence
+        divergence = ReplayDivergence(bundle.kind, outcome.expected,
+                                      outcome.found)
+        print(f"error: {divergence}", file=sys.stderr)
+        return 1
+    return 0
 
 
 #: Exit code for an interrupted-but-checkpointed campaign (the shell
@@ -91,7 +103,8 @@ def _campaign_verdict(store_dir, result) -> int:
 def campaign_main(argv):
     """``python -m repro campaign`` — run a durable interleaving
     campaign with crash-safe checkpoints in ``--store``."""
-    from repro.service import CampaignSpec, run_durable_campaign
+    from repro.service import (CampaignSpec, CampaignStore,
+                               run_durable_campaign)
 
     parser = argparse.ArgumentParser(
         prog="python -m repro campaign",
@@ -116,8 +129,9 @@ def campaign_main(argv):
                         max_schedules=options.max_schedules,
                         check_ni=not options.no_ni)
     try:
-        result = run_durable_campaign(spec, options.store,
-                                      workers=options.workers)
+        with CampaignStore(options.store) as store:
+            result = run_durable_campaign(spec, store,
+                                          workers=options.workers)
     except KeyboardInterrupt:
         print(f"\ninterrupted — checkpoint flushed to {options.store}; "
               f"resume with 'python -m repro resume {options.store}'",
@@ -130,7 +144,7 @@ def resume_main(argv):
     """``python -m repro resume <store>`` — continue an interrupted
     durable campaign from its checkpoint."""
     from repro.errors import CorruptArtifact
-    from repro.service import resume_campaign
+    from repro.service import CampaignStore, resume_campaign
 
     parser = argparse.ArgumentParser(
         prog="python -m repro resume",
@@ -139,7 +153,8 @@ def resume_main(argv):
     parser.add_argument("--workers", type=int, default=None)
     options = parser.parse_args(argv)
     try:
-        result = resume_campaign(options.store, workers=options.workers)
+        with CampaignStore(options.store) as store:
+            result = resume_campaign(store, workers=options.workers)
     except FileNotFoundError as exc:
         print(f"cannot resume: {exc}", file=sys.stderr)
         return 2
@@ -154,12 +169,155 @@ def resume_main(argv):
     return _campaign_verdict(options.store, result)
 
 
+def serve_main(argv):
+    """``python -m repro serve`` — run the checking-as-a-service
+    daemon until SIGTERM (exit 0) or Ctrl-C (exit 130), draining
+    gracefully either way."""
+    from repro.service.daemon import CheckingDaemon, serve_forever
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="checking-as-a-service daemon: HTTP/JSON front "
+                    "over a shared resilient worker pool")
+    parser.add_argument("--root", required=True,
+                        help="service store root (one campaign store "
+                             "per subdirectory; incomplete campaigns "
+                             "found here auto-resume)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8731,
+                        help="listen port (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--max-active", type=int, default=4,
+                        help="campaigns scheduled concurrently")
+    parser.add_argument("--max-queued", type=int, default=16,
+                        help="admission queue bound (past it, "
+                             "submissions get 429 backpressure)")
+    parser.add_argument("--round-capacity", type=int, default=None,
+                        help="units per fair-share scheduling round")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        help="per-shard wall-clock cap (stuck units "
+                             "are quarantined, not waited on forever)")
+    parser.add_argument("--wall-budget", type=float, default=None,
+                        help="default per-campaign wall-clock budget")
+    parser.add_argument("--wave-budget", type=int, default=None,
+                        help="default per-campaign wave budget")
+    options = parser.parse_args(argv)
+    daemon = CheckingDaemon(
+        options.root, host=options.host, port=options.port,
+        workers=options.workers, max_active=options.max_active,
+        max_queued=options.max_queued,
+        round_capacity=options.round_capacity,
+        shard_timeout=options.shard_timeout,
+        default_wall_budget=options.wall_budget,
+        default_wave_budget=options.wave_budget)
+    return serve_forever(daemon)
+
+
+def _print_json(payload):
+    import json
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def submit_main(argv):
+    """``python -m repro submit`` — send a campaign to a running
+    daemon; with ``--wait``, poll to the verdict (exit 0 clean, 1
+    violations)."""
+    from repro.errors import (AdmissionRefused, DeadlineExceeded,
+                              ServiceError)
+    from repro.service.client import ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="submit a campaign to a checking-service daemon")
+    parser.add_argument("--url", required=True,
+                        help="daemon base URL, e.g. "
+                             "http://127.0.0.1:8731")
+    parser.add_argument("--id", default=None,
+                        help="campaign id (makes resubmission "
+                             "idempotent; default: server-assigned)")
+    parser.add_argument("--preemption-bound", type=int, default=2)
+    parser.add_argument("--max-schedules", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--monitor", default=None)
+    parser.add_argument("--no-ni", action="store_true")
+    parser.add_argument("--wall-budget", type=float, default=None)
+    parser.add_argument("--wave-budget", type=int, default=None)
+    parser.add_argument("--wait", action="store_true",
+                        help="block until the campaign finishes")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="give up (exit 2) after this many seconds")
+    options = parser.parse_args(argv)
+    payload = {"seed": options.seed,
+               "preemption_bound": options.preemption_bound,
+               "max_schedules": options.max_schedules,
+               "check_ni": not options.no_ni}
+    if options.monitor is not None:
+        payload["monitor"] = options.monitor
+    for key, value in (("id", options.id),
+                       ("wall_budget", options.wall_budget),
+                       ("wave_budget", options.wave_budget)):
+        if value is not None:
+            payload[key] = value
+    client = ServiceClient(options.url)
+    try:
+        reply = client.submit(payload, deadline=options.deadline)
+        if not options.wait:
+            _print_json(reply)
+            return 0
+        status = client.wait(reply["id"], deadline=options.deadline)
+        _print_json(status)
+        return 0 if status.get("ok") else 1
+    except AdmissionRefused as exc:
+        print(f"refused: {exc}", file=sys.stderr)
+        return 2
+    except (DeadlineExceeded, ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def status_main(argv):
+    """``python -m repro status`` — query a daemon: service health,
+    the campaign list, or one campaign (optionally its artifacts)."""
+    from repro.errors import CampaignNotFound, ServiceError
+    from repro.service.client import ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro status",
+        description="query a checking-service daemon")
+    parser.add_argument("--url", required=True)
+    parser.add_argument("campaign", nargs="?", default=None,
+                        help="campaign id (default: list them all)")
+    parser.add_argument("--artifacts", action="store_true",
+                        help="also fetch the campaign's provenance "
+                             "bundles")
+    parser.add_argument("--health", action="store_true",
+                        help="print /healthz instead")
+    options = parser.parse_args(argv)
+    client = ServiceClient(options.url)
+    try:
+        if options.health:
+            _print_json(client.healthz())
+        elif options.campaign is None:
+            _print_json(client.list_campaigns())
+        else:
+            _print_json(client.status(options.campaign))
+            if options.artifacts:
+                _print_json(client.artifacts(options.campaign))
+        return 0
+    except CampaignNotFound as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None):
     """Run every check and print the consolidated report.
 
     ``argv`` (default ``sys.argv[1:]``) may select the ``replay``,
-    ``campaign``, or ``resume`` subcommand; with no arguments the full
-    report runs.
+    ``campaign``, ``resume``, ``serve``, ``submit``, or ``status``
+    subcommand; with no arguments the full report runs.
     """
     if argv is None:
         argv = sys.argv[1:]
@@ -169,6 +327,12 @@ def main(argv=None):
         return campaign_main(argv[1:])
     if argv and argv[0] == "resume":
         return resume_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return submit_main(argv[1:])
+    if argv and argv[0] == "status":
+        return status_main(argv[1:])
 
     failures = []
     started = time.perf_counter()

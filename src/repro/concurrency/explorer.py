@@ -205,21 +205,38 @@ class FrontierState:
     def done(self) -> bool:
         return self.truncated or not self.frontier
 
-    def take_wave(self) -> List[Schedule]:
+    def take_wave(self, limit: Optional[int] = None) -> List[Schedule]:
         """Pop the next wavefront (empty when the exploration is done).
 
         Marks the exploration truncated — without popping — when the
         run cap is already met, exactly where the sequential loop's
         truncation check sits.
+
+        ``limit`` caps how many schedules are popped: the multi-campaign
+        scheduler runs a frontier in fair-share chunks, and because the
+        frontier is FIFO and :meth:`absorb` appends children at the
+        back, absorbing a wave chunk-by-chunk visits schedules in
+        exactly the order one whole-wave absorb would — the chunked
+        exploration's result is identical by construction.
         """
         if not self.frontier:
             return []
         if len(self.runs) >= self.max_schedules:
             self.truncated = True
             return []
-        return [self.frontier.popleft()
-                for _ in range(min(len(self.frontier),
-                                   self.max_schedules - len(self.runs)))]
+        count = min(len(self.frontier),
+                    self.max_schedules - len(self.runs))
+        if limit is not None:
+            count = min(count, max(limit, 0))
+        return [self.frontier.popleft() for _ in range(count)]
+
+    def pending(self) -> int:
+        """Schedules still eligible to run (frontier capped by the
+        remaining ``max_schedules`` budget)."""
+        if len(self.runs) >= self.max_schedules:
+            return 0
+        return min(len(self.frontier),
+                   self.max_schedules - len(self.runs))
 
     def absorb(self, wave: List[Schedule], outputs) -> None:
         """Fold one executed wave back in, enqueueing its children.

@@ -35,12 +35,19 @@ Run as a module for the CI perf-smoke job::
         --max-schedules 600 --workers 4 --repeats 3
     python -m repro.engine.bench --symbolic --out BENCH_symbolic.json
     python -m repro.engine.bench --durability --out BENCH_checking.json
+    python -m repro.engine.bench --service --out BENCH_checking.json
 
 :func:`bench_durability` prices the durable orchestrator
 (:mod:`repro.service`): per-wave checkpoint overhead vs the plain
 fabric (acceptance bar ≤5%), the warm cross-run memo store, and the
 cost of resuming an interrupted campaign — merged into
 ``BENCH_checking.json`` under the ``durability`` key.
+
+:func:`bench_service` prices checking-as-a-service: 2/4/8 concurrent
+campaigns through the fair-share scheduler vs a sequential loop of
+durable campaigns (digest-identical verdicts required), plus the
+HTTP/JSON request-path cost vs calling the scheduler directly —
+merged into ``BENCH_checking.json`` under the ``service`` key.
 
 ``--smoke`` shrinks the grid (preemption bound 1 for the fabric, fewer
 repeats and a shorter ladder for the symbolic bench) so CI spends
@@ -369,6 +376,154 @@ def bench_durability(*, preemption_bound=2, max_schedules=600, seed=0,
     }
 
 
+def bench_service(*, preemption_bound=2, max_schedules=240, seed=0,
+                  workers=None, concurrency=(2, 4, 8),
+                  request_probes=200, tmp_root=None) -> dict:
+    """Price checking-as-a-service against a sequential campaign loop.
+
+    Two measurements, both gated on digest-identity with solo
+    :func:`~repro.service.orchestrator.run_durable_campaign` runs (a
+    scheduler that changed a verdict would disqualify itself):
+
+    * **multi-campaign throughput** — for each concurrency level, N
+      distinct-seed campaigns run (a) as a sequential loop of durable
+      campaigns and (b) submitted together to one
+      :class:`~repro.service.scheduler.CampaignScheduler` sharing one
+      executor pool.  The fair-share wavefront interleaving trades
+      time-to-first-verdict for fairness, not throughput: total
+      wall-clock should track the sequential loop, and the recorded
+      ``scheduling_overhead`` is the price of chunked absorbs,
+      per-chunk checkpoints, and round bookkeeping.
+    * **request path** — the HTTP/JSON front's per-request cost:
+      ``GET /campaigns/<id>`` through a live daemon and the real
+      client vs the same ``status()`` call made directly on the
+      scheduler, ``request_probes`` times each.
+
+    Every variant starts from a cold worker memo (one variant would
+    otherwise warm the next through the in-process cache).
+    """
+    import gc
+    import shutil
+    import tempfile
+
+    from repro.engine import workers as worker_module
+    from repro.engine.memo import CheckMemo
+    from repro.obs.metrics import REGISTRY
+    from repro.service import CampaignSpec, run_durable_campaign
+    from repro.service.client import ServiceClient
+    from repro.service.daemon import CheckingDaemon
+    from repro.service.scheduler import (
+        DONE,
+        CampaignScheduler,
+        _result_digest,
+    )
+
+    workers = resolve_workers(workers)
+    root = tempfile.mkdtemp(prefix="bench-service.", dir=tmp_root)
+    original_memo = worker_module.MEMO
+
+    def cold_memo():
+        worker_module.MEMO = CheckMemo()
+        gc.collect()
+
+    def specs_for(count):
+        return [CampaignSpec(preemption_bound=preemption_bound,
+                             max_schedules=max_schedules,
+                             seed=seed + index)
+                for index in range(count)]
+
+    levels = {}
+    try:
+        for count in concurrency:
+            specs = specs_for(count)
+
+            cold_memo()
+            t0 = time.perf_counter()
+            reference = [
+                _result_digest(run_durable_campaign(
+                    spec, os.path.join(root, f"seq{count}-{index}"),
+                    workers=workers))
+                for index, spec in enumerate(specs)]
+            sequential_s = time.perf_counter() - t0
+
+            cold_memo()
+            stolen_before = REGISTRY.counters.get(
+                "service.units_stolen", 0)
+            scheduler = CampaignScheduler(
+                os.path.join(root, f"svc{count}"), workers=workers,
+                max_active=count)
+            try:
+                t0 = time.perf_counter()
+                ids = [scheduler.submit(spec) for spec in specs]
+                scheduler.run_until_idle()
+                service_s = time.perf_counter() - t0
+                for index, campaign_id in enumerate(ids):
+                    snapshot = scheduler.status(campaign_id)
+                    if snapshot["status"] != DONE \
+                            or snapshot["result_digest"] \
+                            != reference[index]:
+                        raise RuntimeError(
+                            f"scheduled campaign {campaign_id} "
+                            f"diverged from its solo durable run")
+            finally:
+                scheduler.drain()
+            stolen = REGISTRY.counters.get("service.units_stolen", 0) \
+                - stolen_before
+
+            levels[str(count)] = {
+                "campaigns": count,
+                "sequential_seconds": round(sequential_s, 4),
+                "service_seconds": round(service_s, 4),
+                "scheduling_overhead": round(
+                    service_s / sequential_s - 1.0, 4),
+                "units_stolen": stolen,
+                "verdicts_identical": True,
+            }
+
+        # The request path: a live daemon on an ephemeral port, one
+        # finished campaign, then status round-trips through HTTP vs
+        # straight into the scheduler.
+        cold_memo()
+        probe_spec = {"id": "probe", "preemption_bound": 1,
+                      "max_schedules": 6}
+        with CheckingDaemon(os.path.join(root, "http"), port=0,
+                            workers=1) as daemon:
+            client = ServiceClient(daemon.url)
+            client.submit(probe_spec)
+            client.wait("probe", deadline=120)
+            t0 = time.perf_counter()
+            for _ in range(request_probes):
+                daemon.scheduler.status("probe")
+            direct_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for _ in range(request_probes):
+                client.status("probe")
+            http_s = time.perf_counter() - t0
+    finally:
+        worker_module.MEMO = original_memo
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "benchmark": "checking-service",
+        "config": {"preemption_bound": preemption_bound,
+                   "max_schedules": max_schedules, "seed": seed,
+                   "workers": workers,
+                   "concurrency": list(concurrency),
+                   "request_probes": request_probes},
+        "concurrency": levels,
+        "request_path": {
+            "probes": request_probes,
+            "direct_ms_per_call": round(
+                direct_s / request_probes * 1000, 4),
+            "http_ms_per_call": round(
+                http_s / request_probes * 1000, 4),
+            "overhead_ms_per_call": round(
+                (http_s - direct_s) / request_probes * 1000, 4),
+        },
+        "byte_identical": True,
+    }
+
+
 def _canonical_verdicts(report):
     """A corpus report as a canonical JSON string for byte-comparison.
 
@@ -573,15 +728,16 @@ def format_symbolic_record(record) -> str:
 
 
 def _merged_out(path, section, record) -> dict:
-    """Write ``record`` into ``path``, preserving the other section.
+    """Write ``record`` into ``path``, preserving the other sections.
 
-    ``BENCH_checking.json`` holds both the fabric record (the top-level
-    document) and the durable-orchestrator record (its ``durability``
-    key); either bench may run alone, so each write keeps whatever the
-    other last produced.  With ``section`` the record lands under that
-    key; with ``section=None`` it becomes the new document, carrying
-    over an existing ``durability`` section.  The write is atomic —
-    this file is a published artifact.
+    ``BENCH_checking.json`` holds the fabric record (the top-level
+    document) plus the durable-orchestrator and service records (the
+    ``durability`` and ``service`` keys); any of the benches may run
+    alone, so each write keeps whatever the others last produced.
+    With ``section`` the record lands under that key; with
+    ``section=None`` it becomes the new document, carrying over the
+    existing sections.  The write is atomic — this file is a published
+    artifact.
     """
     from repro.service.store import atomic_write_text
 
@@ -597,8 +753,9 @@ def _merged_out(path, section, record) -> dict:
         merged[section] = record
     else:
         merged = dict(record)
-        if "durability" in existing:
-            merged["durability"] = existing["durability"]
+        for key in ("durability", "service"):
+            if key in existing:
+                merged[key] = existing[key]
     atomic_write_text(path,
                       json.dumps(merged, indent=2, sort_keys=True)
                       + "\n")
@@ -618,6 +775,12 @@ def main(argv=None):
                              "(checkpoint overhead, warm store, "
                              "resume) and merge the section into "
                              "--out")
+    parser.add_argument("--service", action="store_true",
+                        help="measure checking-as-a-service "
+                             "(concurrent campaigns through the "
+                             "scheduler vs a sequential loop, plus "
+                             "the HTTP request-path cost) and merge "
+                             "the section into --out")
     parser.add_argument("--preemption-bound", type=int, default=2)
     parser.add_argument("--max-schedules", type=int, default=600)
     parser.add_argument("--workers", type=int, default=None)
@@ -690,6 +853,26 @@ def main(argv=None):
               f"{record['resume']['schedules_total']} schedules "
               f"preserved)  verdict cache "
               f"{record['verdict_cache']['speedup']}x warm")
+        return merged
+
+    if args.service:
+        record = bench_service(
+            preemption_bound=args.preemption_bound,
+            max_schedules=args.max_schedules,
+            workers=args.workers,
+            concurrency=(2,) if args.smoke else (2, 4, 8),
+            request_probes=50 if args.smoke else 200)
+        merged = _merged_out(out, "service", record)
+        per_level = "  ".join(
+            f"n={entry['campaigns']} seq "
+            f"{entry['sequential_seconds']}s svc "
+            f"{entry['service_seconds']}s "
+            f"({entry['scheduling_overhead'] * 100:+.1f}%)"
+            for entry in record["concurrency"].values())
+        print(f"{per_level}  request path "
+              f"+{record['request_path']['overhead_ms_per_call']}ms/"
+              f"call over direct "
+              f"({record['request_path']['direct_ms_per_call']}ms)")
         return merged
 
     record = bench_checking(preemption_bound=args.preemption_bound,

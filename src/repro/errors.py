@@ -440,3 +440,111 @@ class TranslationFault(HypervisorError):
         super().__init__(message)
         self.stage = stage  # "gpt" or "ept"
         self.va = va
+
+
+# ---------------------------------------------------------------------------
+# Checking-as-a-service errors
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for checking-as-a-service (daemon/scheduler/client)
+    errors."""
+
+
+class AdmissionRefused(ServiceError):
+    """The service refused a campaign submission — the 429-style
+    backpressure verdict.
+
+    Raised when the admission queue is full or the daemon is draining.
+    Carries why and a suggested ``retry_after`` delay (seconds, or
+    ``None`` when retrying is pointless, e.g. during a drain), so a
+    client can distinguish "come back shortly" from "this instance is
+    going away".
+    """
+
+    _CTOR_ATTRS = ("reason", "retry_after")
+
+    def __init__(self, reason, retry_after=None):
+        hint = f" (retry after {retry_after}s)" \
+            if retry_after is not None else ""
+        super().__init__(f"admission refused: {reason}{hint}")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class CampaignNotFound(ServiceError, KeyError):
+    """A campaign id was presented that the service does not know.
+
+    Derives from :class:`KeyError` as well, so registry-shaped callers
+    that treat an unknown id as a missing key keep working.
+    """
+
+    _CTOR_ATTRS = ("campaign_id",)
+
+    def __init__(self, campaign_id):
+        super().__init__(f"unknown campaign {campaign_id!r}")
+        self.campaign_id = campaign_id
+
+    def __str__(self):
+        return self.args[0]
+
+
+class CampaignBudgetExceeded(ServiceError):
+    """A scheduled campaign ran past its wall-clock or wave budget.
+
+    The scheduler stops scheduling the campaign and records this as its
+    failure; the last wave-boundary checkpoint survives, so the
+    campaign stays resumable under a larger budget.
+    """
+
+    _CTOR_ATTRS = ("campaign_id", "budget", "limit", "spent")
+
+    def __init__(self, campaign_id, budget, limit, spent):
+        super().__init__(
+            f"campaign {campaign_id!r} exceeded its {budget} budget "
+            f"({spent} of {limit}) — checkpoint kept, resume with a "
+            f"larger budget")
+        self.campaign_id = campaign_id
+        self.budget = budget
+        self.limit = limit
+        self.spent = spent
+
+
+class DeadlineExceeded(ServiceError):
+    """A client operation did not finish inside its deadline.
+
+    Carries the operation, the deadline (seconds), and the stringified
+    last failure, so a caller sees *why* the final attempt did not land
+    instead of a bare timeout.
+    """
+
+    _CTOR_ATTRS = ("operation", "deadline", "cause")
+
+    def __init__(self, operation, deadline, cause):
+        super().__init__(
+            f"{operation} did not complete within {deadline}s: {cause}")
+        self.operation = operation
+        self.deadline = deadline
+        self.cause = cause
+
+
+class ReplayDivergence(ReproError):
+    """A provenance-bundle replay did not reproduce the recorded verdict.
+
+    Raised (and rendered by ``python -m repro replay``) when the
+    re-executed check's outcome differs from what the bundle recorded —
+    the counterexample is stale, the code under check changed, or the
+    bundle was edited.  Carries the bundle kind and both sides of the
+    comparison.
+    """
+
+    _CTOR_ATTRS = ("kind", "expected", "found")
+
+    def __init__(self, kind, expected, found):
+        super().__init__(
+            f"{kind} replay diverged: recorded verdict {expected!r} "
+            f"was not reproduced (replay found {found!r})")
+        self.kind = kind
+        self.expected = expected
+        self.found = found

@@ -379,10 +379,13 @@ def _replay_pure_check(bundle) -> ReplayOutcome:
              "degradations": list(report.degradations),
              "completed": report.completed}
     expected = bundle.violation
-    comparable = {key: value for key, value in expected.items()
-                  if key in ("engine", "failures", "completed")}
+    # Every recorded verdict field must reproduce — including
+    # ``degradations``.  An earlier whitelist silently skipped it, so
+    # a replay whose engine ladder degraded differently (or a bundle
+    # whose recorded degradations were edited) still reported
+    # REPRODUCED and exited 0.
     matched = all(found.get(key) == value
-                  for key, value in comparable.items())
+                  for key, value in expected.items())
     return ReplayOutcome(kind=bundle.kind, matched=matched,
                          expected=expected, found=[found],
                          detail=f"function {check['name']}")

@@ -17,7 +17,13 @@ run through the orchestrator is crash-safe end to end:
 * :mod:`repro.service.orchestrator` — checkpoint-per-wave campaign
   execution whose resumed verdict is repr-identical to an
   uninterrupted run, plus warm cross-run memo reuse
-  (``python -m repro campaign`` / ``python -m repro resume``).
+  (``python -m repro campaign`` / ``python -m repro resume``);
+* :mod:`repro.service.scheduler` — fair-share wavefront interleaving
+  of many campaigns over one shared pool, with admission control,
+  budgets, work stealing, and graceful drain;
+* :mod:`repro.service.daemon` / :mod:`repro.service.client` — the
+  checking-as-a-service HTTP/JSON front and its deadline-aware client
+  (``python -m repro serve`` / ``submit`` / ``status``).
 """
 
 from repro.service.checkpoint import CampaignCheckpoint
@@ -27,12 +33,14 @@ from repro.service.orchestrator import (
     resume_campaign,
     run_durable_campaign,
 )
+from repro.service.scheduler import CampaignScheduler
 from repro.service.store import AppendLog, MemoStore, atomic_write
 from repro.service.supervisor import ResilientExecutor
 
 __all__ = [
     "AppendLog",
     "CampaignCheckpoint",
+    "CampaignScheduler",
     "CampaignSpec",
     "CampaignStore",
     "MemoStore",

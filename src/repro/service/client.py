@@ -1,0 +1,213 @@
+"""Deadline-aware client for the checking service.
+
+A thin, dependency-free (``urllib.request``) wrapper over the daemon's
+JSON API that turns transport noise into the repo's typed verdicts:
+
+* Connection refusals, resets and HTTP 5xx responses are retried with
+  the same deterministic-jitter exponential backoff the supervisor
+  uses for shard retries (:func:`~repro.service.supervisor
+  .backoff_delay` keyed by URL) — no clock-seeded randomness, so a
+  client's retry trace is reproducible.
+* 429 backpressure verdicts honour the server's ``retry_after`` hint
+  and keep retrying while the deadline allows; retrying a ``POST
+  /campaigns`` is safe because submission is idempotent by campaign id.
+* Every operation takes an optional ``deadline`` (seconds); running
+  out raises :class:`~repro.errors.DeadlineExceeded` carrying the last
+  transport failure as ``cause`` rather than looping forever against a
+  dead daemon.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.errors import (AdmissionRefused, CampaignNotFound,
+                          DeadlineExceeded, ServiceError)
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY
+from repro.service.scheduler import (CANCELLED, DONE, FAILED,
+                                     INTERRUPTED)
+from repro.service.supervisor import backoff_delay
+
+#: Campaign states the daemon will not advance further.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, INTERRUPTED)
+
+
+class ServiceUnavailable(ServiceError):
+    """The daemon kept failing at the transport level until the
+    deadline (or retry budget) ran out."""
+
+    _CTOR_ATTRS = ("url", "detail")
+
+    def __init__(self, url: str, detail: str):
+        super().__init__(f"checking service at {url} unavailable: "
+                         f"{detail}")
+        self.url = url
+        self.detail = detail
+
+
+class ServiceClient:
+    """One daemon endpoint; all verbs retry transient failures.
+
+    ``deadline`` (per call, seconds) bounds the *total* time spent
+    including backoff sleeps; ``max_attempts`` bounds retries when no
+    deadline is given.  ``sleep`` and ``clock`` are injectable so
+    tests exercise retry schedules without real waiting.
+    """
+
+    def __init__(self, url: str, *, max_attempts: int = 5,
+                 backoff: float = 0.1, backoff_cap: float = 2.0,
+                 sleep=time.sleep, clock=time.monotonic):
+        self.url = url.rstrip("/")
+        self.max_attempts = max(1, max_attempts)
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        self._clock = clock
+
+    # -- transport ----------------------------------------------------------
+
+    def _once(self, method: str, path: str,
+              body: Optional[Dict]) -> Dict:
+        """One HTTP exchange; typed service errors raise, transport
+        errors raise ``urllib.error.URLError``/``OSError``."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.url + path, data=data,
+                                         headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=30.0) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            payload = self._error_payload(exc)
+            if exc.code in (429, 503) \
+                    and payload.get("error") == "backpressure":
+                raise AdmissionRefused(payload.get("reason", "busy"),
+                                       retry_after=payload.get(
+                                           "retry_after")) from None
+            if exc.code == 404:
+                raise CampaignNotFound(
+                    payload.get("campaign")
+                    or payload.get("path", path)) from None
+            if exc.code >= 500:
+                # Server-side trouble: let the retry loop handle it.
+                raise
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {exc.code}: "
+                f"{payload.get('detail', payload)}") from None
+
+    @staticmethod
+    def _error_payload(exc: urllib.error.HTTPError) -> Dict:
+        try:
+            return json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            return {}
+
+    def _request(self, method: str, path: str, *,
+                 body: Optional[Dict] = None,
+                 deadline: Optional[float] = None) -> Dict:
+        """The retry loop: transport errors and 429/503 verdicts back
+        off (deterministic jitter keyed by the request path) until the
+        deadline or attempt budget runs out."""
+        started = self._clock()
+        attempt = 0
+        last_error: Optional[BaseException] = None
+        operation = f"{method} {path}"
+        with _trace.span("service.client", operation=operation):
+            while True:
+                attempt += 1
+                REGISTRY.inc("service.client_requests")
+                try:
+                    return self._once(method, path, body)
+                except (CampaignNotFound, ServiceError) as exc:
+                    if not isinstance(exc, AdmissionRefused):
+                        raise
+                    # Backpressure: the server said when to come back.
+                    if exc.retry_after is None and deadline is None:
+                        raise   # draining and no deadline: give up now
+                    last_error = exc
+                    delay = exc.retry_after if exc.retry_after \
+                        is not None else backoff_delay(
+                            path, 0, attempt, base=self.backoff,
+                            cap=self.backoff_cap)
+                except (urllib.error.URLError, OSError,
+                        ConnectionError) as exc:
+                    last_error = exc
+                    delay = backoff_delay(path, 0, attempt,
+                                          base=self.backoff,
+                                          cap=self.backoff_cap)
+                REGISTRY.inc("service.client_retries")
+                if deadline is not None:
+                    remaining = deadline - (self._clock() - started)
+                    if remaining <= delay:
+                        raise DeadlineExceeded(operation, deadline,
+                                               cause=last_error)
+                elif attempt >= self.max_attempts:
+                    if isinstance(last_error, AdmissionRefused):
+                        raise last_error
+                    raise ServiceUnavailable(
+                        self.url, f"{operation} failed after "
+                        f"{attempt} attempts: {last_error}")
+                _trace.event("service.client-retry",
+                             operation=operation, attempt=attempt,
+                             delay=delay, error=str(last_error))
+                self._sleep(delay)
+
+    # -- verbs --------------------------------------------------------------
+
+    def submit(self, payload: Dict, *,
+               deadline: Optional[float] = None) -> Dict:
+        """``POST /campaigns`` — idempotent when ``payload['id']``
+        is set, which makes the retry loop safe on lost responses."""
+        return self._request("POST", "/campaigns", body=payload,
+                             deadline=deadline)
+
+    def status(self, campaign_id: str, *,
+               deadline: Optional[float] = None) -> Dict:
+        return self._request("GET", f"/campaigns/{campaign_id}",
+                             deadline=deadline)
+
+    def list_campaigns(self, *,
+                       deadline: Optional[float] = None) -> List[Dict]:
+        return self._request("GET", "/campaigns",
+                             deadline=deadline)["campaigns"]
+
+    def artifacts(self, campaign_id: str, *,
+                  deadline: Optional[float] = None) -> List[Dict]:
+        return self._request(
+            "GET", f"/campaigns/{campaign_id}/artifacts",
+            deadline=deadline)["artifacts"]
+
+    def cancel(self, campaign_id: str, *,
+               deadline: Optional[float] = None) -> Dict:
+        return self._request("POST",
+                             f"/campaigns/{campaign_id}/cancel",
+                             deadline=deadline)
+
+    def healthz(self, *, deadline: Optional[float] = None) -> Dict:
+        return self._request("GET", "/healthz", deadline=deadline)
+
+    def wait(self, campaign_id: str, *,
+             deadline: Optional[float] = None,
+             poll: float = 0.1) -> Dict:
+        """Poll until the campaign reaches a terminal state; returns
+        its final status payload."""
+        started = self._clock()
+        last_state = "unknown"
+        while True:
+            remaining = None if deadline is None \
+                else deadline - (self._clock() - started)
+            if remaining is not None and remaining <= 0:
+                raise DeadlineExceeded(
+                    f"wait {campaign_id}", deadline,
+                    cause=f"campaign still {last_state}")
+            status = self.status(campaign_id, deadline=remaining)
+            last_state = status["status"]
+            if last_state in TERMINAL_STATES:
+                return status
+            self._sleep(poll)

@@ -1,0 +1,283 @@
+"""The checking-as-a-service daemon: a stdlib HTTP/JSON front.
+
+A long-lived process that accepts campaign submissions over HTTP,
+schedules them across one shared worker pool via
+:class:`~repro.service.scheduler.CampaignScheduler`, and serves
+verdicts and replayable provenance bundles back.  No dependencies
+beyond ``http.server`` — the service is the same code a test can
+exercise in-process on an ephemeral port.
+
+API (all bodies JSON)::
+
+    POST /campaigns                submit a CampaignSpec
+                                   202 {"id", "status"} on admission,
+                                   429 backpressure verdict when the
+                                   admission queue is full,
+                                   503 when draining
+    GET  /campaigns                every known campaign's status
+    GET  /campaigns/<id>           one campaign's status (404 unknown)
+    GET  /campaigns/<id>/artifacts the campaign's cut provenance
+                                   bundles, inline and replayable
+    POST /campaigns/<id>/cancel    stop scheduling it (checkpoint kept)
+    GET  /healthz                  scheduler liveness: ok | stalled |
+                                   draining, heartbeat age, queue depths
+    GET  /metrics                  the process metrics registry snapshot
+
+The submission body carries the
+:class:`~repro.service.orchestrator.CampaignSpec` payload fields plus
+optional ``id``, ``wall_budget`` and ``wave_budget``.  A resubmitted
+``id`` is idempotent — the client's retry loop may safely repeat a
+``POST`` whose response was lost.
+
+Lifecycle: ``SIGTERM`` drains gracefully (stop admitting, finish the
+in-flight round — every chunk commit is a flushed checkpoint — then
+exit 0 with a per-campaign resume report); ``SIGINT`` does the same
+but exits 130, matching the campaign CLI convention.  A ``kill -9``
+loses at most one in-flight wave chunk per campaign; the next daemon
+started on the same ``--root`` auto-resumes every incomplete store
+(:meth:`~repro.service.scheduler.CampaignScheduler.recover`).
+"""
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.errors import AdmissionRefused, CampaignNotFound
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY
+from repro.service.orchestrator import CampaignSpec
+from repro.service.scheduler import CampaignScheduler
+
+#: Request body cap: a CampaignSpec is a few hundred bytes; anything
+#: megabyte-sized is not a spec.
+MAX_BODY = 1 << 20
+
+
+def spec_from_payload(payload: Dict) -> Tuple[CampaignSpec, Dict]:
+    """Split a submission body into (spec, admission options).
+
+    Unknown fields are rejected — a typo'd ``max_schedule`` silently
+    running the default bound would be a debugging trap.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("submission body must be a JSON object")
+    spec_fields = set(CampaignSpec.__dataclass_fields__)
+    option_fields = {"id", "wall_budget", "wave_budget"}
+    unknown = set(payload) - spec_fields - option_fields
+    if unknown:
+        raise ValueError(f"unknown submission fields {sorted(unknown)} "
+                         f"(spec fields: {sorted(spec_fields)}; "
+                         f"options: {sorted(option_fields)})")
+    spec = CampaignSpec.from_payload(
+        {key: value for key, value in payload.items()
+         if key in spec_fields})
+    options = {"campaign_id": payload.get("id"),
+               "wall_budget": payload.get("wall_budget"),
+               "wave_budget": payload.get("wave_budget")}
+    return spec, options
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the daemon's scheduler; JSON in, JSON out."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-checkd/1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def daemon(self) -> "CheckingDaemon":
+        return self.server.checking_daemon
+
+    def log_message(self, format, *args):   # noqa: A002 - stdlib name
+        # Access logging goes to the tracer, not stderr.
+        _trace.event("service.http-log", line=format % args)
+
+    def _reply(self, status: int, payload: Dict):
+        body = json.dumps(payload, indent=2, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY:
+            raise ValueError(f"request body of {length} bytes exceeds "
+                             f"the {MAX_BODY} byte cap")
+        if length == 0:
+            return {}
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    def _route(self, method: str):
+        REGISTRY.inc("service.http_requests")
+        REGISTRY.inc(f"service.http_{method.lower()}")
+        path = self.path.rstrip("/") or "/"
+        with _trace.span("service.http", method=method, path=path):
+            try:
+                status, payload = self.daemon.handle(method, path,
+                                                     self._read_json
+                                                     if method == "POST"
+                                                     else None)
+            except (ValueError, json.JSONDecodeError) as exc:
+                status, payload = 400, {"error": "bad-request",
+                                        "detail": str(exc)}
+            except AdmissionRefused as exc:
+                status = 503 if exc.retry_after is None else 429
+                payload = {"error": "backpressure",
+                           "reason": exc.reason,
+                           "retry_after": exc.retry_after}
+                if exc.retry_after is not None:
+                    REGISTRY.inc("service.http_429")
+            except CampaignNotFound as exc:
+                status, payload = 404, {"error": "not-found",
+                                        "campaign": exc.campaign_id}
+            if status >= 500:
+                REGISTRY.inc("service.http_5xx")
+            self._reply(status, payload)
+
+    def do_GET(self):           # noqa: N802 - stdlib casing
+        self._route("GET")
+
+    def do_POST(self):          # noqa: N802 - stdlib casing
+        self._route("POST")
+
+
+class CheckingDaemon:
+    """The HTTP server + scheduler pair behind ``python -m repro serve``.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` holds
+    the bound ``(host, port)`` after construction.
+    """
+
+    def __init__(self, root: str, *, host: str = "127.0.0.1",
+                 port: int = 8731,
+                 scheduler: Optional[CampaignScheduler] = None,
+                 **scheduler_options):
+        self.scheduler = scheduler if scheduler is not None \
+            else CampaignScheduler(root, **scheduler_options)
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.checking_daemon = self
+        self.httpd.daemon_threads = True
+        self.address = self.httpd.server_address[:2]
+        self._http_thread: Optional[threading.Thread] = None
+        self._drained = threading.Event()
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- request dispatch ---------------------------------------------------
+
+    def handle(self, method: str, path: str, read_json) \
+            -> Tuple[int, Dict]:
+        """One request → (status, JSON payload); typed errors raise."""
+        scheduler = self.scheduler
+        if method == "GET" and path == "/healthz":
+            return 200, scheduler.health()
+        if method == "GET" and path == "/metrics":
+            return 200, REGISTRY.snapshot()
+        if method == "GET" and path == "/campaigns":
+            return 200, {"campaigns": scheduler.list_campaigns()}
+        if method == "POST" and path == "/campaigns":
+            spec, options = spec_from_payload(read_json())
+            known = options["campaign_id"] in {
+                status["id"] for status in scheduler.list_campaigns()}
+            campaign_id = scheduler.submit(spec, **options)
+            if known:
+                return 200, scheduler.status(campaign_id)
+            return 202, {"id": campaign_id, "status": "queued",
+                         "store": f"{scheduler.root}/{campaign_id}"}
+        parts = path.strip("/").split("/")
+        if len(parts) >= 2 and parts[0] == "campaigns":
+            campaign_id = parts[1]
+            if method == "GET" and len(parts) == 2:
+                return 200, scheduler.status(campaign_id)
+            if method == "GET" and parts[2:] == ["artifacts"]:
+                return 200, {"id": campaign_id,
+                             "artifacts":
+                                 scheduler.artifacts(campaign_id)}
+            if method == "POST" and parts[2:] == ["cancel"]:
+                return 200, scheduler.cancel(campaign_id)
+        return 404, {"error": "not-found", "path": path}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, *, recover: bool = True):
+        """Recover incomplete stores, start scheduling, start serving."""
+        if recover:
+            self.scheduler.recover()
+        self.scheduler.start()
+        self._http_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-http",
+            daemon=True)
+        self._http_thread.start()
+        _trace.event("service.listen", url=self.url)
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, Dict]:
+        """Graceful shutdown; returns the per-campaign resume report."""
+        report = self.scheduler.drain(timeout)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(5.0)
+            self._http_thread = None
+        self._drained.set()
+        return report
+
+    def __enter__(self) -> "CheckingDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc):
+        if not self._drained.is_set():
+            self.drain()
+        return False
+
+
+def serve_forever(daemon: CheckingDaemon, *, out=None) -> int:
+    """Block until SIGTERM/SIGINT, then drain; the ``serve`` verb body.
+
+    Returns the process exit code: 0 for a SIGTERM drain, 130 for
+    SIGINT — both after the same flush.  Installs handlers only for
+    the calling (main) thread, as ``signal`` requires.
+    """
+    import sys
+    out = out if out is not None else sys.stdout
+    stop = threading.Event()
+    received = {}
+
+    def _on_signal(signum, _frame):
+        received["signum"] = signum
+        stop.set()
+
+    previous = {signum: signal.signal(signum, _on_signal)
+                for signum in (signal.SIGTERM, signal.SIGINT)}
+    try:
+        daemon.start()
+        print(f"repro checking service listening on {daemon.url} "
+              f"(store root {daemon.scheduler.root})", file=out,
+              flush=True)
+        stop.wait()
+        signum = received.get("signum", signal.SIGTERM)
+        name = signal.Signals(signum).name
+        print(f"{name} received — draining (no new admissions, "
+              f"in-flight waves finishing)", file=out, flush=True)
+        report = daemon.drain()
+        for campaign_id, status in report.items():
+            print(f"  {campaign_id}: {status['status']}"
+                  f" (waves {status['waves']}, schedules "
+                  f"{status['schedules_run']}, resumable "
+                  f"{str(status['resumable']).lower()})",
+                  file=out, flush=True)
+        print(f"drained {len(report)} campaign(s); checkpoints "
+              f"flushed to {daemon.scheduler.root}", file=out,
+              flush=True)
+        return 130 if signum == signal.SIGINT else 0
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

@@ -93,13 +93,26 @@ class CampaignSpec:
 
 
 class CampaignStore:
-    """One campaign's durable home: checkpoint file + memo log."""
+    """One campaign's durable home: checkpoint file + memo log.
+
+    Usable as a context manager: ``with CampaignStore(root) as store``
+    releases the memo log's file handle on exit.  :meth:`close` is
+    idempotent, and a closed store is not poisoned — the append log
+    reopens lazily if the store is used again (closing releases OS
+    resources; it does not retire the on-disk state).
+    """
 
     def __init__(self, root: str):
         self.root = root
         os.makedirs(root, exist_ok=True)
         self.checkpoint_path = os.path.join(root, CHECKPOINT_FILE)
         self.memo = MemoStore(os.path.join(root, MEMO_FILE))
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run since the last use."""
+        return self._closed
 
     def has_checkpoint(self) -> bool:
         return os.path.exists(self.checkpoint_path)
@@ -144,7 +157,17 @@ class CampaignStore:
         return path
 
     def close(self):
+        """Release the memo log's handle; safe to call repeatedly."""
         self.memo.close()
+        self._closed = True
+
+    def __enter__(self) -> "CampaignStore":
+        self._closed = False
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
 
 
 def _coerce_store(store) -> CampaignStore:
@@ -241,12 +264,15 @@ def run_durable_campaign(spec: CampaignSpec, store, *,
     from repro.engine import workers as worker_module
     from repro.hyperenclave.monitor import HOST_ID
 
+    owns_store = not isinstance(store, CampaignStore)
     store = _coerce_store(store)
     digest = spec.digest()
     checkpoint = store.load_checkpoint(expected_digest=digest)
     threshold = _chaos_threshold(chaos_kill_after)
 
     if checkpoint is not None and checkpoint.done:
+        if owns_store:
+            store.close()
         return checkpoint.state.result()
 
     if checkpoint is not None:
@@ -338,6 +364,8 @@ def run_durable_campaign(spec: CampaignSpec, store, *,
         finally:
             if owns_pool:
                 pool.close()
+            if owns_store:
+                store.close()
     return state.result()
 
 
@@ -353,16 +381,21 @@ def resume_campaign(store, *, workers: Optional[int] = None,
     should fail loudly; the *campaign* entry point is the one with the
     cold-start fallback).
     """
+    owns_store = not isinstance(store, CampaignStore)
     store = _coerce_store(store)
-    if not store.has_checkpoint():
-        raise FileNotFoundError(
-            f"no checkpoint at {store.checkpoint_path!r} — nothing to "
-            f"resume")
-    checkpoint = store.load_checkpoint(strict=True)
-    spec = CampaignSpec.from_payload(checkpoint.spec)
-    return run_durable_campaign(spec, store, workers=workers,
-                                executor=executor,
-                                chaos_kill_after=chaos_kill_after)
+    try:
+        if not store.has_checkpoint():
+            raise FileNotFoundError(
+                f"no checkpoint at {store.checkpoint_path!r} — nothing "
+                f"to resume")
+        checkpoint = store.load_checkpoint(strict=True)
+        spec = CampaignSpec.from_payload(checkpoint.spec)
+        return run_durable_campaign(spec, store, workers=workers,
+                                    executor=executor,
+                                    chaos_kill_after=chaos_kill_after)
+    finally:
+        if owns_store:
+            store.close()
 
 
 # ---------------------------------------------------------------------------
@@ -391,6 +424,7 @@ def warm_pure_check_grid(names: Sequence[str], store, *,
     from repro.engine.campaigns import _executor, _pure_check_units
     from repro.verification.harness import pure_check_key
 
+    owns_store = not isinstance(store, CampaignStore)
     store = _coerce_store(store)
     names = list(names)
     units = _pure_check_units(names, total_steps=total_steps,
@@ -429,4 +463,6 @@ def warm_pure_check_grid(names: Sequence[str], store, *,
         store.memo.extend(
             (VERDICT_TABLE, keys[index], report)
             for index, report in zip(misses, fresh))
+    if owns_store:
+        store.close()
     return reports

@@ -147,3 +147,59 @@ class TestReplay:
         outcome = replay_bundle(bundles_from_exploration(
             type("R", (), {"violations": [fake]})(), check_ni=False)[0])
         assert not outcome.matched
+
+    def test_pure_check_degradation_divergence_is_detected(self, model):
+        """Every recorded verdict field counts — a bundle whose
+        ``degradations`` differ from the replay must DIVERGE (an
+        earlier whitelist silently skipped the comparison)."""
+        from repro import fastpath
+        from repro.verification.harness import check_pure_hardened
+
+        with fastpath.forced():
+            report = check_pure_hardened(model, "level_span",
+                                         max_steps=16, sample_count=16)
+        bundle = pure_check_bundle(report, max_steps=16,
+                                   sample_count=16)
+        assert replay_bundle(bundle).matched
+        bundle.violation["degradations"] = ["an-engine-that-never-ran"]
+        outcome = replay_bundle(bundle)
+        assert not outcome.matched, outcome.summary()
+
+
+class TestReplayCli:
+    """``python -m repro replay``: divergence must exit non-zero with
+    a typed message, reproduction exits zero."""
+
+    def _crash_bundle(self):
+        (index, site, kind, step), record = _crash_step_record()
+        return crash_step_bundle(index, site, kind, step, seed=0,
+                                 record=record)
+
+    def test_reproduced_exits_zero(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = self._crash_bundle().save(str(tmp_path / "ok.json"))
+        assert main(["replay", path]) == 0
+        assert "[REPRODUCED]" in capsys.readouterr().out
+
+    def test_divergence_exits_nonzero_with_typed_message(
+            self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bundle = self._crash_bundle()
+        bundle.violation["detail"] = "a finding that never happened"
+        path = bundle.save(str(tmp_path / "edited.json"))
+        assert main(["replay", path]) == 1
+        captured = capsys.readouterr()
+        assert "[DIVERGED]" in captured.out
+        assert "replay diverged" in captured.err
+        assert "was not reproduced" in captured.err
+
+    def test_unloadable_bundle_is_a_usage_error(self, tmp_path,
+                                                capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "torn.json"
+        path.write_text('{"kind": "crash-step"')
+        assert main(["replay", str(path)]) == 2
+        assert "cannot load bundle" in capsys.readouterr().err

@@ -1,0 +1,118 @@
+"""The deadline-aware client, without a network.
+
+A fake transport replaces :meth:`ServiceClient._once` so the retry
+loop is exercised against scripted failures: connection refusals,
+backpressure verdicts with and without ``retry_after`` hints, and
+deadlines that run out mid-backoff.  The sleeps are recorded, never
+slept, and the fake clock only advances when the loop "sleeps" — so
+the schedule assertions are exact.
+"""
+
+import urllib.error
+
+import pytest
+
+from repro.errors import (
+    AdmissionRefused,
+    CampaignNotFound,
+    DeadlineExceeded,
+)
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.supervisor import backoff_delay
+
+
+class ScriptedClient(ServiceClient):
+    """Each element of ``script`` is an exception to raise or a dict
+    to return, consumed one call at a time."""
+
+    def __init__(self, script, **options):
+        self.script = list(script)
+        self.calls = []
+        self.slept = []
+        self.now = 0.0
+        options.setdefault("backoff", 0.1)
+        super().__init__("http://fake:1", sleep=self._fake_sleep,
+                         clock=lambda: self.now, **options)
+
+    def _fake_sleep(self, delay):
+        self.slept.append(delay)
+        self.now += delay
+
+    def _once(self, method, path, body):
+        self.calls.append((method, path))
+        action = self.script.pop(0)
+        if isinstance(action, BaseException):
+            raise action
+        return action
+
+
+def refused():
+    return urllib.error.URLError(ConnectionRefusedError(111))
+
+
+class TestRetries:
+    def test_transient_refusals_retry_then_succeed(self):
+        client = ScriptedClient([refused(), refused(), {"ok": True}])
+        assert client.healthz() == {"ok": True}
+        assert len(client.calls) == 3
+        # The backoff schedule is the supervisor's: deterministic
+        # jitter keyed by (path, shard 0, attempt).
+        assert client.slept == [
+            backoff_delay("/healthz", 0, 1, base=0.1, cap=2.0),
+            backoff_delay("/healthz", 0, 2, base=0.1, cap=2.0)]
+
+    def test_retry_budget_exhaustion_is_typed(self):
+        client = ScriptedClient([refused()] * 3, max_attempts=3)
+        with pytest.raises(ServiceUnavailable, match="3 attempts"):
+            client.healthz()
+        assert len(client.calls) == 3
+
+    def test_deadline_cuts_the_retry_loop(self):
+        client = ScriptedClient([refused()] * 50, backoff=10.0)
+        with pytest.raises(DeadlineExceeded) as exc:
+            client.healthz(deadline=12.0)
+        assert exc.value.deadline == 12.0
+        assert isinstance(exc.value.cause, urllib.error.URLError)
+
+    def test_retry_schedule_is_deterministic(self):
+        first = ScriptedClient([refused(), refused(), {}])
+        second = ScriptedClient([refused(), refused(), {}])
+        first.healthz()
+        second.healthz()
+        assert first.slept == second.slept
+
+    def test_backpressure_honours_server_hint(self):
+        client = ScriptedClient(
+            [AdmissionRefused("queue full", retry_after=0.7), {"id": "x"}])
+        assert client.submit({"id": "x"}, deadline=60)["id"] == "x"
+        assert client.slept == [0.7]
+
+    def test_draining_verdict_without_deadline_raises_now(self):
+        client = ScriptedClient([AdmissionRefused("draining",
+                                                  retry_after=None)])
+        with pytest.raises(AdmissionRefused):
+            client.submit({"id": "x"})
+        assert client.slept == []
+
+    def test_not_found_never_retries(self):
+        client = ScriptedClient([CampaignNotFound("ghost")])
+        with pytest.raises(CampaignNotFound):
+            client.status("ghost")
+        assert len(client.calls) == 1
+
+
+class TestWait:
+    def test_wait_polls_to_terminal_state(self):
+        client = ScriptedClient([
+            {"status": "queued"},
+            {"status": "running"},
+            {"status": "done", "ok": True}])
+        final = client.wait("c", poll=0.5)
+        assert final["status"] == "done"
+        assert client.slept == [0.5, 0.5]
+
+    def test_wait_deadline_names_last_state(self):
+        client = ScriptedClient([{"status": "running"}] * 100,
+                                backoff=0.0)
+        with pytest.raises(DeadlineExceeded, match="still running"):
+            client.wait("c", deadline=2.0, poll=1.0)

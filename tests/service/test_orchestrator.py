@@ -232,6 +232,41 @@ class TestWarmPureCheckGrid:
         assert tables["pure-verdict"] == 4
 
 
+class TestStoreContextManager:
+    def test_with_block_closes_store(self, tmp_path):
+        with CampaignStore(str(tmp_path)) as store:
+            run_durable_campaign(spec_for(8), store, workers=1)
+            assert not store.closed
+        assert store.closed
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = CampaignStore(str(tmp_path))
+        store.close()
+        store.close()              # double-close must not raise
+        assert store.closed
+
+    def test_closed_store_reopens_lazily(self, tmp_path,
+                                         tmp_path_factory):
+        store = CampaignStore(str(tmp_path))
+        run_durable_campaign(spec_for(), store, workers=1)
+        store.close()
+        # Closing releases the file handle, not the on-disk state:
+        # the same object keeps serving checkpoints and memo reads.
+        checkpoint = store.load_checkpoint()
+        assert checkpoint is not None and checkpoint.done
+        assert repr(checkpoint.state.result()) \
+            == clean_repr(tmp_path_factory)
+
+    def test_reentry_resets_closed_flag(self, tmp_path):
+        store = CampaignStore(str(tmp_path))
+        with store:
+            pass
+        assert store.closed
+        with store:
+            assert not store.closed
+        assert store.closed
+
+
 class TestCli:
     def test_campaign_then_resume_exit_zero(self, tmp_path, capsys):
         store = str(tmp_path / "store")

@@ -1,6 +1,7 @@
 """The resilient executor: respawn, retry, quarantine, determinism."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.engine import ShardedExecutor
 from repro.errors import ShardQuarantined
@@ -125,6 +126,56 @@ class TestBackoffDelay:
         small = backoff_delay("f", 0, 1, base=0.1, cap=100.0)
         large = backoff_delay("f", 0, 6, base=0.1, cap=100.0)
         assert large > small
+
+    # -- property tests: the delay law over its whole input space ----------
+
+    _keys = st.tuples(st.text(min_size=0, max_size=40),
+                      st.integers(min_value=0, max_value=10_000),
+                      st.integers(min_value=1, max_value=60))
+    _params = st.tuples(
+        st.floats(min_value=1e-4, max_value=10.0,
+                  allow_nan=False, allow_infinity=False),
+        st.floats(min_value=1e-4, max_value=100.0,
+                  allow_nan=False, allow_infinity=False))
+
+    @settings(max_examples=200, deadline=None)
+    @given(key=_keys, params=_params)
+    def test_deterministic_for_fixed_inputs(self, key, params):
+        fn_path, shard, attempt = key
+        base, cap = params
+        first = backoff_delay(fn_path, shard, attempt,
+                              base=base, cap=cap)
+        again = backoff_delay(fn_path, shard, attempt,
+                              base=base, cap=cap)
+        assert first == again
+
+    @settings(max_examples=200, deadline=None)
+    @given(key=_keys, params=_params)
+    def test_jitter_stays_within_the_half_to_threehalves_band(
+            self, key, params):
+        fn_path, shard, attempt = key
+        base, cap = params
+        delay = backoff_delay(fn_path, shard, attempt,
+                              base=base, cap=cap)
+        raw = min(base * 2 ** (attempt - 1), cap)
+        assert 0.5 * raw <= delay <= 1.5 * raw
+        # In particular the cap bounds every delay, jitter included.
+        assert delay <= 1.5 * cap
+
+    @settings(max_examples=100, deadline=None)
+    @given(key=_keys,
+           cap=st.floats(min_value=1e-4, max_value=100.0,
+                         allow_nan=False, allow_infinity=False))
+    def test_monotone_in_the_cap(self, key, cap):
+        """Raising the cap never shrinks a delay (the un-jittered
+        exponential saturates at the cap, and the jitter factor is a
+        pure function of (fn_path, shard, attempt))."""
+        fn_path, shard, attempt = key
+        low = backoff_delay(fn_path, shard, attempt,
+                            base=0.1, cap=cap)
+        high = backoff_delay(fn_path, shard, attempt,
+                             base=0.1, cap=cap * 2)
+        assert high >= low
 
 
 class TestReuseAfterTermination:
