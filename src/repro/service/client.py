@@ -69,8 +69,12 @@ class ServiceClient:
 
     # -- transport ----------------------------------------------------------
 
-    def _once(self, method: str, path: str,
-              body: Optional[Dict]) -> Dict:
+    #: Per-request socket timeout ceiling; a caller deadline clamps it
+    #: further so a black-holed server cannot outlive the deadline.
+    REQUEST_TIMEOUT = 30.0
+
+    def _once(self, method: str, path: str, body: Optional[Dict],
+              timeout: float = REQUEST_TIMEOUT) -> Dict:
         """One HTTP exchange; typed service errors raise, transport
         errors raise ``urllib.error.URLError``/``OSError``."""
         data = None
@@ -81,7 +85,8 @@ class ServiceClient:
         request = urllib.request.Request(self.url + path, data=data,
                                          headers=headers, method=method)
         try:
-            with urllib.request.urlopen(request, timeout=30.0) as resp:
+            with urllib.request.urlopen(request,
+                                        timeout=timeout) as resp:
                 return json.loads(resp.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             payload = self._error_payload(exc)
@@ -122,8 +127,18 @@ class ServiceClient:
             while True:
                 attempt += 1
                 REGISTRY.inc("service.client_requests")
+                timeout = self.REQUEST_TIMEOUT
+                if deadline is not None:
+                    remaining = deadline - (self._clock() - started)
+                    if remaining <= 0:
+                        raise DeadlineExceeded(operation, deadline,
+                                               cause=last_error)
+                    # The socket timeout never exceeds what is left of
+                    # the deadline — deadline=5 against a black-holed
+                    # server must fail in ~5s, not ~30s.
+                    timeout = min(timeout, remaining)
                 try:
-                    return self._once(method, path, body)
+                    return self._once(method, path, body, timeout)
                 except (CampaignNotFound, ServiceError) as exc:
                     if not isinstance(exc, AdmissionRefused):
                         raise

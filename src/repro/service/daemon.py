@@ -48,7 +48,8 @@ from repro.errors import AdmissionRefused, CampaignNotFound
 from repro.obs import trace as _trace
 from repro.obs.metrics import REGISTRY
 from repro.service.orchestrator import CampaignSpec
-from repro.service.scheduler import CampaignScheduler
+from repro.service.scheduler import (CampaignScheduler, _safe_id,
+                                     _validate_budgets)
 
 #: Request body cap: a CampaignSpec is a few hundred bytes; anything
 #: megabyte-sized is not a spec.
@@ -73,7 +74,15 @@ def spec_from_payload(payload: Dict) -> Tuple[CampaignSpec, Dict]:
     spec = CampaignSpec.from_payload(
         {key: value for key, value in payload.items()
          if key in spec_fields})
-    options = {"campaign_id": payload.get("id"),
+    campaign_id = payload.get("id")
+    if campaign_id is not None and (not isinstance(campaign_id, str)
+                                    or not _safe_id(campaign_id)):
+        raise ValueError(
+            f"id must be a non-empty [A-Za-z0-9._-] string "
+            f"(not all dots), got {campaign_id!r}")
+    _validate_budgets(payload.get("wall_budget"),
+                      payload.get("wave_budget"))
+    options = {"campaign_id": campaign_id,
                "wall_budget": payload.get("wall_budget"),
                "wave_budget": payload.get("wave_budget")}
     return spec, options
@@ -135,6 +144,15 @@ class _Handler(BaseHTTPRequestHandler):
             except CampaignNotFound as exc:
                 status, payload = 404, {"error": "not-found",
                                         "campaign": exc.campaign_id}
+            except Exception as exc:
+                # Anything untyped (an OSError reading a bundle, a
+                # TypeError from a malformed body) must still produce
+                # an HTTP response, not a dropped connection.
+                status, payload = 500, {
+                    "error": "internal",
+                    "detail": f"{type(exc).__name__}: {exc}"}
+                _trace.event("service.http-internal-error",
+                             path=path, cause=str(exc))
             if status >= 500:
                 REGISTRY.inc("service.http_5xx")
             self._reply(status, payload)
@@ -246,6 +264,8 @@ def serve_forever(daemon: CheckingDaemon, *, out=None) -> int:
     SIGINT — both after the same flush.  Installs handlers only for
     the calling (main) thread, as ``signal`` requires.
     """
+    import faulthandler
+    import os
     import sys
     out = out if out is not None else sys.stdout
     stop = threading.Event()
@@ -257,12 +277,28 @@ def serve_forever(daemon: CheckingDaemon, *, out=None) -> int:
 
     previous = {signum: signal.signal(signum, _on_signal)
                 for signum in (signal.SIGTERM, signal.SIGINT)}
+    # Liveness forensics: SIGUSR1 appends an all-thread stack dump to
+    # <root>/stacks.txt, so an operator can see exactly where a
+    # seemingly-stalled daemon is without killing it.
+    stacks = open(os.path.join(daemon.scheduler.root, "stacks.txt"),
+                  "a")
+    faulthandler.register(signal.SIGUSR1, file=stacks, all_threads=True)
     try:
         daemon.start()
         print(f"repro checking service listening on {daemon.url} "
               f"(store root {daemon.scheduler.root})", file=out,
               flush=True)
-        stop.wait()
+        # Poll instead of blocking indefinitely: the kernel may hand a
+        # process-directed SIGTERM to whichever thread is running
+        # (under load, usually the busy scheduler thread), but Python
+        # signal handlers only ever run on the main thread — and a
+        # main thread parked in an untimed lock wait never returns to
+        # bytecode to run the pending handler, so the drain would
+        # silently never start.  A timed wait re-enters the
+        # interpreter every half second, which is when pending
+        # handlers fire.
+        while not stop.wait(0.5):
+            pass
         signum = received.get("signum", signal.SIGTERM)
         name = signal.Signals(signum).name
         print(f"{name} received — draining (no new admissions, "
@@ -279,5 +315,7 @@ def serve_forever(daemon: CheckingDaemon, *, out=None) -> int:
               flush=True)
         return 130 if signum == signal.SIGINT else 0
     finally:
+        faulthandler.unregister(signal.SIGUSR1)
+        stacks.close()
         for signum, handler in previous.items():
             signal.signal(signum, handler)

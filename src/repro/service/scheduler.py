@@ -243,7 +243,8 @@ class CampaignScheduler:
                campaign_id: Optional[str] = None,
                wall_budget: Optional[float] = None,
                wave_budget: Optional[int] = None,
-               resumed: bool = False) -> str:
+               resumed: bool = False,
+               _admission_exempt: bool = False) -> str:
         """Admit a campaign; returns its id.
 
         Re-submitting an existing id is idempotent while the campaign
@@ -257,6 +258,11 @@ class CampaignScheduler:
         the queue is at ``max_queued`` — the backpressure verdict the
         daemon maps to HTTP 429/503.
         """
+        _validate_budgets(wall_budget, wave_budget)
+        if campaign_id is not None and not _safe_id(campaign_id):
+            raise ValueError(
+                f"campaign id {campaign_id!r} must be a non-empty "
+                f"[A-Za-z0-9._-] token (not all dots)")
         with self._lock:
             existing = self._campaigns.get(campaign_id) \
                 if campaign_id is not None else None
@@ -268,7 +274,8 @@ class CampaignScheduler:
                 raise AdmissionRefused("service is draining",
                                        retry_after=None)
             waiting = len(self._queued())
-            if waiting >= self.max_queued + self.max_active:
+            if not _admission_exempt \
+                    and waiting >= self.max_queued + self.max_active:
                 REGISTRY.inc("service.admission_refused")
                 raise AdmissionRefused(
                     f"admission queue full ({waiting} campaign(s) "
@@ -299,11 +306,16 @@ class CampaignScheduler:
             if campaign_id is None:
                 campaign_id = f"c{self._admitted:04d}-" \
                               f"{spec.digest()[:8]}"
-            if not _safe_id(campaign_id):
+            store_root = os.path.join(self.root, campaign_id)
+            # Belt-and-braces containment: even a charset-clean id must
+            # resolve to a direct child of the store root (a symlink
+            # planted at <root>/<id> could otherwise point elsewhere).
+            root_real = os.path.realpath(self.root)
+            if os.path.dirname(os.path.realpath(store_root)) != root_real:
                 raise ValueError(
-                    f"campaign id {campaign_id!r} must be a non-empty "
-                    f"[A-Za-z0-9._-] token")
-            store = CampaignStore(os.path.join(self.root, campaign_id))
+                    f"campaign id {campaign_id!r} resolves outside "
+                    f"the store root")
+            store = CampaignStore(store_root)
             campaign = ManagedCampaign(
                 campaign_id=campaign_id, spec=spec, store=store,
                 admission_index=self._admitted,
@@ -365,10 +377,23 @@ class CampaignScheduler:
                     self._campaigns[name] = campaign
                     self._order.append(name)
                 continue
-            self.submit(spec, campaign_id=name,
-                        wall_budget=meta.get("wall_budget"),
-                        wave_budget=meta.get("wave_budget"),
-                        resumed=True)
+            # Recovered campaigns are pre-existing obligations, so they
+            # are exempt from the admission bound — a crash must never
+            # leave more incomplete stores than a restart can re-admit.
+            # Corrupt metadata (bad id, non-numeric budgets persisted
+            # by an older daemon) downgrades to a skip, not a failed
+            # startup; AdmissionRefused can still surface if recover()
+            # races a drain, and is equally non-fatal.
+            try:
+                self.submit(spec, campaign_id=name,
+                            wall_budget=meta.get("wall_budget"),
+                            wave_budget=meta.get("wave_budget"),
+                            resumed=True, _admission_exempt=True)
+            except (ValueError, AdmissionRefused) as exc:
+                REGISTRY.inc("service.recover_skipped")
+                _trace.event("service.recover-skip", campaign=name,
+                             cause=str(exc))
+                continue
             resumed.append(name)
         if resumed:
             REGISTRY.inc("service.campaigns_recovered", len(resumed))
@@ -788,8 +813,36 @@ class CampaignScheduler:
 
 
 def _safe_id(campaign_id: str) -> bool:
-    return bool(campaign_id) and all(
-        ch.isalnum() or ch in "._-" for ch in campaign_id)
+    if not campaign_id or not all(
+            ch.isalnum() or ch in "._-" for ch in campaign_id):
+        return False
+    # '.' / '..' (any all-dot token) resolves outside the store root.
+    return campaign_id.strip(".") != ""
+
+
+def _validate_budgets(wall_budget, wave_budget):
+    """Typed admission check: budgets are positive numbers or absent.
+
+    Submissions arrive over HTTP as arbitrary JSON; a non-numeric
+    budget stored raw would make every ``_over_budget`` comparison
+    raise and wedge the scheduling loop, so reject it at the door
+    (and again in :meth:`CampaignScheduler.recover`, where a bad
+    value may already be persisted in ``campaign.json``).
+    """
+    if wall_budget is not None:
+        if isinstance(wall_budget, bool) \
+                or not isinstance(wall_budget, (int, float)) \
+                or wall_budget <= 0:
+            raise ValueError(
+                f"wall_budget must be a positive number of seconds, "
+                f"got {wall_budget!r}")
+    if wave_budget is not None:
+        if isinstance(wave_budget, bool) \
+                or not isinstance(wave_budget, int) \
+                or wave_budget <= 0:
+            raise ValueError(
+                f"wave_budget must be a positive integer, "
+                f"got {wave_budget!r}")
 
 
 def _write_meta(campaign: ManagedCampaign):

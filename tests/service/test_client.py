@@ -29,6 +29,7 @@ class ScriptedClient(ServiceClient):
         self.script = list(script)
         self.calls = []
         self.slept = []
+        self.timeouts = []
         self.now = 0.0
         options.setdefault("backoff", 0.1)
         super().__init__("http://fake:1", sleep=self._fake_sleep,
@@ -38,8 +39,10 @@ class ScriptedClient(ServiceClient):
         self.slept.append(delay)
         self.now += delay
 
-    def _once(self, method, path, body):
+    def _once(self, method, path, body,
+              timeout=ServiceClient.REQUEST_TIMEOUT):
         self.calls.append((method, path))
+        self.timeouts.append(timeout)
         action = self.script.pop(0)
         if isinstance(action, BaseException):
             raise action
@@ -73,6 +76,20 @@ class TestRetries:
             client.healthz(deadline=12.0)
         assert exc.value.deadline == 12.0
         assert isinstance(exc.value.cause, urllib.error.URLError)
+
+    def test_socket_timeout_clamped_to_deadline(self):
+        """A deadline bounds the per-request socket timeout too — a
+        black-holed server must fail in ~deadline seconds, not hang
+        for the full 30s transport ceiling."""
+        client = ScriptedClient([refused()] * 50, backoff=1.0)
+        with pytest.raises(DeadlineExceeded):
+            client.healthz(deadline=5.0)
+        assert client.timeouts[0] == 5.0
+        assert all(t <= 5.0 for t in client.timeouts)
+        # Without a deadline, the transport ceiling applies unchanged.
+        relaxed = ScriptedClient([{"ok": True}])
+        relaxed.healthz()
+        assert relaxed.timeouts == [ServiceClient.REQUEST_TIMEOUT]
 
     def test_retry_schedule_is_deterministic(self):
         first = ScriptedClient([refused(), refused(), {}])

@@ -73,6 +73,43 @@ class TestRoutes:
             urllib.request.urlopen(daemon.url + "/teapot")
         assert exc.value.code == 404
 
+    def test_traversal_id_is_400_and_writes_nothing(
+            self, daemon, client, tmp_path):
+        """A dot-only id would resolve the campaign store outside the
+        service root; the submission must die as a 400 with no file
+        created in (or above) the root."""
+        with pytest.raises(ServiceError, match="all dots"):
+            client.submit(dict(SPEC, id=".."))
+        with pytest.raises(ServiceError, match="all dots"):
+            client.submit(dict(SPEC, id="."))
+        assert not (tmp_path / "campaign.json").exists()
+        assert not (tmp_path / "svc" / "campaign.json").exists()
+
+    def test_non_numeric_budget_is_400_typed(self, client):
+        with pytest.raises(ServiceError, match="wall_budget"):
+            client.submit(dict(SPEC, id="wb", wall_budget="abc"))
+        with pytest.raises(ServiceError, match="wave_budget"):
+            client.submit(dict(SPEC, id="wv", wave_budget=True))
+        # Nothing was admitted, and the daemon keeps scheduling.
+        assert client.list_campaigns() == []
+        assert client.healthz()["status"] == "ok"
+
+    def test_untyped_failure_maps_to_500_json(
+            self, daemon, client, monkeypatch):
+        client.submit(dict(SPEC, id="oops"))
+
+        def boom(_campaign_id):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(daemon.scheduler, "artifacts", boom)
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(
+                daemon.url + "/campaigns/oops/artifacts")
+        assert exc.value.code == 500
+        payload = json.loads(exc.value.read().decode())
+        assert payload["error"] == "internal"
+        assert "disk gone" in payload["detail"]
+
     def test_cancel_route(self, client):
         client.submit(dict(SPEC, id="doomed", max_schedules=600,
                            preemption_bound=2))

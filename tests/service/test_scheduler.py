@@ -167,6 +167,37 @@ class TestAdmission:
                          campaign_id="../escape")
         sched.drain()
 
+    def test_dot_only_ids_rejected_without_touching_parent(
+            self, tmp_path):
+        """'.' and '..' pass the charset filter but resolve to the
+        store root (or its parent) — they must be refused before any
+        store file is created or removed outside the root."""
+        sched = scheduler_for(tmp_path)
+        for hostile in (".", "..", "..."):
+            with pytest.raises(ValueError):
+                sched.submit(CampaignSpec(**SMALL),
+                             campaign_id=hostile)
+        # Nothing escaped into the root itself or its parent.
+        assert not (tmp_path / "campaign.json").exists()
+        assert not (tmp_path / "svc" / "campaign.json").exists()
+        sched.drain()
+
+    def test_non_numeric_budgets_rejected(self, tmp_path):
+        """Budgets arrive as arbitrary JSON; a non-numeric value stored
+        raw would make every budget check raise and wedge the loop."""
+        sched = scheduler_for(tmp_path)
+        spec = CampaignSpec(**SMALL)
+        with pytest.raises(ValueError, match="wall_budget"):
+            sched.submit(spec, wall_budget="abc")
+        with pytest.raises(ValueError, match="wall_budget"):
+            sched.submit(spec, wall_budget=-1.0)
+        with pytest.raises(ValueError, match="wave_budget"):
+            sched.submit(spec, wave_budget=2.5)
+        with pytest.raises(ValueError, match="wave_budget"):
+            sched.submit(spec, wave_budget=True)
+        assert sched.list_campaigns() == []
+        sched.drain()
+
     def test_unknown_campaign_is_typed(self, tmp_path):
         sched = scheduler_for(tmp_path)
         with pytest.raises(CampaignNotFound):
@@ -211,7 +242,9 @@ class TestBudgets:
 
     def test_wall_budget_fails_typed(self, tmp_path):
         sched = scheduler_for(tmp_path)
-        cid = sched.submit(CampaignSpec(**SMALL), wall_budget=0.0)
+        # Smallest admissible budget (zero is rejected as untyped):
+        # activation alone takes longer, so the first round expires it.
+        cid = sched.submit(CampaignSpec(**SMALL), wall_budget=1e-9)
         sched.run_until_idle()
         status = sched.status(cid)
         assert status["status"] == FAILED
@@ -259,6 +292,46 @@ class TestCancelAndDrain:
         assert final["status"] == DONE
         assert final["resumed"]
         assert final["result_digest"] == reference
+        again.drain()
+
+    def test_recover_bypasses_admission_bound(self, tmp_path):
+        """Recovered campaigns are pre-existing obligations: a restart
+        must re-admit every incomplete store even when there are more
+        of them than the restarted scheduler's admission bound."""
+        sched = scheduler_for(tmp_path, max_active=2, max_queued=2)
+        ids = [sched.submit(CampaignSpec(seed=i, **SMALL),
+                            campaign_id=f"r{i}") for i in range(4)]
+        sched.drain()               # nothing ran: four incomplete stores
+        again = CampaignScheduler(str(tmp_path / "svc"), workers=1,
+                                  max_active=1, max_queued=1,
+                                  round_capacity=6)
+        assert again.recover() == ids   # 4 > bound of 2, no refusal
+        again.run_until_idle()
+        for cid in ids:
+            assert again.status(cid)["status"] == DONE
+        again.drain()
+
+    def test_recover_skips_corrupt_budget_metadata(self, tmp_path):
+        """A bad budget persisted by an older daemon downgrades to a
+        recover-skip; it must not crash startup or wedge the loop."""
+        import json
+        sched = scheduler_for(tmp_path)
+        good = sched.submit(CampaignSpec(seed=0, **SMALL))
+        sched.drain()
+        poisoned = tmp_path / "svc" / "poisoned"
+        poisoned.mkdir()
+        (poisoned / "campaign.json").write_text(json.dumps({
+            "id": "poisoned",
+            "spec": CampaignSpec(seed=1, **SMALL).payload(),
+            "wall_budget": "abc",
+            "wave_budget": None}))
+        again = CampaignScheduler(str(tmp_path / "svc"), workers=1,
+                                  round_capacity=6)
+        assert again.recover() == [good]
+        with pytest.raises(CampaignNotFound):
+            again.status("poisoned")
+        again.run_until_idle()
+        assert again.status(good)["status"] == DONE
         again.drain()
 
     def test_recover_registers_finished_campaigns_read_only(
