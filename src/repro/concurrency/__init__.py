@@ -59,6 +59,14 @@ from repro.concurrency.scheduler import (
     yield_point,
 )
 from repro.concurrency.shootdown import detect_stale_translations, tlb_shootdown
+from repro.concurrency.snapshot import (
+    SnapshotPlan,
+    SnapshotTree,
+    locality_key,
+    prefix_cache_enabled,
+    process_tree,
+    reset_process_tree,
+)
 
 __all__ = [
     "BRANCH_KINDS",
@@ -72,6 +80,8 @@ __all__ = [
     "LockManager",
     "RunResult",
     "Schedule",
+    "SnapshotPlan",
+    "SnapshotTree",
     "Task",
     "Violation",
     "YieldPoint",
@@ -86,8 +96,12 @@ __all__ = [
     "guard_mutation",
     "installed",
     "lock_rank",
+    "locality_key",
     "order_locks",
+    "prefix_cache_enabled",
+    "process_tree",
     "record_phys_write",
+    "reset_process_tree",
     "release_locks",
     "replay",
     "result_violations",

@@ -23,9 +23,14 @@ the preemption to the next branch kind explores an equivalent trace.
 Children are deduplicated by their predicted vid-trace prefix — two
 preemption vectors forcing the same prefix replay the same execution.
 
-Every child run re-executes from scratch (stateless model checking);
-nothing is ever restored from a snapshot, so a reported violation's
-``(seed, schedule)`` pair reproduces it standalone by construction.
+Single-schedule :func:`replay` always re-executes from scratch
+(stateless model checking), so a reported violation's ``(seed,
+schedule)`` pair reproduces it standalone by construction.  Campaign
+sweeps may instead restore a schedule's shared prefix from the
+process-local snapshot tree (:mod:`repro.concurrency.snapshot`) and
+execute only the suffix — the equivalence suites pin that restored
+runs are byte-identical to from-scratch ones, so replayability is
+unchanged.
 """
 
 from collections import deque

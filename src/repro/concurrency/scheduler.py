@@ -116,6 +116,11 @@ class Task:
     done: bool = False
     exc: Optional[BaseException] = None
     txn_scope: Optional[object] = None
+    # Set to 1 by a snapshot-tree restore: the task is parked *inside*
+    # its current script step, so the first yield it re-executes was
+    # already recorded (and crash-checked) in the cached prefix and is
+    # silently consumed instead of being recorded again.
+    resume_swallow: int = 0
 
 
 @dataclass
@@ -169,6 +174,11 @@ class DeterministicScheduler:
         self._control = threading.Event()
         self._last: Optional[int] = None
         self._ran = False
+        # Optional snapshot-tree capture hook (repro.concurrency
+        # .snapshot.SnapshotPlan).  Offered the frozen world right
+        # before each scheduling decision; None costs one ``is None``
+        # test per decision and keeps this the exact legacy path.
+        self.snapshots = None
 
     # -- the main loop --------------------------------------------------------------
 
@@ -180,6 +190,10 @@ class DeterministicScheduler:
         self._ran = True
         with installed(self):
             for task in self.tasks:
+                if task.done:
+                    # pre-completed by a snapshot restore: its whole
+                    # script ran inside the cached prefix
+                    continue
                 task.thread = threading.Thread(
                     target=self._runner, args=(task,),
                     name=f"vcpu-{task.vid}", daemon=True)
@@ -194,6 +208,8 @@ class DeterministicScheduler:
                         "scheduler deadlock: "
                         + "; ".join(f"vcpu{t.vid} waits on "
                                     f"{t.waiting_lock!r}" for t in live))
+                if self.snapshots is not None:
+                    self.snapshots.offer(self)
                 chosen = self._pick(enabled)
                 self.decisions.append(Decision(
                     index=len(self.decisions),
@@ -211,7 +227,8 @@ class DeterministicScheduler:
                 if self.probe is not None:
                     self.stale.extend(self.probe(self.monitor) or ())
             for task in self.tasks:
-                task.thread.join(self.timeout)
+                if task.thread is not None:
+                    task.thread.join(self.timeout)
         return self.result()
 
     def result(self) -> RunResult:
@@ -269,6 +286,13 @@ class DeterministicScheduler:
             self._control.set()
 
     def _yield(self, task, kind, detail):
+        if task.resume_swallow:
+            # Snapshot restore: this yield is the cached prefix's park
+            # point being re-reached; everything about it — the yield
+            # record, the crash check, the scheduling decision — is
+            # already seeded.  Consume it and keep executing.
+            task.resume_swallow -= 1
+            return
         task.yield_index += 1
         self.yields.append(YieldPoint(
             vid=task.vid, yield_index=task.yield_index, kind=kind,
@@ -308,6 +332,8 @@ class DeterministicScheduler:
         enabled = [t for t in live if self._runnable(t)]
         if not enabled or self._pick(enabled) is not task:
             return False
+        if self.snapshots is not None:
+            self.snapshots.offer(self)
         self.decisions.append(Decision(
             index=len(self.decisions),
             chosen=task.vid,

@@ -9,9 +9,15 @@ to the sequential run.  :class:`ShardedExecutor` does exactly that:
   (blake2b of a caller-supplied key string, defaulting to the unit's
   position) — the partition is a pure function of the unit list, never
   of scheduling luck;
-* each shard ships to a ``ProcessPoolExecutor`` worker as one task
-  (worker functions are named by ``module:attr`` path, because the
-  campaign closures themselves do not pickle);
+* each shard ships to its **pinned worker process** — one
+  single-process ``ProcessPoolExecutor`` per shard slot, so a given
+  key always lands in the same OS process across every ``map`` call
+  of the executor's lifetime (worker functions are named by
+  ``module:attr`` path, because the campaign closures themselves do
+  not pickle).  Affinity is what makes worker-local caches — world
+  prototypes, the check memo, the snapshot tree of
+  :mod:`repro.concurrency.snapshot` — serve repeat keys instead of
+  missing on whichever process happened to be free;
 * the merge reassembles results by original unit index, so neither the
   shard layout nor completion order can leak into the output;
 * worker-side :class:`~repro.engine.memo.CheckMemo` hit/miss counters
@@ -156,7 +162,7 @@ class ShardedExecutor:
         self.workers = resolve_workers(workers)
         self.stats = {}           # aggregated worker CheckMemo counters
         self.memo_journal = []    # (table, key, value) from worker misses
-        self._pool = None
+        self._pools = None        # one single-process pool per shard slot
 
     def __enter__(self):
         return self
@@ -166,9 +172,10 @@ class ShardedExecutor:
         return False
 
     def close(self):
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut down every slot pool, draining queued work first."""
+        pools, self._pools = self._pools, None
+        for pool in pools or ():
+            pool.shutdown()
 
     def terminate(self):
         """Kill worker processes *now* (the Ctrl-C / abort path).
@@ -177,30 +184,45 @@ class ShardedExecutor:
         ``KeyboardInterrupt`` that would leave orphaned children
         grinding on after the user asked to stop.  This kills the pool
         processes directly (they hold no state worth draining — every
-        unit is a pure function of its seeds) and discards the pool, so
-        the executor can be reused afterwards.
+        unit is a pure function of its seeds) and discards the pools,
+        so the executor can be reused afterwards.
         """
-        pool, self._pool = self._pool, None
-        if pool is None:
-            return
-        # The pool's process table is private API, but it is the only
-        # handle on the children; killing via it beats leaking them.
-        for process in list(getattr(pool, "_processes", {}).values()):
-            try:
-                process.kill()
-            except (OSError, ValueError, AttributeError):
-                pass
-        pool.shutdown(wait=False, cancel_futures=True)
+        pools, self._pools = self._pools, None
+        for pool in pools or ():
+            # The pool's process table is private API, but it is the
+            # only handle on the children; killing via it beats
+            # leaking them.
+            for process in list(getattr(pool, "_processes",
+                                        {}).values()):
+                try:
+                    process.kill()
+                except (OSError, ValueError, AttributeError):
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
+    def _ensure_pools(self) -> List[ProcessPoolExecutor]:
+        """One single-process pool per shard slot (created together, so
+        every slot forks from the same parent state).
+
+        Shard *slot*, not shard count: a key's slot is stable across
+        ``map`` calls of any size, and a slot's pool is one long-lived
+        OS process, so worker-local warm state keyed by shard key
+        survives the whole executor lifetime.
+        """
+        if self._pools is None:
             try:
                 context = multiprocessing.get_context("fork")
             except ValueError:       # platform without fork
                 context = None
-            self._pool = ProcessPoolExecutor(max_workers=self.workers,
-                                             mp_context=context)
-        return self._pool
+            self._pools = [ProcessPoolExecutor(max_workers=1,
+                                               mp_context=context)
+                           for _ in range(self.workers)]
+        return self._pools
+
+    def _submit_shard(self, number: int, fn_path: str, shard):
+        """Ship one shard to the process pinned to its slot."""
+        return self._ensure_pools()[number].submit(_run_shard, fn_path,
+                                                   shard)
 
     def map(self, fn_path: str, units: Sequence,
             *, keys: Optional[Sequence[str]] = None) -> List:
@@ -220,10 +242,17 @@ class ShardedExecutor:
             keys = [str(index) for index in range(len(units))]
         if len(keys) != len(units):
             raise ValueError("one shard key per unit required")
-        shard_count = min(self.workers, len(units))
+        # Shard by *slot* over the full worker count — never by the
+        # wave size — so a key maps to the same pinned process in every
+        # map call; a small wave just leaves some slots idle.
+        shards = [[] for _ in range(self.workers)]
+        for index, (unit, key) in enumerate(zip(units, keys)):
+            shards[stable_shard(f"{fn_path}\x1f{key}",
+                                self.workers)].append((index, unit))
+        occupied = sum(1 for shard in shards if shard)
         with trace_mod.span("executor.map", fn=fn_path,
-                            units=len(units), shards=shard_count):
-            if shard_count <= 1:
+                            units=len(units), shards=occupied):
+            if self.workers <= 1:
                 # In-process: unit code already wrote to this process's
                 # registry, so the returned metrics delta is discarded
                 # (merging it would double-count).
@@ -233,13 +262,8 @@ class ShardedExecutor:
                 self.memo_journal.extend(journal)
                 _adopt_unit_traces(traces)
                 return [value for _index, value in results]
-            shards = [[] for _ in range(shard_count)]
-            for index, (unit, key) in enumerate(zip(units, keys)):
-                shards[stable_shard(f"{fn_path}\x1f{key}",
-                                    shard_count)].append((index, unit))
-            pool = self._ensure_pool()
-            futures = [pool.submit(_run_shard, fn_path, shard)
-                       for shard in shards if shard]
+            futures = [self._submit_shard(number, fn_path, shard)
+                       for number, shard in enumerate(shards) if shard]
             merged = [None] * len(units)
             unit_traces = []
             try:

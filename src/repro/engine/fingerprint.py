@@ -103,10 +103,51 @@ _FINGERPRINTS = {
     "cpus": cpus_fingerprint,
 }
 
+# Structures carrying a monotone ``_version`` mutation counter (bumped
+# by every mutating method and preserved by ``clone``).  For these, an
+# unchanged (object-lineage, version) pair implies unchanged contents,
+# so their fingerprints can be cached on the monitor and survive clones
+# instead of re-hashing a clean structure from scratch.  ``enclaves``
+# and ``cpus`` have mutable fields poked from several modules and stay
+# uncached — they are also the two cheapest to hash.
+_VERSIONED = {
+    "phys": lambda monitor: monitor.phys._version,
+    "frames": lambda monitor: monitor.pt_allocator._version,
+    "epcm": lambda monitor: monitor.epcm._version,
+}
+
+
+def structure_versions(monitor) -> Dict[str, int]:
+    """Current mutation-counter values of the version-counted
+    structures (used by the snapshot tree's copy-on-write sharing)."""
+    return {name: read for name, read in
+            ((name, fn(monitor)) for name, fn in _VERSIONED.items())}
+
 
 def structure_fingerprints(monitor) -> Dict[str, int]:
-    """All per-structure fingerprints, keyed by :data:`STRUCTURES`."""
-    return {name: _FINGERPRINTS[name](monitor) for name in STRUCTURES}
+    """All per-structure fingerprints, keyed by :data:`STRUCTURES`.
+
+    Version-counted structures consult the monitor's ``_fp_cache``
+    (``name -> (version, fingerprint)``): a hit at the current version
+    returns the cached digest, a miss recomputes and refreshes the
+    entry.  The cache is copied by ``RustMonitor.clone``, so a clone of
+    a fingerprinted monitor re-hashes nothing until it mutates.
+    """
+    cache = getattr(monitor, "_fp_cache", None)
+    fps = {}
+    for name in STRUCTURES:
+        version_of = _VERSIONED.get(name)
+        if cache is None or version_of is None:
+            fps[name] = _FINGERPRINTS[name](monitor)
+            continue
+        version = version_of(monitor)
+        entry = cache.get(name)
+        if entry is not None and entry[0] == version:
+            fps[name] = entry[1]
+        else:
+            fps[name] = _FINGERPRINTS[name](monitor)
+            cache[name] = (version, fps[name])
+    return fps
 
 
 def fingerprint(monitor, fps: Dict[str, int] = None) -> int:

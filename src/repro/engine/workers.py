@@ -40,15 +40,21 @@ def _resolve_cls(path):
     return resolve_callable(path) if path else None
 
 
-def _interleaved_world(monitor_path, config, secret):
-    """A fresh interleaved-campaign world, cloned from a cached
-    prototype (built on first use per worker)."""
+def _interleaved_prototype(monitor_path, config, secret):
+    """The cached ``(state, ctx)`` prototype for one world flavour
+    (built on first use per worker; never executed directly)."""
     from repro.faults.campaign import build_interleaved_world
     key = (monitor_path, repr(config), secret)
     if key not in _PROTOTYPES:
         _PROTOTYPES[key] = build_interleaved_world(
             _resolve_cls(monitor_path), config, secret=secret)
-    state, ctx = _PROTOTYPES[key]
+    return _PROTOTYPES[key]
+
+
+def _interleaved_world(monitor_path, config, secret):
+    """A fresh interleaved-campaign world, cloned from a cached
+    prototype (built on first use per worker)."""
+    state, ctx = _interleaved_prototype(monitor_path, config, secret)
     return state.clone(), dict(ctx)
 
 
@@ -61,6 +67,32 @@ def _interleaved_run_world(monitor_path, config):
         state, ctx = _interleaved_world(monitor_path, config, secret)
         return execute_interleaved(state, ctx, schedule,
                                    fast_handoff=True)
+
+    return run_world
+
+
+def _execute_cached(monitor_path, config, secret, schedule):
+    """One schedule through this process's snapshot tree.
+
+    The tree key space is world-scoped — monitor class, config, secret,
+    plus the schedule's (seed, crash) — so the secret-41 primary runs
+    and the secret-42 noninterference re-runs each warm their own
+    subtree on the same worker (unit-level sharding keeps both here).
+    """
+    from repro.concurrency.snapshot import process_tree
+    from repro.faults.campaign import execute_interleaved_cached
+    state, ctx = _interleaved_prototype(monitor_path, config, secret)
+    world_key = (monitor_path, repr(config), secret, schedule.seed,
+                 schedule.crash)
+    return execute_interleaved_cached(state, dict(ctx), schedule,
+                                      tree=process_tree(),
+                                      world_key=world_key)
+
+
+def _interleaved_run_world_cached(monitor_path, config):
+    """The snapshot-tree flavour of :func:`_interleaved_run_world`."""
+    def run_world(secret, schedule):
+        return _execute_cached(monitor_path, config, secret, schedule)
 
     return run_world
 
@@ -106,9 +138,15 @@ def run_interleaving_unit(unit):
 
     monitor_path = unit.get("monitor")
     config = unit.get("config")
-    state, ctx = _interleaved_world(monitor_path, config, 41)
-    state, result = execute_interleaved(state, ctx, unit["schedule"],
-                                        fast_handoff=True)
+    use_cache = bool(unit.get("prefix_cache"))
+    if use_cache:
+        state, result = _execute_cached(monitor_path, config, 41,
+                                        unit["schedule"])
+    else:
+        state, ctx = _interleaved_world(monitor_path, config, 41)
+        state, result = execute_interleaved(state, ctx,
+                                            unit["schedule"],
+                                            fast_handoff=True)
     fps = structure_fingerprints(state.monitor)
     findings = []
     report = MEMO.check_invariants(state.monitor, fps)
@@ -118,9 +156,11 @@ def run_interleaving_unit(unit):
     for item in MEMO.check_vcpu(state.monitor, fps):
         findings.append(("vcpu-consistency", item))
     if unit.get("check_ni"):
+        run_world = (_interleaved_run_world_cached(monitor_path, config)
+                     if use_cache
+                     else _interleaved_run_world(monitor_path, config))
         for violation in check_schedule_noninterference_prepared(
-                state, result,
-                _interleaved_run_world(monitor_path, config),
+                state, result, run_world,
                 unit["schedule"], list(unit["observers"]),
                 diff=MEMO.final_state_diff):
             findings.append(("noninterference", str(violation)))

@@ -569,17 +569,13 @@ def run_crash_ni_index(two_worlds_factory, trace, index, *,
 # ---------------------------------------------------------------------------
 
 
-def default_concurrent_workloads(state, ctx):
-    """Two racing vCPU scripts over one shared monitor.
+def default_concurrent_scripts(ctx):
+    """The two racing vCPU step scripts, as plain lists.
 
-    vCPU 0 (the management core) builds an enclave and then trims its
-    only page — the SGX2 shrink path whose TLB shootdown is
-    load-bearing.  vCPU 1 (the application core) races an
-    enter → load → load → exit session through the same enclave.  Every
-    step goes through the transition system (so each is a preemption
-    point), and mis-sequenced steps — entering before ``init`` landed,
-    loading after a rejected enter — are tolerated skips, which is what
-    lets *every* interleaving of the two scripts run to completion.
+    Shared by the legacy closure workloads below and the snapshot
+    tree's resumable workloads — both must execute the *identical* step
+    sequence for restore-from-snapshot runs to be byte-identical to
+    from-scratch ones.
     """
     from repro.hyperenclave.monitor import HOST_ID
     from repro.security.transitions import Hypercall, MemLoad
@@ -598,6 +594,22 @@ def default_concurrent_workloads(state, ctx):
         MemLoad(1, base, "rbx"),
         Hypercall(1, "exit", (1,)),
     ]
+    return [host_script, guest_script]
+
+
+def default_concurrent_workloads(state, ctx):
+    """Two racing vCPU scripts over one shared monitor.
+
+    vCPU 0 (the management core) builds an enclave and then trims its
+    only page — the SGX2 shrink path whose TLB shootdown is
+    load-bearing.  vCPU 1 (the application core) races an
+    enter → load → load → exit session through the same enclave.  Every
+    step goes through the transition system (so each is a preemption
+    point), and mis-sequenced steps — entering before ``init`` landed,
+    loading after a rejected enter — are tolerated skips, which is what
+    lets *every* interleaving of the two scripts run to completion.
+    """
+    host_script, guest_script = default_concurrent_scripts(ctx)
 
     def script_task(script):
         def run():
@@ -606,6 +618,38 @@ def default_concurrent_workloads(state, ctx):
         return run
 
     return [script_task(host_script), script_task(guest_script)]
+
+
+class ScriptWorkloads:
+    """Script runners whose per-vCPU progress is observable/restorable.
+
+    The snapshot tree needs to know, at a capture point, *where in its
+    script* each vCPU is — and needs restored tasks to pick up from an
+    arbitrary step.  ``positions[vid]`` is the index of the step the
+    vCPU is currently inside (incremented only after the step
+    completes), so a task parked at the top-of-step yield restores by
+    re-entering exactly that step.  Step-for-step this executes the
+    same sequence as the closures above.
+    """
+
+    def __init__(self, state, scripts, positions=None):
+        self.state = state
+        self.scripts = scripts
+        self.positions = (list(positions) if positions is not None
+                          else [0] * len(scripts))
+
+    def tasks(self):
+        return [self._runner(vid) for vid in range(len(self.scripts))]
+
+    def _runner(self, vid):
+        script = self.scripts[vid]
+        positions = self.positions
+
+        def run():
+            while positions[vid] < len(script):
+                _apply_tolerant(self.state, script[positions[vid]])
+                positions[vid] += 1
+        return run
 
 
 def build_interleaved_world(monitor_cls=None, config=None, *, secret=41):
@@ -663,6 +707,51 @@ def execute_interleaved(state, ctx, schedule, *, workloads=None,
     # it right after ``hc_add_page``.  Once inside the enclave the
     # secret is exactly what noninterference must hide; the staging
     # copy in host memory is a harness artifact, not a channel.
+    state.monitor.primary_os.gpa_write_word(ctx["src_pa"], 0)
+    return state, result
+
+
+def execute_interleaved_cached(prototype, ctx, schedule, *, tree,
+                               world_key, probe=True,
+                               fast_handoff=True):
+    """:func:`execute_interleaved`, restored from the snapshot tree.
+
+    Looks up the deepest cached ancestor of ``schedule``'s predicted
+    trace prefix in ``tree``; on a hit the run starts from a clone of
+    the node's frozen state with the cached prefix records pre-seeded,
+    on a miss it starts from a clone of ``prototype``.  Either way a
+    :class:`~repro.concurrency.snapshot.SnapshotPlan` captures new
+    nodes at snapshot-safe decisions, and the finished trace is
+    recorded so children of this schedule can predict their prefixes.
+    Results are byte-identical to :func:`execute_interleaved` — the
+    equivalence suite pins this, including under forced eviction.
+    """
+    from repro.concurrency import DeterministicScheduler
+    from repro.concurrency.shootdown import detect_stale_translations
+    from repro.concurrency.snapshot import SnapshotPlan
+
+    scripts = default_concurrent_scripts(ctx)
+    node = tree.lookup(world_key, schedule)
+    if node is not None:
+        state = node.state.clone()
+        workloads = ScriptWorkloads(state, scripts, node.positions())
+    else:
+        state = prototype.clone()
+        workloads = ScriptWorkloads(state, scripts)
+    scheduler = DeterministicScheduler(
+        state.monitor, workloads.tasks(), schedule,
+        probe=detect_stale_translations if probe else None,
+        fast_handoff=fast_handoff)
+    if node is not None:
+        node.apply_to(scheduler)
+    scheduler.snapshots = SnapshotPlan(tree, world_key, state,
+                                       workloads, schedule,
+                                       resumed_from=node)
+    result = scheduler.run()
+    tree.record_trace(world_key, schedule, result.trace)
+    # Same post-run scrub as execute_interleaved (see there).  Nodes
+    # are captured mid-run, pre-scrub — exactly the state a from-
+    # scratch run holds at the same point.
     state.monitor.primary_os.gpa_write_word(ctx["src_pa"], 0)
     return state, result
 

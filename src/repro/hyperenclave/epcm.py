@@ -50,6 +50,10 @@ class Epcm:
         self.layout = layout
         self._entries: List[EpcmEntry] = [
             EpcmEntry() for _ in range(layout.epc_size)]
+        # Monotone mutation counter (see PhysMemory._version).  Entries
+        # are only ever mutated through the methods below, so bumping
+        # here covers every path that can change the map.
+        self._version = 0
 
     # -- lookups -----------------------------------------------------------------
 
@@ -90,6 +94,7 @@ class Epcm:
             exhaust=lambda: EpcExhausted("EPC exhausted (injected)"))
         for index, entry in enumerate(self._entries):
             if entry.is_free():
+                self._version += 1
                 entry.state = state
                 entry.owner = eid
                 entry.va = va
@@ -105,6 +110,7 @@ class Epcm:
             raise EpcmError(
                 f"EPC frame {frame} is busy "
                 f"(state={entry.state.value}, owner={entry.owner})")
+        self._version += 1
         entry.state = state
         entry.owner = eid
         entry.va = va
@@ -118,6 +124,7 @@ class Epcm:
         if entry.owner != eid:
             raise EpcmError(
                 f"EPC frame {frame} owned by {entry.owner}, not {eid}")
+        self._version += 1
         entry.state = PageState.FREE
         entry.owner = None
         entry.va = None
@@ -125,6 +132,7 @@ class Epcm:
     def release_all(self, eid):
         """Free every frame owned by enclave ``eid`` (destroy path)."""
         conc.guard_mutation("epcm")
+        self._version += 1
         for _, entry in self.entries():
             if entry.owner == eid:
                 entry.state = PageState.FREE
@@ -136,6 +144,7 @@ class Epcm:
 
     def load_snapshot(self, snapshot):
         """Restore the entry array captured by :meth:`snapshot`."""
+        self._version += 1
         self._entries = [
             EpcmEntry(state=PageState(state), owner=owner, va=va)
             for state, owner, va in snapshot]
@@ -146,4 +155,5 @@ class Epcm:
         new.layout = self.layout
         new._entries = [EpcmEntry(state=e.state, owner=e.owner, va=e.va)
                         for e in self._entries]
+        new._version = self._version
         return new

@@ -26,6 +26,10 @@ class BitmapFrameAllocator:
         self.base = frames[0]
         self.size = len(frames)
         self._used = [False] * self.size
+        # Monotone mutation counter (see PhysMemory._version): bumped by
+        # every bitmap mutation so fingerprints and snapshot sharing can
+        # treat equal versions on one lineage as equal contents.
+        self._version = 0
 
     # -- queries ------------------------------------------------------------------
 
@@ -67,6 +71,7 @@ class BitmapFrameAllocator:
                 "page-table frame pool exhausted (injected)"))
         for index, used in enumerate(self._used):
             if not used:
+                self._version += 1
                 self._used[index] = True
                 return self.base + index
         raise OutOfMemoryError("page-table frame pool exhausted")
@@ -79,6 +84,7 @@ class BitmapFrameAllocator:
         index = frame - self.base
         if self._used[index]:
             raise HypervisorError(f"frame {frame} already allocated")
+        self._version += 1
         self._used[index] = True
         return frame
 
@@ -90,6 +96,7 @@ class BitmapFrameAllocator:
         index = frame - self.base
         if not self._used[index]:
             raise HypervisorError(f"double free of frame {frame}")
+        self._version += 1
         self._used[index] = False
 
     def snapshot(self):
@@ -102,6 +109,7 @@ class BitmapFrameAllocator:
             raise HypervisorError(
                 f"snapshot covers {len(bitmap)} frames, pool has "
                 f"{self.size}")
+        self._version += 1
         self._used = list(bitmap)
 
     def clone(self):
@@ -110,4 +118,5 @@ class BitmapFrameAllocator:
         new.base = self.base
         new.size = self.size
         new._used = list(self._used)
+        new._version = self._version
         return new

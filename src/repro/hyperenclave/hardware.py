@@ -31,6 +31,13 @@ class PhysMemory:
         self.config = config
         self._capacity = config.phys_bytes // WORD_BYTES
         self._words: Dict[int, int] = {}
+        # Monotone mutation counter.  Every path that can change the
+        # dense contents bumps it (word writes, frame ops, snapshot
+        # loads, transactional undo), which is what lets the engine
+        # cache content fingerprints across ``clone()`` and lets the
+        # snapshot tree share clean structures between sibling forks:
+        # equal versions on one object lineage imply equal contents.
+        self._version = 0
 
     # -- word access -------------------------------------------------------------
 
@@ -49,6 +56,7 @@ class PhysMemory:
         conc.yield_point("phys.write", f"word {paddr:#x}")
         value = faults.filter_write(paddr, value)
         conc.record_phys_write(index, self._words.get(index, 0))
+        self._version += 1
         masked = value & ((1 << 64) - 1)
         if masked == 0:
             self._words.pop(index, None)
@@ -69,6 +77,7 @@ class PhysMemory:
         """Clear every word of one frame (one yield per frame)."""
         base = self.config.frame_base(frame) // WORD_BYTES
         conc.yield_point("phys.write", f"zero frame {frame}")
+        self._version += 1
         for offset in range(self.config.words_per_page):
             conc.record_phys_write(base + offset,
                                    self._words.get(base + offset, 0))
@@ -85,6 +94,7 @@ class PhysMemory:
         src = self.config.frame_base(src_frame) // WORD_BYTES
         conc.yield_point("phys.write",
                          f"copy frame {src_frame}->{dst_frame}")
+        self._version += 1
         for offset in range(self.config.words_per_page):
             value = self._words.get(src + offset, 0)
             value = faults.filter_write((dst + offset) * WORD_BYTES, value)
@@ -122,6 +132,8 @@ class PhysMemory:
         return tuple(words)
 
     def load_snapshot(self, items):
+        """Replace the contents with a :meth:`snapshot`'s items."""
+        self._version += 1
         self._words = dict(items)
 
     def checkpoint(self):
@@ -129,7 +141,25 @@ class PhysMemory:
         return dict(self._words)
 
     def restore_checkpoint(self, checkpoint):
+        """Roll back to a :meth:`checkpoint` (transactional abort)."""
+        self._version += 1
         self._words = dict(checkpoint)
+
+    def apply_undo(self, journal):
+        """Restore journalled words (concurrent transactional rollback).
+
+        ``journal`` maps word index to the pre-transaction value; a zero
+        restores the sparse default.  Going through a method keeps the
+        version counter honest — the undo path used to poke ``_words``
+        directly, which would silently invalidate every cached
+        fingerprint and shared snapshot built on version equality.
+        """
+        self._version += 1
+        for index, old_value in journal.items():
+            if old_value == 0:
+                self._words.pop(index, None)
+            else:
+                self._words[index] = old_value
 
     def clone(self):
         """An independent copy (no yield points, no fault sites)."""
@@ -137,6 +167,7 @@ class PhysMemory:
         new.config = self.config
         new._capacity = self._capacity
         new._words = dict(self._words)
+        new._version = self._version
         return new
 
     def __len__(self):

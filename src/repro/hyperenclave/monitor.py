@@ -23,7 +23,7 @@ the crash-step campaign sweeps.
 """
 
 from contextlib import contextmanager
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.concurrency import scheduler as conc
 from repro.concurrency.locks import (
@@ -76,6 +76,11 @@ class RustMonitor:
         self.cpus = [CpuLocal(vcpu=VCpu(), tlb=Tlb())
                      for _ in range(num_vcpus)]
         self._vid = 0
+        # Structure-fingerprint cache: name -> (version, fingerprint)
+        # for the version-counted structures (phys, frames, epcm).
+        # Maintained by repro.engine.fingerprint; carried across clones
+        # so clean structures are never re-hashed.
+        self._fp_cache: Dict[str, Tuple[int, int]] = {}
         # Boot: build the normal VM's EPT — identity over untrusted
         # memory only.  Nothing in the secure range is ever entered here;
         # that absence *is* spatial isolation (Sec. 2.1).
@@ -143,9 +148,9 @@ class RustMonitor:
     # subclass adds on top falls back to ``copy.deepcopy``.
     _CLONE_FIELDS = frozenset((
         "config", "layout", "phys", "pt_allocator", "epcm", "enclaves",
-        "_next_eid", "cpus", "_vid", "os_ept", "primary_os"))
+        "_next_eid", "cpus", "_vid", "os_ept", "primary_os", "_fp_cache"))
 
-    def clone(self):
+    def clone(self, *, reuse=None):
         """An independent structural copy of the whole monitor.
 
         Field-wise instead of ``copy.deepcopy``: the immutable geometry
@@ -155,15 +160,25 @@ class RustMonitor:
         rebound onto the cloned backing stores.  This sits on the
         two-world noninterference hot path and under every parallel
         campaign's prototype-clone world builder.
+
+        ``reuse`` (copy-on-write support for the snapshot tree) maps a
+        structure attribute name — ``phys``, ``pt_allocator``, ``epcm``
+        — to an already-cloned object with contents identical to this
+        monitor's; the clone adopts it by reference instead of copying.
+        Only safe when both the donor and the resulting clone are
+        frozen (used purely as future clone sources), which is exactly
+        how snapshot-tree nodes behave.
         """
         import copy
 
+        reuse = reuse or {}
         new = object.__new__(type(self))
         new.config = self.config
         new.layout = self.layout
-        new.phys = self.phys.clone()
-        new.pt_allocator = self.pt_allocator.clone()
-        new.epcm = self.epcm.clone()
+        new.phys = reuse.get("phys") or self.phys.clone()
+        new.pt_allocator = (reuse.get("pt_allocator")
+                            or self.pt_allocator.clone())
+        new.epcm = reuse.get("epcm") or self.epcm.clone()
         new._next_eid = self._next_eid
         new._vid = self._vid
         new.cpus = [cpu.clone() for cpu in self.cpus]
@@ -174,6 +189,7 @@ class RustMonitor:
                 enclave.gpt.clone(new.phys, new.pt_allocator),
                 enclave.ept.clone(new.phys, new.pt_allocator))
             for eid, enclave in self.enclaves.items()}
+        new._fp_cache = dict(getattr(self, "_fp_cache", ()) or {})
         for key, value in self.__dict__.items():
             if key not in self._CLONE_FIELDS:
                 new.__dict__[key] = copy.deepcopy(value)

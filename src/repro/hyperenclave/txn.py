@@ -182,12 +182,7 @@ class TxnScope:
     def rollback(self, monitor):
         """Undo this task's footprint; leaves other vCPUs' work alone."""
         with conc.suspended(), faults.suspended():
-            words = monitor.phys._words
-            for index, old_value in self.journal.items():
-                if old_value == 0:
-                    words.pop(index, None)
-                else:
-                    words[index] = old_value
+            monitor.phys.apply_undo(self.journal)
             for lock_name, value in self.structures.items():
                 if value is _MISSING:
                     continue

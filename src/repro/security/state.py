@@ -48,16 +48,19 @@ class SystemState:
     _CLONE_FIELDS = frozenset(
         ("monitor", "oracle", "step_count", "use_spec_walk"))
 
-    def clone(self):
+    def clone(self, *, reuse=None):
         """An independent structural copy (same oracle position).
 
         Uses :meth:`RustMonitor.clone` and :meth:`DataOracle.fork`
         instead of ``copy.deepcopy`` — this is the two-world
         noninterference hot path (every crash-NI campaign unit clones
         both worlds) and the parallel fabric's world builder.
+
+        ``reuse`` passes through to :meth:`RustMonitor.clone` for the
+        snapshot tree's copy-on-write structure sharing.
         """
         new = object.__new__(type(self))
-        new.monitor = self.monitor.clone()
+        new.monitor = self.monitor.clone(reuse=reuse)
         if self.oracle is None:
             new.oracle = None
         elif hasattr(self.oracle, "fork"):

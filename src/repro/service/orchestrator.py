@@ -36,6 +36,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.concurrency.snapshot import locality_key, prefix_cache_enabled
 from repro.engine.memo import merge_stats
 from repro.errors import CorruptArtifact, ShardQuarantined
 from repro.obs import trace as _trace
@@ -325,18 +326,27 @@ def run_durable_campaign(spec: CampaignSpec, store, *,
                      seed=spec.seed, resumed=checkpoint is not None):
         try:
             finished = False
+            # Snapshot-tree caching: on by default (REPRO_PREFIX_CACHE
+            # gates it).  Snapshots are process-local, so a campaign
+            # resumed after kill -9 — or a respawned dead worker —
+            # starts with empty trees and rebuilds them from live
+            # execution; pre-crash snapshots are never trusted, by
+            # construction.  Digests stay byte-identical either way.
+            use_cache = prefix_cache_enabled(None)
             while True:
                 wave = state.take_wave()
                 if not wave:
                     break
                 units = [{"schedule": schedule, "monitor": spec.monitor,
                           "config": None, "check_ni": spec.check_ni,
-                          "observers": watchers}
+                          "observers": watchers,
+                          "prefix_cache": use_cache}
                          for schedule in wave]
                 try:
                     merged = pool.map(
                         "repro.engine.workers:run_interleaving_unit",
-                        units, keys=[s.describe() for s in wave])
+                        units, keys=[locality_key(s) if use_cache
+                                     else s.describe() for s in wave])
                 except KeyboardInterrupt:
                     # The wave never merged: put it back where it came
                     # from and flush, so the checkpoint is the exact

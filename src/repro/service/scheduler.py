@@ -707,10 +707,20 @@ class CampaignScheduler:
         spec = campaign.spec
         watchers = list(spec.observers) if spec.observers is not None \
             else [HOST_ID]
+        from repro.concurrency.snapshot import (
+            locality_key,
+            prefix_cache_enabled,
+        )
+        use_cache = prefix_cache_enabled(None)
         units = [{"schedule": schedule, "monitor": spec.monitor,
                   "config": None, "check_ni": spec.check_ni,
-                  "observers": watchers} for schedule in wave]
-        keys = [f"{campaign.campaign_id}\x1f{s.describe()}"
+                  "observers": watchers, "prefix_cache": use_cache}
+                 for schedule in wave]
+        # Prefix-locality keys co-locate each preemption subtree on one
+        # worker (campaign-scoped so fair-share interleaving of
+        # campaigns cannot mix key spaces); merge stays by unit index.
+        keys = [f"{campaign.campaign_id}\x1f"
+                f"{locality_key(s) if use_cache else s.describe()}"
                 for s in wave]
         self.pool.stats = {}
         with _trace.span("service.chunk",

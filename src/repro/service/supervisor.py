@@ -42,7 +42,6 @@ from typing import List, Optional, Sequence
 from repro.engine.executor import (
     ShardedExecutor,
     _adopt_unit_traces,
-    _run_shard,
     stable_shard,
 )
 from repro.engine.memo import merge_stats
@@ -102,16 +101,17 @@ class ResilientExecutor(ShardedExecutor):
             keys = [str(index) for index in range(len(units))]
         if len(keys) != len(units):
             raise ValueError("one shard key per unit required")
-        shard_count = min(self.workers, len(units))
-        if shard_count <= 1:
+        if self.workers <= 1:
             # In-process: no pool to lose.  The degenerate fabric is
             # the sequential engine, failures included.
             return super().map(fn_path, units, keys=keys)
 
-        shards = [[] for _ in range(shard_count)]
+        # Same slot-stable partition as the base executor: a key's
+        # shard number is its pinned worker process.
+        shards = [[] for _ in range(self.workers)]
         for index, (unit, key) in enumerate(zip(units, keys)):
             shards[stable_shard(f"{fn_path}\x1f{key}",
-                                shard_count)].append((index, unit))
+                                self.workers)].append((index, unit))
         pending = {number: shard for number, shard in enumerate(shards)
                    if shard}
         attempts = {number: 0 for number in pending}
@@ -125,10 +125,9 @@ class ResilientExecutor(ShardedExecutor):
                 round_shards = sorted(pending)
                 if isolating:
                     round_shards = round_shards[:1]
-                pool = self._ensure_pool()
                 submitted = [(number,
-                              pool.submit(_run_shard, fn_path,
-                                          pending[number]))
+                              self._submit_shard(number, fn_path,
+                                                 pending[number]))
                              for number in round_shards]
                 failure = None       # (shard number, cause, pool dead)
                 try:

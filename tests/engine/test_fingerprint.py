@@ -19,6 +19,7 @@ from repro.engine.fingerprint import (
     fingerprint,
     state_fingerprint,
     structure_fingerprints,
+    structure_versions,
 )
 from repro.faults.campaign import (
     build_interleaved_world,
@@ -107,3 +108,42 @@ def test_structure_list_matches_fingerprint_dict():
     monitor, _ctx = default_world_factory()()
     fps = structure_fingerprints(monitor)
     assert tuple(fps) == STRUCTURES
+
+
+@given(prefix=st.integers(0, len(WORKLOAD)))
+@settings(max_examples=6, deadline=None)
+def test_cloned_clean_fingerprints_match_recomputation(prefix):
+    """The version-keyed fingerprint cache carried across ``clone()``
+    is sound: for structures the clone has not touched, the cached
+    fingerprint equals a cold recomputation — and a mutation after the
+    clone (version bump) invalidates it."""
+    monitor, ctx = default_world_factory()()
+    for _name, invoke in WORKLOAD[:prefix]:
+        invoke(monitor, ctx)
+    warm = structure_fingerprints(monitor)   # populates the cache
+    clone = monitor.clone()
+    cached = structure_fingerprints(clone)   # served from the carried cache
+    clone._fp_cache = {}
+    cold = structure_fingerprints(clone)     # recomputed from content
+    assert cached == cold == warm
+    paddr = TINY.frame_base(0)
+    clone.phys.write_word(paddr,
+                          clone.phys.read_word(paddr) ^ 0xDEAD)
+    moved = structure_fingerprints(clone)
+    assert moved["phys"] != cold["phys"]
+    # the original's cache is untouched by the clone's mutation
+    assert structure_fingerprints(monitor) == warm
+
+
+def test_structure_versions_advance_on_mutation():
+    """Version counters are monotone per mutation plane and survive
+    ``clone()`` unchanged (the COW-sharing precondition)."""
+    monitor, _ctx = default_world_factory()()
+    before = structure_versions(monitor)
+    assert structure_versions(monitor.clone()) == before
+    monitor.phys.write_word(TINY.frame_base(1), 0x1234)
+    monitor.pt_allocator.alloc()
+    after = structure_versions(monitor)
+    assert after["phys"] > before["phys"]
+    assert after["frames"] > before["frames"]
+    assert after["epcm"] == before["epcm"]
