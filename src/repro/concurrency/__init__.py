@@ -38,8 +38,15 @@ from repro.concurrency.locks import (
     lock_rank,
     order_locks,
 )
+from repro.concurrency.arena import (
+    FiberArena,
+    process_arena,
+    reset_process_arena,
+)
 from repro.concurrency.scheduler import (
     BRANCH_KINDS,
+    ENV_ENGINE,
+    SCHED_STATS,
     VCPU_CRASH_SITE,
     Decision,
     DeterministicScheduler,
@@ -55,6 +62,7 @@ from repro.concurrency.scheduler import (
     installed,
     record_phys_write,
     release_locks,
+    resolve_engine,
     suspended,
     yield_point,
 )
@@ -62,6 +70,7 @@ from repro.concurrency.shootdown import detect_stale_translations, tlb_shootdown
 from repro.concurrency.snapshot import (
     SnapshotPlan,
     SnapshotTree,
+    extended_gate_enabled,
     locality_key,
     prefix_cache_enabled,
     process_tree,
@@ -70,10 +79,13 @@ from repro.concurrency.snapshot import (
 
 __all__ = [
     "BRANCH_KINDS",
+    "ENV_ENGINE",
+    "SCHED_STATS",
     "VCPU_CRASH_SITE",
     "Decision",
     "DeterministicScheduler",
     "ExplorationResult",
+    "FiberArena",
     "LOCK_ENCLAVES",
     "LOCK_EPCM",
     "LOCK_FRAMES",
@@ -93,17 +105,21 @@ __all__ = [
     "enclave_lock",
     "explore",
     "explore_batched",
+    "extended_gate_enabled",
     "guard_mutation",
     "installed",
     "lock_rank",
     "locality_key",
     "order_locks",
     "prefix_cache_enabled",
+    "process_arena",
     "process_tree",
     "record_phys_write",
+    "reset_process_arena",
     "reset_process_tree",
     "release_locks",
     "replay",
+    "resolve_engine",
     "result_violations",
     "suspended",
     "tlb_shootdown",

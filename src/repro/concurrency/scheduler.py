@@ -1,31 +1,49 @@
-"""Deterministic cooperative multi-vCPU scheduler.
+"""Deterministic cooperative multi-vCPU scheduler — two engines, one
+record format.
 
-Each vCPU's workload runs on its own OS thread, but only one thread is
-ever runnable: control is handed back and forth through per-task events
-(strict token passing, the CHESS execution model).  Instrumented code
-inside the monitor calls :func:`yield_point` at every lock acquire,
-lock release (hypercall return), physical-memory write, shootdown IPI,
-and security-model step; each such call parks the vCPU and lets the
-scheduler pick the next one.  Because the *only* scheduling freedom in
-the whole system is the scheduler's choice at each decision point, an
-execution is fully determined by its :class:`Schedule` — a seed, a
-tuple of preemptions, and an optional vCPU crash — which is what makes
-every explored interleaving replayable from a single small value.
+Instrumented code inside the monitor calls :func:`yield_point` at every
+lock acquire, lock release (hypercall return), physical-memory write,
+shootdown IPI, and security-model step; each such call hands control to
+the scheduler, which picks the next vCPU.  Because the *only*
+scheduling freedom in the whole system is that choice at each decision
+point, an execution is fully determined by its :class:`Schedule` — a
+seed, a tuple of preemptions, and an optional vCPU crash — which is
+what makes every explored interleaving replayable from a single small
+value.
+
+Two interchangeable engines execute a schedule
+(``REPRO_SCHED_ENGINE``, or the ``engine=`` argument):
+
+* ``continuation`` (default) — every vCPU is driven as a generator
+  continuation by one plain-Python loop on the calling thread.  A step
+  whose scheduling is already settled — no forced preemption pending,
+  no lock held anywhere — is a plain function call (its yields resolve
+  inline, see ``_ContinuationEngine``); a step that might genuinely
+  context-switch mid-stack borrows a pooled fiber from
+  :mod:`repro.concurrency.arena`.  No thread is created or joined per
+  run, and the common case does zero ``Event`` handoffs.
+* ``threads`` — the legacy engine and parity reference: one OS thread
+  per vCPU, strict token passing through per-task events (the CHESS
+  execution model).  CI gates the two engines byte-identical on the
+  full buggy-monitor matrix.
 
 The module doubles as the instrumentation plane (mirroring
 ``repro.faults.plane``): all hooks are module-level functions that
-no-op unless a scheduler is installed *and* the calling thread is one
+no-op unless a scheduler is installed *and* the caller is executing one
 of its vCPU tasks.  Monitor code can therefore call them
 unconditionally; sequential callers pay nothing.
 """
 
+import os
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import FaultInjected
+from repro.concurrency.arena import process_arena
 from repro.concurrency.locks import LockManager
+from repro.errors import ConfigError, FaultInjected
+from repro.obs.metrics import REGISTRY
 
 #: Yield kinds at which the interleaving explorer considers preempting.
 #: Anything else (plain ``phys.write`` under an owning lock) cannot be
@@ -37,9 +55,35 @@ BRANCH_KINDS = frozenset(
 #: Synthetic fault site used when a schedule crashes a vCPU.
 VCPU_CRASH_SITE = "vcpu.crash"
 
+#: Engine selection knob (``continuation`` is the default).
+ENV_ENGINE = "REPRO_SCHED_ENGINE"
+
+#: Scheduler-engine telemetry, surfaced through ``/metrics`` next to
+#: the ``snapshot_cache.*`` family.  ``handoffs`` counts cross-thread
+#: wakeup pairs (Event round trips on either engine); the continuation
+#: engine's inline path does none.
+SCHED_STATS = REGISTRY.counter_group(
+    "sched", ("handoffs", "inline_decisions", "arena_reuses",
+              "fiber_steps", "runs_continuation", "runs_threads"))
+
+
+def resolve_engine(explicit: Optional[str] = None) -> str:
+    """Resolve the engine name: explicit value, else ``REPRO_SCHED_ENGINE``
+    (unset or empty means ``continuation``)."""
+    raw = explicit if explicit is not None else os.environ.get(ENV_ENGINE)
+    if raw is None or not raw.strip():
+        return "continuation"
+    name = raw.strip().lower()
+    if name in ("threads", "thread", "threaded"):
+        return "threads"
+    if name in ("continuation", "continuations"):
+        return "continuation"
+    raise ConfigError(ENV_ENGINE, raw,
+                      "expected 'continuation' or 'threads'")
+
 
 class _VCpuParked(BaseException):
-    """Unwinds a crashed vCPU's thread.
+    """Unwinds a crashed vCPU's continuation.
 
     A ``BaseException`` on purpose: after a crash is delivered the task
     must stop for good, and no ``except ReproError``/``except
@@ -101,12 +145,15 @@ class YieldPoint:
 
 @dataclass
 class Task:
-    """One vCPU's workload and its cooperative-scheduling state."""
+    """One vCPU's workload and its cooperative-scheduling state.
+
+    Pure scheduling state: how the task *executes* (an OS thread, a
+    generator continuation, a pooled fiber) is the installed engine's
+    private business and deliberately not represented here.
+    """
 
     vid: int
     fn: Callable[[], None]
-    thread: Optional[threading.Thread] = None
-    event: threading.Event = field(default_factory=threading.Event)
     pending_kind: str = "task.start"
     pending_detail: Optional[str] = None
     yield_index: int = 0
@@ -116,11 +163,20 @@ class Task:
     done: bool = False
     exc: Optional[BaseException] = None
     txn_scope: Optional[object] = None
-    # Set to 1 by a snapshot-tree restore: the task is parked *inside*
-    # its current script step, so the first yield it re-executes was
-    # already recorded (and crash-checked) in the cached prefix and is
-    # silently consumed instead of being recorded again.
+    # Set by a snapshot-tree restore: the task is parked *inside* its
+    # current script step, so the first ``resume_swallow`` yields it
+    # re-executes were already recorded (and crash-checked) in the
+    # cached prefix and are silently consumed instead of being recorded
+    # again (1 for a ``step`` park, 2 for a ``lock.acquire`` park —
+    # the step yield plus the acquire yield).
     resume_swallow: int = 0
+    # Also set by a restore, for a task parked at ``hc.return``: its
+    # script position was seeded *post-advance* (the next step to run),
+    # unlike a live park where the position still names the step in
+    # flight.  Snapshot capture consults this so it doesn't advance the
+    # position a second time; cleared the moment the task records a new
+    # yield of its own.
+    restored_return: bool = False
 
 
 @dataclass
@@ -149,29 +205,40 @@ class RunResult:
 class DeterministicScheduler:
     """Runs one :class:`Schedule` over a set of vCPU workloads.
 
-    ``workloads[i]`` becomes vCPU ``i``'s task (the monitor must have
-    at least that many vCPUs).  ``probe``, if given, is called with the
-    monitor after every decision — from the scheduler thread, so it
-    must not hit any yield points — and returns an iterable of
+    ``workloads`` is either a list of callables (``workloads[i]``
+    becomes vCPU ``i``'s task) or a step-drivable workload object
+    exposing ``scripts``/``positions``/``run_step``/``advance``/
+    ``steps_remaining``/``tasks`` (see
+    :class:`~repro.faults.campaign.ScriptWorkloads`) — the latter lets
+    the continuation engine drive scripts step by step and the snapshot
+    tree park/restore tasks between steps.  ``probe``, if given, is
+    called with the monitor after every decision — outside any task, so
+    it must not hit any yield points — and returns an iterable of
     findings (the stale-translation detector).
     """
 
     def __init__(self, monitor, workloads, schedule=None, *,
                  lock_manager=None, probe=None, timeout=60.0,
-                 fast_handoff=False):
+                 fast_handoff=False, engine=None):
         self.monitor = monitor
         self.schedule = schedule if schedule is not None else Schedule()
         self.locks = lock_manager if lock_manager is not None else LockManager()
         self.probe = probe
         self.timeout = timeout
         self.fast_handoff = fast_handoff
-        self.tasks = [Task(vid=vid, fn=fn) for vid, fn in enumerate(workloads)]
+        self.engine_name = resolve_engine(engine)
+        if hasattr(workloads, "run_step"):
+            self.script_workloads = workloads
+            fns = workloads.tasks()
+        else:
+            self.script_workloads = None
+            fns = list(workloads)
+        self.tasks = [Task(vid=vid, fn=fn) for vid, fn in enumerate(fns)]
         self.decisions: List[Decision] = []
         self.yields: List[YieldPoint] = []
         self.stale: List[object] = []
         self._preempt = dict(self.schedule.preemptions)
-        self._by_ident: Dict[int, Task] = {}
-        self._control = threading.Event()
+        self._max_forced = max(self._preempt, default=-1)
         self._last: Optional[int] = None
         self._ran = False
         # Optional snapshot-tree capture hook (repro.concurrency
@@ -179,8 +246,10 @@ class DeterministicScheduler:
         # before each scheduling decision; None costs one ``is None``
         # test per decision and keeps this the exact legacy path.
         self.snapshots = None
+        self._engine = (_ThreadsEngine(self) if self.engine_name == "threads"
+                        else _ContinuationEngine(self))
 
-    # -- the main loop --------------------------------------------------------------
+    # -- the run ----------------------------------------------------------------
 
     def run(self) -> RunResult:
         """Execute the schedule to completion and return the record."""
@@ -188,47 +257,12 @@ class DeterministicScheduler:
             raise RuntimeError("a DeterministicScheduler is single-use; "
                                "build a fresh one to replay")
         self._ran = True
+        SCHED_STATS["runs_" + self.engine_name] += 1
+        # label-style gauge: lets /metrics readers see which engine the
+        # process last ran without diffing the runs_* counters
+        REGISTRY.set_gauge("sched.engine", self.engine_name)
         with installed(self):
-            for task in self.tasks:
-                if task.done:
-                    # pre-completed by a snapshot restore: its whole
-                    # script ran inside the cached prefix
-                    continue
-                task.thread = threading.Thread(
-                    target=self._runner, args=(task,),
-                    name=f"vcpu-{task.vid}", daemon=True)
-                task.thread.start()
-            while True:
-                live = [t for t in self.tasks if not t.done]
-                if not live:
-                    break
-                enabled = [t for t in live if self._runnable(t)]
-                if not enabled:
-                    raise RuntimeError(
-                        "scheduler deadlock: "
-                        + "; ".join(f"vcpu{t.vid} waits on "
-                                    f"{t.waiting_lock!r}" for t in live))
-                if self.snapshots is not None:
-                    self.snapshots.offer(self)
-                chosen = self._pick(enabled)
-                self.decisions.append(Decision(
-                    index=len(self.decisions),
-                    chosen=chosen.vid,
-                    chosen_kind=chosen.pending_kind,
-                    enabled=tuple(t.vid for t in enabled),
-                    kinds=tuple((t.vid, t.pending_kind) for t in enabled)))
-                self._last = chosen.vid
-                self._control.clear()
-                chosen.event.set()
-                if not self._control.wait(self.timeout):
-                    raise RuntimeError(
-                        f"vcpu{chosen.vid} did not yield within "
-                        f"{self.timeout}s")
-                if self.probe is not None:
-                    self.stale.extend(self.probe(self.monitor) or ())
-            for task in self.tasks:
-                if task.thread is not None:
-                    task.thread.join(self.timeout)
+            self._engine.run()
         return self.result()
 
     def result(self) -> RunResult:
@@ -244,7 +278,7 @@ class DeterministicScheduler:
             parked=tuple(t.vid for t in self.tasks if t.parked),
         )
 
-    # -- scheduling policy ------------------------------------------------------------
+    # -- scheduling policy ------------------------------------------------------
 
     def _runnable(self, task) -> bool:
         return task.waiting_lock is None or \
@@ -262,12 +296,181 @@ class DeterministicScheduler:
                     return task
         return min(enabled, key=lambda t: t.vid)
 
-    # -- task side --------------------------------------------------------------------
+    # -- decision machinery (shared by both engines) ----------------------------
+
+    def _loop_decide(self) -> Optional[Task]:
+        """One scheduling decision made from the loop; returns the
+        chosen task, or None once every task is done."""
+        live = [t for t in self.tasks if not t.done]
+        if not live:
+            return None
+        enabled = [t for t in live if self._runnable(t)]
+        if not enabled:
+            raise RuntimeError(
+                "scheduler deadlock: "
+                + "; ".join(f"vcpu{t.vid} waits on "
+                            f"{t.waiting_lock!r}" for t in live))
+        if self.snapshots is not None:
+            self.snapshots.offer(self)
+        chosen = self._pick(enabled)
+        self.decisions.append(Decision(
+            index=len(self.decisions),
+            chosen=chosen.vid,
+            chosen_kind=chosen.pending_kind,
+            enabled=tuple(t.vid for t in enabled),
+            kinds=tuple((t.vid, t.pending_kind) for t in enabled)))
+        self._last = chosen.vid
+        return chosen
+
+    def _record_yield(self, task, kind, detail) -> bool:
+        """The front half of every yield: the record, the crash check,
+        the pending-kind update.  Returns True when the yield was a
+        snapshot-restore swallow (execution just continues)."""
+        if task.resume_swallow:
+            # Snapshot restore: this yield is the cached prefix's park
+            # point being re-reached; everything about it — the yield
+            # record, the crash check, the scheduling decision — is
+            # already seeded.  Consume it and keep executing.
+            task.resume_swallow -= 1
+            return True
+        task.restored_return = False
+        task.yield_index += 1
+        self.yields.append(YieldPoint(
+            vid=task.vid, yield_index=task.yield_index, kind=kind,
+            detail=detail, locks_held=self.locks.held_by(task.vid)))
+        if (not task.crashed and self.schedule.crash is not None
+                and self.schedule.crash == (task.vid, task.yield_index)):
+            task.crashed = True
+            raise FaultInjected(VCPU_CRASH_SITE,
+                                hit=task.yield_index, label=kind)
+        if task.crashed:
+            # the crash already fired; the vCPU must not execute further
+            raise _VCpuParked()
+        task.pending_kind = kind
+        task.pending_detail = detail
+        return False
+
+    def _decide_inline(self, task) -> bool:
+        """Decide the next step from inside the yielding task itself.
+
+        Strict token passing means the parked world is frozen while
+        this vCPU runs, so the yielding task can evaluate exactly the
+        pick the loop would make.  When that pick is the yielding vCPU
+        itself — the overwhelmingly common case under a small
+        preemption bound, where every non-preempted decision just
+        continues the running vCPU — the decision, its record, and the
+        probe all happen inline and no control transfer occurs.  Any
+        other pick (a preemption, a lock handover, a finished task)
+        falls back to the engine's suspension path, so the recorded
+        :class:`RunResult` is byte-identical either way.
+        """
+        live = [t for t in self.tasks if not t.done]
+        enabled = [t for t in live if self._runnable(t)]
+        if not enabled or self._pick(enabled) is not task:
+            return False
+        if self.snapshots is not None:
+            self.snapshots.offer(self)
+        self.decisions.append(Decision(
+            index=len(self.decisions),
+            chosen=task.vid,
+            chosen_kind=task.pending_kind,
+            enabled=tuple(t.vid for t in enabled),
+            kinds=tuple((t.vid, t.pending_kind) for t in enabled)))
+        self._last = task.vid
+        SCHED_STATS["inline_decisions"] += 1
+        if self.probe is not None:
+            # The probe normally runs outside any task, where
+            # instrumentation hooks no-op; ``suspended`` gives it the
+            # same hook-free environment inside one.
+            with suspended():
+                self.stale.extend(self.probe(self.monitor) or ())
+        return True
+
+    def _probe_now(self):
+        if self.probe is not None:
+            self.stale.extend(self.probe(self.monitor) or ())
+
+
+class _ThreadsEngine:
+    """The legacy execution engine: one OS thread per vCPU task, strict
+    token passing through per-task events.  Kept as the parity
+    reference (``REPRO_SCHED_ENGINE=threads``); its thread/event/ident
+    plumbing is private to this class, not part of :class:`Task`.
+    """
+
+    def __init__(self, sched):
+        self.sched = sched
+        self._by_ident: Dict[int, Task] = {}
+        self._events: Dict[int, threading.Event] = {
+            task.vid: threading.Event() for task in sched.tasks}
+        self._threads: Dict[int, threading.Thread] = {}
+        self._control = threading.Event()
+
+    def run(self):
+        """Spawn one OS thread per live task and referee the handoffs."""
+        sched = self.sched
+        for task in sched.tasks:
+            if task.done:
+                # pre-completed by a snapshot restore: its whole
+                # script ran inside the cached prefix
+                continue
+            thread = threading.Thread(
+                target=self._runner, args=(task,),
+                name=f"vcpu-{task.vid}", daemon=True)
+            self._threads[task.vid] = thread
+            thread.start()
+        while True:
+            chosen = sched._loop_decide()
+            if chosen is None:
+                break
+            self._control.clear()
+            self._events[chosen.vid].set()
+            SCHED_STATS["handoffs"] += 1
+            if not self._control.wait(sched.timeout):
+                raise RuntimeError(
+                    f"vcpu{chosen.vid} did not yield within "
+                    f"{sched.timeout}s")
+            sched._probe_now()
+        for thread in self._threads.values():
+            thread.join(sched.timeout)
+
+    # -- hook dispatch ----------------------------------------------------------
+
+    def hook_task(self) -> Optional[Task]:
+        return self._by_ident.get(threading.get_ident())
+
+    def task_yield(self, task, kind, detail):
+        """Park ``task`` at a yield point until the referee resumes it."""
+        sched = self.sched
+        if sched._record_yield(task, kind, detail):
+            return
+        if sched.fast_handoff and sched._decide_inline(task):
+            return
+        self._control.set()
+        event = self._events[task.vid]
+        SCHED_STATS["handoffs"] += 1
+        if not event.wait(sched.timeout):
+            raise RuntimeError(f"vcpu{task.vid} was never rescheduled")
+        event.clear()
+
+    def release_locks(self, task, where):
+        """Drop every lock ``task`` holds and emit the hc.return yield."""
+        sched = self.sched
+        released = sched.locks.release_all(task.vid)
+        try:
+            if not _suspended():
+                self.task_yield(task, "hc.return", where)
+        finally:
+            sched.locks.check_none_held(task.vid, f"return from {where}")
+        return released
+
+    # -- task side --------------------------------------------------------------
 
     def _runner(self, task):
         self._by_ident[threading.get_ident()] = task
-        task.event.wait()
-        task.event.clear()
+        event = self._events[task.vid]
+        event.wait()
+        event.clear()
         try:
             task.fn()
         except _VCpuParked:
@@ -285,70 +488,200 @@ class DeterministicScheduler:
             task.done = True
             self._control.set()
 
-    def _yield(self, task, kind, detail):
-        if task.resume_swallow:
-            # Snapshot restore: this yield is the cached prefix's park
-            # point being re-reached; everything about it — the yield
-            # record, the crash check, the scheduling decision — is
-            # already seeded.  Consume it and keep executing.
-            task.resume_swallow -= 1
-            return
-        task.yield_index += 1
-        self.yields.append(YieldPoint(
-            vid=task.vid, yield_index=task.yield_index, kind=kind,
-            detail=detail, locks_held=self.locks.held_by(task.vid)))
-        if (not task.crashed and self.schedule.crash is not None
-                and self.schedule.crash == (task.vid, task.yield_index)):
-            task.crashed = True
-            raise FaultInjected(VCPU_CRASH_SITE,
-                                hit=task.yield_index, label=kind)
-        if task.crashed:
-            # the crash already fired; the vCPU must not execute further
-            raise _VCpuParked()
-        task.pending_kind = kind
-        task.pending_detail = detail
-        if self.fast_handoff and self._inline_decision(task):
-            return
-        self._control.set()
-        if not task.event.wait(self.timeout):
-            raise RuntimeError(f"vcpu{task.vid} was never rescheduled")
-        task.event.clear()
 
-    def _inline_decision(self, task) -> bool:
-        """Decide the next step without waking the scheduler thread.
+class _ContinuationEngine:
+    """Generator-continuation engine: the default.
 
-        Strict token passing means the parked world is frozen while
-        this vCPU runs, so the yielding thread can evaluate exactly the
-        pick the scheduler thread would make.  When that pick is the
-        yielding vCPU itself — the overwhelmingly common case under a
-        small preemption bound, where every non-preempted decision just
-        continues the running vCPU — the decision, its record, and the
-        probe all happen inline and the two thread handoffs are
-        skipped.  Any other pick (a preemption, a lock handover, a
-        finished task) falls back to the token-passing slow path, so
-        the recorded :class:`RunResult` is byte-identical either way.
-        """
-        live = [t for t in self.tasks if not t.done]
-        enabled = [t for t in live if self._runnable(t)]
-        if not enabled or self._pick(enabled) is not task:
-            return False
-        if self.snapshots is not None:
-            self.snapshots.offer(self)
-        self.decisions.append(Decision(
-            index=len(self.decisions),
-            chosen=task.vid,
-            chosen_kind=task.pending_kind,
-            enabled=tuple(t.vid for t in enabled),
-            kinds=tuple((t.vid, t.pending_kind) for t in enabled)))
-        self._last = task.vid
-        if self.probe is not None:
-            # The probe normally runs on the scheduler thread, where
-            # instrumentation hooks no-op (the thread owns no task);
-            # ``suspended`` gives it the same hook-free environment
-            # here on the vCPU thread.
-            with suspended():
-                self.stale.extend(self.probe(self.monitor) or ())
-        return True
+    Every not-done task gets a *driver generator* (:meth:`_drive`) and
+    the loop simply ``next()``s the chosen task's driver at each
+    decision.  The driver suspends (``yield``) exactly when a decision
+    must be made by the loop — i.e. when the pick at a yield point is
+    *not* the yielding task itself.
+
+    The load-bearing dichotomy is decided at each step boundary
+    (:meth:`_can_inline`): once every forced preemption index is behind
+    ``len(decisions)`` (monotone — decisions only grow) and no lock is
+    held anywhere, a step's every yield must pick the running task
+    itself: ``_pick`` falls through *forced* (none pending) to *last*
+    (the running task), and the running task can never be lock-blocked
+    because only its own locks exist.  Such a step is executed as a
+    plain function call — its yields resolve through
+    ``_decide_inline`` with zero control transfers.  A step that cannot
+    be proven settled runs on a pooled fiber
+    (:mod:`repro.concurrency.arena`), which can suspend mid-stack with
+    exactly the legacy engine's semantics.
+
+    For step-drivable workloads the ``hc.return`` yield is *hoisted* to
+    the driver: :meth:`release_locks` releases the locks and defers the
+    yield, and the driver emits it after the step's stack has fully
+    unwound — which is what makes tasks parked at ``hc.return``
+    capture-eligible for the snapshot tree (no stack to clone).
+    Nothing observable runs between the in-stack site and the hoisted
+    one: the post-release tail of a hypercall is pure bookkeeping
+    (``check_none_held`` after ``release_all`` cannot fire, and a
+    rejected ``StepOutcome`` is returned to a caller that discards it).
+    """
+
+    def __init__(self, sched):
+        self.sched = sched
+        self._current: Optional[Task] = None
+        self._gens: Dict[int, object] = {}
+        self._fiber_of: Dict[int, object] = {}
+        self._deferred: Dict[int, str] = {}
+
+    def run(self):
+        """Drive every live task as a continuation from one loop."""
+        sched = self.sched
+        for task in sched.tasks:
+            if not task.done:
+                self._gens[task.vid] = self._drive(task)
+        while True:
+            chosen = sched._loop_decide()
+            if chosen is None:
+                break
+            self._advance(chosen)
+            sched._probe_now()
+
+    def _advance(self, task):
+        gen = self._gens[task.vid]
+        self._current = task
+        try:
+            next(gen)
+        except StopIteration:
+            pass
+        finally:
+            self._current = None
+
+    # -- hook dispatch ----------------------------------------------------------
+
+    def hook_task(self) -> Optional[Task]:
+        return self._current
+
+    def task_yield(self, task, kind, detail):
+        """Record the yield; decide inline or park the task's fiber."""
+        sched = self.sched
+        if sched._record_yield(task, kind, detail):
+            return
+        if sched._decide_inline(task):
+            return
+        fiber = self._fiber_of.get(task.vid)
+        if fiber is None:
+            raise RuntimeError(
+                f"continuation engine invariant violated: vcpu{task.vid} "
+                f"needed a context switch at {kind!r} inside an inline "
+                f"step")
+        fiber.park(sched.timeout)
+
+    def release_locks(self, task, where):
+        """Drop the task's locks; defer the hc.return yield if scripted."""
+        sched = self.sched
+        released = sched.locks.release_all(task.vid)
+        if sched.script_workloads is not None and not _suspended():
+            # hoisted: the driver emits the hc.return yield once the
+            # step's stack has unwound (see class docstring)
+            self._deferred[task.vid] = where
+            return released
+        try:
+            if not _suspended():
+                self.task_yield(task, "hc.return", where)
+        finally:
+            sched.locks.check_none_held(task.vid, f"return from {where}")
+        return released
+
+    # -- the inline/fiber dichotomy ---------------------------------------------
+
+    def _can_inline(self) -> bool:
+        sched = self.sched
+        return (len(sched.decisions) > sched._max_forced
+                and not sched.locks.any_held())
+
+    # -- drivers ----------------------------------------------------------------
+
+    def _drive(self, task):
+        """The driver generator: one per task, same terminal semantics
+        as the threaded engine's ``_runner``."""
+        try:
+            if self.sched.script_workloads is not None:
+                yield from self._script_body(task)
+            else:
+                yield from self._callable_body(task)
+        except _VCpuParked:
+            task.parked = True
+        except FaultInjected as exc:
+            if exc.site == VCPU_CRASH_SITE:
+                # crash delivered outside any hypercall: the vCPU just
+                # stops, with nothing to roll back
+                task.parked = True
+            else:
+                task.exc = exc
+        except BaseException as exc:          # noqa: BLE001 - report, don't die
+            task.exc = exc
+        finally:
+            task.done = True
+
+    def _script_body(self, task):
+        sched = self.sched
+        workloads = sched.script_workloads
+        vid = task.vid
+        while workloads.steps_remaining(vid):
+            try:
+                if self._can_inline():
+                    workloads.run_step(vid)
+                else:
+                    yield from self._fiber_step(
+                        task, lambda: workloads.run_step(vid))
+            finally:
+                # Emit a deferred hc.return even while an exception
+                # unwinds the step (a crashed vCPU's _VCpuParked): the
+                # legacy engine records that yield from inside the
+                # hypercall wrapper's finally, so parity demands it.
+                where = self._deferred.pop(vid, None)
+                if where is not None:
+                    try:
+                        yield from self._emit(task, "hc.return", where)
+                    finally:
+                        sched.locks.check_none_held(
+                            vid, f"return from {where}")
+            workloads.advance(vid)
+
+    def _callable_body(self, task):
+        # An opaque callable is one indivisible "step": the inline
+        # conditions, monotone for the whole run once true, make every
+        # yield inside it pick the task itself.
+        if self._can_inline():
+            task.fn()
+        else:
+            yield from self._fiber_step(task, task.fn)
+
+    def _emit(self, task, kind, detail):
+        """A driver-level yield point (empty stack below it)."""
+        if self.sched._record_yield(task, kind, detail):
+            return
+        if self.sched._decide_inline(task):
+            return
+        yield
+
+    def _fiber_step(self, task, fn):
+        """Run one step on a pooled fiber, yielding to the loop at
+        every suspension until the step completes."""
+        sched = self.sched
+        fiber, reused = process_arena().lease()
+        if reused:
+            SCHED_STATS["arena_reuses"] += 1
+        SCHED_STATS["fiber_steps"] += 1
+        self._fiber_of[task.vid] = fiber
+        try:
+            SCHED_STATS["handoffs"] += 1
+            status, exc = fiber.start(fn, sched.timeout)
+            while status == "parked":
+                yield
+                SCHED_STATS["handoffs"] += 1
+                status, exc = fiber.resume(sched.timeout)
+        finally:
+            self._fiber_of.pop(task.vid, None)
+            process_arena().release(fiber)
+        if exc is not None:
+            raise exc
 
 
 # ---------------------------------------------------------------------------
@@ -377,15 +710,15 @@ def installed(scheduler):
 
 
 def current_task() -> Optional[Task]:
-    """The scheduled :class:`Task` of this thread, or None."""
+    """The executing :class:`Task`, or None outside any vCPU task."""
     sched = _ACTIVE
     if sched is None:
         return None
-    return sched._by_ident.get(threading.get_ident())
+    return sched._engine.hook_task()
 
 
 def current_vid() -> Optional[int]:
-    """The executing vCPU id, or None off any scheduled task thread."""
+    """The executing vCPU id, or None outside any scheduled task."""
     task = current_task()
     return None if task is None else task.vid
 
@@ -409,10 +742,10 @@ def yield_point(kind, detail=None):
     sched = _ACTIVE
     if sched is None or _suspended():
         return
-    task = sched._by_ident.get(threading.get_ident())
+    task = sched._engine.hook_task()
     if task is None:
         return
-    sched._yield(task, kind, detail)
+    sched._engine.task_yield(task, kind, detail)
 
 
 def acquire_locks(monitor, names):
@@ -425,13 +758,13 @@ def acquire_locks(monitor, names):
     sched = _ACTIVE
     if sched is None or _suspended():
         return
-    task = sched._by_ident.get(threading.get_ident())
+    task = sched._engine.hook_task()
     if task is None:
         return
     from repro.concurrency.locks import order_locks
     for name in order_locks(names):
         task.waiting_lock = name
-        sched._yield(task, "lock.acquire", name)
+        sched._engine.task_yield(task, "lock.acquire", name)
         task.waiting_lock = None
         sched.locks.acquire(task.vid, name)
         scope = task.txn_scope
@@ -442,15 +775,12 @@ def acquire_locks(monitor, names):
 def release_locks(where):
     """Release every lock of the current vCPU (hypercall return)."""
     sched = _ACTIVE
-    task = current_task()
-    if sched is None or task is None:
+    if sched is None:
         return ()
-    released = sched.locks.release_all(task.vid)
-    try:
-        yield_point("hc.return", where)
-    finally:
-        sched.locks.check_none_held(task.vid, f"return from {where}")
-    return released
+    task = sched._engine.hook_task()
+    if task is None:
+        return ()
+    return sched._engine.release_locks(task, where)
 
 
 def guard_mutation(name):
@@ -458,7 +788,7 @@ def guard_mutation(name):
     sched = _ACTIVE
     if sched is None or _suspended():
         return
-    task = sched._by_ident.get(threading.get_ident())
+    task = sched._engine.hook_task()
     if task is None:
         return
     sched.locks.check_mutation(task.vid, name)

@@ -12,16 +12,29 @@ the structured clone layer and executes only the suffix.
 
 Correctness rests on three properties:
 
-* **Snapshot-safe decision points.**  OS-thread call stacks cannot be
-  captured, so a node is taken only when every live vCPU is parked at a
-  ``step`` or ``task.start`` yield with no lock held or waited on and
-  no transaction in flight.  The ``step`` yield sits at the very top of
-  ``apply_step`` — before any mutation — so a parked task's whole
-  continuation is "run the rest of my script", which
-  :class:`~repro.faults.campaign.ScriptWorkloads` makes restorable: a
-  restored thread re-enters the step it was parked in and a one-shot
-  ``resume_swallow`` consumes the re-executed park-point yield (already
-  recorded, already crash-checked) instead of double-recording it.
+* **Snapshot-safe decision points.**  A node is taken only when every
+  live vCPU's continuation is reconstructible from its script position
+  alone.  That is always true at a ``step`` or ``task.start`` park (no
+  lock held or waited on, no transaction in flight): the ``step`` yield
+  sits at the very top of ``apply_step``, before any mutation, so the
+  parked task's continuation is "run the rest of my script".  With the
+  extended gate (``REPRO_SNAPSHOT_GATE``, on by default) two more park
+  kinds qualify — a ``hc.return`` park (the hypercall fully committed
+  and its locks released; the continuation engine hoists this yield to
+  an empty stack, and a restored task simply starts the *next* step)
+  and a ``lock.acquire`` park on the task's *first* lock (nothing
+  journalled, nothing snapshotted, the transaction scope still empty —
+  re-entering the step replays its pure prologue exactly).  Parks at
+  ``phys.write``/``shootdown.ipi`` stay ineligible by design: they sit
+  inside an open transaction whose journal and structure snapshots
+  cannot be re-seeded soundly (and under a buggy lock-free monitor the
+  prologue before them is not replay-pure).  Restored tasks re-enter
+  the step they were parked in; ``resume_swallow`` consumes the
+  re-executed park-point yields (already recorded, already
+  crash-checked) instead of double-recording them — one yield for a
+  ``step`` park, two (step + acquire) for a ``lock.acquire`` park,
+  whose re-entered ``step_count`` bump :meth:`SnapshotNode.apply_to`
+  compensates.
 * **Deterministic prefix prediction.**  A child's trace prefix equals
   its parent's trace up to the forced decision plus the forced vid, so
   a side index of recorded traces keyed by ``(world key, preemptions)``
@@ -55,8 +68,13 @@ from repro.obs.metrics import REGISTRY
 #: current script step, then the rest of the script".
 SAFE_PARK_KINDS = frozenset({"task.start", "step"})
 
+#: Additional park kinds accepted by the extended capture gate (see
+#: module docstring for why these are sound and others are not).
+EXTENDED_PARK_KINDS = frozenset({"hc.return", "lock.acquire"})
+
 ENV_FLAG = "REPRO_PREFIX_CACHE"
 ENV_BUDGET = "REPRO_SNAPSHOT_BUDGET_MB"
+ENV_GATE = "REPRO_SNAPSHOT_GATE"
 DEFAULT_BUDGET_MB = 256.0
 
 #: Recorded parent traces kept for prefix prediction (tiny tuples; a
@@ -73,6 +91,18 @@ def prefix_cache_enabled(explicit: Optional[bool] = None) -> bool:
     if env is None or not env.strip():
         return True
     return env.strip().lower() not in ("0", "false", "no", "off")
+
+
+def extended_gate_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the capture-gate flag: explicit value, else
+    ``REPRO_SNAPSHOT_GATE`` (default extended; ``legacy``/``0``/``off``
+    restricts captures to :data:`SAFE_PARK_KINDS` parks only)."""
+    if explicit is not None:
+        return bool(explicit)
+    env = os.environ.get(ENV_GATE)
+    if env is None or not env.strip():
+        return True
+    return env.strip().lower() not in ("0", "false", "no", "off", "legacy")
 
 
 def snapshot_budget_bytes() -> int:
@@ -105,10 +135,20 @@ def locality_key(schedule) -> str:
 
 @dataclass(frozen=True)
 class TaskMeta:
-    """One vCPU's restart coordinates inside a snapshot node."""
+    """One vCPU's restart coordinates inside a snapshot node.
+
+    ``position`` is the script step the restored task re-enters (for an
+    ``hc.return`` park that is the *next* step — the parked one fully
+    committed); ``swallow`` is how many already-recorded yields the
+    re-entered step replays before live recording resumes (0 for
+    ``task.start``/``hc.return``, 1 for ``step``, 2 for
+    ``lock.acquire``); ``waiting_lock`` re-seeds the runnability test
+    so a restored blocked task cannot be picked into a contended
+    acquire.
+    """
 
     vid: int
-    position: int                      # script step the task is inside
+    position: int                      # script step the task re-enters
     pending_kind: str
     pending_detail: Optional[str]
     yield_index: int
@@ -116,6 +156,8 @@ class TaskMeta:
     parked: bool
     crashed: bool
     exc: Optional[BaseException]
+    waiting_lock: Optional[str] = None
+    swallow: int = 0
 
 
 class SnapshotNode:
@@ -167,11 +209,23 @@ class SnapshotNode:
             task.parked = meta.parked
             task.crashed = meta.crashed
             task.exc = meta.exc
-            # A live task parked at "step" is *inside* that script
-            # step; it will re-execute the step's top-of-body yield,
-            # which the prefix already recorded.
-            task.resume_swallow = int(
-                not meta.done and meta.pending_kind == "step")
+            task.waiting_lock = meta.waiting_lock
+            # A live task parked inside a script step re-executes the
+            # step's prologue; ``swallow`` counts the yields of that
+            # prologue the prefix already recorded.
+            task.resume_swallow = 0 if meta.done else meta.swallow
+            # An hc.return meta carries the *post-advance* position
+            # (the next step); flag it so a capture taken before this
+            # task re-runs doesn't advance the position a second time.
+            task.restored_return = (not meta.done
+                                    and meta.pending_kind == "hc.return")
+            if (not meta.done and meta.swallow >= 2
+                    and sched.script_workloads is not None):
+                # A lock.acquire park sits *after* apply_step's
+                # step-count bump: the frozen state already counted the
+                # step this task re-enters, and re-entering bumps it
+                # again.  Undo one so the step counts exactly once.
+                sched.script_workloads.state.step_count -= 1
 
 
 class SnapshotTree:
@@ -267,15 +321,18 @@ class SnapshotPlan:
     dict probe, not a clone.
     """
 
-    __slots__ = ("tree", "world_key", "state", "workloads", "_prev")
+    __slots__ = ("tree", "world_key", "state", "workloads", "_prev",
+                 "extended")
 
     def __init__(self, tree, world_key, state, workloads, schedule,
-                 resumed_from: Optional[SnapshotNode] = None):
+                 resumed_from: Optional[SnapshotNode] = None,
+                 extended: Optional[bool] = None):
         self.tree = tree
         self.world_key = world_key
         self.state = state
         self.workloads = workloads
         self._prev = resumed_from
+        self.extended = extended_gate_enabled(extended)
 
     def offer(self, sched):
         """Capture the scheduler's state at the current decision point
@@ -294,13 +351,13 @@ class SnapshotPlan:
             if task.done:
                 continue
             live += 1
-            if (task.pending_kind not in SAFE_PARK_KINDS
-                    or task.waiting_lock is not None
-                    or task.txn_scope is not None):
+            if not self._capturable(sched, task):
                 return
         if live < 2 or sched.locks.any_held():
             # a single live vCPU can never branch; held locks mean a
-            # hypercall is mid-flight somewhere
+            # hypercall is mid-flight somewhere (for lock-disciplined
+            # monitors), so a parked waiter could be restored into a
+            # contended acquire
             return
         prefix = tuple(d.chosen for d in sched.decisions)
         key = (self.world_key, prefix)
@@ -313,6 +370,29 @@ class SnapshotPlan:
             self._prev = existing
             return
         tree.insert(key, self._capture(sched))
+
+    def _capturable(self, sched, task) -> bool:
+        """Is this live task's continuation reconstructible from its
+        script position (plus a swallow count) alone?"""
+        kind = task.pending_kind
+        if (kind in SAFE_PARK_KINDS and task.waiting_lock is None
+                and task.txn_scope is None):
+            return True
+        if not self.extended:
+            return False
+        if kind == "hc.return":
+            # locks released, transaction scope closed, step committed:
+            # the continuation is "start the next step"
+            return task.txn_scope is None
+        if kind == "lock.acquire" and not sched.locks.held_by(task.vid):
+            # parked at the *first* acquire of a strict-2PL plan: the
+            # open scope has journalled nothing and snapshotted
+            # nothing, so re-entering the step replays its pure
+            # prologue exactly
+            scope = task.txn_scope
+            return scope is None or (not scope.journal
+                                     and not scope.structures)
+        return False
 
     def _capture(self, sched) -> SnapshotNode:
         from repro.engine.fingerprint import structure_versions
@@ -332,15 +412,7 @@ class SnapshotPlan:
             frozen = self.state.clone(reuse=reuse or None)
         if reuse:
             self.tree.stats["cow_shared"] += len(reuse)
-        metas = tuple(
-            TaskMeta(vid=task.vid,
-                     position=self.workloads.positions[task.vid],
-                     pending_kind=task.pending_kind,
-                     pending_detail=task.pending_detail,
-                     yield_index=task.yield_index,
-                     done=task.done, parked=task.parked,
-                     crashed=task.crashed, exc=task.exc)
-            for task in sched.tasks)
+        metas = tuple(self._task_meta(task) for task in sched.tasks)
         node = SnapshotNode(
             state=frozen, versions=versions, metas=metas,
             decisions=tuple(sched.decisions),
@@ -353,6 +425,34 @@ class SnapshotPlan:
             nbytes=_estimate_bytes(frozen, sched, reuse))
         self._prev = node
         return node
+
+    def _task_meta(self, task) -> TaskMeta:
+        position = self.workloads.positions[task.vid]
+        kind = task.pending_kind
+        if task.done:
+            swallow = 0
+        elif kind == "hc.return":
+            # the parked step fully committed; the restored task starts
+            # the next one with nothing to replay.  A task that is
+            # itself an untouched restore of an hc.return park already
+            # holds the post-advance position — don't advance it twice.
+            if not task.restored_return:
+                position += 1
+            swallow = 0
+        elif kind == "step":
+            swallow = 1                # the top-of-step yield
+        elif kind == "lock.acquire":
+            swallow = 2                # the step yield + the acquire yield
+        else:
+            swallow = 0                # task.start: nothing executed yet
+        return TaskMeta(
+            vid=task.vid, position=position,
+            pending_kind=task.pending_kind,
+            pending_detail=task.pending_detail,
+            yield_index=task.yield_index,
+            done=task.done, parked=task.parked,
+            crashed=task.crashed, exc=task.exc,
+            waiting_lock=task.waiting_lock, swallow=swallow)
 
 
 def _estimate_bytes(state, sched, reuse) -> int:
@@ -401,8 +501,9 @@ def reset_process_tree(tree: Optional[SnapshotTree] = None):
 
 
 __all__ = [
-    "SAFE_PARK_KINDS", "ENV_FLAG", "ENV_BUDGET", "TaskMeta",
-    "SnapshotNode", "SnapshotTree", "SnapshotPlan",
-    "prefix_cache_enabled", "snapshot_budget_bytes", "locality_key",
-    "process_tree", "reset_process_tree",
+    "SAFE_PARK_KINDS", "EXTENDED_PARK_KINDS", "ENV_FLAG", "ENV_BUDGET",
+    "ENV_GATE", "TaskMeta", "SnapshotNode", "SnapshotTree",
+    "SnapshotPlan", "extended_gate_enabled", "prefix_cache_enabled",
+    "snapshot_budget_bytes", "locality_key", "process_tree",
+    "reset_process_tree",
 ]

@@ -53,8 +53,26 @@ _fp = content_fingerprint
 
 
 def phys_fingerprint(monitor) -> int:
-    """Physical memory — transitively every page table's entries."""
-    return _fp("phys", monitor.phys.snapshot())
+    """Physical memory — transitively every page table's entries.
+
+    Dirty-only and batched: :meth:`PhysMemory.frame_digests` re-hashes
+    just the frames written since the last fingerprint (the store keeps
+    the per-frame digest table up to date through every mutator,
+    including transactional undo), and this function folds the table
+    into one blake2b in frame order.  Equal contents give equal frame
+    tables give equal digests, so the value is as canonical as the old
+    whole-snapshot ``repr`` encoding — only the encoding changed, which
+    is why this fingerprint (and everything keyed on it) is not
+    comparable across engine versions, exactly like any other memo-key
+    schema change.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(b"phys")
+    frame_fps = monitor.phys.frame_digests()
+    for frame in sorted(frame_fps):
+        digest.update(frame.to_bytes(8, "big"))
+        digest.update(frame_fps[frame])
+    return int.from_bytes(digest.digest(), "big")
 
 
 def frames_fingerprint(monitor) -> int:

@@ -17,8 +17,14 @@ memory directly; nothing touches a TLB or an allocator).
   ``enclaves`` match a certified state re-checks nothing even if its
   ``cpus`` differ;
 * the vCPU consistency check, keyed by (cpus, enclaves, phys);
+* per-state *observation digests*, keyed by one world's fingerprint
+  plus the observing vCPU and principal — the schedule-NI final-state
+  pass compares digests first, so the common all-equal case costs one
+  V(p, σ) evaluation per distinct *state* instead of one diff per
+  distinct *pair* of states;
 * observation diffs, keyed by both worlds' combined fingerprints plus
-  the observing vCPU and principal.
+  the observing vCPU and principal (the slow path, reached only when
+  the digests disagree and a component-level witness is needed).
 
 Memoisation by fingerprint is hash compaction (as in every stateful
 model checker's visited-state table): a 64-bit blake2b collision would
@@ -27,6 +33,7 @@ parallel fabric guards the other failure mode — a memo bug masking a
 real violation.
 """
 
+from hashlib import blake2b
 from typing import Dict, List, Tuple
 
 from repro.engine.fingerprint import structure_fingerprints
@@ -37,6 +44,7 @@ from repro.security.invariants import (
     check_vcpu_consistency,
 )
 from repro.security.noninterference import observation_diff
+from repro.security.observation import observe
 
 # The structures each invariant family reads.  Page-table walks are
 # functions of physical memory; enclave metadata (roots, ELRANGE, mbuf,
@@ -74,8 +82,10 @@ class CheckMemo:
             name: {} for name, _checker in FAMILIES}
         self._vcpu: Dict[Tuple, Tuple[str, ...]] = {}
         self._obs: Dict[Tuple, Tuple[str, ...]] = {}
+        self._obsdig: Dict[Tuple, str] = {}
         self.counters = {"invariants": [0, 0], "vcpu": [0, 0],
-                         "observation": [0, 0]}       # [hits, misses]
+                         "observation": [0, 0],
+                         "obs_digest": [0, 0]}        # [hits, misses]
         self.journal = None          # list of (table, key, value) or None
 
     # -- persistence bridging -----------------------------------------------
@@ -113,6 +123,8 @@ class CheckMemo:
                 self._vcpu[key] = tuple(value)
             elif table == "observation":
                 self._obs[key] = tuple(value)
+            elif table == "obsdigest":
+                self._obsdig[key] = str(value)
             else:
                 continue
             loaded += 1
@@ -162,7 +174,32 @@ class CheckMemo:
         self._note("vcpu", key, tuple(found))
         return found
 
-    # -- observation diffs ---------------------------------------------------------
+    # -- observation digests and diffs ---------------------------------------------
+
+    def observation_digest(self, state, vid, observer, fp=None) -> str:
+        """Digest of V(``observer``, state) as seen from vCPU ``vid``.
+
+        :class:`~repro.security.observation.Observation` is a frozen
+        dataclass of nested tuples, so its repr is a canonical encoding;
+        a 64-bit blake2b of it is subject to the same hash-compaction
+        caveat as every other memo table.  Keyed per *state* — the NI
+        final-state pass over N distinct terminal states costs N digest
+        evaluations instead of O(N²) pairwise diffs.
+        """
+        from repro.engine.fingerprint import fingerprint
+        fp = fp if fp is not None else fingerprint(state.monitor)
+        key = (fp, vid, observer)
+        if key in self._obsdig:
+            self.counters["obs_digest"][0] += 1
+            return self._obsdig[key]
+        self.counters["obs_digest"][1] += 1
+        with state.monitor.on_cpu(vid):
+            snapshot = observe(state, observer)
+        digest = blake2b(repr(snapshot).encode(),
+                         digest_size=8).hexdigest()
+        self._obsdig[key] = digest
+        self._note("obsdigest", key, digest)
+        return digest
 
     def final_state_diff(self, state_a, state_b, vid, observer,
                          fp_a=None, fp_b=None) -> Tuple[str, ...]:
@@ -173,10 +210,28 @@ class CheckMemo:
         active/saved per-core state — all covered by the combined
         fingerprints — and the executing-vCPU dispatch is pinned by
         ``on_cpu``, so (fp_a, fp_b, vid, observer) determines the diff.
+
+        Three tiers, fastest first: identical fingerprints mean
+        identical states (empty diff, no observation at all); equal
+        per-state :meth:`observation_digest` values mean equal
+        observations (empty diff, one digest per state amortised across
+        every pairing); only digest disagreement — an actual candidate
+        violation — runs the component-level pairwise diff that the
+        witness message needs.
         """
         from repro.engine.fingerprint import fingerprint
         fp_a = fp_a if fp_a is not None else fingerprint(state_a.monitor)
         fp_b = fp_b if fp_b is not None else fingerprint(state_b.monitor)
+        if fp_a == fp_b:
+            self.counters["observation"][0] += 1
+            _trace.event("memo", checker="observation", hits=1, misses=0)
+            return ()
+        dig_a = self.observation_digest(state_a, vid, observer, fp_a)
+        dig_b = self.observation_digest(state_b, vid, observer, fp_b)
+        if dig_a == dig_b:
+            self.counters["observation"][0] += 1
+            _trace.event("memo", checker="observation", hits=1, misses=0)
+            return ()
         key = (fp_a, fp_b, vid, observer)
         if key in self._obs:
             self.counters["observation"][0] += 1

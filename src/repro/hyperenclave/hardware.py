@@ -9,6 +9,7 @@ Sec. 4.1), so the flat-view specification and the machine agree by
 construction and the interesting proofs are about everything above.
 """
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -38,6 +39,14 @@ class PhysMemory:
         # snapshot tree share clean structures between sibling forks:
         # equal versions on one object lineage imply equal contents.
         self._version = 0
+        # Dirty-frame tracking for incremental fingerprinting: every
+        # mutator records the frames it touched; ``frame_digests``
+        # re-hashes only those and keeps a per-frame digest table that
+        # ``clone()`` copies, so a fingerprint after one hypercall
+        # re-hashes the handful of frames that hypercall wrote instead
+        # of the whole sparse store.
+        self._dirty_frames: set = set()
+        self._frame_fps: Dict[int, bytes] = {}
 
     # -- word access -------------------------------------------------------------
 
@@ -57,6 +66,7 @@ class PhysMemory:
         value = faults.filter_write(paddr, value)
         conc.record_phys_write(index, self._words.get(index, 0))
         self._version += 1
+        self._dirty_frames.add(index // self.config.words_per_page)
         masked = value & ((1 << 64) - 1)
         if masked == 0:
             self._words.pop(index, None)
@@ -78,6 +88,7 @@ class PhysMemory:
         base = self.config.frame_base(frame) // WORD_BYTES
         conc.yield_point("phys.write", f"zero frame {frame}")
         self._version += 1
+        self._dirty_frames.add(frame)
         for offset in range(self.config.words_per_page):
             conc.record_phys_write(base + offset,
                                    self._words.get(base + offset, 0))
@@ -95,6 +106,7 @@ class PhysMemory:
         conc.yield_point("phys.write",
                          f"copy frame {src_frame}->{dst_frame}")
         self._version += 1
+        self._dirty_frames.add(dst_frame)
         for offset in range(self.config.words_per_page):
             value = self._words.get(src + offset, 0)
             value = faults.filter_write((dst + offset) * WORD_BYTES, value)
@@ -135,6 +147,7 @@ class PhysMemory:
         """Replace the contents with a :meth:`snapshot`'s items."""
         self._version += 1
         self._words = dict(items)
+        self._mark_all_dirty()
 
     def checkpoint(self):
         """Cheap mutable checkpoint (unsorted) for transactional rollback."""
@@ -144,6 +157,7 @@ class PhysMemory:
         """Roll back to a :meth:`checkpoint` (transactional abort)."""
         self._version += 1
         self._words = dict(checkpoint)
+        self._mark_all_dirty()
 
     def apply_undo(self, journal):
         """Restore journalled words (concurrent transactional rollback).
@@ -155,7 +169,9 @@ class PhysMemory:
         fingerprint and shared snapshot built on version equality.
         """
         self._version += 1
+        wpp = self.config.words_per_page
         for index, old_value in journal.items():
+            self._dirty_frames.add(index // wpp)
             if old_value == 0:
                 self._words.pop(index, None)
             else:
@@ -168,7 +184,44 @@ class PhysMemory:
         new._capacity = self._capacity
         new._words = dict(self._words)
         new._version = self._version
+        new._dirty_frames = set(self._dirty_frames)
+        new._frame_fps = dict(self._frame_fps)
         return new
+
+    # -- incremental fingerprint support ------------------------------------------
+
+    def _mark_all_dirty(self):
+        """Wholesale content replacement: discard every cached frame
+        digest and queue the now-populated frames for re-hashing."""
+        self._frame_fps.clear()
+        self._dirty_frames = {index // self.config.words_per_page
+                              for index in self._words}
+
+    def frame_digests(self) -> Dict[int, bytes]:
+        """Per-frame blake2b-64 digests of every nonzero frame.
+
+        Re-hashes only the frames dirtied since the last call and
+        updates the cached table in place (frames that went all-zero
+        drop out, matching the sparse semantics).  The engine's
+        fingerprint layer folds the table into one combined digest —
+        O(dirty frames) hashing plus O(nonzero frames) mixing, versus
+        re-encoding the whole store on every fingerprint.
+        """
+        if self._dirty_frames:
+            wpp = self.config.words_per_page
+            words = self._words
+            for frame in self._dirty_frames:
+                base = frame * wpp
+                content = tuple(
+                    (offset, words[base + offset])
+                    for offset in range(wpp) if base + offset in words)
+                if content:
+                    self._frame_fps[frame] = hashlib.blake2b(
+                        repr(content).encode(), digest_size=8).digest()
+                else:
+                    self._frame_fps.pop(frame, None)
+            self._dirty_frames.clear()
+        return self._frame_fps
 
     def __len__(self):
         return self._capacity

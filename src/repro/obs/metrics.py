@@ -86,7 +86,15 @@ class MetricsRegistry:
         counters = dict(self.counters)
         for prefix, group in self._groups.items():
             for key, value in group.items():
-                counters[f"{prefix}.{key}"] = value
+                # *Add* to any same-named plain counter rather than
+                # overwrite it: a forked worker inherits the parent's
+                # merged totals as plain counters, then registers the
+                # group (zeroed) on first use — overwriting would make
+                # the worker's shard delta come out as
+                # ``group - inherited`` and corrupt the parent's totals
+                # on merge.
+                name = f"{prefix}.{key}"
+                counters[name] = counters.get(name, 0) + value
         return {"counters": counters,
                 "gauges": dict(self.gauges),
                 "histograms": {name: dict(hist)

@@ -44,6 +44,21 @@ class TestCounterGroups:
         assert first is second
         assert set(first) == {"calls", "hits"}
 
+    def test_group_adds_to_inherited_plain_counter(self):
+        """A same-named plain counter (a forked worker inherits the
+        parent's merged totals that way) adds to the group value in the
+        snapshot — overwriting would make the worker's shard delta come
+        out as ``group - inherited`` and corrupt the parent on merge."""
+        registry = MetricsRegistry()
+        registry.inc("solver.calls", 10)          # inherited via fork
+        before = registry.snapshot()
+        stats = registry.counter_group("solver", ("calls",))
+        stats["calls"] += 3                       # this process's work
+        after = registry.snapshot()
+        assert after["counters"]["solver.calls"] == 13
+        assert registry.delta(before, after)["counters"][
+            "solver.calls"] == 3
+
     def test_reset_keeps_group_identity(self):
         registry = MetricsRegistry()
         stats = registry.counter_group("solver", ("calls",))
