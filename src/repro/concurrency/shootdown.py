@@ -64,35 +64,45 @@ def detect_stale_translations(monitor) -> List[StaleTranslation]:
     """
     findings = []
     config = monitor.config
+    page = config.page_size
     for vid, cpu in enumerate(monitor.cpus):
         eid = cpu.active
         if eid == _HOST_ID:
             continue  # host loads bypass the TLB (direct physical map)
         entries, _flush_count = cpu.tlb.snapshot()
-        for (_asid, (va_page, write)), pa_page in entries:
-            try:
-                expected = config.page_base(
-                    monitor.enclave_translate(eid, va_page, write=write))
-            except ReproError:
-                expected = None
-            if expected == pa_page:
-                continue
-            frame = config.frame_of(pa_page)
-            if monitor.layout.is_epc(frame):
-                entry = monitor.epcm.entry_for_frame(frame)
-                if (entry.owner == eid and entry.va == va_page
-                        and entry.state.value == "reg"):
-                    # Unmapped but not yet released: the in-flight
-                    # shootdown window, in which the frame still holds
-                    # this enclave's page.  Benign by construction.
+        for (_asid, (va_page, write)), (pa_page, span) in entries:
+            # A block (huge-page) TLB entry caches the translation of
+            # its whole span; comparing only the base page would miss an
+            # interior page whose mapping changed underneath the entry.
+            # Sweep every page the entry covers (one conviction per
+            # entry suffices).
+            for off in range(0, span or page, page):
+                va = va_page + off
+                try:
+                    expected = config.page_base(
+                        monitor.enclave_translate(eid, va, write=write))
+                except ReproError:
+                    expected = None
+                if expected == pa_page + off:
                     continue
-                reason = (f"frame {frame} is "
-                          f"{entry.state.value}/owner={entry.owner}")
-            elif expected is None:
-                reason = "there is no mapping"
-            else:
-                reason = f"the va now maps to {expected:#x}"
-            findings.append(StaleTranslation(
-                vid=vid, principal=eid, va_page=va_page,
-                cached_pa=pa_page, reason=reason))
+                frame = config.frame_of(pa_page + off)
+                if monitor.layout.is_epc(frame):
+                    entry = monitor.epcm.entry_for_frame(frame)
+                    if (entry.owner == eid and entry.va == va
+                            and entry.state.value == "reg"):
+                        # Unmapped but not yet released: the in-flight
+                        # shootdown window, in which the frame still
+                        # holds this enclave's page.  Benign by
+                        # construction.
+                        continue
+                    reason = (f"frame {frame} is "
+                              f"{entry.state.value}/owner={entry.owner}")
+                elif expected is None:
+                    reason = "there is no mapping"
+                else:
+                    reason = f"the va now maps to {expected:#x}"
+                findings.append(StaleTranslation(
+                    vid=vid, principal=eid, va_page=va,
+                    cached_pa=pa_page + off, reason=reason))
+                break
     return findings

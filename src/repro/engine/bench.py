@@ -87,6 +87,13 @@ def _engine_config() -> dict:
     }
 
 
+def _arch_name(config):
+    if config is None:
+        from repro.hyperenclave.constants import TINY
+        config = TINY
+    return config.arch.name
+
+
 def _rates(seconds, schedules, states):
     return {
         "seconds": round(seconds, 4),
@@ -106,7 +113,8 @@ def _memo_summary(stats):
 
 
 def bench_checking(*, preemption_bound=2, max_schedules=600, seed=0,
-                   workers=None, repeats=3, trace_overhead=True) -> dict:
+                   workers=None, repeats=3, trace_overhead=True,
+                   config=None) -> dict:
     """Time sequential vs parallel interleaving checking on one grid.
 
     Raises ``RuntimeError`` if any parallel round's merged report is
@@ -129,7 +137,7 @@ def bench_checking(*, preemption_bound=2, max_schedules=600, seed=0,
 
     workers = resolve_workers(workers)
     grid = dict(preemption_bound=preemption_bound,
-                max_schedules=max_schedules, seed=seed)
+                max_schedules=max_schedules, seed=seed, config=config)
     seq_times, par_times, traced_times = [], [], []
     baseline = None
     trace_records = 0
@@ -171,6 +179,7 @@ def bench_checking(*, preemption_bound=2, max_schedules=600, seed=0,
         "config": {"preemption_bound": preemption_bound,
                    "max_schedules": max_schedules, "seed": seed,
                    "workers": workers, "repeats": repeats,
+                   "arch": _arch_name(config),
                    **_engine_config()},
         "schedules": schedules,
         "states": states,
@@ -238,7 +247,7 @@ def bench_durability(*, preemption_bound=2, max_schedules=600, seed=0,
 
     workers = resolve_workers(workers)
     grid = dict(preemption_bound=preemption_bound,
-                max_schedules=max_schedules, seed=seed)
+                max_schedules=max_schedules, seed=seed, config=config)
     spec = CampaignSpec(**grid)
     root = tempfile.mkdtemp(prefix="bench-durability.", dir=tmp_root)
     plain_times, durable_times, warm_times = [], [], []
@@ -371,6 +380,7 @@ def bench_durability(*, preemption_bound=2, max_schedules=600, seed=0,
         "config": {"preemption_bound": preemption_bound,
                    "max_schedules": max_schedules, "seed": seed,
                    "workers": workers, "repeats": repeats,
+                   "arch": _arch_name(config),
                    **_engine_config()},
         "plain": {"seconds_per_repeat": [round(t, 4)
                                          for t in plain_times],
@@ -1276,7 +1286,24 @@ def main(argv=None):
     parser.add_argument("--no-trace", action="store_true",
                         help="skip the tracing-overhead measurement "
                              "(fabric bench)")
+    parser.add_argument("--arch", default=None,
+                        help="run the checking-fabric bench on one "
+                             "architecture world (x86_64 or "
+                             "vmsav8_64); non-default arches land "
+                             "under an arch_<name> section of --out")
     args = parser.parse_args(argv)
+
+    arch_config = None
+    if args.arch is not None:
+        from repro.hyperenclave.constants import ARCH_CONFIGS
+        if args.arch not in ARCH_CONFIGS:
+            parser.error(f"unknown --arch {args.arch!r} "
+                         f"(choose from {sorted(ARCH_CONFIGS)})")
+        if (args.symbolic or args.durability or args.service
+                or args.prefix_cache or args.fixed_cost):
+            parser.error("--arch only applies to the checking-fabric "
+                         "bench")
+        arch_config = ARCH_CONFIGS[args.arch]
 
     if args.symbolic:
         out = args.out or "BENCH_symbolic.json"
@@ -1395,8 +1422,14 @@ def main(argv=None):
     record = bench_checking(preemption_bound=args.preemption_bound,
                             max_schedules=args.max_schedules,
                             workers=args.workers, repeats=args.repeats,
-                            trace_overhead=not args.no_trace)
-    record = _merged_out(out, None, record)
+                            trace_overhead=not args.no_trace,
+                            config=arch_config)
+    # The default-arch record is the top-level document; other arches
+    # get their own section so BENCH_checking.json carries per-arch
+    # numbers side by side.
+    section = (None if args.arch in (None, "x86_64")
+               else f"arch_{args.arch}")
+    merged = _merged_out(out, section, record)
     line = (f"sequential {record['sequential']['seconds']}s  "
             f"parallel {record['parallel']['seconds']}s  "
             f"speedup {record['speedup']}x  "
@@ -1407,8 +1440,10 @@ def main(argv=None):
         line += (f"  tracing overhead "
                  f"{record['tracing']['overhead'] * 100:+.1f}% "
                  f"({record['tracing']['records']} records)")
+    if args.arch:
+        line = f"[{args.arch}] " + line
     print(line)
-    return record
+    return merged
 
 
 if __name__ == "__main__":

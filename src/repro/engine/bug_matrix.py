@@ -25,17 +25,20 @@ from repro.hyperenclave.monitor import HOST_ID
 PAGE = TINY.page_size
 
 
-def build_world(monitor_cls=None, secret=0x41, pages=1):
+def build_world(monitor_cls=None, secret=0x41, pages=1, config=None):
     """A booted monitor with one app + initialized enclave holding
-    ``secret`` (the standard single-enclave fixture)."""
+    ``secret`` (the standard single-enclave fixture).  All addresses
+    scale with ``config`` so the same scenario runs on every
+    architecture (x86 EPT and VMSAv8-64 alike)."""
     from repro.hyperenclave.monitor import RustMonitor
+    config = config or TINY
     cls = monitor_cls or RustMonitor
-    monitor = cls(TINY)
+    monitor = cls(config)
     primary_os = monitor.primary_os
     app = primary_os.spawn_app(1)
-    page = TINY.page_size
-    mbuf_pa = TINY.frame_base(primary_os.reserve_data_frame())
-    src_pa = TINY.frame_base(primary_os.reserve_data_frame())
+    page = config.page_size
+    mbuf_pa = config.frame_base(primary_os.reserve_data_frame())
+    src_pa = config.frame_base(primary_os.reserve_data_frame())
     primary_os.gpa_write_word(src_pa, secret)
     eid = monitor.hc_create(16 * page, pages * page, 12 * page, mbuf_pa,
                             page)
@@ -52,48 +55,56 @@ def build_world(monitor_cls=None, secret=0x41, pages=1):
 # ---------------------------------------------------------------------------
 
 
-def setup_single(monitor_cls):
+def setup_single(monitor_cls, config=None):
     """The standard single-enclave world, monitor only."""
-    return build_world(monitor_cls)[0]
+    return build_world(monitor_cls, config=config)[0]
 
 
-def setup_two_enclaves(monitor_cls):
+def setup_two_enclaves(monitor_cls, config=None):
     """Two enclaves fed from one source frame (aliasing bait)."""
-    monitor = monitor_cls(TINY)
+    config = config or TINY
+    page = config.page_size
+    monitor = monitor_cls(config)
     primary_os = monitor.primary_os
-    src = TINY.frame_base(primary_os.reserve_data_frame())
+    src = config.frame_base(primary_os.reserve_data_frame())
     primary_os.gpa_write_word(src, 0x9)
-    mbuf_a = TINY.frame_base(primary_os.reserve_data_frame())
-    mbuf_b = TINY.frame_base(primary_os.reserve_data_frame())
-    eid_a = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf_a, PAGE)
-    eid_b = monitor.hc_create(32 * PAGE, PAGE, 5 * PAGE, mbuf_b, PAGE)
-    monitor.hc_add_page(eid_a, 16 * PAGE, src)
-    monitor.hc_add_page(eid_b, 32 * PAGE, src)
+    mbuf_a = config.frame_base(primary_os.reserve_data_frame())
+    mbuf_b = config.frame_base(primary_os.reserve_data_frame())
+    eid_a = monitor.hc_create(16 * page, page, 4 * page, mbuf_a, page)
+    eid_b = monitor.hc_create(32 * page, page, 5 * page, mbuf_b, page)
+    monitor.hc_add_page(eid_a, 16 * page, src)
+    monitor.hc_add_page(eid_b, 32 * page, src)
     return monitor
 
 
-def setup_outside(monitor_cls):
+def setup_outside(monitor_cls, config=None):
     """An added page whose VA lies outside the ELRANGE."""
-    monitor = monitor_cls(TINY)
-    mbuf = TINY.frame_base(monitor.primary_os.reserve_data_frame())
-    eid = monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, mbuf, PAGE)
-    monitor.hc_add_page(eid, 40 * PAGE, 0)
+    config = config or TINY
+    page = config.page_size
+    monitor = monitor_cls(config)
+    mbuf = config.frame_base(monitor.primary_os.reserve_data_frame())
+    eid = monitor.hc_create(16 * page, page, 4 * page, mbuf, page)
+    monitor.hc_add_page(eid, 40 * page, 0)
     return monitor
 
 
-def setup_mbuf_overlap(monitor_cls):
+def setup_mbuf_overlap(monitor_cls, config=None):
     """A marshalling buffer overlapping the enclave ELRANGE."""
-    monitor = monitor_cls(TINY)
-    mbuf = TINY.frame_base(monitor.primary_os.reserve_data_frame())
-    monitor.hc_create(16 * PAGE, 2 * PAGE, 17 * PAGE, mbuf, PAGE)
+    config = config or TINY
+    page = config.page_size
+    monitor = monitor_cls(config)
+    mbuf = config.frame_base(monitor.primary_os.reserve_data_frame())
+    monitor.hc_create(16 * page, 2 * page, 17 * page, mbuf, page)
     return monitor
 
 
-def setup_secure_mbuf(monitor_cls):
+def setup_secure_mbuf(monitor_cls, config=None):
     """A marshalling buffer placed inside secure (EPC) memory."""
-    monitor = monitor_cls(TINY)
-    epc_pa = TINY.frame_base(monitor.layout.epc_base + 3)
-    monitor.hc_create(16 * PAGE, PAGE, 4 * PAGE, epc_pa, PAGE)
+    config = config or TINY
+    page = config.page_size
+    monitor = monitor_cls(config)
+    epc_pa = config.frame_base(monitor.layout.epc_base + 3)
+    monitor.hc_create(16 * page, page, 4 * page, epc_pa, page)
     return monitor
 
 
@@ -109,25 +120,27 @@ def _invariant_report(monitor, memo):
     return check_all_invariants(monitor)
 
 
-def detect_invariant_bug(monitor_cls, setup, *, memo=None):
+def detect_invariant_bug(monitor_cls, setup, *, memo=None, config=None):
     """Convict via the Sec. 5.2 invariant families on ``setup``\'s world."""
-    report = _invariant_report(setup(monitor_cls), memo)
+    report = _invariant_report(setup(monitor_cls, config=config), memo)
     return (not report.ok,
             "invariants: " + "/".join(report.violated_families()))
 
 
-def detect_shallow_copy(monitor_cls, _arg=None, *, memo=None):
+def detect_shallow_copy(monitor_cls, _arg=None, *, memo=None, config=None):
     """Convict via refinement: abstraction refuses the aliased table."""
     from repro.spec import AbstractionFailure, abstract_table
     from repro.spec.relation import flat_state_of_page_table
 
-    monitor = monitor_cls(TINY)
+    config = config or TINY
+    page = config.page_size
+    monitor = monitor_cls(config)
     primary_os = monitor.primary_os
     app = primary_os.spawn_app(1)
-    primary_os.app_map_data(app, 16 * PAGE)
-    mbuf = TINY.frame_base(primary_os.reserve_data_frame())
-    eid = monitor.hc_create_from_app(app, 16 * PAGE, 2 * PAGE, 4 * PAGE,
-                                     mbuf, PAGE)
+    primary_os.app_map_data(app, 16 * page)
+    mbuf = config.frame_base(primary_os.reserve_data_frame())
+    eid = monitor.hc_create_from_app(app, 16 * page, 2 * page, 4 * page,
+                                     mbuf, page)
     enclave = monitor.enclaves[eid]
     flat = flat_state_of_page_table(
         enclave.gpt, monitor.layout.pt_pool_base,
@@ -141,7 +154,7 @@ def detect_shallow_copy(monitor_cls, _arg=None, *, memo=None):
     return refused and residency, "refinement: α refuses + pt-residency"
 
 
-def detect_ni_bug(monitor_cls, trace_builder, *, memo=None):
+def detect_ni_bug(monitor_cls, trace_builder, *, memo=None, config=None):
     """Convict via the Sec. 5 two-world noninterference theorem."""
     from repro.security import DataOracle, SystemState
     from repro.security.noninterference import (
@@ -149,62 +162,70 @@ def detect_ni_bug(monitor_cls, trace_builder, *, memo=None):
         check_theorem_noninterference,
     )
 
+    config = config or TINY
+
     def world(secret):
         monitor, app, eid = build_world(monitor_cls, secret=secret,
-                                        pages=2)
+                                        pages=2, config=config)
         return SystemState(monitor, DataOracle.seeded(5)), app, eid
     state_a, app, eid = world(41)
     state_b, _, _ = world(42)
     worlds = TwoWorlds(state_a, state_b)
     violations = check_theorem_noninterference(
-        worlds, trace_builder(app, eid),
+        worlds, trace_builder(app, eid, config),
         observers=[HOST_ID, eid + 1] if monitor_cls is buggy.NoScrubMonitor
         else [HOST_ID])
     component = violations[-1].components if violations else ()
     return bool(violations), f"noninterference: {component}"
 
 
-def leak_trace(app, eid):
+def leak_trace(app, eid, config=None):
     """An enclave session whose exit path can leak register state."""
     from repro.security import Hypercall, MemLoad
+    page = (config or TINY).page_size
     return [
         Hypercall(HOST_ID, "enter", (eid,)),
-        (MemLoad(eid, 16 * PAGE, "rax"), MemLoad(eid, 16 * PAGE, "rax")),
+        (MemLoad(eid, 16 * page, "rax"), MemLoad(eid, 16 * page, "rax")),
         (Hypercall(eid, "exit", (eid,)), Hypercall(eid, "exit", (eid,))),
-        MemLoad(HOST_ID, 16 * PAGE, "rbx", via_app=app.app_id),
+        MemLoad(HOST_ID, 16 * page, "rbx", via_app=app.app_id),
     ]
 
 
-def scrub_trace(app, eid):
+def scrub_trace(app, eid, config=None):
     """Destroy-then-reuse: freed frames must come back scrubbed."""
     from repro.security import Hypercall
+    page = (config or TINY).page_size
     return [
         Hypercall(HOST_ID, "destroy", (eid,)),
         Hypercall(HOST_ID, "create",
-                  (48 * PAGE, 2 * PAGE, 8 * PAGE, 2 * PAGE, PAGE)),
-        Hypercall(HOST_ID, "add_page", (eid + 1, 48 * PAGE, 0)),
+                  (48 * page, 2 * page, 8 * page, 2 * page, page)),
+        Hypercall(HOST_ID, "add_page", (eid + 1, 48 * page, 0)),
         Hypercall(HOST_ID, "init", (eid + 1,)),
-        Hypercall(HOST_ID, "aug_page", (eid + 1, 49 * PAGE)),
+        Hypercall(HOST_ID, "aug_page", (eid + 1, 49 * page)),
     ]
 
 
-def nontransactional_world_factory(monitor_path=None):
+def nontransactional_world_factory(monitor_path=None, config_name=None):
     """World-factory maker for the no-rollback conviction (addressable
     by dotted path so the parallel campaign can rebuild it in
-    workers)."""
+    workers; ``config_name`` keys :data:`ARCH_CONFIGS` for the same
+    reason)."""
     from repro.engine.executor import resolve_callable
+    from repro.hyperenclave.constants import ARCH_CONFIGS
 
     monitor_cls = (resolve_callable(monitor_path) if monitor_path
                    else buggy.NonTransactionalMonitor)
+    config = ARCH_CONFIGS[config_name] if config_name else TINY
+    page = config.page_size
 
     def factory():
-        monitor = monitor_cls(TINY)
+        monitor = monitor_cls(config)
         primary_os = monitor.primary_os
         ctx = {
-            "page": PAGE,
-            "mbuf_pa": TINY.frame_base(primary_os.reserve_data_frame()),
-            "src_pa": TINY.frame_base(primary_os.reserve_data_frame()),
-            "elrange_base": 16 * PAGE,
+            "page": page,
+            "mbuf_pa": config.frame_base(primary_os.reserve_data_frame()),
+            "src_pa": config.frame_base(primary_os.reserve_data_frame()),
+            "elrange_base": 16 * page,
         }
         primary_os.gpa_write_word(ctx["src_pa"], 0xDEAD)
         return monitor, ctx
@@ -219,7 +240,7 @@ def nontransactional_workload():
 
 
 def detect_no_rollback(monitor_cls, _arg=None, *, parallel=False,
-                       executor=None):
+                       executor=None, config=None):
     """A tiny crash-step sweep: partial mutations survive the abort."""
     from repro.engine.campaigns import (
         callable_path,
@@ -228,14 +249,16 @@ def detect_no_rollback(monitor_cls, _arg=None, *, parallel=False,
     from repro.faults import crash_step_campaign
 
     path = callable_path(monitor_cls)
+    config_name = _config_name(config)
     if parallel:
         report = parallel_crash_step_campaign(
             "repro.engine.bug_matrix:nontransactional_world_factory",
             "repro.engine.bug_matrix:nontransactional_workload",
-            factory_args=(path,), sites=(), seed=0, executor=executor)
+            factory_args=(path, config_name), sites=(), seed=0,
+            executor=executor)
     else:
         report = crash_step_campaign(
-            nontransactional_world_factory(path),
+            nontransactional_world_factory(path, config_name),
             nontransactional_workload(), sites=(), seed=0)
     return (not report.ok,
             f"fault campaign: {len(report.failures())} un-rolled-back "
@@ -243,7 +266,7 @@ def detect_no_rollback(monitor_cls, _arg=None, *, parallel=False,
 
 
 def detect_concurrency_bug(monitor_cls, _arg=None, *, parallel=False,
-                           executor=None):
+                           executor=None, config=None):
     """Bounded-preemption exploration flags the planted race."""
     from repro.engine.campaigns import parallel_interleaving_campaign
     from repro.faults import interleaving_campaign
@@ -251,11 +274,26 @@ def detect_concurrency_bug(monitor_cls, _arg=None, *, parallel=False,
     if parallel:
         result = parallel_interleaving_campaign(monitor_cls,
                                                 check_ni=False,
+                                                config=config,
                                                 executor=executor)
     else:
-        result = interleaving_campaign(monitor_cls, check_ni=False)
+        result = interleaving_campaign(monitor_cls, check_ni=False,
+                                       config=config)
     kinds = "/".join(sorted(result.by_kind()))
     return not result.ok, f"interleaving explorer: {kinds}"
+
+
+def _config_name(config):
+    """The :data:`ARCH_CONFIGS`-style name for a config, or None for
+    the default world (dotted-path-friendly for worker units)."""
+    from repro.hyperenclave.constants import ARCH_CONFIGS
+    if config is None:
+        return None
+    for name, candidate in ARCH_CONFIGS.items():
+        if candidate is config or candidate == config:
+            return name
+    raise ValueError(f"config {config.name!r} is not in ARCH_CONFIGS; "
+                     f"the parallel matrix addresses configs by name")
 
 
 MATRIX = [
@@ -281,26 +319,28 @@ _CAMPAIGN_DETECTORS = (detect_no_rollback, detect_concurrency_bug)
 
 
 def run_case(index, *, parallel=False, executor=None,
-             memo=None) -> Tuple[str, bool, str]:
+             memo=None, config=None) -> Tuple[str, bool, str]:
     """Run one matrix row: ``(bug name, detected, how)``."""
     monitor_cls, detector, arg = MATRIX[index]
     if detector in _CAMPAIGN_DETECTORS:
         detected, how = detector(monitor_cls, arg, parallel=parallel,
-                                 executor=executor)
+                                 executor=executor, config=config)
     elif detector is detect_ni_bug:
-        detected, how = detector(monitor_cls, arg)
+        detected, how = detector(monitor_cls, arg, config=config)
     else:
-        detected, how = detector(monitor_cls, arg, memo=memo)
+        detected, how = detector(monitor_cls, arg, memo=memo,
+                                 config=config)
     return (monitor_cls.BUG, detected, how)
 
 
-def run_matrix(memo=None) -> List[Tuple[str, bool, str]]:
+def run_matrix(memo=None, config=None) -> List[Tuple[str, bool, str]]:
     """The whole matrix, sequentially, in matrix order."""
-    return [run_case(index, memo=memo) for index in range(len(MATRIX))]
+    return [run_case(index, memo=memo, config=config)
+            for index in range(len(MATRIX))]
 
 
-def run_matrix_parallel(workers=None, executor=None,
-                        stats_out=None) -> List[Tuple[str, bool, str]]:
+def run_matrix_parallel(workers=None, executor=None, stats_out=None,
+                        config=None) -> List[Tuple[str, bool, str]]:
     """The whole matrix through the parallel fabric.
 
     Single-state convictions fan out as units (their invariant sweeps
@@ -313,15 +353,17 @@ def run_matrix_parallel(workers=None, executor=None,
     results: List = [None] * len(MATRIX)
     light = [index for index, (_cls, detector, _arg) in enumerate(MATRIX)
              if detector not in _CAMPAIGN_DETECTORS]
+    config_name = _config_name(config)
     with _executor(executor, workers) as pool:
-        units = [{"case": index, "memo": True} for index in light]
+        units = [{"case": index, "memo": True, "config": config_name}
+                 for index in light]
         for index, outcome in zip(light, pool.map(
                 "repro.engine.workers:run_bug_matrix_unit", units,
-                keys=[str(index) for index in light])):
+                keys=[f"{config_name}:{index}" for index in light])):
             results[index] = outcome
         for index in range(len(MATRIX)):
             if results[index] is None:
                 results[index] = run_case(index, parallel=True,
-                                          executor=pool)
+                                          executor=pool, config=config)
         _publish_stats(stats_out, pool)
     return results

@@ -256,5 +256,9 @@ def run_pure_check_unit(unit):
 def run_bug_matrix_unit(unit):
     """One planted-bug conviction: ``(bug name, detected, how)``."""
     from repro.engine.bug_matrix import run_case
+    from repro.hyperenclave.constants import ARCH_CONFIGS
+    config_name = unit.get("config")
+    config = ARCH_CONFIGS[config_name] if config_name else None
     return run_case(unit["case"],
-                    memo=MEMO if unit.get("memo") else None)
+                    memo=MEMO if unit.get("memo") else None,
+                    config=config)

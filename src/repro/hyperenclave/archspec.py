@@ -1,0 +1,276 @@
+"""Architecture specification for page-table entry semantics.
+
+The paper verifies one concrete page-table shape (x86-64 EPT/GPT); the
+ROADMAP's arch-diversity item asks for the opposite discipline: every
+x86 assumption becomes an explicit, testable parameter.  An
+:class:`ArchSpec` captures exactly the facts the paging layers need:
+
+* which bits make an entry *present*, *writable*, *user-accessible*,
+  *no-execute*, *accessed*;
+* how a *block* (huge) descriptor is distinguished from a *table*
+  descriptor, and at which levels blocks are architecturally legal;
+* the hierarchical permission rule (how intermediate entries restrict
+  leaves below them);
+* the output-address width (bits ``page_bits..output_bits-1`` carry the
+  physical frame).
+
+Every predicate is data, not code: a :class:`BitTest` ``(mask, want)``
+meaning ``(entry & mask) == want``.  That single shape covers both x86
+(positive flag bits) and VMSAv8-64 (where AP[2] *set* means read-only,
+i.e. the write predicate wants the bit *clear*), and it transcribes
+one-for-one into the mirlight corpus as ``_1 = e & MASK; _0 = (_1 ==
+WANT)`` — so the symbolic engine can check each architecture's
+transcription exhaustively, the same way it checks the x86 one.
+
+Two specs ship:
+
+* :data:`X86_SPEC` — the paper's x86-64 EPT shape (PRESENT/WRITE/USER,
+  HUGE at bit 7, NX at bit 63, 52-bit output addresses).
+* :data:`VMSAV8_SPEC` — VMSAv8-64 AArch64 stage-1, 4 KiB granule:
+  VALID at bit 0, the table/block TYPE bit at bit 1 (clear = block),
+  AP[2:1] at bits 7:6 (AP[2] set = read-only, AP[1] set = EL0
+  accessible), the access flag AF at bit 10 (clear = access fault),
+  UXN at bit 54 instead of NX, APTable[1:0] at bits 62:61 restricting
+  write/EL0 access hierarchically, 48-bit output addresses.
+
+Both support 2 MiB and 1 GiB blocks (levels 2 and 3 on the 4 KiB/4-level
+geometry); neither supports root-level blocks — which is how the
+``map_huge`` level-range bug surfaced.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+_WORD_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class BitTest:
+    """A data-encoded predicate: holds iff ``(entry & mask) == want``.
+
+    ``BitTest(0, 0)`` is the trivially-true test (used where an
+    architecture imposes no constraint, e.g. x86 has no access-flag
+    fault).  The mirlight transcription of every flag predicate is the
+    uniform two-instruction sequence ``and``/``eq`` over these fields.
+    """
+
+    mask: int
+    want: int
+
+    def __call__(self, entry):
+        return (entry & self.mask) == self.want
+
+
+@dataclass(frozen=True)
+class FlagCtor:
+    """Constructor rule for one boolean flag argument of
+    :meth:`ArchSpec.leaf_flags`: OR in ``on_true`` when the argument is
+    true, ``on_false`` when false.  x86 ``writable`` is ``(W, 0)``;
+    VMSAv8 ``writable`` is ``(0, AP2)`` — read-only is the *set* state."""
+
+    on_true: int
+    on_false: int
+
+    def bits(self, value):
+        return self.on_true if value else self.on_false
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Everything the paging stack needs to know about one architecture's
+    PTE format.  Pure data; all methods are thin combinators over it."""
+
+    name: str
+    #: Physical output-address width: address bits occupy
+    #: ``page_bits..output_bits-1`` of an entry.
+    output_bits: int
+    #: Levels at which a block (huge) mapping is architecturally legal.
+    #: Level 1 entries are always page leaves; the root never maps.
+    block_levels: Tuple[int, ...]
+
+    # -- predicates (entry -> bool), all (mask, want) encoded --------------
+    present: BitTest          #: entry participates in translation
+    leaf_valid: BitTest       #: extra validity required of a level-1 entry
+    block: BitTest            #: present entry at level>1 maps directly
+    writable: BitTest         #: leaf permits writes
+    user: BitTest             #: leaf permits user/EL0 access
+    noexec: BitTest           #: leaf forbids instruction fetch
+    access_ok: BitTest        #: leaf access-flag check (VMSAv8 AF)
+    table_write: BitTest      #: intermediate entry permits writes below
+    table_user: BitTest       #: intermediate entry permits user below
+
+    # -- constructors ------------------------------------------------------
+    leaf_base: int            #: bits always set in a leaf entry
+    ctor_writable: FlagCtor
+    ctor_user: FlagCtor
+    ctor_noexec: FlagCtor
+    table_flags_value: int    #: flag bits of an intermediate entry
+    block_set: int            #: bits OR-ed in to turn a leaf into a block
+    block_clear: int          #: bits cleared to turn a leaf into a block
+
+    #: ``(bit, name)`` pairs for :func:`repro.hyperenclave.pte.describe`.
+    flag_names: Tuple[Tuple[int, str], ...]
+
+    # -- address field -----------------------------------------------------
+
+    def addr_mask(self, page_bits):
+        """Mask selecting the physical-frame bits of an entry (bits
+        ``page_bits..output_bits-1``)."""
+        return ((1 << self.output_bits) - 1) & ~((1 << page_bits) - 1)
+
+    def flags_mask(self):
+        """Union of every bit this spec may test or set — used to check
+        a geometry's address field does not collide with flag bits."""
+        mask = self.leaf_base | self.table_flags_value
+        mask |= self.block_set | self.block_clear
+        for test in (self.present, self.leaf_valid, self.block,
+                     self.writable, self.user, self.noexec,
+                     self.access_ok, self.table_write, self.table_user):
+            mask |= test.mask
+        for ctor in (self.ctor_writable, self.ctor_user, self.ctor_noexec):
+            mask |= ctor.on_true | ctor.on_false
+        return mask
+
+    # -- predicates --------------------------------------------------------
+
+    def is_present(self, entry):
+        return self.present(entry)
+
+    def is_leaf_valid(self, entry):
+        """A present level-1 entry may still be a reserved encoding
+        (VMSAv8: bits[1:0] == 0b01 at level 1 faults)."""
+        return self.leaf_valid(entry)
+
+    def is_block(self, entry, level):
+        """Present entry at ``level`` maps a block instead of pointing at
+        a table.  Level 1 entries are page leaves, never blocks."""
+        return level > 1 and self.block(entry)
+
+    def is_block_encoded(self, entry):
+        """The raw block encoding, independent of level (the flag the
+        mirlight ``pte_is_huge`` transcribes)."""
+        return self.block(entry)
+
+    def is_writable(self, entry):
+        return self.writable(entry)
+
+    def is_user(self, entry):
+        return self.user(entry)
+
+    def is_noexec(self, entry):
+        return self.noexec(entry)
+
+    def access_allowed(self, entry):
+        """VMSAv8 faults on a clear access flag (AF); x86 never does."""
+        return self.access_ok(entry)
+
+    def table_allows_write(self, entry):
+        """Hierarchical rule: may a write traverse this intermediate
+        entry?  x86 ANDs the W bit across levels; VMSAv8 uses
+        APTable[1] (set = writes forbidden below)."""
+        return self.table_write(entry)
+
+    def table_allows_user(self, entry):
+        """Hierarchical rule for user/EL0 access: x86 ANDs the U bit;
+        VMSAv8 uses APTable[0] (set = EL0 access forbidden below)."""
+        return self.table_user(entry)
+
+    # -- constructors ------------------------------------------------------
+
+    def leaf_flags(self, writable=True, user=True, huge=False, nx=False):
+        """Flag bits for a terminal (frame- or block-mapping) entry."""
+        flags = self.leaf_base
+        flags |= self.ctor_writable.bits(writable)
+        flags |= self.ctor_user.bits(user)
+        flags |= self.ctor_noexec.bits(nx)
+        if huge:
+            flags = self.to_block(flags)
+        return flags & _WORD_MASK
+
+    def table_flags(self):
+        """Flag bits for an intermediate (next-table) entry."""
+        return self.table_flags_value
+
+    def to_block(self, flags):
+        """Rewrite leaf flags into the block-descriptor encoding."""
+        return ((flags | self.block_set) & ~self.block_clear) & _WORD_MASK
+
+
+# ---------------------------------------------------------------------------
+# x86-64 EPT/GPT shape (the paper's architecture)
+# ---------------------------------------------------------------------------
+
+_X86_P = 1 << 0
+_X86_W = 1 << 1
+_X86_U = 1 << 2
+_X86_A = 1 << 5
+_X86_D = 1 << 6
+_X86_H = 1 << 7
+_X86_NX = 1 << 63
+
+X86_SPEC = ArchSpec(
+    name="x86_64",
+    output_bits=52,
+    block_levels=(2, 3),          # 2 MiB and 1 GiB on the 4 KiB geometry
+    present=BitTest(_X86_P, _X86_P),
+    leaf_valid=BitTest(0, 0),     # any present level-1 entry is a page
+    block=BitTest(_X86_H, _X86_H),
+    writable=BitTest(_X86_W, _X86_W),
+    user=BitTest(_X86_U, _X86_U),
+    noexec=BitTest(_X86_NX, _X86_NX),
+    access_ok=BitTest(0, 0),      # x86 sets A itself; absence never faults
+    table_write=BitTest(_X86_W, _X86_W),
+    table_user=BitTest(_X86_U, _X86_U),
+    leaf_base=_X86_P,
+    ctor_writable=FlagCtor(_X86_W, 0),
+    ctor_user=FlagCtor(_X86_U, 0),
+    ctor_noexec=FlagCtor(_X86_NX, 0),
+    table_flags_value=_X86_P | _X86_W | _X86_U,
+    block_set=_X86_H,
+    block_clear=0,
+    flag_names=((0, "P"), (1, "W"), (2, "U"), (5, "A"), (6, "D"),
+                (7, "H"), (63, "NX")),
+)
+
+
+# ---------------------------------------------------------------------------
+# VMSAv8-64 AArch64 stage-1, 4 KiB granule, 4 levels
+# ---------------------------------------------------------------------------
+
+_ARM_VALID = 1 << 0
+_ARM_TYPE = 1 << 1      # set = table/page descriptor, clear = block
+_ARM_AP1 = 1 << 6       # EL0 accessible
+_ARM_AP2 = 1 << 7       # read-only (inverted write semantics)
+_ARM_AF = 1 << 10       # access flag: clear => access fault
+_ARM_UXN = 1 << 54      # unprivileged execute-never
+_ARM_APT_USER = 1 << 61   # APTable[0]: EL0 access forbidden below
+_ARM_APT_WRITE = 1 << 62  # APTable[1]: writes forbidden below
+
+VMSAV8_SPEC = ArchSpec(
+    name="vmsav8_64",
+    output_bits=48,
+    block_levels=(2, 3),          # 2 MiB and 1 GiB on the 4 KiB granule
+    present=BitTest(_ARM_VALID, _ARM_VALID),
+    # bits[1:0] == 0b01 at level 1 is a reserved encoding => fault
+    leaf_valid=BitTest(_ARM_TYPE, _ARM_TYPE),
+    block=BitTest(_ARM_TYPE, 0),
+    writable=BitTest(_ARM_AP2, 0),        # AP[2] set means READ-ONLY
+    user=BitTest(_ARM_AP1, _ARM_AP1),
+    noexec=BitTest(_ARM_UXN, _ARM_UXN),
+    access_ok=BitTest(_ARM_AF, _ARM_AF),  # AF clear faults the access
+    table_write=BitTest(_ARM_APT_WRITE, 0),
+    table_user=BitTest(_ARM_APT_USER, 0),
+    leaf_base=_ARM_VALID | _ARM_TYPE | _ARM_AF,
+    ctor_writable=FlagCtor(0, _ARM_AP2),  # read-only is the SET state
+    ctor_user=FlagCtor(_ARM_AP1, 0),
+    ctor_noexec=FlagCtor(_ARM_UXN, 0),
+    table_flags_value=_ARM_VALID | _ARM_TYPE,  # APTable clear = permissive
+    block_set=0,
+    block_clear=_ARM_TYPE,
+    flag_names=((0, "V"), (1, "T"), (6, "AP1"), (7, "AP2"), (10, "AF"),
+                (54, "UXN"), (61, "APTu"), (62, "APTw")),
+)
+
+ALL_SPECS = (X86_SPEC, VMSAV8_SPEC)
+
+SPECS_BY_NAME = {spec.name: spec for spec in ALL_SPECS}

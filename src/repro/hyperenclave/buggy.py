@@ -95,7 +95,7 @@ class ShallowCopyMonitor(RustMonitor):
         for index in range(first, last + 1):
             guest_entry = self.phys.read_word(
                 config.frame_base(app_root_frame) + index * WORD_BYTES)
-            if pte.pte_is_present(guest_entry):
+            if config.arch.is_present(guest_entry):
                 enclave.gpt.write_entry(enclave.gpt.root_frame, index,
                                         guest_entry)
         return eid
@@ -138,9 +138,9 @@ class AliasingMonitor(RustMonitor):
         else:
             frame = shared  # no copy, no ownership transfer — the bug
         gpa = enclave.elrange_gpa(va)
-        enclave.gpt.map_page(va, gpa, pte.leaf_flags())
+        enclave.gpt.map_page(va, gpa, self.config.arch.leaf_flags())
         enclave.ept.map_page(gpa, config.frame_base(frame),
-                             pte.leaf_flags())
+                             self.config.arch.leaf_flags())
         enclave.absorb_measurement(va, src_words)
         return frame
 
@@ -174,9 +174,9 @@ class OutsideElrangeMonitor(RustMonitor):
             % enclave.elrange_size
         if enclave.ept.query(gpa) is not None:
             gpa = enclave.gpa_base + enclave.elrange_size
-        enclave.gpt.map_page(va, gpa, pte.leaf_flags())
+        enclave.gpt.map_page(va, gpa, self.config.arch.leaf_flags())
         enclave.ept.map_page(gpa, config.frame_base(frame),
-                             pte.leaf_flags())
+                             self.config.arch.leaf_flags())
         return frame
 
 
@@ -229,7 +229,7 @@ class HugePageMonitor(RustMonitor):
         base_frame = -(-self.layout.epc_base // frames_per_span) \
             * frames_per_span
         enclave.ept.map_huge(gpa, config.frame_base(base_frame), 2,
-                             pte.leaf_flags())
+                             self.config.arch.leaf_flags())
         return eid
 
 
@@ -272,9 +272,9 @@ class MbufOverlapMonitor(RustMonitor):
         enclave.measurement = 0
         self.epcm.allocate(eid, PageState.SECS)
         for va_page, pa_page in mbuf.pages(config):
-            gpt.map_page(va_page, pa_page, pte.leaf_flags())
+            gpt.map_page(va_page, pa_page, self.config.arch.leaf_flags())
             if ept.query(pa_page) is None:
-                ept.map_page(pa_page, pa_page, pte.leaf_flags())
+                ept.map_page(pa_page, pa_page, self.config.arch.leaf_flags())
         self.enclaves[eid] = enclave
         return eid
 
@@ -322,9 +322,9 @@ class SecureMbufMonitor(RustMonitor):
                           gpt=gpt, ept=ept, gpa_base=elrange_base)
         self.epcm.allocate(eid, PageState.SECS)
         for va_page, pa_page in mbuf.pages(config):
-            gpt.map_page(va_page, pa_page, pte.leaf_flags())
+            gpt.map_page(va_page, pa_page, self.config.arch.leaf_flags())
             if ept.query(pa_page) is None:
-                ept.map_page(pa_page, pa_page, pte.leaf_flags())
+                ept.map_page(pa_page, pa_page, self.config.arch.leaf_flags())
         self.enclaves[eid] = enclave
         return eid
 

@@ -16,7 +16,10 @@ Two geometries ship:
   allocation, aliasing) is exercised.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.hyperenclave.archspec import (ArchSpec, X86_SPEC, VMSAV8_SPEC,
+                                         SPECS_BY_NAME)
 
 WORD_BYTES = 8
 
@@ -56,6 +59,8 @@ class MachineConfig:
     index_bits: int
     levels: int
     phys_frames: int
+    #: PTE field layout and permission semantics (default: x86-64 EPT).
+    arch: ArchSpec = field(default=X86_SPEC)
 
     def __post_init__(self):
         entry_bytes = (1 << self.index_bits) * WORD_BYTES
@@ -69,6 +74,12 @@ class MachineConfig:
             raise ValueError(
                 f"{self.name}: page_bits must be >= 8 so the flag bits "
                 f"(0..7) stay out of the address field")
+        low_flags = self.arch.flags_mask() & ((1 << 64) - 1)
+        if low_flags & self.addr_mask():
+            raise ValueError(
+                f"{self.name}: {self.arch.name} flag bits "
+                f"{low_flags & self.addr_mask():#x} collide with the "
+                f"address field [bit {self.page_bits}..{self.arch.output_bits})")
 
     # -- sizes ----------------------------------------------------------------
 
@@ -123,8 +134,10 @@ class MachineConfig:
 
     def addr_mask(self):
         """Mask selecting the physical-frame bits of a PTE (bits
-        page_bits..51, like x86)."""
-        return ((1 << 52) - 1) & ~(self.page_size - 1)
+        ``page_bits..arch.output_bits-1`` — 51 on x86-64, 47 on
+        VMSAv8-64; the width is an arch-spec parameter, not a
+        hardcoded x86-ism)."""
+        return self.arch.addr_mask(self.page_bits)
 
     def canonical_va(self, va):
         return va & (self.va_space - 1)
@@ -133,11 +146,27 @@ class MachineConfig:
 X86_64 = MachineConfig(name="x86_64", page_bits=12, index_bits=9,
                        levels=4, phys_frames=1 << 20)
 
+# The same production geometry under VMSAv8-64 semantics: 4 KiB granule,
+# 4 levels, 48-bit output addresses, AP[2:1]/AF/UXN/APTable flags.
+VMSA8_64 = MachineConfig(name="vmsa8_64", page_bits=12, index_bits=9,
+                         levels=4, phys_frames=1 << 20, arch=VMSAV8_SPEC)
+
 # 4 levels like x86-64, 4-entry tables, 256 B pages, 16-bit VA space.
 # The VA space (64 KiB) strictly contains the physical space (32 KiB),
 # so out-of-range guest-physical addresses fault instead of wrapping.
 TINY = MachineConfig(name="tiny", page_bits=8, index_bits=2,
                      levels=4, phys_frames=128)
+
+# The checkable shape under VMSAv8-64 semantics.  The AF flag lives at
+# bit 10, so the page size must be at least 2 KiB (page_bits >= 11) for
+# the address field to clear the flag bits — itself an arch-spec fact
+# the config validator now checks.
+TINY_ARM = MachineConfig(name="tiny_arm", page_bits=11, index_bits=2,
+                         levels=4, phys_frames=128, arch=VMSAV8_SPEC)
+
+#: The per-arch campaign matrix: each checkable geometry paired with its
+#: production-shape counterpart.
+ARCH_CONFIGS = {"x86_64": TINY, "vmsav8_64": TINY_ARM}
 
 
 @dataclass(frozen=True)

@@ -115,16 +115,16 @@ class PrimaryOS:
         """Install ``va -> gpa`` in a guest page table, creating
         intermediate tables in untrusted memory as needed."""
         if flags is None:
-            flags = pte.leaf_flags()
+            flags = self.config.arch.leaf_flags()
         config = self.config
         table_gpa = gpt_root_gpa
         for level in range(config.levels, 1, -1):
             index = config.entry_index(va, level)
             entry_gpa = config.page_base(table_gpa) + index * WORD_BYTES
             entry = self.gpa_read_word(entry_gpa)
-            if not pte.pte_is_present(entry):
+            if not config.arch.is_present(entry):
                 new_table = config.frame_base(self.reserve_table_frame())
-                entry = pte.pte_new(new_table, pte.table_flags(), config)
+                entry = pte.pte_new(new_table, config.arch.table_flags(), config)
                 self.gpa_write_word(entry_gpa, entry)
             table_gpa = pte.pte_addr(entry, config)
         index = config.entry_index(va, 1)

@@ -236,13 +236,23 @@ class Tlb:
     """
 
     def __init__(self):
-        self._entries: Dict[Tuple[int, int], int] = {}
+        # key -> (pa_page, span): ``span`` is the bytes the cached
+        # translation covers (None = one page).  Hardware TLBs cache
+        # block translations at block granularity; the stale-translation
+        # detector must sweep the whole span, not just the base page.
+        self._entries: Dict[Tuple[int, int], Tuple[int, Optional[int]]] = {}
         self.flush_count = 0
 
-    def insert(self, asid, va_page, pa_page):
-        self._entries[(asid, va_page)] = pa_page
+    def insert(self, asid, va_page, pa_page, span=None):
+        self._entries[(asid, va_page)] = (pa_page, span)
 
     def lookup(self, asid, va_page) -> Optional[int]:
+        """The cached physical page for ``(asid, va_page)``, or None."""
+        hit = self._entries.get((asid, va_page))
+        return None if hit is None else hit[0]
+
+    def lookup_entry(self, asid, va_page) -> Optional[Tuple[int, Optional[int]]]:
+        """``(pa_page, span)`` for a cached translation, or None."""
         return self._entries.get((asid, va_page))
 
     def flush_asid(self, asid):

@@ -10,7 +10,6 @@ All geometry constants are *inlined as literals* per retrofit rule 4 —
 hardcoding happens.
 """
 
-from repro.hyperenclave.constants import PteFlagBits
 from repro.mir.ast import BinOp, place
 from repro.mir.types import BOOL, U64
 
@@ -28,20 +27,21 @@ def _consts(config):
         "LEVELS": config.levels,
         "ADDR_MASK": addr_mask,
         "NOT_ADDR_MASK": (~addr_mask) & U64_MAX,
-        "PRESENT": 1 << PteFlagBits.PRESENT,
-        "WRITE": 1 << PteFlagBits.WRITE,
-        "USER": 1 << PteFlagBits.USER,
-        "HUGE": 1 << PteFlagBits.HUGE,
-        "TABLE_FLAGS": (1 << PteFlagBits.PRESENT)
-                       | (1 << PteFlagBits.WRITE)
-                       | (1 << PteFlagBits.USER),
+        "TABLE_FLAGS": config.arch.table_flags(),
     }
 
 
 def add_pure_functions(pb, config):
-    """Register the 26 pure corpus functions on a ProgramBuilder."""
+    """Register the 26 pure corpus functions on a ProgramBuilder.
+
+    The transcription is generated from ``config.arch``: every flag
+    predicate becomes the uniform ``(mask, want)`` two-instruction
+    sequence, so the x86 and VMSAv8 corpora differ only in literals —
+    and the symbolic engine checks each against its arch-aware Python
+    reference.
+    """
     c = _consts(config)
-    _add_pte_ops(pb, c)          # layer PteOps (12 functions)
+    _add_pte_ops(pb, c, config.arch)  # layer PteOps (12 functions)
     _add_level_ops(pb, c, config)  # layer PtLevel (8 functions)
     _add_range_ops(pb, c)        # layers EnclaveMem/MBuf pure (4 functions)
     _add_region_ops(pb, c, config)  # layer Isolation pure (2 functions)
@@ -52,7 +52,7 @@ def add_pure_functions(pb, config):
 # ---------------------------------------------------------------------------
 
 
-def _add_pte_ops(pb, c):
+def _add_pte_ops(pb, c, spec):
     fb = pb.function("pte_new", ["addr", "flags"], U64, layer="PteOps")
     fb.binop("_1", BinOp.BITAND, "addr", c["ADDR_MASK"])
     fb.binop("_2", BinOp.BITAND, "flags", c["NOT_ADDR_MASK"])
@@ -76,13 +76,16 @@ def _add_pte_ops(pb, c):
     fb.ret()
     fb.finish()
 
-    for name, mask in (("pte_is_present", c["PRESENT"]),
-                       ("pte_is_writable", c["WRITE"]),
-                       ("pte_is_user", c["USER"]),
-                       ("pte_is_huge", c["HUGE"])):
+    # Each flag predicate is (entry & MASK) == WANT — the one shape that
+    # covers both positive bits (x86 W) and inverted bits (VMSAv8 AP[2],
+    # where *clear* means writable).
+    for name, test in (("pte_is_present", spec.present),
+                       ("pte_is_writable", spec.writable),
+                       ("pte_is_user", spec.user),
+                       ("pte_is_huge", spec.block)):
         fb = pb.function(name, ["e"], BOOL, layer="PteOps")
-        fb.binop("_1", BinOp.BITAND, "e", mask)
-        fb.binop("_0", BinOp.NE, "_1", 0)
+        fb.binop("_1", BinOp.BITAND, "e", test.mask)
+        fb.binop("_0", BinOp.EQ, "_1", test.want)
         fb.ret()
         fb.finish()
 

@@ -12,7 +12,7 @@ flat spec is separately related to the tree spec by R (the "refinement
 proof" half).
 """
 
-from repro.hyperenclave.constants import MemoryLayout, PteFlagBits, WORD_BYTES
+from repro.hyperenclave.constants import MemoryLayout, WORD_BYTES
 from repro.mir.ast import BinOp, place
 from repro.mir.types import BOOL, U64, UNIT, TupleTy
 
@@ -21,8 +21,6 @@ from repro.hyperenclave.mir_model.state import (
     EPCM_REG,
 )
 
-_LEAF_FLAGS = ((1 << PteFlagBits.PRESENT) | (1 << PteFlagBits.WRITE)
-               | (1 << PteFlagBits.USER))
 
 
 def add_stateful_functions(pb, config, layout=None):
@@ -340,6 +338,9 @@ def _add_epcm(pb, config):
 
 def _add_enclave_mem(pb, config, layout):
     epc_base = layout.epc_base
+    # The flags add_epc_page installs are baked in at transcription time,
+    # from the arch spec (retrofit rule 4: constants become literals).
+    leaf_flags = config.arch.leaf_flags()
     fb = pb.function(
         "add_epc_page",
         ["gpt_root", "ept_root", "gpa_base", "elrange_base",
@@ -356,10 +357,10 @@ def _add_enclave_mem(pb, config, layout):
     fb.label("mapit")
     fb.assign("idx", place("ar").field(1))
     fb.call("gpa", "elrange_gpa_of", ["gpa_base", "elrange_base", "va"])
-    fb.call("_d1", "map_page", ["gpt_root", "va", "gpa", _LEAF_FLAGS])
+    fb.call("_d1", "map_page", ["gpt_root", "va", "gpa", leaf_flags])
     fb.binop("epc_frame", BinOp.ADD, "idx", epc_base)
     fb.binop("pa", BinOp.SHL, "epc_frame", config.page_bits)
-    fb.call("_d2", "map_page", ["ept_root", "gpa", "pa", _LEAF_FLAGS])
+    fb.call("_d2", "map_page", ["ept_root", "gpa", "pa", leaf_flags])
     fb.tuple_("_0", 1, "epc_frame")
     fb.ret()
     fb.label("no")

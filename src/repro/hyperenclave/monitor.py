@@ -222,16 +222,17 @@ class RustMonitor:
         while addr < end:
             placed = False
             if self.os_ept.allow_huge:
-                for level in range(config.levels, 1, -1):
+                for level in sorted(config.arch.block_levels,
+                                    reverse=True):
                     span = config.level_span(level)
                     if addr % span == 0 and addr + span <= end:
                         self.os_ept.map_huge(addr, addr, level,
-                                             pte.leaf_flags())
+                                             self.config.arch.leaf_flags())
                         addr += span
                         placed = True
                         break
             if not placed:
-                self.os_ept.map_page(addr, addr, pte.leaf_flags())
+                self.os_ept.map_page(addr, addr, self.config.arch.leaf_flags())
                 addr += config.page_size
 
     # -- hypercalls ------------------------------------------------------------------
@@ -284,9 +285,9 @@ class RustMonitor:
         # Fix the marshalling-buffer mappings for the enclave's lifetime:
         # GVA -> GPA (identity into untrusted space) -> HPA (identity).
         for va_page, pa_page in mbuf.pages(config):
-            gpt.map_page(va_page, pa_page, pte.leaf_flags())
+            gpt.map_page(va_page, pa_page, self.config.arch.leaf_flags())
             if ept.query(pa_page) is None:
-                ept.map_page(pa_page, pa_page, pte.leaf_flags())
+                ept.map_page(pa_page, pa_page, self.config.arch.leaf_flags())
         faults.crash_point("hc.create", "mbuf-mapped")
         # Publish: from here the tables are shared state guarded by the
         # enclave's own lock (their mutations during construction above
@@ -327,10 +328,10 @@ class RustMonitor:
         self.phys.copy_frame(dst_frame, config.frame_of(src_hpa))
         faults.crash_point("hc.add_page", "frame-copied")
         gpa = enclave.elrange_gpa(va)
-        enclave.gpt.map_page(va, gpa, pte.leaf_flags())
+        enclave.gpt.map_page(va, gpa, self.config.arch.leaf_flags())
         faults.crash_point("hc.add_page", "gpt-mapped")
         enclave.ept.map_page(gpa, config.frame_base(dst_frame),
-                             pte.leaf_flags())
+                             self.config.arch.leaf_flags())
         faults.crash_point("hc.add_page", "ept-mapped")
         enclave.absorb_measurement(va, self.phys.frame_words(dst_frame))
         return frame
@@ -359,10 +360,10 @@ class RustMonitor:
         frame = self.epcm.allocate(eid, PageState.REG, va=va)
         faults.crash_point("hc.aug_page", "epcm-allocated")
         gpa = enclave.elrange_gpa(va)
-        enclave.gpt.map_page(va, gpa, pte.leaf_flags())
+        enclave.gpt.map_page(va, gpa, self.config.arch.leaf_flags())
         faults.crash_point("hc.aug_page", "gpt-mapped")
         enclave.ept.map_page(gpa, self.config.frame_base(frame),
-                             pte.leaf_flags())
+                             self.config.arch.leaf_flags())
         return frame
 
     @transactional

@@ -110,17 +110,21 @@ class PageTable:
         """Follow the tables from the root; stop at the first non-present
         entry, a huge leaf, or the level-1 terminal."""
         va = self.config.canonical_va(va)
+        spec = self.config.arch
         steps = []
         frame = self.root_frame
         for level in range(self.config.levels, 0, -1):
             index = self.config.entry_index(va, level)
             entry = self.read_entry(frame, index)
             steps.append(WalkStep(level, frame, index, entry))
-            if not pte.pte_is_present(entry):
+            if not spec.is_present(entry):
                 return WalkResult(va, tuple(steps), None)
             if level == 1:
+                # VMSAv8: bits[1:0] == 0b01 at level 1 is reserved.
+                if not spec.is_leaf_valid(entry):
+                    return WalkResult(va, tuple(steps), None)
                 return WalkResult(va, tuple(steps), entry, huge_level=1)
-            if pte.pte_is_huge(entry):
+            if spec.is_block(entry, level):
                 return WalkResult(va, tuple(steps), entry, huge_level=level)
             frame = pte.pte_frame(entry, self.config)
         raise PagingError("walk fell off the table hierarchy")  # unreachable
@@ -135,8 +139,9 @@ class PageTable:
         """
         index = self.config.entry_index(va, level)
         entry = self.read_entry(frame, index)
-        if pte.pte_is_present(entry):
-            if pte.pte_is_huge(entry):
+        spec = self.config.arch
+        if spec.is_present(entry):
+            if spec.is_block(entry, level):
                 raise PagingError(
                     f"{self.name}: huge page at level {level} blocks "
                     f"mapping va={va:#x}")
@@ -148,7 +153,7 @@ class PageTable:
             created.append((frame, index, new_frame))
         self.phys.zero_frame(new_frame)
         new_entry = pte.pte_new(self.config.frame_base(new_frame),
-                                pte.table_flags(), self.config)
+                                spec.table_flags(), self.config)
         self.write_entry(frame, index, new_entry)
         return new_frame
 
@@ -191,7 +196,7 @@ class PageTable:
                                                   created)
             index = self.config.entry_index(va, 1)
             existing = self.read_entry(frame, index)
-            if pte.pte_is_present(existing):
+            if self.config.arch.is_present(existing):
                 raise PagingError(
                     f"{self.name}: va {va:#x} is already mapped")
             self.write_entry(frame, index,
@@ -201,13 +206,22 @@ class PageTable:
             raise
 
     def map_huge(self, va, paddr, level, flags):
-        """Install a huge mapping covering ``level_span(level)`` bytes."""
+        """Install a block mapping covering ``level_span(level)`` bytes.
+
+        ``level`` must be one of the architecture's supported block
+        levels (2 MiB / 1 GiB equivalents).  The old check accepted any
+        ``2 <= level <= config.levels``, silently permitting root-level
+        blocks (512 GiB on x86-64) that no supported architecture has.
+        """
         if self.owner_lock is not None:
             conc.guard_mutation(self.owner_lock)
         if not self.allow_huge:
             raise PagingError(f"{self.name}: huge pages are not allowed")
-        if level < 2 or level > self.config.levels:
-            raise PagingError(f"bad huge-page level {level}")
+        if level not in self.config.arch.block_levels:
+            raise PagingError(
+                f"level {level} is not a supported block level on "
+                f"{self.config.arch.name} "
+                f"(supported: {self.config.arch.block_levels})")
         va = self.config.canonical_va(va)
         span = self.config.level_span(level)
         if va % span or paddr % span:
@@ -221,12 +235,13 @@ class PageTable:
                                                   created)
             index = self.config.entry_index(va, level)
             existing = self.read_entry(frame, index)
-            if pte.pte_is_present(existing):
+            spec = self.config.arch
+            if spec.is_present(existing):
                 raise PagingError(
                     f"{self.name}: va {va:#x} is already mapped")
             self.write_entry(
                 frame, index,
-                pte.pte_new(paddr, flags | pte.leaf_flags(huge=True),
+                pte.pte_new(paddr, spec.to_block(flags | spec.leaf_flags()),
                             self.config))
         except ReproError:
             self._unwind_created(created)
@@ -258,20 +273,36 @@ class PageTable:
                 pte.pte_flags(result.terminal, self.config))
 
     def translate(self, va, write=False, user=True) -> int:
-        """Translate a byte address, enforcing W/U permission bits."""
+        """Translate a byte address, enforcing the architecture's
+        permission semantics: the hierarchical rule at every
+        intermediate level (x86 ANDs W/U across levels; VMSAv8 uses
+        APTable) plus the leaf's W/U bits and access flag."""
         va = self.config.canonical_va(va)
+        spec = self.config.arch
         result = self.walk(va)
         if not result.complete:
             raise TranslationFault(
                 f"{self.name}: no mapping for {va:#x}", va=va)
+        for step in result.steps[:-1]:
+            if write and not spec.table_allows_write(step.entry):
+                raise TranslationFault(
+                    f"{self.name}: write denied at level {step.level} "
+                    f"for {va:#x}", va=va)
+            if user and not spec.table_allows_user(step.entry):
+                raise TranslationFault(
+                    f"{self.name}: user access denied at level "
+                    f"{step.level} for {va:#x}", va=va)
         entry = result.terminal
-        if write and not pte.pte_is_writable(entry):
+        if write and not spec.is_writable(entry):
             raise TranslationFault(
                 f"{self.name}: write to read-only page at {va:#x}", va=va)
-        if user and not pte.pte_is_user(entry):
+        if user and not spec.is_user(entry):
             raise TranslationFault(
                 f"{self.name}: user access to supervisor page {va:#x}",
                 va=va)
+        if not spec.access_allowed(entry):
+            raise TranslationFault(
+                f"{self.name}: access flag clear for {va:#x}", va=va)
         span = self.config.level_span(result.huge_level)
         base = pte.pte_addr(entry, self.config)
         return base + (va % span)
@@ -286,12 +317,17 @@ class PageTable:
 
     def _collect(self, frame, level, va_prefix, found):
         span = self.config.level_span(level)
+        spec = self.config.arch
         for index in range(self.config.entries_per_table):
             entry = self.read_entry(frame, index)
-            if not pte.pte_is_present(entry):
+            if not spec.is_present(entry):
                 continue
             va = va_prefix + index * span
-            if level == 1 or pte.pte_is_huge(entry):
+            if level == 1:
+                if spec.is_leaf_valid(entry):
+                    found.append((va, pte.pte_addr(entry, self.config),
+                                  span, pte.pte_flags(entry, self.config)))
+            elif spec.is_block(entry, level):
                 found.append((va, pte.pte_addr(entry, self.config),
                               span, pte.pte_flags(entry, self.config)))
             else:
@@ -308,9 +344,10 @@ class PageTable:
         frames.append(frame)
         if level == 1:
             return
+        spec = self.config.arch
         for index in range(self.config.entries_per_table):
             entry = self.read_entry(frame, index)
-            if pte.pte_is_present(entry) and not pte.pte_is_huge(entry):
+            if spec.is_present(entry) and not spec.is_block(entry, level):
                 self._collect_frames(pte.pte_frame(entry, self.config),
                                      level - 1, frames)
 
@@ -320,43 +357,76 @@ class PageTable:
 # ---------------------------------------------------------------------------
 
 
-def guest_walk(config, phys, ept, gpt_root_gpa, va, write=False):
+def guest_walk(config, phys, ept, gpt_root_gpa, va, write=False,
+               user=True):
     """Walk a guest-owned GPT whose structures live in guest memory.
 
     Every table access is a guest-physical access translated through
     ``ept`` first — the faithful nested-paging behaviour.  The terminal
     GPT entry yields a GPA which is translated through the EPT again.
     Raises :class:`TranslationFault` tagged with the failing stage.
+
+    Permission checks follow the architecture's hierarchical rule at
+    intermediate levels for *both* W and U (the old walker enforced W at
+    every level but never U — asymmetric with x86's AND-across-levels
+    semantics and with :meth:`PageTable.translate`), then the leaf's own
+    W/U bits and access flag.
     """
     va = config.canonical_va(va)
+    spec = config.arch
     table_gpa = gpt_root_gpa
     for level in range(config.levels, 0, -1):
         table_hpa = _ept_translate(ept, config.page_base(table_gpa),
                                    stage_va=va)
         index = config.entry_index(va, level)
         entry = phys.read_word(table_hpa + index * WORD_BYTES)
-        if not pte.pte_is_present(entry):
+        if not spec.is_present(entry):
             raise TranslationFault(
                 f"guest PT: no mapping for {va:#x} at level {level}",
                 stage="gpt", va=va)
-        if write and not pte.pte_is_writable(entry):
-            raise TranslationFault(
-                f"guest PT: write denied at level {level} for {va:#x}",
-                stage="gpt", va=va)
-        if level == 1 or pte.pte_is_huge(entry):
-            span = config.level_span(level if pte.pte_is_huge(entry)
-                                     and level > 1 else 1)
+        terminal = level == 1 or spec.is_block(entry, level)
+        if terminal:
+            if level == 1 and not spec.is_leaf_valid(entry):
+                raise TranslationFault(
+                    f"guest PT: reserved leaf encoding for {va:#x}",
+                    stage="gpt", va=va)
+            if write and not spec.is_writable(entry):
+                raise TranslationFault(
+                    f"guest PT: write denied at level {level} for "
+                    f"{va:#x}", stage="gpt", va=va)
+            if user and not spec.is_user(entry):
+                raise TranslationFault(
+                    f"guest PT: user access denied at level {level} "
+                    f"for {va:#x}", stage="gpt", va=va)
+            if not spec.access_allowed(entry):
+                raise TranslationFault(
+                    f"guest PT: access flag clear for {va:#x}",
+                    stage="gpt", va=va)
+            span = config.level_span(level if level > 1 else 1)
             gpa = pte.pte_addr(entry, config) + (va % span)
             return _ept_translate(ept, config.page_base(gpa),
                                   stage_va=va, write=write) \
                 + config.page_offset(gpa)
+        if write and not spec.table_allows_write(entry):
+            raise TranslationFault(
+                f"guest PT: write denied at level {level} for {va:#x}",
+                stage="gpt", va=va)
+        if user and not spec.table_allows_user(entry):
+            raise TranslationFault(
+                f"guest PT: user access denied at level {level} for "
+                f"{va:#x}", stage="gpt", va=va)
         table_gpa = pte.pte_addr(entry, config)
     raise PagingError("guest walk fell off the hierarchy")  # unreachable
 
 
 def _ept_translate(ept, gpa, stage_va, write=False):
+    # The second stage translates *guest-physical* addresses: guest-PT
+    # USER semantics do not apply to EPT entries, so the user check is
+    # explicitly off here.  (Inheriting ``translate``'s ``user=True``
+    # default made monitor-owned EPT mappings without USER spuriously
+    # fault the whole guest walk.)
     try:
-        return ept.translate(gpa, write=write)
+        return ept.translate(gpa, write=write, user=False)
     except TranslationFault as fault:
         raise TranslationFault(
             f"EPT violation translating GPA {gpa:#x} "

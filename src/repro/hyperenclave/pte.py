@@ -8,6 +8,14 @@ Every function here is pure integer manipulation; the mirlight corpus
 transcribes them one-for-one and the symbolic engine checks the
 transcription exhaustively over bounded domains (these are the functions
 where bit-twiddling bugs live, so they get the strongest checking).
+
+Functions that take a ``config`` are arch-aware through
+``config.addr_mask()`` / ``config.arch``.  The config-free flag
+predicates and constructors (``pte_is_present`` .. ``leaf_flags``) are
+the historical x86 shape, kept for the x86 geometries and the existing
+bit-level tests; arch-parametrized callers go through
+``config.arch.is_present(...)`` etc. (see
+:mod:`repro.hyperenclave.archspec`).
 """
 
 from repro.hyperenclave.constants import PteFlagBits
@@ -110,6 +118,6 @@ def describe(entry, config):
     """Human-readable entry rendering for figures and debugging."""
     if pte_is_unused(entry):
         return "<unused>"
-    flag_names = [name for bit, name in PteFlagBits.NAMES.items()
+    flag_names = [name for bit, name in config.arch.flag_names
                   if pte_flag_set(entry, bit)]
     return f"{pte_addr(entry, config):#x} [{'|'.join(flag_names)}]"

@@ -137,8 +137,10 @@ def spec_walk_enclave(monitor, eid, va, write=False) -> Optional[int]:
     gpa = spec_translate(gpt_tree, va, config, write=write)
     if gpa is None:
         return None
+    # Second stage: EPT entries carry no guest-PT USER semantics (the
+    # same explicit-stage rule as paging._ept_translate).
     hpa_page = spec_translate(ept_tree, config.page_base(gpa), config,
-                              write=write)
+                              write=write, user=False)
     if hpa_page is None:
         return None
     return hpa_page + config.page_offset(gpa)

@@ -110,6 +110,7 @@ def flat_walk(state, root_frame, va):
     """``(steps, terminal, huge_level)`` where steps are
     ``(level, frame, index, entry)`` — the flat-view walk."""
     config = state.config
+    spec = config.arch
     va = config.canonical_va(va)
     steps = []
     frame = root_frame
@@ -117,11 +118,13 @@ def flat_walk(state, root_frame, va):
         index = config.entry_index(va, level)
         entry = flat_read_entry(state, frame, index)
         steps.append((level, frame, index, entry))
-        if not pte.pte_is_present(entry):
+        if not spec.is_present(entry):
             return steps, None, 1
         if level == 1:
+            if not spec.is_leaf_valid(entry):
+                return steps, None, 1
             return steps, entry, 1
-        if pte.pte_is_huge(entry):
+        if spec.is_block(entry, level):
             return steps, entry, level
         frame = pte.pte_frame(entry, config)
     raise SpecError("flat walk fell off the hierarchy")
@@ -136,22 +139,23 @@ def flat_map_page(state, root_frame, va, paddr, flags) -> FlatPtState:
     va = config.canonical_va(va)
     if config.page_offset(va) or config.page_offset(paddr):
         raise PagingError("flat spec: unaligned mapping")
+    spec = config.arch
     frame = root_frame
     for level in range(config.levels, 1, -1):
         index = config.entry_index(va, level)
         entry = flat_read_entry(state, frame, index)
-        if pte.pte_is_present(entry):
-            if pte.pte_is_huge(entry):
+        if spec.is_present(entry):
+            if spec.is_block(entry, level):
                 raise PagingError("flat spec: huge page blocks mapping")
             frame = pte.pte_frame(entry, config)
             continue
         new_frame, state = flat_new_table(state)
         new_entry = pte.pte_new(config.frame_base(new_frame),
-                                pte.table_flags(), config)
+                                spec.table_flags(), config)
         state = flat_write_entry(state, frame, index, new_entry)
         frame = new_frame
     index = config.entry_index(va, 1)
-    if pte.pte_is_present(flat_read_entry(state, frame, index)):
+    if spec.is_present(flat_read_entry(state, frame, index)):
         raise PagingError("flat spec: va already mapped")
     return flat_write_entry(state, frame, index,
                             pte.pte_new(paddr, flags, config))

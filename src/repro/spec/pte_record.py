@@ -18,12 +18,12 @@ carry the next :class:`TreeTable` *by value* — the nesting that
 "constitutes a tree-shaped view of page tables".
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.ccal.zmap import ZMap
 from repro.errors import SpecError
-from repro.hyperenclave.constants import PteFlagBits
+from repro.hyperenclave.archspec import ArchSpec, X86_SPEC
 
 
 @dataclass(frozen=True)
@@ -63,12 +63,16 @@ class PTERecord:
     relation can compare against flat memory, but the *tree* semantics
     never follow it — they follow ``content``);
     ``flags`` — the flag bitmask;
-    ``content`` — the nested table, or None for a terminal entry.
+    ``content`` — the nested table, or None for a terminal entry;
+    ``spec`` — the :class:`~repro.hyperenclave.archspec.ArchSpec` giving
+    the flag bits their meaning (the record is parameterised by the
+    architecture, like the Coq record is parameterised by ``content``).
     """
 
     addr: int
     flags: int
     content: Optional[TreeTable] = None
+    spec: ArchSpec = field(default=X86_SPEC)
 
     def __post_init__(self):
         # unused_inv contrapositive: any materialised record must be
@@ -81,30 +85,41 @@ class PTERecord:
             raise SpecError("a huge entry is terminal; it cannot carry a "
                             "nested table")
 
-    # -- flag views -------------------------------------------------------------
-
-    def _flag(self, bit):
-        return bool((self.flags >> bit) & 1)
+    # -- flag views (delegated to the arch spec) --------------------------------
 
     @property
     def is_present(self):
-        return self._flag(PteFlagBits.PRESENT)
+        return self.spec.is_present(self.flags)
 
     @property
     def is_writable(self):
-        return self._flag(PteFlagBits.WRITE)
+        return self.spec.is_writable(self.flags)
 
     @property
     def is_user(self):
-        return self._flag(PteFlagBits.USER)
+        return self.spec.is_user(self.flags)
 
     @property
     def is_huge(self):
-        return self._flag(PteFlagBits.HUGE)
+        return self.spec.is_block_encoded(self.flags)
+
+    @property
+    def allows_write_below(self):
+        """Hierarchical rule for an intermediate record."""
+        return self.spec.table_allows_write(self.flags)
+
+    @property
+    def allows_user_below(self):
+        return self.spec.table_allows_user(self.flags)
+
+    @property
+    def access_allowed(self):
+        return self.spec.access_allowed(self.flags)
 
     @property
     def is_terminal(self):
         return self.content is None
 
     def with_content(self, content):
-        return PTERecord(addr=self.addr, flags=self.flags, content=content)
+        return PTERecord(addr=self.addr, flags=self.flags, content=content,
+                         spec=self.spec)

@@ -50,24 +50,29 @@ def abstract_table(flat_state, root_frame, level=None,
         raise AbstractionFailure(
             f"table frame {root_frame} reached twice (aliasing/cycle)")
     visited.add(root_frame)
+    spec = config.arch
     table = TreeTable.empty(level)
     for index in range(config.entries_per_table):
         entry = flat_read_entry(flat_state, root_frame, index)
-        if not pte_ops.pte_is_present(entry):
+        if not spec.is_present(entry):
             if entry != 0:
                 raise AbstractionFailure(
                     f"non-present entry {entry:#x} has residual bits "
                     f"(violates unused_inv)")
             continue
+        if level == 1 and not spec.is_leaf_valid(entry):
+            raise AbstractionFailure(
+                f"reserved leaf encoding {entry:#x} has no tree view")
         addr = pte_ops.pte_addr(entry, config)
         flags = pte_ops.pte_flags(entry, config)
-        if level == 1 or pte_ops.pte_is_huge(entry):
-            record = PTERecord(addr=addr, flags=flags)
+        if level == 1 or spec.is_block(entry, level):
+            record = PTERecord(addr=addr, flags=flags, spec=spec)
         else:
             child = abstract_table(flat_state,
                                    config.frame_of(addr),
                                    level - 1, visited)
-            record = PTERecord(addr=addr, flags=flags, content=child)
+            record = PTERecord(addr=addr, flags=flags, content=child,
+                               spec=spec)
         table = table.set(index, record)
     return table
 
@@ -76,16 +81,17 @@ def r_pte(record, entry_value, flat_state, level) -> bool:
     """R_pte: does PTE record ``record`` agree with the 64-bit entry
     ``entry_value`` (and, recursively, with the table it points to)?"""
     config = flat_state.config
+    spec = config.arch
     if record is None:
         return entry_value == 0
-    if not pte_ops.pte_is_present(entry_value):
+    if not spec.is_present(entry_value):
         return False
     if record.addr != pte_ops.pte_addr(entry_value, config):
         return False
     if record.flags != pte_ops.pte_flags(entry_value, config):
         return False
     if record.is_terminal:
-        return level == 1 or pte_ops.pte_is_huge(entry_value)
+        return level == 1 or spec.is_block(entry_value, level)
     # "Otherwise R_pte quantifies over page table indices and says that
     # entry at each index should be recursively related to a plus some
     # offset."

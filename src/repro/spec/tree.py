@@ -15,7 +15,6 @@ All functions are pure: tables in, tables out.
 from typing import List, Optional, Tuple
 
 from repro.errors import PagingError, SpecError
-from repro.hyperenclave import pte as pte_ops
 from repro.spec.pte_record import PTERecord, TreeTable
 
 
@@ -72,20 +71,68 @@ def _map_into(table, level, va, paddr, flags, config, addr_iter):
     if level == 1:
         if record is not None:
             raise PagingError("tree spec: va already mapped")
-        return table.set(index, PTERecord(addr=paddr, flags=flags))
+        return table.set(index, PTERecord(addr=paddr, flags=flags,
+                                          spec=config.arch))
     if record is None:
         addr = next(addr_iter) if addr_iter is not None else 0
         child = TreeTable.empty(level - 1)
         child = _map_into(child, level - 1, va, paddr, flags, config,
                           addr_iter)
         return table.set(index, PTERecord(
-            addr=addr, flags=pte_ops.table_flags(), content=child))
+            addr=addr, flags=config.arch.table_flags(), content=child,
+            spec=config.arch))
     if record.is_huge:
         raise PagingError("tree spec: huge page blocks mapping")
     if record.is_terminal:
         raise SpecError("intermediate record has no nested table")
     child = _map_into(record.content, level - 1, va, paddr, flags, config,
                       addr_iter)
+    return table.set(index, record.with_content(child))
+
+
+def tree_map_huge(tree, va, paddr, level, flags, config,
+                  new_table_addrs=None) -> TreeTable:
+    """Install a block mapping at ``level`` — the tree-side analog of
+    :meth:`PageTable.map_huge`, constrained to the architecture's
+    supported block levels."""
+    va = config.canonical_va(va)
+    spec = config.arch
+    if level not in spec.block_levels:
+        raise PagingError(
+            f"tree spec: level {level} is not a supported block level "
+            f"on {spec.name}")
+    span = config.level_span(level)
+    if va % span or paddr % span:
+        raise PagingError("tree spec: unaligned block mapping")
+    addr_iter = iter(new_table_addrs) if new_table_addrs is not None else None
+    block_flags = spec.to_block(flags | spec.leaf_flags())
+    return _map_block_into(tree, config.levels, level, va, paddr,
+                           block_flags, config, addr_iter)
+
+
+def _map_block_into(table, level, target, va, paddr, flags, config,
+                    addr_iter):
+    index = config.entry_index(va, level)
+    record = table.get(index)
+    if level == target:
+        if record is not None:
+            raise PagingError("tree spec: va already mapped")
+        return table.set(index, PTERecord(addr=paddr, flags=flags,
+                                          spec=config.arch))
+    if record is None:
+        addr = next(addr_iter) if addr_iter is not None else 0
+        child = TreeTable.empty(level - 1)
+        child = _map_block_into(child, level - 1, target, va, paddr,
+                                flags, config, addr_iter)
+        return table.set(index, PTERecord(
+            addr=addr, flags=config.arch.table_flags(), content=child,
+            spec=config.arch))
+    if record.is_huge:
+        raise PagingError("tree spec: huge page blocks mapping")
+    if record.is_terminal:
+        raise SpecError("intermediate record has no nested table")
+    child = _map_block_into(record.content, level - 1, target, va, paddr,
+                            flags, config, addr_iter)
     return table.set(index, record.with_content(child))
 
 

@@ -33,14 +33,25 @@ def spec_translate(tree, va, config, write=False,
     mapping or permission violation) — the security model treats faults
     as no-op transitions, matching hardware delivering a fault instead
     of completing the access.
+
+    Mirrors :meth:`PageTable.translate`'s arch semantics: the
+    hierarchical permission rule at every intermediate record, then the
+    terminal's W/U bits and access flag.
     """
     va = config.canonical_va(va)
-    terminal, huge_level = spec_walk_terminal(tree, va, config)
+    records, terminal, huge_level = tree_walk(tree, va, config)
     if terminal is None:
         return None
+    for record in records[:-1]:
+        if write and not record.allows_write_below:
+            return None
+        if user and not record.allows_user_below:
+            return None
     if write and not terminal.is_writable:
         return None
     if user and not terminal.is_user:
+        return None
+    if not terminal.access_allowed:
         return None
     span = config.level_span(huge_level)
     return terminal.addr + (va % span)

@@ -36,7 +36,6 @@ from repro.mir.value import Aggregate, mk_tuple, mk_u64, unit
 from repro.symbolic import SymbolicUnsupported, check_equivalence, verify_assertions
 from repro.verification.pure_refs import default_domains, pure_reference
 
-_LEAF = pte.leaf_flags()
 
 
 # ---------------------------------------------------------------------------
@@ -50,6 +49,7 @@ class _Ops:
     def __init__(self, model):
         self.model = model
         self.config = model.config
+        self.spec = model.config.arch
         self.pool_base = model.pool_base
         self.pool_size = model.pool_size
         self.epc_base = model.layout.epc_base
@@ -105,11 +105,11 @@ class _Ops:
         frame = root
         for level in range(config.levels, 0, -1):
             entry = self.read(state, frame, config.entry_index(va, level))
-            if not pte.pte_is_present(entry):
+            if not self.spec.is_present(entry):
                 return 0, 0, level
             if level == 1:
                 return 1, entry, 1
-            if pte.pte_is_huge(entry):
+            if self.spec.is_block_encoded(entry):
                 return 1, entry, level
             frame = pte.pte_frame(entry, config)
         raise SpecPreconditionError("walk fell off the hierarchy")
@@ -119,13 +119,13 @@ class _Ops:
         config = self.config
         index = config.entry_index(va, level)
         entry = self.read(state, frame, index)
-        if pte.pte_is_present(entry):
-            if pte.pte_is_huge(entry):
+        if self.spec.is_present(entry):
+            if self.spec.is_block_encoded(entry):
                 raise SpecPreconditionError("huge page blocks mapping")
             return pte.pte_frame(entry, config), state
         new_frame, state = self.alloc(state)
         new_entry = pte.pte_new(config.frame_base(new_frame),
-                                pte.table_flags(), config)
+                                self.spec.table_flags(), config)
         return new_frame, self.write(state, frame, index, new_entry)
 
     def map_page(self, state, root, va, pa, flags):
@@ -138,7 +138,7 @@ class _Ops:
         for level in range(config.levels, 1, -1):
             frame, state = self.get_or_create(state, frame, va, level)
         index = config.entry_index(va, 1)
-        if pte.pte_is_present(self.read(state, frame, index)):
+        if self.spec.is_present(self.read(state, frame, index)):
             raise SpecPreconditionError("va already mapped")
         return self.write(state, frame, index,
                           pte.pte_new(pa, flags, config))
@@ -151,9 +151,9 @@ class _Ops:
         for level in range(config.levels, 0, -1):
             index = config.entry_index(va, level)
             entry = self.read(state, frame, index)
-            if not pte.pte_is_present(entry):
+            if not self.spec.is_present(entry):
                 raise SpecPreconditionError("va not mapped")
-            if level == 1 or pte.pte_is_huge(entry):
+            if level == 1 or self.spec.is_block_encoded(entry):
                 return self.write(state, frame, index, 0)
             frame = pte.pte_frame(entry, config)
         raise SpecPreconditionError("unmap fell off the hierarchy")
@@ -301,10 +301,11 @@ def low_spec_for(model, name) -> Spec:
             return mk_tuple(mk_u64(0), mk_u64(0)), state
         index = ret.fields[1].value
         gpa = (gpa_base + ((va - el_base) & mask)) & mask
-        state = ops.map_page(state, gpt_root, va, gpa, _LEAF)
+        leaf = config.arch.leaf_flags()
+        state = ops.map_page(state, gpt_root, va, gpa, leaf)
         epc_frame = index + ops.epc_base
         state = ops.map_page(state, ept_root, gpa,
-                             (epc_frame << config.page_bits) & mask, _LEAF)
+                             (epc_frame << config.page_bits) & mask, leaf)
         return mk_tuple(mk_u64(1), mk_u64(epc_frame)), state
 
     @register("hc_add_page_checked")
@@ -379,7 +380,8 @@ def _build_populated_state(model, rng, mapped_pages=3):
         va = rng.randrange(0, config.va_space, config.page_size)
         pa = rng.randrange(0, config.phys_bytes, config.page_size)
         try:
-            state = ops.map_page(state, root, va, pa, _LEAF)
+            state = ops.map_page(state, root, va, pa,
+                                 config.arch.leaf_flags())
             mapped.append(va)
         except SpecPreconditionError:
             pass
@@ -400,6 +402,7 @@ def sample_states(model, name, seed=0, count=24):
     rng = random.Random(f"{name}:{seed}")
     config = model.config
     ops = _Ops(model)
+    leaf = config.arch.leaf_flags()
     samples = []
     for _ in range(count):
         state, root, mapped = _build_populated_state(
@@ -436,7 +439,7 @@ def sample_states(model, name, seed=0, count=24):
             "get_or_create_next": (mk_u64(root), mk_u64(aligned_va),
                                    mk_u64(config.levels)),
             "map_page": (mk_u64(root), mk_u64(aligned_va),
-                         mk_u64(aligned_pa), mk_u64(_LEAF)),
+                         mk_u64(aligned_pa), mk_u64(leaf)),
             "unmap_page": (mk_u64(root), mk_u64(aligned_va)),
             "query": (mk_u64(root), mk_u64(any_va)),
             "translate_page": (mk_u64(root), mk_u64(any_va)),
@@ -450,7 +453,7 @@ def sample_states(model, name, seed=0, count=24):
             "hc_add_page_checked": None,
             "as_root": (struct_self,),
             "as_map": (struct_self, mk_u64(aligned_va),
-                       mk_u64(aligned_pa), mk_u64(_LEAF)),
+                       mk_u64(aligned_pa), mk_u64(leaf)),
             "as_unmap": (struct_self, mk_u64(aligned_va)),
             "as_query": (struct_self, mk_u64(any_va)),
             "as_translate": (struct_self, mk_u64(any_va)),

@@ -52,12 +52,15 @@ def _build_table(config, layout):
         "pte_addr": lambda e: mk_u64(pte.pte_addr(e.value, config)),
         "pte_flags": lambda e: mk_u64(pte.pte_flags(e.value, config)),
         "pte_frame": lambda e: mk_u64(pte.pte_frame(e.value, config)),
-        "pte_is_present": lambda e: mk_bool(pte.pte_is_present(e.value)),
-        "pte_is_writable": lambda e: mk_bool(pte.pte_is_writable(e.value)),
-        "pte_is_user": lambda e: mk_bool(pte.pte_is_user(e.value)),
-        "pte_is_huge": lambda e: mk_bool(pte.pte_is_huge(e.value)),
+        "pte_is_present": lambda e: mk_bool(
+            config.arch.is_present(e.value)),
+        "pte_is_writable": lambda e: mk_bool(
+            config.arch.is_writable(e.value)),
+        "pte_is_user": lambda e: mk_bool(config.arch.is_user(e.value)),
+        "pte_is_huge": lambda e: mk_bool(
+            config.arch.is_block_encoded(e.value)),
         "pte_is_unused": lambda e: mk_bool(pte.pte_is_unused(e.value)),
-        "pte_table_flags": lambda: mk_u64(pte.table_flags()),
+        "pte_table_flags": lambda: mk_u64(config.arch.table_flags()),
         "pte_set_addr": lambda e, a: mk_u64(
             pte.pte_set_addr(e.value, a.value, config)),
         "pte_set_flags": lambda e, f: mk_u64(
@@ -115,14 +118,26 @@ def _interesting_addresses(config):
 
 
 def _interesting_entries(config):
-    """Entries covering every flag combination at a few addresses."""
+    """Entries covering every flag combination at a few addresses.
+
+    Built from the arch spec's own constructors plus raw low-bit
+    patterns, so the domain hits the discriminating bits of both the
+    x86 layout (P/W/U/H) and the VMSAv8 one (VALID/TYPE/AP/AF)."""
+    spec = config.arch
     addresses = (0, config.page_size, 5 * config.page_size,
                  config.addr_mask())
     entries = {0}
     for addr in addresses:
-        for flags in range(16):  # P/W/U + huge patterns
+        for flags in range(16):  # raw low-bit patterns
             huge = 0x80 if flags & 8 else 0
             entries.add(pte.pte_new(addr, (flags & 7) | huge, config))
+        for writable in (False, True):
+            for user in (False, True):
+                for huge_flag in (False, True):
+                    entries.add(pte.pte_new(
+                        addr, spec.leaf_flags(writable=writable, user=user,
+                                              huge=huge_flag), config))
+        entries.add(pte.pte_new(addr, spec.table_flags(), config))
     entries.add(U64_MAX)
     return tuple(sorted(entries))
 

@@ -90,3 +90,50 @@ class TestDetector:
         findings = detect_stale_translations(monitor)
         assert len(findings) == 1
         assert "maps to" in findings[0].reason
+
+
+class TestSpanAwareStaleness:
+    """Block (huge-page) TLB entries cache a whole span; the detector
+    must sweep every page under the entry, not just the base page —
+    the old fixed-granularity comparison missed interior staleness."""
+
+    def test_stale_interior_page_is_convicted(self):
+        monitor, _app, eid = two_vcpu_world()
+        va = 16 * PAGE
+        pa = cache_translation(monitor, eid, va)
+        # Re-insert as a 2-page block entry: the base page still
+        # translates correctly, but the entry also claims va+PAGE,
+        # which the enclave never mapped.
+        monitor.cpus[1].tlb.insert(eid, (va, False), pa, span=2 * PAGE)
+        findings = detect_stale_translations(monitor)
+        assert len(findings) == 1
+        stale = findings[0]
+        assert stale.va_page == va + PAGE
+        assert stale.cached_pa == pa + PAGE
+
+    def test_consistent_span_is_clean(self):
+        # A world with two contiguous enclave pages: EPC allocation is
+        # first-fit, so the two translations land on adjacent frames.
+        monitor, _app, eid = build_enclave_world(
+            monitor_cls=partial(RustMonitor, num_vcpus=2), pages=2)
+        va = 16 * PAGE
+        pa = TINY.page_base(monitor.enclave_translate(eid, va,
+                                                      write=False))
+        assert TINY.page_base(monitor.enclave_translate(
+            eid, va + PAGE, write=False)) == pa + PAGE
+        monitor.cpus[1].active = eid
+        monitor.cpus[1].tlb.insert(eid, (va, False), pa, span=2 * PAGE)
+        assert detect_stale_translations(monitor) == []
+
+    def test_span_interior_in_shootdown_window_is_benign(self):
+        monitor, _app, eid = build_enclave_world(
+            monitor_cls=partial(RustMonitor, num_vcpus=2), pages=2)
+        va = 16 * PAGE
+        pa = TINY.page_base(monitor.enclave_translate(eid, va,
+                                                      write=False))
+        monitor.cpus[1].active = eid
+        monitor.cpus[1].tlb.insert(eid, (va, False), pa, span=2 * PAGE)
+        # Unmap only the *interior* page: EPCM still accounts its frame
+        # to (eid, va+PAGE) as REG — the in-flight shootdown window.
+        monitor.enclaves[eid].gpt.unmap(va + PAGE)
+        assert detect_stale_translations(monitor) == []

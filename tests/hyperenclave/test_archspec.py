@@ -1,0 +1,368 @@
+"""Per-architecture PTE semantics: the ArchSpec property suite plus
+regression tests for the x86-isms it flushed out.
+
+Four bugs this file pins (each failed before the arch-spec refactor):
+
+1. ``map_huge`` accepted any ``2 <= level <= levels`` — root-level
+   blocks that no supported architecture has.
+2. ``_ept_translate`` inherited ``translate``'s ``user=True`` default,
+   so monitor-owned EPT entries without USER faulted the guest walk.
+3. ``guest_walk`` enforced WRITE at every level but never USER; the
+   hierarchical user rule (x86 U, VMSAv8 APTable[0]) was unenforced.
+4. ``addr_mask`` hardcoded bit 51 — VMSAv8's 48-bit output addresses
+   silently gained four phantom address bits.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PagingError, TranslationFault
+from repro.hyperenclave import pte
+from repro.hyperenclave.archspec import VMSAV8_SPEC, X86_SPEC
+from repro.hyperenclave.constants import (
+    TINY,
+    TINY_ARM,
+    VMSA8_64,
+    MemoryLayout,
+)
+from repro.hyperenclave.frames import BitmapFrameAllocator
+from repro.hyperenclave.hardware import PhysMemory
+from repro.hyperenclave.paging import PageTable, guest_walk
+from repro.spec.relation import abstract_table, flat_state_of_page_table
+from repro.spec.tree import tree_empty, tree_map_huge
+from repro.spec.walk import spec_translate
+
+CONFIGS = [TINY, TINY_ARM]
+WORD = 8
+
+U64 = st.integers(0, (1 << 64) - 1)
+
+
+def config_id(config):
+    return config.arch.name
+
+
+def fresh_table(config, allow_huge=False):
+    layout = MemoryLayout.default_for(config)
+    phys = PhysMemory(config)
+    allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+    table = PageTable(config, phys, allocator, allow_huge=allow_huge)
+    return layout, phys, allocator, table
+
+
+def forbid(flags, test):
+    """Flip ``flags`` so BitTest ``test`` no longer holds — clears the
+    bits on positive-want tests (x86 U/W), sets them on inverted tests
+    (VMSAv8 APTable)."""
+    return flags & ~test.mask if test.want else flags | test.mask
+
+
+# ---------------------------------------------------------------------------
+# Property suite: entry round-trips and flag truth tables
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=config_id)
+class TestEntryRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(addr=U64, flags=U64)
+    def test_new_addr_flags_partition(self, config, addr, flags):
+        entry = pte.pte_new(addr, flags, config)
+        mask = config.addr_mask()
+        assert pte.pte_addr(entry, config) == addr & mask
+        assert pte.pte_flags(entry, config) == flags & ~mask & ((1 << 64) - 1)
+
+    @settings(max_examples=32, deadline=None)
+    @given(w=st.booleans(), u=st.booleans(), nx=st.booleans())
+    def test_leaf_flags_truth_table(self, config, w, u, nx):
+        spec = config.arch
+        entry = spec.leaf_flags(writable=w, user=u, nx=nx)
+        assert spec.is_present(entry)
+        assert spec.is_leaf_valid(entry)
+        assert spec.access_allowed(entry)
+        assert spec.is_writable(entry) == w
+        assert spec.is_user(entry) == u
+        assert spec.is_noexec(entry) == nx
+        assert not spec.is_block_encoded(entry)
+
+    def test_block_encoding_and_idempotence(self, config):
+        spec = config.arch
+        block = spec.leaf_flags(huge=True)
+        assert spec.is_present(block)
+        assert spec.is_block_encoded(block)
+        assert spec.to_block(block) == block
+        for level in spec.block_levels:
+            assert spec.is_block(block, level)
+        assert not spec.is_block(block, 1)  # level 1 is never a block
+
+    def test_table_flags_are_permissive_tables(self, config):
+        spec = config.arch
+        table_entry = spec.table_flags()
+        assert spec.is_present(table_entry)
+        assert not spec.is_block_encoded(table_entry)
+        assert spec.table_allows_write(table_entry)
+        assert spec.table_allows_user(table_entry)
+
+    def test_flag_bits_clear_of_address_field(self, config):
+        assert config.arch.flags_mask() & config.addr_mask() == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(flags=U64)
+    def test_to_block_idempotent_on_anything(self, config, flags):
+        spec = config.arch
+        assert spec.to_block(spec.to_block(flags)) == spec.to_block(flags)
+
+
+# ---------------------------------------------------------------------------
+# Bug 4: the output-address width belongs to the arch, not a constant
+# ---------------------------------------------------------------------------
+
+
+class TestOutputWidth:
+    def test_x86_output_is_52_bits(self):
+        assert X86_SPEC.addr_mask(12) == \
+            ((1 << 52) - 1) & ~((1 << 12) - 1)
+
+    def test_vmsav8_output_is_48_bits(self):
+        mask = VMSAV8_SPEC.addr_mask(12)
+        assert mask == ((1 << 48) - 1) & ~((1 << 12) - 1)
+        assert mask & (1 << 51) == 0  # bit 51 is an x86-ism
+
+    def test_vmsav8_truncates_bits_48_to_51(self):
+        # With the old hardcoded bit-51 mask, the phantom bit survived
+        # into the physical address.
+        entry = pte.pte_new((1 << 48) | 0x1000, 0, VMSA8_64)
+        assert pte.pte_addr(entry, VMSA8_64) == 0x1000
+
+
+# ---------------------------------------------------------------------------
+# Bug 1: block mappings only at architecturally supported levels
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=config_id)
+class TestBlockLevels:
+    def test_root_level_blocks_rejected(self, config):
+        _, _, _, table = fresh_table(config, allow_huge=True)
+        with pytest.raises(PagingError, match="block level"):
+            table.map_huge(0, 0, config.levels, config.arch.leaf_flags())
+
+    def test_tree_map_huge_rejects_root_level(self, config):
+        tree = tree_empty(config)
+        with pytest.raises(PagingError, match="block level"):
+            tree_map_huge(tree, 0, 0, config.levels,
+                          config.arch.leaf_flags(), config)
+
+    def test_supported_block_levels_map_and_translate(self, config):
+        page = config.page_size
+        for level in config.arch.block_levels:
+            _, _, _, table = fresh_table(config, allow_huge=True)
+            span = config.level_span(level)
+            table.map_huge(span, span, level, config.arch.leaf_flags())
+            assert table.translate(span) == span
+            assert table.translate(span + page + 4) == span + page + 4
+            assert table.translate(2 * span - 1) == 2 * span - 1
+
+
+# ---------------------------------------------------------------------------
+# Walk ↔ spec agreement at every supported leaf level
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=config_id)
+class TestWalkSpecAgreement:
+    def test_every_supported_leaf_level_agrees(self, config):
+        layout = MemoryLayout.default_for(config)
+        pool_base = layout.pt_pool_base
+        pool_size = layout.epc_base - pool_base
+        page = config.page_size
+        for level in (1,) + config.arch.block_levels:
+            _, _, _, table = fresh_table(config, allow_huge=True)
+            span = config.level_span(level)
+            va = span
+            pa = span
+            if level == 1:
+                table.map_page(va, pa, config.arch.leaf_flags())
+            else:
+                table.map_huge(va, pa, level, config.arch.leaf_flags())
+            flat = flat_state_of_page_table(table, pool_base, pool_size)
+            tree = abstract_table(flat, table.root_frame)
+            for offset in (0, 17, span - page, span - 1):
+                probe = va + offset
+                assert spec_translate(tree, probe, config) == \
+                    table.translate(probe), \
+                    f"{config.arch.name} level {level} offset {offset:#x}"
+            assert spec_translate(tree, va - 1, config) is None
+            assert spec_translate(tree, va + span, config) is None
+
+    def test_tree_map_huge_matches_alpha(self, config):
+        layout = MemoryLayout.default_for(config)
+        pool_base = layout.pt_pool_base
+        pool_size = layout.epc_base - pool_base
+        for level in config.arch.block_levels:
+            _, _, allocator, table = fresh_table(config, allow_huge=True)
+            span = config.level_span(level)
+            table.map_huge(span, span, level, config.arch.leaf_flags())
+            created = [config.frame_base(frame)
+                       for frame in allocator.allocated_frames()
+                       if frame != table.root_frame]
+            tree = tree_map_huge(tree_empty(config), span, span, level,
+                                 config.arch.leaf_flags(), config,
+                                 new_table_addrs=created)
+            flat = flat_state_of_page_table(table, pool_base, pool_size)
+            assert abstract_table(flat, table.root_frame) == tree
+
+    def test_spec_translate_enforces_permissions(self, config):
+        layout = MemoryLayout.default_for(config)
+        pool_base = layout.pt_pool_base
+        pool_size = layout.epc_base - pool_base
+        page = config.page_size
+        _, _, _, table = fresh_table(config)
+        table.map_page(0, page, config.arch.leaf_flags(writable=False))
+        table.map_page(page, 2 * page, config.arch.leaf_flags(user=False))
+        flat = flat_state_of_page_table(table, pool_base, pool_size)
+        tree = abstract_table(flat, table.root_frame)
+        assert spec_translate(tree, 0, config) == page
+        assert spec_translate(tree, 0, config, write=True) is None
+        assert spec_translate(tree, page, config) is None
+        assert spec_translate(tree, page, config, user=False) == 2 * page
+
+
+# ---------------------------------------------------------------------------
+# Bugs 2 and 3: nested-walk access types, per stage and per level
+# ---------------------------------------------------------------------------
+
+
+def build_nested(config, ept_leaf_flags=None):
+    """An EPT identity-mapping frames 0..16 plus a guest GPT root."""
+    layout = MemoryLayout.default_for(config)
+    phys = PhysMemory(config)
+    allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+    ept = PageTable(config, phys, allocator, name="ept")
+    flags = (ept_leaf_flags if ept_leaf_flags is not None
+             else config.arch.leaf_flags())
+    for frame in range(16):
+        base = config.frame_base(frame)
+        ept.map_page(base, base, flags)
+    return phys, ept, config.frame_base(0)
+
+
+def build_guest_chain(config, phys, gpt_root, va, leaf_frame,
+                      leaf_flags=None, top_table_flags=None):
+    """Hand-build the guest table chain for ``va`` in frames 1..n."""
+    spec = config.arch
+    table_gpa = gpt_root
+    next_free = 1
+    for level in range(config.levels, 1, -1):
+        child = config.frame_base(next_free)
+        next_free += 1
+        flags = (top_table_flags
+                 if top_table_flags is not None and level == config.levels
+                 else spec.table_flags())
+        phys.write_word(table_gpa + config.entry_index(va, level) * WORD,
+                        pte.pte_new(child, flags, config))
+        table_gpa = child
+    lflags = leaf_flags if leaf_flags is not None else spec.leaf_flags()
+    phys.write_word(table_gpa + config.entry_index(va, 1) * WORD,
+                    pte.pte_new(config.frame_base(leaf_frame), lflags,
+                                config))
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=config_id)
+class TestNestedWalkAccessTypes:
+    def test_supervisor_ept_does_not_fault_user_guest_walk(self, config):
+        """Bug 2: the EPT stage translates guest-*physical* addresses;
+        guest-PT USER semantics must not apply to it.  Before the fix,
+        ``_ept_translate`` inherited ``user=True`` and monitor-owned
+        EPT entries without USER faulted every guest access."""
+        page = config.page_size
+        supervisor = config.arch.leaf_flags(user=False)
+        phys, ept, gpt_root = build_nested(config,
+                                           ept_leaf_flags=supervisor)
+        va = 5 * page
+        build_guest_chain(config, phys, gpt_root, va, leaf_frame=9)
+        hpa = guest_walk(config, phys, ept, gpt_root, va + 24, user=True)
+        assert hpa == config.frame_base(9) + 24
+
+    def test_supervisor_gpt_leaf_faults_user_access(self, config):
+        """Bug 3 (leaf half): the GPT leaf's user bit must gate user
+        accesses — before the fix guest_walk never looked at it."""
+        page = config.page_size
+        phys, ept, gpt_root = build_nested(config)
+        va = 5 * page
+        build_guest_chain(config, phys, gpt_root, va, leaf_frame=9,
+                          leaf_flags=config.arch.leaf_flags(user=False))
+        with pytest.raises(TranslationFault) as excinfo:
+            guest_walk(config, phys, ept, gpt_root, va, user=True)
+        assert excinfo.value.stage == "gpt"
+        assert guest_walk(config, phys, ept, gpt_root, va, user=False) \
+            == config.frame_base(9)
+
+    def test_user_forbidding_table_entry_faults_user_access(self, config):
+        """Bug 3 (hierarchical half): the per-arch table rule — x86
+        ANDs U across levels, VMSAv8 sets APTable[0] — must gate user
+        accesses through intermediate entries too."""
+        spec = config.arch
+        page = config.page_size
+        phys, ept, gpt_root = build_nested(config)
+        va = 5 * page
+        build_guest_chain(
+            config, phys, gpt_root, va, leaf_frame=9,
+            top_table_flags=forbid(spec.table_flags(), spec.table_user))
+        with pytest.raises(TranslationFault) as excinfo:
+            guest_walk(config, phys, ept, gpt_root, va, user=True)
+        assert excinfo.value.stage == "gpt"
+        assert guest_walk(config, phys, ept, gpt_root, va, user=False) \
+            == config.frame_base(9)
+
+    def test_write_forbidding_table_entry_faults_writes(self, config):
+        """The write half of the hierarchical rule, per arch (x86 W,
+        VMSAv8 APTable[1])."""
+        spec = config.arch
+        page = config.page_size
+        phys, ept, gpt_root = build_nested(config)
+        va = 5 * page
+        build_guest_chain(
+            config, phys, gpt_root, va, leaf_frame=9,
+            top_table_flags=forbid(spec.table_flags(), spec.table_write))
+        with pytest.raises(TranslationFault) as excinfo:
+            guest_walk(config, phys, ept, gpt_root, va, write=True)
+        assert excinfo.value.stage == "gpt"
+        assert guest_walk(config, phys, ept, gpt_root, va, write=False) \
+            == config.frame_base(9)
+
+
+# ---------------------------------------------------------------------------
+# VMSAv8-only semantics the x86 shape could not express
+# ---------------------------------------------------------------------------
+
+
+class TestVmsav8Semantics:
+    def test_access_flag_clear_faults(self):
+        config = TINY_ARM
+        _, _, _, table = fresh_table(config)
+        no_af = config.arch.leaf_flags() & ~(1 << 10)
+        table.map_page(0, config.page_size, no_af)
+        with pytest.raises(TranslationFault, match="access flag"):
+            table.translate(0)
+
+    def test_reserved_level1_encoding_is_not_a_mapping(self):
+        # bits[1:0] == 0b01 at level 1 is reserved: present but invalid.
+        config = TINY_ARM
+        _, phys, _, table = fresh_table(config)
+        page = config.page_size
+        table.map_page(0, page, config.arch.leaf_flags())
+        result = table.walk(0)
+        leaf = result.steps[-1]
+        reserved = leaf.entry & ~(1 << 1)  # clear TYPE: block encoding
+        phys.write_word(config.frame_base(leaf.table_frame)
+                        + leaf.index * WORD, reserved)
+        assert not table.walk(0).complete
+        with pytest.raises(TranslationFault):
+            table.translate(0)
+
+    def test_read_only_is_the_set_state(self):
+        spec = VMSAV8_SPEC
+        assert not spec.is_writable(spec.leaf_flags(writable=False))
+        assert spec.leaf_flags(writable=False) & (1 << 7)
+        assert not spec.leaf_flags(writable=True) & (1 << 7)

@@ -164,8 +164,23 @@ class TestHugePages:
         phys = PhysMemory(TINY)
         allocator = BitmapFrameAllocator(layout.pt_pool_frames)
         table = PageTable(TINY, phys, allocator, allow_huge=True)
-        table.map_huge(0, 0, TINY.levels, pte.leaf_flags())
-        assert table.table_frames() == [table.root_frame]
+        table.map_huge(0, 0, 3, pte.leaf_flags())
+        frames = table.table_frames()
+        assert frames[0] == table.root_frame
+        # root + the level-3 table holding the block entry; the block's
+        # target frame (0) is data, not structure
+        assert len(frames) == 2
+        assert 0 not in frames
+
+    def test_root_level_blocks_rejected(self):
+        # No supported architecture has root-level blocks; the old
+        # check (any 2 <= level <= levels) silently permitted them.
+        layout = MemoryLayout.default_for(TINY)
+        phys = PhysMemory(TINY)
+        allocator = BitmapFrameAllocator(layout.pt_pool_frames)
+        table = PageTable(TINY, phys, allocator, allow_huge=True)
+        with pytest.raises(PagingError, match="block level"):
+            table.map_huge(0, 0, TINY.levels, pte.leaf_flags())
 
 
 class TestTableFrames:
